@@ -1,0 +1,25 @@
+//! # dora-bench
+//!
+//! The benchmark harness of the DORA reproduction. The actual Criterion
+//! targets live under `benches/`:
+//!
+//! * `exhibits` — one benchmark per paper table/figure, measuring the
+//!   wall-clock cost of regenerating each exhibit from scratch on the
+//!   simulator substrate (the shared trained pipeline is built once,
+//!   outside the timed region).
+//! * `microbench` — the hot paths: Algorithm 1 frequency selection (the
+//!   real-time cost the paper's Section V-H budgets at "< 1 %"), board
+//!   quantum stepping, cache apportionment, response-surface prediction,
+//!   Eq. 5 evaluation, and model training.
+//!
+//! Run with `cargo bench --workspace`; results land in
+//! `target/criterion/`.
+
+/// A Criterion configuration tuned for heavy simulation benches: small
+/// sample counts so whole-campaign measurements finish in minutes.
+pub fn heavy_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}

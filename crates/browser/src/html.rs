@@ -1,0 +1,339 @@
+//! Table I feature extraction from real HTML.
+//!
+//! The paper's X1–X5 features are counts over a page's HTML document:
+//! DOM tree nodes, `class` attributes, `href` attributes, `<a>` tags and
+//! `<div>` tags. This module extracts them from an actual HTML string
+//! with a small, dependency-free tokenizer, so the library can profile
+//! real pages, not just catalog entries.
+//!
+//! The tokenizer is deliberately forgiving (browsers are): it skips
+//! comments, doctypes, processing instructions, CDATA, and the raw-text
+//! contents of `<script>`/`<style>`, counts every element start tag as a
+//! DOM node, and recognizes void elements. It does not build a tree —
+//! the features only need counts.
+
+use crate::page::{InvalidPageError, PageFeatures};
+
+/// Elements that never have a closing tag (HTML void elements).
+const VOID_ELEMENTS: [&str; 14] = [
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// Raw counters produced by the scan, before the plausibility checks of
+/// [`PageFeatures::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HtmlCounts {
+    /// Element start tags seen (DOM tree nodes, X1).
+    pub dom_nodes: u32,
+    /// `class` attributes seen (X2).
+    pub class_attrs: u32,
+    /// `href` attributes seen (X3).
+    pub href_attrs: u32,
+    /// `<a>` start tags seen (X4).
+    pub a_tags: u32,
+    /// `<div>` start tags seen (X5).
+    pub div_tags: u32,
+}
+
+/// Scans an HTML document and counts the Table I primitives.
+///
+/// # Example
+///
+/// ```
+/// use dora_browser::html::scan;
+///
+/// let counts = scan(r#"<div class="x"><a href="/home">home</a></div>"#);
+/// assert_eq!(counts.dom_nodes, 2);
+/// assert_eq!(counts.class_attrs, 1);
+/// assert_eq!(counts.href_attrs, 1);
+/// assert_eq!(counts.a_tags, 1);
+/// assert_eq!(counts.div_tags, 1);
+/// ```
+pub fn scan(html: &str) -> HtmlCounts {
+    let bytes = html.as_bytes();
+    let mut counts = HtmlCounts::default();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            i = match html[i + 4..].find("-->") {
+                Some(end) => i + 4 + end + 3,
+                None => bytes.len(),
+            };
+            continue;
+        }
+        // Doctype / CDATA / other markup declaration, or processing
+        // instruction: skip to the next '>'.
+        if i + 1 < bytes.len() && (bytes[i + 1] == b'!' || bytes[i + 1] == b'?') {
+            i = match html[i..].find('>') {
+                Some(end) => i + end + 1,
+                None => bytes.len(),
+            };
+            continue;
+        }
+        // Closing tag: skip.
+        if i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            i = match html[i..].find('>') {
+                Some(end) => i + end + 1,
+                None => bytes.len(),
+            };
+            continue;
+        }
+        // A start tag. Find its name.
+        let Some(rel_end) = find_tag_end(html, i) else {
+            break; // unterminated tag at EOF
+        };
+        let tag_body = &html[i + 1..rel_end];
+        let name: String = tag_body
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        if name.is_empty() {
+            // Stray '<' in text.
+            i += 1;
+            continue;
+        }
+        counts.dom_nodes = counts.dom_nodes.saturating_add(1);
+        match name.as_str() {
+            "a" => counts.a_tags = counts.a_tags.saturating_add(1),
+            "div" => counts.div_tags = counts.div_tags.saturating_add(1),
+            _ => {}
+        }
+        let attrs = &tag_body[name.len()..];
+        counts.class_attrs = counts
+            .class_attrs
+            .saturating_add(count_attribute(attrs, "class"));
+        counts.href_attrs = counts
+            .href_attrs
+            .saturating_add(count_attribute(attrs, "href"));
+
+        i = rel_end + 1;
+        // Raw-text elements: skip to the matching close tag so their
+        // contents ("a < b", "</div>" in strings) don't confuse the scan.
+        if name == "script" || name == "style" {
+            let close = format!("</{name}");
+            let lower_rest = html[i..].to_ascii_lowercase();
+            i = match lower_rest.find(&close) {
+                Some(off) => {
+                    let after = i + off;
+                    match html[after..].find('>') {
+                        Some(gt) => after + gt + 1,
+                        None => bytes.len(),
+                    }
+                }
+                None => bytes.len(),
+            };
+        }
+        let _ = VOID_ELEMENTS; // void-ness only matters for tree building
+    }
+    counts
+}
+
+/// Finds the index of the `>` terminating the tag that starts at `lt`,
+/// respecting quoted attribute values.
+fn find_tag_end(html: &str, lt: usize) -> Option<usize> {
+    let bytes = html.as_bytes();
+    let mut i = lt + 1;
+    let mut quote: Option<u8> = None;
+    while i < bytes.len() {
+        match (quote, bytes[i]) {
+            (Some(q), c) if c == q => quote = None,
+            (Some(_), _) => {}
+            (None, b'"') => quote = Some(b'"'),
+            (None, b'\'') => quote = Some(b'\''),
+            (None, b'>') => return Some(i),
+            (None, _) => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Counts occurrences of attribute `name` (word-bounded, followed by `=`
+/// or whitespace or end) in a tag's attribute text.
+fn count_attribute(attrs: &str, name: &str) -> u32 {
+    let lower = attrs.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut count = 0u32;
+    let mut search = 0usize;
+    while let Some(off) = lower[search..].find(name) {
+        let start = search + off;
+        let end = start + name.len();
+        let left_ok = start == 0 || !bytes[start - 1].is_ascii_alphanumeric() && bytes[start - 1] != b'-';
+        let right_ok = end >= bytes.len()
+            || bytes[end] == b'='
+            || bytes[end].is_ascii_whitespace()
+            || bytes[end] == b'/'
+            || bytes[end] == b'>';
+        // Not inside a quoted value: count quotes before `start`.
+        let quotes_before = bytes[..start].iter().filter(|&&c| c == b'"' || c == b'\'').count();
+        if left_ok && right_ok && quotes_before % 2 == 0 {
+            count = count.saturating_add(1);
+        }
+        search = end;
+    }
+    count
+}
+
+impl PageFeatures {
+    /// Extracts the Table I feature vector from an HTML document.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidPageError`] when the document contains no elements (the
+    /// counts cannot describe a page).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dora_browser::PageFeatures;
+    ///
+    /// let html = r#"
+    ///   <!DOCTYPE html>
+    ///   <html><head><title>t</title></head>
+    ///   <body>
+    ///     <div class="nav"><a href="/a">a</a><a href="/b">b</a></div>
+    ///   </body></html>
+    /// "#;
+    /// let page = PageFeatures::from_html(html)?;
+    /// assert_eq!(page.a_tags(), 2);
+    /// assert_eq!(page.div_tags(), 1);
+    /// assert_eq!(page.href_attrs(), 2);
+    /// # Ok::<(), dora_browser::page::InvalidPageError>(())
+    /// ```
+    pub fn from_html(html: &str) -> Result<PageFeatures, InvalidPageError> {
+        let c = scan(html);
+        PageFeatures::new(
+            c.dom_nodes,
+            c.class_attrs,
+            c.href_attrs,
+            c.a_tags,
+            c.div_tags,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_basic_structure() {
+        let c = scan("<html><body><div><p>hi</p></div></body></html>");
+        assert_eq!(c.dom_nodes, 4);
+        assert_eq!(c.div_tags, 1);
+        assert_eq!(c.a_tags, 0);
+    }
+
+    #[test]
+    fn closing_tags_not_counted() {
+        let c = scan("<div></div><div></div>");
+        assert_eq!(c.dom_nodes, 2);
+        assert_eq!(c.div_tags, 2);
+    }
+
+    #[test]
+    fn comments_doctype_and_pi_skipped() {
+        let c = scan(
+            "<!DOCTYPE html><!-- <div> not real --><?xml ignore?><div></div>",
+        );
+        assert_eq!(c.dom_nodes, 1);
+        assert_eq!(c.div_tags, 1);
+    }
+
+    #[test]
+    fn script_and_style_contents_are_raw_text() {
+        let c = scan(
+            r#"<script>if (a < b) document.write("<div class='x'>");</script>
+               <style>.a::before { content: "<a href='x'>"; }</style>
+               <div></div>"#,
+        );
+        assert_eq!(c.dom_nodes, 3, "{c:?}"); // script, style, div
+        assert_eq!(c.div_tags, 1);
+        assert_eq!(c.a_tags, 0);
+        assert_eq!(c.class_attrs, 0);
+        assert_eq!(c.href_attrs, 0);
+    }
+
+    #[test]
+    fn attributes_counted_word_bounded() {
+        let c = scan(
+            r#"<div class="a" data-classic="no"><a href="/x" hreflang="en">l</a></div>"#,
+        );
+        assert_eq!(c.class_attrs, 1, "{c:?}");
+        assert_eq!(c.href_attrs, 1, "{c:?}");
+    }
+
+    #[test]
+    fn attribute_values_with_gt_handled() {
+        let c = scan(r#"<div title="a > b" class="x"><a href="/y">y</a></div>"#);
+        assert_eq!(c.dom_nodes, 2);
+        assert_eq!(c.class_attrs, 1);
+        assert_eq!(c.href_attrs, 1);
+    }
+
+    #[test]
+    fn attribute_names_inside_values_not_counted() {
+        let c = scan(r#"<div data-x="class=fake href=fake"></div>"#);
+        assert_eq!(c.class_attrs, 0, "{c:?}");
+        assert_eq!(c.href_attrs, 0, "{c:?}");
+    }
+
+    #[test]
+    fn self_closing_and_void_elements_count_as_nodes() {
+        let c = scan(r#"<img src="x.png"/><br><link href="a.css">"#);
+        assert_eq!(c.dom_nodes, 3);
+        assert_eq!(c.href_attrs, 1);
+    }
+
+    #[test]
+    fn stray_angle_brackets_in_text() {
+        let c = scan("<p>1 < 2 and 3 > 2</p><div></div>");
+        assert_eq!(c.dom_nodes, 2);
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof_is_tolerated() {
+        let c = scan("<div class='x'><a href='/y'");
+        assert_eq!(c.dom_nodes, 1); // the complete div only
+    }
+
+    #[test]
+    fn from_html_roundtrip_into_features() {
+        let html = r#"
+            <html><body>
+              <div class="header"><a href="/">home</a></div>
+              <div class="content">
+                <a href="/1">one</a> <a href="/2">two</a>
+              </div>
+            </body></html>
+        "#;
+        let page = PageFeatures::from_html(html).expect("valid page");
+        assert_eq!(page.dom_nodes(), 7);
+        assert_eq!(page.class_attrs(), 2);
+        assert_eq!(page.href_attrs(), 3);
+        assert_eq!(page.a_tags(), 3);
+        assert_eq!(page.div_tags(), 2);
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(PageFeatures::from_html("just text, no tags").is_err());
+        assert!(PageFeatures::from_html("").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_tags_and_attrs() {
+        let c = scan(r#"<DIV CLASS="a"><A HREF="/x">x</A></DIV>"#);
+        assert_eq!(c.div_tags, 1);
+        assert_eq!(c.a_tags, 1);
+        assert_eq!(c.class_attrs, 1);
+        assert_eq!(c.href_attrs, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # dora-browser
+//!
+//! The web-browsing workload of the DORA reproduction.
+//!
+//! The paper drives Firefox over the 18 most-visited Alexa pages, with the
+//! pages stored locally so network latency is out of the picture
+//! (Section IV-B) — the measured load time is pure rendering-engine work.
+//! Following Zhu et al. (HPCA'13), whom the paper cites for the insight,
+//! load time is dominated by a handful of static page-complexity features:
+//! the number of DOM tree nodes, `class` and `href` attributes, and `a`
+//! and `div` tags (Table I, X1–X5).
+//!
+//! This crate makes that relationship *generative* rather than merely
+//! correlational:
+//!
+//! * [`page`] — [`page::PageFeatures`] carries exactly the Table I feature
+//!   vector, plus a synthesizer for random-but-plausible pages.
+//! * [`catalog`] — named profiles for the paper's 18 pages, whose
+//!   complexity ordering reproduces Table III's load-time classes.
+//! * [`html`] — Table I feature extraction from *real* HTML documents
+//!   (a small forgiving tokenizer), so profiles aren't limited to the
+//!   built-in catalog.
+//! * [`engine`] — a rendering-engine model that compiles a feature vector
+//!   into a parse → DOM → style → layout → paint → script pipeline of
+//!   [`dora_soc::task::PhasedTask`] phases. Instruction budgets and cache
+//!   working sets are affine in the features, so a regression over
+//!   simulator measurements recovers the same structural model the paper
+//!   trains on the phone.
+//!
+//! # Example
+//!
+//! ```
+//! use dora_browser::catalog::Catalog;
+//! use dora_browser::engine::RenderEngine;
+//!
+//! let catalog = Catalog::alexa18();
+//! let reddit = catalog.page("Reddit").expect("in catalog");
+//! let engine = RenderEngine::default();
+//! let job = engine.spawn(reddit, 42);
+//! assert!(job.main.total_instructions() > 1.0e8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod engine;
+pub mod html;
+pub mod page;
+
+pub use catalog::Catalog;
+pub use engine::{BrowserJob, RenderEngine};
+pub use page::PageFeatures;

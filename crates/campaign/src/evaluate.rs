@@ -1,0 +1,452 @@
+//! Governor evaluation across the 54 workloads.
+//!
+//! Reproduces the comparison methodology of Section V: every workload is
+//! loaded under every policy, PPW is normalized to the `interactive`
+//! baseline per workload, and results are summarized over the
+//! Webpage-Inclusive, Webpage-Neutral and combined sets (Fig. 7), per
+//! workload (Fig. 8), and per page × intensity (Fig. 9).
+
+use crate::runner::{oracle, run_scenario, OracleFrequencies, RunResult, ScenarioConfig};
+use crate::workload::{Workload, WorkloadSet};
+use dora::{DoraConfig, DoraGovernor, DoraModels, DoraPolicy};
+use dora_governors::{
+    ConservativeGovernor, Governor, InteractiveGovernor, PerformanceGovernor, PinnedGovernor,
+    PowersaveGovernor,
+};
+use dora_sim_core::stats::Samples;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The policies the paper's figures compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Android default (the baseline everything is normalized to).
+    Interactive,
+    /// Always `fmax`.
+    Performance,
+    /// Always `fmin` (dismissed by the paper; kept for completeness).
+    Powersave,
+    /// Step-wise utilization governor (extra baseline).
+    Conservative,
+    /// Statically pinned at the *measured* `fD` (Fig. 8's `fD` series);
+    /// `fmax` when no frequency meets the deadline.
+    OracleFd,
+    /// Statically pinned at the *measured* `fE` (Fig. 8's `fE` series).
+    OracleFe,
+    /// Statically pinned at the measured `fopt` — the paper's
+    /// `Offline_opt` reference.
+    OfflineOpt,
+    /// The full DORA governor.
+    Dora,
+    /// DORA without the leakage term (Fig. 10a ablation).
+    DoraNoLkg,
+    /// The model-driven deadline-only hypothetical governor (`DL`).
+    DeadlineOnly,
+    /// The model-driven energy-only hypothetical governor (`EE`).
+    EnergyOnly,
+}
+
+impl Policy {
+    /// The name the policy's results carry in [`RunResult::governor`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Interactive => "interactive",
+            Policy::Performance => "performance",
+            Policy::Powersave => "powersave",
+            Policy::Conservative => "conservative",
+            Policy::OracleFd => "fD",
+            Policy::OracleFe => "fE",
+            Policy::OfflineOpt => "offline_opt",
+            Policy::Dora => "DORA",
+            Policy::DoraNoLkg => "DORA_no_lkg",
+            Policy::DeadlineOnly => "DL",
+            Policy::EnergyOnly => "EE",
+        }
+    }
+
+    /// Whether this policy needs the per-workload oracle sweep.
+    pub fn needs_oracle(self) -> bool {
+        matches!(self, Policy::OracleFd | Policy::OracleFe | Policy::OfflineOpt)
+    }
+
+    /// Whether this policy needs trained DORA models.
+    pub fn needs_models(self) -> bool {
+        matches!(
+            self,
+            Policy::Dora | Policy::DoraNoLkg | Policy::DeadlineOnly | Policy::EnergyOnly
+        )
+    }
+
+    /// The governor set of Fig. 7 (plus the baseline).
+    pub const FIG7: [Policy; 5] = [
+        Policy::Interactive,
+        Policy::Performance,
+        Policy::DeadlineOnly,
+        Policy::EnergyOnly,
+        Policy::Dora,
+    ];
+
+    /// The governor set of Fig. 8 (plus the baseline).
+    pub const FIG8: [Policy; 7] = [
+        Policy::Interactive,
+        Policy::Performance,
+        Policy::OracleFd,
+        Policy::OracleFe,
+        Policy::Dora,
+        Policy::DeadlineOnly,
+        Policy::EnergyOnly,
+    ];
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Evaluation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvaluateError {
+    /// A requested policy needs trained models but none were provided.
+    ModelsRequired(&'static str),
+}
+
+impl fmt::Display for EvaluateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaluateError::ModelsRequired(name) => {
+                write!(f, "policy {name} requires trained DORA models")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvaluateError {}
+
+/// Which workload subset a summary covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subset {
+    /// All 54 workloads.
+    All,
+    /// The 42 Webpage-Inclusive (training-page) workloads.
+    Inclusive,
+    /// The 12 Webpage-Neutral (held-out) workloads.
+    Neutral,
+}
+
+impl Subset {
+    fn admits(self, r: &RunResult) -> bool {
+        match self {
+            Subset::All => true,
+            Subset::Inclusive => r.training,
+            Subset::Neutral => !r.training,
+        }
+    }
+}
+
+/// The complete evaluation output: every run result plus the oracle
+/// frequencies that backed the pinned policies.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    results: Vec<RunResult>,
+    oracles: HashMap<String, OracleFrequencies>,
+}
+
+/// Builds the governor instance for a policy over one workload.
+fn make_governor(
+    policy: Policy,
+    workload: &Workload,
+    models: Option<&DoraModels>,
+    oracle_freqs: Option<&OracleFrequencies>,
+    config: &ScenarioConfig,
+) -> Result<Box<dyn Governor>, EvaluateError> {
+    let table = config.board.dvfs.clone();
+    let dora_config = |policy: DoraPolicy, leakage: bool| DoraConfig {
+        qos_target_s: config.deadline_s,
+        include_leakage: leakage,
+        policy,
+        ..DoraConfig::default()
+    };
+    let need_models = || {
+        models
+            .cloned()
+            .ok_or(EvaluateError::ModelsRequired(policy.name()))
+    };
+    Ok(match policy {
+        Policy::Interactive => Box::new(InteractiveGovernor::new(table)),
+        Policy::Performance => Box::new(PerformanceGovernor::new(table)),
+        Policy::Powersave => Box::new(PowersaveGovernor::new(table)),
+        Policy::Conservative => Box::new(ConservativeGovernor::new(table)),
+        Policy::OracleFd => {
+            let o = oracle_freqs.expect("oracle computed for oracle policies");
+            let f = o.fd.unwrap_or_else(|| table.max_frequency());
+            Box::new(PinnedGovernor::new("fD", f))
+        }
+        Policy::OracleFe => {
+            let o = oracle_freqs.expect("oracle computed for oracle policies");
+            Box::new(PinnedGovernor::new("fE", o.fe))
+        }
+        Policy::OfflineOpt => {
+            let o = oracle_freqs.expect("oracle computed for oracle policies");
+            Box::new(PinnedGovernor::new("offline_opt", o.fopt))
+        }
+        Policy::Dora => Box::new(DoraGovernor::new(
+            need_models()?,
+            workload.page.features,
+            dora_config(DoraPolicy::Dora, true),
+        )),
+        Policy::DoraNoLkg => Box::new(DoraGovernor::new(
+            need_models()?,
+            workload.page.features,
+            dora_config(DoraPolicy::Dora, false),
+        )),
+        Policy::DeadlineOnly => Box::new(DoraGovernor::new(
+            need_models()?,
+            workload.page.features,
+            dora_config(DoraPolicy::DeadlineOnly, true),
+        )),
+        Policy::EnergyOnly => Box::new(DoraGovernor::new(
+            need_models()?,
+            workload.page.features,
+            dora_config(DoraPolicy::EnergyOnly, true),
+        )),
+    })
+}
+
+/// Runs every workload under every policy.
+///
+/// # Errors
+///
+/// [`EvaluateError::ModelsRequired`] when a DORA-family policy is
+/// requested without trained models.
+pub fn evaluate(
+    set: &WorkloadSet,
+    policies: &[Policy],
+    models: Option<&DoraModels>,
+    config: &ScenarioConfig,
+) -> Result<Evaluation, EvaluateError> {
+    for p in policies {
+        if p.needs_models() && models.is_none() {
+            return Err(EvaluateError::ModelsRequired(p.name()));
+        }
+    }
+    let need_oracle = policies.iter().any(|p| p.needs_oracle());
+    let mut oracles = HashMap::new();
+    let mut results = Vec::with_capacity(set.len() * policies.len());
+    for workload in set.workloads() {
+        let oracle_freqs = if need_oracle {
+            Some(
+                oracles
+                    .entry(workload.id())
+                    .or_insert_with(|| oracle(workload, config))
+                    .clone(),
+            )
+        } else {
+            None
+        };
+        for &policy in policies {
+            let mut governor =
+                make_governor(policy, workload, models, oracle_freqs.as_ref(), config)?;
+            results.push(run_scenario(workload, governor.as_mut(), config));
+        }
+    }
+    Ok(Evaluation { results, oracles })
+}
+
+impl Evaluation {
+    /// All raw results.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// The oracle frequencies per workload id (empty when no oracle
+    /// policy was evaluated).
+    pub fn oracles(&self) -> &HashMap<String, OracleFrequencies> {
+        &self.oracles
+    }
+
+    /// Results of one governor, in workload order.
+    pub fn results_for(&self, governor: &str) -> Vec<&RunResult> {
+        self.results
+            .iter()
+            .filter(|r| r.governor == governor)
+            .collect()
+    }
+
+    /// Per-workload PPW of `governor` normalized to `baseline`
+    /// (workload id, ratio), in workload order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline is missing a workload the governor ran.
+    pub fn normalized_ppw(&self, governor: &str, baseline: &str) -> Vec<(String, f64)> {
+        let base: HashMap<&str, f64> = self
+            .results
+            .iter()
+            .filter(|r| r.governor == baseline)
+            .map(|r| (r.workload_id.as_str(), r.ppw))
+            .collect();
+        self.results
+            .iter()
+            .filter(|r| r.governor == governor)
+            .map(|r| {
+                let b = base
+                    .get(r.workload_id.as_str())
+                    .unwrap_or_else(|| panic!("baseline {baseline} missing {}", r.workload_id));
+                (r.workload_id.clone(), r.ppw / b)
+            })
+            .collect()
+    }
+
+    /// Mean normalized PPW of a governor over a subset — the bars of
+    /// Fig. 7(a).
+    pub fn mean_normalized_ppw(&self, governor: &str, baseline: &str, subset: Subset) -> f64 {
+        let base: HashMap<&str, f64> = self
+            .results
+            .iter()
+            .filter(|r| r.governor == baseline)
+            .map(|r| (r.workload_id.as_str(), r.ppw))
+            .collect();
+        let ratios: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.governor == governor && subset.admits(r))
+            .filter_map(|r| base.get(r.workload_id.as_str()).map(|b| r.ppw / b))
+            .collect();
+        if ratios.is_empty() {
+            0.0
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        }
+    }
+
+    /// Fraction of a governor's workloads that met the deadline.
+    pub fn deadline_met_fraction(&self, governor: &str) -> f64 {
+        let rows = self.results_for(governor);
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().filter(|r| r.met_deadline).count() as f64 / rows.len() as f64
+    }
+
+    /// The load-time sample set of a governor — the CDF of Fig. 7(b).
+    pub fn load_time_samples(&self, governor: &str) -> Samples {
+        self.results_for(governor)
+            .iter()
+            .map(|r| r.load_time_s)
+            .collect()
+    }
+
+    /// Governors present in the results, in first-seen order.
+    pub fn governors(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.results {
+            if !seen.contains(&r.governor) {
+                seen.push(r.governor.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_coworkloads::Intensity;
+    use dora_sim_core::SimDuration;
+
+    fn small_set() -> WorkloadSet {
+        let all = WorkloadSet::paper54();
+        WorkloadSet::from_workloads(vec![
+            all.find_by_class("Amazon", Intensity::Low).expect("ok").clone(),
+            all.find_by_class("Alibaba", Intensity::High).expect("ok").clone(),
+        ])
+    }
+
+    fn quick() -> ScenarioConfig {
+        ScenarioConfig {
+            warmup: SimDuration::from_secs(3),
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_only_evaluation() {
+        let eval = evaluate(
+            &small_set(),
+            &[Policy::Interactive, Policy::Performance],
+            None,
+            &quick(),
+        )
+        .expect("no models needed");
+        assert_eq!(eval.results().len(), 4);
+        assert_eq!(eval.governors(), vec!["interactive", "performance"]);
+        // Normalizing the baseline to itself is identically 1.
+        for (_, ratio) in eval.normalized_ppw("interactive", "interactive") {
+            assert!((ratio - 1.0).abs() < 1e-12);
+        }
+        assert!(eval.oracles().is_empty());
+    }
+
+    #[test]
+    fn oracle_policies_compute_and_beat_performance() {
+        let eval = evaluate(
+            &small_set(),
+            &[Policy::Interactive, Policy::Performance, Policy::OfflineOpt],
+            None,
+            &quick(),
+        )
+        .expect("no models needed");
+        assert_eq!(eval.oracles().len(), 2);
+        // Offline-opt is the feasible PPW maximizer: it must beat (or tie)
+        // the performance governor on PPW for each workload.
+        let perf: HashMap<String, f64> = eval
+            .results_for("performance")
+            .iter()
+            .map(|r| (r.workload_id.clone(), r.ppw))
+            .collect();
+        for r in eval.results_for("offline_opt") {
+            let p = perf[&r.workload_id];
+            assert!(
+                r.ppw >= p * 0.98,
+                "{}: offline_opt {:.4} vs performance {:.4}",
+                r.workload_id,
+                r.ppw,
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn models_required_error() {
+        let err = evaluate(&small_set(), &[Policy::Dora], None, &quick()).unwrap_err();
+        assert_eq!(err, EvaluateError::ModelsRequired("DORA"));
+    }
+
+    #[test]
+    fn subset_filters_split_by_training_flag() {
+        // Amazon is a training page; Alibaba is held out.
+        let eval = evaluate(&small_set(), &[Policy::Interactive], None, &quick())
+            .expect("no models needed");
+        let inc = eval.mean_normalized_ppw("interactive", "interactive", Subset::Inclusive);
+        let neu = eval.mean_normalized_ppw("interactive", "interactive", Subset::Neutral);
+        assert!((inc - 1.0).abs() < 1e-12);
+        assert!((neu - 1.0).abs() < 1e-12);
+        let inc_rows: Vec<_> = eval
+            .results()
+            .iter()
+            .filter(|r| Subset::Inclusive.admits(r))
+            .collect();
+        assert_eq!(inc_rows.len(), 1);
+        assert_eq!(inc_rows[0].page, "Amazon");
+    }
+
+    #[test]
+    fn load_time_samples_build_cdf() {
+        let eval = evaluate(&small_set(), &[Policy::Performance], None, &quick())
+            .expect("no models needed");
+        let samples = eval.load_time_samples("performance");
+        assert_eq!(samples.len(), 2);
+        assert!(samples.cdf_at(60.0) == 1.0);
+    }
+}

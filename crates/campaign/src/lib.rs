@@ -1,0 +1,50 @@
+//! # dora-campaign
+//!
+//! Workload construction, measurement campaigns and governor evaluation —
+//! the reproduction of the paper's experimental methodology (Section IV).
+//!
+//! * [`workload`] — the 54 multiprogrammed workloads: 18 Alexa pages, each
+//!   co-scheduled with a kernel from the low, medium and high memory
+//!   intensity categories; split into 42 Webpage-Inclusive (training) and
+//!   12 Webpage-Neutral (held-out) combinations.
+//! * [`runner`] — the scenario runner: browser on cores 0–1, co-runner on
+//!   core 2, core 3 off, a governor in the loop at its decision cadence,
+//!   a thermal warm-up phase, and per-load metrics (load time, energy,
+//!   mean power, PPW, deadline verdict, DVFS switches).
+//! * [`training`] — the offline measurement sweeps: the >300-observation
+//!   load-time/power campaign over the training workloads and frequency
+//!   table, and the idle voltage×ambient leakage calibration.
+//! * [`evaluate`] — policy instantiation (interactive, performance, DL,
+//!   EE, Offline_opt, DORA, DORA_no_lkg) and the full 54-workload
+//!   comparison with summaries normalized to `interactive`.
+//! * [`export`] — CSV export of raw results for plotting tools.
+//! * [`session`] — multi-page browsing sessions with think time, for
+//!   battery-life-style comparisons beyond the paper's single loads.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dora_campaign::workload::WorkloadSet;
+//! use dora_campaign::runner::{run_scenario, ScenarioConfig};
+//! use dora_governors::{Governor, InteractiveGovernor};
+//! use dora_soc::DvfsTable;
+//!
+//! let set = WorkloadSet::paper54();
+//! let w = &set.workloads()[0];
+//! let mut governor = InteractiveGovernor::new(DvfsTable::msm8974());
+//! let result = run_scenario(w, &mut governor, &ScenarioConfig::default());
+//! println!("{} loaded in {:.2}s", w.id(), result.load_time_s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod export;
+pub mod runner;
+pub mod session;
+pub mod training;
+pub mod workload;
+
+pub use runner::{run_scenario, RunResult, ScenarioConfig};
+pub use workload::{Workload, WorkloadSet};

@@ -1,0 +1,493 @@
+//! The scenario runner: one page load under one governor.
+//!
+//! Reproduces the paper's measurement procedure (Section IV-B): "the
+//! Firefox browser is executed on two cores while a co-run application is
+//! executed on the third core of the application processor. The fourth
+//! core was switched off." The governor runs in the loop at its decision
+//! cadence, sampling counter deltas exactly as DORA samples `perf`.
+//!
+//! Each scenario begins with a thermal warm-up phase (sustained browsing
+//! plus the co-runner under the same governor) so die temperature — and
+//! therefore leakage — is in its steady browsing regime when the measured
+//! load starts, as on a phone that has been in use.
+
+use crate::workload::Workload;
+use dora_browser::engine::RenderEngine;
+use dora_governors::{Governor, GovernorObservation};
+use dora_sim_core::{SimDuration, SimTime};
+use dora_soc::board::{Board, BoardConfig};
+use dora_soc::task::{LoopTask, PhaseProfile};
+use dora_soc::Frequency;
+
+/// Core assignments used throughout the evaluation.
+pub const BROWSER_MAIN_CORE: usize = 0;
+/// The browser helper core.
+pub const BROWSER_AUX_CORE: usize = 1;
+/// The co-runner's core.
+pub const CORUN_CORE: usize = 2;
+
+/// Configuration of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Seed for workload jitter; one seed = one exact replay.
+    pub seed: u64,
+    /// Platform configuration (ambient temperature lives here).
+    pub board: BoardConfig,
+    /// The QoS deadline used for the `met_deadline` verdict, seconds.
+    pub deadline_s: f64,
+    /// Thermal warm-up duration before the measured load.
+    pub warmup: SimDuration,
+    /// Abort the load after this much simulated time.
+    pub timeout: SimDuration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            board: BoardConfig::nexus5(),
+            deadline_s: 3.0,
+            warmup: SimDuration::from_secs(20),
+            timeout: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// The measured outcome of one page load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// `page+kernel` identifier.
+    pub workload_id: String,
+    /// Page name.
+    pub page: String,
+    /// Co-run kernel name.
+    pub kernel: String,
+    /// Co-runner intensity class (`low`/`medium`/`high`).
+    pub intensity: String,
+    /// Whether the page belongs to the Webpage-Inclusive training set.
+    pub training: bool,
+    /// Governor name.
+    pub governor: String,
+    /// Page load time in seconds (the timeout value if `timed_out`).
+    pub load_time_s: f64,
+    /// Mean device power over the load, watts.
+    pub mean_power_w: f64,
+    /// Device energy over the load, joules.
+    pub energy_j: f64,
+    /// Energy efficiency `1/(T·P)` — the paper's PPW metric.
+    pub ppw: f64,
+    /// Whether the load met the configured deadline.
+    pub met_deadline: bool,
+    /// Whether the load was censored at the timeout.
+    pub timed_out: bool,
+    /// DVFS transitions during the measured load.
+    pub switches: u64,
+    /// Time-weighted mean core frequency over the load, GHz.
+    pub mean_freq_ghz: f64,
+    /// Die temperature at load completion, °C.
+    pub final_temp_c: f64,
+    /// Shared-L2 MPKI over the load window (Table I X6).
+    pub mean_mpki: f64,
+    /// Co-runner core utilization over the load window (Table I X9).
+    pub corun_utilization: f64,
+    /// Instructions the co-runner retired during the load window (used by
+    /// the Fig. 2(b) energy attribution).
+    pub corun_instructions: f64,
+}
+
+/// A browsing-shaped endless task pair used only for thermal warm-up.
+fn warmup_tasks() -> (LoopTask, LoopTask) {
+    let main = LoopTask::new(
+        "warmup-browse",
+        PhaseProfile {
+            base_cpi: 1.25,
+            l2_apki: 14.0,
+            working_set_bytes: 1.2 * 1024.0 * 1024.0,
+            reuse_fraction: 0.80,
+            duty_cycle: 0.85,
+        },
+    );
+    let aux = LoopTask::new(
+        "warmup-aux",
+        PhaseProfile {
+            base_cpi: 1.1,
+            l2_apki: 10.0,
+            working_set_bytes: 512.0 * 1024.0,
+            reuse_fraction: 0.70,
+            duty_cycle: 0.55,
+        },
+    );
+    (main, aux)
+}
+
+/// Builds a [`GovernorObservation`] from a counter delta.
+fn observation(
+    board: &Board,
+    delta: &dora_soc::counters::CounterSet,
+    interval: SimDuration,
+) -> GovernorObservation {
+    let per_core_utilization: Vec<f64> = delta
+        .cores()
+        .iter()
+        .map(dora_soc::counters::CoreCounters::utilization)
+        .collect();
+    GovernorObservation {
+        now: board.time(),
+        interval,
+        frequency: board.frequency(),
+        per_core_utilization,
+        shared_l2_mpki: delta.shared_l2_mpki(),
+        corun_utilization: delta.core(CORUN_CORE).utilization(),
+        temperature_c: board.temperature_c(),
+    }
+}
+
+/// Steps the board under governor control until `stop` fires or `until`
+/// elapses. Returns the time-weighted mean frequency (GHz·s integral and
+/// duration).
+fn govern_until(
+    board: &mut Board,
+    governor: &mut dyn Governor,
+    until: SimTime,
+    stop: impl Fn(&Board) -> bool,
+) -> (f64, f64) {
+    let quantum = board.config().quantum;
+    let interval = governor.decision_interval();
+    let mut next_decision = board.time() + interval;
+    let mut snap = board.counter_set().snapshot();
+    let mut freq_integral = 0.0;
+    let mut elapsed = 0.0;
+    while board.time() < until && !stop(board) {
+        let dt = quantum;
+        freq_integral += board.frequency().as_ghz() * dt.as_secs_f64();
+        elapsed += dt.as_secs_f64();
+        board.step(dt);
+        if board.time() >= next_decision {
+            let now_snap = board.counter_set().snapshot();
+            let delta = now_snap.delta(&snap);
+            snap = now_snap;
+            let obs = observation(board, &delta, interval);
+            let f = governor.decide(&obs);
+            board
+                .set_frequency(f)
+                .expect("governors must return table frequencies");
+            next_decision = board.time() + interval;
+        }
+    }
+    (freq_integral, elapsed)
+}
+
+/// Runs one workload under one governor and measures the page load.
+///
+/// # Panics
+///
+/// Panics if the governor returns a frequency outside the board's DVFS
+/// table (a policy bug, not an environmental condition).
+pub fn run_scenario(
+    workload: &Workload,
+    governor: &mut dyn Governor,
+    config: &ScenarioConfig,
+) -> RunResult {
+    run_page(&workload.page, Some(&workload.kernel), governor, config)
+}
+
+/// Runs a page load with an optional co-runner (pass `None` to measure
+/// the browser alone, as the paper's "running alone" baselines do).
+///
+/// # Panics
+///
+/// Panics if the governor returns a frequency outside the board's DVFS
+/// table.
+pub fn run_page(
+    page: &dora_browser::catalog::CatalogPage,
+    kernel: Option<&dora_coworkloads::Kernel>,
+    governor: &mut dyn Governor,
+    config: &ScenarioConfig,
+) -> RunResult {
+    let mut board = Board::new(config.board.clone(), config.seed);
+    if let Some(kernel) = kernel {
+        board
+            .assign(CORUN_CORE, Box::new(kernel.spawn(config.seed)))
+            .expect("corun core free on a fresh board");
+    }
+
+    // ---- Warm-up: sustained browsing-like load under the governor. ----
+    if !config.warmup.is_zero() {
+        let (wm, wa) = warmup_tasks();
+        board
+            .assign(BROWSER_MAIN_CORE, Box::new(wm))
+            .expect("main core free");
+        board
+            .assign(BROWSER_AUX_CORE, Box::new(wa))
+            .expect("aux core free");
+        let until = board.time() + config.warmup;
+        let _ = govern_until(&mut board, governor, until, |_| false);
+        board
+            .clear_core(BROWSER_MAIN_CORE)
+            .expect("core id valid");
+        board.clear_core(BROWSER_AUX_CORE).expect("core id valid");
+    }
+
+    // ---- The measured load. ----
+    let engine = RenderEngine::default();
+    let job = engine.spawn(page, config.seed);
+    board
+        .assign(BROWSER_MAIN_CORE, Box::new(job.main))
+        .expect("main core cleared above");
+    board
+        .assign(BROWSER_AUX_CORE, Box::new(job.aux))
+        .expect("aux core cleared above");
+
+    let t0 = board.time();
+    let e0 = board.energy_j();
+    let switches0 = board.switch_count();
+    let snap0 = board.counter_set().snapshot();
+
+    let deadline_wall = t0 + config.timeout;
+    let (freq_integral, governed_s) = govern_until(&mut board, governor, deadline_wall, |b| {
+        b.task_finished(BROWSER_MAIN_CORE)
+    });
+
+    let timed_out = !board.task_finished(BROWSER_MAIN_CORE);
+    let load_time_s = if timed_out {
+        config.timeout.as_secs_f64()
+    } else {
+        board
+            .finish_time(BROWSER_MAIN_CORE)
+            .expect("finished")
+            .duration_since(t0)
+            .as_secs_f64()
+    };
+
+    let wall_s = board.time().duration_since(t0).as_secs_f64().max(1e-9);
+    let energy_j = board.energy_j() - e0;
+    let mean_power_w = energy_j / wall_s;
+    let delta = board.counter_set().snapshot().delta(&snap0);
+
+    RunResult {
+        workload_id: match kernel {
+            Some(k) => format!("{}+{}", page.name, k.name()),
+            None => format!("{}+alone", page.name),
+        },
+        page: page.name.to_string(),
+        kernel: kernel.map_or("alone".to_string(), |k| k.name().to_string()),
+        intensity: kernel.map_or("none".to_string(), |k| k.intensity().to_string()),
+        training: page.training,
+        governor: governor.name().to_string(),
+        load_time_s,
+        mean_power_w,
+        energy_j,
+        ppw: 1.0 / (load_time_s * mean_power_w),
+        met_deadline: !timed_out && load_time_s <= config.deadline_s,
+        timed_out,
+        switches: board.switch_count() - switches0,
+        mean_freq_ghz: if governed_s > 0.0 {
+            freq_integral / governed_s
+        } else {
+            board.frequency().as_ghz()
+        },
+        final_temp_c: board.temperature_c(),
+        mean_mpki: delta.shared_l2_mpki(),
+        corun_utilization: delta.core(CORUN_CORE).utilization(),
+        corun_instructions: delta.core(CORUN_CORE).instructions,
+    }
+}
+
+/// One point of a frequency sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The pinned frequency in MHz (serialized-friendly).
+    pub freq_mhz: f64,
+    /// The measured outcome at that frequency.
+    pub result: RunResult,
+}
+
+/// Measures a workload at each pinned frequency (the paper's per-figure
+/// frequency sweeps and the `Offline_opt` enumeration).
+pub fn sweep_frequencies(
+    workload: &Workload,
+    config: &ScenarioConfig,
+    frequencies: &[Frequency],
+) -> Vec<SweepPoint> {
+    frequencies
+        .iter()
+        .map(|&f| {
+            let mut pinned = dora_governors::PinnedGovernor::new("pinned", f);
+            let result = run_scenario(workload, &mut pinned, config);
+            SweepPoint {
+                freq_mhz: f.as_mhz(),
+                result,
+            }
+        })
+        .collect()
+}
+
+/// The oracle frequencies of Section II-C / Equation 1 for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleFrequencies {
+    /// `fD` — the lowest frequency whose measured load time meets the
+    /// deadline; `None` when even `fmax` misses it.
+    pub fd: Option<Frequency>,
+    /// `fE` — the measured PPW-optimal frequency, deadline ignored.
+    pub fe: Frequency,
+    /// `fopt` per Equation 1 (`fE` if `fD ≤ fE`, else `fD`; `fmax` when
+    /// infeasible).
+    pub fopt: Frequency,
+    /// The full sweep behind the verdicts.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Exhaustively determines `fD`, `fE` and `fopt` for a workload by
+/// sweeping every frequency in the table.
+pub fn oracle(workload: &Workload, config: &ScenarioConfig) -> OracleFrequencies {
+    let freqs: Vec<Frequency> = config.board.dvfs.frequencies().collect();
+    let sweep = sweep_frequencies(workload, config, &freqs);
+    let fd = sweep
+        .iter()
+        .find(|p| p.result.met_deadline)
+        .map(|p| Frequency::from_mhz(p.freq_mhz));
+    let fe_point = sweep
+        .iter()
+        .max_by(|a, b| {
+            a.result
+                .ppw
+                .partial_cmp(&b.result.ppw)
+                .expect("ppw is finite")
+        })
+        .expect("sweep non-empty");
+    let fe = Frequency::from_mhz(fe_point.freq_mhz);
+    let fopt = match fd {
+        Some(fd) if fd <= fe => fe,
+        Some(fd) => fd,
+        None => config.board.dvfs.max_frequency(),
+    };
+    OracleFrequencies {
+        fd,
+        fe,
+        fopt,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSet;
+    use dora_coworkloads::Intensity;
+    use dora_governors::{PerformanceGovernor, PinnedGovernor};
+    use dora_soc::DvfsTable;
+
+    fn fast_config() -> ScenarioConfig {
+        ScenarioConfig {
+            warmup: SimDuration::from_secs(5),
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn performance_governor_loads_low_page_fast() {
+        let set = WorkloadSet::paper54();
+        let w = set.find_by_class("Amazon", Intensity::Low).expect("present");
+        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let r = run_scenario(w, &mut g, &fast_config());
+        assert!(!r.timed_out);
+        assert!(r.met_deadline, "Amazon+low must meet 3s: {:.2}s", r.load_time_s);
+        assert!(r.load_time_s < 2.0);
+        assert!((2.2..2.4).contains(&r.mean_freq_ghz), "{}", r.mean_freq_ghz);
+        assert!(r.mean_power_w > 1.5 && r.mean_power_w < 6.5);
+        assert!((r.ppw - 1.0 / (r.load_time_s * r.mean_power_w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interference_class_orders_load_time() {
+        let set = WorkloadSet::paper54();
+        let config = fast_config();
+        let mut times = Vec::new();
+        for intensity in Intensity::ALL {
+            let w = set.find_by_class("Reddit", intensity).expect("present");
+            let mut g = PinnedGovernor::new("pin", Frequency::from_mhz(1190.4));
+            let r = run_scenario(w, &mut g, &config);
+            times.push((intensity, r.load_time_s));
+        }
+        assert!(
+            times[0].1 < times[1].1 && times[1].1 < times[2].1,
+            "interference must slow the load: {times:?}"
+        );
+    }
+
+    #[test]
+    fn low_frequency_pinned_can_miss_deadline() {
+        let set = WorkloadSet::paper54();
+        let w = set
+            .find_by_class("IMDB", Intensity::High)
+            .expect("present");
+        let config = fast_config();
+        let mut slow = PinnedGovernor::new("pin", Frequency::from_mhz(729.6));
+        let r = run_scenario(w, &mut slow, &config);
+        assert!(!r.met_deadline, "IMDB+high at 0.73GHz: {:.2}s", r.load_time_s);
+        assert!(!r.timed_out);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let set = WorkloadSet::paper54();
+        let w = set.find_by_class("MSN", Intensity::Medium).expect("present");
+        let config = fast_config();
+        let mut a = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut b = PerformanceGovernor::new(DvfsTable::msm8974());
+        let ra = run_scenario(w, &mut a, &config);
+        let rb = run_scenario(w, &mut b, &config);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn oracle_structure_holds() {
+        let set = WorkloadSet::paper54();
+        let w = set.find_by_class("Amazon", Intensity::Low).expect("present");
+        let config = ScenarioConfig {
+            warmup: SimDuration::from_secs(5),
+            ..ScenarioConfig::default()
+        };
+        let o = oracle(w, &config);
+        assert_eq!(o.sweep.len(), 14);
+        // Amazon+low is easy: some fD exists well below fmax.
+        let fd = o.fd.expect("feasible");
+        assert!(fd < Frequency::from_mhz(2265.6));
+        // Equation 1.
+        let expected = if fd <= o.fe { o.fe } else { fd };
+        assert_eq!(o.fopt, expected);
+        // PPW at fopt must be the best among deadline-meeting points.
+        let best_feasible = o
+            .sweep
+            .iter()
+            .filter(|p| p.result.met_deadline)
+            .map(|p| p.result.ppw)
+            .fold(0.0, f64::max);
+        let at_fopt = o
+            .sweep
+            .iter()
+            .find(|p| (p.freq_mhz - o.fopt.as_mhz()).abs() < 1e-9)
+            .expect("fopt in sweep")
+            .result
+            .ppw;
+        assert!((at_fopt - best_feasible).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppw_curve_is_unimodal_enough_to_have_interior_peak_for_easy_page() {
+        // The Fig. 3 phenomenon: for a low-complexity page the PPW-optimal
+        // frequency is strictly inside the range.
+        let set = WorkloadSet::paper54();
+        let w = set.find_by_class("Amazon", Intensity::Low).expect("present");
+        let config = fast_config();
+        let o = oracle(w, &config);
+        assert!(
+            o.fe > Frequency::from_mhz(300.0),
+            "fE at the bottom: floor power should forbid this"
+        );
+        assert!(
+            o.fe < Frequency::from_mhz(2265.6),
+            "fE at the top: V²f should forbid this"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal flag parsing for the CLI's small grammar.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positional operands plus `--flag [value]` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, Option<String>>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 1] = ["quick"];
+
+impl Args {
+    /// Parses a raw argument list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects options missing a required value.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let token = &raw[i];
+            if let Some(name) = token.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    args.options.insert(name.to_string(), None);
+                } else {
+                    let value = raw
+                        .get(i + 1)
+                        .filter(|v| !v.starts_with("--"))
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    args.options.insert(name.to_string(), Some(value.clone()));
+                    i += 1;
+                }
+            } else {
+                args.positional.push(token.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// The `n`-th positional operand.
+    pub fn positional(&self, n: usize) -> Option<&str> {
+        self.positional.get(n).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// A string option's value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// When the option is absent.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// When present but unparseable.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+
+    /// An integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// When present but unparseable.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_mixed_arguments() {
+        let a = Args::parse(&strings(&[
+            "models.txt",
+            "--page",
+            "Reddit",
+            "--quick",
+            "--mpki",
+            "5.5",
+        ]))
+        .expect("valid");
+        assert_eq!(a.positional(0), Some("models.txt"));
+        assert_eq!(a.get("page"), Some("Reddit"));
+        assert!(a.flag("quick"));
+        assert_eq!(a.get_f64("mpki", 0.0).expect("number"), 5.5);
+        assert_eq!(a.get_f64("util", 0.7).expect("default"), 0.7);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Args::parse(&strings(&["--page"])).is_err());
+        assert!(Args::parse(&strings(&["--page", "--quick"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let a = Args::parse(&strings(&["--mpki", "lots"])).expect("parses");
+        assert!(a.get_f64("mpki", 0.0).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = Args::parse(&[]).expect("parses");
+        let err = a.require("out").expect_err("absent");
+        assert!(err.contains("--out"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use dora::{from_text, to_text, DoraConfig, DoraGovernor, DoraModels};
+use dora_browser::{Catalog, PageFeatures};
+use dora_campaign::evaluate::{evaluate, Policy};
+use dora_campaign::export::results_to_csv;
+use dora_campaign::runner::{run_page, ScenarioConfig};
+use dora_campaign::workload::{Workload, WorkloadSet};
+use dora_coworkloads::Kernel;
+use dora_experiments::pipeline::{Pipeline, Scale};
+use dora_governors::{Governor, InteractiveGovernor, PerformanceGovernor, PowersaveGovernor};
+
+/// `dora train`: run the offline campaign and write the model bundle.
+pub fn train(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let out = args.require("out")?;
+    let seed = args.get_u64("seed", 42)?;
+    let scale = if args.flag("quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    eprintln!("training ({scale:?}, seed {seed})...");
+    let pipeline = Pipeline::build(scale, seed);
+    let eval = dora::trainer::evaluate_models(&pipeline.models, &pipeline.observations);
+    eprintln!(
+        "trained on {} observations; train-set MAPE: time {:.2}%, power {:.2}%",
+        pipeline.observations.len(),
+        eval.load_time.mape * 100.0,
+        eval.power.mape * 100.0
+    );
+    std::fs::write(out, to_text(&pipeline.models))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_models(path: &str) -> Result<DoraModels, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    from_text(&text).map_err(|e| e.to_string())
+}
+
+/// `dora inspect`: summarize a persisted model bundle.
+pub fn inspect(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional(0).ok_or("usage: dora inspect <models.txt>")?;
+    let models = load_models(path)?;
+    println!("model bundle: {path}");
+    println!(
+        "  DVFS table: {} settings, {} - {}",
+        models.dvfs.len(),
+        models.dvfs.min_frequency(),
+        models.dvfs.max_frequency()
+    );
+    println!(
+        "  load-time surface: {} ({:?} encoding), {} tier fits",
+        models.load_time.global_fit().surface().kind(),
+        models.load_time.encoding(),
+        models.load_time.tier_count()
+    );
+    println!(
+        "  power surface: {} ({:?} encoding), {} tier fits",
+        models.power.global_fit().surface().kind(),
+        models.power.encoding(),
+        models.power.tier_count()
+    );
+    let lk = models.leakage;
+    println!(
+        "  leakage (Eq. 5): k1={:.4} alpha={:.1} beta={:.1} k2={:.4} gamma={:.2} delta={:.2}",
+        lk.k1, lk.alpha, lk.beta, lk.k2, lk.gamma, lk.delta
+    );
+    println!(
+        "  leakage at (1.0V, 50C): {:.3} W; at (1.1V, 65C): {:.3} W",
+        lk.eval(1.0, 50.0),
+        lk.eval(1.1, 65.0)
+    );
+    Ok(())
+}
+
+/// `dora profile`: extract Table I features from an HTML file.
+pub fn profile(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args.positional(0).ok_or("usage: dora profile <page.html>")?;
+    let html = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let page = PageFeatures::from_html(&html).map_err(|e| e.to_string())?;
+    println!("{path}:");
+    println!("  X1 DOM tree nodes:    {}", page.dom_nodes());
+    println!("  X2 class attributes:  {}", page.class_attrs());
+    println!("  X3 href attributes:   {}", page.href_attrs());
+    println!("  X4 <a> tags:          {}", page.a_tags());
+    println!("  X5 <div> tags:        {}", page.div_tags());
+    println!("  complexity score:     {:.0}", page.complexity_score());
+    Ok(())
+}
+
+fn resolve_page(args: &Args) -> Result<PageFeatures, String> {
+    match (args.get("page"), args.get("html")) {
+        (Some(name), None) => Catalog::alexa18()
+            .page(name)
+            .map(|p| p.features)
+            .ok_or_else(|| format!("unknown page {name:?}; see `dora pages`")),
+        (None, Some(path)) => {
+            let html =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            PageFeatures::from_html(&html).map_err(|e| e.to_string())
+        }
+        _ => Err("exactly one of --page or --html is required".into()),
+    }
+}
+
+/// `dora predict`: print the Algorithm 1 curve and decision.
+pub fn predict(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: dora predict <models.txt> --page NAME")?;
+    let models = load_models(path)?;
+    let page = resolve_page(&args)?;
+    let mpki = args.get_f64("mpki", 3.0)?;
+    let util = args.get_f64("util", 0.7)?;
+    let temp = args.get_f64("temp", 45.0)?;
+    let deadline = args.get_f64("deadline", 3.0)?;
+    if deadline <= 0.0 {
+        return Err(format!("--deadline must be positive, got {deadline}"));
+    }
+    let decision =
+        dora::select_frequency(&models, page, deadline, mpki, util, temp, true);
+    println!(
+        "conditions: MPKI {mpki:.1}, co-run util {util:.2}, die {temp:.0}C, deadline {deadline:.1}s"
+    );
+    println!("{:<11} {:>9} {:>9} {:>9} {:>9}", "freq", "time(s)", "power(W)", "PPW", "feasible");
+    for p in &decision.curve {
+        println!(
+            "{:<11} {:>9.3} {:>9.3} {:>9.4} {:>9}",
+            p.frequency.to_string(),
+            p.load_time_s,
+            p.power_w,
+            p.ppw,
+            p.feasible
+        );
+    }
+    println!(
+        "fopt = {}  (feasible: {}; fD = {}, fE = {})",
+        decision.chosen,
+        decision.feasible,
+        decision
+            .f_deadline()
+            .map_or("none".to_string(), |f| f.to_string()),
+        decision.f_energy()
+    );
+    Ok(())
+}
+
+fn resolve_kernel(args: &Args) -> Result<Option<Kernel>, String> {
+    match args.get("kernel") {
+        None => Ok(None),
+        Some(name) if name.eq_ignore_ascii_case("none") => Ok(None),
+        Some(name) => Kernel::by_name(name)
+            .map(Some)
+            .ok_or_else(|| format!("unknown kernel {name:?}; see `dora kernels`")),
+    }
+}
+
+/// `dora govern`: simulate one governed page load.
+pub fn govern(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: dora govern <models.txt> --page NAME")?;
+    let page_name = args.require("page")?;
+    let catalog = Catalog::alexa18();
+    let page = catalog
+        .page(page_name)
+        .ok_or_else(|| format!("unknown page {page_name:?}; see `dora pages`"))?;
+    let kernel = resolve_kernel(&args)?;
+    let deadline = args.get_f64("deadline", 3.0)?;
+    let config = ScenarioConfig {
+        deadline_s: deadline,
+        ..ScenarioConfig::default()
+    };
+    let governor_name = args.get("governor").unwrap_or("dora");
+    let mut governor: Box<dyn Governor> = match governor_name {
+        "dora" | "DORA" => {
+            let models = load_models(path)?;
+            Box::new(DoraGovernor::new(
+                models,
+                page.features,
+                DoraConfig {
+                    qos_target_s: deadline,
+                    ..DoraConfig::default()
+                },
+            ))
+        }
+        "interactive" => Box::new(InteractiveGovernor::new(config.board.dvfs.clone())),
+        "performance" => Box::new(PerformanceGovernor::new(config.board.dvfs.clone())),
+        "powersave" => Box::new(PowersaveGovernor::new(config.board.dvfs.clone())),
+        other => return Err(format!("unknown governor {other:?}")),
+    };
+    let r = run_page(page, kernel.as_ref(), governor.as_mut(), &config);
+    println!("{}  under {}", r.workload_id, r.governor);
+    println!("  load time:   {:.3} s ({}; deadline {deadline:.1}s)",
+        r.load_time_s,
+        if r.met_deadline { "met" } else { "missed" });
+    println!("  mean power:  {:.3} W", r.mean_power_w);
+    println!("  energy:      {:.2} J", r.energy_j);
+    println!("  PPW:         {:.4}", r.ppw);
+    println!("  mean clock:  {:.2} GHz over {} switches", r.mean_freq_ghz, r.switches);
+    println!("  die at end:  {:.1} C", r.final_temp_c);
+    println!("  L2 MPKI:     {:.2}   co-run util: {:.2}", r.mean_mpki, r.corun_utilization);
+    Ok(())
+}
+
+/// `dora csv`: run a workload slice under one stock governor, emit CSV.
+pub fn csv(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let page = args.require("page")?;
+    let all = WorkloadSet::paper54();
+    let slice: Vec<Workload> = all
+        .workloads()
+        .iter()
+        .filter(|w| w.page.name.eq_ignore_ascii_case(page))
+        .filter(|w| match args.get("kernel") {
+            Some(k) => w.kernel.name().eq_ignore_ascii_case(k),
+            None => true,
+        })
+        .cloned()
+        .collect();
+    if slice.is_empty() {
+        return Err(format!("no workloads match page {page:?}"));
+    }
+    let policy = match args.get("governor").unwrap_or("interactive") {
+        "interactive" => Policy::Interactive,
+        "performance" => Policy::Performance,
+        "powersave" => Policy::Powersave,
+        "conservative" => Policy::Conservative,
+        other => return Err(format!("csv supports stock governors only, got {other:?}")),
+    };
+    let evaluation = evaluate(
+        &WorkloadSet::from_workloads(slice),
+        &[policy],
+        None,
+        &ScenarioConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{}", results_to_csv(evaluation.results()));
+    Ok(())
+}
+
+/// `dora session`: run a multi-page browsing session under a governor.
+pub fn session(raw: &[String]) -> Result<(), String> {
+    use dora_campaign::session::{run_session, SessionConfig};
+    let args = Args::parse(raw)?;
+    let catalog = Catalog::alexa18();
+    let itinerary = args
+        .get("pages")
+        .unwrap_or("Reddit,CNN,Amazon,MSN");
+    let pages: Result<Vec<_>, String> = itinerary
+        .split(',')
+        .map(|name| {
+            catalog
+                .page(name.trim())
+                .ok_or_else(|| format!("unknown page {name:?}; see `dora pages`"))
+        })
+        .collect();
+    let pages = pages?;
+    let kernel = resolve_kernel(&args)?;
+    let config = SessionConfig {
+        deadline_s: args.get_f64("deadline", 3.0)?,
+        ..SessionConfig::default()
+    };
+    let governor_name = args.get("governor").unwrap_or("interactive");
+    let mut governor: Box<dyn Governor> = match governor_name {
+        "dora" | "DORA" => {
+            let path = args
+                .positional(0)
+                .ok_or("usage: dora session <models.txt> --governor dora ...")?;
+            let models = load_models(path)?;
+            Box::new(DoraGovernor::new(
+                models,
+                pages[0].features,
+                DoraConfig {
+                    qos_target_s: config.deadline_s,
+                    ..DoraConfig::default()
+                },
+            ))
+        }
+        "interactive" => Box::new(InteractiveGovernor::new(config.board.dvfs.clone())),
+        "performance" => Box::new(PerformanceGovernor::new(config.board.dvfs.clone())),
+        "powersave" => Box::new(PowersaveGovernor::new(config.board.dvfs.clone())),
+        other => return Err(format!("unknown governor {other:?}")),
+    };
+    let r = run_session(&pages, kernel.as_ref(), governor.as_mut(), &config);
+    println!("{}-page session under {}", r.loads.len(), r.governor);
+    for l in &r.loads {
+        println!(
+            "  {:<12} {:.2}s  {}",
+            l.page,
+            l.load_time_s,
+            if l.met_deadline { "met" } else { "missed" }
+        );
+    }
+    println!("  energy: {:.1} J over {:.1} s ({:.2} W mean)", r.energy_j, r.duration_s, r.mean_power_w());
+    println!("  battery estimate (8.74 Wh pack): {:.1} h", r.battery_hours(8.74));
+    Ok(())
+}
+
+/// `dora pages`: list the catalog.
+pub fn pages() -> Result<(), String> {
+    let catalog = Catalog::alexa18();
+    println!("{:<12} {:<6} {:<9} {:>7} {:>7} {:>6} {:>6} {:>6}",
+        "page", "class", "split", "nodes", "class", "href", "a", "div");
+    for p in catalog.pages() {
+        println!(
+            "{:<12} {:<6} {:<9} {:>7} {:>7} {:>6} {:>6} {:>6}",
+            p.name,
+            p.class.to_string(),
+            if p.training { "train" } else { "held-out" },
+            p.features.dom_nodes(),
+            p.features.class_attrs(),
+            p.features.href_attrs(),
+            p.features.a_tags(),
+            p.features.div_tags(),
+        );
+    }
+    Ok(())
+}
+
+/// `dora kernels`: list the co-run suite.
+pub fn kernels() -> Result<(), String> {
+    println!("{:<18} {:<8} {:>10} {:>10}", "kernel", "class", "mean APKI", "duty");
+    for k in Kernel::all() {
+        println!(
+            "{:<18} {:<8} {:>10.1} {:>10.2}",
+            k.name(),
+            k.intensity().to_string(),
+            k.mean_apki(),
+            k.mean_duty_cycle(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! End-to-end tests of the `dora` binary via `std::process::Command`.
+
+use std::process::{Command, Output};
+
+fn dora(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dora"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = dora(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = dora(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("dora train"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dora(&["transmogrify"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn pages_and_kernels_list_the_catalog() {
+    let pages = dora(&["pages"]);
+    assert!(pages.status.success());
+    let text = stdout(&pages);
+    assert!(text.contains("Reddit"));
+    assert!(text.contains("Aliexpress"));
+    assert_eq!(text.lines().count(), 19); // header + 18 pages
+
+    let kernels = dora(&["kernels"]);
+    assert!(kernels.status.success());
+    let text = stdout(&kernels);
+    assert!(text.contains("backprop"));
+    assert_eq!(text.lines().count(), 10); // header + 9 kernels
+}
+
+#[test]
+fn profile_extracts_features_from_html() {
+    let dir = std::env::temp_dir().join("dora_cli_test_profile");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("page.html");
+    std::fs::write(
+        &path,
+        r#"<html><body><div class="a"><a href="/x">x</a></div></body></html>"#,
+    )
+    .expect("writable");
+    let out = dora(&["profile", path.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("X1 DOM tree nodes:    4"), "{text}");
+    assert!(text.contains("X4 <a> tags:          1"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_rejects_tagless_input() {
+    let dir = std::env::temp_dir().join("dora_cli_test_tagless");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("plain.html");
+    std::fs::write(&path, "no markup here at all").expect("writable");
+    let out = dora(&["profile", path.to_str().expect("utf8 path")]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predict_requires_a_page_source() {
+    let out = dora(&["predict", "/nonexistent/models.txt"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn inspect_rejects_garbage_bundles() {
+    let dir = std::env::temp_dir().join("dora_cli_test_garbage");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad.txt");
+    std::fs::write(&path, "not a model bundle").expect("writable");
+    let out = dora(&["inspect", path.to_str().expect("utf8 path")]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("parse error"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+#[ignore = "simulates a multi-page session (~minute in debug); run in release"]
+fn session_without_models_uses_stock_governor() {
+    let out = dora(&[
+        "session",
+        "--pages",
+        "Amazon,Reddit",
+        "--governor",
+        "interactive",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2-page session under interactive"), "{text}");
+    assert!(text.contains("battery estimate"), "{text}");
+}
+
+#[test]
+fn session_rejects_unknown_page() {
+    let out = dora(&["session", "--pages", "NotARealSite"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown page"));
+}
+
+#[test]
+#[ignore = "trains a quick pipeline (~minutes in debug); run in release"]
+fn full_flow_train_inspect_predict_govern() {
+    let dir = std::env::temp_dir().join("dora_cli_test_flow");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let models = dir.join("models.txt");
+    let models_str = models.to_str().expect("utf8 path");
+
+    let out = dora(&["train", "--quick", "--out", models_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(models.exists());
+
+    let out = dora(&["inspect", models_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("DVFS table: 14 settings"));
+
+    let out = dora(&["predict", models_str, "--page", "Reddit", "--mpki", "8"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("fopt = "));
+
+    let out = dora(&[
+        "govern", models_str, "--page", "MSN", "--kernel", "backprop",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("MSN+backprop"), "{text}");
+    assert!(text.contains("load time:"), "{text}");
+
+    let out = dora(&["csv", "--page", "Amazon", "--governor", "performance"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("workload_id,"));
+    assert_eq!(text.lines().count(), 4); // header + 3 intensities
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,280 @@
+//! Algorithm 1 — the energy-efficient, QoS-aware frequency selection.
+//!
+//! ```text
+//! function DORA(QoS_Target, Page_Complexity, Core_Utilization,
+//!               Core_Temperature, L2_MPKI)
+//!     max_PPW <- 0; optimal_freq <- 0
+//!     for F in AllFrequencies:
+//!         pred_time <- PredictLoadTime(F)
+//!         if pred_time <= QoS_target:
+//!             pred_power <- PredictTotalPower(F)
+//!             pred_PPW <- 1 / (pred_time * pred_power)
+//!             if pred_PPW > max_PPW:
+//!                 max_PPW <- pred_PPW; optimal_freq <- F
+//!     SetCoreFrequency(optimal_freq)
+//! ```
+//!
+//! When no frequency meets the target, "DORA prioritizes for QoS and
+//! chooses the highest frequency setting to ensure that the web pages are
+//! loaded as fast as possible" (Section V-D).
+
+use crate::models::{DoraModels, PredictorInputs};
+use dora_browser::PageFeatures;
+use dora_soc::Frequency;
+
+/// One row of the predicted curve: what the models expect at a candidate
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedPoint {
+    /// The candidate frequency.
+    pub frequency: Frequency,
+    /// Predicted page load time in seconds.
+    pub load_time_s: f64,
+    /// Predicted total device power in watts.
+    pub power_w: f64,
+    /// Predicted energy efficiency `1/(T·P)`.
+    pub ppw: f64,
+    /// Whether the predicted load time meets the QoS target.
+    pub feasible: bool,
+}
+
+/// The outcome of one Algorithm 1 evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyDecision {
+    /// The chosen frequency (`fopt`, or `fmax` when infeasible).
+    pub chosen: Frequency,
+    /// Whether any frequency met the QoS target.
+    pub feasible: bool,
+    /// The predicted PPW at the chosen frequency.
+    pub predicted_ppw: f64,
+    /// The full predicted curve, ascending in frequency — the paper's
+    /// Fig. 4 sketch shows DORA sweeping exactly this.
+    pub curve: Vec<PredictedPoint>,
+}
+
+impl FrequencyDecision {
+    /// The lowest frequency whose prediction meets the deadline (`fD`),
+    /// if any.
+    pub fn f_deadline(&self) -> Option<Frequency> {
+        self.curve.iter().find(|p| p.feasible).map(|p| p.frequency)
+    }
+
+    /// The unconstrained PPW-optimal frequency (`fE`), ignoring the
+    /// deadline entirely.
+    pub fn f_energy(&self) -> Frequency {
+        self.curve
+            .iter()
+            .max_by(|a, b| a.ppw.partial_cmp(&b.ppw).expect("ppw is finite"))
+            .map(|p| p.frequency)
+            .expect("curve is never empty")
+    }
+}
+
+/// Runs Algorithm 1 over every frequency in the model's DVFS table.
+///
+/// * `qos_target_s` — the load-time deadline in seconds.
+/// * `l2_mpki`, `corun_utilization`, `temp_c` — the sampled dynamic
+///   conditions.
+/// * `include_leakage` — `false` reproduces `DORA_no_lkg`.
+///
+/// # Panics
+///
+/// Panics if `qos_target_s` is not positive and finite.
+pub fn select_frequency(
+    models: &DoraModels,
+    page: PageFeatures,
+    qos_target_s: f64,
+    l2_mpki: f64,
+    corun_utilization: f64,
+    temp_c: f64,
+    include_leakage: bool,
+) -> FrequencyDecision {
+    assert!(
+        qos_target_s.is_finite() && qos_target_s > 0.0,
+        "bad QoS target {qos_target_s}"
+    );
+    let mut curve = Vec::with_capacity(models.dvfs.len());
+    let mut best: Option<(Frequency, f64)> = None;
+    for f in models.dvfs.frequencies() {
+        let inputs =
+            PredictorInputs::for_frequency(page, f, &models.dvfs, l2_mpki, corun_utilization);
+        let load_time_s = models.predict_load_time(&inputs);
+        let power_w = models.predict_total_power(&inputs, temp_c, include_leakage);
+        let ppw = 1.0 / (load_time_s * power_w);
+        let feasible = load_time_s <= qos_target_s;
+        if feasible && best.as_ref().is_none_or(|&(_, b)| ppw > b) {
+            best = Some((f, ppw));
+        }
+        curve.push(PredictedPoint {
+            frequency: f,
+            load_time_s,
+            power_w,
+            ppw,
+            feasible,
+        });
+    }
+    match best {
+        Some((chosen, predicted_ppw)) => FrequencyDecision {
+            chosen,
+            feasible: true,
+            predicted_ppw,
+            curve,
+        },
+        None => {
+            // Infeasible: prioritize QoS — run flat out.
+            let fmax = models.dvfs.max_frequency();
+            let ppw = curve.last().expect("table non-empty").ppw;
+            FrequencyDecision {
+                chosen: fmax,
+                feasible: false,
+                predicted_ppw: ppw,
+                curve,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{FrequencyEncoding, PiecewiseSurface};
+    use dora_modeling::leakage::Eq5Params;
+    use dora_modeling::surface::{FittedSurface, ResponseSurface, SurfaceKind};
+    use dora_soc::DvfsTable;
+
+    fn page() -> PageFeatures {
+        PageFeatures::new(2100, 1300, 620, 680, 590).expect("valid")
+    }
+
+    /// Fits a 9-input surface to a synthetic function of (mpki, freq).
+    fn surface_of(f: impl Fn(f64, f64) -> f64) -> FittedSurface {
+        let dvfs = DvfsTable::msm8974();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for freq in dvfs.frequencies() {
+            for mpki in [0.0f64, 2.0, 5.0, 10.0, 20.0] {
+                for util in [0.0f64, 0.5, 1.0] {
+                    let inputs = PredictorInputs::for_frequency(
+                        page(),
+                        freq,
+                        &dvfs,
+                        mpki,
+                        util,
+                    );
+                    xs.push(inputs.to_vector());
+                    ys.push(f(mpki, freq.as_ghz()));
+                }
+            }
+        }
+        ResponseSurface::new(SurfaceKind::Quadratic, 9)
+            .fit(&xs, &ys)
+            .expect("well posed")
+    }
+
+    /// A model bundle with physically-shaped synthetic truths:
+    /// T = work/(f) + mpki penalty; P = floor + k·f².
+    fn physical_models() -> DoraModels {
+        let time = surface_of(|mpki, ghz| 2.2 / ghz + 0.05 * mpki);
+        let power = surface_of(|_mpki, ghz| 1.4 + 0.35 * ghz * ghz);
+        DoraModels {
+            load_time: PiecewiseSurface::new([None, None, None], time, FrequencyEncoding::Natural),
+            power: PiecewiseSurface::new([None, None, None], power, FrequencyEncoding::Natural),
+            leakage: Eq5Params {
+                k1: 0.22,
+                alpha: 800.0,
+                beta: -4300.0,
+                k2: 0.05,
+                gamma: 2.0,
+                delta: -2.0,
+            },
+            dvfs: DvfsTable::msm8974(),
+        }
+    }
+
+    #[test]
+    fn picks_a_feasible_ppw_maximizer() {
+        let m = physical_models();
+        let d = select_frequency(&m, page(), 3.0, 2.0, 0.5, 40.0, true);
+        assert!(d.feasible);
+        // The chosen point's predicted PPW is the max over feasible points.
+        let best_feasible = d
+            .curve
+            .iter()
+            .filter(|p| p.feasible)
+            .map(|p| p.ppw)
+            .fold(0.0, f64::max);
+        assert!((d.predicted_ppw - best_feasible).abs() < 1e-12);
+        let chosen_point = d
+            .curve
+            .iter()
+            .find(|p| p.frequency == d.chosen)
+            .expect("chosen is in curve");
+        assert!(chosen_point.feasible);
+    }
+
+    #[test]
+    fn tight_deadline_forces_high_frequency() {
+        let m = physical_models();
+        let relaxed = select_frequency(&m, page(), 10.0, 2.0, 0.5, 40.0, true);
+        let tight = select_frequency(&m, page(), 1.3, 2.0, 0.5, 40.0, true);
+        assert!(tight.chosen >= relaxed.chosen);
+        assert!(tight.feasible);
+    }
+
+    #[test]
+    fn impossible_deadline_falls_back_to_fmax() {
+        let m = physical_models();
+        // 0.1 s is unreachable: T >= 2.2/2.2656 ~ 0.97 s.
+        let d = select_frequency(&m, page(), 0.1, 2.0, 0.5, 40.0, true);
+        assert!(!d.feasible);
+        assert_eq!(d.chosen, m.dvfs.max_frequency());
+    }
+
+    #[test]
+    fn fopt_is_max_of_fd_fe_rule() {
+        // Equation 1: fopt = fE if fD <= fE else fD.
+        let m = physical_models();
+        let d = select_frequency(&m, page(), 3.0, 2.0, 0.5, 40.0, true);
+        let fd = d.f_deadline().expect("feasible");
+        let fe = d.f_energy();
+        let expected = if fd <= fe { fe } else { fd };
+        assert_eq!(d.chosen, expected, "fD={fd} fE={fe}");
+    }
+
+    #[test]
+    fn interference_shifts_fd_upward() {
+        let m = physical_models();
+        let calm = select_frequency(&m, page(), 3.0, 0.5, 0.2, 40.0, true);
+        let noisy = select_frequency(&m, page(), 3.0, 18.0, 1.0, 40.0, true);
+        let fd_calm = calm.f_deadline().expect("feasible");
+        let fd_noisy = noisy.f_deadline().expect("feasible under pressure");
+        assert!(
+            fd_noisy >= fd_calm,
+            "more interference cannot lower fD: {fd_calm} -> {fd_noisy}"
+        );
+        assert!(fd_noisy > fd_calm, "18 MPKI should move fD at a 3s deadline");
+    }
+
+    #[test]
+    fn curve_is_complete_and_ascending() {
+        let m = physical_models();
+        let d = select_frequency(&m, page(), 3.0, 2.0, 0.5, 40.0, true);
+        assert_eq!(d.curve.len(), m.dvfs.len());
+        for pair in d.curve.windows(2) {
+            assert!(pair[0].frequency < pair[1].frequency);
+        }
+        // The fitted surface may wiggle locally (a polynomial approximating
+        // 1/f), but end-to-end the trend must hold and times stay positive.
+        let first = d.curve.first().expect("non-empty");
+        let last = d.curve.last().expect("non-empty");
+        assert!(first.load_time_s > last.load_time_s);
+        assert!(d.curve.iter().all(|p| p.load_time_s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad QoS target")]
+    fn rejects_nonpositive_target() {
+        let m = physical_models();
+        let _ = select_frequency(&m, page(), 0.0, 1.0, 0.5, 40.0, true);
+    }
+}

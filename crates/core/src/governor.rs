@@ -1,0 +1,458 @@
+//! DORA as a runtime frequency governor.
+//!
+//! The paper implements DORA "as a light-weight user space frequency
+//! governor within the Android OS" with a 100 ms decision interval
+//! (Section IV-C: 250 ms is too slow to track page phases, 50 ms and
+//! 100 ms perform similarly, so the less intrusive 100 ms wins). Each
+//! interval it re-runs Algorithm 1 with freshly sampled MPKI, co-runner
+//! utilization and temperature, and reprograms the clock only when `fopt`
+//! moved.
+
+use crate::algorithm::{select_frequency, FrequencyDecision};
+use crate::models::DoraModels;
+use dora_browser::PageFeatures;
+use dora_governors::{Governor, GovernorObservation};
+use dora_sim_core::SimDuration;
+use dora_soc::Frequency;
+
+/// Which frequency the governor extracts from each Algorithm 1 sweep.
+///
+/// The paper compares DORA against "two hypothetical governors —
+/// `Deadline (DL)` and `Energy Efficient (EE)`" (Section V-C) that share
+/// DORA's prediction machinery but optimize only one half of the
+/// objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DoraPolicy {
+    /// Full Algorithm 1: the PPW-optimal deadline-meeting frequency.
+    #[default]
+    Dora,
+    /// `DL` — the lowest predicted-feasible frequency (`fD`), energy
+    /// efficiency disregarded; `fmax` when infeasible.
+    DeadlineOnly,
+    /// `EE` — the predicted PPW-optimal frequency (`fE`), deadline
+    /// disregarded.
+    EnergyOnly,
+}
+
+/// Configuration of the DORA governor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoraConfig {
+    /// The web-page load-time QoS target in seconds (the paper's default
+    /// user-satisfaction deadline is 3 s, from a user survey).
+    pub qos_target_s: f64,
+    /// Decision cadence (paper default: 100 ms).
+    pub decision_interval: SimDuration,
+    /// Whether the power prediction includes the Eq. 5 leakage term;
+    /// `false` yields the paper's `DORA_no_lkg` ablation (Fig. 10a).
+    pub include_leakage: bool,
+    /// Which frequency to extract from the predicted curve.
+    pub policy: DoraPolicy,
+    /// Safety margin on the QoS check: a frequency counts as feasible
+    /// only when the predicted load time is below
+    /// `(1 − qos_margin) · qos_target_s`. Small model errors on
+    /// borderline workloads otherwise turn into real deadline misses.
+    pub qos_margin: f64,
+    /// Switch hysteresis: stay at the current frequency when it is still
+    /// feasible and its predicted PPW is within this relative margin of
+    /// the new optimum. Section V-H: DORA "decides to change the frequency
+    /// setting only when the system performance conditions have changed
+    /// significantly enough to alter fopt" — each switch costs a real
+    /// stall, so marginal improvements are not worth chasing.
+    pub switch_margin: f64,
+}
+
+impl Default for DoraConfig {
+    fn default() -> Self {
+        DoraConfig {
+            qos_target_s: 3.0,
+            decision_interval: SimDuration::from_millis(100),
+            include_leakage: true,
+            policy: DoraPolicy::Dora,
+            qos_margin: 0.03,
+            switch_margin: 0.03,
+        }
+    }
+}
+
+impl DoraConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.qos_target_s.is_finite() && self.qos_target_s > 0.0) {
+            return Err(format!("bad QoS target {}", self.qos_target_s));
+        }
+        if self.decision_interval.is_zero() {
+            return Err("decision interval must be positive".into());
+        }
+        if !(self.qos_margin.is_finite() && (0.0..=0.5).contains(&self.qos_margin)) {
+            return Err(format!("qos_margin {} outside [0, 0.5]", self.qos_margin));
+        }
+        if !(self.switch_margin.is_finite() && (0.0..=0.5).contains(&self.switch_margin)) {
+            return Err(format!(
+                "switch_margin {} outside [0, 0.5]",
+                self.switch_margin
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The DORA governor: statically-trained models + Algorithm 1, run every
+/// decision interval.
+///
+/// # Example
+///
+/// Construction requires a trained [`DoraModels`] bundle; see the
+/// `trainer` module and `examples/quickstart.rs` for the full pipeline.
+#[derive(Debug, Clone)]
+pub struct DoraGovernor {
+    models: DoraModels,
+    config: DoraConfig,
+    page: PageFeatures,
+    name: String,
+    last_decision: Option<FrequencyDecision>,
+    decision_count: u64,
+}
+
+impl DoraGovernor {
+    /// Creates a DORA governor for loading `page` under the given trained
+    /// models and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(models: DoraModels, page: PageFeatures, config: DoraConfig) -> Self {
+        config.validate().expect("invalid DORA configuration");
+        let name = match (config.policy, config.include_leakage) {
+            (DoraPolicy::Dora, true) => "DORA".to_string(),
+            (DoraPolicy::Dora, false) => "DORA_no_lkg".to_string(),
+            (DoraPolicy::DeadlineOnly, _) => "DL".to_string(),
+            (DoraPolicy::EnergyOnly, _) => "EE".to_string(),
+        };
+        DoraGovernor {
+            models,
+            config,
+            page,
+            name,
+            last_decision: None,
+            decision_count: 0,
+        }
+    }
+
+    /// The governor's configuration.
+    pub fn config(&self) -> DoraConfig {
+        self.config
+    }
+
+    /// The page the governor is optimizing for. The paper reads the page
+    /// complexity "before a page is rendered"; re-targeting a new page is
+    /// a [`DoraGovernor::retarget`] call, not a retrain.
+    pub fn page(&self) -> PageFeatures {
+        self.page
+    }
+
+    /// Points the governor at a new page (models are page-independent).
+    pub fn retarget(&mut self, page: PageFeatures) {
+        self.page = page;
+        self.last_decision = None;
+    }
+
+    /// The most recent Algorithm 1 outcome, if any — exposes the full
+    /// predicted curve for diagnosis and for the Fig. 6/11 experiments.
+    pub fn last_decision(&self) -> Option<&FrequencyDecision> {
+        self.last_decision.as_ref()
+    }
+
+    /// How many Algorithm 1 evaluations have run (for overhead accounting,
+    /// Section V-H).
+    pub fn decision_count(&self) -> u64 {
+        self.decision_count
+    }
+
+    /// The trained models (e.g. for offline inspection).
+    pub fn models(&self) -> &DoraModels {
+        &self.models
+    }
+}
+
+impl Governor for DoraGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decision_interval(&self) -> SimDuration {
+        self.config.decision_interval
+    }
+
+    fn decide(&mut self, observation: &GovernorObservation) -> Frequency {
+        self.decision_count += 1;
+        let decision = select_frequency(
+            &self.models,
+            self.page,
+            self.config.qos_target_s * (1.0 - self.config.qos_margin),
+            observation.shared_l2_mpki.max(0.0),
+            observation.corun_utilization.clamp(0.0, 1.0),
+            observation.temperature_c,
+            self.config.include_leakage,
+        );
+        let mut chosen = match self.config.policy {
+            DoraPolicy::Dora => decision.chosen,
+            DoraPolicy::DeadlineOnly => decision
+                .f_deadline()
+                .unwrap_or_else(|| self.models.dvfs.max_frequency()),
+            DoraPolicy::EnergyOnly => decision.f_energy(),
+        };
+        // Hysteresis: keep the programmed frequency when it is predicted
+        // to stay feasible (irrelevant for EE) and its PPW is within the
+        // configured margin of the new optimum — a switch costs a stall.
+        // DL optimizes feasibility alone, so hysteresis does not apply.
+        if chosen != observation.frequency && self.config.policy != DoraPolicy::DeadlineOnly {
+            if let Some(current) = decision
+                .curve
+                .iter()
+                .find(|p| p.frequency == observation.frequency)
+            {
+                let target = decision
+                    .curve
+                    .iter()
+                    .find(|p| p.frequency == chosen)
+                    .expect("chosen comes from the curve");
+                let feasible_enough =
+                    current.feasible || self.config.policy == DoraPolicy::EnergyOnly;
+                let close_enough = if target.ppw > 0.0 {
+                    (target.ppw - current.ppw) / target.ppw < self.config.switch_margin
+                } else {
+                    false
+                };
+                if feasible_enough && close_enough {
+                    chosen = observation.frequency;
+                }
+            }
+        }
+        self.last_decision = Some(decision);
+        chosen
+    }
+
+    fn reset(&mut self) {
+        self.last_decision = None;
+        self.decision_count = 0;
+    }
+
+    fn page_changed(&mut self, page: &PageFeatures) {
+        self.retarget(*page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{FrequencyEncoding, PiecewiseSurface, PredictorInputs};
+    use dora_modeling::leakage::Eq5Params;
+    use dora_modeling::surface::{ResponseSurface, SurfaceKind};
+    use dora_sim_core::SimTime;
+    use dora_soc::DvfsTable;
+
+    fn page() -> PageFeatures {
+        PageFeatures::new(2100, 1300, 620, 680, 590).expect("valid")
+    }
+
+    fn physical_models() -> DoraModels {
+        let dvfs = DvfsTable::msm8974();
+        let mut xs = Vec::new();
+        let mut t_ys = Vec::new();
+        let mut p_ys = Vec::new();
+        for freq in dvfs.frequencies() {
+            for mpki in [0.0f64, 3.0, 8.0, 16.0] {
+                for util in [0.0f64, 0.6, 1.0] {
+                    let inputs =
+                        PredictorInputs::for_frequency(page(), freq, &dvfs, mpki, util);
+                    xs.push(inputs.to_vector());
+                    t_ys.push(2.2 / freq.as_ghz() + 0.05 * mpki);
+                    p_ys.push(1.4 + 0.35 * freq.as_ghz() * freq.as_ghz());
+                }
+            }
+        }
+        let time = ResponseSurface::new(SurfaceKind::Quadratic, 9)
+            .fit(&xs, &t_ys)
+            .expect("well posed");
+        let power = ResponseSurface::new(SurfaceKind::Quadratic, 9)
+            .fit(&xs, &p_ys)
+            .expect("well posed");
+        DoraModels {
+            load_time: PiecewiseSurface::new([None, None, None], time, FrequencyEncoding::Natural),
+            power: PiecewiseSurface::new([None, None, None], power, FrequencyEncoding::Natural),
+            leakage: Eq5Params {
+                k1: 0.22,
+                alpha: 800.0,
+                beta: -4300.0,
+                k2: 0.05,
+                gamma: 2.0,
+                delta: -2.0,
+            },
+            dvfs,
+        }
+    }
+
+    fn obs(mpki: f64, temp_c: f64) -> GovernorObservation {
+        GovernorObservation {
+            now: SimTime::from_millis(100),
+            interval: SimDuration::from_millis(100),
+            frequency: Frequency::from_mhz(960.0),
+            per_core_utilization: vec![0.9, 0.5, 0.8, 0.0],
+            shared_l2_mpki: mpki,
+            corun_utilization: 0.8,
+            temperature_c: temp_c,
+        }
+    }
+
+    #[test]
+    fn name_reflects_leakage_flag() {
+        let m = physical_models();
+        let with = DoraGovernor::new(m.clone(), page(), DoraConfig::default());
+        assert_eq!(with.name(), "DORA");
+        let without = DoraGovernor::new(
+            m,
+            page(),
+            DoraConfig {
+                include_leakage: false,
+                ..DoraConfig::default()
+            },
+        );
+        assert_eq!(without.name(), "DORA_no_lkg");
+    }
+
+    #[test]
+    fn decides_and_records_curve() {
+        let m = physical_models();
+        let mut g = DoraGovernor::new(m.clone(), page(), DoraConfig::default());
+        let f = g.decide(&obs(2.0, 40.0));
+        assert!(m.dvfs.index_of(f).is_some(), "must return a table entry");
+        let d = g.last_decision().expect("recorded");
+        assert_eq!(d.curve.len(), m.dvfs.len());
+        assert_eq!(g.decision_count(), 1);
+    }
+
+    #[test]
+    fn interference_raises_chosen_frequency_when_deadline_binds() {
+        let m = physical_models();
+        let tight = DoraConfig {
+            qos_target_s: 1.5,
+            ..DoraConfig::default()
+        };
+        let mut g = DoraGovernor::new(m, page(), tight);
+        let calm = g.decide(&obs(0.5, 40.0));
+        g.reset();
+        let noisy = g.decide(&obs(12.0, 40.0));
+        assert!(noisy >= calm, "interference cannot lower fopt here");
+        assert!(noisy > calm, "12 MPKI at a 1.5s target should move fopt");
+    }
+
+    #[test]
+    fn hot_die_shifts_away_from_top_frequency() {
+        // With leakage enabled, a hot die makes the top settings less
+        // efficient; under a relaxed deadline DORA should not pick them.
+        let m = physical_models();
+        let relaxed = DoraConfig {
+            qos_target_s: 10.0,
+            ..DoraConfig::default()
+        };
+        let mut g = DoraGovernor::new(m.clone(), page(), relaxed);
+        let hot = g.decide(&obs(1.0, 75.0));
+        assert!(
+            hot < m.dvfs.max_frequency(),
+            "relaxed deadline + hot die should avoid fmax, got {hot}"
+        );
+    }
+
+    #[test]
+    fn retarget_clears_decision_state() {
+        let m = physical_models();
+        let mut g = DoraGovernor::new(m, page(), DoraConfig::default());
+        let _ = g.decide(&obs(2.0, 40.0));
+        assert!(g.last_decision().is_some());
+        g.retarget(PageFeatures::new(900, 540, 150, 180, 230).expect("valid"));
+        assert!(g.last_decision().is_none());
+        assert_eq!(g.page().dom_nodes(), 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DORA configuration")]
+    fn rejects_bad_config() {
+        let m = physical_models();
+        let _ = DoraGovernor::new(
+            m,
+            page(),
+            DoraConfig {
+                qos_target_s: -1.0,
+                ..DoraConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn dl_policy_tracks_lowest_feasible_frequency() {
+        let m = physical_models();
+        let mut dl = DoraGovernor::new(
+            m.clone(),
+            page(),
+            DoraConfig {
+                policy: DoraPolicy::DeadlineOnly,
+                ..DoraConfig::default()
+            },
+        );
+        assert_eq!(dl.name(), "DL");
+        let f = dl.decide(&obs(2.0, 40.0));
+        let d = dl.last_decision().expect("recorded").clone();
+        assert_eq!(Some(f), d.f_deadline());
+        // DL never picks above DORA's fopt when fE >= fD... but it always
+        // picks the *lowest* feasible, so it is <= the full policy's pick.
+        let mut full = DoraGovernor::new(m, page(), DoraConfig::default());
+        let f_full = full.decide(&obs(2.0, 40.0));
+        assert!(f <= f_full);
+    }
+
+    #[test]
+    fn ee_policy_ignores_the_deadline() {
+        let m = physical_models();
+        let mut ee = DoraGovernor::new(
+            m.clone(),
+            page(),
+            DoraConfig {
+                qos_target_s: 0.01, // impossible
+                policy: DoraPolicy::EnergyOnly,
+                ..DoraConfig::default()
+            },
+        );
+        assert_eq!(ee.name(), "EE");
+        let f = ee.decide(&obs(2.0, 40.0));
+        // EE still picks its PPW optimum rather than falling back to fmax.
+        let d = ee.last_decision().expect("recorded").clone();
+        assert_eq!(f, d.f_energy());
+        assert!(f < m.dvfs.max_frequency());
+    }
+
+    #[test]
+    fn dl_falls_back_to_fmax_when_infeasible() {
+        let m = physical_models();
+        let mut dl = DoraGovernor::new(
+            m.clone(),
+            page(),
+            DoraConfig {
+                qos_target_s: 0.01,
+                policy: DoraPolicy::DeadlineOnly,
+                ..DoraConfig::default()
+            },
+        );
+        assert_eq!(dl.decide(&obs(2.0, 40.0)), m.dvfs.max_frequency());
+    }
+
+    #[test]
+    fn decision_interval_is_100ms_by_default() {
+        let m = physical_models();
+        let g = DoraGovernor::new(m, page(), DoraConfig::default());
+        assert_eq!(g.decision_interval(), SimDuration::from_millis(100));
+    }
+}

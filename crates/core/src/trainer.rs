@@ -1,0 +1,404 @@
+//! Offline training pipeline.
+//!
+//! Section IV-C: "Over 300 measurements of power and web page load times
+//! are taken by executing multiple workload combinations at different
+//! frequency settings … The observations are used to determine the
+//! coefficients of the power and performance models using mean square
+//! error minimization."
+//!
+//! The trainer consumes those observations (produced in this reproduction
+//! by the `dora-campaign` crate's measurement sweeps), plus idle
+//! voltage/temperature leakage calibration points, and emits a
+//! [`DoraModels`] bundle:
+//!
+//! * load-time surface — interaction form by default (the paper's pick,
+//!   Section V-A);
+//! * power surface — linear form by default (the paper's pick), trained on
+//!   `measured_total − fitted_leakage` so the Eq. 5 term isn't learned
+//!   twice;
+//! * Eq. 5 leakage fit via Levenberg–Marquardt.
+//!
+//! Surfaces are fit piecewise per memory-bus tier when a tier has enough
+//! observations, with a global fallback fit always present.
+
+use crate::models::{DoraModels, FrequencyEncoding, PiecewiseSurface, PredictorInputs};
+use dora_modeling::leakage::{fit_leakage, LeakageObservation};
+use dora_modeling::metrics::{evaluate, EvalSummary};
+use dora_modeling::surface::{FittedSurface, ResponseSurface, SurfaceKind};
+use dora_modeling::ModelError;
+use dora_soc::{DvfsTable, Frequency};
+
+/// One offline measurement: the Table I inputs and what the platform did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingObservation {
+    /// The nine Table I variables at measurement time.
+    pub inputs: PredictorInputs,
+    /// Measured web page load time in seconds.
+    pub load_time_s: f64,
+    /// Measured mean device power over the load, in watts.
+    pub total_power_w: f64,
+    /// Mean die temperature over the load, °C (for leakage subtraction).
+    pub mean_temp_c: f64,
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Response surface for load time (paper: interaction).
+    pub time_surface: SurfaceKind,
+    /// Response surface for power (paper: linear).
+    pub power_surface: SurfaceKind,
+    /// How the load-time surface sees X7/X8. [`FrequencyEncoding::Period`]
+    /// (the default) lets the interaction terms represent `work/frequency`
+    /// exactly; [`FrequencyEncoding::Natural`] is the naive choice, kept
+    /// for the design-choice ablation.
+    pub time_encoding: FrequencyEncoding,
+    /// A bus tier gets its own fit only when it has at least this many
+    /// observations per model term (conditioning guard).
+    pub min_rows_per_term: usize,
+    /// Seed for the leakage fit's randomized restarts.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            time_surface: SurfaceKind::Interaction,
+            power_surface: SurfaceKind::Linear,
+            time_encoding: FrequencyEncoding::Period,
+            min_rows_per_term: 2,
+            seed: 0xD0_0A,
+        }
+    }
+}
+
+/// Trains the full DORA model bundle.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from the surface fits (too few observations,
+/// singular designs) or the leakage fit.
+pub fn train(
+    observations: &[TrainingObservation],
+    leakage_observations: &[LeakageObservation],
+    dvfs: &DvfsTable,
+    config: TrainerConfig,
+) -> Result<DoraModels, ModelError> {
+    if observations.is_empty() {
+        return Err(ModelError::TooFewObservations { got: 0, need: 1 });
+    }
+    let leakage = fit_leakage(leakage_observations, config.seed)?.params;
+
+    // Dynamic-power target: measured total minus the fitted leakage at the
+    // observation's voltage and mean temperature.
+    let voltage_of = |ghz: f64| -> f64 {
+        let f = dvfs.nearest(Frequency::from_mhz(ghz * 1000.0));
+        dvfs.voltage_of(f).expect("nearest returns table entry")
+    };
+    let xs: Vec<Vec<f64>> = observations.iter().map(|o| o.inputs.to_vector()).collect();
+    let t_ys: Vec<f64> = observations.iter().map(|o| o.load_time_s).collect();
+    let p_ys: Vec<f64> = observations
+        .iter()
+        .map(|o| {
+            let lkg = leakage.eval(voltage_of(o.inputs.core_freq_ghz), o.mean_temp_c);
+            (o.total_power_w - lkg).max(0.05)
+        })
+        .collect();
+
+    let load_time = fit_piecewise(
+        config.time_surface,
+        config.time_encoding,
+        dvfs,
+        observations,
+        &xs,
+        &t_ys,
+        config,
+    )?;
+    let power = fit_piecewise(
+        config.power_surface,
+        FrequencyEncoding::Natural,
+        dvfs,
+        observations,
+        &xs,
+        &p_ys,
+        config,
+    )?;
+
+    Ok(DoraModels {
+        load_time,
+        power,
+        leakage,
+        dvfs: dvfs.clone(),
+    })
+}
+
+/// Fits the global surface plus any tier with enough observations.
+fn fit_piecewise(
+    kind: SurfaceKind,
+    encoding: FrequencyEncoding,
+    dvfs: &DvfsTable,
+    observations: &[TrainingObservation],
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    config: TrainerConfig,
+) -> Result<PiecewiseSurface, ModelError> {
+    let surface = ResponseSurface::new(kind, 9);
+    let encoded: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| {
+            let mut e = x.clone();
+            encoding.encode(&mut e);
+            e
+        })
+        .collect();
+    let global = surface.fit(&encoded, ys)?;
+    let need = surface.term_count() * config.min_rows_per_term;
+
+    let mut per_tier: [Option<FittedSurface>; 3] = [None, None, None];
+    for (tier_index, tier) in per_tier.iter_mut().enumerate() {
+        let rows: Vec<usize> = observations
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                let f = dvfs.nearest(Frequency::from_mhz(o.inputs.core_freq_ghz * 1000.0));
+                dvfs.bus_tier(f).index() == tier_index
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if rows.len() < need {
+            continue;
+        }
+        let tier_xs: Vec<Vec<f64>> = rows.iter().map(|&i| encoded[i].clone()).collect();
+        let tier_ys: Vec<f64> = rows.iter().map(|&i| ys[i]).collect();
+        if let Ok(fit) = surface.fit(&tier_xs, &tier_ys) {
+            *tier = Some(fit);
+        }
+    }
+    Ok(PiecewiseSurface::new(per_tier, global, encoding))
+}
+
+/// Model-quality report for a trained bundle against a set of
+/// observations — the data behind Fig. 5 and the Section V-A accuracies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEvaluation {
+    /// Load-time prediction quality.
+    pub load_time: EvalSummary,
+    /// Total-power prediction quality.
+    pub power: EvalSummary,
+}
+
+/// Evaluates a trained bundle on (typically held-out) observations.
+///
+/// # Panics
+///
+/// Panics if `observations` is empty.
+pub fn evaluate_models(models: &DoraModels, observations: &[TrainingObservation]) -> ModelEvaluation {
+    assert!(!observations.is_empty(), "nothing to evaluate");
+    let mut t_pred = Vec::with_capacity(observations.len());
+    let mut t_true = Vec::with_capacity(observations.len());
+    let mut p_pred = Vec::with_capacity(observations.len());
+    let mut p_true = Vec::with_capacity(observations.len());
+    for o in observations {
+        t_pred.push(models.predict_load_time(&o.inputs));
+        t_true.push(o.load_time_s);
+        p_pred.push(models.predict_total_power(&o.inputs, o.mean_temp_c, true));
+        p_true.push(o.total_power_w);
+    }
+    ModelEvaluation {
+        load_time: evaluate(&t_pred, &t_true),
+        power: evaluate(&p_pred, &p_true),
+    }
+}
+
+/// Section V-A's model-selection study: trains every surface kind for both
+/// responses and reports held-out error, so the experiment harness can show
+/// *why* the paper picked interaction for time and linear for power.
+///
+/// Returns `(kind, load_time_eval, power_eval)` triples.
+///
+/// # Errors
+///
+/// Propagates fitting failures.
+pub fn compare_surface_kinds(
+    train_set: &[TrainingObservation],
+    eval_set: &[TrainingObservation],
+    leakage_observations: &[LeakageObservation],
+    dvfs: &DvfsTable,
+    seed: u64,
+) -> Result<Vec<(SurfaceKind, EvalSummary, EvalSummary)>, ModelError> {
+    let mut out = Vec::new();
+    for kind in SurfaceKind::ALL {
+        let config = TrainerConfig {
+            time_surface: kind,
+            power_surface: kind,
+            seed,
+            ..TrainerConfig::default()
+        };
+        let models = train(train_set, leakage_observations, dvfs, config)?;
+        let eval = evaluate_models(&models, eval_set);
+        out.push((kind, eval.load_time, eval.power));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_browser::PageFeatures;
+    use dora_modeling::leakage::Eq5Params;
+    use dora_sim_core::Rng;
+
+    fn truth_leakage() -> Eq5Params {
+        Eq5Params {
+            k1: 0.22,
+            alpha: 800.0,
+            beta: -4300.0,
+            k2: 0.05,
+            gamma: 2.0,
+            delta: -2.0,
+        }
+    }
+
+    /// Synthetic observations from a physically-shaped ground truth, with
+    /// small measurement noise.
+    fn synth_observations(n_pages: usize, seed: u64) -> Vec<TrainingObservation> {
+        let dvfs = DvfsTable::msm8974();
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut obs = Vec::new();
+        for pi in 0..n_pages {
+            let page = PageFeatures::synthesize(&mut rng, pi as f64 / (n_pages - 1) as f64);
+            let work = 2.0e8 + 4.5e5 * page.dom_nodes() as f64 + 2.0e5 * page.class_attrs() as f64;
+            for f in dvfs.frequencies() {
+                for mpki in [0.4, 3.0, 11.0] {
+                    let util = rng.range_f64(0.3, 1.0);
+                    let inputs =
+                        PredictorInputs::for_frequency(page, f, &dvfs, mpki, util);
+                    let ghz = f.as_ghz();
+                    let t = work / (ghz * 1.4e9) * (1.0 + 0.03 * mpki) * rng.jitter(0.01);
+                    let temp = 30.0 + 12.0 * ghz;
+                    let v = dvfs.voltage_of(f).expect("table entry");
+                    let p_dyn = 1.4 + 0.9 * v * v * ghz + 0.02 * mpki;
+                    let p = (p_dyn + truth_leakage().eval(v, temp)) * rng.jitter(0.01);
+                    obs.push(TrainingObservation {
+                        inputs,
+                        load_time_s: t,
+                        total_power_w: p,
+                        mean_temp_c: temp,
+                    });
+                }
+            }
+        }
+        obs
+    }
+
+    fn synth_leakage(seed: u64) -> Vec<LeakageObservation> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for vi in 0..8 {
+            for ti in 0..5 {
+                let v = 0.78 + 0.34 * vi as f64 / 7.0;
+                let c = 22.0 + 50.0 * ti as f64 / 4.0;
+                out.push(LeakageObservation {
+                    voltage: v,
+                    temp_c: c,
+                    power_w: truth_leakage().eval(v, c) * rng.jitter(0.01),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trains_and_predicts_held_out_accurately() {
+        let dvfs = DvfsTable::msm8974();
+        let all = synth_observations(10, 1);
+        // Hold out every 5th observation.
+        let train_set: Vec<_> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 5 != 0)
+            .map(|(_, o)| *o)
+            .collect();
+        let eval_set: Vec<_> = all.iter().step_by(5).copied().collect();
+        let models = train(&train_set, &synth_leakage(2), &dvfs, TrainerConfig::default())
+            .expect("trains");
+        let eval = evaluate_models(&models, &eval_set);
+        assert!(
+            eval.load_time.mape < 0.06,
+            "load-time MAPE {:.3}",
+            eval.load_time.mape
+        );
+        assert!(eval.power.mape < 0.06, "power MAPE {:.3}", eval.power.mape);
+        assert!(eval.load_time.r_squared > 0.95);
+    }
+
+    #[test]
+    fn piecewise_tiers_are_fit_with_enough_data() {
+        let dvfs = DvfsTable::msm8974();
+        let all = synth_observations(12, 3);
+        let models =
+            train(&all, &synth_leakage(4), &dvfs, TrainerConfig::default()).expect("trains");
+        // 12 pages x 14 freqs x 3 mpki = 504 rows; each tier should be fit.
+        assert_eq!(models.load_time.tier_count(), 3);
+        assert_eq!(models.power.tier_count(), 3);
+    }
+
+    #[test]
+    fn leakage_fit_is_recovered() {
+        let dvfs = DvfsTable::msm8974();
+        let all = synth_observations(6, 5);
+        let models =
+            train(&all, &synth_leakage(6), &dvfs, TrainerConfig::default()).expect("trains");
+        let t = truth_leakage();
+        for (v, c) in [(0.85, 35.0), (1.05, 60.0)] {
+            let rel = (models.leakage.eval(v, c) - t.eval(v, c)).abs() / t.eval(v, c);
+            assert!(rel < 0.08, "leakage rel error {rel} at ({v},{c})");
+        }
+    }
+
+    #[test]
+    fn empty_observations_rejected() {
+        let dvfs = DvfsTable::msm8974();
+        assert!(matches!(
+            train(&[], &synth_leakage(1), &dvfs, TrainerConfig::default()).unwrap_err(),
+            ModelError::TooFewObservations { .. }
+        ));
+    }
+
+    #[test]
+    fn compare_kinds_reports_all_three() {
+        let dvfs = DvfsTable::msm8974();
+        // Enough pages that each bus tier earns its own piecewise fit —
+        // matching the real campaign's data volume (42 workloads x 14
+        // frequencies).
+        let all = synth_observations(12, 7);
+        let train_set: Vec<_> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 != 0)
+            .map(|(_, o)| *o)
+            .collect();
+        let eval_set: Vec<_> = all.iter().step_by(4).copied().collect();
+        let report = compare_surface_kinds(&train_set, &eval_set, &synth_leakage(8), &dvfs, 9)
+            .expect("all kinds train");
+        assert_eq!(report.len(), 3);
+        // Every kind should be sane on this smooth synthetic truth. The
+        // tolerance is loose because no polynomial represents the 1/f term
+        // exactly; the paper's own study (Section V-A) is about exactly
+        // these relative differences.
+        for (kind, t_eval, p_eval) in &report {
+            assert!(
+                t_eval.mape < 0.35,
+                "{kind} load-time MAPE {:.3}",
+                t_eval.mape
+            );
+            assert!(p_eval.mape < 0.20, "{kind} power MAPE {:.3}", p_eval.mape);
+        }
+        // The interaction form (the paper's pick) must be competitive.
+        let interaction = report
+            .iter()
+            .find(|(k, _, _)| *k == SurfaceKind::Interaction)
+            .expect("present");
+        assert!(interaction.1.mape < 0.10, "interaction MAPE {:.3}", interaction.1.mape);
+    }
+}

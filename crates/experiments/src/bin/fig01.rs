@@ -1,0 +1,5 @@
+//! Regenerates Fig. 1 (Reddit load time vs frequency under interference).
+fn main() {
+    let config = dora_campaign::ScenarioConfig::default();
+    println!("{}", dora_experiments::fig01::run(&config).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2 (interference cost in load time and energy).
+fn main() {
+    let config = dora_campaign::ScenarioConfig::default();
+    println!("{}", dora_experiments::fig02::run(&config).render());
+}

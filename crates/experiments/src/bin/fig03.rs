@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3 (load time and PPW vs frequency; fD/fE regimes).
+fn main() {
+    let config = dora_campaign::ScenarioConfig::default();
+    println!("{}", dora_experiments::fig03::run(&config).render());
+}

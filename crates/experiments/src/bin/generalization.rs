@@ -1,0 +1,12 @@
+//! Runs the generalization experiment on synthesized pages (trains the
+//! pipeline first; pass --quick for a reduced grid).
+use dora_experiments::pipeline::{Pipeline, Scale};
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let pipeline = Pipeline::build(scale, 42);
+    println!("{}", dora_experiments::generalization::run(&pipeline).render());
+}

@@ -1,0 +1,18 @@
+//! Regenerates the corresponding paper study (trains the pipeline first;
+//! pass --quick for a reduced training grid).
+use dora_experiments::pipeline::{Pipeline, Scale};
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let pipeline = Pipeline::build(scale, 42);
+    let study = dora_experiments::interval_study::run(&pipeline);
+    println!("{}", study.render());
+    let adaptation = dora_experiments::interval_study::run_adaptation(&pipeline);
+    println!(
+        "{}",
+        dora_experiments::interval_study::IntervalStudy::render_adaptation(&adaptation)
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates the corresponding paper study (trains the pipeline first;
+//! pass --quick for a reduced training grid).
+use dora_experiments::pipeline::{Pipeline, Scale};
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let pipeline = Pipeline::build(scale, 42);
+    println!("{}", dora_experiments::model_selection::run(&pipeline).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table II (device specification).
+fn main() {
+    let config = dora_soc::BoardConfig::nexus5();
+    println!("{}", dora_experiments::table02::run(&config).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table III (page and co-runner classification).
+fn main() {
+    let config = dora_experiments::table03::default_config();
+    println!("{}", dora_experiments::table03::run(&config).render());
+}

@@ -1,0 +1,186 @@
+//! Fig. 5 — cumulative distribution of model prediction errors.
+//!
+//! The paper reports a 2.5 % average load-time error (97.5 % accuracy)
+//! and 4 % average power error (96 % accuracy), with CDFs over *web
+//! pages*: "about 87.5 % of the web pages have less than 5 % error with a
+//! maximum error of 10 %" for load time; "for 75 % of web pages the
+//! \[power\] model gives less than 5 % error, and for 90 % less than 10 %".
+//!
+//! Following that framing, errors here are aggregated per page: each
+//! page's error is the mean absolute relative error over all of its
+//! evaluation observations (held-out Webpage-Neutral measurements plus
+//! fresh-seed re-measurements of training pages).
+
+use crate::pipeline::Pipeline;
+use crate::report::{fmt_f, render_series, Table};
+use dora::trainer::TrainingObservation;
+use dora_campaign::runner::ScenarioConfig;
+use dora_campaign::training::measure_observation;
+use dora_campaign::workload::WorkloadSet;
+use dora_sim_core::stats::Samples;
+use std::collections::BTreeMap;
+
+/// Per-page model errors.
+#[derive(Debug, Clone)]
+pub struct PageError {
+    /// Page name.
+    pub page: String,
+    /// Whether the page was in the training set.
+    pub training: bool,
+    /// Mean absolute relative load-time error.
+    pub time_error: f64,
+    /// Mean absolute relative power error.
+    pub power_error: f64,
+}
+
+/// The Fig. 5 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig05 {
+    /// One row per page.
+    pub pages: Vec<PageError>,
+    /// Mean load-time error across pages (the paper's 2.5 %).
+    pub mean_time_error: f64,
+    /// Mean power error across pages (the paper's 4 %).
+    pub mean_power_error: f64,
+}
+
+/// Builds fresh evaluation observations: held-out pages across the paper
+/// ladder, and training pages re-measured with a different seed (unseen
+/// jitter realizations).
+/// Builds the held-out evaluation grid shared with the Section V-A study.
+pub fn evaluation_observations(pipeline: &Pipeline) -> Vec<(String, bool, TrainingObservation)> {
+    let set = WorkloadSet::paper54();
+    let eval_scenario = ScenarioConfig {
+        seed: pipeline.scenario.seed ^ 0x5EED_CAFE,
+        ..pipeline.scenario.clone()
+    };
+    let ladder = eval_scenario.board.dvfs.paper_ladder();
+    let mut out = Vec::new();
+    for workload in set.workloads() {
+        // Keep the grid affordable: held-out pages get the full ladder,
+        // training pages every other rung.
+        let step = if workload.is_training() { 2 } else { 1 };
+        for &f in ladder.iter().step_by(step) {
+            let obs = measure_observation(workload, f, &eval_scenario);
+            out.push((workload.page.name.to_string(), workload.is_training(), obs));
+        }
+    }
+    out
+}
+
+/// Measures the figure from a trained pipeline.
+pub fn run(pipeline: &Pipeline) -> Fig05 {
+    let rows = evaluation_observations(pipeline);
+    let mut per_page: BTreeMap<String, (bool, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for (page, training, obs) in rows {
+        let t_pred = pipeline.models.predict_load_time(&obs.inputs);
+        let p_pred = pipeline
+            .models
+            .predict_total_power(&obs.inputs, obs.mean_temp_c, true);
+        let entry = per_page.entry(page).or_insert((training, Vec::new(), Vec::new()));
+        entry.1.push(((t_pred - obs.load_time_s) / obs.load_time_s).abs());
+        entry.2.push(((p_pred - obs.total_power_w) / obs.total_power_w).abs());
+    }
+    let pages: Vec<PageError> = per_page
+        .into_iter()
+        .map(|(page, (training, t, p))| PageError {
+            page,
+            training,
+            time_error: t.iter().sum::<f64>() / t.len() as f64,
+            power_error: p.iter().sum::<f64>() / p.len() as f64,
+        })
+        .collect();
+    let mean_time_error = pages.iter().map(|p| p.time_error).sum::<f64>() / pages.len() as f64;
+    let mean_power_error = pages.iter().map(|p| p.power_error).sum::<f64>() / pages.len() as f64;
+    Fig05 {
+        pages,
+        mean_time_error,
+        mean_power_error,
+    }
+}
+
+impl Fig05 {
+    /// The error CDF over pages for the load-time model.
+    pub fn time_cdf(&self) -> Samples {
+        self.pages.iter().map(|p| p.time_error).collect()
+    }
+
+    /// The error CDF over pages for the power model.
+    pub fn power_cdf(&self) -> Samples {
+        self.pages.iter().map(|p| p.power_error).collect()
+    }
+
+    /// Model accuracy the way the paper quotes it (`100·(1−error)`).
+    pub fn accuracies_percent(&self) -> (f64, f64) {
+        (
+            100.0 * (1.0 - self.mean_time_error),
+            100.0 * (1.0 - self.mean_power_error),
+        )
+    }
+
+    /// Renders the per-page table, summary and CDF series.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Page".into(),
+            "set".into(),
+            "time err (%)".into(),
+            "power err (%)".into(),
+        ]);
+        for p in &self.pages {
+            t.row(vec![
+                p.page.clone(),
+                if p.training { "train" } else { "held-out" }.to_string(),
+                fmt_f(p.time_error * 100.0, 2),
+                fmt_f(p.power_error * 100.0, 2),
+            ]);
+        }
+        let time_cdf = self.time_cdf();
+        let power_cdf = self.power_cdf();
+        let (ta, pa) = self.accuracies_percent();
+        format!(
+            "Fig. 5: prediction-error distribution over pages\n{}\
+             mean error: time {}% (accuracy {}%), power {}% (accuracy {}%)\n\
+             time model: {}% of pages under 5% error, max {}%\n\
+             power model: {}% of pages under 5% error, {}% under 10%\n\n{}{}",
+            t.render(),
+            fmt_f(self.mean_time_error * 100.0, 2),
+            fmt_f(ta, 1),
+            fmt_f(self.mean_power_error * 100.0, 2),
+            fmt_f(pa, 1),
+            fmt_f(time_cdf.cdf_at(0.05) * 100.0, 1),
+            fmt_f(time_cdf.quantile(1.0) * 100.0, 1),
+            fmt_f(power_cdf.cdf_at(0.05) * 100.0, 1),
+            fmt_f(power_cdf.cdf_at(0.10) * 100.0, 1),
+            render_series("time_error_cdf", &time_cdf.cdf_points()),
+            render_series("power_error_cdf", &power_cdf.cdf_points()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Scale;
+
+    #[test]
+    #[ignore = "runs a multi-hundred-load campaign; exercised by the fig05 binary and CI-style release runs"]
+    fn accuracy_lands_in_paper_band() {
+        let pipeline = Pipeline::build(Scale::Full, 42);
+        let fig = run(&pipeline);
+        assert!(fig.mean_time_error < 0.05, "time error {:.3}", fig.mean_time_error);
+        assert!(fig.mean_power_error < 0.06, "power error {:.3}", fig.mean_power_error);
+        let cdf = fig.time_cdf();
+        assert!(cdf.cdf_at(0.10) > 0.8, "most pages under 10% error");
+    }
+
+    #[test]
+    #[ignore = "slow in debug; quick-pipeline variant for spot checks"]
+    fn quick_pipeline_is_sane() {
+        let pipeline = Pipeline::quick();
+        let fig = run(&pipeline);
+        assert_eq!(fig.pages.len(), 18);
+        // The quick grid trades accuracy for speed (it is too small for
+        // per-tier piecewise fits); it only needs to be in the ballpark.
+        assert!(fig.mean_time_error < 0.30, "time error {:.3}", fig.mean_time_error);
+    }
+}

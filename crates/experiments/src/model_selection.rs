@@ -1,0 +1,149 @@
+//! Section V-A — the response-surface selection study.
+//!
+//! The paper trains all three hypothesized surfaces (Eq. 2 linear, Eq. 3
+//! quadratic, Eq. 4 interaction) for both responses and reports:
+//! "the interaction and quadratic models achieve the highest accuracy for
+//! web page load time prediction. Due to relative simplicity of the
+//! interaction model, we choose this … In case of power consumption
+//! estimation, all three models achieve a similar prediction accuracy.
+//! Since a linear model is simpler, we adopt it."
+//!
+//! This module reruns the comparison on held-out measurements and renders
+//! the error table that justified those choices, including each model's
+//! term count (the paper's "simplicity" axis).
+
+use crate::fig05::evaluation_observations;
+use crate::pipeline::Pipeline;
+use crate::report::{fmt_f, Table};
+use dora::trainer::compare_surface_kinds;
+use dora_modeling::metrics::EvalSummary;
+use dora_modeling::surface::{ResponseSurface, SurfaceKind};
+
+/// One surface kind's held-out quality for both responses.
+#[derive(Debug, Clone)]
+pub struct SelectionRow {
+    /// The response-surface form.
+    pub kind: SurfaceKind,
+    /// Model terms (the simplicity axis).
+    pub terms: usize,
+    /// Held-out load-time quality.
+    pub time: EvalSummary,
+    /// Held-out power quality.
+    pub power: EvalSummary,
+}
+
+/// The study dataset.
+#[derive(Debug, Clone)]
+pub struct ModelSelection {
+    /// One row per surface kind.
+    pub rows: Vec<SelectionRow>,
+}
+
+/// Runs the comparison: train on the pipeline's campaign, evaluate on
+/// fresh held-out measurements.
+///
+/// # Panics
+///
+/// Panics if a surface kind fails to train — the campaign grids are
+/// identifiable by construction, so that indicates a broken build.
+pub fn run(pipeline: &Pipeline) -> ModelSelection {
+    let eval_set: Vec<_> = evaluation_observations(pipeline)
+        .into_iter()
+        .filter(|(_, training, _)| !training)
+        .map(|(_, _, obs)| obs)
+        .collect();
+    let report = compare_surface_kinds(
+        &pipeline.observations,
+        &eval_set,
+        &pipeline.leakage_observations,
+        &pipeline.scenario.board.dvfs,
+        pipeline.scenario.seed,
+    )
+    .expect("campaign grids are identifiable");
+    let rows = report
+        .into_iter()
+        .map(|(kind, time, power)| SelectionRow {
+            kind,
+            terms: ResponseSurface::new(kind, 9).term_count(),
+            time,
+            power,
+        })
+        .collect();
+    ModelSelection { rows }
+}
+
+impl ModelSelection {
+    /// The row for a kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is absent (never happens for `run` output).
+    pub fn row(&self, kind: SurfaceKind) -> &SelectionRow {
+        self.rows
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("all three kinds present")
+    }
+
+    /// The paper's conclusion as a predicate: interaction competitive with
+    /// quadratic on load time (within 2 points of MAPE) while simpler, and
+    /// linear within 2 points of everything on power.
+    pub fn paper_choices_justified(&self) -> bool {
+        let inter = self.row(SurfaceKind::Interaction);
+        let quad = self.row(SurfaceKind::Quadratic);
+        let lin = self.row(SurfaceKind::Linear);
+        let time_ok = inter.time.mape < quad.time.mape + 0.02 && inter.terms < quad.terms;
+        let power_ok = lin.power.mape
+            < inter.power.mape.min(quad.power.mape) + 0.02
+            && lin.terms < inter.terms;
+        time_ok && power_ok
+    }
+
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Surface".into(),
+            "terms".into(),
+            "time MAPE (%)".into(),
+            "time R2".into(),
+            "power MAPE (%)".into(),
+            "power R2".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.kind.to_string(),
+                r.terms.to_string(),
+                fmt_f(r.time.mape * 100.0, 2),
+                fmt_f(r.time.r_squared, 4),
+                fmt_f(r.power.mape * 100.0, 2),
+                fmt_f(r.power.r_squared, 4),
+            ]);
+        }
+        format!(
+            "Section V-A: response-surface selection (held-out pages)\n{}\
+             paper's picks justified (interaction for time, linear for power): {}\n",
+            t.render(),
+            self.paper_choices_justified()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Scale;
+
+    #[test]
+    #[ignore = "needs the trained pipeline plus a held-out campaign; exercised by the model_selection binary"]
+    fn paper_model_choices_hold() {
+        let pipeline = Pipeline::build(Scale::Full, 42);
+        let study = run(&pipeline);
+        assert_eq!(study.rows.len(), 3);
+        assert!(study.paper_choices_justified(), "{:#?}", study.rows);
+        // The chosen models are accurate in the paper's band.
+        let inter = study.row(SurfaceKind::Interaction);
+        assert!(inter.time.mape < 0.08, "time MAPE {:.3}", inter.time.mape);
+        let lin = study.row(SurfaceKind::Linear);
+        assert!(lin.power.mape < 0.08, "power MAPE {:.3}", lin.power.mape);
+    }
+}

@@ -1,0 +1,115 @@
+//! The shared train-once pipeline.
+//!
+//! Every DORA-family experiment needs the trained model bundle. This
+//! module runs the paper's offline methodology end to end:
+//!
+//! 1. the training campaign — Webpage-Inclusive workloads × the DVFS
+//!    table at pinned frequencies (Section IV-C's "over 300
+//!    measurements"; the full grid is 42 × 14 = 588);
+//! 2. the idle leakage calibration across operating points and ambient
+//!    temperatures;
+//! 3. the trainer — interaction surface for load time, linear for power,
+//!    Levenberg–Marquardt for Eq. 5 (the paper's Section V-A picks).
+
+use dora::trainer::{train, TrainerConfig, TrainingObservation};
+use dora::DoraModels;
+use dora_campaign::training::{leakage_calibration, training_campaign, TrainingCampaignConfig};
+use dora_campaign::workload::WorkloadSet;
+use dora_campaign::ScenarioConfig;
+use dora_modeling::leakage::LeakageObservation;
+use dora_soc::Frequency;
+
+/// How much of the measurement grid to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's full grid: all 42 training workloads × 14 frequencies.
+    Full,
+    /// A reduced grid for fast tests: every other training workload ×
+    /// seven frequencies.
+    Quick,
+}
+
+/// The trained pipeline artifacts shared by the experiments.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// The trained DORA model bundle.
+    pub models: DoraModels,
+    /// The raw training observations (for Fig. 5's error analysis).
+    pub observations: Vec<TrainingObservation>,
+    /// The leakage calibration points.
+    pub leakage_observations: Vec<LeakageObservation>,
+    /// The scenario configuration the campaign ran with (reuse it for
+    /// evaluations so conditions match training).
+    pub scenario: ScenarioConfig,
+    /// The workload set.
+    pub workloads: WorkloadSet,
+}
+
+impl Pipeline {
+    /// Runs the campaign and trains the models at the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails — with the built-in campaign grids the
+    /// design is always identifiable, so a failure indicates a broken
+    /// build rather than an environmental condition.
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let scenario = ScenarioConfig {
+            seed,
+            ..ScenarioConfig::default()
+        };
+        let workloads = WorkloadSet::paper54();
+        let (set_for_training, frequencies) = match scale {
+            Scale::Full => (workloads.clone(), None),
+            Scale::Quick => {
+                let subset = WorkloadSet::from_workloads(
+                    workloads
+                        .workloads()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, w)| w.is_training() && i % 2 == 0)
+                        .map(|(_, w)| w.clone())
+                        .collect(),
+                );
+                let freqs: Vec<Frequency> = scenario
+                    .board
+                    .dvfs
+                    .frequencies()
+                    .step_by(2)
+                    .collect();
+                (subset, Some(freqs))
+            }
+        };
+        let campaign_config = TrainingCampaignConfig {
+            scenario: scenario.clone(),
+            frequencies,
+        };
+        let observations = training_campaign(&set_for_training, &campaign_config);
+        let leakage_observations =
+            leakage_calibration(&scenario.board, &[5.0, 15.0, 25.0, 35.0, 45.0]);
+        let models = train(
+            &observations,
+            &leakage_observations,
+            &scenario.board.dvfs,
+            TrainerConfig::default(),
+        )
+        .expect("campaign grids are identifiable by construction");
+        Pipeline {
+            models,
+            observations,
+            leakage_observations,
+            scenario,
+            workloads,
+        }
+    }
+
+    /// The paper's full-scale pipeline with the default seed.
+    pub fn full() -> Self {
+        Pipeline::build(Scale::Full, 42)
+    }
+
+    /// The reduced pipeline for tests and smoke runs.
+    pub fn quick() -> Self {
+        Pipeline::build(Scale::Quick, 42)
+    }
+}

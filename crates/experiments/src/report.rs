@@ -1,0 +1,162 @@
+//! Plain-text rendering helpers shared by the experiment modules.
+//!
+//! Every experiment reduces to tables (aligned columns) or series
+//! (`x<TAB>y` rows a plotting tool can ingest directly). Keeping the
+//! renderer in one place makes all regenerated exhibits look alike.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table builder.
+///
+/// # Example
+///
+/// ```
+/// use dora_experiments::report::Table;
+///
+/// let mut t = Table::new(vec!["page".into(), "load (s)".into()]);
+/// t.row(vec!["Reddit".into(), "1.31".into()]);
+/// let text = t.render();
+/// assert!(text.contains("Reddit"));
+/// assert!(text.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with the given decimals, right-aligned semantics left
+/// to the table.
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a ratio as a percentage delta against 1.0 (e.g. `+16.2%`).
+pub fn fmt_gain(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Renders an `(x, y)` series as tab-separated lines under a `# name`
+/// banner — directly consumable by gnuplot or a spreadsheet.
+pub fn render_series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# {name}\n");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:.6}\t{y:.6}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a".into(), "value".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The "value" header starts at the same offset in every row.
+        let header_pos = lines[0].find("value").expect("header present");
+        assert_eq!(&lines[2][header_pos..header_pos + 1], "1");
+        assert_eq!(&lines[3][header_pos..header_pos + 2], "22");
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only".into()]);
+        t.row(vec!["x".into(), "y".into(), "z".into()]);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(!text.contains('z'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_gain(1.162), "+16.2%");
+        assert_eq!(fmt_gain(0.95), "-5.0%");
+    }
+
+    #[test]
+    fn series_renders_tab_separated() {
+        let s = render_series("ppw", &[(0.7296, 0.21), (2.2656, 0.18)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "# ppw");
+        assert!(lines[1].starts_with("0.729600\t"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_rejected() {
+        let _ = Table::new(vec![]);
+    }
+}

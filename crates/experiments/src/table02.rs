@@ -1,0 +1,115 @@
+//! Table II — device specification.
+//!
+//! Renders the simulated platform's specification in the paper's Table II
+//! format, straight from the live `BoardConfig` so the document can never
+//! drift from the code.
+
+use crate::report::Table;
+use dora_soc::board::BoardConfig;
+
+/// The rendered specification rows.
+#[derive(Debug, Clone)]
+pub struct Table02 {
+    rows: Vec<(String, String)>,
+}
+
+/// Builds Table II from a board configuration.
+pub fn run(config: &BoardConfig) -> Table02 {
+    let dvfs = &config.dvfs;
+    let rows = vec![
+        ("Platform".to_string(), config.name.clone()),
+        (
+            "Application Processor".to_string(),
+            format!("{}-core (simulated Krait-class, in-order timing model)", config.num_cores),
+        ),
+        (
+            "Cores enabled".to_string(),
+            config
+                .cores_enabled
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| format!("cpu{i}:{}", if e { "on" } else { "off" }))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ),
+        (
+            "L2 Unified Cache".to_string(),
+            format!(
+                "Shared {:.0}MB (occupancy-contention model)",
+                config.l2_capacity_bytes / (1024.0 * 1024.0)
+            ),
+        ),
+        (
+            "Memory".to_string(),
+            "LPDDR3 (3-tier bus: 200 / 460.8 / 800 MHz)".to_string(),
+        ),
+        (
+            "DVFS settings".to_string(),
+            format!(
+                "{} settings, {:.0}MHz – {:.1}MHz",
+                dvfs.len(),
+                dvfs.min_frequency().as_mhz(),
+                dvfs.max_frequency().as_mhz()
+            ),
+        ),
+        (
+            "Voltage range".to_string(),
+            format!(
+                "{:.3}V – {:.3}V",
+                dvfs.opps()[0].voltage,
+                dvfs.opps()[dvfs.len() - 1].voltage
+            ),
+        ),
+        (
+            "Platform power floor".to_string(),
+            format!("{:.2}W (display + rails)", config.power.platform_floor_w),
+        ),
+        (
+            "Thermal".to_string(),
+            format!(
+                "lumped RC, R={:.0}K/W, tau={:.0}s, ambient {:.0}C",
+                config.thermal.resistance_k_per_w,
+                config.thermal.time_constant_s,
+                config.thermal.ambient_c
+            ),
+        ),
+        (
+            "DVFS switch stall".to_string(),
+            format!("{}", config.dvfs_switch_stall),
+        ),
+    ];
+    Table02 { rows }
+}
+
+impl Table02 {
+    /// The `(field, value)` rows.
+    pub fn rows(&self) -> &[(String, String)] {
+        &self.rows
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["Field".into(), "Value".into()]);
+        for (k, v) in &self.rows {
+            t.row(vec![k.clone(), v.clone()]);
+        }
+        format!("Table II: Device Specification (simulated)\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_paper_table2_shape() {
+        let t = run(&BoardConfig::nexus5());
+        let text = t.render();
+        assert!(text.contains("Nexus 5"));
+        assert!(text.contains("14 settings"));
+        assert!(text.contains("2265.6MHz"));
+        assert!(text.contains("Shared 2MB"));
+        assert!(text.contains("LPDDR3"));
+        assert!(t.rows().len() >= 8);
+    }
+}

@@ -1,0 +1,445 @@
+//! Small dense linear algebra.
+//!
+//! The regression problems in this workspace are tiny (tens of terms,
+//! hundreds of observations), so a straightforward row-major matrix with
+//! partial-pivot LU and normal-equation least squares — ridge-stabilized
+//! when near-singular — is entirely sufficient and keeps the workspace
+//! free of numerics dependencies.
+
+use crate::ModelError;
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use dora_modeling::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = a.matvec(&[1.0, 1.0]);
+/// assert_eq!(b, vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions disagree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) + a * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length disagrees");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self.get(i, j) * x[j])
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Adds `lambda` to every diagonal element (ridge shift), in place.
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let v = self.get(i, i) + lambda;
+            self.set(i, i, v);
+        }
+    }
+}
+
+/// Solves the square system `A·x = b` by LU decomposition with partial
+/// pivoting.
+///
+/// # Errors
+///
+/// [`ModelError::Singular`] if a pivot underflows, or
+/// [`ModelError::ShapeMismatch`] for non-square or mismatched inputs.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, ModelError> {
+    if a.rows() != a.cols() {
+        return Err(ModelError::ShapeMismatch(format!(
+            "{}x{} matrix is not square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if b.len() != a.rows() {
+        return Err(ModelError::ShapeMismatch(format!(
+            "rhs length {} vs {} rows",
+            b.len(),
+            a.rows()
+        )));
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = lu.get(col, col).abs();
+        for r in col + 1..n {
+            let v = lu.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(ModelError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = lu.get(col, c);
+                lu.set(col, c, lu.get(pivot_row, c));
+                lu.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let pivot = lu.get(col, col);
+        for r in col + 1..n {
+            let factor = lu.get(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = lu.get(r, c) - factor * lu.get(col, c);
+                lu.set(r, c, v);
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = rhs[i];
+        for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+            acc -= lu.get(i, j) * xj;
+        }
+        x[i] = acc / lu.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares `argmin_w ‖X·w − y‖²` via the normal equations,
+/// retrying with increasing ridge regularization when `XᵀX` is singular.
+///
+/// # Errors
+///
+/// [`ModelError::ShapeMismatch`] for inconsistent inputs,
+/// [`ModelError::TooFewObservations`] when rows < columns, and
+/// [`ModelError::Singular`] if even heavy regularization fails.
+pub fn least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, ModelError> {
+    least_squares_ridge(x, y, 0.0)
+}
+
+/// Ridge-regularized least squares: `argmin_w ‖X·w − y‖² + λ·tr/n·‖w‖²`
+/// with `λ = base_lambda`, escalating further if the system is still
+/// numerically singular.
+///
+/// Polynomial response surfaces over a handful of distinct design points
+/// (here: 14 training pages) are rank-deficient in the feature-product
+/// directions; a small always-on ridge keeps the coefficients sane so the
+/// model extrapolates gracefully to pages off the training manifold.
+///
+/// # Errors
+///
+/// As [`least_squares`].
+pub fn least_squares_ridge(
+    x: &Matrix,
+    y: &[f64],
+    base_lambda: f64,
+) -> Result<Vec<f64>, ModelError> {
+    if y.len() != x.rows() {
+        return Err(ModelError::ShapeMismatch(format!(
+            "{} targets vs {} rows",
+            y.len(),
+            x.rows()
+        )));
+    }
+    if x.rows() < x.cols() {
+        return Err(ModelError::TooFewObservations {
+            got: x.rows(),
+            need: x.cols(),
+        });
+    }
+    let xt = x.transpose();
+    let xtx = xt.matmul(x);
+    let xty = xt.matvec(y);
+    // Solve at the requested ridge; escalate if ill-conditioned.
+    for lambda in [base_lambda, 1e-10, 1e-8, 1e-6, 1e-4] {
+        if lambda < base_lambda {
+            continue;
+        }
+        let mut a = xtx.clone();
+        if lambda > 0.0 {
+            a.add_diagonal(lambda * trace_mean(&xtx));
+        }
+        if let Ok(w) = lu_solve(&a, &xty) {
+            if w.iter().all(|v| v.is_finite()) {
+                return Ok(w);
+            }
+        }
+    }
+    Err(ModelError::Singular)
+}
+
+/// Mean of the diagonal, used to scale ridge shifts to the problem.
+fn trace_mean(m: &Matrix) -> f64 {
+    let n = m.rows().min(m.cols());
+    if n == 0 {
+        return 1.0;
+    }
+    let t: f64 = (0..n).map(|i| m.get(i, i)).sum();
+    (t / n as f64).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(3);
+        let x = lu_solve(&a, &[1.0, 2.0, 3.0]).expect("identity is regular");
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_system_solves() {
+        // 2x + y = 5; x + 3y = 10  => x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = lu_solve(&a, &[5.0, 10.0]).expect("regular");
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = lu_solve(&a, &[2.0, 3.0]).expect("needs pivot");
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]).unwrap_err(), ModelError::Singular);
+    }
+
+    #[test]
+    fn shape_mismatches_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert!(matches!(
+            lu_solve(&a, &[1.0]).unwrap_err(),
+            ModelError::ShapeMismatch(_)
+        ));
+        let sq = Matrix::identity(2);
+        assert!(matches!(
+            lu_solve(&sq, &[1.0]).unwrap_err(),
+            ModelError::ShapeMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_linear_model() {
+        // y = 4 + 2a - 3b over a grid; design has an intercept column.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..6 {
+            for b in 0..6 {
+                rows.push(vec![1.0, a as f64, b as f64]);
+                y.push(4.0 + 2.0 * a as f64 - 3.0 * b as f64);
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let w = least_squares(&x, &y).expect("well posed");
+        assert!((w[0] - 4.0).abs() < 1e-9);
+        assert!((w[1] - 2.0).abs() < 1e-9);
+        assert!((w[2] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_with_noise() {
+        // Noisy observations still produce coefficients near the truth.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 12345u64;
+        let mut noise = move || {
+            // Tiny deterministic LCG noise in [-0.05, 0.05].
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.1
+        };
+        for i in 0..200 {
+            let a = (i % 14) as f64;
+            let b = (i % 9) as f64;
+            rows.push(vec![1.0, a, b]);
+            y.push(1.5 + 0.7 * a - 0.2 * b + noise());
+        }
+        let x = Matrix::from_rows(&rows);
+        let w = least_squares(&x, &y).expect("well posed");
+        assert!((w[0] - 1.5).abs() < 0.05, "{w:?}");
+        assert!((w[1] - 0.7).abs() < 0.01, "{w:?}");
+        assert!((w[2] + 0.2).abs() < 0.01, "{w:?}");
+    }
+
+    #[test]
+    fn least_squares_collinear_columns_fall_back_to_ridge() {
+        // Second and third columns identical: XtX singular; ridge returns
+        // a finite solution that still fits the data.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let a = i as f64;
+            rows.push(vec![1.0, a, a]);
+            y.push(2.0 + 3.0 * a);
+        }
+        let x = Matrix::from_rows(&rows);
+        let w = least_squares(&x, &y).expect("ridge rescues");
+        // Prediction quality is what matters; coefficients split the 3.0.
+        let pred = w[0] + w[1] * 5.0 + w[2] * 5.0;
+        assert!((pred - 17.0).abs() < 0.05, "pred {pred} with {w:?}");
+    }
+
+    #[test]
+    fn least_squares_underdetermined_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        assert!(matches!(
+            least_squares(&x, &[1.0]).unwrap_err(),
+            ModelError::TooFewObservations { got: 1, need: 3 }
+        ));
+    }
+
+    #[test]
+    fn transpose_and_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at.cols(), 2);
+        let ata = at.matmul(&a);
+        assert_eq!(ata.rows(), 3);
+        assert_eq!(ata.get(0, 0), 17.0);
+        assert_eq!(ata.get(2, 2), 45.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

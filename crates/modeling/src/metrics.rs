@@ -1,0 +1,189 @@
+//! Model-quality metrics.
+//!
+//! The paper reports model quality as average percentage error (2.5 % for
+//! load time, 4 % for power — i.e. "97.5 % / 96 % accuracy") and as
+//! cumulative error distributions (Fig. 5: "about 87.5 % of the web pages
+//! have less than 5 % error with a maximum error of 10 %").
+
+use dora_sim_core::stats::Samples;
+
+/// Mean absolute percentage error of predictions against truth, in
+/// fraction form (0.025 = 2.5 %). Pairs whose truth is zero are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Example
+///
+/// ```
+/// use dora_modeling::metrics::mape;
+///
+/// let m = mape(&[102.0, 98.0], &[100.0, 100.0]);
+/// assert!((m - 0.02).abs() < 1e-12);
+/// ```
+pub fn mape(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &t) in predicted.iter().zip(truth) {
+        if t != 0.0 && p.is_finite() && t.is_finite() {
+            sum += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Model "accuracy" as the paper quotes it: `100·(1 − MAPE)` percent.
+pub fn accuracy_percent(predicted: &[f64], truth: &[f64]) -> f64 {
+    100.0 * (1.0 - mape(predicted, truth))
+}
+
+/// Coefficient of determination `R²`.
+///
+/// Returns 1.0 for a perfect fit, and can be negative for fits worse than
+/// the mean. Returns 0.0 when the truth has no variance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r_squared(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!truth.is_empty(), "need at least one observation");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// The per-observation relative errors `|p − t| / t` as a [`Samples`] set,
+/// ready for quantiles and the Fig. 5-style CDF.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn error_distribution(predicted: &[f64], truth: &[f64]) -> Samples {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    predicted
+        .iter()
+        .zip(truth)
+        .filter(|(_, &t)| t != 0.0)
+        .map(|(&p, &t)| ((p - t) / t).abs())
+        .collect()
+}
+
+/// Convenience summary of a model evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalSummary {
+    /// Mean absolute percentage error (fraction).
+    pub mape: f64,
+    /// `R²` of predictions vs truth.
+    pub r_squared: f64,
+    /// Fraction of observations with relative error below 5 %.
+    pub frac_within_5pct: f64,
+    /// Fraction of observations with relative error below 10 %.
+    pub frac_within_10pct: f64,
+    /// The worst relative error.
+    pub max_error: f64,
+}
+
+/// Evaluates predictions against ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn evaluate(predicted: &[f64], truth: &[f64]) -> EvalSummary {
+    let errors = error_distribution(predicted, truth);
+    EvalSummary {
+        mape: mape(predicted, truth),
+        r_squared: r_squared(predicted, truth),
+        frac_within_5pct: errors.cdf_at(0.05),
+        frac_within_10pct: errors.cdf_at(0.10),
+        max_error: errors.quantile(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&t, &t), 0.0);
+        assert_eq!(accuracy_percent(&t, &t), 100.0);
+        assert_eq!(r_squared(&t, &t), 1.0);
+        let s = evaluate(&t, &t);
+        assert_eq!(s.frac_within_5pct, 1.0);
+        assert_eq!(s.max_error, 0.0);
+    }
+
+    #[test]
+    fn known_mape() {
+        let p = [110.0, 95.0, 100.0];
+        let t = [100.0, 100.0, 100.0];
+        assert!((mape(&p, &t) - 0.05).abs() < 1e-12);
+        assert!((accuracy_percent(&p, &t) - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_skipped() {
+        let p = [1.0, 50.0];
+        let t = [0.0, 100.0];
+        assert!((mape(&p, &t) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_of_mean_prediction_is_zero() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let mean = [2.5; 4];
+        assert!(r_squared(&mean, &t).abs() < 1e-12);
+        // Worse than the mean goes negative.
+        let bad = [4.0, 3.0, 2.0, 1.0];
+        assert!(r_squared(&bad, &t) < 0.0);
+    }
+
+    #[test]
+    fn r_squared_constant_truth_is_zero() {
+        assert_eq!(r_squared(&[5.0, 5.1], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn evaluate_summary_fields() {
+        // Errors: 2%, 4%, 8%, 20%.
+        let t = [100.0; 4];
+        let p = [102.0, 96.0, 108.0, 120.0];
+        let s = evaluate(&p, &t);
+        assert!((s.mape - 0.085).abs() < 1e-12);
+        assert_eq!(s.frac_within_5pct, 0.5);
+        assert_eq!(s.frac_within_10pct, 0.75);
+        assert!((s.max_error - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_distribution_is_sorted_cdf_input() {
+        let t = [10.0, 10.0];
+        let p = [11.0, 9.5];
+        let mut d = error_distribution(&p, &t);
+        assert_eq!(d.sorted(), &[0.05, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+}

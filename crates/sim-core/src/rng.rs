@@ -1,0 +1,333 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator hand-rolls `xoshiro256**` (Blackman & Vigna) rather than
+//! depending on the `rand` crate so that the exact bit stream — and
+//! therefore every simulated measurement in EXPERIMENTS.md — is pinned by
+//! this repository alone. Seeding goes through SplitMix64 as the reference
+//! implementation recommends, so any `u64` (including 0) is a valid seed.
+
+/// A seedable `xoshiro256**` pseudo-random number generator.
+///
+/// Not cryptographically secure; statistically excellent and extremely fast,
+/// which is what a simulator needs.
+///
+/// # Example
+///
+/// ```
+/// use dora_sim_core::Rng;
+///
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// let x = a.range_f64(2.0, 5.0);
+/// assert!((2.0..5.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose state is expanded from `seed` via
+    /// SplitMix64. Identical seeds yield identical streams on every
+    /// platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro requires a not-all-zero state; splitmix64 cannot produce
+        // four consecutive zeros, but guard anyway for future edits.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// Derives an independent child generator. Used to give each simulated
+    /// component its own stream so that adding draws to one component does
+    /// not perturb another.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// A uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "bad range [{lo}, {hi}]");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard-normal draw via the Marsaglia polar method.
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative standard deviation {std_dev}");
+        mean + std_dev * self.normal()
+    }
+
+    /// A lognormal multiplicative noise factor with median 1 and the given
+    /// `sigma` (standard deviation of the underlying normal). Handy for
+    /// modelling run-to-run measurement jitter that can never be negative.
+    pub fn jitter(&mut self, sigma: f64) -> f64 {
+        (self.normal() * sigma).exp()
+    }
+
+    /// An exponential draw with the given rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "non-positive rate {lambda}");
+        // 1 - f64() is in (0, 1], so ln() is finite.
+        -(1.0 - self.f64()).ln() / lambda
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(123);
+        let mut b = Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 7.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "bucket count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_u64_inclusive_bounds_hit() {
+        let mut rng = Rng::seed_from_u64(13);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match rng.range_u64(3, 5) {
+                3 => saw_lo = true,
+                5 => saw_hi = true,
+                4 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(17);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed_from_u64(19);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_is_positive_with_unit_median() {
+        let mut rng = Rng::seed_from_u64(23);
+        let n = 50_000;
+        let mut above = 0;
+        for _ in 0..n {
+            let j = rng.jitter(0.1);
+            assert!(j > 0.0);
+            if j > 1.0 {
+                above += 1;
+            }
+        }
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "median fraction {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(29);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = Rng::seed_from_u64(31);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[42u8]), Some(&42));
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = Rng::seed_from_u64(37);
+        let mut child = parent.fork();
+        // Child stream must differ from the parent continuation.
+        let p: Vec<u64> = (0..16).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seed_from_u64(41);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+        // Out-of-range probabilities clamp instead of panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+}

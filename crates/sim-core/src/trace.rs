@@ -1,0 +1,144 @@
+//! Bounded event tracing.
+//!
+//! Governor debugging needs "what did it decide, and when?" without paying
+//! for an unbounded log across a multi-minute campaign. [`TraceRing`] keeps
+//! the most recent `capacity` events; older ones are dropped silently.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A single traced event: a timestamp plus a preformatted message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event occurred on the simulated timeline.
+    pub at: SimTime,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.at, self.message)
+    }
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s.
+///
+/// # Example
+///
+/// ```
+/// use dora_sim_core::{SimTime, trace::TraceRing};
+///
+/// let mut ring = TraceRing::new(2);
+/// ring.record(SimTime::from_millis(1), "freq -> 1.2 GHz");
+/// ring.record(SimTime::from_millis(2), "freq -> 1.5 GHz");
+/// ring.record(SimTime::from_millis(3), "freq -> 1.7 GHz");
+/// let events: Vec<_> = ring.iter().map(|e| e.message.clone()).collect();
+/// assert_eq!(events, ["freq -> 1.5 GHz", "freq -> 1.7 GHz"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring retaining at most `capacity` events. A capacity of
+    /// zero creates a ring that records nothing (a cheap "tracing off").
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if at capacity.
+    pub fn record(&mut self, at: SimTime, message: impl Into<String>) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            message: message.into(),
+        });
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events that were recorded but have since been evicted
+    /// (or never stored, for a zero-capacity ring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes all retained events (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_events() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.record(SimTime::from_millis(i), format!("e{i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let msgs: Vec<_> = ring.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut ring = TraceRing::new(0);
+        ring.record(SimTime::ZERO, "ignored");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_preserves_drop_count() {
+        let mut ring = TraceRing::new(1);
+        ring.record(SimTime::ZERO, "a");
+        ring.record(SimTime::ZERO, "b");
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn display_formats_timestamp() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1500),
+            message: "hello".into(),
+        };
+        assert_eq!(e.to_string(), "[t=1.500000s] hello");
+    }
+}

@@ -1,0 +1,896 @@
+//! The assembled smartphone platform.
+//!
+//! A [`Board`] owns four cores (the paper disables the fourth), the shared
+//! L2, the LPDDR3 memory system, a thermal node, and the power model, and
+//! advances them together in fixed quanta (1 ms by default). Per quantum it
+//! solves a small fixed point: instruction rates determine cache pressure,
+//! cache pressure determines miss ratios, misses determine DRAM queuing,
+//! and queuing feeds back into effective CPI. That loop is what makes a
+//! co-scheduled memory hog genuinely slow the browser down — the paper's
+//! central phenomenon.
+
+use crate::cache::{CacheDemand, SharedCache};
+use crate::counters::{CoreCounters, CounterSet};
+use crate::dvfs::{DvfsTable, Frequency, Opp};
+use crate::memory::MemorySystem;
+use crate::power::{PowerBreakdown, PowerModel, PowerParams};
+use crate::task::Task;
+use crate::thermal::{ThermalNode, ThermalParams};
+use dora_sim_core::stats::TimeWeighted;
+use dora_sim_core::trace::TraceRing;
+use dora_sim_core::{SimDuration, SimTime};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Board`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoardError {
+    /// The referenced core id does not exist on this board.
+    CoreOutOfRange(usize),
+    /// The core already has a task assigned.
+    CoreOccupied(usize),
+    /// The core is powered off.
+    CoreDisabled(usize),
+    /// The frequency is not an entry of the DVFS table.
+    UnknownFrequency(Frequency),
+}
+
+impl fmt::Display for BoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoardError::CoreOutOfRange(id) => write!(f, "core {id} out of range"),
+            BoardError::CoreOccupied(id) => write!(f, "core {id} already has a task"),
+            BoardError::CoreDisabled(id) => write!(f, "core {id} is powered off"),
+            BoardError::UnknownFrequency(freq) => {
+                write!(f, "frequency {freq} is not in the DVFS table")
+            }
+        }
+    }
+}
+
+impl Error for BoardError {}
+
+/// Static configuration of a board.
+#[derive(Debug, Clone)]
+pub struct BoardConfig {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Number of physical cores.
+    pub num_cores: usize,
+    /// Which cores are powered on at construction.
+    pub cores_enabled: Vec<bool>,
+    /// The DVFS operating-point table.
+    pub dvfs: DvfsTable,
+    /// Shared L2 capacity in bytes.
+    pub l2_capacity_bytes: f64,
+    /// The DRAM model.
+    pub memory: MemorySystem,
+    /// The power model parameters.
+    pub power: PowerParams,
+    /// The thermal node parameters.
+    pub thermal: ThermalParams,
+    /// Simulation quantum.
+    pub quantum: SimDuration,
+    /// Core stall incurred by one DVFS transition (Section V-H measures
+    /// frequency switching as the dominant overhead, up to 3 % of
+    /// execution time when switches are frequent).
+    pub dvfs_switch_stall: SimDuration,
+    /// Memory-level-parallelism overlap factor: the fraction of each miss
+    /// latency that actually stalls retirement.
+    pub mem_overlap: f64,
+    /// Fraction of evicted lines that are dirty (written back).
+    pub dirty_fraction: f64,
+}
+
+impl BoardConfig {
+    /// The Nexus 5 platform of the paper's Table II: four Krait cores
+    /// (fourth switched off, as in Section IV-B), 2 MB shared L2, LPDDR3,
+    /// the 14-entry MSM8974 DVFS table, room ambient.
+    pub fn nexus5() -> Self {
+        BoardConfig {
+            name: "Google Nexus 5 (MSM8974 Snapdragon 800)".to_string(),
+            num_cores: 4,
+            cores_enabled: vec![true, true, true, false],
+            dvfs: DvfsTable::msm8974(),
+            l2_capacity_bytes: 2.0 * 1024.0 * 1024.0,
+            memory: MemorySystem::lpddr3(),
+            power: PowerParams::nexus5(),
+            thermal: ThermalParams::nexus5_room(),
+            quantum: SimDuration::from_millis(1),
+            dvfs_switch_stall: SimDuration::from_micros(60),
+            mem_overlap: 0.65,
+            dirty_fraction: 0.30,
+        }
+    }
+
+    /// Same platform at the cold ambient of Fig. 10(b).
+    pub fn nexus5_cold() -> Self {
+        BoardConfig {
+            thermal: ThermalParams::nexus5_cold(),
+            ..BoardConfig::nexus5()
+        }
+    }
+
+    /// Validates all constituent parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cores == 0 {
+            return Err("board needs at least one core".into());
+        }
+        if self.cores_enabled.len() != self.num_cores {
+            return Err("cores_enabled length must equal num_cores".into());
+        }
+        if !(self.l2_capacity_bytes.is_finite() && self.l2_capacity_bytes > 0.0) {
+            return Err(format!("bad L2 capacity {}", self.l2_capacity_bytes));
+        }
+        if self.quantum.is_zero() {
+            return Err("quantum must be positive".into());
+        }
+        if !(self.mem_overlap.is_finite() && (0.0..=1.0).contains(&self.mem_overlap)) {
+            return Err(format!("mem_overlap {} outside [0,1]", self.mem_overlap));
+        }
+        if !(self.dirty_fraction.is_finite() && (0.0..=1.0).contains(&self.dirty_fraction)) {
+            return Err(format!("dirty_fraction {} outside [0,1]", self.dirty_fraction));
+        }
+        self.power.validate()?;
+        self.thermal.validate()?;
+        Ok(())
+    }
+}
+
+/// Cumulative device energy itemized by power-model component (joules).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Platform floor (display, rails).
+    pub platform_j: f64,
+    /// Per-core dynamic switching energy.
+    pub core_dynamic_j: f64,
+    /// Uncore/interconnect energy.
+    pub uncore_j: f64,
+    /// DRAM traffic energy.
+    pub dram_j: f64,
+    /// Eq. 5 leakage energy.
+    pub leakage_j: f64,
+}
+
+impl EnergyBreakdown {
+    fn accumulate(&mut self, power: &PowerBreakdown, dt_s: f64) {
+        self.platform_j += power.platform_w * dt_s;
+        self.core_dynamic_j += power.core_dynamic_w * dt_s;
+        self.uncore_j += power.uncore_w * dt_s;
+        self.dram_j += power.dram_w * dt_s;
+        self.leakage_j += power.leakage_w * dt_s;
+    }
+
+    /// The sum of all components.
+    pub fn total_j(&self) -> f64 {
+        self.platform_j + self.core_dynamic_j + self.uncore_j + self.dram_j + self.leakage_j
+    }
+}
+
+/// One core's slot on the board.
+#[derive(Debug)]
+struct CoreSlot {
+    enabled: bool,
+    task: Option<Box<dyn Task>>,
+    finish_time: Option<SimTime>,
+}
+
+/// The assembled, steppable platform.
+///
+/// # Example
+///
+/// ```
+/// use dora_soc::board::{Board, BoardConfig};
+/// use dora_soc::task::{PhasedTask, PhaseProfile};
+/// use dora_sim_core::SimDuration;
+///
+/// let mut board = Board::new(BoardConfig::nexus5(), 1);
+/// board.assign(
+///     0,
+///     Box::new(PhasedTask::new(
+///         "job",
+///         vec![(5.0e8, PhaseProfile::compute_bound())],
+///     )),
+/// )?;
+/// let fmax = board.config().dvfs.max_frequency();
+/// board.set_frequency(fmax)?;
+/// while !board.task_finished(0) {
+///     board.step(SimDuration::from_millis(10));
+/// }
+/// let t = board.finish_time(0).expect("finished");
+/// assert!(t.as_secs_f64() > 0.1 && t.as_secs_f64() < 1.0);
+/// # Ok::<(), dora_soc::BoardError>(())
+/// ```
+#[derive(Debug)]
+pub struct Board {
+    config: BoardConfig,
+    cache: SharedCache,
+    power_model: PowerModel,
+    thermal: ThermalNode,
+    slots: Vec<CoreSlot>,
+    counters: CounterSet,
+    freq_index: usize,
+    now: SimTime,
+    energy_j: f64,
+    power_track: TimeWeighted,
+    last_power: PowerBreakdown,
+    switch_count: u64,
+    pending_stall: SimDuration,
+    energy_breakdown: EnergyBreakdown,
+    trace: Option<TraceRing>,
+    #[allow(dead_code)]
+    seed: u64,
+}
+
+impl Board {
+    /// Builds a board from a validated configuration. The `seed` pins any
+    /// stochastic elements (none in the board itself today; tasks carry
+    /// their own seeds) and is recorded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`BoardConfig::validate`].
+    pub fn new(config: BoardConfig, seed: u64) -> Self {
+        config.validate().expect("invalid board configuration");
+        let cache = SharedCache::new(config.l2_capacity_bytes);
+        let power_model = PowerModel::new(config.power).expect("validated above");
+        let thermal = ThermalNode::new(config.thermal);
+        let slots = config
+            .cores_enabled
+            .iter()
+            .map(|&enabled| CoreSlot {
+                enabled,
+                task: None,
+                finish_time: None,
+            })
+            .collect();
+        let counters = CounterSet::new(config.num_cores);
+        Board {
+            cache,
+            power_model,
+            thermal,
+            slots,
+            counters,
+            freq_index: 0,
+            now: SimTime::ZERO,
+            energy_j: 0.0,
+            power_track: TimeWeighted::new(),
+            last_power: PowerBreakdown::default(),
+            switch_count: 0,
+            pending_stall: SimDuration::ZERO,
+            energy_breakdown: EnergyBreakdown::default(),
+            trace: None,
+            seed,
+            config,
+        }
+    }
+
+    /// Enables event tracing: DVFS transitions, task assignments and task
+    /// completions are recorded into a bounded ring of `capacity` events
+    /// (oldest evicted first). Pass 0 to disable again.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = if capacity == 0 {
+            None
+        } else {
+            Some(TraceRing::new(capacity))
+        };
+    }
+
+    /// The recorded events, oldest first (empty when tracing is off).
+    pub fn trace_events(&self) -> Vec<dora_sim_core::trace::TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(|t| t.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn record(&mut self, message: String) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(self.now, message);
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &BoardConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current operating point.
+    pub fn opp(&self) -> Opp {
+        self.config.dvfs.opp(self.freq_index)
+    }
+
+    /// Current core frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.opp().frequency
+    }
+
+    /// Die temperature in °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.thermal.temperature_c()
+    }
+
+    /// Peak die temperature so far in °C.
+    pub fn peak_temperature_c(&self) -> f64 {
+        self.thermal.peak_c()
+    }
+
+    /// Total device energy consumed so far, in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// The cumulative energy itemized by power-model component.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        self.energy_breakdown
+    }
+
+    /// Time-weighted mean device power so far, in watts.
+    pub fn mean_power_w(&self) -> f64 {
+        self.power_track.mean()
+    }
+
+    /// The itemized power of the most recent quantum.
+    pub fn last_power(&self) -> PowerBreakdown {
+        self.last_power
+    }
+
+    /// Number of DVFS transitions performed.
+    pub fn switch_count(&self) -> u64 {
+        self.switch_count
+    }
+
+    /// The cumulative counters of core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn counters(&self, i: usize) -> CoreCounters {
+        *self.counters.core(i)
+    }
+
+    /// A snapshot of all counters (for governor delta sampling).
+    pub fn counter_set(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Assigns a task to a core.
+    ///
+    /// # Errors
+    ///
+    /// [`BoardError::CoreOutOfRange`], [`BoardError::CoreDisabled`], or
+    /// [`BoardError::CoreOccupied`].
+    pub fn assign(&mut self, core: usize, task: Box<dyn Task>) -> Result<(), BoardError> {
+        let slot = self
+            .slots
+            .get_mut(core)
+            .ok_or(BoardError::CoreOutOfRange(core))?;
+        if !slot.enabled {
+            return Err(BoardError::CoreDisabled(core));
+        }
+        if slot.task.is_some() {
+            return Err(BoardError::CoreOccupied(core));
+        }
+        let name = task.name().to_string();
+        slot.task = Some(task);
+        slot.finish_time = None;
+        self.record(format!("core{core}: assigned task {name:?}"));
+        Ok(())
+    }
+
+    /// Removes and returns the task on a core, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`BoardError::CoreOutOfRange`].
+    pub fn clear_core(&mut self, core: usize) -> Result<Option<Box<dyn Task>>, BoardError> {
+        let slot = self
+            .slots
+            .get_mut(core)
+            .ok_or(BoardError::CoreOutOfRange(core))?;
+        slot.finish_time = None;
+        Ok(slot.task.take())
+    }
+
+    /// A shared view of the task on a core, if any.
+    pub fn task(&self, core: usize) -> Option<&dyn Task> {
+        self.slots.get(core)?.task.as_deref()
+    }
+
+    /// Whether the task on `core` has completed all its work. `false` when
+    /// no task is assigned.
+    pub fn task_finished(&self, core: usize) -> bool {
+        self.slots
+            .get(core)
+            .and_then(|s| s.task.as_ref())
+            .is_some_and(|t| t.is_finished())
+    }
+
+    /// The instant the task on `core` finished, interpolated within its
+    /// final quantum. `None` while unfinished or unassigned.
+    pub fn finish_time(&self, core: usize) -> Option<SimTime> {
+        self.slots.get(core)?.finish_time
+    }
+
+    /// Sets the cluster frequency. A no-op (no stall, no switch counted)
+    /// when the target equals the current frequency — mirroring DORA's
+    /// "change only when fopt moved" behaviour (Section V-H).
+    ///
+    /// # Errors
+    ///
+    /// [`BoardError::UnknownFrequency`] if `f` is not a table entry.
+    pub fn set_frequency(&mut self, f: Frequency) -> Result<(), BoardError> {
+        let index = self
+            .config
+            .dvfs
+            .index_of(f)
+            .ok_or(BoardError::UnknownFrequency(f))?;
+        if index != self.freq_index {
+            self.freq_index = index;
+            self.switch_count += 1;
+            self.pending_stall += self.config.dvfs_switch_stall;
+            self.record(format!("dvfs: -> {f}"));
+        }
+        Ok(())
+    }
+
+    /// Advances the board by `duration`, in quanta of the configured size.
+    pub fn step(&mut self, duration: SimDuration) {
+        let mut left = duration;
+        while !left.is_zero() {
+            let dt = if left < self.config.quantum {
+                left
+            } else {
+                self.config.quantum
+            };
+            self.step_quantum(dt);
+            left = left.saturating_sub(dt);
+        }
+    }
+
+    /// One quantum of execution.
+    fn step_quantum(&mut self, dt: SimDuration) {
+        let dt_s = dt.as_secs_f64();
+        // Consume pending DVFS stall: it eats into the available run time
+        // of this quantum for all cores.
+        let stall = if self.pending_stall < dt {
+            self.pending_stall
+        } else {
+            dt
+        };
+        self.pending_stall = self.pending_stall.saturating_sub(stall);
+        let avail_s = (dt.saturating_sub(stall)).as_secs_f64();
+
+        let opp = self.opp();
+        let f_hz = opp.frequency.as_hz();
+        let tier = self.config.dvfs.bus_tier(opp.frequency);
+
+        // Collect active (enabled, unfinished) tasks.
+        let active: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.enabled && s.task.as_ref().is_some_and(|t| !t.is_finished())
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        let profiles: Vec<_> = active
+            .iter()
+            .map(|&i| {
+                self.slots[i]
+                    .task
+                    .as_ref()
+                    .expect("active implies task")
+                    .profile()
+                    .expect("active implies unfinished")
+            })
+            .collect();
+
+        // Fixed point: instruction rates <-> cache shares <-> DRAM latency.
+        let n = active.len();
+        let mut instr_rates: Vec<f64> = profiles
+            .iter()
+            .map(|p| p.duty_cycle * f_hz / p.base_cpi)
+            .collect();
+        let mut miss_ratios = vec![0.0f64; n];
+        let mut dram_demand = 0.0f64;
+        for _ in 0..4 {
+            let demands: Vec<CacheDemand> = profiles
+                .iter()
+                .zip(&instr_rates)
+                .map(|(p, &r)| CacheDemand {
+                    access_rate: r * p.l2_apki / 1000.0,
+                    working_set: p.working_set_bytes,
+                    reuse_fraction: p.reuse_fraction,
+                })
+                .collect();
+            let shares = self.cache.apportion(&demands);
+            dram_demand = 0.0;
+            for i in 0..n {
+                miss_ratios[i] = shares[i].miss_ratio;
+                let miss_rate = demands[i].access_rate * shares[i].miss_ratio;
+                dram_demand +=
+                    MemorySystem::demand_from_miss_rate(miss_rate, self.config.dirty_fraction);
+            }
+            let lat_ns = self.config.memory.miss_latency_ns(tier, dram_demand);
+            for i in 0..n {
+                let p = &profiles[i];
+                let miss_cycles =
+                    (p.l2_apki / 1000.0) * miss_ratios[i] * lat_ns * 1e-9 * f_hz * self.config.mem_overlap;
+                let cpi_eff = p.base_cpi + miss_cycles;
+                instr_rates[i] = p.duty_cycle * f_hz / cpi_eff;
+            }
+        }
+
+        // Retire work and update counters; interpolate finish times.
+        let mut core_utils = vec![0.0f64; self.config.num_cores];
+        let mut finished_cores: Vec<(usize, SimTime)> = Vec::new();
+        for (k, &core) in active.iter().enumerate() {
+            let p = &profiles[k];
+            let offered = instr_rates[k] * avail_s;
+            let task = self.slots[core].task.as_mut().expect("active");
+            let remaining = remaining_of(task.as_ref());
+            let executed = match remaining {
+                Some(rem) if rem < offered => rem,
+                _ => offered,
+            };
+            task.retire(executed);
+            let busy_frac = if offered > 0.0 {
+                p.duty_cycle * (executed / offered) * (avail_s / dt_s)
+            } else {
+                0.0
+            };
+            core_utils[core] = busy_frac;
+            let c = self.counters.core_mut(core);
+            c.instructions += executed;
+            c.busy_time_s += busy_frac * dt_s;
+            let accesses = executed * p.l2_apki / 1000.0;
+            c.l2_accesses += accesses;
+            c.l2_misses += accesses * miss_ratios[k];
+            if self.slots[core].task.as_ref().expect("active").is_finished()
+                && self.slots[core].finish_time.is_none()
+            {
+                // Fraction of the quantum actually needed.
+                let frac = if offered > 0.0 {
+                    (executed / offered).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                let used = SimDuration::from_secs_f64(
+                    stall.as_secs_f64() + avail_s * frac,
+                );
+                let at = self.now + used;
+                self.slots[core].finish_time = Some(at);
+                finished_cores.push((core, at));
+            }
+        }
+        for (core, at) in finished_cores {
+            self.record(format!("core{core}: task finished at {at}"));
+        }
+        // Wall time advances for every enabled core.
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.enabled {
+                self.counters.core_mut(i).total_time_s += dt_s;
+            }
+        }
+
+        // Power and heat. The DRAM demand actually served is pro-rated by
+        // the time the cores were running.
+        let served_dram = dram_demand * (avail_s / dt_s.max(1e-12));
+        let breakdown =
+            self.power_model
+                .evaluate(opp, &core_utils, served_dram, self.thermal.temperature_c());
+        self.energy_j += breakdown.total_w() * dt_s;
+        self.energy_breakdown.accumulate(&breakdown, dt_s);
+        self.power_track.record(breakdown.total_w(), dt_s);
+        self.thermal.step(breakdown.soc_w(), dt_s);
+        self.last_power = breakdown;
+        self.now += dt;
+    }
+}
+
+/// Extracts a task's remaining-instruction hint when it offers one.
+fn remaining_of(task: &dyn Task) -> Option<f64> {
+    task.remaining_instructions()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{LoopTask, PhaseProfile, PhasedTask};
+
+    fn compute_task(instructions: f64) -> Box<PhasedTask> {
+        Box::new(PhasedTask::new(
+            "job",
+            vec![(instructions, PhaseProfile::compute_bound())],
+        ))
+    }
+
+    fn board() -> Board {
+        Board::new(BoardConfig::nexus5(), 7)
+    }
+
+    #[test]
+    fn nexus5_config_is_valid() {
+        assert!(BoardConfig::nexus5().validate().is_ok());
+        assert!(BoardConfig::nexus5_cold().validate().is_ok());
+    }
+
+    #[test]
+    fn assign_errors() {
+        let mut b = board();
+        assert_eq!(
+            b.assign(9, compute_task(1.0)).unwrap_err(),
+            BoardError::CoreOutOfRange(9)
+        );
+        assert_eq!(
+            b.assign(3, compute_task(1.0)).unwrap_err(),
+            BoardError::CoreDisabled(3)
+        );
+        b.assign(0, compute_task(1.0)).expect("free core");
+        assert_eq!(
+            b.assign(0, compute_task(1.0)).unwrap_err(),
+            BoardError::CoreOccupied(0)
+        );
+    }
+
+    #[test]
+    fn unknown_frequency_rejected() {
+        let mut b = board();
+        let err = b.set_frequency(Frequency::from_mhz(1234.0)).unwrap_err();
+        assert_eq!(err, BoardError::UnknownFrequency(Frequency::from_mhz(1234.0)));
+    }
+
+    #[test]
+    fn higher_frequency_finishes_sooner() {
+        let work = 2.0e9;
+        let mut times = Vec::new();
+        for mhz in [729.6, 1497.6, 2265.6] {
+            let mut b = board();
+            b.set_frequency(Frequency::from_mhz(mhz)).expect("in table");
+            b.assign(0, compute_task(work)).expect("free");
+            while !b.task_finished(0) {
+                b.step(SimDuration::from_millis(50));
+            }
+            times.push(b.finish_time(0).expect("finished").as_secs_f64());
+        }
+        assert!(times[0] > times[1] && times[1] > times[2], "{times:?}");
+        // Compute-bound: time should scale roughly inversely with frequency.
+        let ratio = times[0] / times[2];
+        let freq_ratio = 2265.6 / 729.6;
+        assert!((ratio / freq_ratio - 1.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn finish_time_is_subquantum_accurate() {
+        let mut b = board();
+        let f = b.config().dvfs.max_frequency();
+        b.set_frequency(f).expect("in table");
+        // ~10.37 ms of work at 2.2656 GHz, CPI 1 (plus small L2 traffic).
+        b.assign(0, compute_task(2.35e7)).expect("free");
+        b.step(SimDuration::from_millis(30));
+        let t = b.finish_time(0).expect("finished").as_secs_f64();
+        assert!(t > 0.009 && t < 0.013, "finish {t}");
+        // Not snapped to a quantum edge.
+        let ms = t * 1000.0;
+        assert!((ms - ms.round()).abs() > 1e-6, "suspiciously aligned: {ms}");
+    }
+
+    #[test]
+    fn memory_hog_slows_the_victim() {
+        let work = 2.0e9;
+        let solo = {
+            let mut b = board();
+            b.set_frequency(Frequency::from_mhz(1497.6)).expect("ok");
+            b.assign(
+                0,
+                Box::new(PhasedTask::new(
+                    "victim",
+                    vec![(
+                        work,
+                        PhaseProfile {
+                            l2_apki: 20.0,
+                            working_set_bytes: 1.5 * 1024.0 * 1024.0,
+                            reuse_fraction: 0.85,
+                            ..PhaseProfile::compute_bound()
+                        },
+                    )],
+                )),
+            )
+            .expect("free");
+            while !b.task_finished(0) {
+                b.step(SimDuration::from_millis(50));
+            }
+            b.finish_time(0).expect("finished").as_secs_f64()
+        };
+        let contended = {
+            let mut b = board();
+            b.set_frequency(Frequency::from_mhz(1497.6)).expect("ok");
+            b.assign(
+                0,
+                Box::new(PhasedTask::new(
+                    "victim",
+                    vec![(
+                        work,
+                        PhaseProfile {
+                            l2_apki: 20.0,
+                            working_set_bytes: 1.5 * 1024.0 * 1024.0,
+                            reuse_fraction: 0.85,
+                            ..PhaseProfile::compute_bound()
+                        },
+                    )],
+                )),
+            )
+            .expect("free");
+            b.assign(2, Box::new(LoopTask::new("hog", PhaseProfile::streaming(60.0))))
+                .expect("free");
+            while !b.task_finished(0) {
+                b.step(SimDuration::from_millis(50));
+            }
+            b.finish_time(0).expect("finished").as_secs_f64()
+        };
+        assert!(
+            contended > solo * 1.05,
+            "interference too weak: {solo} vs {contended}"
+        );
+    }
+
+    #[test]
+    fn energy_accumulates_and_power_is_plausible() {
+        let mut b = board();
+        b.set_frequency(Frequency::from_mhz(1497.6)).expect("ok");
+        b.assign(0, Box::new(LoopTask::compute_bound("spin", 1.0)))
+            .expect("free");
+        b.step(SimDuration::from_secs(2));
+        let e = b.energy_j();
+        let p = b.mean_power_w();
+        assert!((p - e / 2.0).abs() < 1e-9);
+        assert!((1.5..5.0).contains(&p), "power {p}");
+    }
+
+    #[test]
+    fn temperature_rises_under_load() {
+        let mut b = board();
+        b.set_frequency(b.config().dvfs.max_frequency()).expect("ok");
+        b.assign(0, Box::new(LoopTask::compute_bound("spin", 1.0)))
+            .expect("free");
+        b.assign(1, Box::new(LoopTask::compute_bound("spin2", 1.0)))
+            .expect("free");
+        let t0 = b.temperature_c();
+        b.step(SimDuration::from_secs(20));
+        assert!(b.temperature_c() > t0 + 5.0);
+        assert!(b.peak_temperature_c() >= b.temperature_c());
+    }
+
+    #[test]
+    fn switch_counting_and_noop() {
+        let mut b = board();
+        let f1 = Frequency::from_mhz(1497.6);
+        b.set_frequency(f1).expect("ok");
+        b.set_frequency(f1).expect("ok"); // no-op
+        assert_eq!(b.switch_count(), 1);
+        b.set_frequency(Frequency::from_mhz(729.6)).expect("ok");
+        assert_eq!(b.switch_count(), 2);
+    }
+
+    #[test]
+    fn dvfs_stall_delays_completion() {
+        // Same work, but one run thrashes the frequency between two
+        // entries every quantum, paying the switch stall repeatedly.
+        let work = 1.0e9;
+        let run = |thrash: bool| {
+            let mut b = board();
+            b.set_frequency(Frequency::from_mhz(1958.4)).expect("ok");
+            b.assign(0, compute_task(work)).expect("free");
+            let mut flip = false;
+            while !b.task_finished(0) {
+                if thrash {
+                    let f = if flip {
+                        Frequency::from_mhz(1958.4)
+                    } else {
+                        Frequency::from_mhz(2112.0)
+                    };
+                    b.set_frequency(f).expect("ok");
+                    flip = !flip;
+                }
+                b.step(SimDuration::from_millis(1));
+            }
+            b.finish_time(0).expect("finished").as_secs_f64()
+        };
+        let calm = run(false);
+        let thrashed = run(true);
+        assert!(thrashed > calm, "stall should cost time: {calm} vs {thrashed}");
+    }
+
+    #[test]
+    fn utilization_reflects_duty_cycle() {
+        let mut b = board();
+        b.set_frequency(Frequency::from_mhz(1497.6)).expect("ok");
+        b.assign(2, Box::new(LoopTask::compute_bound("duty", 0.4)))
+            .expect("free");
+        b.step(SimDuration::from_secs(1));
+        let u = b.counters(2).utilization();
+        assert!((u - 0.4).abs() < 0.05, "utilization {u}");
+    }
+
+    #[test]
+    fn disabled_core_accumulates_no_wall_time() {
+        let mut b = board();
+        b.step(SimDuration::from_millis(100));
+        assert_eq!(b.counters(3).total_time_s, 0.0);
+        assert!(b.counters(0).total_time_s > 0.0);
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let mut b = board();
+        b.set_frequency(Frequency::from_mhz(1728.0)).expect("ok");
+        b.assign(0, Box::new(LoopTask::compute_bound("spin", 1.0)))
+            .expect("free");
+        b.assign(2, Box::new(LoopTask::new("hog", PhaseProfile::streaming(30.0))))
+            .expect("free");
+        b.step(SimDuration::from_secs(3));
+        let e = b.energy_breakdown();
+        assert!((e.total_j() - b.energy_j()).abs() < 1e-6);
+        // Every component participated.
+        assert!(e.platform_j > 0.0);
+        assert!(e.core_dynamic_j > 0.0);
+        assert!(e.uncore_j > 0.0);
+        assert!(e.dram_j > 0.0, "{e:?}");
+        assert!(e.leakage_j > 0.0);
+        // The platform floor dominates a 3 s window at moderate load.
+        assert!(e.platform_j > e.dram_j, "{e:?}");
+    }
+
+    #[test]
+    fn trace_records_lifecycle_events() {
+        let mut b = board();
+        b.enable_trace(16);
+        b.set_frequency(Frequency::from_mhz(1958.4)).expect("ok");
+        b.assign(0, compute_task(1.0e7)).expect("free");
+        while !b.task_finished(0) {
+            b.step(SimDuration::from_millis(5));
+        }
+        let events: Vec<String> = b
+            .trace_events()
+            .into_iter()
+            .map(|e| e.message)
+            .collect();
+        assert!(events.iter().any(|m| m.contains("dvfs: -> 1.958GHz")), "{events:?}");
+        assert!(events.iter().any(|m| m.contains("assigned task \"job\"")), "{events:?}");
+        assert!(events.iter().any(|m| m.contains("core0: task finished")), "{events:?}");
+    }
+
+    #[test]
+    fn trace_off_by_default_and_disableable() {
+        let mut b = board();
+        b.set_frequency(Frequency::from_mhz(729.6)).expect("ok");
+        assert!(b.trace_events().is_empty());
+        b.enable_trace(4);
+        b.set_frequency(Frequency::from_mhz(960.0)).expect("ok");
+        assert_eq!(b.trace_events().len(), 1);
+        b.enable_trace(0);
+        assert!(b.trace_events().is_empty());
+    }
+
+    #[test]
+    fn clear_core_returns_task() {
+        let mut b = board();
+        b.assign(1, compute_task(5.0)).expect("free");
+        let t = b.clear_core(1).expect("in range");
+        assert!(t.is_some());
+        assert!(b.clear_core(1).expect("in range").is_none());
+        assert!(b.clear_core(77).is_err());
+    }
+}

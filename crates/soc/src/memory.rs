@@ -1,0 +1,209 @@
+//! DRAM bandwidth and queuing-delay model.
+//!
+//! The Nexus 5 carries 2 GB of LPDDR3 shared between the application cores
+//! and accelerators (Table II). Two properties of this memory system matter
+//! to DORA:
+//!
+//! 1. The effective DDR clock follows the core frequency piecewise
+//!    ([`BusTier`]), so miss latency and bandwidth are functions of the
+//!    *core* DVFS setting — this is why the paper includes the memory bus
+//!    frequency (X8) as a model input and fits piecewise surfaces.
+//! 2. Miss traffic from co-scheduled tasks contends in the controller:
+//!    queuing delay grows super-linearly as utilization approaches
+//!    saturation, which is how a high-MPKI co-runner slows the browser
+//!    even beyond the cache-occupancy effect.
+//!
+//! The queuing model is the usual single-server approximation:
+//! `latency = base · (1 + k · ρ / (1 − ρ))` with utilization `ρ` capped
+//! below 1.
+
+use crate::dvfs::BusTier;
+
+/// Bytes transferred per L2 miss (one cache line).
+pub const LINE_BYTES: f64 = 64.0;
+
+/// Per-tier memory-system parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierParams {
+    /// Sustainable bandwidth in bytes per second.
+    pub peak_bandwidth: f64,
+    /// Unloaded (zero-queue) miss latency in nanoseconds.
+    pub base_latency_ns: f64,
+}
+
+/// The LPDDR3 memory system.
+///
+/// # Example
+///
+/// ```
+/// use dora_soc::dvfs::BusTier;
+/// use dora_soc::memory::MemorySystem;
+///
+/// let mem = MemorySystem::lpddr3();
+/// let idle = mem.miss_latency_ns(BusTier::High, 0.0);
+/// let busy = mem.miss_latency_ns(BusTier::High, 5.0e9);
+/// assert!(busy > idle); // queuing under load
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySystem {
+    tiers: [TierParams; 3],
+    /// Queuing-delay gain `k` in `base·(1 + k·ρ/(1−ρ))`.
+    queue_gain: f64,
+    /// Cap applied to utilization to keep latency finite.
+    max_utilization: f64,
+}
+
+impl MemorySystem {
+    /// The LPDDR3-1600-class configuration used by the Nexus 5 board model.
+    ///
+    /// Peak bandwidths are effective (not theoretical) figures; base
+    /// latencies fall as the DDR clock rises.
+    pub fn lpddr3() -> Self {
+        MemorySystem {
+            tiers: [
+                // BusTier::Low — 200 MHz DDR vote.
+                TierParams {
+                    peak_bandwidth: 2.0e9,
+                    base_latency_ns: 150.0,
+                },
+                // BusTier::Mid — 460.8 MHz.
+                TierParams {
+                    peak_bandwidth: 4.2e9,
+                    base_latency_ns: 110.0,
+                },
+                // BusTier::High — 800 MHz.
+                TierParams {
+                    peak_bandwidth: 6.8e9,
+                    base_latency_ns: 85.0,
+                },
+            ],
+            queue_gain: 0.55,
+            max_utilization: 0.93,
+        }
+    }
+
+    /// Builds a memory system from explicit tier parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bandwidth or latency is non-positive, if
+    /// `queue_gain < 0`, or if `max_utilization` is outside `(0, 1)`.
+    pub fn new(tiers: [TierParams; 3], queue_gain: f64, max_utilization: f64) -> Self {
+        for t in &tiers {
+            assert!(t.peak_bandwidth > 0.0, "non-positive bandwidth");
+            assert!(t.base_latency_ns > 0.0, "non-positive latency");
+        }
+        assert!(queue_gain >= 0.0, "negative queue gain");
+        assert!(
+            max_utilization > 0.0 && max_utilization < 1.0,
+            "max utilization must be in (0,1)"
+        );
+        MemorySystem {
+            tiers,
+            queue_gain,
+            max_utilization,
+        }
+    }
+
+    /// The parameters of a tier.
+    pub fn params(&self, tier: BusTier) -> TierParams {
+        self.tiers[tier.index()]
+    }
+
+    /// DRAM utilization for a demand of `bytes_per_sec`, capped below 1.
+    pub fn utilization(&self, tier: BusTier, bytes_per_sec: f64) -> f64 {
+        let demand = bytes_per_sec.max(0.0);
+        (demand / self.params(tier).peak_bandwidth).min(self.max_utilization)
+    }
+
+    /// Effective miss latency in nanoseconds under the given aggregate
+    /// demand. Monotone non-decreasing in demand.
+    pub fn miss_latency_ns(&self, tier: BusTier, bytes_per_sec: f64) -> f64 {
+        let p = self.params(tier);
+        let rho = self.utilization(tier, bytes_per_sec);
+        p.base_latency_ns * (1.0 + self.queue_gain * rho / (1.0 - rho))
+    }
+
+    /// Convenience: converts an L2 miss rate (misses/second) into a DRAM
+    /// demand in bytes/second, counting fill plus writeback traffic.
+    pub fn demand_from_miss_rate(miss_rate_per_sec: f64, dirty_fraction: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&dirty_fraction));
+        miss_rate_per_sec.max(0.0) * LINE_BYTES * (1.0 + dirty_fraction)
+    }
+}
+
+impl Default for MemorySystem {
+    fn default() -> Self {
+        MemorySystem::lpddr3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_tier_is_faster_and_wider() {
+        let mem = MemorySystem::lpddr3();
+        let lo = mem.params(BusTier::Low);
+        let hi = mem.params(BusTier::High);
+        assert!(hi.peak_bandwidth > lo.peak_bandwidth);
+        assert!(hi.base_latency_ns < lo.base_latency_ns);
+    }
+
+    #[test]
+    fn idle_latency_equals_base() {
+        let mem = MemorySystem::lpddr3();
+        for tier in BusTier::ALL {
+            assert_eq!(
+                mem.miss_latency_ns(tier, 0.0),
+                mem.params(tier).base_latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_demand() {
+        let mem = MemorySystem::lpddr3();
+        let mut last = 0.0;
+        for demand in [0.0, 1e9, 2e9, 4e9, 6e9, 1e10, 1e12] {
+            let lat = mem.miss_latency_ns(BusTier::High, demand);
+            assert!(lat >= last, "{lat} < {last} at demand {demand}");
+            last = lat;
+        }
+    }
+
+    #[test]
+    fn latency_stays_finite_past_saturation() {
+        let mem = MemorySystem::lpddr3();
+        let lat = mem.miss_latency_ns(BusTier::Low, 1e15);
+        assert!(lat.is_finite());
+        // With rho capped at 0.93 and k = 0.55: 150·(1+0.55·0.93/0.07)
+        assert!(lat < 150.0 * 10.0);
+    }
+
+    #[test]
+    fn utilization_caps() {
+        let mem = MemorySystem::lpddr3();
+        assert_eq!(mem.utilization(BusTier::High, -5.0), 0.0);
+        assert!(mem.utilization(BusTier::High, 1e15) < 1.0);
+    }
+
+    #[test]
+    fn demand_conversion_counts_writebacks() {
+        let clean = MemorySystem::demand_from_miss_rate(1e6, 0.0);
+        let dirty = MemorySystem::demand_from_miss_rate(1e6, 0.5);
+        assert_eq!(clean, 64.0e6);
+        assert_eq!(dirty, 96.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "max utilization")]
+    fn rejects_bad_max_utilization() {
+        let t = TierParams {
+            peak_bandwidth: 1.0,
+            base_latency_ns: 1.0,
+        };
+        let _ = MemorySystem::new([t, t, t], 0.5, 1.0);
+    }
+}

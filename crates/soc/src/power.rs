@@ -1,0 +1,358 @@
+//! Whole-device power model.
+//!
+//! The paper's DAQ measurements cover *the entire smartphone* — display,
+//! application processor, storage, "and all other active components"
+//! (Section IV-A) — which is why energy-efficiency gains translate directly
+//! to battery life, and why the most energy-efficient frequency `fE` sits in
+//! the middle of the range: at low frequency the fixed platform power
+//! dominates a long-running load (race-to-idle), at high frequency dynamic
+//! `C·V²·f` and hot leakage dominate.
+//!
+//! Components:
+//!
+//! * **platform floor** — display at browsing brightness plus rails, radios
+//!   idle: a constant.
+//! * **core dynamic** — `util · C_eff · V² · f` per core.
+//! * **uncore dynamic** — interconnect/L2 clock tree, proportional to the
+//!   core clock while any core is active.
+//! * **DRAM** — energy per byte moved; this term is what makes interference
+//!   cost extra *energy*, not just time (Fig. 2b's `E_Δ`).
+//! * **leakage** — the paper's Eq. 5 (Liao–He–Lepak form):
+//!   `P_lkg = k1·v·T²·e^((α·v+β)/T) + k2·e^(γ·v+δ)` with `T` in kelvin.
+
+use crate::dvfs::Opp;
+
+/// Parameters of the Eq. 5 leakage model.
+///
+/// `P_lkg(v, T) = k1·v·T²·exp((α·v + β)/T) + k2·exp(γ·v + δ)`, `T` in
+/// kelvin, result in watts for the whole SoC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageParams {
+    /// Scale of the temperature-dependent subthreshold term.
+    pub k1: f64,
+    /// Voltage slope inside the exponential (kelvin per volt).
+    pub alpha: f64,
+    /// Offset inside the exponential (kelvin).
+    pub beta: f64,
+    /// Scale of the temperature-independent (gate) term.
+    pub k2: f64,
+    /// Voltage slope of the gate term.
+    pub gamma: f64,
+    /// Offset of the gate term.
+    pub delta: f64,
+}
+
+impl LeakageParams {
+    /// Ground-truth parameters for the simulated SoC, tuned so leakage is
+    /// ≈0.15 W at (0.80 V, 35 °C) and ≈1.2 W at (1.10 V, 65 °C) — a strong
+    /// enough temperature dependence to reproduce the paper's Fig. 10.
+    pub fn nexus5() -> Self {
+        LeakageParams {
+            k1: 0.22,
+            alpha: 800.0,
+            beta: -4300.0,
+            k2: 0.05,
+            gamma: 2.0,
+            delta: -2.0,
+        }
+    }
+
+    /// Evaluates the leakage power in watts at supply `voltage` (volts)
+    /// and die temperature `temp_c` (°C).
+    pub fn power_w(&self, voltage: f64, temp_c: f64) -> f64 {
+        let t = temp_c + 273.15;
+        if t <= 0.0 || !voltage.is_finite() || voltage <= 0.0 {
+            return 0.0;
+        }
+        let sub = self.k1 * voltage * t * t * ((self.alpha * voltage + self.beta) / t).exp();
+        let gate = self.k2 * (self.gamma * voltage + self.delta).exp();
+        (sub + gate).max(0.0)
+    }
+}
+
+/// Parameters of the whole-device power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Constant platform power (display at browsing brightness, rails,
+    /// idle radios) in watts.
+    pub platform_floor_w: f64,
+    /// Effective switching capacitance per core in farads.
+    pub ceff_core_f: f64,
+    /// Uncore dynamic power per GHz of core clock, in watts, scaled by
+    /// the mean core utilization (interconnect/L2 clock activity tracks
+    /// total traffic, not any single core).
+    pub uncore_w_per_ghz: f64,
+    /// DRAM energy per byte moved, in joules.
+    pub dram_j_per_byte: f64,
+    /// Eq. 5 leakage parameters.
+    pub leakage: LeakageParams,
+}
+
+impl PowerParams {
+    /// Nexus-5-like defaults.
+    pub fn nexus5() -> Self {
+        PowerParams {
+            platform_floor_w: 1.45,
+            ceff_core_f: 0.30e-9,
+            uncore_w_per_ghz: 0.18,
+            dram_j_per_byte: 150.0e-12,
+            leakage: LeakageParams::nexus5(),
+        }
+    }
+
+    /// Validates parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("platform_floor_w", self.platform_floor_w),
+            ("ceff_core_f", self.ceff_core_f),
+            ("uncore_w_per_ghz", self.uncore_w_per_ghz),
+            ("dram_j_per_byte", self.dram_j_per_byte),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be non-negative and finite, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Itemized power at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Constant platform (display etc.) watts.
+    pub platform_w: f64,
+    /// Sum of per-core dynamic watts.
+    pub core_dynamic_w: f64,
+    /// Uncore/interconnect dynamic watts.
+    pub uncore_w: f64,
+    /// DRAM traffic watts.
+    pub dram_w: f64,
+    /// Eq. 5 leakage watts.
+    pub leakage_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total device power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.platform_w + self.core_dynamic_w + self.uncore_w + self.dram_w + self.leakage_w
+    }
+
+    /// The SoC-only share (everything except the platform floor) — the
+    /// portion that heats the die.
+    pub fn soc_w(&self) -> f64 {
+        self.core_dynamic_w + self.uncore_w + self.leakage_w + self.dram_w * 0.5
+    }
+}
+
+/// The power model.
+///
+/// # Example
+///
+/// ```
+/// use dora_soc::dvfs::DvfsTable;
+/// use dora_soc::power::{PowerModel, PowerParams};
+///
+/// let model = PowerModel::new(PowerParams::nexus5()).expect("valid params");
+/// let table = DvfsTable::msm8974();
+/// let low = model.evaluate(table.opp(0), &[1.0, 0.0, 0.0, 0.0], 0.0, 40.0);
+/// let high = model.evaluate(table.opp(13), &[1.0, 0.0, 0.0, 0.0], 0.0, 40.0);
+/// assert!(high.total_w() > low.total_w());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    params: PowerParams,
+}
+
+impl PowerModel {
+    /// Creates a model after validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure message for out-of-domain parameters.
+    pub fn new(params: PowerParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(PowerModel { params })
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Evaluates instantaneous device power.
+    ///
+    /// * `opp` — the active operating point (frequency + voltage).
+    /// * `core_utilizations` — busy fraction per core in `[0, 1]`; powered
+    ///   off cores should be 0.
+    /// * `dram_bytes_per_sec` — aggregate DRAM traffic.
+    /// * `temp_c` — die temperature for the leakage term.
+    pub fn evaluate(
+        &self,
+        opp: Opp,
+        core_utilizations: &[f64],
+        dram_bytes_per_sec: f64,
+        temp_c: f64,
+    ) -> PowerBreakdown {
+        let p = &self.params;
+        let v = opp.voltage;
+        let f_hz = opp.frequency.as_hz();
+        let core_dynamic_w: f64 = core_utilizations
+            .iter()
+            .map(|u| u.clamp(0.0, 1.0) * p.ceff_core_f * v * v * f_hz)
+            .sum();
+        let mean_util = if core_utilizations.is_empty() {
+            0.0
+        } else {
+            core_utilizations
+                .iter()
+                .map(|u| u.clamp(0.0, 1.0))
+                .sum::<f64>()
+                / core_utilizations.len() as f64
+        };
+        let uncore_w = p.uncore_w_per_ghz * opp.frequency.as_ghz() * mean_util;
+        let dram_w = p.dram_j_per_byte * dram_bytes_per_sec.max(0.0);
+        let leakage_w = p.leakage.power_w(v, temp_c);
+        PowerBreakdown {
+            platform_w: p.platform_floor_w,
+            core_dynamic_w,
+            uncore_w,
+            dram_w,
+            leakage_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::DvfsTable;
+
+    fn model() -> PowerModel {
+        PowerModel::new(PowerParams::nexus5()).expect("valid")
+    }
+
+    #[test]
+    fn leakage_anchor_points() {
+        let lk = LeakageParams::nexus5();
+        let cold_low = lk.power_w(0.80, 35.0);
+        let hot_high = lk.power_w(1.10, 65.0);
+        assert!((0.10..0.25).contains(&cold_low), "low anchor {cold_low}");
+        assert!((0.8..1.6).contains(&hot_high), "high anchor {hot_high}");
+    }
+
+    #[test]
+    fn leakage_monotone_in_temperature_and_voltage() {
+        let lk = LeakageParams::nexus5();
+        let mut last = 0.0;
+        for t in [20.0, 35.0, 50.0, 65.0, 80.0] {
+            let p = lk.power_w(1.0, t);
+            assert!(p > last, "leakage must rise with temperature");
+            last = p;
+        }
+        let mut last = 0.0;
+        for v in [0.8, 0.9, 1.0, 1.1] {
+            let p = lk.power_w(v, 50.0);
+            assert!(p > last, "leakage must rise with voltage");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn leakage_handles_degenerate_inputs() {
+        let lk = LeakageParams::nexus5();
+        assert_eq!(lk.power_w(0.0, 40.0), 0.0);
+        assert_eq!(lk.power_w(-1.0, 40.0), 0.0);
+        assert_eq!(lk.power_w(1.0, -300.0), 0.0);
+        assert_eq!(lk.power_w(f64::NAN, 40.0), 0.0);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_v_squared_f() {
+        let m = model();
+        let t = DvfsTable::msm8974();
+        let lo = m.evaluate(t.opp(0), &[1.0], 0.0, 40.0);
+        let hi = m.evaluate(t.opp(13), &[1.0], 0.0, 40.0);
+        let lo_opp = t.opp(0);
+        let hi_opp = t.opp(13);
+        let expected_ratio = (hi_opp.voltage / lo_opp.voltage).powi(2)
+            * (hi_opp.frequency.as_hz() / lo_opp.frequency.as_hz());
+        let actual_ratio = hi.core_dynamic_w / lo.core_dynamic_w;
+        assert!((actual_ratio - expected_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_cores_draw_no_dynamic_power() {
+        let m = model();
+        let t = DvfsTable::msm8974();
+        let b = m.evaluate(t.opp(10), &[0.0, 0.0, 0.0, 0.0], 0.0, 40.0);
+        assert_eq!(b.core_dynamic_w, 0.0);
+        assert_eq!(b.uncore_w, 0.0);
+        assert!(b.platform_w > 0.0);
+        assert!(b.leakage_w > 0.0);
+    }
+
+    #[test]
+    fn dram_term_scales_with_traffic() {
+        let m = model();
+        let t = DvfsTable::msm8974();
+        let quiet = m.evaluate(t.opp(5), &[1.0], 1e8, 40.0);
+        let busy = m.evaluate(t.opp(5), &[1.0], 4e9, 40.0);
+        assert!((busy.dram_w / quiet.dram_w - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_device_power_is_plausible() {
+        let m = model();
+        let t = DvfsTable::msm8974();
+        // Browser on two cores + co-runner at max frequency, warm die,
+        // heavy DRAM traffic: a Nexus 5 pulls 3–6 W in this regime.
+        let peak = m.evaluate(t.opp(13), &[1.0, 0.8, 1.0, 0.0], 3e9, 60.0);
+        assert!(
+            (3.0..6.5).contains(&peak.total_w()),
+            "peak power {}",
+            peak.total_w()
+        );
+        // Idle at minimum frequency: dominated by the platform floor.
+        let idle = m.evaluate(t.opp(0), &[0.0, 0.0, 0.0, 0.0], 0.0, 30.0);
+        assert!(
+            (1.3..1.8).contains(&idle.total_w()),
+            "idle power {}",
+            idle.total_w()
+        );
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let m = model();
+        let t = DvfsTable::msm8974();
+        let b = m.evaluate(t.opp(7), &[0.5, 0.5], 1e9, 45.0);
+        let sum = b.platform_w + b.core_dynamic_w + b.uncore_w + b.dram_w + b.leakage_w;
+        assert!((b.total_w() - sum).abs() < 1e-12);
+        assert!(b.soc_w() < b.total_w());
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let m = model();
+        let t = DvfsTable::msm8974();
+        let a = m.evaluate(t.opp(5), &[2.0], 0.0, 40.0);
+        let b = m.evaluate(t.opp(5), &[1.0], 0.0, 40.0);
+        assert_eq!(a.core_dynamic_w, b.core_dynamic_w);
+        let c = m.evaluate(t.opp(5), &[-1.0], 0.0, 40.0);
+        assert_eq!(c.core_dynamic_w, 0.0);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad = PowerParams {
+            platform_floor_w: -1.0,
+            ..PowerParams::nexus5()
+        };
+        assert!(PowerModel::new(bad).is_err());
+    }
+}

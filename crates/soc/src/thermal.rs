@@ -1,0 +1,241 @@
+//! Lumped-RC thermal model.
+//!
+//! Smartphones have no active cooling, so sustained SoC power raises die
+//! temperature, which raises leakage, which raises power — a feedback loop
+//! the paper shows can move the optimal frequency (Fig. 10: fopt shifts
+//! from 1.9 to 1.7 GHz between cold and room ambient because leakage grows
+//! steeply at the hot, high-voltage end).
+//!
+//! The die is a single thermal node with resistance `R` (K/W) to ambient
+//! and time constant `τ = R·C`:
+//!
+//! ```text
+//! T_ss = T_amb + P·R,      T(t+dt) = T_ss + (T(t) − T_ss)·exp(−dt/τ)
+//! ```
+
+/// Parameters of the thermal node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Junction-to-ambient thermal resistance in kelvin per watt.
+    pub resistance_k_per_w: f64,
+    /// RC time constant in seconds.
+    pub time_constant_s: f64,
+    /// Ambient temperature in °C.
+    pub ambient_c: f64,
+}
+
+impl ThermalParams {
+    /// Nexus-5-like defaults at room ambient: R chosen so the maximum
+    /// sustained SoC power lands near the 65 °C the paper reports at
+    /// 1.9 GHz, with a ~8 s settling time constant.
+    pub fn nexus5_room() -> Self {
+        ThermalParams {
+            resistance_k_per_w: 13.0,
+            time_constant_s: 8.0,
+            ambient_c: 25.0,
+        }
+    }
+
+    /// The cold-ambient condition used by the paper's Fig. 10(b)
+    /// ("low ambient temperature").
+    pub fn nexus5_cold() -> Self {
+        ThermalParams {
+            ambient_c: 5.0,
+            ..ThermalParams::nexus5_room()
+        }
+    }
+
+    /// Validates parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.resistance_k_per_w.is_finite() && self.resistance_k_per_w > 0.0) {
+            return Err(format!("bad thermal resistance {}", self.resistance_k_per_w));
+        }
+        if !(self.time_constant_s.is_finite() && self.time_constant_s > 0.0) {
+            return Err(format!("bad time constant {}", self.time_constant_s));
+        }
+        if !(self.ambient_c.is_finite() && (-40.0..=60.0).contains(&self.ambient_c)) {
+            return Err(format!("implausible ambient {} °C", self.ambient_c));
+        }
+        Ok(())
+    }
+}
+
+/// The die temperature state.
+///
+/// # Example
+///
+/// ```
+/// use dora_soc::thermal::{ThermalNode, ThermalParams};
+///
+/// let mut node = ThermalNode::new(ThermalParams::nexus5_room());
+/// assert_eq!(node.temperature_c(), 25.0);
+/// // 3 W sustained for a long time settles at ambient + P·R.
+/// for _ in 0..10_000 {
+///     node.step(3.0, 0.01);
+/// }
+/// let expected = 25.0 + 3.0 * node.params().resistance_k_per_w;
+/// assert!((node.temperature_c() - expected).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalNode {
+    params: ThermalParams,
+    temperature_c: f64,
+    peak_c: f64,
+}
+
+impl ThermalNode {
+    /// Creates a node initialized to ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    pub fn new(params: ThermalParams) -> Self {
+        params.validate().expect("invalid thermal parameters");
+        ThermalNode {
+            params,
+            temperature_c: params.ambient_c,
+            peak_c: params.ambient_c,
+        }
+    }
+
+    /// Advances the node by `dt_s` seconds under `soc_power_w` watts of
+    /// heat (SoC power only — the display's heat path is separate and
+    /// excluded, as in the paper's CPU-focused thermal discussion).
+    ///
+    /// Negative or non-finite power is treated as zero.
+    pub fn step(&mut self, soc_power_w: f64, dt_s: f64) {
+        if dt_s <= 0.0 || !dt_s.is_finite() {
+            return;
+        }
+        let p = if soc_power_w.is_finite() {
+            soc_power_w.max(0.0)
+        } else {
+            0.0
+        };
+        let t_ss = self.params.ambient_c + p * self.params.resistance_k_per_w;
+        let decay = (-dt_s / self.params.time_constant_s).exp();
+        self.temperature_c = t_ss + (self.temperature_c - t_ss) * decay;
+        self.peak_c = self.peak_c.max(self.temperature_c);
+    }
+
+    /// Current die temperature in °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Current die temperature in kelvin.
+    pub fn temperature_k(&self) -> f64 {
+        self.temperature_c + 273.15
+    }
+
+    /// The hottest temperature seen so far.
+    pub fn peak_c(&self) -> f64 {
+        self.peak_c
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> ThermalParams {
+        self.params
+    }
+
+    /// Changes the ambient temperature (e.g. moving the phone outdoors);
+    /// the die temperature then relaxes toward the new steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting parameters fail validation.
+    pub fn set_ambient_c(&mut self, ambient_c: f64) {
+        let next = ThermalParams {
+            ambient_c,
+            ..self.params
+        };
+        next.validate().expect("invalid ambient");
+        self.params = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_ambient() {
+        let node = ThermalNode::new(ThermalParams::nexus5_room());
+        assert_eq!(node.temperature_c(), 25.0);
+        assert_eq!(node.temperature_k(), 298.15);
+    }
+
+    #[test]
+    fn settles_at_ambient_plus_pr() {
+        let params = ThermalParams::nexus5_room();
+        let mut node = ThermalNode::new(params);
+        for _ in 0..100_000 {
+            node.step(2.0, 0.01);
+        }
+        let expected = 25.0 + 2.0 * params.resistance_k_per_w;
+        assert!((node.temperature_c() - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn time_constant_governs_approach() {
+        let params = ThermalParams::nexus5_room();
+        let mut node = ThermalNode::new(params);
+        // One time constant of heating at 1 W: should cover ~63% of the gap.
+        let steps = (params.time_constant_s / 0.001) as usize;
+        for _ in 0..steps {
+            node.step(1.0, 0.001);
+        }
+        let frac = (node.temperature_c() - 25.0) / params.resistance_k_per_w;
+        assert!((frac - 0.632).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn cooling_when_power_drops() {
+        let mut node = ThermalNode::new(ThermalParams::nexus5_room());
+        for _ in 0..10_000 {
+            node.step(3.0, 0.01);
+        }
+        let hot = node.temperature_c();
+        for _ in 0..10_000 {
+            node.step(0.0, 0.01);
+        }
+        assert!(node.temperature_c() < hot);
+        assert!((node.temperature_c() - 25.0).abs() < 0.1);
+        assert!((node.peak_c() - hot).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_ambient_runs_cooler() {
+        let mut room = ThermalNode::new(ThermalParams::nexus5_room());
+        let mut cold = ThermalNode::new(ThermalParams::nexus5_cold());
+        for _ in 0..50_000 {
+            room.step(2.5, 0.01);
+            cold.step(2.5, 0.01);
+        }
+        assert!((room.temperature_c() - cold.temperature_c() - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ignores_bad_inputs() {
+        let mut node = ThermalNode::new(ThermalParams::nexus5_room());
+        node.step(f64::NAN, 1.0);
+        node.step(-5.0, 1.0);
+        node.step(1.0, -1.0);
+        node.step(1.0, f64::NAN);
+        assert!(node.temperature_c() <= 25.0 + 1e-9);
+        assert!(node.temperature_c().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "implausible ambient")]
+    fn rejects_absurd_ambient() {
+        let _ = ThermalNode::new(ThermalParams {
+            ambient_c: 500.0,
+            ..ThermalParams::nexus5_room()
+        });
+    }
+}

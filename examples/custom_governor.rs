@@ -1,0 +1,85 @@
+//! Extending the framework: write your own governor and race it against
+//! the stock policies on the paper's workloads.
+//!
+//! The example implements a naive "race-to-idle" policy (pin `fmax` while
+//! any core is busy, drop to `fmin` otherwise) — a strategy that folklore
+//! sometimes recommends and that this platform's whole-device power model
+//! shows to be mediocre for sustained rendering.
+//!
+//! ```text
+//! cargo run --release --example custom_governor
+//! ```
+
+use dora_repro::campaign::runner::{run_scenario, ScenarioConfig};
+use dora_repro::campaign::workload::WorkloadSet;
+use dora_repro::governors::{Governor, GovernorObservation, InteractiveGovernor};
+use dora_repro::sim::SimDuration;
+use dora_repro::soc::{DvfsTable, Frequency};
+
+/// Pin the top frequency whenever anything is running; idle at the
+/// bottom. Implementing [`Governor`] is all it takes to enter the
+/// evaluation harness.
+#[derive(Debug)]
+struct RaceToIdle {
+    table: DvfsTable,
+}
+
+impl Governor for RaceToIdle {
+    fn name(&self) -> &str {
+        "race-to-idle"
+    }
+
+    fn decision_interval(&self) -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+
+    fn decide(&mut self, observation: &GovernorObservation) -> Frequency {
+        if observation.max_utilization() > 0.05 {
+            self.table.max_frequency()
+        } else {
+            self.table.min_frequency()
+        }
+    }
+}
+
+fn main() {
+    let table = DvfsTable::msm8974();
+    let config = ScenarioConfig::default();
+    let set = WorkloadSet::paper54();
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>12}",
+        "workload", "race-to-idle", "interactive", "PPW ratio"
+    );
+    let mut ratios = Vec::new();
+    for w in set.workloads().iter().take(12) {
+        let mut custom = RaceToIdle {
+            table: table.clone(),
+        };
+        let mine = run_scenario(w, &mut custom, &config);
+        let mut baseline = InteractiveGovernor::new(table.clone());
+        let theirs = run_scenario(w, &mut baseline, &config);
+        let ratio = mine.ppw / theirs.ppw;
+        ratios.push(ratio);
+        println!(
+            "{:<26} {:>9.2}s {:>3} {:>9.2}s {:>3} {:>11.3}",
+            w.id(),
+            mine.load_time_s,
+            if mine.met_deadline { "ok" } else { "X" },
+            theirs.load_time_s,
+            if theirs.met_deadline { "ok" } else { "X" },
+            ratio,
+        );
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!(
+        "\nmean PPW vs interactive: {:+.1}%",
+        (mean - 1.0) * 100.0
+    );
+    println!(
+        "During a sustained page load the cores never go idle, so \
+race-to-idle degenerates into the performance governor - all the V2f \
+premium, none of the idling. A deadline-aware model-based policy (DORA) \
+is what actually converts slack into energy; see the quickstart example."
+    );
+}

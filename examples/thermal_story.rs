@@ -1,0 +1,77 @@
+//! The leakage feedback loop made visible: browse hard at a fixed clock,
+//! watch the die heat up and the power bill follow (Fig. 10's physics).
+//!
+//! ```text
+//! cargo run --release --example thermal_story
+//! ```
+
+use dora_repro::browser::catalog::Catalog;
+use dora_repro::browser::engine::RenderEngine;
+use dora_repro::sim::SimDuration;
+use dora_repro::soc::board::{Board, BoardConfig};
+use dora_repro::soc::Frequency;
+
+fn main() {
+    let catalog = Catalog::alexa18();
+    let page = catalog.page("IMDB").expect("IMDB in catalog");
+    let engine = RenderEngine::default();
+
+    for (label, config) in [
+        ("room ambient (25C)", BoardConfig::nexus5()),
+        ("cold ambient (5C)", BoardConfig::nexus5_cold()),
+    ] {
+        println!("== {label} ==");
+        let mut board = Board::new(config, 7);
+        board
+            .set_frequency(Frequency::from_mhz(1958.4))
+            .expect("table frequency");
+        println!(
+            "{:>6} {:>9} {:>10} {:>11} {:>10}",
+            "t(s)", "die(C)", "mean(W)", "leakage(W)", "loads done"
+        );
+        let mut loads = 0u32;
+        let mut window_energy = board.energy_j();
+        for second in 1..=40u32 {
+            // Keep the browser permanently busy: as soon as a page load
+            // finishes, start the next one.
+            if board.task_finished(0) || board.task(0).is_none() {
+                if board.task(0).is_some() {
+                    board.clear_core(0).expect("core exists");
+                    board.clear_core(1).expect("core exists");
+                    loads += 1;
+                }
+                let job = engine.spawn(page, u64::from(second));
+                board.assign(0, Box::new(job.main)).expect("core 0 free");
+                board.assign(1, Box::new(job.aux)).expect("core 1 free");
+            }
+            board.step(SimDuration::from_secs(1));
+            if second % 4 == 0 {
+                let mean_w = (board.energy_j() - window_energy) / 4.0;
+                window_energy = board.energy_j();
+                println!(
+                    "{:>6} {:>9.1} {:>10.2} {:>11.2} {:>10}",
+                    second,
+                    board.temperature_c(),
+                    mean_w,
+                    board.last_power().leakage_w,
+                    loads
+                );
+            }
+        }
+        let e = board.energy_breakdown();
+        println!(
+            "peak die temperature: {:.1}C; energy: {:.0}J \
+             (platform {:.0}J, cores {:.0}J, leakage {:.0}J, dram {:.0}J)\n",
+            board.peak_temperature_c(),
+            board.energy_j(),
+            e.platform_j,
+            e.core_dynamic_j + e.uncore_j,
+            e.leakage_j,
+            e.dram_j,
+        );
+    }
+    println!(
+        "same clock, same work — the warm device pays a growing leakage tax.\n\
+         This is why DORA feeds die temperature into its power model (Eq. 5)."
+    );
+}

@@ -1,0 +1,32 @@
+//! # dora-repro
+//!
+//! Umbrella crate for the DORA (ISPASS 2018) reproduction. It re-exports
+//! every layer of the workspace under one roof so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic simulation kernel (time, PRNG, statistics).
+//! * [`soc`] — the smartphone SoC substrate: cores, shared L2, DRAM,
+//!   DVFS, thermal RC model and whole-device power.
+//! * [`browser`] — web-page complexity model and rendering-engine workload.
+//! * [`coworkloads`] — Rodinia-like interference kernels.
+//! * [`modeling`] — regression substrate (response surfaces, leakage fit).
+//! * [`governors`] — governor framework and baselines.
+//! * [`dora`] — the paper's contribution: trained models + Algorithm 1.
+//! * [`campaign`] — workload construction and evaluation campaigns.
+//! * [`experiments`] — regenerators for every table and figure.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end train-then-evaluate run.
+
+#![forbid(unsafe_code)]
+
+pub use dora;
+pub use dora_browser as browser;
+pub use dora_campaign as campaign;
+pub use dora_coworkloads as coworkloads;
+pub use dora_experiments as experiments;
+pub use dora_governors as governors;
+pub use dora_modeling as modeling;
+pub use dora_sim_core as sim;
+pub use dora_soc as soc;

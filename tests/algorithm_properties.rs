@@ -1,0 +1,150 @@
+//! Property-based tests of Algorithm 1 and model persistence, over
+//! randomized (but physically shaped) trained model bundles.
+
+use dora_repro::browser::PageFeatures;
+use dora_repro::dora::models::{DoraModels, FrequencyEncoding, PiecewiseSurface, PredictorInputs};
+use dora_repro::dora::{from_text, select_frequency, to_text};
+use dora_repro::modeling::leakage::Eq5Params;
+use dora_repro::modeling::surface::{ResponseSurface, SurfaceKind};
+use dora_repro::soc::DvfsTable;
+use proptest::prelude::*;
+
+/// Builds a trained bundle from a randomized physical ground truth:
+/// `T = work/f·(1 + k·mpki)`, `P = floor + c·v²·f`.
+fn synth_models(work: f64, mpki_k: f64, floor: f64, c: f64) -> DoraModels {
+    let dvfs = DvfsTable::msm8974();
+    let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
+    let mut xs = Vec::new();
+    let mut t_ys = Vec::new();
+    let mut p_ys = Vec::new();
+    for f in dvfs.frequencies() {
+        let v = dvfs.voltage_of(f).expect("table entry");
+        for mpki in [0.5f64, 4.0, 9.0, 16.0] {
+            for util in [0.2f64, 0.6, 1.0] {
+                let inputs = PredictorInputs::for_frequency(page, f, &dvfs, mpki, util);
+                let mut x = inputs.to_vector();
+                FrequencyEncoding::Period.encode(&mut x);
+                xs.push(x);
+                t_ys.push(work / f.as_ghz() * (1.0 + mpki_k * mpki));
+                p_ys.push(floor + c * v * v * f.as_ghz());
+            }
+        }
+    }
+    let time = ResponseSurface::new(SurfaceKind::Interaction, 9)
+        .fit(&xs, &t_ys)
+        .expect("well posed");
+    // Power uses the natural encoding: rebuild the design.
+    let xs_nat: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| {
+            let mut raw = x.clone();
+            // Undo the period encoding for the power design.
+            raw[6] = 1.0 / raw[6];
+            raw[7] = 1000.0 / raw[7];
+            raw
+        })
+        .collect();
+    let power = ResponseSurface::new(SurfaceKind::Linear, 9)
+        .fit(&xs_nat, &p_ys)
+        .expect("well posed");
+    DoraModels {
+        load_time: PiecewiseSurface::new([None, None, None], time, FrequencyEncoding::Period),
+        power: PiecewiseSurface::new([None, None, None], power, FrequencyEncoding::Natural),
+        leakage: Eq5Params {
+            k1: 0.22,
+            alpha: 800.0,
+            beta: -4300.0,
+            k2: 0.05,
+            gamma: 2.0,
+            delta: -2.0,
+        },
+        dvfs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chosen frequency is always a table entry, and the reported
+    /// feasibility matches the curve's contents.
+    #[test]
+    fn decision_is_well_formed(
+        work in 0.5f64..6.0,
+        mpki in 0.0f64..20.0,
+        util in 0.0f64..1.0,
+        temp in 25.0f64..75.0,
+        deadline in 0.3f64..8.0,
+    ) {
+        let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
+        let models = synth_models(work, 0.03, 1.5, 0.8);
+        let d = select_frequency(&models, page, deadline, mpki, util, temp, true);
+        prop_assert!(models.dvfs.index_of(d.chosen).is_some());
+        prop_assert_eq!(d.curve.len(), models.dvfs.len());
+        let any_feasible = d.curve.iter().any(|p| p.feasible);
+        prop_assert_eq!(d.feasible, any_feasible);
+        if !d.feasible {
+            prop_assert_eq!(d.chosen, models.dvfs.max_frequency());
+        } else {
+            let chosen = d.curve.iter().find(|p| p.frequency == d.chosen).expect("in curve");
+            prop_assert!(chosen.feasible);
+        }
+        // Every prediction is positive and finite.
+        for p in &d.curve {
+            prop_assert!(p.load_time_s > 0.0 && p.load_time_s.is_finite());
+            prop_assert!(p.power_w > 0.0 && p.power_w.is_finite());
+            prop_assert!(p.ppw.is_finite());
+        }
+    }
+
+    /// Relaxing the deadline never lowers the achievable predicted PPW.
+    #[test]
+    fn relaxing_deadline_is_monotone_in_ppw(
+        work in 0.5f64..6.0,
+        mpki in 0.0f64..20.0,
+        d1 in 0.3f64..8.0,
+        extra in 0.1f64..4.0,
+    ) {
+        let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
+        let models = synth_models(work, 0.03, 1.5, 0.8);
+        let tight = select_frequency(&models, page, d1, mpki, 0.6, 45.0, true);
+        let loose = select_frequency(&models, page, d1 + extra, mpki, 0.6, 45.0, true);
+        if tight.feasible {
+            prop_assert!(loose.feasible);
+            prop_assert!(loose.predicted_ppw >= tight.predicted_ppw - 1e-12);
+        }
+    }
+
+    /// fD (lowest feasible) never exceeds fopt, and Eq. 1 holds.
+    #[test]
+    fn equation_one_structure(
+        work in 0.5f64..6.0,
+        mpki in 0.0f64..20.0,
+        deadline in 0.3f64..8.0,
+    ) {
+        let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
+        let models = synth_models(work, 0.03, 1.5, 0.8);
+        let d = select_frequency(&models, page, deadline, mpki, 0.6, 45.0, true);
+        if let Some(fd) = d.f_deadline() {
+            prop_assert!(fd <= d.chosen, "fD {fd} above chosen {}", d.chosen);
+            let fe = d.f_energy();
+            let expected = if fd <= fe { fe } else { fd };
+            prop_assert_eq!(d.chosen, expected);
+        }
+    }
+
+    /// Persistence round-trips arbitrary synthesized bundles bit-exactly.
+    #[test]
+    fn persist_roundtrip_random_bundles(
+        work in 0.5f64..6.0,
+        mpki_k in 0.0f64..0.1,
+        floor in 1.0f64..2.0,
+        c in 0.3f64..1.2,
+    ) {
+        let models = synth_models(work, mpki_k, floor, c);
+        let text = to_text(&models);
+        let parsed = from_text(&text).expect("round trip parses");
+        prop_assert_eq!(&models, &parsed);
+        // And a re-serialization is byte-identical (canonical form).
+        prop_assert_eq!(text, to_text(&parsed));
+    }
+}

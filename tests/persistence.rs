@@ -1,0 +1,69 @@
+//! Deployment-path integration test: train offline, serialize the model
+//! bundle, "ship" it across a process boundary (a file), load it back,
+//! and govern with the loaded copy — verifying the governor's behaviour
+//! is identical.
+
+use dora_repro::campaign::runner::{run_scenario, ScenarioConfig};
+use dora_repro::campaign::training::{
+    leakage_calibration, training_campaign, TrainingCampaignConfig,
+};
+use dora_repro::campaign::workload::WorkloadSet;
+use dora_repro::dora::trainer::{train, TrainerConfig};
+use dora_repro::dora::{from_text, to_text, DoraConfig, DoraGovernor};
+use dora_repro::sim::SimDuration;
+use dora_repro::soc::Frequency;
+
+#[test]
+fn shipped_models_govern_identically() {
+    // A compact training pass.
+    let scenario = ScenarioConfig {
+        warmup: SimDuration::from_secs(4),
+        ..ScenarioConfig::default()
+    };
+    let all = WorkloadSet::paper54();
+    let train_set = WorkloadSet::from_workloads(
+        all.workloads()
+            .iter()
+            .filter(|w| ["Amazon", "MSN", "CNN", "ESPN"].contains(&w.page.name))
+            .cloned()
+            .collect(),
+    );
+    let frequencies: Vec<Frequency> = scenario.board.dvfs.frequencies().step_by(3).collect();
+    let observations = training_campaign(
+        &train_set,
+        &TrainingCampaignConfig {
+            scenario: scenario.clone(),
+            frequencies: Some(frequencies),
+        },
+    );
+    let leakage = leakage_calibration(&scenario.board, &[15.0, 40.0]);
+    let models = train(
+        &observations,
+        &leakage,
+        &scenario.board.dvfs,
+        TrainerConfig::default(),
+    )
+    .expect("grid is identifiable");
+
+    // Ship through a real file.
+    let path = std::env::temp_dir().join("dora_models_integration_test.txt");
+    std::fs::write(&path, to_text(&models)).expect("writable temp dir");
+    let shipped = from_text(&std::fs::read_to_string(&path).expect("readable"))
+        .expect("round trip parses");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(models, shipped);
+
+    // Both bundles drive the exact same run.
+    let workload = all
+        .find_by_class("MSN", dora_repro::coworkloads::Intensity::Medium)
+        .expect("exists");
+    let run = |models: dora_repro::dora::DoraModels| {
+        let mut governor =
+            DoraGovernor::new(models, workload.page.features, DoraConfig::default());
+        run_scenario(workload, &mut governor, &scenario)
+    };
+    let original = run(models);
+    let from_disk = run(shipped);
+    assert_eq!(original, from_disk);
+    assert!(original.met_deadline, "{original:?}");
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the browsing-session runner and the streaming
+//! statistics it reports through.
+
+use dora_repro::browser::Catalog;
+use dora_repro::campaign::session::{run_session, SessionConfig};
+use dora_repro::governors::{InteractiveGovernor, PerformanceGovernor};
+use dora_repro::sim::stats::Running;
+use dora_repro::sim::{Rng, SimDuration};
+use dora_repro::soc::DvfsTable;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Session accounting is internally consistent for any itinerary and
+    /// think time, and fully deterministic per seed.
+    #[test]
+    fn session_accounting_consistent(
+        seed in 0u64..100,
+        think_s in 1u64..6,
+        page_picks in prop::collection::vec(0usize..18, 1..4),
+    ) {
+        let catalog = Catalog::alexa18();
+        let pages: Vec<_> = page_picks
+            .iter()
+            .map(|&i| &catalog.pages()[i])
+            .collect();
+        let config = SessionConfig {
+            seed,
+            think_time: SimDuration::from_secs(think_s),
+            ..SessionConfig::default()
+        };
+        let run = |config: &SessionConfig| {
+            let mut g = InteractiveGovernor::new(DvfsTable::msm8974());
+            run_session(&pages, None, &mut g, config)
+        };
+        let r = run(&config);
+        prop_assert_eq!(r.loads.len(), pages.len());
+        // Duration covers every load plus every think period.
+        let load_total: f64 = r.loads.iter().map(|l| l.load_time_s).sum();
+        let think_total = think_s as f64 * pages.len() as f64;
+        prop_assert!(r.duration_s >= load_total + think_total - 0.01);
+        // Loads cannot be instantaneous or absurd.
+        for l in &r.loads {
+            prop_assert!(l.load_time_s > 0.05, "{l:?}");
+            prop_assert!(l.load_time_s <= 60.0, "{l:?}");
+        }
+        // Energy and power are physical.
+        prop_assert!(r.energy_j > 0.0);
+        let p = r.mean_power_w();
+        prop_assert!((1.0..7.0).contains(&p), "mean power {p}");
+        // Bit-exact determinism.
+        let again = run(&config);
+        prop_assert_eq!(r, again);
+    }
+
+    /// More pages never costs less total energy (monotone workload).
+    #[test]
+    fn longer_sessions_cost_more(seed in 0u64..50) {
+        let catalog = Catalog::alexa18();
+        let config = SessionConfig {
+            seed,
+            think_time: SimDuration::from_secs(2),
+            ..SessionConfig::default()
+        };
+        let short: Vec<_> = catalog.pages().iter().take(1).collect();
+        let long: Vec<_> = catalog.pages().iter().take(3).collect();
+        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let a = run_session(&short, None, &mut g, &config);
+        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let b = run_session(&long, None, &mut g, &config);
+        prop_assert!(b.energy_j > a.energy_j);
+        prop_assert!(b.duration_s > a.duration_s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford moments agree with the naive two-pass computation.
+    #[test]
+    fn running_matches_naive(values in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let mut r = Running::new();
+        for &v in &values {
+            r.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((r.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((r.variance() - var).abs() < 1e-4 * (1.0 + var));
+    }
+
+    /// Merging accumulators in any split position matches the whole.
+    #[test]
+    fn running_merge_any_split(
+        values in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((values.len() as f64 * split_frac) as usize).min(values.len() - 1);
+        let mut whole = Running::new();
+        let mut left = Running::new();
+        let mut right = Running::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.push(v);
+            if i < split {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    }
+
+    /// The simulator PRNG's range functions respect their bounds for any
+    /// seed and any (ordered) bounds.
+    #[test]
+    fn rng_ranges_respect_bounds(
+        seed in 0u64..10_000,
+        lo in -1e6f64..1e6,
+        width in 1e-3f64..1e6,
+        n_lo in 0u64..1_000_000,
+        n_width in 1u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = rng.range_f64(lo, lo + width);
+            prop_assert!(x >= lo && x < lo + width);
+            let k = rng.range_u64(n_lo, n_lo + n_width);
+            prop_assert!(k >= n_lo && k <= n_lo + n_width);
+        }
+    }
+}
