@@ -1,0 +1,22 @@
+# Developer entry points. `make verify` is the full pre-merge gate:
+# formatting, lints as errors, then the tier-1 build + test pass
+# (ROADMAP.md: `cargo build --release && cargo test -q`).
+
+.PHONY: verify fmt lint build test bench
+
+verify: fmt lint build test
+
+fmt:
+	cargo fmt --check
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+bench:
+	cargo bench -p dora-bench --bench parallel

@@ -48,7 +48,11 @@ fn bench_exhibits(c: &mut Criterion) {
     // campaign (588 load-time + power predictions).
     c.bench_function("fig05_model_evaluation_588_predictions", |b| {
         b.iter(|| {
-            black_box(dora::trainer::evaluate_models(&p.models, &p.observations).load_time.mape)
+            black_box(
+                dora::trainer::evaluate_models(&p.models, &p.observations)
+                    .load_time
+                    .mape,
+            )
         })
     });
 
@@ -77,21 +81,12 @@ fn bench_exhibits(c: &mut Criterion) {
     c.bench_function("overhead_accounting_slice", |b| {
         use dora::{DoraConfig, DoraGovernor};
         use dora_campaign::runner::run_scenario;
-        let slice: Vec<_> = p
-            .workloads
-            .workloads()
-            .iter()
-            .take(6)
-            .cloned()
-            .collect();
+        let slice: Vec<_> = p.workloads.workloads().iter().take(6).cloned().collect();
         b.iter(|| {
             let mut switches = 0;
             for w in &slice {
-                let mut g = DoraGovernor::new(
-                    p.models.clone(),
-                    w.page.features,
-                    DoraConfig::default(),
-                );
+                let mut g =
+                    DoraGovernor::new(p.models.clone(), w.page.features, DoraConfig::default());
                 switches += run_scenario(w, &mut g, &p.scenario).switches;
             }
             black_box(switches)

@@ -42,13 +42,8 @@ fn bench_algorithm(c: &mut Criterion) {
         })
     });
 
-    let inputs = PredictorInputs::for_frequency(
-        page,
-        Frequency::from_mhz(1497.6),
-        &p.models.dvfs,
-        6.5,
-        0.8,
-    );
+    let inputs =
+        PredictorInputs::for_frequency(page, Frequency::from_mhz(1497.6), &p.models.dvfs, 6.5, 0.8);
     c.bench_function("load_time_prediction", |b| {
         b.iter(|| black_box(p.models.predict_load_time(black_box(&inputs))))
     });

@@ -115,7 +115,13 @@ impl Catalog {
             page("ESPN", High, true, (4700, 3100, 1250, 1350, 1450), 0.70),
             page("Hao123", High, true, (4400, 2700, 2000, 2100, 1250), 1.15),
             page("IMDB", High, true, (4800, 3150, 1350, 1500, 1450), 0.90),
-            page("Aliexpress", High, false, (5600, 3650, 1600, 1750, 1700), 1.05),
+            page(
+                "Aliexpress",
+                High,
+                false,
+                (5600, 3650, 1600, 1750, 1700),
+                1.05,
+            ),
         ];
         Catalog { pages }
     }

@@ -97,7 +97,10 @@ impl EngineParams {
             return Err(format!("aux_fraction {} outside [0,1]", self.aux_fraction));
         }
         if !(0.0..=0.5).contains(&self.jitter_sigma) {
-            return Err(format!("jitter_sigma {} outside [0,0.5]", self.jitter_sigma));
+            return Err(format!(
+                "jitter_sigma {} outside [0,0.5]",
+                self.jitter_sigma
+            ));
         }
         Ok(())
     }
@@ -257,12 +260,7 @@ impl RenderEngine {
     /// # Panics
     ///
     /// Panics if `memory_weight` is outside `[0.25, 2.5]`.
-    pub fn spawn_weighted(
-        &self,
-        page: &PageFeatures,
-        memory_weight: f64,
-        seed: u64,
-    ) -> BrowserJob {
+    pub fn spawn_weighted(&self, page: &PageFeatures, memory_weight: f64, seed: u64) -> BrowserJob {
         assert!(
             (0.25..=2.5).contains(&memory_weight),
             "implausible memory weight {memory_weight}"
@@ -348,15 +346,9 @@ mod tests {
         let reddit = page.page("Reddit").expect("present");
         let j1 = engine.spawn(reddit, 5);
         let j2 = engine.spawn(reddit, 5);
-        assert_eq!(
-            j1.main.total_instructions(),
-            j2.main.total_instructions()
-        );
+        assert_eq!(j1.main.total_instructions(), j2.main.total_instructions());
         let j3 = engine.spawn(reddit, 6);
-        assert_ne!(
-            j1.main.total_instructions(),
-            j3.main.total_instructions()
-        );
+        assert_ne!(j1.main.total_instructions(), j3.main.total_instructions());
         // Jitter is small: within ~20%.
         let ratio = j1.main.total_instructions() / j3.main.total_instructions();
         assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
@@ -368,9 +360,7 @@ mod tests {
         let c = Catalog::alexa18();
         let amazon = engine.spawn(c.page("Amazon").expect("present"), 1);
         let aliexpress = engine.spawn(c.page("Aliexpress").expect("present"), 1);
-        assert!(
-            aliexpress.main.total_instructions() > 2.0 * amazon.main.total_instructions()
-        );
+        assert!(aliexpress.main.total_instructions() > 2.0 * amazon.main.total_instructions());
     }
 
     #[test]

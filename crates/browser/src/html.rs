@@ -16,8 +16,8 @@ use crate::page::{InvalidPageError, PageFeatures};
 
 /// Elements that never have a closing tag (HTML void elements).
 const VOID_ELEMENTS: [&str; 14] = [
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Raw counters produced by the scan, before the plausibility checks of
@@ -165,14 +165,18 @@ fn count_attribute(attrs: &str, name: &str) -> u32 {
     while let Some(off) = lower[search..].find(name) {
         let start = search + off;
         let end = start + name.len();
-        let left_ok = start == 0 || !bytes[start - 1].is_ascii_alphanumeric() && bytes[start - 1] != b'-';
+        let left_ok =
+            start == 0 || !bytes[start - 1].is_ascii_alphanumeric() && bytes[start - 1] != b'-';
         let right_ok = end >= bytes.len()
             || bytes[end] == b'='
             || bytes[end].is_ascii_whitespace()
             || bytes[end] == b'/'
             || bytes[end] == b'>';
         // Not inside a quoted value: count quotes before `start`.
-        let quotes_before = bytes[..start].iter().filter(|&&c| c == b'"' || c == b'\'').count();
+        let quotes_before = bytes[..start]
+            .iter()
+            .filter(|&&c| c == b'"' || c == b'\'')
+            .count();
         if left_ok && right_ok && quotes_before % 2 == 0 {
             count = count.saturating_add(1);
         }
@@ -240,9 +244,7 @@ mod tests {
 
     #[test]
     fn comments_doctype_and_pi_skipped() {
-        let c = scan(
-            "<!DOCTYPE html><!-- <div> not real --><?xml ignore?><div></div>",
-        );
+        let c = scan("<!DOCTYPE html><!-- <div> not real --><?xml ignore?><div></div>");
         assert_eq!(c.dom_nodes, 1);
         assert_eq!(c.div_tags, 1);
     }
@@ -263,9 +265,7 @@ mod tests {
 
     #[test]
     fn attributes_counted_word_bounded() {
-        let c = scan(
-            r#"<div class="a" data-classic="no"><a href="/x" hreflang="en">l</a></div>"#,
-        );
+        let c = scan(r#"<div class="a" data-classic="no"><a href="/x" hreflang="en">l</a></div>"#);
         assert_eq!(c.class_attrs, 1, "{c:?}");
         assert_eq!(c.href_attrs, 1, "{c:?}");
     }

@@ -52,7 +52,10 @@ fn table3_alone_load_time_classes_hold_at_fmax() {
             _ => {}
         }
     }
-    assert!(violations.is_empty(), "{violations:?}\nfull report:\n{report}");
+    assert!(
+        violations.is_empty(),
+        "{violations:?}\nfull report:\n{report}"
+    );
 }
 
 #[test]
@@ -80,5 +83,8 @@ fn load_time_rises_as_frequency_falls() {
     let top = load_alone("Reddit", 2265.6, 5);
     let bottom = load_alone("Reddit", 729.6, 5);
     assert!((0.8..2.0).contains(&top), "Reddit @2.27GHz: {top:.2}s");
-    assert!((2.0..5.0).contains(&bottom), "Reddit @0.73GHz: {bottom:.2}s");
+    assert!(
+        (2.0..5.0).contains(&bottom),
+        "Reddit @0.73GHz: {bottom:.2}s"
+    );
 }

@@ -6,7 +6,11 @@
 //! Webpage-Inclusive, Webpage-Neutral and combined sets (Fig. 7), per
 //! workload (Fig. 8), and per page × intensity (Fig. 9).
 
-use crate::runner::{oracle, run_scenario, OracleFrequencies, RunResult, ScenarioConfig};
+use crate::executor::Executor;
+use crate::runner::{
+    oracle_from_sweep, run_scenario, sweep_frequencies_with, OracleFrequencies, RunResult,
+    ScenarioConfig, SweepPoint,
+};
 use crate::workload::{Workload, WorkloadSet};
 use dora::{DoraConfig, DoraGovernor, DoraModels, DoraPolicy};
 use dora_governors::{
@@ -14,101 +18,20 @@ use dora_governors::{
     PowersaveGovernor,
 };
 use dora_sim_core::stats::Samples;
+use dora_soc::Frequency;
 use std::collections::HashMap;
 use std::fmt;
 
-/// The policies the paper's figures compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Policy {
-    /// Android default (the baseline everything is normalized to).
-    Interactive,
-    /// Always `fmax`.
-    Performance,
-    /// Always `fmin` (dismissed by the paper; kept for completeness).
-    Powersave,
-    /// Step-wise utilization governor (extra baseline).
-    Conservative,
-    /// Statically pinned at the *measured* `fD` (Fig. 8's `fD` series);
-    /// `fmax` when no frequency meets the deadline.
-    OracleFd,
-    /// Statically pinned at the *measured* `fE` (Fig. 8's `fE` series).
-    OracleFe,
-    /// Statically pinned at the measured `fopt` — the paper's
-    /// `Offline_opt` reference.
-    OfflineOpt,
-    /// The full DORA governor.
-    Dora,
-    /// DORA without the leakage term (Fig. 10a ablation).
-    DoraNoLkg,
-    /// The model-driven deadline-only hypothetical governor (`DL`).
-    DeadlineOnly,
-    /// The model-driven energy-only hypothetical governor (`EE`).
-    EnergyOnly,
-}
-
-impl Policy {
-    /// The name the policy's results carry in [`RunResult::governor`].
-    pub fn name(self) -> &'static str {
-        match self {
-            Policy::Interactive => "interactive",
-            Policy::Performance => "performance",
-            Policy::Powersave => "powersave",
-            Policy::Conservative => "conservative",
-            Policy::OracleFd => "fD",
-            Policy::OracleFe => "fE",
-            Policy::OfflineOpt => "offline_opt",
-            Policy::Dora => "DORA",
-            Policy::DoraNoLkg => "DORA_no_lkg",
-            Policy::DeadlineOnly => "DL",
-            Policy::EnergyOnly => "EE",
-        }
-    }
-
-    /// Whether this policy needs the per-workload oracle sweep.
-    pub fn needs_oracle(self) -> bool {
-        matches!(self, Policy::OracleFd | Policy::OracleFe | Policy::OfflineOpt)
-    }
-
-    /// Whether this policy needs trained DORA models.
-    pub fn needs_models(self) -> bool {
-        matches!(
-            self,
-            Policy::Dora | Policy::DoraNoLkg | Policy::DeadlineOnly | Policy::EnergyOnly
-        )
-    }
-
-    /// The governor set of Fig. 7 (plus the baseline).
-    pub const FIG7: [Policy; 5] = [
-        Policy::Interactive,
-        Policy::Performance,
-        Policy::DeadlineOnly,
-        Policy::EnergyOnly,
-        Policy::Dora,
-    ];
-
-    /// The governor set of Fig. 8 (plus the baseline).
-    pub const FIG8: [Policy; 7] = [
-        Policy::Interactive,
-        Policy::Performance,
-        Policy::OracleFd,
-        Policy::OracleFe,
-        Policy::Dora,
-        Policy::DeadlineOnly,
-        Policy::EnergyOnly,
-    ];
-}
-
-impl fmt::Display for Policy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use crate::policy::{Policy, PolicyName};
 
 /// Evaluation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvaluateError {
     /// A requested policy needs trained models but none were provided.
     ModelsRequired(&'static str),
+    /// A policy pinned to oracle frequencies was instantiated without the
+    /// workload's oracle sweep.
+    MissingOracle(&'static str),
 }
 
 impl fmt::Display for EvaluateError {
@@ -116,6 +39,12 @@ impl fmt::Display for EvaluateError {
         match self {
             EvaluateError::ModelsRequired(name) => {
                 write!(f, "policy {name} requires trained DORA models")
+            }
+            EvaluateError::MissingOracle(name) => {
+                write!(
+                    f,
+                    "policy {name} requires the workload's oracle frequency sweep"
+                )
             }
         }
     }
@@ -172,24 +101,18 @@ fn make_governor(
             .cloned()
             .ok_or(EvaluateError::ModelsRequired(policy.name()))
     };
+    let need_oracle = || oracle_freqs.ok_or(EvaluateError::MissingOracle(policy.name()));
     Ok(match policy {
         Policy::Interactive => Box::new(InteractiveGovernor::new(table)),
         Policy::Performance => Box::new(PerformanceGovernor::new(table)),
         Policy::Powersave => Box::new(PowersaveGovernor::new(table)),
         Policy::Conservative => Box::new(ConservativeGovernor::new(table)),
         Policy::OracleFd => {
-            let o = oracle_freqs.expect("oracle computed for oracle policies");
-            let f = o.fd.unwrap_or_else(|| table.max_frequency());
+            let f = need_oracle()?.fd.unwrap_or_else(|| table.max_frequency());
             Box::new(PinnedGovernor::new("fD", f))
         }
-        Policy::OracleFe => {
-            let o = oracle_freqs.expect("oracle computed for oracle policies");
-            Box::new(PinnedGovernor::new("fE", o.fe))
-        }
-        Policy::OfflineOpt => {
-            let o = oracle_freqs.expect("oracle computed for oracle policies");
-            Box::new(PinnedGovernor::new("offline_opt", o.fopt))
-        }
+        Policy::OracleFe => Box::new(PinnedGovernor::new("fE", need_oracle()?.fe)),
+        Policy::OfflineOpt => Box::new(PinnedGovernor::new("offline_opt", need_oracle()?.fopt)),
         Policy::Dora => Box::new(DoraGovernor::new(
             need_models()?,
             workload.page.features,
@@ -213,7 +136,10 @@ fn make_governor(
     })
 }
 
-/// Runs every workload under every policy.
+/// Runs every workload under every policy, sequentially.
+///
+/// Equivalent to [`evaluate_with`] on [`Executor::sequential`]; kept as
+/// the simple entry point for small sets and doctests.
 ///
 /// # Errors
 ///
@@ -225,31 +151,77 @@ pub fn evaluate(
     models: Option<&DoraModels>,
     config: &ScenarioConfig,
 ) -> Result<Evaluation, EvaluateError> {
+    evaluate_with(set, policies, models, config, &Executor::sequential())
+}
+
+/// Runs every workload under every policy, fanning independent scenarios
+/// out across `executor`.
+///
+/// Two flat fan-outs: first the oracle sweeps (one task per unique
+/// workload × table frequency, computed only when an oracle policy is
+/// requested), then the evaluation grid (one task per workload × policy).
+/// Every task is an independent seeded simulation, so the returned
+/// [`Evaluation`] is **bit-identical** to the sequential one — results in
+/// workload-major, policy-minor order, exactly as the classic loop
+/// produced them.
+///
+/// # Errors
+///
+/// [`EvaluateError::ModelsRequired`] when a DORA-family policy is
+/// requested without trained models.
+pub fn evaluate_with(
+    set: &WorkloadSet,
+    policies: &[Policy],
+    models: Option<&DoraModels>,
+    config: &ScenarioConfig,
+    executor: &Executor,
+) -> Result<Evaluation, EvaluateError> {
     for p in policies {
         if p.needs_models() && models.is_none() {
             return Err(EvaluateError::ModelsRequired(p.name()));
         }
     }
+
+    // Phase 1: oracle sweeps, one task per (unique workload, frequency).
     let need_oracle = policies.iter().any(|p| p.needs_oracle());
-    let mut oracles = HashMap::new();
-    let mut results = Vec::with_capacity(set.len() * policies.len());
-    for workload in set.workloads() {
-        let oracle_freqs = if need_oracle {
-            Some(
-                oracles
-                    .entry(workload.id())
-                    .or_insert_with(|| oracle(workload, config))
-                    .clone(),
-            )
-        } else {
-            None
-        };
-        for &policy in policies {
-            let mut governor =
-                make_governor(policy, workload, models, oracle_freqs.as_ref(), config)?;
-            results.push(run_scenario(workload, governor.as_mut(), config));
+    let mut oracles: HashMap<String, OracleFrequencies> = HashMap::new();
+    if need_oracle {
+        // First occurrence wins, matching the sequential loop's
+        // `entry(..).or_insert_with(..)` on duplicate workload ids.
+        let mut unique: Vec<&Workload> = Vec::new();
+        for workload in set.workloads() {
+            if !unique.iter().any(|w| w.id() == workload.id()) {
+                unique.push(workload);
+            }
+        }
+        let freqs: Vec<Frequency> = config.board.dvfs.frequencies().collect();
+        let tasks: Vec<(usize, Frequency)> = unique
+            .iter()
+            .enumerate()
+            .flat_map(|(i, _)| freqs.iter().map(move |&f| (i, f)))
+            .collect();
+        let points: Vec<SweepPoint> = executor.map(&tasks, |&(i, f)| {
+            sweep_frequencies_with(unique[i], config, &[f], &Executor::sequential())
+                .pop()
+                .expect("one frequency yields one point")
+        });
+        for (workload, sweep) in unique.iter().zip(points.chunks(freqs.len())) {
+            oracles.insert(workload.id(), oracle_from_sweep(sweep.to_vec(), config));
         }
     }
+
+    // Phase 2: the evaluation grid, one task per (workload, policy), in
+    // the sequential loop's workload-major order.
+    let grid: Vec<(&Workload, Policy)> = set
+        .workloads()
+        .iter()
+        .flat_map(|w| policies.iter().map(move |&p| (w, p)))
+        .collect();
+    let results = executor.try_map(&grid, |&(workload, policy)| {
+        let oracle_freqs = oracles.get(&workload.id());
+        let mut governor = make_governor(policy, workload, models, oracle_freqs, config)?;
+        Ok(run_scenario(workload, governor.as_mut(), config))
+    })?;
     Ok(Evaluation { results, oracles })
 }
 
@@ -338,7 +310,7 @@ impl Evaluation {
     }
 
     /// Governors present in the results, in first-seen order.
-    pub fn governors(&self) -> Vec<String> {
+    pub fn governors(&self) -> Vec<PolicyName> {
         let mut seen = Vec::new();
         for r in &self.results {
             if !seen.contains(&r.governor) {
@@ -358,16 +330,19 @@ mod tests {
     fn small_set() -> WorkloadSet {
         let all = WorkloadSet::paper54();
         WorkloadSet::from_workloads(vec![
-            all.find_by_class("Amazon", Intensity::Low).expect("ok").clone(),
-            all.find_by_class("Alibaba", Intensity::High).expect("ok").clone(),
+            all.find_by_class("Amazon", Intensity::Low)
+                .expect("ok")
+                .clone(),
+            all.find_by_class("Alibaba", Intensity::High)
+                .expect("ok")
+                .clone(),
         ])
     }
 
     fn quick() -> ScenarioConfig {
-        ScenarioConfig {
-            warmup: SimDuration::from_secs(3),
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(3))
+            .build()
     }
 
     #[test]
@@ -421,6 +396,40 @@ mod tests {
     fn models_required_error() {
         let err = evaluate(&small_set(), &[Policy::Dora], None, &quick()).unwrap_err();
         assert_eq!(err, EvaluateError::ModelsRequired("DORA"));
+    }
+
+    #[test]
+    fn missing_oracle_is_an_error_not_a_panic() {
+        let set = small_set();
+        let err = make_governor(
+            Policy::OfflineOpt,
+            &set.workloads()[0],
+            None,
+            None,
+            &quick(),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err, EvaluateError::MissingOracle("offline_opt"));
+        assert!(err.to_string().contains("oracle frequency sweep"));
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        use crate::executor::{Executor, Parallelism};
+        let set = small_set();
+        let policies = [Policy::Interactive, Policy::OfflineOpt];
+        let sequential = evaluate(&set, &policies, None, &quick()).expect("runs");
+        let parallel = evaluate_with(
+            &set,
+            &policies,
+            None,
+            &quick(),
+            &Executor::new(Parallelism::Fixed(4)),
+        )
+        .expect("runs");
+        assert_eq!(sequential.results(), parallel.results());
+        assert_eq!(sequential.oracles(), parallel.oracles());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Deterministic fan-out of independent scenario runs.
+//!
+//! Campaign work — the 54×|policies| evaluation grid, the per-workload
+//! oracle sweeps, the 588-run training campaign — is embarrassingly
+//! parallel: every scenario builds its own [`Board`](dora_soc::board::Board)
+//! from `(config, seed)` and shares no mutable state with any other run.
+//! [`Executor::map`] exploits that with a scoped thread pool while
+//! keeping the output *bit-identical* to the sequential loop:
+//!
+//! * each input item is tagged with its index before being handed to a
+//!   worker, and outputs are reassembled in index order, so callers see
+//!   exactly the `Vec` a `for` loop would have produced;
+//! * the closure runs once per item no matter how work is interleaved,
+//!   and the simulation itself is seeded, so thread scheduling cannot
+//!   leak into results.
+//!
+//! With `jobs == 1` the executor does not spawn at all — it *is* the
+//! sequential loop, byte for byte and allocation for allocation.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a campaign may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker: the classic in-order loop (what `--jobs 1` selects).
+    Sequential,
+    /// One worker per available core (what `--jobs` defaults to).
+    #[default]
+    Auto,
+    /// Exactly this many workers (`--jobs N`); 0 is treated as 1.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count on this machine.
+    pub fn jobs(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// A fixed-width scenario fan-out engine.
+///
+/// Cheap to copy and pass by reference through campaign entry points;
+/// construct once (typically from a `--jobs` flag) and reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::auto()
+    }
+}
+
+impl Executor {
+    /// An executor with the given parallelism.
+    pub fn new(parallelism: Parallelism) -> Self {
+        Executor {
+            jobs: parallelism.jobs(),
+        }
+    }
+
+    /// The single-threaded executor: reproduces the sequential loop
+    /// exactly.
+    pub fn sequential() -> Self {
+        Executor::new(Parallelism::Sequential)
+    }
+
+    /// One worker per available core.
+    pub fn auto() -> Self {
+        Executor::new(Parallelism::Auto)
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**, regardless of which worker ran which item.
+    ///
+    /// Work is distributed through a shared atomic cursor, so uneven item
+    /// costs (a 60 s timeout next to a 1 s load) still balance. A panic
+    /// in `f` propagates to the caller once all workers have stopped.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        // Slots are pre-sized so each finished item lands at its own
+        // index; the mutex only guards the Vec, never the work.
+        let slots: Mutex<Vec<Option<R>>> = {
+            let mut v = Vec::with_capacity(items.len());
+            v.resize_with(items.len(), || None);
+            Mutex::new(v)
+        };
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= items.len() {
+                            break;
+                        }
+                        let result = f(&items[idx]);
+                        slots.lock().expect("no poisoned result slots")[idx] = Some(result);
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Err(panic) = handle.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every index was visited"))
+            .collect()
+    }
+
+    /// [`Executor::map`] for fallible work: the first error (in **input
+    /// order**, not completion order) wins, so error reporting is as
+    /// deterministic as the results.
+    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        self.map(items, f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_resolves_to_positive_jobs() {
+        assert_eq!(Parallelism::Sequential.jobs(), 1);
+        assert_eq!(Parallelism::Fixed(3).jobs(), 3);
+        assert_eq!(Parallelism::Fixed(0).jobs(), 1);
+        assert!(Parallelism::Auto.jobs() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let parallel = Executor::new(Parallelism::Fixed(8)).map(&items, |&x| x * x);
+        let sequential: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn map_matches_sequential_under_uneven_costs() {
+        let items: Vec<u64> = (0..64).collect();
+        let work = |&x: &u64| {
+            // Uneven busywork so completion order scrambles.
+            let spins = (x % 7) * 1000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        };
+        let parallel = Executor::new(Parallelism::Fixed(6)).map(&items, work);
+        let sequential = Executor::sequential().map(&items, work);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_short_circuit() {
+        let exec = Executor::new(Parallelism::Fixed(4));
+        assert_eq!(exec.map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(exec.map(&[9u64], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_map_reports_first_error_in_input_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let result = Executor::new(Parallelism::Fixed(4)).try_map(&items, |&x| {
+            if x % 10 == 3 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(result, Err(3));
+        let ok = Executor::new(Parallelism::Fixed(4)).try_map(&items, |&x| Ok::<u64, ()>(x * 2));
+        assert_eq!(ok, Ok(items.iter().map(|&x| x * 2).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<u64> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            Executor::new(Parallelism::Fixed(4)).map(&items, |&x| {
+                assert!(x != 11, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

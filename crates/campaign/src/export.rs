@@ -43,9 +43,9 @@ pub fn results_to_csv(results: &[RunResult]) -> String {
             field(&r.workload_id),
             field(&r.page),
             field(&r.kernel),
-            field(&r.intensity),
+            r.intensity.map_or("none", |i| i.as_str()),
             r.training,
-            field(&r.governor),
+            field(r.governor.as_str()),
             r.load_time_s,
             r.mean_power_w,
             r.energy_j,
@@ -120,10 +120,9 @@ mod tests {
         run_scenario(
             w,
             &mut g,
-            &ScenarioConfig {
-                warmup: SimDuration::from_secs(2),
-                ..ScenarioConfig::default()
-            },
+            &ScenarioConfig::builder()
+                .warmup(SimDuration::from_secs(2))
+                .build(),
         )
     }
 
@@ -172,15 +171,11 @@ mod tests {
     fn sweep_csv_prefixes_frequency() {
         let set = WorkloadSet::paper54();
         let w = set.find_by_class("Amazon", Intensity::Low).expect("exists");
-        let config = ScenarioConfig {
-            warmup: SimDuration::from_secs(2),
-            ..ScenarioConfig::default()
-        };
-        let points = crate::runner::sweep_frequencies(
-            w,
-            &config,
-            &[dora_soc::Frequency::from_mhz(729.6)],
-        );
+        let config = ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(2))
+            .build();
+        let points =
+            crate::runner::sweep_frequencies(w, &config, &[dora_soc::Frequency::from_mhz(729.6)]);
         let csv = sweep_to_csv(&points);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -17,6 +17,12 @@
 //! * [`evaluate`] — policy instantiation (interactive, performance, DL,
 //!   EE, Offline_opt, DORA, DORA_no_lkg) and the full 54-workload
 //!   comparison with summaries normalized to `interactive`.
+//! * [`policy`] — the closed [`policy::Policy`] set of paper policies and
+//!   the open [`policy::PolicyName`] identities result rows carry.
+//! * [`executor`] — deterministic fan-out of independent scenario runs
+//!   across a scoped thread pool; every campaign entry point has a
+//!   `*_with(.., &Executor)` variant whose output is bit-identical to the
+//!   sequential loop.
 //! * [`export`] — CSV export of raw results for plotting tools.
 //! * [`session`] — multi-page browsing sessions with think time, for
 //!   battery-life-style comparisons beyond the paper's single loads.
@@ -40,11 +46,15 @@
 #![warn(missing_docs)]
 
 pub mod evaluate;
+pub mod executor;
 pub mod export;
+pub mod policy;
 pub mod runner;
 pub mod session;
 pub mod training;
 pub mod workload;
 
+pub use executor::{Executor, Parallelism};
+pub use policy::{Policy, PolicyName};
 pub use runner::{run_scenario, RunResult, ScenarioConfig};
 pub use workload::{Workload, WorkloadSet};

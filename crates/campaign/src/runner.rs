@@ -11,8 +11,11 @@
 //! therefore leakage — is in its steady browsing regime when the measured
 //! load starts, as on a phone that has been in use.
 
+use crate::executor::Executor;
+use crate::policy::PolicyName;
 use crate::workload::Workload;
 use dora_browser::engine::RenderEngine;
+use dora_coworkloads::Intensity;
 use dora_governors::{Governor, GovernorObservation};
 use dora_sim_core::{SimDuration, SimTime};
 use dora_soc::board::{Board, BoardConfig};
@@ -27,7 +30,19 @@ pub const BROWSER_AUX_CORE: usize = 1;
 pub const CORUN_CORE: usize = 2;
 
 /// Configuration of one scenario run.
+///
+/// Construct through [`ScenarioConfig::builder`] (the struct is
+/// `#[non_exhaustive]`, so new knobs can be added without breaking
+/// downstream crates):
+///
+/// ```
+/// use dora_campaign::runner::ScenarioConfig;
+///
+/// let config = ScenarioConfig::builder().deadline_s(3.0).seed(7).build();
+/// assert_eq!(config.seed, 7);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ScenarioConfig {
     /// Seed for workload jitter; one seed = one exact replay.
     pub seed: u64,
@@ -53,6 +68,71 @@ impl Default for ScenarioConfig {
     }
 }
 
+impl ScenarioConfig {
+    /// Starts a builder at the default configuration.
+    pub fn builder() -> ScenarioConfigBuilder {
+        ScenarioConfigBuilder {
+            config: ScenarioConfig::default(),
+        }
+    }
+
+    /// Starts a builder at this configuration (for deriving a variant,
+    /// the typed replacement for `ScenarioConfig { x, ..base.clone() }`).
+    pub fn to_builder(&self) -> ScenarioConfigBuilder {
+        ScenarioConfigBuilder {
+            config: self.clone(),
+        }
+    }
+}
+
+/// Fluent constructor for [`ScenarioConfig`].
+#[derive(Debug, Clone)]
+pub struct ScenarioConfigBuilder {
+    config: ScenarioConfig,
+}
+
+impl ScenarioConfigBuilder {
+    /// Sets the workload jitter seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the platform configuration.
+    #[must_use]
+    pub fn board(mut self, board: BoardConfig) -> Self {
+        self.config.board = board;
+        self
+    }
+
+    /// Sets the QoS deadline in seconds.
+    #[must_use]
+    pub fn deadline_s(mut self, deadline_s: f64) -> Self {
+        self.config.deadline_s = deadline_s;
+        self
+    }
+
+    /// Sets the thermal warm-up duration.
+    #[must_use]
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.config.warmup = warmup;
+        self
+    }
+
+    /// Sets the load timeout.
+    #[must_use]
+    pub fn timeout(mut self, timeout: SimDuration) -> Self {
+        self.config.timeout = timeout;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ScenarioConfig {
+        self.config
+    }
+}
+
 /// The measured outcome of one page load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -62,12 +142,13 @@ pub struct RunResult {
     pub page: String,
     /// Co-run kernel name.
     pub kernel: String,
-    /// Co-runner intensity class (`low`/`medium`/`high`).
-    pub intensity: String,
+    /// Co-runner intensity class; `None` when the browser ran alone.
+    pub intensity: Option<Intensity>,
     /// Whether the page belongs to the Webpage-Inclusive training set.
     pub training: bool,
-    /// Governor name.
-    pub governor: String,
+    /// Governor identity (a paper [`crate::policy::Policy`] when the name
+    /// matches one).
+    pub governor: PolicyName,
     /// Page load time in seconds (the timeout value if `timed_out`).
     pub load_time_s: f64,
     /// Mean device power over the load, watts.
@@ -222,9 +303,7 @@ pub fn run_page(
             .expect("aux core free");
         let until = board.time() + config.warmup;
         let _ = govern_until(&mut board, governor, until, |_| false);
-        board
-            .clear_core(BROWSER_MAIN_CORE)
-            .expect("core id valid");
+        board.clear_core(BROWSER_MAIN_CORE).expect("core id valid");
         board.clear_core(BROWSER_AUX_CORE).expect("core id valid");
     }
 
@@ -271,9 +350,9 @@ pub fn run_page(
         },
         page: page.name.to_string(),
         kernel: kernel.map_or("alone".to_string(), |k| k.name().to_string()),
-        intensity: kernel.map_or("none".to_string(), |k| k.intensity().to_string()),
+        intensity: kernel.map(|k| k.intensity()),
         training: page.training,
-        governor: governor.name().to_string(),
+        governor: PolicyName::from(governor.name()),
         load_time_s,
         mean_power_w,
         energy_j,
@@ -302,6 +381,16 @@ pub struct SweepPoint {
     pub result: RunResult,
 }
 
+/// Measures one pinned-frequency point of a sweep.
+fn sweep_point(workload: &Workload, config: &ScenarioConfig, f: Frequency) -> SweepPoint {
+    let mut pinned = dora_governors::PinnedGovernor::new("pinned", f);
+    let result = run_scenario(workload, &mut pinned, config);
+    SweepPoint {
+        freq_mhz: f.as_mhz(),
+        result,
+    }
+}
+
 /// Measures a workload at each pinned frequency (the paper's per-figure
 /// frequency sweeps and the `Offline_opt` enumeration).
 pub fn sweep_frequencies(
@@ -309,17 +398,20 @@ pub fn sweep_frequencies(
     config: &ScenarioConfig,
     frequencies: &[Frequency],
 ) -> Vec<SweepPoint> {
-    frequencies
-        .iter()
-        .map(|&f| {
-            let mut pinned = dora_governors::PinnedGovernor::new("pinned", f);
-            let result = run_scenario(workload, &mut pinned, config);
-            SweepPoint {
-                freq_mhz: f.as_mhz(),
-                result,
-            }
-        })
-        .collect()
+    sweep_frequencies_with(workload, config, frequencies, &Executor::sequential())
+}
+
+/// [`sweep_frequencies`] with the points fanned out across `executor`.
+///
+/// Each point is an independent seeded simulation, so the returned sweep
+/// is bit-identical to the sequential one, in frequency order.
+pub fn sweep_frequencies_with(
+    workload: &Workload,
+    config: &ScenarioConfig,
+    frequencies: &[Frequency],
+    executor: &Executor,
+) -> Vec<SweepPoint> {
+    executor.map(frequencies, |&f| sweep_point(workload, config, f))
 }
 
 /// The oracle frequencies of Section II-C / Equation 1 for one workload.
@@ -340,8 +432,25 @@ pub struct OracleFrequencies {
 /// Exhaustively determines `fD`, `fE` and `fopt` for a workload by
 /// sweeping every frequency in the table.
 pub fn oracle(workload: &Workload, config: &ScenarioConfig) -> OracleFrequencies {
+    oracle_with(workload, config, &Executor::sequential())
+}
+
+/// [`oracle`] with the frequency sweep fanned out across `executor`.
+pub fn oracle_with(
+    workload: &Workload,
+    config: &ScenarioConfig,
+    executor: &Executor,
+) -> OracleFrequencies {
     let freqs: Vec<Frequency> = config.board.dvfs.frequencies().collect();
-    let sweep = sweep_frequencies(workload, config, &freqs);
+    let sweep = sweep_frequencies_with(workload, config, &freqs, executor);
+    oracle_from_sweep(sweep, config)
+}
+
+/// Derives the Section II-C verdicts from a completed full-table sweep.
+pub(crate) fn oracle_from_sweep(
+    sweep: Vec<SweepPoint>,
+    config: &ScenarioConfig,
+) -> OracleFrequencies {
     let fd = sweep
         .iter()
         .find(|p| p.result.met_deadline)
@@ -378,20 +487,25 @@ mod tests {
     use dora_soc::DvfsTable;
 
     fn fast_config() -> ScenarioConfig {
-        ScenarioConfig {
-            warmup: SimDuration::from_secs(5),
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(5))
+            .build()
     }
 
     #[test]
     fn performance_governor_loads_low_page_fast() {
         let set = WorkloadSet::paper54();
-        let w = set.find_by_class("Amazon", Intensity::Low).expect("present");
+        let w = set
+            .find_by_class("Amazon", Intensity::Low)
+            .expect("present");
         let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
         let r = run_scenario(w, &mut g, &fast_config());
         assert!(!r.timed_out);
-        assert!(r.met_deadline, "Amazon+low must meet 3s: {:.2}s", r.load_time_s);
+        assert!(
+            r.met_deadline,
+            "Amazon+low must meet 3s: {:.2}s",
+            r.load_time_s
+        );
         assert!(r.load_time_s < 2.0);
         assert!((2.2..2.4).contains(&r.mean_freq_ghz), "{}", r.mean_freq_ghz);
         assert!(r.mean_power_w > 1.5 && r.mean_power_w < 6.5);
@@ -418,20 +532,24 @@ mod tests {
     #[test]
     fn low_frequency_pinned_can_miss_deadline() {
         let set = WorkloadSet::paper54();
-        let w = set
-            .find_by_class("IMDB", Intensity::High)
-            .expect("present");
+        let w = set.find_by_class("IMDB", Intensity::High).expect("present");
         let config = fast_config();
         let mut slow = PinnedGovernor::new("pin", Frequency::from_mhz(729.6));
         let r = run_scenario(w, &mut slow, &config);
-        assert!(!r.met_deadline, "IMDB+high at 0.73GHz: {:.2}s", r.load_time_s);
+        assert!(
+            !r.met_deadline,
+            "IMDB+high at 0.73GHz: {:.2}s",
+            r.load_time_s
+        );
         assert!(!r.timed_out);
     }
 
     #[test]
     fn runs_are_reproducible() {
         let set = WorkloadSet::paper54();
-        let w = set.find_by_class("MSN", Intensity::Medium).expect("present");
+        let w = set
+            .find_by_class("MSN", Intensity::Medium)
+            .expect("present");
         let config = fast_config();
         let mut a = PerformanceGovernor::new(DvfsTable::msm8974());
         let mut b = PerformanceGovernor::new(DvfsTable::msm8974());
@@ -443,11 +561,10 @@ mod tests {
     #[test]
     fn oracle_structure_holds() {
         let set = WorkloadSet::paper54();
-        let w = set.find_by_class("Amazon", Intensity::Low).expect("present");
-        let config = ScenarioConfig {
-            warmup: SimDuration::from_secs(5),
-            ..ScenarioConfig::default()
-        };
+        let w = set
+            .find_by_class("Amazon", Intensity::Low)
+            .expect("present");
+        let config = fast_config();
         let o = oracle(w, &config);
         assert_eq!(o.sweep.len(), 14);
         // Amazon+low is easy: some fD exists well below fmax.
@@ -474,11 +591,54 @@ mod tests {
     }
 
     #[test]
+    fn builder_sets_fields_and_derives_variants() {
+        let base = ScenarioConfig::builder()
+            .seed(7)
+            .deadline_s(2.5)
+            .warmup(SimDuration::from_secs(1))
+            .timeout(SimDuration::from_secs(30))
+            .build();
+        assert_eq!(base.seed, 7);
+        assert_eq!(base.deadline_s, 2.5);
+        assert_eq!(base.warmup, SimDuration::from_secs(1));
+        assert_eq!(base.timeout, SimDuration::from_secs(30));
+        let derived = base.to_builder().deadline_s(4.0).build();
+        assert_eq!(derived.seed, 7, "to_builder keeps unset fields");
+        assert_eq!(derived.deadline_s, 4.0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let set = WorkloadSet::paper54();
+        let w = set
+            .find_by_class("Amazon", Intensity::Low)
+            .expect("present");
+        let config = ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(2))
+            .build();
+        let freqs = [
+            Frequency::from_mhz(729.6),
+            Frequency::from_mhz(1497.6),
+            Frequency::from_mhz(2265.6),
+        ];
+        let sequential = sweep_frequencies(w, &config, &freqs);
+        let parallel = sweep_frequencies_with(
+            w,
+            &config,
+            &freqs,
+            &crate::executor::Executor::new(crate::executor::Parallelism::Fixed(3)),
+        );
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
     fn ppw_curve_is_unimodal_enough_to_have_interior_peak_for_easy_page() {
         // The Fig. 3 phenomenon: for a low-complexity page the PPW-optimal
         // frequency is strictly inside the range.
         let set = WorkloadSet::paper54();
-        let w = set.find_by_class("Amazon", Intensity::Low).expect("present");
+        let w = set
+            .find_by_class("Amazon", Intensity::Low)
+            .expect("present");
         let config = fast_config();
         let o = oracle(w, &config);
         assert!(

@@ -186,9 +186,7 @@ pub fn run_session(
             load_time_s,
             met_deadline: load_time_s <= config.deadline_s,
         });
-        board
-            .clear_core(BROWSER_MAIN_CORE)
-            .expect("core id valid");
+        board.clear_core(BROWSER_MAIN_CORE).expect("core id valid");
         board.clear_core(BROWSER_AUX_CORE).expect("core id valid");
 
         // Think time: the user reads; browser cores idle.

@@ -15,6 +15,7 @@
 //!   rail measurement of the idle SoC (total minus the constant platform
 //!   draw) after the die settles at each condition.
 
+use crate::executor::Executor;
 use crate::runner::{run_scenario, ScenarioConfig};
 use crate::workload::{Workload, WorkloadSet};
 use dora::models::PredictorInputs;
@@ -26,8 +27,7 @@ use dora_soc::board::{Board, BoardConfig};
 use dora_soc::Frequency;
 
 /// Configuration of the training sweep.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TrainingCampaignConfig {
     /// Base scenario configuration (board, warm-up, deadline for the
     /// bookkeeping fields).
@@ -35,7 +35,6 @@ pub struct TrainingCampaignConfig {
     /// The frequencies to sweep; `None` sweeps the whole table.
     pub frequencies: Option<Vec<Frequency>>,
 }
-
 
 /// Runs one pinned-frequency measurement and converts it into a
 /// [`TrainingObservation`].
@@ -68,17 +67,31 @@ pub fn training_campaign(
     set: &WorkloadSet,
     config: &TrainingCampaignConfig,
 ) -> Vec<TrainingObservation> {
+    training_campaign_with(set, config, &Executor::sequential())
+}
+
+/// [`training_campaign`] with the (workload, frequency) grid fanned out
+/// across `executor`.
+///
+/// Each measurement is an independent seeded simulation, so the returned
+/// observations are bit-identical to the sequential sweep, in the same
+/// workload-major, frequency-minor order.
+pub fn training_campaign_with(
+    set: &WorkloadSet,
+    config: &TrainingCampaignConfig,
+    executor: &Executor,
+) -> Vec<TrainingObservation> {
     let freqs: Vec<Frequency> = match &config.frequencies {
         Some(fs) => fs.clone(),
         None => config.scenario.board.dvfs.frequencies().collect(),
     };
-    let mut observations = Vec::new();
-    for workload in set.inclusive() {
-        for &f in &freqs {
-            observations.push(measure_observation(workload, f, &config.scenario));
-        }
-    }
-    observations
+    let grid: Vec<(&Workload, Frequency)> = set
+        .inclusive()
+        .flat_map(|w| freqs.iter().map(move |&f| (w, f)))
+        .collect();
+    executor.map(&grid, |&(workload, f)| {
+        measure_observation(workload, f, &config.scenario)
+    })
 }
 
 /// Idle leakage calibration: for each operating point and ambient
@@ -90,9 +103,23 @@ pub fn training_campaign(
 /// removed from every sample, leaving the SoC leakage, since idle cores
 /// clock-gate their dynamic power away.
 pub fn leakage_calibration(base: &BoardConfig, ambients_c: &[f64]) -> Vec<LeakageObservation> {
+    leakage_calibration_with(base, ambients_c, &Executor::sequential())
+}
+
+/// [`leakage_calibration`] with the (ambient, operating point) grid
+/// fanned out across `executor`; each soak is an independent board, so
+/// observations are bit-identical to the sequential sweep.
+pub fn leakage_calibration_with(
+    base: &BoardConfig,
+    ambients_c: &[f64],
+    executor: &Executor,
+) -> Vec<LeakageObservation> {
     let soak = SimDuration::from_secs(60);
-    let mut observations = Vec::new();
-    for &ambient in ambients_c {
+    let grid: Vec<(f64, dora_soc::Opp)> = ambients_c
+        .iter()
+        .flat_map(|&ambient| base.dvfs.opps().iter().map(move |&opp| (ambient, opp)))
+        .collect();
+    executor.map(&grid, |&(ambient, opp)| {
         let config = BoardConfig {
             thermal: dora_soc::thermal::ThermalParams {
                 ambient_c: ambient,
@@ -100,22 +127,17 @@ pub fn leakage_calibration(base: &BoardConfig, ambients_c: &[f64]) -> Vec<Leakag
             },
             ..base.clone()
         };
-        for opp in config.dvfs.opps().to_vec() {
-            let mut board = Board::new(config.clone(), 7);
-            board
-                .set_frequency(opp.frequency)
-                .expect("table frequency");
-            board.step(soak);
-            let idle_power = board.last_power().total_w();
-            let platform = board.config().power.platform_floor_w;
-            observations.push(LeakageObservation {
-                voltage: opp.voltage,
-                temp_c: board.temperature_c(),
-                power_w: (idle_power - platform).max(0.0),
-            });
+        let mut board = Board::new(config, 7);
+        board.set_frequency(opp.frequency).expect("table frequency");
+        board.step(soak);
+        let idle_power = board.last_power().total_w();
+        let platform = board.config().power.platform_floor_w;
+        LeakageObservation {
+            voltage: opp.voltage,
+            temp_c: board.temperature_c(),
+            power_w: (idle_power - platform).max(0.0),
         }
-    }
-    observations
+    })
 }
 
 #[cfg(test)]
@@ -125,10 +147,9 @@ mod tests {
     use dora_modeling::leakage::fit_leakage;
 
     fn quick_scenario() -> ScenarioConfig {
-        ScenarioConfig {
-            warmup: SimDuration::from_secs(3),
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(3))
+            .build()
     }
 
     #[test]
@@ -184,7 +205,39 @@ mod tests {
         let mut mpkis: Vec<f64> = at_15.iter().map(|o| o.inputs.l2_mpki).collect();
         let unsorted = mpkis.clone();
         mpkis.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        assert!(mpkis[2] > mpkis[0] * 1.3, "MPKI spread too small: {unsorted:?}");
+        assert!(
+            mpkis[2] > mpkis[0] * 1.3,
+            "MPKI spread too small: {unsorted:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_training_campaign_matches_sequential() {
+        use crate::executor::{Executor, Parallelism};
+        let set = WorkloadSet::paper54();
+        let subset = crate::workload::WorkloadSet::from_workloads(
+            set.workloads()
+                .iter()
+                .filter(|w| w.page.name == "Amazon")
+                .cloned()
+                .collect(),
+        );
+        let config = TrainingCampaignConfig {
+            scenario: quick_scenario(),
+            frequencies: Some(vec![
+                Frequency::from_mhz(729.6),
+                Frequency::from_mhz(2265.6),
+            ]),
+        };
+        let sequential = training_campaign(&subset, &config);
+        let parallel =
+            training_campaign_with(&subset, &config, &Executor::new(Parallelism::Fixed(3)));
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.load_time_s, p.load_time_s);
+            assert_eq!(s.total_power_w, p.total_power_w);
+            assert_eq!(s.inputs.l2_mpki, p.inputs.l2_mpki);
+        }
     }
 
     #[test]
@@ -212,10 +265,7 @@ mod tests {
     fn idle_soak_reaches_near_ambient_steady_state() {
         let obs = leakage_calibration(&BoardConfig::nexus5(), &[25.0]);
         // At the lowest OPP the leakage is tiny, so die ~ ambient.
-        let coolest = obs
-            .iter()
-            .map(|o| o.temp_c)
-            .fold(f64::INFINITY, f64::min);
+        let coolest = obs.iter().map(|o| o.temp_c).fold(f64::INFINITY, f64::min);
         assert!((25.0..28.0).contains(&coolest), "coolest {coolest}");
     }
 }

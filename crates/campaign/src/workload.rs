@@ -98,17 +98,16 @@ impl WorkloadSet {
     /// Finds a workload by page and kernel name.
     pub fn find(&self, page: &str, kernel: &str) -> Option<&Workload> {
         self.workloads.iter().find(|w| {
-            w.page.name.eq_ignore_ascii_case(page)
-                && w.kernel.name().eq_ignore_ascii_case(kernel)
+            w.page.name.eq_ignore_ascii_case(page) && w.kernel.name().eq_ignore_ascii_case(kernel)
         })
     }
 
     /// The workload for `page` with the class-representative kernel of
     /// `intensity` that `paper54` assigned to that page.
     pub fn find_by_class(&self, page: &str, intensity: Intensity) -> Option<&Workload> {
-        self.workloads.iter().find(|w| {
-            w.page.name.eq_ignore_ascii_case(page) && w.intensity() == intensity
-        })
+        self.workloads
+            .iter()
+            .find(|w| w.page.name.eq_ignore_ascii_case(page) && w.intensity() == intensity)
     }
 }
 

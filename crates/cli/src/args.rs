@@ -1,5 +1,6 @@
 //! Minimal flag parsing for the CLI's small grammar.
 
+use dora_campaign::{Executor, Parallelism};
 use std::collections::HashMap;
 
 /// Parsed arguments: positional operands plus `--flag [value]` options.
@@ -63,7 +64,8 @@ impl Args {
     ///
     /// When the option is absent.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     /// A numeric option with a default.
@@ -91,6 +93,26 @@ impl Args {
             Some(v) => v
                 .parse::<u64>()
                 .map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// The campaign executor selected by `--jobs N` (default: one worker
+    /// per core; `--jobs 1` reproduces the sequential loop exactly).
+    ///
+    /// # Errors
+    ///
+    /// When `--jobs` is present but not a positive integer.
+    pub fn executor(&self) -> Result<Executor, String> {
+        match self.get("jobs") {
+            None => Ok(Executor::new(Parallelism::Auto)),
+            Some(v) => {
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs expects a positive integer, got {v:?}"))?;
+                Ok(Executor::new(Parallelism::Fixed(n)))
+            }
         }
     }
 }
@@ -138,5 +160,28 @@ mod tests {
         let a = Args::parse(&[]).expect("parses");
         let err = a.require("out").expect_err("absent");
         assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn jobs_flag_selects_executor_width() {
+        let default = Args::parse(&[]).expect("parses").executor().expect("auto");
+        assert!(default.jobs() >= 1);
+        let one = Args::parse(&strings(&["--jobs", "1"]))
+            .expect("parses")
+            .executor()
+            .expect("sequential");
+        assert_eq!(one.jobs(), 1);
+        let four = Args::parse(&strings(&["--jobs", "4"]))
+            .expect("parses")
+            .executor()
+            .expect("fixed");
+        assert_eq!(four.jobs(), 4);
+        for bad in ["0", "-2", "many"] {
+            // "-2" may already fail at parse; anything that parses must
+            // be rejected by executor().
+            if let Ok(a) = Args::parse(&strings(&["--jobs", bad])) {
+                assert!(a.executor().is_err(), "--jobs {bad} must be rejected");
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 use crate::args::Args;
 use dora::{from_text, to_text, DoraConfig, DoraGovernor, DoraModels};
 use dora_browser::{Catalog, PageFeatures};
-use dora_campaign::evaluate::{evaluate, Policy};
+use dora_campaign::evaluate::{evaluate_with, Policy};
 use dora_campaign::export::results_to_csv;
 use dora_campaign::runner::{run_page, ScenarioConfig};
 use dora_campaign::workload::{Workload, WorkloadSet};
@@ -21,8 +21,13 @@ pub fn train(raw: &[String]) -> Result<(), String> {
     } else {
         Scale::Full
     };
-    eprintln!("training ({scale:?}, seed {seed})...");
-    let pipeline = Pipeline::build(scale, seed);
+    let executor = args.executor()?;
+    eprintln!(
+        "training ({scale:?}, seed {seed}, {} worker{})...",
+        executor.jobs(),
+        if executor.jobs() == 1 { "" } else { "s" }
+    );
+    let pipeline = Pipeline::build_with(scale, seed, &executor);
     let eval = dora::trainer::evaluate_models(&pipeline.models, &pipeline.observations);
     eprintln!(
         "trained on {} observations; train-set MAPE: time {:.2}%, power {:.2}%",
@@ -30,8 +35,7 @@ pub fn train(raw: &[String]) -> Result<(), String> {
         eval.load_time.mape * 100.0,
         eval.power.mape * 100.0
     );
-    std::fs::write(out, to_text(&pipeline.models))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(out, to_text(&pipeline.models)).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
 }
@@ -44,7 +48,9 @@ fn load_models(path: &str) -> Result<DoraModels, String> {
 /// `dora inspect`: summarize a persisted model bundle.
 pub fn inspect(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    let path = args.positional(0).ok_or("usage: dora inspect <models.txt>")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: dora inspect <models.txt>")?;
     let models = load_models(path)?;
     println!("model bundle: {path}");
     println!(
@@ -81,7 +87,9 @@ pub fn inspect(raw: &[String]) -> Result<(), String> {
 /// `dora profile`: extract Table I features from an HTML file.
 pub fn profile(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    let path = args.positional(0).ok_or("usage: dora profile <page.html>")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: dora profile <page.html>")?;
     let html = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let page = PageFeatures::from_html(&html).map_err(|e| e.to_string())?;
     println!("{path}:");
@@ -101,8 +109,7 @@ fn resolve_page(args: &Args) -> Result<PageFeatures, String> {
             .map(|p| p.features)
             .ok_or_else(|| format!("unknown page {name:?}; see `dora pages`")),
         (None, Some(path)) => {
-            let html =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let html = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             PageFeatures::from_html(&html).map_err(|e| e.to_string())
         }
         _ => Err("exactly one of --page or --html is required".into()),
@@ -124,12 +131,14 @@ pub fn predict(raw: &[String]) -> Result<(), String> {
     if deadline <= 0.0 {
         return Err(format!("--deadline must be positive, got {deadline}"));
     }
-    let decision =
-        dora::select_frequency(&models, page, deadline, mpki, util, temp, true);
+    let decision = dora::select_frequency(&models, page, deadline, mpki, util, temp, true);
     println!(
         "conditions: MPKI {mpki:.1}, co-run util {util:.2}, die {temp:.0}C, deadline {deadline:.1}s"
     );
-    println!("{:<11} {:>9} {:>9} {:>9} {:>9}", "freq", "time(s)", "power(W)", "PPW", "feasible");
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9}",
+        "freq", "time(s)", "power(W)", "PPW", "feasible"
+    );
     for p in &decision.curve {
         println!(
             "{:<11} {:>9.3} {:>9.3} {:>9.4} {:>9}",
@@ -175,10 +184,7 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("unknown page {page_name:?}; see `dora pages`"))?;
     let kernel = resolve_kernel(&args)?;
     let deadline = args.get_f64("deadline", 3.0)?;
-    let config = ScenarioConfig {
-        deadline_s: deadline,
-        ..ScenarioConfig::default()
-    };
+    let config = ScenarioConfig::builder().deadline_s(deadline).build();
     let governor_name = args.get("governor").unwrap_or("dora");
     let mut governor: Box<dyn Governor> = match governor_name {
         "dora" | "DORA" => {
@@ -199,15 +205,23 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
     };
     let r = run_page(page, kernel.as_ref(), governor.as_mut(), &config);
     println!("{}  under {}", r.workload_id, r.governor);
-    println!("  load time:   {:.3} s ({}; deadline {deadline:.1}s)",
+    println!(
+        "  load time:   {:.3} s ({}; deadline {deadline:.1}s)",
         r.load_time_s,
-        if r.met_deadline { "met" } else { "missed" });
+        if r.met_deadline { "met" } else { "missed" }
+    );
     println!("  mean power:  {:.3} W", r.mean_power_w);
     println!("  energy:      {:.2} J", r.energy_j);
     println!("  PPW:         {:.4}", r.ppw);
-    println!("  mean clock:  {:.2} GHz over {} switches", r.mean_freq_ghz, r.switches);
+    println!(
+        "  mean clock:  {:.2} GHz over {} switches",
+        r.mean_freq_ghz, r.switches
+    );
     println!("  die at end:  {:.1} C", r.final_temp_c);
-    println!("  L2 MPKI:     {:.2}   co-run util: {:.2}", r.mean_mpki, r.corun_utilization);
+    println!(
+        "  L2 MPKI:     {:.2}   co-run util: {:.2}",
+        r.mean_mpki, r.corun_utilization
+    );
     Ok(())
 }
 
@@ -236,11 +250,12 @@ pub fn csv(raw: &[String]) -> Result<(), String> {
         "conservative" => Policy::Conservative,
         other => return Err(format!("csv supports stock governors only, got {other:?}")),
     };
-    let evaluation = evaluate(
+    let evaluation = evaluate_with(
         &WorkloadSet::from_workloads(slice),
         &[policy],
         None,
         &ScenarioConfig::default(),
+        &args.executor()?,
     )
     .map_err(|e| e.to_string())?;
     print!("{}", results_to_csv(evaluation.results()));
@@ -252,9 +267,7 @@ pub fn session(raw: &[String]) -> Result<(), String> {
     use dora_campaign::session::{run_session, SessionConfig};
     let args = Args::parse(raw)?;
     let catalog = Catalog::alexa18();
-    let itinerary = args
-        .get("pages")
-        .unwrap_or("Reddit,CNN,Amazon,MSN");
+    let itinerary = args.get("pages").unwrap_or("Reddit,CNN,Amazon,MSN");
     let pages: Result<Vec<_>, String> = itinerary
         .split(',')
         .map(|name| {
@@ -300,16 +313,26 @@ pub fn session(raw: &[String]) -> Result<(), String> {
             if l.met_deadline { "met" } else { "missed" }
         );
     }
-    println!("  energy: {:.1} J over {:.1} s ({:.2} W mean)", r.energy_j, r.duration_s, r.mean_power_w());
-    println!("  battery estimate (8.74 Wh pack): {:.1} h", r.battery_hours(8.74));
+    println!(
+        "  energy: {:.1} J over {:.1} s ({:.2} W mean)",
+        r.energy_j,
+        r.duration_s,
+        r.mean_power_w()
+    );
+    println!(
+        "  battery estimate (8.74 Wh pack): {:.1} h",
+        r.battery_hours(8.74)
+    );
     Ok(())
 }
 
 /// `dora pages`: list the catalog.
 pub fn pages() -> Result<(), String> {
     let catalog = Catalog::alexa18();
-    println!("{:<12} {:<6} {:<9} {:>7} {:>7} {:>6} {:>6} {:>6}",
-        "page", "class", "split", "nodes", "class", "href", "a", "div");
+    println!(
+        "{:<12} {:<6} {:<9} {:>7} {:>7} {:>6} {:>6} {:>6}",
+        "page", "class", "split", "nodes", "class", "href", "a", "div"
+    );
     for p in catalog.pages() {
         println!(
             "{:<12} {:<6} {:<9} {:>7} {:>7} {:>6} {:>6} {:>6}",
@@ -328,7 +351,10 @@ pub fn pages() -> Result<(), String> {
 
 /// `dora kernels`: list the co-run suite.
 pub fn kernels() -> Result<(), String> {
-    println!("{:<18} {:<8} {:>10} {:>10}", "kernel", "class", "mean APKI", "duty");
+    println!(
+        "{:<18} {:<8} {:>10} {:>10}",
+        "kernel", "class", "mean APKI", "duty"
+    );
     for k in Kernel::all() {
         println!(
             "{:<18} {:<8} {:>10.1} {:>10.2}",

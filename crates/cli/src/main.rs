@@ -1,14 +1,14 @@
 //! `dora` — the command-line face of the reproduction.
 //!
 //! ```text
-//! dora train   [--quick] [--seed N] --out models.txt
+//! dora train   [--quick] [--seed N] [--jobs N] --out models.txt
 //! dora inspect <models.txt>
 //! dora profile <page.html>
 //! dora predict <models.txt> (--page NAME | --html FILE)
 //!              [--mpki X] [--util X] [--temp C] [--deadline S]
 //! dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
 //!              [--governor dora|interactive|performance|powersave]
-//! dora csv     --page NAME [--kernel NAME] [--governor NAME]
+//! dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
 //! ```
 //!
 //! Argument parsing is hand-rolled: the grammar is small and the
@@ -23,18 +23,21 @@ const USAGE: &str = "\
 dora - DORA (ISPASS 2018) reproduction CLI
 
 USAGE:
-  dora train   [--quick] [--seed N] --out <models.txt>
+  dora train   [--quick] [--seed N] [--jobs N] --out <models.txt>
   dora inspect <models.txt>
   dora profile <page.html>
   dora predict <models.txt> (--page NAME | --html FILE)
                [--mpki X] [--util X] [--temp C] [--deadline S]
   dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
                [--governor dora|interactive|performance|powersave]
-  dora csv     --page NAME [--kernel NAME] [--governor NAME]
+  dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
   dora session [<models.txt>] [--pages A,B,C] [--kernel NAME]
                [--governor dora|interactive|performance|powersave]
   dora pages
   dora kernels
+
+Campaign commands fan scenarios out over all cores; results are
+bit-identical at any width. --jobs 1 forces the classic sequential loop.
 
 Run `dora pages` / `dora kernels` to list the built-in catalog.";
 

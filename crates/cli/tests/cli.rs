@@ -102,6 +102,31 @@ fn inspect_rejects_garbage_bundles() {
 }
 
 #[test]
+fn jobs_flag_is_validated() {
+    let out = dora(&["csv", "--page", "Amazon", "--jobs", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--jobs expects a positive integer"));
+    let out = dora(&["csv", "--page", "Amazon", "--jobs", "some"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--jobs"));
+}
+
+#[test]
+#[ignore = "runs six governed loads twice (~minute in debug); run in release"]
+fn csv_with_jobs_1_matches_parallel_output() {
+    // --jobs 1 is the classic sequential loop; any other width must
+    // produce byte-identical CSV (the executor's determinism guarantee).
+    let sequential = dora(&["csv", "--page", "Amazon", "--jobs", "1"]);
+    assert!(sequential.status.success(), "{}", stderr(&sequential));
+    let parallel = dora(&["csv", "--page", "Amazon", "--jobs", "4"]);
+    assert!(parallel.status.success(), "{}", stderr(&parallel));
+    let seq_text = stdout(&sequential);
+    assert_eq!(seq_text, stdout(&parallel));
+    assert!(seq_text.starts_with("workload_id,"));
+    assert_eq!(seq_text.lines().count(), 4); // header + 3 intensities
+}
+
+#[test]
 #[ignore = "simulates a multi-page session (~minute in debug); run in release"]
 fn session_without_models_uses_stock_governor() {
     let out = dora(&[

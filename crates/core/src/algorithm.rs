@@ -154,13 +154,7 @@ mod tests {
         for freq in dvfs.frequencies() {
             for mpki in [0.0f64, 2.0, 5.0, 10.0, 20.0] {
                 for util in [0.0f64, 0.5, 1.0] {
-                    let inputs = PredictorInputs::for_frequency(
-                        page(),
-                        freq,
-                        &dvfs,
-                        mpki,
-                        util,
-                    );
+                    let inputs = PredictorInputs::for_frequency(page(), freq, &dvfs, mpki, util);
                     xs.push(inputs.to_vector());
                     ys.push(f(mpki, freq.as_ghz()));
                 }
@@ -252,7 +246,10 @@ mod tests {
             fd_noisy >= fd_calm,
             "more interference cannot lower fD: {fd_calm} -> {fd_noisy}"
         );
-        assert!(fd_noisy > fd_calm, "18 MPKI should move fD at a 3s deadline");
+        assert!(
+            fd_noisy > fd_calm,
+            "18 MPKI should move fD at a 3s deadline"
+        );
     }
 
     #[test]

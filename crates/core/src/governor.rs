@@ -267,8 +267,7 @@ mod tests {
         for freq in dvfs.frequencies() {
             for mpki in [0.0f64, 3.0, 8.0, 16.0] {
                 for util in [0.0f64, 0.6, 1.0] {
-                    let inputs =
-                        PredictorInputs::for_frequency(page(), freq, &dvfs, mpki, util);
+                    let inputs = PredictorInputs::for_frequency(page(), freq, &dvfs, mpki, util);
                     xs.push(inputs.to_vector());
                     t_ys.push(2.2 / freq.as_ghz() + 0.05 * mpki);
                     p_ys.push(1.4 + 0.35 * freq.as_ghz() * freq.as_ghz());

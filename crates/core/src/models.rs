@@ -241,15 +241,10 @@ impl DoraModels {
     pub fn validate(&self) -> Result<(), ModelError> {
         // Probe with a nominal input; panics inside predict would indicate
         // wrong arity, so construct the probe through the public path.
-        let page = PageFeatures::new(1000, 600, 200, 220, 280)
-            .expect("probe page is structurally valid");
-        let probe = PredictorInputs::for_frequency(
-            page,
-            self.dvfs.min_frequency(),
-            &self.dvfs,
-            1.0,
-            0.5,
-        );
+        let page =
+            PageFeatures::new(1000, 600, 200, 220, 280).expect("probe page is structurally valid");
+        let probe =
+            PredictorInputs::for_frequency(page, self.dvfs.min_frequency(), &self.dvfs, 1.0, 0.5);
         if probe.to_vector().len() != 9 {
             return Err(ModelError::ShapeMismatch(
                 "predictor inputs must have 9 entries".into(),
@@ -281,8 +276,16 @@ mod tests {
 
     fn models(time_s: f64, power_w: f64) -> DoraModels {
         DoraModels {
-            load_time: PiecewiseSurface::new([None, None, None], constant_surface(time_s), FrequencyEncoding::Natural),
-            power: PiecewiseSurface::new([None, None, None], constant_surface(power_w), FrequencyEncoding::Natural),
+            load_time: PiecewiseSurface::new(
+                [None, None, None],
+                constant_surface(time_s),
+                FrequencyEncoding::Natural,
+            ),
+            power: PiecewiseSurface::new(
+                [None, None, None],
+                constant_surface(power_w),
+                FrequencyEncoding::Natural,
+            ),
             leakage: Eq5Params {
                 k1: 0.22,
                 alpha: 800.0,
@@ -298,13 +301,8 @@ mod tests {
     #[test]
     fn inputs_vector_is_table1_ordered() {
         let dvfs = DvfsTable::msm8974();
-        let inputs = PredictorInputs::for_frequency(
-            page(),
-            Frequency::from_mhz(1497.6),
-            &dvfs,
-            4.5,
-            0.8,
-        );
+        let inputs =
+            PredictorInputs::for_frequency(page(), Frequency::from_mhz(1497.6), &dvfs, 4.5, 0.8);
         let v = inputs.to_vector();
         assert_eq!(v.len(), 9);
         assert_eq!(v[0], 2100.0); // X1 dom nodes
@@ -328,13 +326,8 @@ mod tests {
     #[test]
     fn predictions_compose_into_ppw() {
         let m = models(2.0, 2.5);
-        let inputs = PredictorInputs::for_frequency(
-            page(),
-            Frequency::from_mhz(1497.6),
-            &m.dvfs,
-            3.0,
-            0.5,
-        );
+        let inputs =
+            PredictorInputs::for_frequency(page(), Frequency::from_mhz(1497.6), &m.dvfs, 3.0, 0.5);
         let t = m.predict_load_time(&inputs);
         let p_no_lkg = m.predict_total_power(&inputs, 40.0, false);
         let p_lkg = m.predict_total_power(&inputs, 40.0, true);
@@ -348,13 +341,8 @@ mod tests {
     #[test]
     fn leakage_raises_power_more_when_hot() {
         let m = models(1.0, 2.0);
-        let inputs = PredictorInputs::for_frequency(
-            page(),
-            Frequency::from_mhz(2265.6),
-            &m.dvfs,
-            3.0,
-            0.5,
-        );
+        let inputs =
+            PredictorInputs::for_frequency(page(), Frequency::from_mhz(2265.6), &m.dvfs, 3.0, 0.5);
         let cold = m.predict_total_power(&inputs, 30.0, true);
         let hot = m.predict_total_power(&inputs, 70.0, true);
         assert!(hot > cold + 0.2, "hot {hot} vs cold {cold}");
@@ -363,13 +351,8 @@ mod tests {
     #[test]
     fn predictions_are_floored_positive() {
         let m = models(-5.0, -3.0);
-        let inputs = PredictorInputs::for_frequency(
-            page(),
-            Frequency::from_mhz(300.0),
-            &m.dvfs,
-            0.0,
-            0.0,
-        );
+        let inputs =
+            PredictorInputs::for_frequency(page(), Frequency::from_mhz(300.0), &m.dvfs, 0.0, 0.0);
         assert!(m.predict_load_time(&inputs) > 0.0);
         assert!(m.predict_total_power(&inputs, 30.0, false) > 0.0);
         assert!(m.predict_ppw(&inputs, 30.0, true).is_finite());

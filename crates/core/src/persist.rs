@@ -206,7 +206,12 @@ fn parse_surface(
         .map_err(|_| err(format!("line {n}: bad tier mask")))?;
 
     let (gn, gline) = lines.next()?;
-    let global = parse_fit(gn, &gline.split_whitespace().collect::<Vec<_>>(), "global", kind)?;
+    let global = parse_fit(
+        gn,
+        &gline.split_whitespace().collect::<Vec<_>>(),
+        "global",
+        kind,
+    )?;
     let mut tiers: [Option<FittedSurface>; 3] = [None, None, None];
     for (i, tier) in tiers.iter_mut().enumerate() {
         if mask & (1 << i) != 0 {
@@ -305,7 +310,6 @@ mod tests {
     use super::*;
     use crate::models::PredictorInputs;
     use dora_browser::PageFeatures;
-    
 
     /// Builds a small but real trained bundle.
     fn trained_models() -> DoraModels {
@@ -366,9 +370,7 @@ mod tests {
                 parsed.predict_load_time(&inputs).to_bits()
             );
             assert_eq!(
-                models
-                    .predict_total_power(&inputs, 45.0, true)
-                    .to_bits(),
+                models.predict_total_power(&inputs, 45.0, true).to_bits(),
                 parsed.predict_total_power(&inputs, 45.0, true).to_bits()
             );
         }
@@ -413,10 +415,7 @@ mod tests {
     #[test]
     fn whitespace_and_blank_lines_tolerated() {
         let text = to_text(&trained_models());
-        let padded: String = text
-            .lines()
-            .map(|l| format!("  {l}  \n\n"))
-            .collect();
+        let padded: String = text.lines().map(|l| format!("  {l}  \n\n")).collect();
         let parsed = from_text(&padded).expect("parses with padding");
         assert_eq!(parsed, trained_models());
     }

@@ -192,7 +192,10 @@ pub struct ModelEvaluation {
 /// # Panics
 ///
 /// Panics if `observations` is empty.
-pub fn evaluate_models(models: &DoraModels, observations: &[TrainingObservation]) -> ModelEvaluation {
+pub fn evaluate_models(
+    models: &DoraModels,
+    observations: &[TrainingObservation],
+) -> ModelEvaluation {
     assert!(!observations.is_empty(), "nothing to evaluate");
     let mut t_pred = Vec::with_capacity(observations.len());
     let mut t_true = Vec::with_capacity(observations.len());
@@ -271,8 +274,7 @@ mod tests {
             for f in dvfs.frequencies() {
                 for mpki in [0.4, 3.0, 11.0] {
                     let util = rng.range_f64(0.3, 1.0);
-                    let inputs =
-                        PredictorInputs::for_frequency(page, f, &dvfs, mpki, util);
+                    let inputs = PredictorInputs::for_frequency(page, f, &dvfs, mpki, util);
                     let ghz = f.as_ghz();
                     let t = work / (ghz * 1.4e9) * (1.0 + 0.03 * mpki) * rng.jitter(0.01);
                     let temp = 30.0 + 12.0 * ghz;
@@ -320,8 +322,13 @@ mod tests {
             .map(|(_, o)| *o)
             .collect();
         let eval_set: Vec<_> = all.iter().step_by(5).copied().collect();
-        let models = train(&train_set, &synth_leakage(2), &dvfs, TrainerConfig::default())
-            .expect("trains");
+        let models = train(
+            &train_set,
+            &synth_leakage(2),
+            &dvfs,
+            TrainerConfig::default(),
+        )
+        .expect("trains");
         let eval = evaluate_models(&models, &eval_set);
         assert!(
             eval.load_time.mape < 0.06,
@@ -399,6 +406,10 @@ mod tests {
             .iter()
             .find(|(k, _, _)| *k == SurfaceKind::Interaction)
             .expect("present");
-        assert!(interaction.1.mape < 0.10, "interaction MAPE {:.3}", interaction.1.mape);
+        assert!(
+            interaction.1.mape < 0.10,
+            "interaction MAPE {:.3}",
+            interaction.1.mape
+        );
     }
 }

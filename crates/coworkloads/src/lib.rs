@@ -71,15 +71,50 @@ impl Intensity {
             Intensity::High
         }
     }
+
+    /// The canonical lowercase label (`"low"`, `"medium"`, `"high"`) used
+    /// in result rows and CSV exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Intensity::Low => "low",
+            Intensity::Medium => "medium",
+            Intensity::High => "high",
+        }
+    }
 }
 
 impl fmt::Display for Intensity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Intensity::Low => "low",
-            Intensity::Medium => "medium",
-            Intensity::High => "high",
-        })
+        f.write_str(self.as_str())
+    }
+}
+
+/// The error returned when parsing an unknown intensity label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntensityError(String);
+
+impl fmt::Display for ParseIntensityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown intensity class `{}` (expected low/medium/high)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseIntensityError {}
+
+impl std::str::FromStr for Intensity {
+    type Err = ParseIntensityError;
+
+    /// Parses the canonical labels, case-insensitively (so exported CSV
+    /// rows round-trip).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Intensity::ALL
+            .into_iter()
+            .find(|i| s.eq_ignore_ascii_case(i.as_str()))
+            .ok_or_else(|| ParseIntensityError(s.to_string()))
     }
 }
 
@@ -270,10 +305,7 @@ impl Kernel {
     /// Budget-weighted mean L2 accesses per kilo-instruction.
     pub fn mean_apki(&self) -> f64 {
         let total: f64 = self.phases.iter().map(|(b, _)| b).sum();
-        self.phases
-            .iter()
-            .map(|(b, p)| b / total * p.l2_apki)
-            .sum()
+        self.phases.iter().map(|(b, p)| b / total * p.l2_apki).sum()
     }
 
     /// Spawns an endless task instance. `seed` applies a small (±3 %)

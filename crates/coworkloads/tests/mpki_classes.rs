@@ -16,7 +16,9 @@ fn solo_mpki(kernel: &Kernel, mhz: f64) -> f64 {
     board
         .set_frequency(dora_soc::Frequency::from_mhz(mhz))
         .expect("table frequency");
-    board.assign(2, Box::new(kernel.spawn(13))).expect("core 2 free");
+    board
+        .assign(2, Box::new(kernel.spawn(13)))
+        .expect("core 2 free");
     board.step(SimDuration::from_secs(1));
     board.counters(2).mpki()
 }

@@ -17,7 +17,7 @@ use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, Table};
 use dora::trainer::{evaluate_models, train, TrainerConfig, TrainingObservation};
 use dora::{DoraConfig, DoraGovernor, DoraModels};
-use dora_campaign::evaluate::{evaluate, Policy};
+use dora_campaign::evaluate::{evaluate_with, Policy};
 use dora_campaign::runner::run_scenario;
 use dora_campaign::workload::WorkloadSet;
 
@@ -91,11 +91,12 @@ fn governor_variant(
         .cloned()
         .collect();
     let scenario = &pipeline.scenario;
-    let baseline_eval = evaluate(
+    let baseline_eval = evaluate_with(
         &WorkloadSet::from_workloads(slice.clone()),
         &[Policy::Interactive],
         None,
         scenario,
+        &pipeline.executor,
     )
     .expect("no models needed");
     let mut ratios = Vec::new();
@@ -133,7 +134,12 @@ pub fn run(pipeline: &Pipeline) -> Ablation {
 
     let default = TrainerConfig::default();
     let model_rows = vec![
-        model_variant("default (piecewise, period-encoded)", pipeline, &eval_set, default),
+        model_variant(
+            "default (piecewise, period-encoded)",
+            pipeline,
+            &eval_set,
+            default,
+        ),
         model_variant(
             "no piecewise tiers (global fit only)",
             pipeline,
@@ -262,7 +268,13 @@ mod tests {
         let d = &ablation.governor_rows[0];
         let no_margin = &ablation.governor_rows[1];
         let no_hyst = &ablation.governor_rows[2];
-        assert!(no_margin.met_fraction <= d.met_fraction + 1e-9, "{ablation:#?}");
-        assert!(no_hyst.mean_switches >= d.mean_switches - 1e-9, "{ablation:#?}");
+        assert!(
+            no_margin.met_fraction <= d.met_fraction + 1e-9,
+            "{ablation:#?}"
+        );
+        assert!(
+            no_hyst.mean_switches >= d.mean_switches - 1e-9,
+            "{ablation:#?}"
+        );
     }
 }

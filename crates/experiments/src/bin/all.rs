@@ -27,7 +27,10 @@ fn main() {
     );
 
     banner("Table II");
-    println!("{}", dora_experiments::table02::run(&pipeline.scenario.board).render());
+    println!(
+        "{}",
+        dora_experiments::table02::run(&pipeline.scenario.board).render()
+    );
 
     banner("Table III");
     println!(
@@ -36,13 +39,22 @@ fn main() {
     );
 
     banner("Fig. 1");
-    println!("{}", dora_experiments::fig01::run(&pipeline.scenario).render());
+    println!(
+        "{}",
+        dora_experiments::fig01::run(&pipeline.scenario).render()
+    );
 
     banner("Fig. 2");
-    println!("{}", dora_experiments::fig02::run(&pipeline.scenario).render());
+    println!(
+        "{}",
+        dora_experiments::fig02::run(&pipeline.scenario).render()
+    );
 
     banner("Fig. 3");
-    println!("{}", dora_experiments::fig03::run(&pipeline.scenario).render());
+    println!(
+        "{}",
+        dora_experiments::fig03::run(&pipeline.scenario).render()
+    );
 
     banner("Fig. 5");
     println!("{}", dora_experiments::fig05::run(&pipeline).render());
@@ -69,7 +81,10 @@ fn main() {
     println!("{}", dora_experiments::fig11::run(&pipeline).render());
 
     banner("Section V-A (model selection)");
-    println!("{}", dora_experiments::model_selection::run(&pipeline).render());
+    println!(
+        "{}",
+        dora_experiments::model_selection::run(&pipeline).render()
+    );
 
     banner("Section IV-C (decision interval)");
     let study = dora_experiments::interval_study::run(&pipeline);
@@ -87,7 +102,10 @@ fn main() {
     println!("{}", dora_experiments::ablation::run(&pipeline).render());
 
     banner("Beyond the paper: generalization to unseen pages");
-    println!("{}", dora_experiments::generalization::run(&pipeline).render());
+    println!(
+        "{}",
+        dora_experiments::generalization::run(&pipeline).render()
+    );
 
     eprintln!(
         "[all] complete in {:.1}s wall clock",

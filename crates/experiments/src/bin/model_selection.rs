@@ -8,5 +8,8 @@ fn main() {
         Scale::Full
     };
     let pipeline = Pipeline::build(scale, 42);
-    println!("{}", dora_experiments::model_selection::run(&pipeline).render());
+    println!(
+        "{}",
+        dora_experiments::model_selection::run(&pipeline).render()
+    );
 }

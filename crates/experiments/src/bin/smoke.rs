@@ -1,13 +1,17 @@
 //! End-to-end smoke run: quick-train DORA, then compare it with the
 //! interactive baseline on a handful of workloads.
 
-use dora_campaign::evaluate::{evaluate, Policy, Subset};
+use dora_campaign::evaluate::{evaluate_with, Policy, Subset};
 use dora_campaign::workload::WorkloadSet;
 use dora_experiments::Pipeline;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let pipeline = if full { Pipeline::full() } else { Pipeline::quick() };
+    let pipeline = if full {
+        Pipeline::full()
+    } else {
+        Pipeline::quick()
+    };
     println!(
         "trained on {} observations; leakage points: {}",
         pipeline.observations.len(),
@@ -39,8 +43,14 @@ fn main() {
         Policy::DeadlineOnly,
         Policy::EnergyOnly,
     ];
-    let result = evaluate(&subset, &policies, Some(&pipeline.models), &pipeline.scenario)
-        .expect("models provided");
+    let result = evaluate_with(
+        &subset,
+        &policies,
+        Some(&pipeline.models),
+        &pipeline.scenario,
+        &pipeline.executor,
+    )
+    .expect("models provided");
     for p in &policies {
         let name = p.name();
         println!(
@@ -53,7 +63,13 @@ fn main() {
     for r in result.results_for("DORA") {
         println!(
             "  DORA {:<22} t={:.2}s P={:.2}W ppw={:.4} met={} switches={} fmean={:.2}GHz",
-            r.workload_id, r.load_time_s, r.mean_power_w, r.ppw, r.met_deadline, r.switches, r.mean_freq_ghz
+            r.workload_id,
+            r.load_time_s,
+            r.mean_power_w,
+            r.ppw,
+            r.met_deadline,
+            r.switches,
+            r.mean_freq_ghz
         );
     }
 }

@@ -33,12 +33,18 @@ pub struct Fig01Row {
 impl Fig01Row {
     /// The smallest load time at this frequency.
     pub fn min_s(&self) -> f64 {
-        self.alone_s.min(self.low_s).min(self.medium_s).min(self.high_s)
+        self.alone_s
+            .min(self.low_s)
+            .min(self.medium_s)
+            .min(self.high_s)
     }
 
     /// The largest load time at this frequency.
     pub fn max_s(&self) -> f64 {
-        self.alone_s.max(self.low_s).max(self.medium_s).max(self.high_s)
+        self.alone_s
+            .max(self.low_s)
+            .max(self.medium_s)
+            .max(self.high_s)
     }
 }
 
@@ -129,10 +135,9 @@ mod tests {
     use dora_sim_core::SimDuration;
 
     fn quick() -> ScenarioConfig {
-        ScenarioConfig {
-            warmup: SimDuration::from_secs(3),
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(3))
+            .build()
     }
 
     #[test]

@@ -178,10 +178,9 @@ mod tests {
     use super::*;
 
     fn quick() -> ScenarioConfig {
-        ScenarioConfig {
-            warmup: SimDuration::from_secs(5),
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(5))
+            .build()
     }
 
     #[test]
@@ -204,9 +203,19 @@ mod tests {
         // Paper's page-level verdicts: ESPN always meets 3 s, AliExpress
         // never does.
         let espn = fig.rows.iter().find(|r| r.page == "ESPN").expect("row");
-        assert!(espn.load_s[2] <= 3.0, "ESPN must absorb interference: {espn:?}");
-        let ali = fig.rows.iter().find(|r| r.page == "Aliexpress").expect("row");
-        assert!(ali.load_s[0] > 3.0, "AliExpress misses even light co-run: {ali:?}");
+        assert!(
+            espn.load_s[2] <= 3.0,
+            "ESPN must absorb interference: {espn:?}"
+        );
+        let ali = fig
+            .rows
+            .iter()
+            .find(|r| r.page == "Aliexpress")
+            .expect("row");
+        assert!(
+            ali.load_s[0] > 3.0,
+            "AliExpress misses even light co-run: {ali:?}"
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! table at fmax" number.
 
 use crate::report::{fmt_f, render_series, Table};
-use dora_campaign::runner::{oracle, OracleFrequencies, ScenarioConfig};
+use dora_campaign::runner::{oracle_with, OracleFrequencies, ScenarioConfig};
 use dora_campaign::workload::WorkloadSet;
+use dora_campaign::Executor;
 use dora_coworkloads::Intensity;
 
 /// One workload's sweep and verdicts.
@@ -38,12 +39,12 @@ pub struct Fig03 {
     pub msn: Fig03Side,
 }
 
-fn side(page: &str, config: &ScenarioConfig) -> Fig03Side {
+fn side(page: &str, config: &ScenarioConfig, executor: &Executor) -> Fig03Side {
     let set = WorkloadSet::paper54();
     let workload = set
         .find_by_class(page, Intensity::High)
         .expect("page in the 54-workload set");
-    let o = oracle(workload, config);
+    let o = oracle_with(workload, config, executor);
     let ppw_at = |mhz: f64| -> f64 {
         o.sweep
             .iter()
@@ -63,9 +64,14 @@ fn side(page: &str, config: &ScenarioConfig) -> Fig03Side {
 
 /// Measures both sides of the figure.
 pub fn run(config: &ScenarioConfig) -> Fig03 {
+    run_with(config, &Executor::auto())
+}
+
+/// [`run`] on a caller-chosen executor.
+pub fn run_with(config: &ScenarioConfig, executor: &Executor) -> Fig03 {
     Fig03 {
-        espn: side("ESPN", config),
-        msn: side("MSN", config),
+        espn: side("ESPN", config, executor),
+        msn: side("MSN", config, executor),
     }
 }
 
@@ -129,10 +135,9 @@ mod tests {
     use dora_sim_core::SimDuration;
 
     fn quick() -> ScenarioConfig {
-        ScenarioConfig {
-            warmup: SimDuration::from_secs(5),
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(5))
+            .build()
     }
 
     #[test]

@@ -14,7 +14,6 @@
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, render_series, Table};
 use dora::trainer::TrainingObservation;
-use dora_campaign::runner::ScenarioConfig;
 use dora_campaign::training::measure_observation;
 use dora_campaign::workload::WorkloadSet;
 use dora_sim_core::stats::Samples;
@@ -50,10 +49,11 @@ pub struct Fig05 {
 /// Builds the held-out evaluation grid shared with the Section V-A study.
 pub fn evaluation_observations(pipeline: &Pipeline) -> Vec<(String, bool, TrainingObservation)> {
     let set = WorkloadSet::paper54();
-    let eval_scenario = ScenarioConfig {
-        seed: pipeline.scenario.seed ^ 0x5EED_CAFE,
-        ..pipeline.scenario.clone()
-    };
+    let eval_scenario = pipeline
+        .scenario
+        .to_builder()
+        .seed(pipeline.scenario.seed ^ 0x5EED_CAFE)
+        .build();
     let ladder = eval_scenario.board.dvfs.paper_ladder();
     let mut out = Vec::new();
     for workload in set.workloads() {
@@ -77,9 +77,15 @@ pub fn run(pipeline: &Pipeline) -> Fig05 {
         let p_pred = pipeline
             .models
             .predict_total_power(&obs.inputs, obs.mean_temp_c, true);
-        let entry = per_page.entry(page).or_insert((training, Vec::new(), Vec::new()));
-        entry.1.push(((t_pred - obs.load_time_s) / obs.load_time_s).abs());
-        entry.2.push(((p_pred - obs.total_power_w) / obs.total_power_w).abs());
+        let entry = per_page
+            .entry(page)
+            .or_insert((training, Vec::new(), Vec::new()));
+        entry
+            .1
+            .push(((t_pred - obs.load_time_s) / obs.load_time_s).abs());
+        entry
+            .2
+            .push(((p_pred - obs.total_power_w) / obs.total_power_w).abs());
     }
     let pages: Vec<PageError> = per_page
         .into_iter()
@@ -167,8 +173,16 @@ mod tests {
     fn accuracy_lands_in_paper_band() {
         let pipeline = Pipeline::build(Scale::Full, 42);
         let fig = run(&pipeline);
-        assert!(fig.mean_time_error < 0.05, "time error {:.3}", fig.mean_time_error);
-        assert!(fig.mean_power_error < 0.06, "power error {:.3}", fig.mean_power_error);
+        assert!(
+            fig.mean_time_error < 0.05,
+            "time error {:.3}",
+            fig.mean_time_error
+        );
+        assert!(
+            fig.mean_power_error < 0.06,
+            "power error {:.3}",
+            fig.mean_power_error
+        );
         let cdf = fig.time_cdf();
         assert!(cdf.cdf_at(0.10) > 0.8, "most pages under 10% error");
     }
@@ -181,6 +195,10 @@ mod tests {
         assert_eq!(fig.pages.len(), 18);
         // The quick grid trades accuracy for speed (it is too small for
         // per-tier piecewise fits); it only needs to be in the ballpark.
-        assert!(fig.mean_time_error < 0.30, "time error {:.3}", fig.mean_time_error);
+        assert!(
+            fig.mean_time_error < 0.30,
+            "time error {:.3}",
+            fig.mean_time_error
+        );
     }
 }

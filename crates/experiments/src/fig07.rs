@@ -14,7 +14,7 @@
 
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, fmt_gain, render_series, Table};
-use dora_campaign::evaluate::{evaluate, Evaluation, Policy, Subset};
+use dora_campaign::evaluate::{evaluate_with, Evaluation, Policy, Subset};
 use dora_campaign::workload::WorkloadSet;
 use dora_sim_core::Rng;
 
@@ -36,11 +36,12 @@ pub const GOVERNORS: [&str; 5] = ["interactive", "performance", "DL", "EE", "DOR
 ///
 /// Panics on internal policy errors (models are always supplied here).
 pub fn run(pipeline: &Pipeline) -> Fig07 {
-    let evaluation = evaluate(
+    let evaluation = evaluate_with(
         &pipeline.workloads,
         &Policy::FIG7,
         Some(&pipeline.models),
         &pipeline.scenario,
+        &pipeline.executor,
     )
     .expect("models supplied");
 
@@ -56,11 +57,12 @@ pub fn run(pipeline: &Pipeline) -> Fig07 {
             .map(|&i| pipeline.workloads.workloads()[i].clone())
             .collect(),
     );
-    let spot = evaluate(
+    let spot = evaluate_with(
         &ten,
         &[Policy::OfflineOpt, Policy::Dora],
         Some(&pipeline.models),
         &pipeline.scenario,
+        &pipeline.executor,
     )
     .expect("models supplied");
     let offline_check = spot
@@ -126,12 +128,7 @@ impl Fig07 {
             "all".into(),
         ]);
         for (g, inc, neu, all) in self.panel_a() {
-            a.row(vec![
-                g,
-                fmt_gain(inc),
-                fmt_gain(neu),
-                fmt_gain(all),
-            ]);
+            a.row(vec![g, fmt_gain(inc), fmt_gain(neu), fmt_gain(all)]);
         }
         let mut b = Table::new(vec![
             "Governor".into(),
@@ -155,10 +152,7 @@ impl Fig07 {
                 &samples.cdf_points(),
             ));
         }
-        let mut spot = Table::new(vec![
-            "Workload".into(),
-            "offline_opt PPW / DORA PPW".into(),
-        ]);
+        let mut spot = Table::new(vec!["Workload".into(), "offline_opt PPW / DORA PPW".into()]);
         for (id, ratio) in &self.offline_check {
             spot.row(vec![id.clone(), fmt_f(*ratio, 3)]);
         }

@@ -9,7 +9,7 @@
 
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, Table};
-use dora_campaign::evaluate::{evaluate, Evaluation, Policy};
+use dora_campaign::evaluate::{evaluate_with, Evaluation, Policy};
 use dora_soc::Frequency;
 use std::collections::HashMap;
 
@@ -35,15 +35,7 @@ pub struct Fig08 {
 }
 
 /// The seven governors of the figure (baseline first).
-pub const GOVERNORS: [&str; 7] = [
-    "interactive",
-    "performance",
-    "fD",
-    "fE",
-    "DORA",
-    "DL",
-    "EE",
-];
+pub const GOVERNORS: [&str; 7] = ["interactive", "performance", "fD", "fE", "DORA", "DL", "EE"];
 
 /// Runs the evaluation and assembles the sorted rows.
 ///
@@ -51,11 +43,12 @@ pub const GOVERNORS: [&str; 7] = [
 ///
 /// Panics on internal policy errors (models are always supplied here).
 pub fn run(pipeline: &Pipeline) -> Fig08 {
-    let evaluation = evaluate(
+    let evaluation = evaluate_with(
         &pipeline.workloads,
         &Policy::FIG8,
         Some(&pipeline.models),
         &pipeline.scenario,
+        &pipeline.executor,
     )
     .expect("models supplied");
 

@@ -14,7 +14,7 @@
 
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, Table};
-use dora_campaign::evaluate::{evaluate, Policy};
+use dora_campaign::evaluate::{evaluate_with, Policy};
 use dora_campaign::workload::WorkloadSet;
 use dora_coworkloads::Intensity;
 use std::collections::HashMap;
@@ -59,7 +59,7 @@ pub fn run(pipeline: &Pipeline) -> Fig09 {
                 .expect("page x class exists")
                 .clone();
             let set = WorkloadSet::from_workloads(vec![workload.clone()]);
-            let eval = evaluate(
+            let eval = evaluate_with(
                 &set,
                 &[
                     Policy::Interactive,
@@ -70,6 +70,7 @@ pub fn run(pipeline: &Pipeline) -> Fig09 {
                 ],
                 Some(&pipeline.models),
                 &pipeline.scenario,
+                &pipeline.executor,
             )
             .expect("models supplied");
             let base = eval.results_for("interactive")[0].ppw;

@@ -13,7 +13,7 @@
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, render_series, Table};
 use dora::{DoraConfig, DoraGovernor};
-use dora_campaign::runner::{oracle, run_scenario, ScenarioConfig};
+use dora_campaign::runner::{oracle_with, run_scenario};
 use dora_campaign::workload::WorkloadSet;
 use dora_coworkloads::Intensity;
 use dora_governors::{InteractiveGovernor, PinnedGovernor};
@@ -64,10 +64,7 @@ fn ablation(pipeline: &Pipeline) -> LeakageAblation {
     let workload = set
         .find_by_class("ESPN", Intensity::Medium)
         .expect("ESPN+medium exists");
-    let config = &ScenarioConfig {
-        deadline_s: 4.0,
-        ..pipeline.scenario.clone()
-    };
+    let config = &pipeline.scenario.to_builder().deadline_s(4.0).build();
     let mut interactive = InteractiveGovernor::new(config.board.dvfs.clone());
     let base = run_scenario(workload, &mut interactive, config).ppw;
     let run_variant = |include_leakage: bool| {
@@ -93,10 +90,7 @@ fn ablation(pipeline: &Pipeline) -> LeakageAblation {
 
 fn ambient_sweep(pipeline: &Pipeline, board: BoardConfig) -> AmbientSweep {
     let ambient_c = board.thermal.ambient_c;
-    let config = ScenarioConfig {
-        board,
-        ..pipeline.scenario.clone()
-    };
+    let config = pipeline.scenario.to_builder().board(board).build();
     let set = WorkloadSet::paper54();
     let workload = set
         .find_by_class("Amazon", Intensity::Medium)
@@ -112,7 +106,7 @@ fn ambient_sweep(pipeline: &Pipeline, board: BoardConfig) -> AmbientSweep {
             (f.as_ghz(), r.mean_power_w, r.final_temp_c)
         })
         .collect();
-    let o = oracle(workload, &config);
+    let o = oracle_with(workload, &config, &pipeline.executor);
     AmbientSweep {
         ambient_c,
         rows,
@@ -155,10 +149,8 @@ impl Fig10 {
                 fmt_f(room_row.2, 1),
             ]);
         }
-        let room_series: Vec<(f64, f64)> =
-            self.room.rows.iter().map(|r| (r.0, r.1)).collect();
-        let cold_series: Vec<(f64, f64)> =
-            self.cold.rows.iter().map(|r| (r.0, r.1)).collect();
+        let room_series: Vec<(f64, f64)> = self.room.rows.iter().map(|r| (r.0, r.1)).collect();
+        let cold_series: Vec<(f64, f64)> = self.cold.rows.iter().map(|r| (r.0, r.1)).collect();
         format!(
             "Fig. 10(a): leakage-aware vs leakage-blind DORA (ESPN+medium, 4s target)\n\
              DORA PPW vs interactive:        {}\n\

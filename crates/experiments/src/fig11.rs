@@ -53,10 +53,11 @@ pub fn run(pipeline: &Pipeline) -> Fig11 {
                     ..DoraConfig::default()
                 },
             );
-            let config = dora_campaign::ScenarioConfig {
-                deadline_s,
-                ..pipeline.scenario.clone()
-            };
+            let config = pipeline
+                .scenario
+                .to_builder()
+                .deadline_s(deadline_s)
+                .build();
             let r = run_scenario(workload, &mut governor, &config);
             let fopt_ghz = dvfs
                 .nearest(dora_soc::Frequency::from_mhz(r.mean_freq_ghz * 1000.0))
@@ -137,7 +138,10 @@ mod tests {
         assert!(fe > 0.3, "fE plateau {fe}");
         // The plateau is flat at the tail (deadline no longer binds).
         let tail: Vec<f64> = fig.rows[7..].iter().map(|r| r.fopt_ghz).collect();
-        assert!(tail.windows(2).all(|w| (w[0] - w[1]).abs() < 0.3), "{tail:?}");
+        assert!(
+            tail.windows(2).all(|w| (w[0] - w[1]).abs() < 0.3),
+            "{tail:?}"
+        );
         // Feasible deadlines are met.
         for r in &fig.rows {
             if r.deadline_s >= 3.0 {

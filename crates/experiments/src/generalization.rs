@@ -13,7 +13,7 @@ use crate::report::{fmt_f, fmt_gain, Table};
 use dora::{DoraConfig, DoraGovernor};
 use dora_browser::catalog::{CatalogPage, PageClass};
 use dora_browser::PageFeatures;
-use dora_campaign::runner::{run_page, ScenarioConfig};
+use dora_campaign::runner::run_page;
 use dora_coworkloads::Kernel;
 use dora_governors::{InteractiveGovernor, PerformanceGovernor};
 use dora_sim_core::Rng;
@@ -21,8 +21,8 @@ use dora_sim_core::Rng;
 /// Static names for the synthesized corpus (catalog pages carry
 /// `&'static str` names).
 const SYNTH_NAMES: [&str; 12] = [
-    "synth-00", "synth-01", "synth-02", "synth-03", "synth-04", "synth-05", "synth-06",
-    "synth-07", "synth-08", "synth-09", "synth-10", "synth-11",
+    "synth-00", "synth-01", "synth-02", "synth-03", "synth-04", "synth-05", "synth-06", "synth-07",
+    "synth-08", "synth-09", "synth-10", "synth-11",
 ];
 
 /// One synthesized workload's outcome.
@@ -53,9 +53,7 @@ pub struct Generalization {
 pub fn run(pipeline: &Pipeline) -> Generalization {
     let mut rng = Rng::seed_from_u64(pipeline.scenario.seed ^ 0x5E17);
     let kernels = Kernel::all();
-    let config = ScenarioConfig {
-        ..pipeline.scenario.clone()
-    };
+    let config = pipeline.scenario.clone();
     let rows = SYNTH_NAMES
         .iter()
         .enumerate()
@@ -106,8 +104,7 @@ impl Generalization {
 
     /// Of the feasible workloads, the fraction DORA also met.
     pub fn feasibility_kept(&self) -> f64 {
-        let feasible: Vec<&GeneralizationRow> =
-            self.rows.iter().filter(|r| r.feasible).collect();
+        let feasible: Vec<&GeneralizationRow> = self.rows.iter().filter(|r| r.feasible).collect();
         if feasible.is_empty() {
             return 1.0;
         }

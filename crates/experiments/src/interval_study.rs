@@ -295,11 +295,7 @@ mod tests {
         let pipeline = Pipeline::build(Scale::Full, 42);
         let study = run(&pipeline);
         assert_eq!(study.rows.len(), 3);
-        assert!(
-            study.hundred_ms_is_the_sweet_spot(),
-            "{:#?}",
-            study.rows
-        );
+        assert!(study.hundred_ms_is_the_sweet_spot(), "{:#?}", study.rows);
         // All cadences stay deadline-correct on this (feasible) slice.
         for r in &study.rows {
             assert!(r.met_fraction > 0.6, "{r:?}");
@@ -315,6 +311,9 @@ mod tests {
             "250ms should lag 50ms: {fast:.3}s vs {slow:.3}s"
         );
         // 100ms performs like 50ms (the paper's pick).
-        assert!((adaptation[1].load_time_s - fast).abs() < 0.15, "{adaptation:#?}");
+        assert!(
+            (adaptation[1].load_time_s - fast).abs() < 0.15,
+            "{adaptation:#?}"
+        );
     }
 }

@@ -38,7 +38,6 @@
 
 pub mod ablation;
 pub mod fig01;
-pub mod generalization;
 pub mod fig02;
 pub mod fig03;
 pub mod fig05;
@@ -48,6 +47,7 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod generalization;
 pub mod interval_study;
 pub mod model_selection;
 pub mod overhead;

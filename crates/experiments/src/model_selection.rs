@@ -93,8 +93,7 @@ impl ModelSelection {
         let quad = self.row(SurfaceKind::Quadratic);
         let lin = self.row(SurfaceKind::Linear);
         let time_ok = inter.time.mape < quad.time.mape + 0.02 && inter.terms < quad.terms;
-        let power_ok = lin.power.mape
-            < inter.power.mape.min(quad.power.mape) + 0.02
+        let power_ok = lin.power.mape < inter.power.mape.min(quad.power.mape) + 0.02
             && lin.terms < inter.terms;
         time_ok && power_ok
     }

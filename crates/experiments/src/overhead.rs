@@ -43,11 +43,7 @@ pub struct Overhead {
 
 /// Measures DORA's overhead across all 54 workloads.
 pub fn run(pipeline: &Pipeline) -> Overhead {
-    let switch_stall_s = pipeline
-        .scenario
-        .board
-        .dvfs_switch_stall
-        .as_secs_f64();
+    let switch_stall_s = pipeline.scenario.board.dvfs_switch_stall.as_secs_f64();
     let rows = pipeline
         .workloads
         .workloads()
@@ -83,16 +79,14 @@ pub fn run(pipeline: &Pipeline) -> Overhead {
 impl Overhead {
     /// `(mean, max)` of the monitoring+decision overhead fraction.
     pub fn decide_overhead(&self) -> (f64, f64) {
-        let mean =
-            self.rows.iter().map(|r| r.decide_frac).sum::<f64>() / self.rows.len() as f64;
+        let mean = self.rows.iter().map(|r| r.decide_frac).sum::<f64>() / self.rows.len() as f64;
         let max = self.rows.iter().map(|r| r.decide_frac).fold(0.0, f64::max);
         (mean, max)
     }
 
     /// `(mean, max)` of the switching overhead fraction.
     pub fn switch_overhead(&self) -> (f64, f64) {
-        let mean =
-            self.rows.iter().map(|r| r.switch_frac).sum::<f64>() / self.rows.len() as f64;
+        let mean = self.rows.iter().map(|r| r.switch_frac).sum::<f64>() / self.rows.len() as f64;
         let max = self.rows.iter().map(|r| r.switch_frac).fold(0.0, f64::max);
         (mean, max)
     }

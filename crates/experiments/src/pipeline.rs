@@ -13,9 +13,11 @@
 
 use dora::trainer::{train, TrainerConfig, TrainingObservation};
 use dora::DoraModels;
-use dora_campaign::training::{leakage_calibration, training_campaign, TrainingCampaignConfig};
+use dora_campaign::training::{
+    leakage_calibration_with, training_campaign_with, TrainingCampaignConfig,
+};
 use dora_campaign::workload::WorkloadSet;
-use dora_campaign::ScenarioConfig;
+use dora_campaign::{Executor, ScenarioConfig};
 use dora_modeling::leakage::LeakageObservation;
 use dora_soc::Frequency;
 
@@ -43,10 +45,17 @@ pub struct Pipeline {
     pub scenario: ScenarioConfig,
     /// The workload set.
     pub workloads: WorkloadSet,
+    /// The executor the campaign ran on (reuse it for evaluations).
+    pub executor: Executor,
 }
 
 impl Pipeline {
-    /// Runs the campaign and trains the models at the given scale.
+    /// Runs the campaign and trains the models at the given scale, on
+    /// all available cores.
+    ///
+    /// Campaign fan-out is deterministic (see
+    /// [`dora_campaign::executor`]), so the trained models are identical
+    /// to a sequential build.
     ///
     /// # Panics
     ///
@@ -54,10 +63,17 @@ impl Pipeline {
     /// design is always identifiable, so a failure indicates a broken
     /// build rather than an environmental condition.
     pub fn build(scale: Scale, seed: u64) -> Self {
-        let scenario = ScenarioConfig {
-            seed,
-            ..ScenarioConfig::default()
-        };
+        Pipeline::build_with(scale, seed, &Executor::auto())
+    }
+
+    /// [`Pipeline::build`] on a caller-chosen executor (what the CLI's
+    /// `--jobs` flag feeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails, as for [`Pipeline::build`].
+    pub fn build_with(scale: Scale, seed: u64, executor: &Executor) -> Self {
+        let scenario = ScenarioConfig::builder().seed(seed).build();
         let workloads = WorkloadSet::paper54();
         let (set_for_training, frequencies) = match scale {
             Scale::Full => (workloads.clone(), None),
@@ -71,12 +87,7 @@ impl Pipeline {
                         .map(|(_, w)| w.clone())
                         .collect(),
                 );
-                let freqs: Vec<Frequency> = scenario
-                    .board
-                    .dvfs
-                    .frequencies()
-                    .step_by(2)
-                    .collect();
+                let freqs: Vec<Frequency> = scenario.board.dvfs.frequencies().step_by(2).collect();
                 (subset, Some(freqs))
             }
         };
@@ -84,9 +95,9 @@ impl Pipeline {
             scenario: scenario.clone(),
             frequencies,
         };
-        let observations = training_campaign(&set_for_training, &campaign_config);
+        let observations = training_campaign_with(&set_for_training, &campaign_config, executor);
         let leakage_observations =
-            leakage_calibration(&scenario.board, &[5.0, 15.0, 25.0, 35.0, 45.0]);
+            leakage_calibration_with(&scenario.board, &[5.0, 15.0, 25.0, 35.0, 45.0], executor);
         let models = train(
             &observations,
             &leakage_observations,
@@ -100,6 +111,7 @@ impl Pipeline {
             leakage_observations,
             scenario,
             workloads,
+            executor: *executor,
         }
     }
 

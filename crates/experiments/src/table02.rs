@@ -20,7 +20,10 @@ pub fn run(config: &BoardConfig) -> Table02 {
         ("Platform".to_string(), config.name.clone()),
         (
             "Application Processor".to_string(),
-            format!("{}-core (simulated Krait-class, in-order timing model)", config.num_cores),
+            format!(
+                "{}-core (simulated Krait-class, in-order timing model)",
+                config.num_cores
+            ),
         ),
         (
             "Cores enabled".to_string(),

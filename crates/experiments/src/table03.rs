@@ -141,11 +141,10 @@ impl Table03 {
 /// The default board/scenario for this table (3 s warm-up keeps it fast;
 /// classification does not depend on die temperature).
 pub fn default_config() -> ScenarioConfig {
-    ScenarioConfig {
-        warmup: SimDuration::from_secs(3),
-        board: BoardConfig::nexus5(),
-        ..ScenarioConfig::default()
-    }
+    ScenarioConfig::builder()
+        .warmup(SimDuration::from_secs(3))
+        .board(BoardConfig::nexus5())
+        .build()
 }
 
 #[cfg(test)]

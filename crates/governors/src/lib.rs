@@ -388,8 +388,7 @@ impl Governor for OndemandGovernor {
         } else {
             // The kernel's proportional decay: next = fmax · util / threshold,
             // snapped to the next table frequency at or above the demand.
-            let demanded_mhz =
-                self.table.max_frequency().as_mhz() * util / self.up_threshold;
+            let demanded_mhz = self.table.max_frequency().as_mhz() * util / self.up_threshold;
             self.table.ceil(Frequency::from_mhz(demanded_mhz))
         }
     }
@@ -478,12 +477,7 @@ impl ThermalThrottle {
     ///
     /// Panics unless `release_c < trip_c` (the hysteresis band must be
     /// non-empty) or if either threshold is outside a plausible die range.
-    pub fn new(
-        inner: Box<dyn Governor>,
-        table: DvfsTable,
-        trip_c: f64,
-        release_c: f64,
-    ) -> Self {
+    pub fn new(inner: Box<dyn Governor>, table: DvfsTable, trip_c: f64, release_c: f64) -> Self {
         assert!(
             release_c < trip_c,
             "hysteresis requires release ({release_c}) below trip ({trip_c})"
@@ -655,7 +649,10 @@ mod tests {
         let mut g = OndemandGovernor::new(t.clone());
         assert_eq!(g.name(), "ondemand");
         // Busy: straight to fmax.
-        assert_eq!(g.decide(&obs(0, Frequency::from_mhz(300.0), vec![0.9])), t.max_frequency());
+        assert_eq!(
+            g.decide(&obs(0, Frequency::from_mhz(300.0), vec![0.9])),
+            t.max_frequency()
+        );
         // Half load: ~ fmax * 0.5 / 0.8 = 1.416 GHz -> ceil to 1.4976.
         assert_eq!(
             g.decide(&obs(20, t.max_frequency(), vec![0.5])),
@@ -718,7 +715,10 @@ mod tests {
             75.0,
         );
         // Cool: passes the inner decision through.
-        assert_eq!(g.decide(&hot_obs(t.max_frequency(), 60.0)), t.max_frequency());
+        assert_eq!(
+            g.decide(&hot_obs(t.max_frequency(), 60.0)),
+            t.max_frequency()
+        );
         assert!(g.cap().is_none());
         // Hot: caps one step below the running frequency.
         let f1 = g.decide(&hot_obs(t.max_frequency(), 90.0));
@@ -744,19 +744,17 @@ mod tests {
             75.0,
         );
         // Even while hot, powersave's fmin is below any cap.
-        assert_eq!(g.decide(&hot_obs(t.min_frequency(), 95.0)), t.min_frequency());
+        assert_eq!(
+            g.decide(&hot_obs(t.min_frequency(), 95.0)),
+            t.min_frequency()
+        );
     }
 
     #[test]
     #[should_panic(expected = "hysteresis")]
     fn throttle_rejects_inverted_band() {
         let t = DvfsTable::msm8974();
-        let _ = ThermalThrottle::new(
-            Box::new(PerformanceGovernor::new(t.clone())),
-            t,
-            70.0,
-            80.0,
-        );
+        let _ = ThermalThrottle::new(Box::new(PerformanceGovernor::new(t.clone())), t, 70.0, 80.0);
     }
 
     #[test]

@@ -144,9 +144,7 @@ fn lm_descend(
             bumped[j] += h;
             let p_bumped = Eq5Params::from_theta(&bumped);
             for (i, o) in obs.iter().enumerate() {
-                let d = (p_bumped.eval(o.voltage, o.temp_c)
-                    - params.eval(o.voltage, o.temp_c))
-                    / h;
+                let d = (p_bumped.eval(o.voltage, o.temp_c) - params.eval(o.voltage, o.temp_c)) / h;
                 jac.set(i, j, if d.is_finite() { d } else { 0.0 });
             }
         }

@@ -87,7 +87,10 @@ impl Matrix {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -97,7 +100,10 @@ impl Matrix {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -143,11 +149,7 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length disagrees");
         (0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self.get(i, j) * x[j])
-                    .sum::<f64>()
-            })
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * x[j]).sum::<f64>())
             .collect()
     }
 

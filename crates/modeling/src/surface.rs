@@ -104,8 +104,11 @@ pub enum SurfaceKind {
 
 impl SurfaceKind {
     /// All three candidate surfaces.
-    pub const ALL: [SurfaceKind; 3] =
-        [SurfaceKind::Linear, SurfaceKind::Quadratic, SurfaceKind::Interaction];
+    pub const ALL: [SurfaceKind; 3] = [
+        SurfaceKind::Linear,
+        SurfaceKind::Quadratic,
+        SurfaceKind::Interaction,
+    ];
 }
 
 impl std::fmt::Display for SurfaceKind {
@@ -370,7 +373,10 @@ mod tests {
 
     #[test]
     fn term_counts() {
-        assert_eq!(ResponseSurface::new(SurfaceKind::Linear, 9).term_count(), 10);
+        assert_eq!(
+            ResponseSurface::new(SurfaceKind::Linear, 9).term_count(),
+            10
+        );
         assert_eq!(
             ResponseSurface::new(SurfaceKind::Interaction, 9).term_count(),
             1 + 9 + 36
@@ -379,7 +385,10 @@ mod tests {
             ResponseSurface::new(SurfaceKind::Quadratic, 9).term_count(),
             1 + 9 + 45
         );
-        assert_eq!(ResponseSurface::new(SurfaceKind::Interaction, 1).term_count(), 2);
+        assert_eq!(
+            ResponseSurface::new(SurfaceKind::Interaction, 1).term_count(),
+            2
+        );
     }
 
     #[test]
@@ -393,7 +402,10 @@ mod tests {
     #[test]
     fn linear_surface_recovers_linear_truth() {
         let xs = grid(60);
-        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 2.0 * x[0] - x[1] + 0.5 * x[2]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 5.0 + 2.0 * x[0] - x[1] + 0.5 * x[2])
+            .collect();
         let fit = ResponseSurface::new(SurfaceKind::Linear, 3)
             .fit(&xs, &ys)
             .expect("well posed");

@@ -1,0 +1,230 @@
+//! # proptest (in-tree subset)
+//!
+//! A dependency-free, offline-compatible implementation of the slice of
+//! the [proptest](https://docs.rs/proptest) API this workspace uses:
+//! range and tuple strategies, `prop_map`, `prop::collection::vec`, the
+//! `proptest!` macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Differences from upstream are deliberate and small:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; cases are seeded deterministically per (test, case index)
+//!   so every failure replays exactly under `cargo test`.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * **No `any::<T>()` / `prop_oneof!`** — the workspace's strategies are
+//!   ranges, tuples and vectors, so only those are implemented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced strategy constructors (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+///
+/// Unlike `assert!`, the failure is reported through the proptest runner
+/// together with the generated inputs of the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current property case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property-based tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+// The `#[test]` inside the example is the macro's actual calling
+// convention, not a stray unit test.
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(stringify!($name), |__proptest_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        __proptest_rng,
+                    );
+                )*
+                let __proptest_inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}", $arg));
+                        s.push_str("; ");
+                    )*
+                    s
+                };
+                let result: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                result.map_err(|e| e.with_inputs(&__proptest_inputs))
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..9.0, n in 3u64..17, k in 0usize..5) {
+            prop_assert!((1.5..9.0).contains(&x));
+            prop_assert!((3..17).contains(&n));
+            prop_assert!(k < 5);
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0.0f64..1.0, 10u64..20).prop_map(|(f, u)| f + u as f64),
+        ) {
+            prop_assert!((10.0..21.0).contains(&pair));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(values in prop::collection::vec(-1.0f64..1.0, 2..10)) {
+            prop_assert!(values.len() >= 2 && values.len() < 10);
+            for v in &values {
+                prop_assert!((-1.0..1.0).contains(v), "out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strategy = (0.0f64..1.0, 0u64..100);
+        let mut a = TestRng::for_case("seed", 7);
+        let mut b = TestRng::for_case("seed", 7);
+        assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+        let mut c = TestRng::for_case("seed", 8);
+        assert_ne!(strategy.generate(&mut a), strategy.generate(&mut c));
+    }
+
+    #[test]
+    #[should_panic(expected = "x was")]
+    fn failures_panic_with_inputs() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4));
+        runner.run("always_fails", |rng| {
+            let x = crate::strategy::Strategy::generate(&(0u64..10), rng);
+            let body = move || -> Result<(), TestCaseError> {
+                prop_assert!(x > 100, "x was {x}");
+                Ok(())
+            };
+            body()
+        });
+    }
+}

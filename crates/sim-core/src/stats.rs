@@ -122,8 +122,8 @@ impl Running {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -486,10 +486,7 @@ mod tests {
         assert_eq!(s.cdf_at(1.0), 0.5);
         assert_eq!(s.cdf_at(3.0), 0.75);
         assert_eq!(s.cdf_at(10.0), 1.0);
-        assert_eq!(
-            s.cdf_points(),
-            vec![(1.0, 0.5), (2.0, 0.75), (4.0, 1.0)]
-        );
+        assert_eq!(s.cdf_points(), vec![(1.0, 0.5), (2.0, 0.75), (4.0, 1.0)]);
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl BoardConfig {
             return Err(format!("mem_overlap {} outside [0,1]", self.mem_overlap));
         }
         if !(self.dirty_fraction.is_finite() && (0.0..=1.0).contains(&self.dirty_fraction)) {
-            return Err(format!("dirty_fraction {} outside [0,1]", self.dirty_fraction));
+            return Err(format!(
+                "dirty_fraction {} outside [0,1]",
+                self.dirty_fraction
+            ));
         }
         self.power.validate()?;
         self.thermal.validate()?;
@@ -479,9 +482,7 @@ impl Board {
             .slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| {
-                s.enabled && s.task.as_ref().is_some_and(|t| !t.is_finished())
-            })
+            .filter(|(_, s)| s.enabled && s.task.as_ref().is_some_and(|t| !t.is_finished()))
             .map(|(i, _)| i)
             .collect();
 
@@ -526,8 +527,12 @@ impl Board {
             let lat_ns = self.config.memory.miss_latency_ns(tier, dram_demand);
             for i in 0..n {
                 let p = &profiles[i];
-                let miss_cycles =
-                    (p.l2_apki / 1000.0) * miss_ratios[i] * lat_ns * 1e-9 * f_hz * self.config.mem_overlap;
+                let miss_cycles = (p.l2_apki / 1000.0)
+                    * miss_ratios[i]
+                    * lat_ns
+                    * 1e-9
+                    * f_hz
+                    * self.config.mem_overlap;
                 let cpi_eff = p.base_cpi + miss_cycles;
                 instr_rates[i] = p.duty_cycle * f_hz / cpi_eff;
             }
@@ -558,7 +563,11 @@ impl Board {
             let accesses = executed * p.l2_apki / 1000.0;
             c.l2_accesses += accesses;
             c.l2_misses += accesses * miss_ratios[k];
-            if self.slots[core].task.as_ref().expect("active").is_finished()
+            if self.slots[core]
+                .task
+                .as_ref()
+                .expect("active")
+                .is_finished()
                 && self.slots[core].finish_time.is_none()
             {
                 // Fraction of the quantum actually needed.
@@ -567,9 +576,7 @@ impl Board {
                 } else {
                     1.0
                 };
-                let used = SimDuration::from_secs_f64(
-                    stall.as_secs_f64() + avail_s * frac,
-                );
+                let used = SimDuration::from_secs_f64(stall.as_secs_f64() + avail_s * frac);
                 let at = self.now + used;
                 self.slots[core].finish_time = Some(at);
                 finished_cores.push((core, at));
@@ -649,7 +656,10 @@ mod tests {
     fn unknown_frequency_rejected() {
         let mut b = board();
         let err = b.set_frequency(Frequency::from_mhz(1234.0)).unwrap_err();
-        assert_eq!(err, BoardError::UnknownFrequency(Frequency::from_mhz(1234.0)));
+        assert_eq!(
+            err,
+            BoardError::UnknownFrequency(Frequency::from_mhz(1234.0))
+        );
     }
 
     #[test]
@@ -733,8 +743,11 @@ mod tests {
                 )),
             )
             .expect("free");
-            b.assign(2, Box::new(LoopTask::new("hog", PhaseProfile::streaming(60.0))))
-                .expect("free");
+            b.assign(
+                2,
+                Box::new(LoopTask::new("hog", PhaseProfile::streaming(60.0))),
+            )
+            .expect("free");
             while !b.task_finished(0) {
                 b.step(SimDuration::from_millis(50));
             }
@@ -762,7 +775,8 @@ mod tests {
     #[test]
     fn temperature_rises_under_load() {
         let mut b = board();
-        b.set_frequency(b.config().dvfs.max_frequency()).expect("ok");
+        b.set_frequency(b.config().dvfs.max_frequency())
+            .expect("ok");
         b.assign(0, Box::new(LoopTask::compute_bound("spin", 1.0)))
             .expect("free");
         b.assign(1, Box::new(LoopTask::compute_bound("spin2", 1.0)))
@@ -810,7 +824,10 @@ mod tests {
         };
         let calm = run(false);
         let thrashed = run(true);
-        assert!(thrashed > calm, "stall should cost time: {calm} vs {thrashed}");
+        assert!(
+            thrashed > calm,
+            "stall should cost time: {calm} vs {thrashed}"
+        );
     }
 
     #[test]
@@ -838,8 +855,11 @@ mod tests {
         b.set_frequency(Frequency::from_mhz(1728.0)).expect("ok");
         b.assign(0, Box::new(LoopTask::compute_bound("spin", 1.0)))
             .expect("free");
-        b.assign(2, Box::new(LoopTask::new("hog", PhaseProfile::streaming(30.0))))
-            .expect("free");
+        b.assign(
+            2,
+            Box::new(LoopTask::new("hog", PhaseProfile::streaming(30.0))),
+        )
+        .expect("free");
         b.step(SimDuration::from_secs(3));
         let e = b.energy_breakdown();
         assert!((e.total_j() - b.energy_j()).abs() < 1e-6);
@@ -862,14 +882,19 @@ mod tests {
         while !b.task_finished(0) {
             b.step(SimDuration::from_millis(5));
         }
-        let events: Vec<String> = b
-            .trace_events()
-            .into_iter()
-            .map(|e| e.message)
-            .collect();
-        assert!(events.iter().any(|m| m.contains("dvfs: -> 1.958GHz")), "{events:?}");
-        assert!(events.iter().any(|m| m.contains("assigned task \"job\"")), "{events:?}");
-        assert!(events.iter().any(|m| m.contains("core0: task finished")), "{events:?}");
+        let events: Vec<String> = b.trace_events().into_iter().map(|e| e.message).collect();
+        assert!(
+            events.iter().any(|m| m.contains("dvfs: -> 1.958GHz")),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|m| m.contains("assigned task \"job\"")),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|m| m.contains("core0: task finished")),
+            "{events:?}"
+        );
     }
 
     #[test]

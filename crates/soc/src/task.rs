@@ -71,8 +71,14 @@ impl PhaseProfile {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         let checks: [(&str, bool); 6] = [
-            ("base_cpi must be positive and finite", self.base_cpi.is_finite() && self.base_cpi > 0.0),
-            ("l2_apki must be non-negative and finite", self.l2_apki.is_finite() && self.l2_apki >= 0.0),
+            (
+                "base_cpi must be positive and finite",
+                self.base_cpi.is_finite() && self.base_cpi > 0.0,
+            ),
+            (
+                "l2_apki must be non-negative and finite",
+                self.l2_apki.is_finite() && self.l2_apki >= 0.0,
+            ),
             (
                 "working_set_bytes must be non-negative and finite",
                 self.working_set_bytes.is_finite() && self.working_set_bytes >= 0.0,
@@ -438,14 +444,42 @@ mod tests {
     fn profile_validation_catches_bad_fields() {
         let good = PhaseProfile::compute_bound();
         assert!(good.validate().is_ok());
-        assert!(PhaseProfile { base_cpi: 0.0, ..good }.validate().is_err());
-        assert!(PhaseProfile { l2_apki: -1.0, ..good }.validate().is_err());
-        assert!(PhaseProfile { reuse_fraction: 1.5, ..good }.validate().is_err());
-        assert!(PhaseProfile { duty_cycle: 0.0, ..good }.validate().is_err());
-        assert!(PhaseProfile { duty_cycle: 1.5, ..good }.validate().is_err());
-        assert!(PhaseProfile { working_set_bytes: f64::NAN, ..good }
-            .validate()
-            .is_err());
+        assert!(PhaseProfile {
+            base_cpi: 0.0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseProfile {
+            l2_apki: -1.0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseProfile {
+            reuse_fraction: 1.5,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseProfile {
+            duty_cycle: 0.0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseProfile {
+            duty_cycle: 1.5,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseProfile {
+            working_set_bytes: f64::NAN,
+            ..good
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl ThermalParams {
     /// Returns a message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.resistance_k_per_w.is_finite() && self.resistance_k_per_w > 0.0) {
-            return Err(format!("bad thermal resistance {}", self.resistance_k_per_w));
+            return Err(format!(
+                "bad thermal resistance {}",
+                self.resistance_k_per_w
+            ));
         }
         if !(self.time_constant_s.is_finite() && self.time_constant_s > 0.0) {
             return Err(format!("bad time constant {}", self.time_constant_s));

@@ -23,7 +23,12 @@ fn main() {
     if args.first().map(String::as_str) == Some("list") {
         println!("pages:");
         for p in catalog.pages() {
-            println!("  {:<12} ({:?}, {} DOM nodes)", p.name, p.class, p.features.dom_nodes());
+            println!(
+                "  {:<12} ({:?}, {} DOM nodes)",
+                p.name,
+                p.class,
+                p.features.dom_nodes()
+            );
         }
         println!("kernels:");
         for k in Kernel::all() {

@@ -12,9 +12,7 @@ use dora_repro::campaign::session::{run_session, SessionConfig};
 use dora_repro::coworkloads::Kernel;
 use dora_repro::dora::{DoraConfig, DoraGovernor};
 use dora_repro::experiments::pipeline::{Pipeline, Scale};
-use dora_repro::governors::{
-    Governor, InteractiveGovernor, OndemandGovernor, PerformanceGovernor,
-};
+use dora_repro::governors::{Governor, InteractiveGovernor, OndemandGovernor, PerformanceGovernor};
 use dora_repro::soc::DvfsTable;
 
 /// Nexus 5 battery capacity in watt-hours (2300 mAh at 3.8 V).
@@ -22,7 +20,9 @@ const BATTERY_WH: f64 = 8.74;
 
 fn main() {
     let catalog = Catalog::alexa18();
-    let itinerary = ["Reddit", "CNN", "Amazon", "Youtube", "MSN", "ESPN", "BBC", "Twitter"];
+    let itinerary = [
+        "Reddit", "CNN", "Amazon", "Youtube", "MSN", "ESPN", "BBC", "Twitter",
+    ];
     let pages: Vec<_> = itinerary
         .iter()
         .map(|n| catalog.page(n).expect("page in catalog"))

@@ -72,10 +72,7 @@ fn main() {
         );
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    println!(
-        "\nmean PPW vs interactive: {:+.1}%",
-        (mean - 1.0) * 100.0
-    );
+    println!("\nmean PPW vs interactive: {:+.1}%", (mean - 1.0) * 100.0);
     println!(
         "During a sustained page load the cores never go idle, so \
 race-to-idle degenerates into the performance governor - all the V2f \

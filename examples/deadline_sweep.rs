@@ -56,10 +56,11 @@ fn main() {
                 ..DoraConfig::default()
             },
         );
-        let config = dora_repro::campaign::ScenarioConfig {
-            deadline_s,
-            ..pipeline.scenario.clone()
-        };
+        let config = pipeline
+            .scenario
+            .to_builder()
+            .deadline_s(deadline_s)
+            .build();
         let r = run_scenario(workload, &mut governor, &config);
         println!(
             "{:>12} {:>11.2} {:>9.2} {:>9}",

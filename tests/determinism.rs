@@ -1,0 +1,101 @@
+//! The campaign executor's determinism guarantee, end to end: parallel
+//! fan-out must produce `RunResult` vectors byte-identical to the
+//! sequential loop, for the evaluation grid, the oracle sweeps behind
+//! the pinned policies, and the training campaign.
+
+use dora_repro::campaign::evaluate::{evaluate, evaluate_with, Policy};
+use dora_repro::campaign::executor::{Executor, Parallelism};
+use dora_repro::campaign::runner::ScenarioConfig;
+use dora_repro::campaign::training::{
+    training_campaign, training_campaign_with, TrainingCampaignConfig,
+};
+use dora_repro::campaign::workload::WorkloadSet;
+use dora_repro::sim::SimDuration;
+use dora_repro::soc::Frequency;
+
+fn quick() -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .warmup(SimDuration::from_secs(2))
+        .build()
+}
+
+#[test]
+fn full_54_workload_campaign_is_deterministic_across_executors() {
+    // The whole paper54 grid under the baseline policy: 54 scenarios per
+    // executor width. Every result field must match bit for bit, in the
+    // same workload-major order.
+    let set = WorkloadSet::paper54();
+    let config = quick();
+    let sequential = evaluate(&set, &[Policy::Interactive], None, &config).expect("runs");
+    let parallel = evaluate_with(
+        &set,
+        &[Policy::Interactive],
+        None,
+        &config,
+        &Executor::new(Parallelism::Fixed(4)),
+    )
+    .expect("runs");
+    assert_eq!(sequential.results().len(), 54);
+    assert_eq!(sequential.results(), parallel.results());
+}
+
+#[test]
+fn oracle_backed_policies_are_deterministic_across_executors() {
+    // Oracle sweeps fan out as (workload × frequency) tasks; the derived
+    // fD/fE/fopt pins — and therefore the pinned-policy results — must
+    // not depend on the executor width.
+    let all = WorkloadSet::paper54();
+    let set = WorkloadSet::from_workloads(
+        all.workloads()
+            .iter()
+            .filter(|w| w.page.name == "Amazon")
+            .cloned()
+            .collect(),
+    );
+    let config = quick();
+    let policies = [Policy::Interactive, Policy::OfflineOpt];
+    let sequential = evaluate(&set, &policies, None, &config).expect("runs");
+    let parallel = evaluate_with(
+        &set,
+        &policies,
+        None,
+        &config,
+        &Executor::new(Parallelism::Fixed(3)),
+    )
+    .expect("runs");
+    assert_eq!(sequential.results(), parallel.results());
+    assert_eq!(sequential.oracles(), parallel.oracles());
+    for oracle in parallel.oracles().values() {
+        assert_eq!(oracle.sweep.len(), 14, "full-table sweep");
+    }
+}
+
+#[test]
+fn training_campaign_is_deterministic_across_executors() {
+    let all = WorkloadSet::paper54();
+    let set = WorkloadSet::from_workloads(
+        all.workloads()
+            .iter()
+            .filter(|w| w.page.name == "MSN" && w.is_training())
+            .cloned()
+            .collect(),
+    );
+    let config = TrainingCampaignConfig {
+        scenario: quick(),
+        frequencies: Some(vec![
+            Frequency::from_mhz(729.6),
+            Frequency::from_mhz(1497.6),
+            Frequency::from_mhz(2265.6),
+        ]),
+    };
+    let sequential = training_campaign(&set, &config);
+    let parallel = training_campaign_with(&set, &config, &Executor::new(Parallelism::Fixed(4)));
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.load_time_s, p.load_time_s);
+        assert_eq!(s.total_power_w, p.total_power_w);
+        assert_eq!(s.mean_temp_c, p.mean_temp_c);
+        assert_eq!(s.inputs.l2_mpki, p.inputs.l2_mpki);
+        assert_eq!(s.inputs.corun_utilization, p.inputs.corun_utilization);
+    }
+}

@@ -5,7 +5,9 @@
 
 use dora_repro::campaign::evaluate::{evaluate, Policy, Subset};
 use dora_repro::campaign::runner::ScenarioConfig;
-use dora_repro::campaign::training::{leakage_calibration, training_campaign, TrainingCampaignConfig};
+use dora_repro::campaign::training::{
+    leakage_calibration, training_campaign, TrainingCampaignConfig,
+};
 use dora_repro::campaign::workload::WorkloadSet;
 use dora_repro::dora::trainer::{evaluate_models, train, TrainerConfig};
 use dora_repro::sim::SimDuration;
@@ -13,15 +15,10 @@ use dora_repro::soc::Frequency;
 
 /// A small but representative pipeline: 4 pages (spanning both Table III
 /// classes and both train/held-out splits) × 3 classes × 5 frequencies.
-fn small_pipeline() -> (
-    dora_repro::dora::DoraModels,
-    WorkloadSet,
-    ScenarioConfig,
-) {
-    let scenario = ScenarioConfig {
-        warmup: SimDuration::from_secs(5),
-        ..ScenarioConfig::default()
-    };
+fn small_pipeline() -> (dora_repro::dora::DoraModels, WorkloadSet, ScenarioConfig) {
+    let scenario = ScenarioConfig::builder()
+        .warmup(SimDuration::from_secs(5))
+        .build();
     let all = WorkloadSet::paper54();
     let train_pages = ["Amazon", "Reddit", "MSN", "ESPN", "IMDB", "CNN"];
     let train_set = WorkloadSet::from_workloads(
@@ -181,10 +178,7 @@ fn models_transfer_across_deadlines_without_retraining() {
                 ..dora_repro::dora::DoraConfig::default()
             },
         );
-        let config = ScenarioConfig {
-            deadline_s,
-            ..scenario.clone()
-        };
+        let config = scenario.to_builder().deadline_s(deadline_s).build();
         let r = dora_repro::campaign::runner::run_scenario(w, &mut governor, &config);
         chosen.push(r.mean_freq_ghz);
     }

@@ -16,10 +16,9 @@ use dora_repro::soc::Frequency;
 #[test]
 fn shipped_models_govern_identically() {
     // A compact training pass.
-    let scenario = ScenarioConfig {
-        warmup: SimDuration::from_secs(4),
-        ..ScenarioConfig::default()
-    };
+    let scenario = ScenarioConfig::builder()
+        .warmup(SimDuration::from_secs(4))
+        .build();
     let all = WorkloadSet::paper54();
     let train_set = WorkloadSet::from_workloads(
         all.workloads()
@@ -48,8 +47,8 @@ fn shipped_models_govern_identically() {
     // Ship through a real file.
     let path = std::env::temp_dir().join("dora_models_integration_test.txt");
     std::fs::write(&path, to_text(&models)).expect("writable temp dir");
-    let shipped = from_text(&std::fs::read_to_string(&path).expect("readable"))
-        .expect("round trip parses");
+    let shipped =
+        from_text(&std::fs::read_to_string(&path).expect("readable")).expect("round trip parses");
     std::fs::remove_file(&path).ok();
     assert_eq!(models, shipped);
 
@@ -58,8 +57,7 @@ fn shipped_models_govern_identically() {
         .find_by_class("MSN", dora_repro::coworkloads::Intensity::Medium)
         .expect("exists");
     let run = |models: dora_repro::dora::DoraModels| {
-        let mut governor =
-            DoraGovernor::new(models, workload.page.features, DoraConfig::default());
+        let mut governor = DoraGovernor::new(models, workload.page.features, DoraConfig::default());
         run_scenario(workload, &mut governor, &scenario)
     };
     let original = run(models);
