@@ -1,16 +1,25 @@
 # Developer entry points. `make verify` is the full pre-merge gate:
-# formatting, lints as errors, then the tier-1 build + test pass
+# formatting, lints as errors, the repository's own static-analysis
+# gate (xtask), then the tier-1 build + test pass
 # (ROADMAP.md: `cargo build --release && cargo test -q`).
 
-.PHONY: verify fmt lint build test bench
+.PHONY: verify fmt lint xtask-lint lint-fix build test bench
 
-verify: fmt lint build test
+verify: fmt lint xtask-lint build test
 
 fmt:
 	cargo fmt --check
 
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Panic-site ratchet, unit-suffix field ban, lint headers, DVFS guard.
+xtask-lint:
+	cargo run -q -p xtask -- lint
+
+lint-fix:
+	cargo clippy --workspace --all-targets --fix --allow-dirty --allow-staged
+	cargo fmt
 
 build:
 	cargo build --release

@@ -6,6 +6,9 @@
 //! the exhibit's own measurement campaign. `table02` is the baseline
 //! no-simulation case.
 
+// Benchmark setup fails fast; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dora_bench::heavy_criterion;
 use dora_experiments::pipeline::{Pipeline, Scale};

@@ -5,12 +5,16 @@
 //! cost here directly substantiates the Section V-H "< 1 % overhead"
 //! claim (a few microseconds per decision against a 100 ms period).
 
+// Benchmark setup fails fast; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dora::models::PredictorInputs;
 use dora_browser::catalog::Catalog;
 use dora_browser::engine::RenderEngine;
 use dora_experiments::pipeline::{Pipeline, Scale};
 use dora_modeling::leakage::Eq5Params;
+use dora_sim_core::units::{Celsius, Mpki, Seconds, Utilization};
 use dora_sim_core::SimDuration;
 use dora_soc::board::{Board, BoardConfig};
 use dora_soc::cache::{CacheDemand, SharedCache};
@@ -33,17 +37,22 @@ fn bench_algorithm(c: &mut Criterion) {
             black_box(dora::select_frequency(
                 &p.models,
                 black_box(page),
-                3.0,
-                black_box(6.5),
-                0.8,
-                45.0,
+                Seconds::new(3.0),
+                black_box(Mpki::clamped(6.5)),
+                Utilization::clamped(0.8),
+                Celsius::new(45.0),
                 true,
             ))
         })
     });
 
-    let inputs =
-        PredictorInputs::for_frequency(page, Frequency::from_mhz(1497.6), &p.models.dvfs, 6.5, 0.8);
+    let inputs = PredictorInputs::for_frequency(
+        page,
+        Frequency::from_mhz(1497.6),
+        &p.models.dvfs,
+        Mpki::clamped(6.5),
+        Utilization::clamped(0.8),
+    );
     c.bench_function("load_time_prediction", |b| {
         b.iter(|| black_box(p.models.predict_load_time(black_box(&inputs))))
     });
@@ -57,7 +66,7 @@ fn bench_algorithm(c: &mut Criterion) {
             gamma: 2.0,
             delta: -2.0,
         };
-        b.iter(|| black_box(params.eval(black_box(1.05), black_box(55.0))))
+        b.iter(|| black_box(params.eval(black_box(1.05), black_box(Celsius::new(55.0)))))
     });
 }
 
@@ -84,7 +93,7 @@ fn bench_substrate(c: &mut Criterion) {
             .expect("fresh");
         b.iter(|| {
             board.step(SimDuration::from_millis(1));
-            black_box(board.energy_j())
+            black_box(board.energy())
         })
     });
 

@@ -7,6 +7,9 @@
 //! multi-worker runs to approach `jobs×` on idle machines; the scaling
 //! headroom is the whole point of the campaign executor.
 
+// Benchmark setup fails fast; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dora_campaign::evaluate::{evaluate_with, Policy};
 use dora_campaign::runner::{oracle_with, ScenarioConfig};

@@ -15,6 +15,9 @@
 //! Run with `cargo bench --workspace`; results land in
 //! `target/criterion/`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 /// A Criterion configuration tuned for heavy simulation benches: small
 /// sample counts so whole-campaign measurements finish in minutes.
 pub fn heavy_criterion() -> criterion::Criterion {

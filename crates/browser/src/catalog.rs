@@ -72,6 +72,7 @@ pub struct Catalog {
 }
 
 /// Shorthand used by the static table below.
+#[allow(clippy::expect_used)] // catalog literals are structurally valid by inspection
 fn page(
     name: &'static str,
     class: PageClass,

@@ -311,6 +311,7 @@ impl RenderEngine {
 }
 
 impl Default for RenderEngine {
+    #[allow(clippy::expect_used)] // EngineParams::default is validated by test
     fn default() -> Self {
         RenderEngine::new(EngineParams::default()).expect("defaults are valid")
     }

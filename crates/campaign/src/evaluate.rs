@@ -91,7 +91,7 @@ fn make_governor(
 ) -> Result<Box<dyn Governor>, EvaluateError> {
     let table = config.board.dvfs.clone();
     let dora_config = |policy: DoraPolicy, leakage: bool| DoraConfig {
-        qos_target_s: config.deadline_s,
+        qos_target: config.deadline,
         include_leakage: leakage,
         policy,
         ..DoraConfig::default()
@@ -169,6 +169,7 @@ pub fn evaluate(
 ///
 /// [`EvaluateError::ModelsRequired`] when a DORA-family policy is
 /// requested without trained models.
+#[allow(clippy::expect_used)] // one input frequency always yields one sweep point
 pub fn evaluate_with(
     set: &WorkloadSet,
     policies: &[Policy],
@@ -246,26 +247,21 @@ impl Evaluation {
     }
 
     /// Per-workload PPW of `governor` normalized to `baseline`
-    /// (workload id, ratio), in workload order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the baseline is missing a workload the governor ran.
+    /// (workload id, ratio), in workload order. Workloads the baseline
+    /// did not run are skipped.
     pub fn normalized_ppw(&self, governor: &str, baseline: &str) -> Vec<(String, f64)> {
         let base: HashMap<&str, f64> = self
             .results
             .iter()
             .filter(|r| r.governor == baseline)
-            .map(|r| (r.workload_id.as_str(), r.ppw))
+            .map(|r| (r.workload_id.as_str(), r.ppw.value()))
             .collect();
         self.results
             .iter()
             .filter(|r| r.governor == governor)
-            .map(|r| {
-                let b = base
-                    .get(r.workload_id.as_str())
-                    .unwrap_or_else(|| panic!("baseline {baseline} missing {}", r.workload_id));
-                (r.workload_id.clone(), r.ppw / b)
+            .filter_map(|r| {
+                base.get(r.workload_id.as_str())
+                    .map(|b| (r.workload_id.clone(), r.ppw.value() / b))
             })
             .collect()
     }
@@ -277,13 +273,13 @@ impl Evaluation {
             .results
             .iter()
             .filter(|r| r.governor == baseline)
-            .map(|r| (r.workload_id.as_str(), r.ppw))
+            .map(|r| (r.workload_id.as_str(), r.ppw.value()))
             .collect();
         let ratios: Vec<f64> = self
             .results
             .iter()
             .filter(|r| r.governor == governor && subset.admits(r))
-            .filter_map(|r| base.get(r.workload_id.as_str()).map(|b| r.ppw / b))
+            .filter_map(|r| base.get(r.workload_id.as_str()).map(|b| r.ppw.value() / b))
             .collect();
         if ratios.is_empty() {
             0.0
@@ -305,7 +301,7 @@ impl Evaluation {
     pub fn load_time_samples(&self, governor: &str) -> Samples {
         self.results_for(governor)
             .iter()
-            .map(|r| r.load_time_s)
+            .map(|r| r.load_time.value())
             .collect()
     }
 
@@ -378,15 +374,15 @@ mod tests {
         let perf: HashMap<String, f64> = eval
             .results_for("performance")
             .iter()
-            .map(|r| (r.workload_id.clone(), r.ppw))
+            .map(|r| (r.workload_id.clone(), r.ppw.value()))
             .collect();
         for r in eval.results_for("offline_opt") {
             let p = perf[&r.workload_id];
             assert!(
-                r.ppw >= p * 0.98,
+                r.ppw.value() >= p * 0.98,
                 "{}: offline_opt {:.4} vs performance {:.4}",
                 r.workload_id,
-                r.ppw,
+                r.ppw.value(),
                 p
             );
         }

@@ -91,6 +91,7 @@ impl Executor {
     /// Work is distributed through a shared atomic cursor, so uneven item
     /// costs (a 60 s timeout next to a 1 s load) still balance. A panic
     /// in `f` propagates to the caller once all workers have stopped.
+    #[allow(clippy::expect_used)] // worker panics resume_unwind before the lock is read
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,

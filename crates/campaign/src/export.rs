@@ -8,6 +8,29 @@
 use crate::runner::{RunResult, SweepPoint};
 use std::fmt::Write as _;
 
+/// Errors produced while serializing results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// A sweep point produced no CSV row (internal serialization bug).
+    MissingRow {
+        /// Index of the offending sweep point.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::MissingRow { index } => {
+                write!(f, "sweep point {index} produced no CSV row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
 /// Quotes a CSV field when it contains a delimiter, quote or newline.
 fn field(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
@@ -46,17 +69,17 @@ pub fn results_to_csv(results: &[RunResult]) -> String {
             r.intensity.map_or("none", |i| i.as_str()),
             r.training,
             field(r.governor.as_str()),
-            r.load_time_s,
-            r.mean_power_w,
-            r.energy_j,
-            r.ppw,
+            r.load_time.value(),
+            r.mean_power.value(),
+            r.energy.value(),
+            r.ppw.value(),
             r.met_deadline,
             r.timed_out,
             r.switches,
-            r.mean_freq_ghz,
-            r.final_temp_c,
-            r.mean_mpki,
-            r.corun_utilization,
+            r.mean_frequency.as_ghz(),
+            r.final_temp.value(),
+            r.mean_mpki.value(),
+            r.corun_utilization.value(),
             r.corun_instructions,
         );
     }
@@ -65,14 +88,23 @@ pub fn results_to_csv(results: &[RunResult]) -> String {
 
 /// Serializes a frequency sweep to CSV, with the pinned frequency as the
 /// leading column.
-pub fn sweep_to_csv(points: &[SweepPoint]) -> String {
+///
+/// # Errors
+///
+/// Returns [`ExportError::MissingRow`] if a point fails to serialize —
+/// impossible with the current writer, but surfaced rather than silently
+/// emitting a short row.
+pub fn sweep_to_csv(points: &[SweepPoint]) -> Result<String, ExportError> {
     let mut out = format!("freq_mhz,{RESULT_HEADER}\n");
-    for p in points {
-        let row = results_to_csv(std::slice::from_ref(&p.result));
-        let row = row.lines().nth(1).unwrap_or_default();
-        let _ = writeln!(out, "{},{}", p.freq_mhz, row);
+    for (index, p) in points.iter().enumerate() {
+        let rows = results_to_csv(std::slice::from_ref(&p.result));
+        let row = rows
+            .lines()
+            .nth(1)
+            .ok_or(ExportError::MissingRow { index })?;
+        let _ = writeln!(out, "{},{}", p.frequency.as_mhz(), row);
     }
-    out
+    Ok(out)
 }
 
 /// Parses one CSV line back into fields (inverse of the writer's quoting;
@@ -149,7 +181,7 @@ mod tests {
         assert_eq!(row[idx("workload_id")], r.workload_id);
         assert_eq!(
             row[idx("load_time_s")].parse::<f64>().expect("float"),
-            r.load_time_s
+            r.load_time.value()
         );
         assert_eq!(row[idx("met_deadline")], r.met_deadline.to_string());
         assert_eq!(
@@ -176,7 +208,7 @@ mod tests {
             .build();
         let points =
             crate::runner::sweep_frequencies(w, &config, &[dora_soc::Frequency::from_mhz(729.6)]);
-        let csv = sweep_to_csv(&points);
+        let csv = sweep_to_csv(&points).expect("serializes");
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("freq_mhz,"));

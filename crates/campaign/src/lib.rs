@@ -39,11 +39,11 @@
 //! let w = &set.workloads()[0];
 //! let mut governor = InteractiveGovernor::new(DvfsTable::msm8974());
 //! let result = run_scenario(w, &mut governor, &ScenarioConfig::default());
-//! println!("{} loaded in {:.2}s", w.id(), result.load_time_s);
+//! println!("{} loaded in {}", w.id(), result.load_time);
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod evaluate;
 pub mod executor;

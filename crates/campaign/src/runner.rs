@@ -17,6 +17,7 @@ use crate::workload::Workload;
 use dora_browser::engine::RenderEngine;
 use dora_coworkloads::Intensity;
 use dora_governors::{Governor, GovernorObservation};
+use dora_sim_core::units::{Celsius, Joules, Mpki, Ppw, Seconds, Utilization, Watts};
 use dora_sim_core::{SimDuration, SimTime};
 use dora_soc::board::{Board, BoardConfig};
 use dora_soc::task::{LoopTask, PhaseProfile};
@@ -37,8 +38,9 @@ pub const CORUN_CORE: usize = 2;
 ///
 /// ```
 /// use dora_campaign::runner::ScenarioConfig;
+/// use dora_sim_core::units::Seconds;
 ///
-/// let config = ScenarioConfig::builder().deadline_s(3.0).seed(7).build();
+/// let config = ScenarioConfig::builder().deadline(Seconds::new(3.0)).seed(7).build();
 /// assert_eq!(config.seed, 7);
 /// ```
 #[derive(Debug, Clone)]
@@ -48,8 +50,8 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Platform configuration (ambient temperature lives here).
     pub board: BoardConfig,
-    /// The QoS deadline used for the `met_deadline` verdict, seconds.
-    pub deadline_s: f64,
+    /// The QoS deadline used for the `met_deadline` verdict.
+    pub deadline: Seconds,
     /// Thermal warm-up duration before the measured load.
     pub warmup: SimDuration,
     /// Abort the load after this much simulated time.
@@ -61,7 +63,7 @@ impl Default for ScenarioConfig {
         ScenarioConfig {
             seed: 42,
             board: BoardConfig::nexus5(),
-            deadline_s: 3.0,
+            deadline: Seconds::new(3.0),
             warmup: SimDuration::from_secs(20),
             timeout: SimDuration::from_secs(60),
         }
@@ -106,10 +108,10 @@ impl ScenarioConfigBuilder {
         self
     }
 
-    /// Sets the QoS deadline in seconds.
+    /// Sets the QoS deadline.
     #[must_use]
-    pub fn deadline_s(mut self, deadline_s: f64) -> Self {
-        self.config.deadline_s = deadline_s;
+    pub fn deadline(mut self, deadline: Seconds) -> Self {
+        self.config.deadline = deadline;
         self
     }
 
@@ -149,28 +151,28 @@ pub struct RunResult {
     /// Governor identity (a paper [`crate::policy::Policy`] when the name
     /// matches one).
     pub governor: PolicyName,
-    /// Page load time in seconds (the timeout value if `timed_out`).
-    pub load_time_s: f64,
-    /// Mean device power over the load, watts.
-    pub mean_power_w: f64,
-    /// Device energy over the load, joules.
-    pub energy_j: f64,
+    /// Page load time (the timeout value if `timed_out`).
+    pub load_time: Seconds,
+    /// Mean device power over the load.
+    pub mean_power: Watts,
+    /// Device energy over the load.
+    pub energy: Joules,
     /// Energy efficiency `1/(T·P)` — the paper's PPW metric.
-    pub ppw: f64,
+    pub ppw: Ppw,
     /// Whether the load met the configured deadline.
     pub met_deadline: bool,
     /// Whether the load was censored at the timeout.
     pub timed_out: bool,
     /// DVFS transitions during the measured load.
     pub switches: u64,
-    /// Time-weighted mean core frequency over the load, GHz.
-    pub mean_freq_ghz: f64,
-    /// Die temperature at load completion, °C.
-    pub final_temp_c: f64,
+    /// Time-weighted mean core frequency over the load (kHz resolution).
+    pub mean_frequency: Frequency,
+    /// Die temperature at load completion.
+    pub final_temp: Celsius,
     /// Shared-L2 MPKI over the load window (Table I X6).
-    pub mean_mpki: f64,
+    pub mean_mpki: Mpki,
     /// Co-runner core utilization over the load window (Table I X9).
-    pub corun_utilization: f64,
+    pub corun_utilization: Utilization,
     /// Instructions the co-runner retired during the load window (used by
     /// the Fig. 2(b) energy attribution).
     pub corun_instructions: f64,
@@ -207,7 +209,7 @@ fn observation(
     delta: &dora_soc::counters::CounterSet,
     interval: SimDuration,
 ) -> GovernorObservation {
-    let per_core_utilization: Vec<f64> = delta
+    let per_core_utilization: Vec<Utilization> = delta
         .cores()
         .iter()
         .map(dora_soc::counters::CoreCounters::utilization)
@@ -219,13 +221,14 @@ fn observation(
         per_core_utilization,
         shared_l2_mpki: delta.shared_l2_mpki(),
         corun_utilization: delta.core(CORUN_CORE).utilization(),
-        temperature_c: board.temperature_c(),
+        temperature: board.temperature(),
     }
 }
 
 /// Steps the board under governor control until `stop` fires or `until`
 /// elapses. Returns the time-weighted mean frequency (GHz·s integral and
 /// duration).
+#[allow(clippy::expect_used)] // callers document the governor-bug panic
 fn govern_until(
     board: &mut Board,
     governor: &mut dyn Governor,
@@ -279,6 +282,7 @@ pub fn run_scenario(
 ///
 /// Panics if the governor returns a frequency outside the board's DVFS
 /// table.
+#[allow(clippy::expect_used)] // fresh-board invariants: documented panic
 pub fn run_page(
     page: &dora_browser::catalog::CatalogPage,
     kernel: Option<&dora_coworkloads::Kernel>,
@@ -318,7 +322,7 @@ pub fn run_page(
         .expect("aux core cleared above");
 
     let t0 = board.time();
-    let e0 = board.energy_j();
+    let e0 = board.energy();
     let switches0 = board.switch_count();
     let snap0 = board.counter_set().snapshot();
 
@@ -328,19 +332,21 @@ pub fn run_page(
     });
 
     let timed_out = !board.task_finished(BROWSER_MAIN_CORE);
-    let load_time_s = if timed_out {
-        config.timeout.as_secs_f64()
+    let load_time = if timed_out {
+        Seconds::new(config.timeout.as_secs_f64())
     } else {
-        board
-            .finish_time(BROWSER_MAIN_CORE)
-            .expect("finished")
-            .duration_since(t0)
-            .as_secs_f64()
+        Seconds::new(
+            board
+                .finish_time(BROWSER_MAIN_CORE)
+                .expect("finished")
+                .duration_since(t0)
+                .as_secs_f64(),
+        )
     };
 
-    let wall_s = board.time().duration_since(t0).as_secs_f64().max(1e-9);
-    let energy_j = board.energy_j() - e0;
-    let mean_power_w = energy_j / wall_s;
+    let wall = Seconds::new(board.time().duration_since(t0).as_secs_f64().max(1e-9));
+    let energy = board.energy() - e0;
+    let mean_power = energy / wall;
     let delta = board.counter_set().snapshot().delta(&snap0);
 
     RunResult {
@@ -353,19 +359,19 @@ pub fn run_page(
         intensity: kernel.map(|k| k.intensity()),
         training: page.training,
         governor: PolicyName::from(governor.name()),
-        load_time_s,
-        mean_power_w,
-        energy_j,
-        ppw: 1.0 / (load_time_s * mean_power_w),
-        met_deadline: !timed_out && load_time_s <= config.deadline_s,
+        load_time,
+        mean_power,
+        energy,
+        ppw: Ppw::from_time_power(load_time, mean_power),
+        met_deadline: !timed_out && load_time <= config.deadline,
         timed_out,
         switches: board.switch_count() - switches0,
-        mean_freq_ghz: if governed_s > 0.0 {
-            freq_integral / governed_s
+        mean_frequency: if governed_s > 0.0 {
+            Frequency::from_mhz(freq_integral / governed_s * 1000.0)
         } else {
-            board.frequency().as_ghz()
+            board.frequency()
         },
-        final_temp_c: board.temperature_c(),
+        final_temp: board.temperature(),
         mean_mpki: delta.shared_l2_mpki(),
         corun_utilization: delta.core(CORUN_CORE).utilization(),
         corun_instructions: delta.core(CORUN_CORE).instructions,
@@ -375,8 +381,8 @@ pub fn run_page(
 /// One point of a frequency sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
-    /// The pinned frequency in MHz (serialized-friendly).
-    pub freq_mhz: f64,
+    /// The pinned frequency.
+    pub frequency: Frequency,
     /// The measured outcome at that frequency.
     pub result: RunResult,
 }
@@ -386,7 +392,7 @@ fn sweep_point(workload: &Workload, config: &ScenarioConfig, f: Frequency) -> Sw
     let mut pinned = dora_governors::PinnedGovernor::new("pinned", f);
     let result = run_scenario(workload, &mut pinned, config);
     SweepPoint {
-        freq_mhz: f.as_mhz(),
+        frequency: f,
         result,
     }
 }
@@ -454,17 +460,11 @@ pub(crate) fn oracle_from_sweep(
     let fd = sweep
         .iter()
         .find(|p| p.result.met_deadline)
-        .map(|p| Frequency::from_mhz(p.freq_mhz));
-    let fe_point = sweep
+        .map(|p| p.frequency);
+    let fe = sweep
         .iter()
-        .max_by(|a, b| {
-            a.result
-                .ppw
-                .partial_cmp(&b.result.ppw)
-                .expect("ppw is finite")
-        })
-        .expect("sweep non-empty");
-    let fe = Frequency::from_mhz(fe_point.freq_mhz);
+        .max_by(|a, b| a.result.ppw.total_cmp(&b.result.ppw))
+        .map_or_else(|| config.board.dvfs.max_frequency(), |p| p.frequency);
     let fopt = match fd {
         Some(fd) if fd <= fe => fe,
         Some(fd) => fd,
@@ -504,12 +504,16 @@ mod tests {
         assert!(
             r.met_deadline,
             "Amazon+low must meet 3s: {:.2}s",
-            r.load_time_s
+            r.load_time.value()
         );
-        assert!(r.load_time_s < 2.0);
-        assert!((2.2..2.4).contains(&r.mean_freq_ghz), "{}", r.mean_freq_ghz);
-        assert!(r.mean_power_w > 1.5 && r.mean_power_w < 6.5);
-        assert!((r.ppw - 1.0 / (r.load_time_s * r.mean_power_w)).abs() < 1e-12);
+        assert!(r.load_time < Seconds::new(2.0));
+        assert!(
+            (2.2..2.4).contains(&r.mean_frequency.as_ghz()),
+            "{}",
+            r.mean_frequency
+        );
+        assert!(r.mean_power > Watts::new(1.5) && r.mean_power < Watts::new(6.5));
+        assert!((r.ppw.value() - 1.0 / (r.load_time.value() * r.mean_power.value())).abs() < 1e-12);
     }
 
     #[test]
@@ -521,7 +525,7 @@ mod tests {
             let w = set.find_by_class("Reddit", intensity).expect("present");
             let mut g = PinnedGovernor::new("pin", Frequency::from_mhz(1190.4));
             let r = run_scenario(w, &mut g, &config);
-            times.push((intensity, r.load_time_s));
+            times.push((intensity, r.load_time));
         }
         assert!(
             times[0].1 < times[1].1 && times[1].1 < times[2].1,
@@ -539,7 +543,7 @@ mod tests {
         assert!(
             !r.met_deadline,
             "IMDB+high at 0.73GHz: {:.2}s",
-            r.load_time_s
+            r.load_time.value()
         );
         assert!(!r.timed_out);
     }
@@ -579,32 +583,32 @@ mod tests {
             .iter()
             .filter(|p| p.result.met_deadline)
             .map(|p| p.result.ppw)
-            .fold(0.0, f64::max);
+            .fold(Ppw::ZERO, Ppw::max);
         let at_fopt = o
             .sweep
             .iter()
-            .find(|p| (p.freq_mhz - o.fopt.as_mhz()).abs() < 1e-9)
+            .find(|p| p.frequency == o.fopt)
             .expect("fopt in sweep")
             .result
             .ppw;
-        assert!((at_fopt - best_feasible).abs() < 1e-12);
+        assert!((at_fopt.value() - best_feasible.value()).abs() < 1e-12);
     }
 
     #[test]
     fn builder_sets_fields_and_derives_variants() {
         let base = ScenarioConfig::builder()
             .seed(7)
-            .deadline_s(2.5)
+            .deadline(Seconds::new(2.5))
             .warmup(SimDuration::from_secs(1))
             .timeout(SimDuration::from_secs(30))
             .build();
         assert_eq!(base.seed, 7);
-        assert_eq!(base.deadline_s, 2.5);
+        assert_eq!(base.deadline, Seconds::new(2.5));
         assert_eq!(base.warmup, SimDuration::from_secs(1));
         assert_eq!(base.timeout, SimDuration::from_secs(30));
-        let derived = base.to_builder().deadline_s(4.0).build();
+        let derived = base.to_builder().deadline(Seconds::new(4.0)).build();
         assert_eq!(derived.seed, 7, "to_builder keeps unset fields");
-        assert_eq!(derived.deadline_s, 4.0);
+        assert_eq!(derived.deadline, Seconds::new(4.0));
     }
 
     #[test]

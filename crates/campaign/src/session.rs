@@ -17,6 +17,7 @@ use dora_browser::catalog::CatalogPage;
 use dora_browser::engine::RenderEngine;
 use dora_coworkloads::Kernel;
 use dora_governors::{Governor, GovernorObservation};
+use dora_sim_core::units::{Celsius, Joules, Seconds, Utilization, Watts};
 use dora_sim_core::SimDuration;
 use dora_soc::board::{Board, BoardConfig};
 
@@ -27,8 +28,8 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Platform configuration.
     pub board: BoardConfig,
-    /// Per-load QoS deadline, seconds.
-    pub deadline_s: f64,
+    /// Per-load QoS deadline.
+    pub deadline: Seconds,
     /// Idle "reading" time between loads.
     pub think_time: SimDuration,
     /// Abort a single load after this long.
@@ -40,7 +41,7 @@ impl Default for SessionConfig {
         SessionConfig {
             seed: 42,
             board: BoardConfig::nexus5(),
-            deadline_s: 3.0,
+            deadline: Seconds::new(3.0),
             think_time: SimDuration::from_secs(8),
             per_load_timeout: SimDuration::from_secs(60),
         }
@@ -52,8 +53,8 @@ impl Default for SessionConfig {
 pub struct SessionLoad {
     /// Page name.
     pub page: String,
-    /// Load time, seconds.
-    pub load_time_s: f64,
+    /// Load time.
+    pub load_time: Seconds,
     /// Whether the per-load deadline was met.
     pub met_deadline: bool,
 }
@@ -63,25 +64,25 @@ pub struct SessionLoad {
 pub struct SessionResult {
     /// Governor name.
     pub governor: String,
-    /// Total session wall time, seconds (loads + think time).
-    pub duration_s: f64,
-    /// Total device energy, joules.
-    pub energy_j: f64,
+    /// Total session wall time (loads + think time).
+    pub duration: Seconds,
+    /// Total device energy.
+    pub energy: Joules,
     /// Per-load outcomes in sequence order.
     pub loads: Vec<SessionLoad>,
     /// DVFS switches across the session.
     pub switches: u64,
-    /// Peak die temperature, °C.
-    pub peak_temp_c: f64,
+    /// Peak die temperature.
+    pub peak_temp: Celsius,
 }
 
 impl SessionResult {
-    /// Mean device power over the session, watts.
-    pub fn mean_power_w(&self) -> f64 {
-        if self.duration_s > 0.0 {
-            self.energy_j / self.duration_s
+    /// Mean device power over the session.
+    pub fn mean_power(&self) -> Watts {
+        if self.duration > Seconds::ZERO {
+            self.energy / self.duration
         } else {
-            0.0
+            Watts::ZERO
         }
     }
 
@@ -100,7 +101,7 @@ impl SessionResult {
     /// Panics if `watt_hours` is not positive.
     pub fn battery_hours(&self, watt_hours: f64) -> f64 {
         assert!(watt_hours > 0.0, "battery capacity must be positive");
-        watt_hours / self.mean_power_w().max(1e-9)
+        watt_hours / self.mean_power().value().max(1e-9)
     }
 }
 
@@ -110,6 +111,7 @@ impl SessionResult {
 ///
 /// Panics if `pages` is empty or the governor returns a frequency outside
 /// the board's DVFS table.
+#[allow(clippy::expect_used)] // fresh-board invariants: documented panic
 pub fn run_session(
     pages: &[&CatalogPage],
     kernel: Option<&Kernel>,
@@ -138,7 +140,7 @@ pub fn run_session(
                 let now = board.counter_set().snapshot();
                 let delta = now.delta(&snapshot);
                 snapshot = now;
-                let per_core_utilization: Vec<f64> = delta
+                let per_core_utilization: Vec<Utilization> = delta
                     .cores()
                     .iter()
                     .map(dora_soc::counters::CoreCounters::utilization)
@@ -150,7 +152,7 @@ pub fn run_session(
                     per_core_utilization,
                     shared_l2_mpki: delta.shared_l2_mpki(),
                     corun_utilization: delta.core(CORUN_CORE).utilization(),
-                    temperature_c: board.temperature_c(),
+                    temperature: board.temperature(),
                 };
                 let f = governor.decide(&obs);
                 board
@@ -176,15 +178,17 @@ pub fn run_session(
             board.step(quantum);
             tick!();
         }
-        let load_time_s = board
-            .finish_time(BROWSER_MAIN_CORE)
-            .map_or(config.per_load_timeout.as_secs_f64(), |t| {
-                t.duration_since(t0).as_secs_f64()
-            });
+        let load_time = Seconds::new(
+            board
+                .finish_time(BROWSER_MAIN_CORE)
+                .map_or(config.per_load_timeout.as_secs_f64(), |t| {
+                    t.duration_since(t0).as_secs_f64()
+                }),
+        );
         loads.push(SessionLoad {
             page: page.name.to_string(),
-            load_time_s,
-            met_deadline: load_time_s <= config.deadline_s,
+            load_time,
+            met_deadline: load_time <= config.deadline,
         });
         board.clear_core(BROWSER_MAIN_CORE).expect("core id valid");
         board.clear_core(BROWSER_AUX_CORE).expect("core id valid");
@@ -199,11 +203,11 @@ pub fn run_session(
 
     SessionResult {
         governor: governor.name().to_string(),
-        duration_s: board.time().duration_since(session_start).as_secs_f64(),
-        energy_j: board.energy_j(),
+        duration: Seconds::new(board.time().duration_since(session_start).as_secs_f64()),
+        energy: board.energy(),
         loads,
         switches: board.switch_count(),
-        peak_temp_c: board.peak_temperature_c(),
+        peak_temp: board.peak_temperature(),
     }
 }
 
@@ -239,8 +243,8 @@ mod tests {
         assert_eq!(r.loads[2].page, "MSN");
         assert!(r.loads.iter().all(|l| l.met_deadline), "{:#?}", r.loads);
         // Session time = loads + think periods.
-        let load_total: f64 = r.loads.iter().map(|l| l.load_time_s).sum();
-        assert!(r.duration_s > load_total + 8.9, "{r:?}");
+        let load_total: Seconds = r.loads.iter().map(|l| l.load_time).sum();
+        assert!(r.duration > load_total + Seconds::new(8.9), "{r:?}");
         assert!((r.met_fraction() - 1.0).abs() < 1e-12);
     }
 
@@ -254,10 +258,10 @@ mod tests {
         let mut inter = InteractiveGovernor::new(DvfsTable::msm8974());
         let low = run_session(&ps, None, &mut inter, &quick());
         assert!(
-            low.energy_j < high.energy_j * 0.95,
-            "interactive {} J vs performance {} J",
-            low.energy_j,
-            high.energy_j
+            low.energy < high.energy * 0.95,
+            "interactive {} vs performance {}",
+            low.energy,
+            high.energy
         );
     }
 
@@ -281,8 +285,8 @@ mod tests {
         let with = run_session(&ps, Some(&kernel), &mut g, &quick());
         let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
         let without = run_session(&ps, None, &mut g, &quick());
-        assert!(with.energy_j > without.energy_j);
-        assert!(with.loads[0].load_time_s > without.loads[0].load_time_s);
+        assert!(with.energy > without.energy);
+        assert!(with.loads[0].load_time > without.loads[0].load_time);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use dora::models::PredictorInputs;
 use dora::trainer::TrainingObservation;
 use dora_governors::PinnedGovernor;
 use dora_modeling::leakage::LeakageObservation;
+use dora_sim_core::units::{Celsius, Watts};
 use dora_sim_core::SimDuration;
 use dora_soc::board::{Board, BoardConfig};
 use dora_soc::Frequency;
@@ -54,9 +55,9 @@ pub fn measure_observation(
     );
     TrainingObservation {
         inputs,
-        load_time_s: result.load_time_s,
-        total_power_w: result.mean_power_w,
-        mean_temp_c: result.final_temp_c,
+        load_time: result.load_time,
+        total_power: result.mean_power,
+        mean_temp: result.final_temp,
     }
 }
 
@@ -102,27 +103,28 @@ pub fn training_campaign_with(
 /// (display and rails) is measured once with the SoC rails gated and
 /// removed from every sample, leaving the SoC leakage, since idle cores
 /// clock-gate their dynamic power away.
-pub fn leakage_calibration(base: &BoardConfig, ambients_c: &[f64]) -> Vec<LeakageObservation> {
-    leakage_calibration_with(base, ambients_c, &Executor::sequential())
+pub fn leakage_calibration(base: &BoardConfig, ambients: &[Celsius]) -> Vec<LeakageObservation> {
+    leakage_calibration_with(base, ambients, &Executor::sequential())
 }
 
 /// [`leakage_calibration`] with the (ambient, operating point) grid
 /// fanned out across `executor`; each soak is an independent board, so
 /// observations are bit-identical to the sequential sweep.
+#[allow(clippy::expect_used)] // table-sourced frequency: documented invariant
 pub fn leakage_calibration_with(
     base: &BoardConfig,
-    ambients_c: &[f64],
+    ambients: &[Celsius],
     executor: &Executor,
 ) -> Vec<LeakageObservation> {
     let soak = SimDuration::from_secs(60);
-    let grid: Vec<(f64, dora_soc::Opp)> = ambients_c
+    let grid: Vec<(Celsius, dora_soc::Opp)> = ambients
         .iter()
         .flat_map(|&ambient| base.dvfs.opps().iter().map(move |&opp| (ambient, opp)))
         .collect();
     executor.map(&grid, |&(ambient, opp)| {
         let config = BoardConfig {
             thermal: dora_soc::thermal::ThermalParams {
-                ambient_c: ambient,
+                ambient,
                 ..base.thermal
             },
             ..base.clone()
@@ -130,12 +132,12 @@ pub fn leakage_calibration_with(
         let mut board = Board::new(config, 7);
         board.set_frequency(opp.frequency).expect("table frequency");
         board.step(soak);
-        let idle_power = board.last_power().total_w();
-        let platform = board.config().power.platform_floor_w;
+        let idle_power = board.last_power().total();
+        let platform = board.config().power.platform_floor;
         LeakageObservation {
             voltage: opp.voltage,
-            temp_c: board.temperature_c(),
-            power_w: (idle_power - platform).max(0.0),
+            temp: board.temperature(),
+            power: (idle_power - platform).max(Watts::ZERO),
         }
     })
 }
@@ -159,13 +161,21 @@ mod tests {
             .find_by_class("Reddit", Intensity::High)
             .expect("present");
         let obs = measure_observation(w, Frequency::from_mhz(1497.6), &quick_scenario());
-        assert!(obs.load_time_s > 0.5 && obs.load_time_s < 10.0);
-        assert!(obs.total_power_w > 1.5 && obs.total_power_w < 6.5);
-        assert!(obs.inputs.l2_mpki > 1.0, "high co-runner must show MPKI");
-        assert!(obs.inputs.corun_utilization > 0.5);
-        assert!((obs.inputs.core_freq_ghz - 1.4976).abs() < 1e-9);
-        assert_eq!(obs.inputs.bus_freq_mhz, 800.0);
-        assert!(obs.mean_temp_c > 25.0, "warm-up must heat the die");
+        let load_s = obs.load_time.value();
+        assert!(load_s > 0.5 && load_s < 10.0);
+        let power_w = obs.total_power.value();
+        assert!(power_w > 1.5 && power_w < 6.5);
+        assert!(
+            obs.inputs.l2_mpki.value() > 1.0,
+            "high co-runner must show MPKI"
+        );
+        assert!(obs.inputs.corun_utilization.value() > 0.5);
+        assert!((obs.inputs.core_frequency.as_ghz() - 1.4976).abs() < 1e-9);
+        assert_eq!(obs.inputs.bus_frequency.as_mhz(), 800.0);
+        assert!(
+            obs.mean_temp > Celsius::new(25.0),
+            "warm-up must heat the die"
+        );
     }
 
     #[test]
@@ -199,12 +209,12 @@ mod tests {
         // frequency (the X6 signal DORA keys on).
         let at_15: Vec<&&TrainingObservation> = amazon
             .iter()
-            .filter(|o| (o.inputs.core_freq_ghz - 1.4976).abs() < 1e-9)
+            .filter(|o| (o.inputs.core_frequency.as_ghz() - 1.4976).abs() < 1e-9)
             .collect();
         assert_eq!(at_15.len(), 3);
-        let mut mpkis: Vec<f64> = at_15.iter().map(|o| o.inputs.l2_mpki).collect();
+        let mut mpkis: Vec<f64> = at_15.iter().map(|o| o.inputs.l2_mpki.value()).collect();
         let unsorted = mpkis.clone();
-        mpkis.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        mpkis.sort_by(f64::total_cmp);
         assert!(
             mpkis[2] > mpkis[0] * 1.3,
             "MPKI spread too small: {unsorted:?}"
@@ -234,38 +244,48 @@ mod tests {
             training_campaign_with(&subset, &config, &Executor::new(Parallelism::Fixed(3)));
         assert_eq!(sequential.len(), parallel.len());
         for (s, p) in sequential.iter().zip(&parallel) {
-            assert_eq!(s.load_time_s, p.load_time_s);
-            assert_eq!(s.total_power_w, p.total_power_w);
+            assert_eq!(s.load_time, p.load_time);
+            assert_eq!(s.total_power, p.total_power);
             assert_eq!(s.inputs.l2_mpki, p.inputs.l2_mpki);
         }
     }
 
     #[test]
     fn leakage_calibration_is_fittable() {
-        let obs = leakage_calibration(&BoardConfig::nexus5(), &[5.0, 25.0, 45.0]);
+        let obs = leakage_calibration(
+            &BoardConfig::nexus5(),
+            &[Celsius::new(5.0), Celsius::new(25.0), Celsius::new(45.0)],
+        );
         assert_eq!(obs.len(), 3 * 14);
         // Voltage and temperature must both vary for identifiability.
         let vmin = obs.iter().map(|o| o.voltage).fold(f64::INFINITY, f64::min);
         let vmax = obs.iter().map(|o| o.voltage).fold(0.0, f64::max);
-        let tmin = obs.iter().map(|o| o.temp_c).fold(f64::INFINITY, f64::min);
-        let tmax = obs.iter().map(|o| o.temp_c).fold(0.0, f64::max);
+        let tmin = obs
+            .iter()
+            .map(|o| o.temp.value())
+            .fold(f64::INFINITY, f64::min);
+        let tmax = obs.iter().map(|o| o.temp.value()).fold(0.0, f64::max);
         assert!(vmax - vmin > 0.25, "voltage span {vmin}..{vmax}");
         assert!(tmax - tmin > 20.0, "temperature span {tmin}..{tmax}");
         // And the Eq. 5 fit recovers the board's ground truth closely.
         let fit = fit_leakage(&obs, 3).expect("fits");
         let truth = dora_soc::power::LeakageParams::nexus5();
         for (v, c) in [(0.85, 40.0), (1.1, 65.0)] {
-            let t = truth.power_w(v, c);
-            let rel = (fit.params.eval(v, c) - t).abs() / t;
+            let c = Celsius::new(c);
+            let t = truth.power(v, c).value();
+            let rel = (fit.params.eval(v, c).value() - t).abs() / t;
             assert!(rel < 0.05, "leakage fit off by {rel:.3} at ({v},{c})");
         }
     }
 
     #[test]
     fn idle_soak_reaches_near_ambient_steady_state() {
-        let obs = leakage_calibration(&BoardConfig::nexus5(), &[25.0]);
+        let obs = leakage_calibration(&BoardConfig::nexus5(), &[Celsius::new(25.0)]);
         // At the lowest OPP the leakage is tiny, so die ~ ambient.
-        let coolest = obs.iter().map(|o| o.temp_c).fold(f64::INFINITY, f64::min);
+        let coolest = obs
+            .iter()
+            .map(|o| o.temp.value())
+            .fold(f64::INFINITY, f64::min);
         assert!((25.0..28.0).contains(&coolest), "coolest {coolest}");
     }
 }

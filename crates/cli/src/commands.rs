@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
+use dora::units::{Celsius, Mpki, Seconds, Utilization};
 use dora::{from_text, to_text, DoraConfig, DoraGovernor, DoraModels};
 use dora_browser::{Catalog, PageFeatures};
 use dora_campaign::evaluate::{evaluate_with, Policy};
@@ -78,8 +79,8 @@ pub fn inspect(raw: &[String]) -> Result<(), String> {
     );
     println!(
         "  leakage at (1.0V, 50C): {:.3} W; at (1.1V, 65C): {:.3} W",
-        lk.eval(1.0, 50.0),
-        lk.eval(1.1, 65.0)
+        lk.eval(1.0, Celsius::new(50.0)).value(),
+        lk.eval(1.1, Celsius::new(65.0)).value()
     );
     Ok(())
 }
@@ -131,7 +132,15 @@ pub fn predict(raw: &[String]) -> Result<(), String> {
     if deadline <= 0.0 {
         return Err(format!("--deadline must be positive, got {deadline}"));
     }
-    let decision = dora::select_frequency(&models, page, deadline, mpki, util, temp, true);
+    let decision = dora::select_frequency(
+        &models,
+        page,
+        Seconds::new(deadline),
+        Mpki::clamped(mpki),
+        Utilization::clamped(util),
+        Celsius::new(temp),
+        true,
+    );
     println!(
         "conditions: MPKI {mpki:.1}, co-run util {util:.2}, die {temp:.0}C, deadline {deadline:.1}s"
     );
@@ -143,9 +152,9 @@ pub fn predict(raw: &[String]) -> Result<(), String> {
         println!(
             "{:<11} {:>9.3} {:>9.3} {:>9.4} {:>9}",
             p.frequency.to_string(),
-            p.load_time_s,
-            p.power_w,
-            p.ppw,
+            p.load_time.value(),
+            p.power.value(),
+            p.ppw.value(),
             p.feasible
         );
     }
@@ -184,7 +193,9 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("unknown page {page_name:?}; see `dora pages`"))?;
     let kernel = resolve_kernel(&args)?;
     let deadline = args.get_f64("deadline", 3.0)?;
-    let config = ScenarioConfig::builder().deadline_s(deadline).build();
+    let config = ScenarioConfig::builder()
+        .deadline(Seconds::new(deadline))
+        .build();
     let governor_name = args.get("governor").unwrap_or("dora");
     let mut governor: Box<dyn Governor> = match governor_name {
         "dora" | "DORA" => {
@@ -193,7 +204,7 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
                 models,
                 page.features,
                 DoraConfig {
-                    qos_target_s: deadline,
+                    qos_target: Seconds::new(deadline),
                     ..DoraConfig::default()
                 },
             ))
@@ -207,20 +218,22 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
     println!("{}  under {}", r.workload_id, r.governor);
     println!(
         "  load time:   {:.3} s ({}; deadline {deadline:.1}s)",
-        r.load_time_s,
+        r.load_time.value(),
         if r.met_deadline { "met" } else { "missed" }
     );
-    println!("  mean power:  {:.3} W", r.mean_power_w);
-    println!("  energy:      {:.2} J", r.energy_j);
-    println!("  PPW:         {:.4}", r.ppw);
+    println!("  mean power:  {:.3} W", r.mean_power.value());
+    println!("  energy:      {:.2} J", r.energy.value());
+    println!("  PPW:         {:.4}", r.ppw.value());
     println!(
         "  mean clock:  {:.2} GHz over {} switches",
-        r.mean_freq_ghz, r.switches
+        r.mean_frequency.as_ghz(),
+        r.switches
     );
-    println!("  die at end:  {:.1} C", r.final_temp_c);
+    println!("  die at end:  {:.1} C", r.final_temp.value());
     println!(
         "  L2 MPKI:     {:.2}   co-run util: {:.2}",
-        r.mean_mpki, r.corun_utilization
+        r.mean_mpki.value(),
+        r.corun_utilization.value()
     );
     Ok(())
 }
@@ -279,7 +292,7 @@ pub fn session(raw: &[String]) -> Result<(), String> {
     let pages = pages?;
     let kernel = resolve_kernel(&args)?;
     let config = SessionConfig {
-        deadline_s: args.get_f64("deadline", 3.0)?,
+        deadline: Seconds::new(args.get_f64("deadline", 3.0)?),
         ..SessionConfig::default()
     };
     let governor_name = args.get("governor").unwrap_or("interactive");
@@ -293,7 +306,7 @@ pub fn session(raw: &[String]) -> Result<(), String> {
                 models,
                 pages[0].features,
                 DoraConfig {
-                    qos_target_s: config.deadline_s,
+                    qos_target: config.deadline,
                     ..DoraConfig::default()
                 },
             ))
@@ -309,15 +322,15 @@ pub fn session(raw: &[String]) -> Result<(), String> {
         println!(
             "  {:<12} {:.2}s  {}",
             l.page,
-            l.load_time_s,
+            l.load_time.value(),
             if l.met_deadline { "met" } else { "missed" }
         );
     }
     println!(
         "  energy: {:.1} J over {:.1} s ({:.2} W mean)",
-        r.energy_j,
-        r.duration_s,
-        r.mean_power_w()
+        r.energy.value(),
+        r.duration.value(),
+        r.mean_power().value()
     );
     println!(
         "  battery estimate (8.74 Wh pack): {:.1} h",

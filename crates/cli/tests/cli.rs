@@ -1,5 +1,8 @@
 //! End-to-end tests of the `dora` binary via `std::process::Command`.
 
+// Test code asserts invariants directly; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::{Command, Output};
 
 fn dora(args: &[&str]) -> Output {

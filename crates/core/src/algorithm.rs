@@ -20,6 +20,7 @@
 
 use crate::models::{DoraModels, PredictorInputs};
 use dora_browser::PageFeatures;
+use dora_sim_core::units::{Celsius, Mpki, Ppw, Seconds, Utilization};
 use dora_soc::Frequency;
 
 /// One row of the predicted curve: what the models expect at a candidate
@@ -28,12 +29,12 @@ use dora_soc::Frequency;
 pub struct PredictedPoint {
     /// The candidate frequency.
     pub frequency: Frequency,
-    /// Predicted page load time in seconds.
-    pub load_time_s: f64,
-    /// Predicted total device power in watts.
-    pub power_w: f64,
+    /// Predicted page load time.
+    pub load_time: Seconds,
+    /// Predicted total device power.
+    pub power: dora_sim_core::units::Watts,
     /// Predicted energy efficiency `1/(T·P)`.
-    pub ppw: f64,
+    pub ppw: Ppw,
     /// Whether the predicted load time meets the QoS target.
     pub feasible: bool,
 }
@@ -46,7 +47,7 @@ pub struct FrequencyDecision {
     /// Whether any frequency met the QoS target.
     pub feasible: bool,
     /// The predicted PPW at the chosen frequency.
-    pub predicted_ppw: f64,
+    pub predicted_ppw: Ppw,
     /// The full predicted curve, ascending in frequency — the paper's
     /// Fig. 4 sketch shows DORA sweeping exactly this.
     pub curve: Vec<PredictedPoint>,
@@ -61,54 +62,55 @@ impl FrequencyDecision {
 
     /// The unconstrained PPW-optimal frequency (`fE`), ignoring the
     /// deadline entirely.
+    /// Returns the minimum table frequency on an empty curve (which
+    /// [`select_frequency`] never produces).
     pub fn f_energy(&self) -> Frequency {
         self.curve
             .iter()
-            .max_by(|a, b| a.ppw.partial_cmp(&b.ppw).expect("ppw is finite"))
-            .map(|p| p.frequency)
-            .expect("curve is never empty")
+            .max_by(|a, b| a.ppw.total_cmp(&b.ppw))
+            .map_or(self.chosen, |p| p.frequency)
     }
 }
 
 /// Runs Algorithm 1 over every frequency in the model's DVFS table.
 ///
-/// * `qos_target_s` — the load-time deadline in seconds.
-/// * `l2_mpki`, `corun_utilization`, `temp_c` — the sampled dynamic
+/// * `qos_target` — the load-time deadline.
+/// * `l2_mpki`, `corun_utilization`, `temp` — the sampled dynamic
 ///   conditions.
 /// * `include_leakage` — `false` reproduces `DORA_no_lkg`.
 ///
 /// # Panics
 ///
-/// Panics if `qos_target_s` is not positive and finite.
+/// Panics if `qos_target` is not positive and finite.
 pub fn select_frequency(
     models: &DoraModels,
     page: PageFeatures,
-    qos_target_s: f64,
-    l2_mpki: f64,
-    corun_utilization: f64,
-    temp_c: f64,
+    qos_target: Seconds,
+    l2_mpki: Mpki,
+    corun_utilization: Utilization,
+    temp: Celsius,
     include_leakage: bool,
 ) -> FrequencyDecision {
     assert!(
-        qos_target_s.is_finite() && qos_target_s > 0.0,
-        "bad QoS target {qos_target_s}"
+        qos_target.is_finite() && qos_target > Seconds::ZERO,
+        "bad QoS target {qos_target}"
     );
     let mut curve = Vec::with_capacity(models.dvfs.len());
-    let mut best: Option<(Frequency, f64)> = None;
+    let mut best: Option<(Frequency, Ppw)> = None;
     for f in models.dvfs.frequencies() {
         let inputs =
             PredictorInputs::for_frequency(page, f, &models.dvfs, l2_mpki, corun_utilization);
-        let load_time_s = models.predict_load_time(&inputs);
-        let power_w = models.predict_total_power(&inputs, temp_c, include_leakage);
-        let ppw = 1.0 / (load_time_s * power_w);
-        let feasible = load_time_s <= qos_target_s;
+        let load_time = models.predict_load_time(&inputs);
+        let power = models.predict_total_power(&inputs, temp, include_leakage);
+        let ppw = Ppw::from_time_power(load_time, power);
+        let feasible = load_time <= qos_target;
         if feasible && best.as_ref().is_none_or(|&(_, b)| ppw > b) {
             best = Some((f, ppw));
         }
         curve.push(PredictedPoint {
             frequency: f,
-            load_time_s,
-            power_w,
+            load_time,
+            power,
             ppw,
             feasible,
         });
@@ -123,7 +125,7 @@ pub fn select_frequency(
         None => {
             // Infeasible: prioritize QoS — run flat out.
             let fmax = models.dvfs.max_frequency();
-            let ppw = curve.last().expect("table non-empty").ppw;
+            let ppw = curve.last().map_or(Ppw::ZERO, |p| p.ppw);
             FrequencyDecision {
                 chosen: fmax,
                 feasible: false,
@@ -154,7 +156,13 @@ mod tests {
         for freq in dvfs.frequencies() {
             for mpki in [0.0f64, 2.0, 5.0, 10.0, 20.0] {
                 for util in [0.0f64, 0.5, 1.0] {
-                    let inputs = PredictorInputs::for_frequency(page(), freq, &dvfs, mpki, util);
+                    let inputs = PredictorInputs::for_frequency(
+                        page(),
+                        freq,
+                        &dvfs,
+                        Mpki::clamped(mpki),
+                        Utilization::clamped(util),
+                    );
                     xs.push(inputs.to_vector());
                     ys.push(f(mpki, freq.as_ghz()));
                 }
@@ -188,7 +196,15 @@ mod tests {
     #[test]
     fn picks_a_feasible_ppw_maximizer() {
         let m = physical_models();
-        let d = select_frequency(&m, page(), 3.0, 2.0, 0.5, 40.0, true);
+        let d = select_frequency(
+            &m,
+            page(),
+            Seconds::new(3.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
         assert!(d.feasible);
         // The chosen point's predicted PPW is the max over feasible points.
         let best_feasible = d
@@ -196,8 +212,8 @@ mod tests {
             .iter()
             .filter(|p| p.feasible)
             .map(|p| p.ppw)
-            .fold(0.0, f64::max);
-        assert!((d.predicted_ppw - best_feasible).abs() < 1e-12);
+            .fold(Ppw::ZERO, Ppw::max);
+        assert!((d.predicted_ppw.value() - best_feasible.value()).abs() < 1e-12);
         let chosen_point = d
             .curve
             .iter()
@@ -209,8 +225,24 @@ mod tests {
     #[test]
     fn tight_deadline_forces_high_frequency() {
         let m = physical_models();
-        let relaxed = select_frequency(&m, page(), 10.0, 2.0, 0.5, 40.0, true);
-        let tight = select_frequency(&m, page(), 1.3, 2.0, 0.5, 40.0, true);
+        let relaxed = select_frequency(
+            &m,
+            page(),
+            Seconds::new(10.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
+        let tight = select_frequency(
+            &m,
+            page(),
+            Seconds::new(1.3),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
         assert!(tight.chosen >= relaxed.chosen);
         assert!(tight.feasible);
     }
@@ -219,7 +251,15 @@ mod tests {
     fn impossible_deadline_falls_back_to_fmax() {
         let m = physical_models();
         // 0.1 s is unreachable: T >= 2.2/2.2656 ~ 0.97 s.
-        let d = select_frequency(&m, page(), 0.1, 2.0, 0.5, 40.0, true);
+        let d = select_frequency(
+            &m,
+            page(),
+            Seconds::new(0.1),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
         assert!(!d.feasible);
         assert_eq!(d.chosen, m.dvfs.max_frequency());
     }
@@ -228,7 +268,15 @@ mod tests {
     fn fopt_is_max_of_fd_fe_rule() {
         // Equation 1: fopt = fE if fD <= fE else fD.
         let m = physical_models();
-        let d = select_frequency(&m, page(), 3.0, 2.0, 0.5, 40.0, true);
+        let d = select_frequency(
+            &m,
+            page(),
+            Seconds::new(3.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
         let fd = d.f_deadline().expect("feasible");
         let fe = d.f_energy();
         let expected = if fd <= fe { fe } else { fd };
@@ -238,8 +286,24 @@ mod tests {
     #[test]
     fn interference_shifts_fd_upward() {
         let m = physical_models();
-        let calm = select_frequency(&m, page(), 3.0, 0.5, 0.2, 40.0, true);
-        let noisy = select_frequency(&m, page(), 3.0, 18.0, 1.0, 40.0, true);
+        let calm = select_frequency(
+            &m,
+            page(),
+            Seconds::new(3.0),
+            Mpki::clamped(0.5),
+            Utilization::clamped(0.2),
+            Celsius::new(40.0),
+            true,
+        );
+        let noisy = select_frequency(
+            &m,
+            page(),
+            Seconds::new(3.0),
+            Mpki::clamped(18.0),
+            Utilization::clamped(1.0),
+            Celsius::new(40.0),
+            true,
+        );
         let fd_calm = calm.f_deadline().expect("feasible");
         let fd_noisy = noisy.f_deadline().expect("feasible under pressure");
         assert!(
@@ -255,7 +319,15 @@ mod tests {
     #[test]
     fn curve_is_complete_and_ascending() {
         let m = physical_models();
-        let d = select_frequency(&m, page(), 3.0, 2.0, 0.5, 40.0, true);
+        let d = select_frequency(
+            &m,
+            page(),
+            Seconds::new(3.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
         assert_eq!(d.curve.len(), m.dvfs.len());
         for pair in d.curve.windows(2) {
             assert!(pair[0].frequency < pair[1].frequency);
@@ -264,14 +336,22 @@ mod tests {
         // 1/f), but end-to-end the trend must hold and times stay positive.
         let first = d.curve.first().expect("non-empty");
         let last = d.curve.last().expect("non-empty");
-        assert!(first.load_time_s > last.load_time_s);
-        assert!(d.curve.iter().all(|p| p.load_time_s > 0.0));
+        assert!(first.load_time > last.load_time);
+        assert!(d.curve.iter().all(|p| p.load_time > Seconds::ZERO));
     }
 
     #[test]
     #[should_panic(expected = "bad QoS target")]
     fn rejects_nonpositive_target() {
         let m = physical_models();
-        let _ = select_frequency(&m, page(), 0.0, 1.0, 0.5, 40.0, true);
+        let _ = select_frequency(
+            &m,
+            page(),
+            Seconds::new(0.0),
+            Mpki::clamped(1.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
     }
 }

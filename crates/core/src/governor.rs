@@ -12,6 +12,7 @@ use crate::algorithm::{select_frequency, FrequencyDecision};
 use crate::models::DoraModels;
 use dora_browser::PageFeatures;
 use dora_governors::{Governor, GovernorObservation};
+use dora_sim_core::units::{Ppw, Seconds};
 use dora_sim_core::SimDuration;
 use dora_soc::Frequency;
 
@@ -37,9 +38,9 @@ pub enum DoraPolicy {
 /// Configuration of the DORA governor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DoraConfig {
-    /// The web-page load-time QoS target in seconds (the paper's default
+    /// The web-page load-time QoS target (the paper's default
     /// user-satisfaction deadline is 3 s, from a user survey).
-    pub qos_target_s: f64,
+    pub qos_target: Seconds,
     /// Decision cadence (paper default: 100 ms).
     pub decision_interval: SimDuration,
     /// Whether the power prediction includes the Eq. 5 leakage term;
@@ -49,7 +50,7 @@ pub struct DoraConfig {
     pub policy: DoraPolicy,
     /// Safety margin on the QoS check: a frequency counts as feasible
     /// only when the predicted load time is below
-    /// `(1 − qos_margin) · qos_target_s`. Small model errors on
+    /// `(1 − qos_margin) · qos_target`. Small model errors on
     /// borderline workloads otherwise turn into real deadline misses.
     pub qos_margin: f64,
     /// Switch hysteresis: stay at the current frequency when it is still
@@ -64,7 +65,7 @@ pub struct DoraConfig {
 impl Default for DoraConfig {
     fn default() -> Self {
         DoraConfig {
-            qos_target_s: 3.0,
+            qos_target: Seconds::new(3.0),
             decision_interval: SimDuration::from_millis(100),
             include_leakage: true,
             policy: DoraPolicy::Dora,
@@ -81,8 +82,8 @@ impl DoraConfig {
     ///
     /// Returns the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.qos_target_s.is_finite() && self.qos_target_s > 0.0) {
-            return Err(format!("bad QoS target {}", self.qos_target_s));
+        if !(self.qos_target.is_finite() && self.qos_target > Seconds::ZERO) {
+            return Err(format!("bad QoS target {}", self.qos_target));
         }
         if self.decision_interval.is_zero() {
             return Err("decision interval must be positive".into());
@@ -125,6 +126,7 @@ impl DoraGovernor {
     ///
     /// Panics if `config` fails validation.
     pub fn new(models: DoraModels, page: PageFeatures, config: DoraConfig) -> Self {
+        #[allow(clippy::expect_used)] // constructor contract: documented panic
         config.validate().expect("invalid DORA configuration");
         let name = match (config.policy, config.include_leakage) {
             (DoraPolicy::Dora, true) => "DORA".to_string(),
@@ -192,10 +194,10 @@ impl Governor for DoraGovernor {
         let decision = select_frequency(
             &self.models,
             self.page,
-            self.config.qos_target_s * (1.0 - self.config.qos_margin),
-            observation.shared_l2_mpki.max(0.0),
-            observation.corun_utilization.clamp(0.0, 1.0),
-            observation.temperature_c,
+            self.config.qos_target * (1.0 - self.config.qos_margin),
+            observation.shared_l2_mpki,
+            observation.corun_utilization,
+            observation.temperature,
             self.config.include_leakage,
         );
         let mut chosen = match self.config.policy {
@@ -210,20 +212,17 @@ impl Governor for DoraGovernor {
         // configured margin of the new optimum — a switch costs a stall.
         // DL optimizes feasibility alone, so hysteresis does not apply.
         if chosen != observation.frequency && self.config.policy != DoraPolicy::DeadlineOnly {
-            if let Some(current) = decision
+            let current = decision
                 .curve
                 .iter()
-                .find(|p| p.frequency == observation.frequency)
-            {
-                let target = decision
-                    .curve
-                    .iter()
-                    .find(|p| p.frequency == chosen)
-                    .expect("chosen comes from the curve");
+                .find(|p| p.frequency == observation.frequency);
+            let target = decision.curve.iter().find(|p| p.frequency == chosen);
+            if let (Some(current), Some(target)) = (current, target) {
                 let feasible_enough =
                     current.feasible || self.config.policy == DoraPolicy::EnergyOnly;
-                let close_enough = if target.ppw > 0.0 {
-                    (target.ppw - current.ppw) / target.ppw < self.config.switch_margin
+                let close_enough = if target.ppw > Ppw::ZERO {
+                    (target.ppw.value() - current.ppw.value()) / target.ppw.value()
+                        < self.config.switch_margin
                 } else {
                     false
                 };
@@ -252,6 +251,7 @@ mod tests {
     use crate::models::{FrequencyEncoding, PiecewiseSurface, PredictorInputs};
     use dora_modeling::leakage::Eq5Params;
     use dora_modeling::surface::{ResponseSurface, SurfaceKind};
+    use dora_sim_core::units::{Celsius, Mpki, Utilization};
     use dora_sim_core::SimTime;
     use dora_soc::DvfsTable;
 
@@ -267,7 +267,13 @@ mod tests {
         for freq in dvfs.frequencies() {
             for mpki in [0.0f64, 3.0, 8.0, 16.0] {
                 for util in [0.0f64, 0.6, 1.0] {
-                    let inputs = PredictorInputs::for_frequency(page(), freq, &dvfs, mpki, util);
+                    let inputs = PredictorInputs::for_frequency(
+                        page(),
+                        freq,
+                        &dvfs,
+                        Mpki::clamped(mpki),
+                        Utilization::clamped(util),
+                    );
                     xs.push(inputs.to_vector());
                     t_ys.push(2.2 / freq.as_ghz() + 0.05 * mpki);
                     p_ys.push(1.4 + 0.35 * freq.as_ghz() * freq.as_ghz());
@@ -300,10 +306,10 @@ mod tests {
             now: SimTime::from_millis(100),
             interval: SimDuration::from_millis(100),
             frequency: Frequency::from_mhz(960.0),
-            per_core_utilization: vec![0.9, 0.5, 0.8, 0.0],
-            shared_l2_mpki: mpki,
-            corun_utilization: 0.8,
-            temperature_c: temp_c,
+            per_core_utilization: [0.9, 0.5, 0.8, 0.0].map(Utilization::clamped).to_vec(),
+            shared_l2_mpki: Mpki::clamped(mpki),
+            corun_utilization: Utilization::clamped(0.8),
+            temperature: Celsius::new(temp_c),
         }
     }
 
@@ -338,7 +344,7 @@ mod tests {
     fn interference_raises_chosen_frequency_when_deadline_binds() {
         let m = physical_models();
         let tight = DoraConfig {
-            qos_target_s: 1.5,
+            qos_target: Seconds::new(1.5),
             ..DoraConfig::default()
         };
         let mut g = DoraGovernor::new(m, page(), tight);
@@ -355,7 +361,7 @@ mod tests {
         // efficient; under a relaxed deadline DORA should not pick them.
         let m = physical_models();
         let relaxed = DoraConfig {
-            qos_target_s: 10.0,
+            qos_target: Seconds::new(10.0),
             ..DoraConfig::default()
         };
         let mut g = DoraGovernor::new(m.clone(), page(), relaxed);
@@ -385,7 +391,7 @@ mod tests {
             m,
             page(),
             DoraConfig {
-                qos_target_s: -1.0,
+                qos_target: Seconds::new(-1.0),
                 ..DoraConfig::default()
             },
         );
@@ -420,7 +426,7 @@ mod tests {
             m.clone(),
             page(),
             DoraConfig {
-                qos_target_s: 0.01, // impossible
+                qos_target: Seconds::new(0.01), // impossible
                 policy: DoraPolicy::EnergyOnly,
                 ..DoraConfig::default()
             },
@@ -440,7 +446,7 @@ mod tests {
             m.clone(),
             page(),
             DoraConfig {
-                qos_target_s: 0.01,
+                qos_target: Seconds::new(0.01),
                 policy: DoraPolicy::DeadlineOnly,
                 ..DoraConfig::default()
             },

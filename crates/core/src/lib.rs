@@ -35,6 +35,10 @@
 //! * [`persist`] — versioned text serialization of the trained bundle,
 //!   so models trained offline can ship to the device that governs with
 //!   them.
+//! * [`units`] (re-exported from `dora-sim-core`) — the typed physical
+//!   quantities ([`units::Seconds`], [`units::Watts`], [`units::Celsius`],
+//!   [`units::Mpki`], [`units::Utilization`], [`units::Ppw`]) every public
+//!   API here speaks in place of bare `f64`s.
 //!
 //! # Example
 //!
@@ -42,7 +46,9 @@
 //! train-then-govern flow; unit-level examples live on each type.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+pub use dora_sim_core::units;
 
 pub mod algorithm;
 pub mod governor;

@@ -18,6 +18,7 @@ use dora_browser::PageFeatures;
 use dora_modeling::leakage::Eq5Params;
 use dora_modeling::surface::FittedSurface;
 use dora_modeling::ModelError;
+use dora_sim_core::units::{Celsius, Mpki, Ppw, Seconds, Utilization, Watts};
 use dora_soc::{BusTier, DvfsTable, Frequency};
 
 /// The full nine-variable input vector of Table I, assembled from static
@@ -27,13 +28,13 @@ pub struct PredictorInputs {
     /// X1–X5: the page complexity features.
     pub page: PageFeatures,
     /// X6: shared L2 cache MPKI observed over the last interval.
-    pub l2_mpki: f64,
-    /// X7: candidate core frequency, GHz.
-    pub core_freq_ghz: f64,
-    /// X8: the memory bus frequency that X7 maps to, MHz.
-    pub bus_freq_mhz: f64,
+    pub l2_mpki: Mpki,
+    /// X7: the candidate core frequency.
+    pub core_frequency: Frequency,
+    /// X8: the memory bus frequency that X7 maps to.
+    pub bus_frequency: Frequency,
     /// X9: core utilization of the co-scheduled task.
-    pub corun_utilization: f64,
+    pub corun_utilization: Utilization,
 }
 
 impl PredictorInputs {
@@ -43,14 +44,14 @@ impl PredictorInputs {
         page: PageFeatures,
         f: Frequency,
         dvfs: &DvfsTable,
-        l2_mpki: f64,
-        corun_utilization: f64,
+        l2_mpki: Mpki,
+        corun_utilization: Utilization,
     ) -> Self {
         PredictorInputs {
             page,
             l2_mpki,
-            core_freq_ghz: f.as_ghz(),
-            bus_freq_mhz: dvfs.bus_tier(f).bus_frequency().as_mhz(),
+            core_frequency: f,
+            bus_frequency: dvfs.bus_tier(f).bus_frequency(),
             corun_utilization,
         }
     }
@@ -64,10 +65,10 @@ impl PredictorInputs {
             h,
             a,
             d,
-            self.l2_mpki,
-            self.core_freq_ghz,
-            self.bus_freq_mhz,
-            self.corun_utilization,
+            self.l2_mpki.value(),
+            self.core_frequency.as_ghz(),
+            self.bus_frequency.as_mhz(),
+            self.corun_utilization.value(),
         ]
     }
 }
@@ -177,59 +178,57 @@ pub struct DoraModels {
 }
 
 impl DoraModels {
-    /// Predicts the web page load time in seconds at the candidate
-    /// frequency implied by `inputs` (Algorithm 1's `PredictLoadTime`).
+    /// Predicts the web page load time at the candidate frequency implied
+    /// by `inputs` (Algorithm 1's `PredictLoadTime`).
     ///
     /// Predictions are floored at one millisecond: a regression can dip
     /// below zero far outside its training envelope, and a non-positive
     /// load time would poison the PPW comparison.
-    pub fn predict_load_time(&self, inputs: &PredictorInputs) -> f64 {
+    pub fn predict_load_time(&self, inputs: &PredictorInputs) -> Seconds {
         let tier = self.tier_of(inputs);
-        self.load_time.predict(tier, inputs).max(1e-3)
+        Seconds::new(self.load_time.predict(tier, inputs).max(1e-3))
     }
 
-    /// Predicts total device power in watts at the candidate frequency
-    /// (Algorithm 1's `PredictTotalPower`): the dynamic surface plus the
-    /// Eq. 5 leakage evaluated at the candidate's voltage and the current
-    /// die temperature. `include_leakage = false` reproduces the
+    /// Predicts total device power at the candidate frequency (Algorithm
+    /// 1's `PredictTotalPower`): the dynamic surface plus the Eq. 5
+    /// leakage evaluated at the candidate's voltage and the current die
+    /// temperature. `include_leakage = false` reproduces the
     /// `DORA_no_lkg` ablation.
     pub fn predict_total_power(
         &self,
         inputs: &PredictorInputs,
-        temp_c: f64,
+        temp: Celsius,
         include_leakage: bool,
-    ) -> f64 {
+    ) -> Watts {
         let tier = self.tier_of(inputs);
-        let dynamic = self.power.predict(tier, inputs).max(1e-2);
+        let dynamic = Watts::new(self.power.predict(tier, inputs).max(1e-2));
         if !include_leakage {
             return dynamic;
         }
-        let voltage = self.voltage_at(inputs.core_freq_ghz);
-        dynamic + self.leakage.eval(voltage, temp_c)
+        let voltage = self.voltage_at(inputs.core_frequency);
+        dynamic + self.leakage.eval(voltage, temp)
     }
 
     /// Predicted energy efficiency `PPW = 1 / (T · P)` (Algorithm 1 line 8).
-    pub fn predict_ppw(&self, inputs: &PredictorInputs, temp_c: f64, include_leakage: bool) -> f64 {
+    pub fn predict_ppw(
+        &self,
+        inputs: &PredictorInputs,
+        temp: Celsius,
+        include_leakage: bool,
+    ) -> Ppw {
         let t = self.predict_load_time(inputs);
-        let p = self.predict_total_power(inputs, temp_c, include_leakage);
-        1.0 / (t * p)
+        let p = self.predict_total_power(inputs, temp, include_leakage);
+        Ppw::from_time_power(t, p)
     }
 
     fn tier_of(&self, inputs: &PredictorInputs) -> BusTier {
-        let f = self
-            .dvfs
-            .nearest(Frequency::from_mhz(inputs.core_freq_ghz * 1000.0));
+        let f = self.dvfs.nearest(inputs.core_frequency);
         self.dvfs.bus_tier(f)
     }
 
-    /// The supply voltage of the nearest table frequency.
-    pub fn voltage_at(&self, core_freq_ghz: f64) -> f64 {
-        let f = self
-            .dvfs
-            .nearest(Frequency::from_mhz(core_freq_ghz * 1000.0));
-        self.dvfs
-            .voltage_of(f)
-            .expect("nearest() returns a table frequency")
+    /// The supply voltage (volts) of the nearest table frequency.
+    pub fn voltage_at(&self, core_frequency: Frequency) -> f64 {
+        self.dvfs.nearest_opp(core_frequency).voltage
     }
 
     /// Convenience check that the bundle is internally consistent.
@@ -241,10 +240,15 @@ impl DoraModels {
     pub fn validate(&self) -> Result<(), ModelError> {
         // Probe with a nominal input; panics inside predict would indicate
         // wrong arity, so construct the probe through the public path.
-        let page =
-            PageFeatures::new(1000, 600, 200, 220, 280).expect("probe page is structurally valid");
-        let probe =
-            PredictorInputs::for_frequency(page, self.dvfs.min_frequency(), &self.dvfs, 1.0, 0.5);
+        let page = PageFeatures::new(1000, 600, 200, 220, 280)
+            .map_err(|e| ModelError::ShapeMismatch(format!("probe page invalid: {e}")))?;
+        let probe = PredictorInputs::for_frequency(
+            page,
+            self.dvfs.min_frequency(),
+            &self.dvfs,
+            Mpki::clamped(1.0),
+            Utilization::clamped(0.5),
+        );
         if probe.to_vector().len() != 9 {
             return Err(ModelError::ShapeMismatch(
                 "predictor inputs must have 9 entries".into(),
@@ -301,8 +305,13 @@ mod tests {
     #[test]
     fn inputs_vector_is_table1_ordered() {
         let dvfs = DvfsTable::msm8974();
-        let inputs =
-            PredictorInputs::for_frequency(page(), Frequency::from_mhz(1497.6), &dvfs, 4.5, 0.8);
+        let inputs = PredictorInputs::for_frequency(
+            page(),
+            Frequency::from_mhz(1497.6),
+            &dvfs,
+            Mpki::clamped(4.5),
+            Utilization::clamped(0.8),
+        );
         let v = inputs.to_vector();
         assert_eq!(v.len(), 9);
         assert_eq!(v[0], 2100.0); // X1 dom nodes
@@ -315,47 +324,73 @@ mod tests {
     #[test]
     fn bus_frequency_follows_tier() {
         let dvfs = DvfsTable::msm8974();
-        let low =
-            PredictorInputs::for_frequency(page(), Frequency::from_mhz(300.0), &dvfs, 0.0, 0.0);
-        let mid =
-            PredictorInputs::for_frequency(page(), Frequency::from_mhz(960.0), &dvfs, 0.0, 0.0);
-        assert_eq!(low.bus_freq_mhz, 200.0);
-        assert!((mid.bus_freq_mhz - 460.8).abs() < 1e-9);
+        let low = PredictorInputs::for_frequency(
+            page(),
+            Frequency::from_mhz(300.0),
+            &dvfs,
+            Mpki::ZERO,
+            Utilization::ZERO,
+        );
+        let mid = PredictorInputs::for_frequency(
+            page(),
+            Frequency::from_mhz(960.0),
+            &dvfs,
+            Mpki::ZERO,
+            Utilization::ZERO,
+        );
+        assert_eq!(low.bus_frequency.as_mhz(), 200.0);
+        assert!((mid.bus_frequency.as_mhz() - 460.8).abs() < 1e-9);
     }
 
     #[test]
     fn predictions_compose_into_ppw() {
         let m = models(2.0, 2.5);
-        let inputs =
-            PredictorInputs::for_frequency(page(), Frequency::from_mhz(1497.6), &m.dvfs, 3.0, 0.5);
+        let inputs = PredictorInputs::for_frequency(
+            page(),
+            Frequency::from_mhz(1497.6),
+            &m.dvfs,
+            Mpki::clamped(3.0),
+            Utilization::clamped(0.5),
+        );
+        let warm = Celsius::new(40.0);
         let t = m.predict_load_time(&inputs);
-        let p_no_lkg = m.predict_total_power(&inputs, 40.0, false);
-        let p_lkg = m.predict_total_power(&inputs, 40.0, true);
-        assert!((t - 2.0).abs() < 1e-6);
-        assert!((p_no_lkg - 2.5).abs() < 1e-6);
+        let p_no_lkg = m.predict_total_power(&inputs, warm, false);
+        let p_lkg = m.predict_total_power(&inputs, warm, true);
+        assert!((t.value() - 2.0).abs() < 1e-6);
+        assert!((p_no_lkg.value() - 2.5).abs() < 1e-6);
         assert!(p_lkg > p_no_lkg, "leakage adds power");
-        let ppw = m.predict_ppw(&inputs, 40.0, true);
-        assert!((ppw - 1.0 / (t * p_lkg)).abs() < 1e-9);
+        let ppw = m.predict_ppw(&inputs, warm, true);
+        assert!((ppw.value() - 1.0 / (t.value() * p_lkg.value())).abs() < 1e-9);
     }
 
     #[test]
     fn leakage_raises_power_more_when_hot() {
         let m = models(1.0, 2.0);
-        let inputs =
-            PredictorInputs::for_frequency(page(), Frequency::from_mhz(2265.6), &m.dvfs, 3.0, 0.5);
-        let cold = m.predict_total_power(&inputs, 30.0, true);
-        let hot = m.predict_total_power(&inputs, 70.0, true);
-        assert!(hot > cold + 0.2, "hot {hot} vs cold {cold}");
+        let inputs = PredictorInputs::for_frequency(
+            page(),
+            Frequency::from_mhz(2265.6),
+            &m.dvfs,
+            Mpki::clamped(3.0),
+            Utilization::clamped(0.5),
+        );
+        let cold = m.predict_total_power(&inputs, Celsius::new(30.0), true);
+        let hot = m.predict_total_power(&inputs, Celsius::new(70.0), true);
+        assert!(hot > cold + Watts::new(0.2), "hot {hot} vs cold {cold}");
     }
 
     #[test]
     fn predictions_are_floored_positive() {
         let m = models(-5.0, -3.0);
-        let inputs =
-            PredictorInputs::for_frequency(page(), Frequency::from_mhz(300.0), &m.dvfs, 0.0, 0.0);
-        assert!(m.predict_load_time(&inputs) > 0.0);
-        assert!(m.predict_total_power(&inputs, 30.0, false) > 0.0);
-        assert!(m.predict_ppw(&inputs, 30.0, true).is_finite());
+        let inputs = PredictorInputs::for_frequency(
+            page(),
+            Frequency::from_mhz(300.0),
+            &m.dvfs,
+            Mpki::ZERO,
+            Utilization::ZERO,
+        );
+        assert!(m.predict_load_time(&inputs) > Seconds::ZERO);
+        assert!(m.predict_total_power(&inputs, Celsius::new(30.0), false) > Watts::ZERO);
+        assert!(m.predict_ppw(&inputs, Celsius::new(30.0), true).is_finite());
     }
 
     #[test]
@@ -366,8 +401,13 @@ mod tests {
             FrequencyEncoding::Natural,
         );
         let dvfs = DvfsTable::msm8974();
-        let inputs =
-            PredictorInputs::for_frequency(page(), Frequency::from_mhz(300.0), &dvfs, 0.0, 0.0);
+        let inputs = PredictorInputs::for_frequency(
+            page(),
+            Frequency::from_mhz(300.0),
+            &dvfs,
+            Mpki::ZERO,
+            Utilization::ZERO,
+        );
         assert!((tiered.predict(BusTier::Low, &inputs) - 10.0).abs() < 1e-6);
         assert!((tiered.predict(BusTier::High, &inputs) - 99.0).abs() < 1e-6);
         assert_eq!(tiered.tier_count(), 1);
@@ -376,10 +416,10 @@ mod tests {
     #[test]
     fn voltage_lookup_snaps_to_table() {
         let m = models(1.0, 1.0);
-        assert_eq!(m.voltage_at(2.2656), 1.100);
-        assert_eq!(m.voltage_at(0.300), 0.800);
+        assert_eq!(m.voltage_at(Frequency::from_mhz(2265.6)), 1.100);
+        assert_eq!(m.voltage_at(Frequency::from_mhz(300.0)), 0.800);
         // Between entries: snaps to nearest.
-        let v = m.voltage_at(1.0);
+        let v = m.voltage_at(Frequency::from_mhz(1000.0));
         assert!(v > 0.79 && v < 1.11);
         assert!(m.validate().is_ok());
     }

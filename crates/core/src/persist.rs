@@ -31,19 +31,46 @@ use std::fmt::Write as _;
 
 /// Errors from parsing a persisted model bundle.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PersistError(String);
+pub enum PersistError {
+    /// The input ended before the bundle was complete.
+    UnexpectedEof,
+    /// A structurally invalid line.
+    Malformed {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The parsed DVFS table failed validation.
+    InvalidDvfs(String),
+}
+
+impl PersistError {
+    fn malformed(line: usize, reason: impl Into<String>) -> Self {
+        PersistError::Malformed {
+            line,
+            reason: reason.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "model bundle parse error: {}", self.0)
+        match self {
+            PersistError::UnexpectedEof => {
+                write!(f, "model bundle parse error: unexpected end of input")
+            }
+            PersistError::Malformed { line, reason } => {
+                write!(f, "model bundle parse error: line {line}: {reason}")
+            }
+            PersistError::InvalidDvfs(reason) => {
+                write!(f, "model bundle parse error: invalid dvfs table: {reason}")
+            }
+        }
     }
 }
 
 impl std::error::Error for PersistError {}
-
-fn err(msg: impl Into<String>) -> PersistError {
-    PersistError(msg.into())
-}
 
 /// Serializes a model bundle to the versioned text format.
 pub fn to_text(models: &DoraModels) -> String {
@@ -128,13 +155,13 @@ impl<'a> Lines<'a> {
                 return Ok((n + 1, trimmed));
             }
         }
-        Err(err("unexpected end of input"))
+        Err(PersistError::UnexpectedEof)
     }
 }
 
 fn parse_f64(tok: &str, line: usize) -> Result<f64, PersistError> {
     tok.parse::<f64>()
-        .map_err(|_| err(format!("line {line}: bad float {tok:?}")))
+        .map_err(|_| PersistError::malformed(line, format!("bad float {tok:?}")))
 }
 
 fn parse_fit(
@@ -144,25 +171,25 @@ fn parse_fit(
     kind: SurfaceKind,
 ) -> Result<FittedSurface, PersistError> {
     if tokens.len() < 3 || tokens[0] != "fit" {
-        return Err(err(format!("line {line_no}: expected a fit line")));
+        return Err(PersistError::malformed(line_no, "expected a fit line"));
     }
     if tokens[1] != expected_label {
-        return Err(err(format!(
-            "line {line_no}: expected fit {expected_label}, got {}",
-            tokens[1]
-        )));
+        return Err(PersistError::malformed(
+            line_no,
+            format!("expected fit {expected_label}, got {}", tokens[1]),
+        ));
     }
     let n: usize = tokens[2]
         .parse()
-        .map_err(|_| err(format!("line {line_no}: bad input count")))?;
+        .map_err(|_| PersistError::malformed(line_no, "bad input count"))?;
     let surface = ResponseSurface::new(kind, n);
     let want = 2 * n + surface.term_count();
     let values = &tokens[3..];
     if values.len() != want {
-        return Err(err(format!(
-            "line {line_no}: expected {want} numbers, got {}",
-            values.len()
-        )));
+        return Err(PersistError::malformed(
+            line_no,
+            format!("expected {want} numbers, got {}", values.len()),
+        ));
     }
     let nums: Result<Vec<f64>, _> = values.iter().map(|t| parse_f64(t, line_no)).collect();
     let nums = nums?;
@@ -172,7 +199,7 @@ fn parse_fit(
         nums[n..2 * n].to_vec(),
         nums[2 * n..].to_vec(),
     )
-    .map_err(|e| err(format!("line {line_no}: {e}")))
+    .map_err(|e| PersistError::malformed(line_no, e.to_string()))
 }
 
 fn parse_surface(
@@ -182,28 +209,38 @@ fn parse_surface(
     let (n, line) = lines.next()?;
     let tokens: Vec<&str> = line.split_whitespace().collect();
     if tokens.len() != 5 || tokens[0] != "surface" {
-        return Err(err(format!("line {n}: expected a surface header")));
+        return Err(PersistError::malformed(n, "expected a surface header"));
     }
     if tokens[1] != expected_name {
-        return Err(err(format!(
-            "line {n}: expected surface {expected_name}, got {}",
-            tokens[1]
-        )));
+        return Err(PersistError::malformed(
+            n,
+            format!("expected surface {expected_name}, got {}", tokens[1]),
+        ));
     }
     let encoding = match tokens[2] {
         "natural" => FrequencyEncoding::Natural,
         "period" => FrequencyEncoding::Period,
-        other => return Err(err(format!("line {n}: unknown encoding {other:?}"))),
+        other => {
+            return Err(PersistError::malformed(
+                n,
+                format!("unknown encoding {other:?}"),
+            ))
+        }
     };
     let kind = match tokens[3] {
         "linear" => SurfaceKind::Linear,
         "quadratic" => SurfaceKind::Quadratic,
         "interaction" => SurfaceKind::Interaction,
-        other => return Err(err(format!("line {n}: unknown kind {other:?}"))),
+        other => {
+            return Err(PersistError::malformed(
+                n,
+                format!("unknown kind {other:?}"),
+            ))
+        }
     };
     let mask: u8 = tokens[4]
         .parse()
-        .map_err(|_| err(format!("line {n}: bad tier mask")))?;
+        .map_err(|_| PersistError::malformed(n, "bad tier mask"))?;
 
     let (gn, gline) = lines.next()?;
     let global = parse_fit(
@@ -238,33 +275,39 @@ pub fn from_text(text: &str) -> Result<DoraModels, PersistError> {
     };
     let (n, header) = lines.next()?;
     if header != "dora-models v1" {
-        return Err(err(format!("line {n}: unknown header {header:?}")));
+        return Err(PersistError::malformed(
+            n,
+            format!("unknown header {header:?}"),
+        ));
     }
 
     let (n, dvfs_line) = lines.next()?;
     let tokens: Vec<&str> = dvfs_line.split_whitespace().collect();
     if tokens.len() != 2 || tokens[0] != "dvfs" {
-        return Err(err(format!("line {n}: expected dvfs count")));
+        return Err(PersistError::malformed(n, "expected dvfs count"));
     }
     let count: usize = tokens[1]
         .parse()
-        .map_err(|_| err(format!("line {n}: bad dvfs count")))?;
+        .map_err(|_| PersistError::malformed(n, "bad dvfs count"))?;
     if count == 0 || count > 64 {
-        return Err(err(format!("line {n}: implausible dvfs count {count}")));
+        return Err(PersistError::malformed(
+            n,
+            format!("implausible dvfs count {count}"),
+        ));
     }
     let mut points = Vec::with_capacity(count);
     for _ in 0..count {
         let (n, opp) = lines.next()?;
         let t: Vec<&str> = opp.split_whitespace().collect();
         if t.len() != 3 || t[0] != "opp" {
-            return Err(err(format!("line {n}: expected an opp line")));
+            return Err(PersistError::malformed(n, "expected an opp line"));
         }
         let khz: u64 = t[1]
             .parse()
-            .map_err(|_| err(format!("line {n}: bad frequency")))?;
+            .map_err(|_| PersistError::malformed(n, "bad frequency"))?;
         let voltage = parse_f64(t[2], n)?;
         if !(voltage.is_finite() && voltage > 0.0) {
-            return Err(err(format!("line {n}: bad voltage {voltage}")));
+            return Err(PersistError::malformed(n, format!("bad voltage {voltage}")));
         }
         points.push((khz as f64 / 1000.0, voltage));
     }
@@ -272,7 +315,9 @@ pub fn from_text(text: &str) -> Result<DoraModels, PersistError> {
     // corrupt file yields an error instead.
     for pair in points.windows(2) {
         if pair[0].0 >= pair[1].0 {
-            return Err(err("dvfs table not strictly ascending"));
+            return Err(PersistError::InvalidDvfs(
+                "table not strictly ascending".into(),
+            ));
         }
     }
     let dvfs = DvfsTable::new(&points);
@@ -280,7 +325,7 @@ pub fn from_text(text: &str) -> Result<DoraModels, PersistError> {
     let (n, lk) = lines.next()?;
     let t: Vec<&str> = lk.split_whitespace().collect();
     if t.len() != 7 || t[0] != "leakage" {
-        return Err(err(format!("line {n}: expected a leakage line")));
+        return Err(PersistError::malformed(n, "expected a leakage line"));
     }
     let leakage = Eq5Params {
         k1: parse_f64(t[1], n)?,
@@ -295,7 +340,7 @@ pub fn from_text(text: &str) -> Result<DoraModels, PersistError> {
     let power = parse_surface(&mut lines, "power")?;
     let (n, tail) = lines.next()?;
     if tail != "end" {
-        return Err(err(format!("line {n}: expected end marker")));
+        return Err(PersistError::malformed(n, "expected end marker"));
     }
     Ok(DoraModels {
         load_time,
@@ -310,6 +355,7 @@ mod tests {
     use super::*;
     use crate::models::PredictorInputs;
     use dora_browser::PageFeatures;
+    use dora_sim_core::units::{Celsius, Mpki, Seconds, Utilization, Watts};
 
     /// Builds a small but real trained bundle.
     fn trained_models() -> DoraModels {
@@ -323,12 +369,18 @@ mod tests {
             let page = PageFeatures::synthesize(&mut rng, pi as f64 / 9.0);
             for f in dvfs.frequencies() {
                 for mpki in [0.5, 6.0, 14.0] {
-                    let inputs = PredictorInputs::for_frequency(page, f, &dvfs, mpki, 0.7);
+                    let inputs = PredictorInputs::for_frequency(
+                        page,
+                        f,
+                        &dvfs,
+                        Mpki::clamped(mpki),
+                        Utilization::clamped(0.7),
+                    );
                     obs.push(TrainingObservation {
                         inputs,
-                        load_time_s: 2.0 / f.as_ghz() + 0.04 * mpki,
-                        total_power_w: 1.5 + 0.8 * f.as_ghz(),
-                        mean_temp_c: 30.0 + 10.0 * f.as_ghz(),
+                        load_time: Seconds::new(2.0 / f.as_ghz() + 0.04 * mpki),
+                        total_power: Watts::new(1.5 + 0.8 * f.as_ghz()),
+                        mean_temp: Celsius::new(30.0 + 10.0 * f.as_ghz()),
                     });
                 }
             }
@@ -344,11 +396,11 @@ mod tests {
         let lk_obs: Vec<LeakageObservation> = (0..30)
             .map(|i| {
                 let v = 0.8 + 0.3 * (i % 6) as f64 / 5.0;
-                let c = 25.0 + 40.0 * (i / 6) as f64 / 4.0;
+                let c = Celsius::new(25.0 + 40.0 * (i / 6) as f64 / 4.0);
                 LeakageObservation {
                     voltage: v,
-                    temp_c: c,
-                    power_w: truth.eval(v, c),
+                    temp: c,
+                    power: truth.eval(v, c),
                 }
             })
             .collect();
@@ -363,15 +415,28 @@ mod tests {
         assert_eq!(models, parsed);
         // Predictions agree exactly too.
         let page = PageFeatures::new(2100, 1300, 620, 680, 590).expect("valid");
+        let warm = Celsius::new(45.0);
         for f in models.dvfs.frequencies() {
-            let inputs = PredictorInputs::for_frequency(page, f, &models.dvfs, 4.0, 0.6);
-            assert_eq!(
-                models.predict_load_time(&inputs).to_bits(),
-                parsed.predict_load_time(&inputs).to_bits()
+            let inputs = PredictorInputs::for_frequency(
+                page,
+                f,
+                &models.dvfs,
+                Mpki::clamped(4.0),
+                Utilization::clamped(0.6),
             );
             assert_eq!(
-                models.predict_total_power(&inputs, 45.0, true).to_bits(),
-                parsed.predict_total_power(&inputs, 45.0, true).to_bits()
+                models.predict_load_time(&inputs).value().to_bits(),
+                parsed.predict_load_time(&inputs).value().to_bits()
+            );
+            assert_eq!(
+                models
+                    .predict_total_power(&inputs, warm, true)
+                    .value()
+                    .to_bits(),
+                parsed
+                    .predict_total_power(&inputs, warm, true)
+                    .value()
+                    .to_bits()
             );
         }
     }

@@ -26,19 +26,20 @@ use dora_modeling::leakage::{fit_leakage, LeakageObservation};
 use dora_modeling::metrics::{evaluate, EvalSummary};
 use dora_modeling::surface::{FittedSurface, ResponseSurface, SurfaceKind};
 use dora_modeling::ModelError;
-use dora_soc::{DvfsTable, Frequency};
+use dora_sim_core::units::{Celsius, Seconds, Watts};
+use dora_soc::DvfsTable;
 
 /// One offline measurement: the Table I inputs and what the platform did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingObservation {
     /// The nine Table I variables at measurement time.
     pub inputs: PredictorInputs,
-    /// Measured web page load time in seconds.
-    pub load_time_s: f64,
-    /// Measured mean device power over the load, in watts.
-    pub total_power_w: f64,
-    /// Mean die temperature over the load, °C (for leakage subtraction).
-    pub mean_temp_c: f64,
+    /// Measured web page load time.
+    pub load_time: Seconds,
+    /// Measured mean device power over the load.
+    pub total_power: Watts,
+    /// Mean die temperature over the load (for leakage subtraction).
+    pub mean_temp: Celsius,
 }
 
 /// Trainer configuration.
@@ -91,17 +92,14 @@ pub fn train(
 
     // Dynamic-power target: measured total minus the fitted leakage at the
     // observation's voltage and mean temperature.
-    let voltage_of = |ghz: f64| -> f64 {
-        let f = dvfs.nearest(Frequency::from_mhz(ghz * 1000.0));
-        dvfs.voltage_of(f).expect("nearest returns table entry")
-    };
     let xs: Vec<Vec<f64>> = observations.iter().map(|o| o.inputs.to_vector()).collect();
-    let t_ys: Vec<f64> = observations.iter().map(|o| o.load_time_s).collect();
+    let t_ys: Vec<f64> = observations.iter().map(|o| o.load_time.value()).collect();
     let p_ys: Vec<f64> = observations
         .iter()
         .map(|o| {
-            let lkg = leakage.eval(voltage_of(o.inputs.core_freq_ghz), o.mean_temp_c);
-            (o.total_power_w - lkg).max(0.05)
+            let voltage = dvfs.nearest_opp(o.inputs.core_frequency).voltage;
+            let lkg = leakage.eval(voltage, o.mean_temp);
+            (o.total_power - lkg).value().max(0.05)
         })
         .collect();
 
@@ -160,7 +158,7 @@ fn fit_piecewise(
             .iter()
             .enumerate()
             .filter(|(_, o)| {
-                let f = dvfs.nearest(Frequency::from_mhz(o.inputs.core_freq_ghz * 1000.0));
+                let f = dvfs.nearest(o.inputs.core_frequency);
                 dvfs.bus_tier(f).index() == tier_index
             })
             .map(|(i, _)| i)
@@ -202,10 +200,14 @@ pub fn evaluate_models(
     let mut p_pred = Vec::with_capacity(observations.len());
     let mut p_true = Vec::with_capacity(observations.len());
     for o in observations {
-        t_pred.push(models.predict_load_time(&o.inputs));
-        t_true.push(o.load_time_s);
-        p_pred.push(models.predict_total_power(&o.inputs, o.mean_temp_c, true));
-        p_true.push(o.total_power_w);
+        t_pred.push(models.predict_load_time(&o.inputs).value());
+        t_true.push(o.load_time.value());
+        p_pred.push(
+            models
+                .predict_total_power(&o.inputs, o.mean_temp, true)
+                .value(),
+        );
+        p_true.push(o.total_power.value());
     }
     ModelEvaluation {
         load_time: evaluate(&t_pred, &t_true),
@@ -249,6 +251,7 @@ mod tests {
     use super::*;
     use dora_browser::PageFeatures;
     use dora_modeling::leakage::Eq5Params;
+    use dora_sim_core::units::{Mpki, Utilization};
     use dora_sim_core::Rng;
 
     fn truth_leakage() -> Eq5Params {
@@ -274,18 +277,24 @@ mod tests {
             for f in dvfs.frequencies() {
                 for mpki in [0.4, 3.0, 11.0] {
                     let util = rng.range_f64(0.3, 1.0);
-                    let inputs = PredictorInputs::for_frequency(page, f, &dvfs, mpki, util);
+                    let inputs = PredictorInputs::for_frequency(
+                        page,
+                        f,
+                        &dvfs,
+                        Mpki::clamped(mpki),
+                        Utilization::clamped(util),
+                    );
                     let ghz = f.as_ghz();
                     let t = work / (ghz * 1.4e9) * (1.0 + 0.03 * mpki) * rng.jitter(0.01);
-                    let temp = 30.0 + 12.0 * ghz;
+                    let temp = Celsius::new(30.0 + 12.0 * ghz);
                     let v = dvfs.voltage_of(f).expect("table entry");
                     let p_dyn = 1.4 + 0.9 * v * v * ghz + 0.02 * mpki;
-                    let p = (p_dyn + truth_leakage().eval(v, temp)) * rng.jitter(0.01);
+                    let p = (p_dyn + truth_leakage().eval(v, temp).value()) * rng.jitter(0.01);
                     obs.push(TrainingObservation {
                         inputs,
-                        load_time_s: t,
-                        total_power_w: p,
-                        mean_temp_c: temp,
+                        load_time: Seconds::new(t),
+                        total_power: Watts::new(p),
+                        mean_temp: temp,
                     });
                 }
             }
@@ -299,11 +308,11 @@ mod tests {
         for vi in 0..8 {
             for ti in 0..5 {
                 let v = 0.78 + 0.34 * vi as f64 / 7.0;
-                let c = 22.0 + 50.0 * ti as f64 / 4.0;
+                let c = Celsius::new(22.0 + 50.0 * ti as f64 / 4.0);
                 out.push(LeakageObservation {
                     voltage: v,
-                    temp_c: c,
-                    power_w: truth_leakage().eval(v, c) * rng.jitter(0.01),
+                    temp: c,
+                    power: truth_leakage().eval(v, c) * rng.jitter(0.01),
                 });
             }
         }
@@ -358,7 +367,9 @@ mod tests {
             train(&all, &synth_leakage(6), &dvfs, TrainerConfig::default()).expect("trains");
         let t = truth_leakage();
         for (v, c) in [(0.85, 35.0), (1.05, 60.0)] {
-            let rel = (models.leakage.eval(v, c) - t.eval(v, c)).abs() / t.eval(v, c);
+            let c = Celsius::new(c);
+            let truth = t.eval(v, c).value();
+            let rel = (models.leakage.eval(v, c).value() - truth).abs() / truth;
             assert!(rel < 0.08, "leakage rel error {rel} at ({v},{c})");
         }
     }

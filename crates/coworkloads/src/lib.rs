@@ -31,7 +31,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use dora_sim_core::Rng;
 use dora_soc::task::{CyclicTask, PhaseProfile};
@@ -269,6 +269,7 @@ impl Kernel {
     /// A representative kernel per class — the trio used when the paper
     /// sweeps "an application from each memory intensity category":
     /// kmeans (low), bfs (medium), backprop (high).
+    #[allow(clippy::expect_used)] // the three names are members of the static suite
     pub fn representatives() -> [Kernel; 3] {
         [
             Kernel::by_name("kmeans").expect("in suite"),

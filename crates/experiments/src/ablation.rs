@@ -108,10 +108,11 @@ fn governor_variant(
             .iter()
             .find(|r| r.workload_id == w.id())
             .expect("ran above")
-            .ppw;
+            .ppw
+            .value();
         let mut governor = DoraGovernor::new(models.clone(), w.page.features, config);
         let r = run_scenario(w, &mut governor, scenario);
-        ratios.push(r.ppw / base_ppw);
+        ratios.push(r.ppw.value() / base_ppw);
         met += usize::from(r.met_deadline);
         switches += r.switches;
     }

@@ -2,6 +2,10 @@
 //! the combined report to stdout (tee it into `EXPERIMENTS.md`'s measured
 //! section). Pass `--quick` for a reduced training grid.
 
+// The driver reports wall-clock elapsed time for the whole run; this is
+// host-side reporting, not simulation state.
+#![allow(clippy::disallowed_methods)]
+
 use dora_experiments::pipeline::{Pipeline, Scale};
 use std::time::Instant;
 

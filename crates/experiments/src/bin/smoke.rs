@@ -1,6 +1,9 @@
 //! End-to-end smoke run: quick-train DORA, then compare it with the
 //! interactive baseline on a handful of workloads.
 
+// Smoke binary fails fast by design; budgeted in xtask/panic_allowlist.txt.
+#![allow(clippy::expect_used)]
+
 use dora_campaign::evaluate::{evaluate_with, Policy, Subset};
 use dora_campaign::workload::WorkloadSet;
 use dora_experiments::Pipeline;
@@ -64,12 +67,12 @@ fn main() {
         println!(
             "  DORA {:<22} t={:.2}s P={:.2}W ppw={:.4} met={} switches={} fmean={:.2}GHz",
             r.workload_id,
-            r.load_time_s,
-            r.mean_power_w,
-            r.ppw,
+            r.load_time.value(),
+            r.mean_power.value(),
+            r.ppw.value(),
             r.met_deadline,
             r.switches,
-            r.mean_freq_ghz
+            r.mean_frequency.as_ghz()
         );
     }
 }

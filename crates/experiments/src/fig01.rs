@@ -62,7 +62,9 @@ pub fn run(config: &ScenarioConfig) -> Fig01 {
     let [low, medium, high] = Kernel::representatives();
     let measure = |freq: Frequency, kernel: Option<&Kernel>| -> f64 {
         let mut pinned = PinnedGovernor::new("pin", freq);
-        run_page(reddit, kernel, &mut pinned, config).load_time_s
+        run_page(reddit, kernel, &mut pinned, config)
+            .load_time
+            .value()
     };
     let rows = config
         .board

@@ -55,9 +55,9 @@ fn idle_power_w(config: &ScenarioConfig, freq: Frequency) -> f64 {
     let mut board = Board::new(config.board.clone(), config.seed);
     board.set_frequency(freq).expect("table frequency");
     board.step(SimDuration::from_secs(30));
-    let e0 = board.energy_j();
+    let e0 = board.energy().value();
     board.step(SimDuration::from_secs(10));
-    (board.energy_j() - e0) / 10.0
+    (board.energy().value() - e0) / 10.0
 }
 
 /// The kernel's alone-run marginal energy per instruction (joules), i.e.
@@ -74,10 +74,10 @@ fn kernel_joules_per_instruction(
         .assign(2, Box::new(kernel.spawn(config.seed)))
         .expect("fresh board");
     board.step(config.warmup);
-    let e0 = board.energy_j();
+    let e0 = board.energy().value();
     let i0 = board.counters(2).instructions;
     board.step(SimDuration::from_secs(10));
-    let energy = board.energy_j() - e0 - idle_power_w * 10.0;
+    let energy = board.energy().value() - e0 - idle_power_w * 10.0;
     let instructions = board.counters(2).instructions - i0;
     (energy / instructions).max(0.0)
 }
@@ -100,8 +100,8 @@ pub fn run(config: &ScenarioConfig) -> Fig02 {
         let mut pin = PinnedGovernor::new("pin", freq);
         let alone = run_page(page, None, &mut pin, config);
         let j_per_instr = kernel_joules_per_instruction(config, kernel, freq, p_idle);
-        let e_co_hat = co.energy_j - p_idle * co.load_time_s;
-        let e_browser_hat = alone.energy_j - p_idle * alone.load_time_s;
+        let e_co_hat = co.energy.value() - p_idle * co.load_time.value();
+        let e_browser_hat = alone.energy.value() - p_idle * alone.load_time.value();
         let e_kernel_hat = j_per_instr * co.corun_instructions;
         ((e_co_hat - e_browser_hat - e_kernel_hat) / e_co_hat).max(0.0)
     };
@@ -112,7 +112,9 @@ pub fn run(config: &ScenarioConfig) -> Fig02 {
             let page = catalog.page(name).expect("page in catalog");
             let load = |kernel: &Kernel| -> f64 {
                 let mut pin = PinnedGovernor::new("pin", freq);
-                run_page(page, Some(kernel), &mut pin, config).load_time_s
+                run_page(page, Some(kernel), &mut pin, config)
+                    .load_time
+                    .value()
             };
             Fig02Row {
                 page: (*name).to_string(),

@@ -48,10 +48,11 @@ fn side(page: &str, config: &ScenarioConfig, executor: &Executor) -> Fig03Side {
     let ppw_at = |mhz: f64| -> f64 {
         o.sweep
             .iter()
-            .find(|p| (p.freq_mhz - mhz).abs() < 1e-9)
+            .find(|p| (p.frequency.as_mhz() - mhz).abs() < 1e-9)
             .expect("table frequency in sweep")
             .result
             .ppw
+            .value()
     };
     let ppw_fopt = ppw_at(o.fopt.as_mhz());
     let ppw_fmax = ppw_at(config.board.dvfs.max_frequency().as_mhz());
@@ -85,9 +86,9 @@ impl Fig03Side {
         ]);
         for p in &self.oracle.sweep {
             t.row(vec![
-                fmt_f(p.freq_mhz / 1000.0, 3),
-                fmt_f(p.result.load_time_s, 2),
-                fmt_f(p.result.ppw, 4),
+                fmt_f(p.frequency.as_ghz(), 3),
+                fmt_f(p.result.load_time.value(), 2),
+                fmt_f(p.result.ppw.value(), 4),
                 p.result.met_deadline.to_string(),
             ]);
         }
@@ -111,7 +112,7 @@ impl Fig03Side {
         self.oracle
             .sweep
             .iter()
-            .map(|p| (p.freq_mhz / 1000.0, p.result.ppw))
+            .map(|p| (p.frequency.as_ghz(), p.result.ppw.value()))
             .collect()
     }
 }

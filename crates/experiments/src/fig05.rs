@@ -76,16 +76,16 @@ pub fn run(pipeline: &Pipeline) -> Fig05 {
         let t_pred = pipeline.models.predict_load_time(&obs.inputs);
         let p_pred = pipeline
             .models
-            .predict_total_power(&obs.inputs, obs.mean_temp_c, true);
+            .predict_total_power(&obs.inputs, obs.mean_temp, true);
         let entry = per_page
             .entry(page)
             .or_insert((training, Vec::new(), Vec::new()));
         entry
             .1
-            .push(((t_pred - obs.load_time_s) / obs.load_time_s).abs());
+            .push(((t_pred.value() - obs.load_time.value()) / obs.load_time.value()).abs());
         entry
             .2
-            .push(((p_pred - obs.total_power_w) / obs.total_power_w).abs());
+            .push(((p_pred.value() - obs.total_power.value()) / obs.total_power.value()).abs());
     }
     let pages: Vec<PageError> = per_page
         .into_iter()

@@ -43,7 +43,7 @@ pub fn run(pipeline: &Pipeline, config: &ScenarioConfig) -> Fig06 {
     let at = |f: Frequency| {
         o.sweep
             .iter()
-            .find(|p| (p.freq_mhz - f.as_mhz()).abs() < 1e-9)
+            .find(|p| (p.frequency.as_mhz() - f.as_mhz()).abs() < 1e-9)
             .expect("table frequency in sweep")
             .result
             .clone()
@@ -55,8 +55,8 @@ pub fn run(pipeline: &Pipeline, config: &ScenarioConfig) -> Fig06 {
     let above_r = at(above_f);
     let deltas = |r: &dora_campaign::RunResult| {
         (
-            r.load_time_s / center.load_time_s - 1.0,
-            r.mean_power_w / center.mean_power_w - 1.0,
+            r.load_time.value() / center.load_time.value() - 1.0,
+            r.mean_power.value() / center.mean_power.value() - 1.0,
         )
     };
 
@@ -71,15 +71,15 @@ pub fn run(pipeline: &Pipeline, config: &ScenarioConfig) -> Fig06 {
     let t_pred = pipeline.models.predict_load_time(&inputs);
     let p_pred = pipeline
         .models
-        .predict_total_power(&inputs, center.final_temp_c, true);
+        .predict_total_power(&inputs, center.final_temp, true);
 
     Fig06 {
         fopt,
         below: deltas(&below_r),
         above: deltas(&above_r),
         model_errors_at_fopt: (
-            (t_pred - center.load_time_s) / center.load_time_s,
-            (p_pred - center.mean_power_w) / center.mean_power_w,
+            (t_pred.value() - center.load_time.value()) / center.load_time.value(),
+            (p_pred.value() - center.mean_power.value()) / center.mean_power.value(),
         ),
         oracle: o,
     }
@@ -97,18 +97,19 @@ impl Fig06 {
             self.oracle
                 .sweep
                 .iter()
-                .find(|p| (p.freq_mhz - mhz).abs() < 1e-9)
+                .find(|p| (p.frequency.as_mhz() - mhz).abs() < 1e-9)
                 .expect("in sweep")
                 .result
                 .ppw
+                .value()
         };
         let center = at(self.fopt.as_mhz());
         let neighbor_best = self
             .oracle
             .sweep
             .iter()
-            .filter(|p| (p.freq_mhz - self.fopt.as_mhz()).abs() > 1e-9)
-            .map(|p| p.result.ppw)
+            .filter(|p| (p.frequency.as_mhz() - self.fopt.as_mhz()).abs() > 1e-9)
+            .map(|p| p.result.ppw.value())
             .fold(0.0, f64::max);
         let gap = (center - neighbor_best) / center;
         ppw_error < gap.max(0.0) + 0.05 // small slack: adjacent bins may tie
@@ -119,16 +120,16 @@ impl Fig06 {
         let mut t = Table::new(vec!["Freq (GHz)".into(), "PPW".into(), "load (s)".into()]);
         for p in &self.oracle.sweep {
             t.row(vec![
-                fmt_f(p.freq_mhz / 1000.0, 3),
-                fmt_f(p.result.ppw, 4),
-                fmt_f(p.result.load_time_s, 2),
+                fmt_f(p.frequency.as_ghz(), 3),
+                fmt_f(p.result.ppw.value(), 4),
+                fmt_f(p.result.load_time.value(), 2),
             ]);
         }
         let series: Vec<(f64, f64)> = self
             .oracle
             .sweep
             .iter()
-            .map(|p| (p.freq_mhz / 1000.0, p.result.ppw))
+            .map(|p| (p.frequency.as_ghz(), p.result.ppw.value()))
             .collect();
         format!(
             "Fig. 6: PPW across frequencies, Youtube + high-intensity co-runner\n{}\

@@ -75,7 +75,7 @@ pub fn run(pipeline: &Pipeline) -> Fig07 {
                 .find(|o| o.workload_id == d.workload_id)
                 .expect("same workloads")
                 .ppw;
-            (d.workload_id.clone(), o / d.ppw)
+            (d.workload_id.clone(), o.value() / d.ppw.value())
         })
         .collect();
 

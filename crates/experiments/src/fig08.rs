@@ -55,7 +55,7 @@ pub fn run(pipeline: &Pipeline) -> Fig08 {
     let base: HashMap<String, f64> = evaluation
         .results_for("interactive")
         .iter()
-        .map(|r| (r.workload_id.clone(), r.ppw))
+        .map(|r| (r.workload_id.clone(), r.ppw.value()))
         .collect();
     let mut rows: Vec<Fig08Row> = pipeline
         .workloads
@@ -71,7 +71,7 @@ pub fn run(pipeline: &Pipeline) -> Fig08 {
                     .find(|r| r.workload_id == id)
                     .expect("every governor ran every workload")
                     .ppw;
-                normalized_ppw.insert(g.to_string(), ppw / base[&id]);
+                normalized_ppw.insert(g.to_string(), ppw.value() / base[&id]);
             }
             let oracle = &evaluation.oracles()[&id];
             let deadline_bound = match oracle.fd {

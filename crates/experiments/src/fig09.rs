@@ -73,14 +73,18 @@ pub fn run(pipeline: &Pipeline) -> Fig09 {
                 &pipeline.executor,
             )
             .expect("models supplied");
-            let base = eval.results_for("interactive")[0].ppw;
+            let base = eval.results_for("interactive")[0].ppw.value();
             let by_governor = GOVERNORS
                 .iter()
                 .map(|g| {
                     let r = eval.results_for(g)[0];
                     (
                         (*g).to_string(),
-                        (r.ppw / base, r.load_time_s, r.mean_freq_ghz),
+                        (
+                            r.ppw.value() / base,
+                            r.load_time.value(),
+                            r.mean_frequency.as_ghz(),
+                        ),
                     )
                 })
                 .collect();

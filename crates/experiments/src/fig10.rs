@@ -64,16 +64,20 @@ fn ablation(pipeline: &Pipeline) -> LeakageAblation {
     let workload = set
         .find_by_class("ESPN", Intensity::Medium)
         .expect("ESPN+medium exists");
-    let config = &pipeline.scenario.to_builder().deadline_s(4.0).build();
+    let config = &pipeline
+        .scenario
+        .to_builder()
+        .deadline(dora::units::Seconds::new(4.0))
+        .build();
     let mut interactive = InteractiveGovernor::new(config.board.dvfs.clone());
-    let base = run_scenario(workload, &mut interactive, config).ppw;
+    let base = run_scenario(workload, &mut interactive, config).ppw.value();
     let run_variant = |include_leakage: bool| {
         let mut g = DoraGovernor::new(
             pipeline.models.clone(),
             workload.page.features,
             DoraConfig {
                 include_leakage,
-                qos_target_s: 4.0,
+                qos_target: dora::units::Seconds::new(4.0),
                 ..DoraConfig::default()
             },
         );
@@ -82,14 +86,17 @@ fn ablation(pipeline: &Pipeline) -> LeakageAblation {
     let with = run_variant(true);
     let without = run_variant(false);
     LeakageAblation {
-        dora_nppw: with.ppw / base,
-        no_lkg_nppw: without.ppw / base,
-        mean_freqs_ghz: (with.mean_freq_ghz, without.mean_freq_ghz),
+        dora_nppw: with.ppw.value() / base,
+        no_lkg_nppw: without.ppw.value() / base,
+        mean_freqs_ghz: (
+            with.mean_frequency.as_ghz(),
+            without.mean_frequency.as_ghz(),
+        ),
     }
 }
 
 fn ambient_sweep(pipeline: &Pipeline, board: BoardConfig) -> AmbientSweep {
-    let ambient_c = board.thermal.ambient_c;
+    let ambient_c = board.thermal.ambient.value();
     let config = pipeline.scenario.to_builder().board(board).build();
     let set = WorkloadSet::paper54();
     let workload = set
@@ -103,7 +110,7 @@ fn ambient_sweep(pipeline: &Pipeline, board: BoardConfig) -> AmbientSweep {
         .map(|f| {
             let mut pinned = PinnedGovernor::new("pin", f);
             let r = run_scenario(workload, &mut pinned, &config);
-            (f.as_ghz(), r.mean_power_w, r.final_temp_c)
+            (f.as_ghz(), r.mean_power.value(), r.final_temp.value())
         })
         .collect();
     let o = oracle_with(workload, &config, &pipeline.executor);

@@ -49,23 +49,23 @@ pub fn run(pipeline: &Pipeline) -> Fig11 {
                 pipeline.models.clone(),
                 workload.page.features,
                 DoraConfig {
-                    qos_target_s: deadline_s,
+                    qos_target: dora::units::Seconds::new(deadline_s),
                     ..DoraConfig::default()
                 },
             );
             let config = pipeline
                 .scenario
                 .to_builder()
-                .deadline_s(deadline_s)
+                .deadline(dora::units::Seconds::new(deadline_s))
                 .build();
             let r = run_scenario(workload, &mut governor, &config);
             let fopt_ghz = dvfs
-                .nearest(dora_soc::Frequency::from_mhz(r.mean_freq_ghz * 1000.0))
+                .nearest(dora_soc::Frequency::from_mhz(r.mean_frequency.as_mhz()))
                 .as_ghz();
             Fig11Row {
                 deadline_s,
                 fopt_ghz,
-                load_time_s: r.load_time_s,
+                load_time_s: r.load_time.value(),
                 met: r.met_deadline,
             }
         })

@@ -87,7 +87,7 @@ pub fn run(pipeline: &Pipeline) -> Generalization {
                 page: (*name).to_string(),
                 dom_nodes: page.features.dom_nodes(),
                 kernel: kernel.name().to_string(),
-                dora_nppw: d.ppw / base.ppw,
+                dora_nppw: d.ppw.value() / base.ppw.value(),
                 dora_met: d.met_deadline,
                 feasible: perf.met_deadline,
             }

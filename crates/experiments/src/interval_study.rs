@@ -61,7 +61,7 @@ pub fn run(pipeline: &Pipeline) -> IntervalStudy {
         .iter()
         .map(|w| {
             let mut g = InteractiveGovernor::new(config.board.dvfs.clone());
-            run_scenario(w, &mut g, config).ppw
+            run_scenario(w, &mut g, config).ppw.value()
         })
         .collect();
 
@@ -83,10 +83,10 @@ pub fn run(pipeline: &Pipeline) -> IntervalStudy {
                     },
                 );
                 let r = run_scenario(w, &mut governor, config);
-                ratios.push(r.ppw / base);
+                ratios.push(r.ppw.value() / base);
                 met += usize::from(r.met_deadline);
                 switches += r.switches;
-                load_total += r.load_time_s;
+                load_total += r.load_time.value();
             }
             IntervalRow {
                 interval,
@@ -142,7 +142,7 @@ pub fn run_adaptation(pipeline: &Pipeline) -> Vec<AdaptationRow> {
                 pipeline.models.clone(),
                 page.features,
                 DoraConfig {
-                    qos_target_s: 2.5,
+                    qos_target: dora::units::Seconds::new(2.5),
                     decision_interval: interval,
                     ..DoraConfig::default()
                 },
@@ -183,7 +183,7 @@ pub fn run_adaptation(pipeline: &Pipeline) -> Vec<AdaptationRow> {
                     let now = board.counter_set().snapshot();
                     let delta = now.delta(&snap);
                     snap = now;
-                    let utilization: Vec<f64> = delta
+                    let utilization: Vec<_> = delta
                         .cores()
                         .iter()
                         .map(dora_soc::counters::CoreCounters::utilization)
@@ -195,7 +195,7 @@ pub fn run_adaptation(pipeline: &Pipeline) -> Vec<AdaptationRow> {
                         per_core_utilization: utilization,
                         shared_l2_mpki: delta.shared_l2_mpki(),
                         corun_utilization: delta.core(2).utilization(),
-                        temperature_c: board.temperature_c(),
+                        temperature: board.temperature(),
                     };
                     let f = governor.decide(&obs);
                     board.set_frequency(f).expect("table frequency");

@@ -34,7 +34,11 @@
 //! | [`generalization`] | DORA on synthesized never-seen pages |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Burn-down: exhibit regenerators still unwrap/expect on documented pipeline
+// invariants; each file is budgeted in xtask/panic_allowlist.txt and the
+// budget only ratchets down.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod ablation;
 pub mod fig01;

@@ -62,14 +62,15 @@ pub fn run(pipeline: &Pipeline) -> Overhead {
             // = load_time / interval.
             let _ = before_decisions;
             let interval_s = governor.decision_interval().as_secs_f64();
-            let decisions = (r.load_time_s / interval_s).ceil() as u64;
+            let load_s = r.load_time.value();
+            let decisions = (load_s / interval_s).ceil() as u64;
             OverheadRow {
                 workload_id: r.workload_id.clone(),
-                load_time_s: r.load_time_s,
+                load_time_s: load_s,
                 decisions,
                 switches: r.switches,
-                decide_frac: decisions as f64 * DECISION_COST_S / r.load_time_s,
-                switch_frac: r.switches as f64 * switch_stall_s / r.load_time_s,
+                decide_frac: decisions as f64 * DECISION_COST_S / load_s,
+                switch_frac: r.switches as f64 * switch_stall_s / load_s,
             }
         })
         .collect();

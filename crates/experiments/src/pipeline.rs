@@ -96,8 +96,11 @@ impl Pipeline {
             frequencies,
         };
         let observations = training_campaign_with(&set_for_training, &campaign_config, executor);
-        let leakage_observations =
-            leakage_calibration_with(&scenario.board, &[5.0, 15.0, 25.0, 35.0, 45.0], executor);
+        let leakage_observations = leakage_calibration_with(
+            &scenario.board,
+            &[5.0, 15.0, 25.0, 35.0, 45.0].map(dora::units::Celsius::new),
+            executor,
+        );
         let models = train(
             &observations,
             &leakage_observations,

@@ -65,15 +65,18 @@ pub fn run(config: &BoardConfig) -> Table02 {
         ),
         (
             "Platform power floor".to_string(),
-            format!("{:.2}W (display + rails)", config.power.platform_floor_w),
+            format!(
+                "{:.2}W (display + rails)",
+                config.power.platform_floor.value()
+            ),
         ),
         (
             "Thermal".to_string(),
             format!(
                 "lumped RC, R={:.0}K/W, tau={:.0}s, ambient {:.0}C",
                 config.thermal.resistance_k_per_w,
-                config.thermal.time_constant_s,
-                config.thermal.ambient_c
+                config.thermal.time_constant.value(),
+                config.thermal.ambient.value()
             ),
         ),
         (

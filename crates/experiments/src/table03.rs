@@ -58,14 +58,15 @@ pub fn run(config: &ScenarioConfig) -> Table03 {
         .map(|page| {
             let mut pinned = PinnedGovernor::new("pin", fmax);
             let r = run_page(page, None, &mut pinned, config);
+            let load_s = r.load_time.value();
             let consistent = match page.class {
-                PageClass::Low => r.load_time_s < 2.0,
-                PageClass::High => r.load_time_s > 2.0,
+                PageClass::Low => load_s < 2.0,
+                PageClass::High => load_s > 2.0,
             };
             PageRow {
                 name: page.name.to_string(),
                 class: page.class,
-                alone_load_s: r.load_time_s,
+                alone_load_s: load_s,
                 consistent,
             }
         })
@@ -80,7 +81,7 @@ pub fn run(config: &ScenarioConfig) -> Table03 {
                 .assign(2, Box::new(kernel.spawn(config.seed)))
                 .expect("fresh board");
             board.step(SimDuration::from_secs(1));
-            let solo_mpki = board.counters(2).mpki();
+            let solo_mpki = board.counters(2).mpki().value();
             KernelRow {
                 name: kernel.name().to_string(),
                 class: kernel.intensity(),

@@ -26,6 +26,7 @@
 //! ```
 //! use dora_governors::{Governor, GovernorObservation, InteractiveGovernor};
 //! use dora_soc::DvfsTable;
+//! use dora_sim_core::units::{Celsius, Mpki, Utilization};
 //! use dora_sim_core::{SimDuration, SimTime};
 //!
 //! let table = DvfsTable::msm8974();
@@ -34,18 +35,19 @@
 //!     now: SimTime::from_millis(20),
 //!     interval: SimDuration::from_millis(20),
 //!     frequency: table.min_frequency(),
-//!     per_core_utilization: vec![0.95, 0.2, 0.0, 0.0],
-//!     shared_l2_mpki: 3.0,
-//!     corun_utilization: 0.0,
-//!     temperature_c: 30.0,
+//!     per_core_utilization: [0.95, 0.2, 0.0, 0.0].map(Utilization::clamped).to_vec(),
+//!     shared_l2_mpki: Mpki::clamped(3.0),
+//!     corun_utilization: Utilization::ZERO,
+//!     temperature: Celsius::new(30.0),
 //! };
 //! let f = gov.decide(&obs);
 //! assert!(f > table.min_frequency()); // busy core -> clock up
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+use dora_sim_core::units::{Celsius, Mpki, Utilization};
 use dora_sim_core::{SimDuration, SimTime};
 use dora_soc::{DvfsTable, Frequency};
 use std::fmt;
@@ -62,21 +64,21 @@ pub struct GovernorObservation {
     /// The currently programmed core frequency.
     pub frequency: Frequency,
     /// Busy fraction of each core over the interval.
-    pub per_core_utilization: Vec<f64>,
+    pub per_core_utilization: Vec<Utilization>,
     /// Shared L2 MPKI over the interval (Table I X6).
-    pub shared_l2_mpki: f64,
+    pub shared_l2_mpki: Mpki,
     /// Utilization of the co-scheduled task's core (Table I X9).
-    pub corun_utilization: f64,
-    /// Die temperature in °C.
-    pub temperature_c: f64,
+    pub corun_utilization: Utilization,
+    /// Die temperature.
+    pub temperature: Celsius,
 }
 
 impl GovernorObservation {
     /// The highest per-core utilization (what `interactive` keys on).
-    pub fn max_utilization(&self) -> f64 {
+    pub fn max_utilization(&self) -> Utilization {
         self.per_core_utilization
             .iter()
-            .fold(0.0f64, |m, &u| m.max(u.clamp(0.0, 1.0)))
+            .fold(Utilization::ZERO, |m, &u| m.max(u))
     }
 }
 
@@ -219,12 +221,12 @@ impl Governor for PinnedGovernor {
 pub struct InteractiveConfig {
     /// Utilization at which the governor jumps straight to
     /// `hispeed_freq` (`go_hispeed_load`, default 85 %).
-    pub go_hispeed_load: f64,
+    pub go_hispeed_load: Utilization,
     /// The jump target (default: the table frequency nearest 1.19 GHz,
     /// matching typical MSM8974 tuning).
-    pub hispeed_freq_mhz: f64,
+    pub hispeed_freq: Frequency,
     /// The utilization the governor tries to hold (`target_load`).
-    pub target_load: f64,
+    pub target_load: Utilization,
     /// Sampling cadence (`timer_rate`, default 20 ms).
     pub timer_rate: SimDuration,
     /// Minimum dwell before clocking down (`min_sample_time`).
@@ -234,9 +236,9 @@ pub struct InteractiveConfig {
 impl Default for InteractiveConfig {
     fn default() -> Self {
         InteractiveConfig {
-            go_hispeed_load: 0.85,
-            hispeed_freq_mhz: 1190.4,
-            target_load: 0.80,
+            go_hispeed_load: Utilization::clamped(0.85),
+            hispeed_freq: Frequency::from_mhz(1190.4),
+            target_load: Utilization::clamped(0.80),
             timer_rate: SimDuration::from_millis(20),
             min_sample_time: SimDuration::from_millis(80),
         }
@@ -266,15 +268,16 @@ impl InteractiveGovernor {
     ///
     /// # Panics
     ///
-    /// Panics if the loads are outside `(0, 1]`.
+    /// Panics if either load is zero (a [`Utilization`] is already within
+    /// `[0, 1]` by construction).
     pub fn with_config(table: DvfsTable, config: InteractiveConfig) -> Self {
         assert!(
-            config.go_hispeed_load > 0.0 && config.go_hispeed_load <= 1.0,
-            "go_hispeed_load outside (0,1]"
+            config.go_hispeed_load > Utilization::ZERO,
+            "go_hispeed_load must be positive"
         );
         assert!(
-            config.target_load > 0.0 && config.target_load <= 1.0,
-            "target_load outside (0,1]"
+            config.target_load > Utilization::ZERO,
+            "target_load must be positive"
         );
         let floor = table.min_frequency();
         InteractiveGovernor {
@@ -286,8 +289,7 @@ impl InteractiveGovernor {
     }
 
     fn hispeed(&self) -> Frequency {
-        self.table
-            .nearest(Frequency::from_mhz(self.config.hispeed_freq_mhz))
+        self.table.nearest(self.config.hispeed_freq)
     }
 }
 
@@ -305,7 +307,7 @@ impl Governor for InteractiveGovernor {
         let current = observation.frequency;
 
         // Demanded frequency so that util·f_cur / f_new == target_load.
-        let demanded_mhz = current.as_mhz() * util / self.config.target_load;
+        let demanded_mhz = current.as_mhz() * util.value() / self.config.target_load.value();
         let mut target = self.table.ceil(Frequency::from_mhz(demanded_mhz));
 
         // Hispeed jump on a busy core.
@@ -340,7 +342,7 @@ impl Governor for InteractiveGovernor {
 #[derive(Debug, Clone)]
 pub struct OndemandGovernor {
     table: DvfsTable,
-    up_threshold: f64,
+    up_threshold: Utilization,
     interval: SimDuration,
 }
 
@@ -349,7 +351,7 @@ impl OndemandGovernor {
     pub fn new(table: DvfsTable) -> Self {
         OndemandGovernor {
             table,
-            up_threshold: 0.80,
+            up_threshold: Utilization::clamped(0.80),
             interval: SimDuration::from_millis(20),
         }
     }
@@ -358,11 +360,12 @@ impl OndemandGovernor {
     ///
     /// # Panics
     ///
-    /// Panics if `up_threshold` is outside `(0, 1]`.
-    pub fn with_threshold(table: DvfsTable, up_threshold: f64) -> Self {
+    /// Panics if `up_threshold` is zero (a [`Utilization`] is already
+    /// within `[0, 1]` by construction).
+    pub fn with_threshold(table: DvfsTable, up_threshold: Utilization) -> Self {
         assert!(
-            up_threshold > 0.0 && up_threshold <= 1.0,
-            "up_threshold outside (0,1]"
+            up_threshold > Utilization::ZERO,
+            "up_threshold must be positive"
         );
         OndemandGovernor {
             table,
@@ -388,7 +391,8 @@ impl Governor for OndemandGovernor {
         } else {
             // The kernel's proportional decay: next = fmax · util / threshold,
             // snapped to the next table frequency at or above the demand.
-            let demanded_mhz = self.table.max_frequency().as_mhz() * util / self.up_threshold;
+            let demanded_mhz =
+                self.table.max_frequency().as_mhz() * util.value() / self.up_threshold.value();
             self.table.ceil(Frequency::from_mhz(demanded_mhz))
         }
     }
@@ -399,8 +403,8 @@ impl Governor for OndemandGovernor {
 #[derive(Debug, Clone)]
 pub struct ConservativeGovernor {
     table: DvfsTable,
-    up_threshold: f64,
-    down_threshold: f64,
+    up_threshold: Utilization,
+    down_threshold: Utilization,
     interval: SimDuration,
 }
 
@@ -409,8 +413,8 @@ impl ConservativeGovernor {
     pub fn new(table: DvfsTable) -> Self {
         ConservativeGovernor {
             table,
-            up_threshold: 0.80,
-            down_threshold: 0.20,
+            up_threshold: Utilization::clamped(0.80),
+            down_threshold: Utilization::clamped(0.20),
             interval: SimDuration::from_millis(20),
         }
     }
@@ -446,26 +450,28 @@ impl Governor for ConservativeGovernor {
 /// Real phones throttle near their junction limit; the paper's Nexus 5
 /// reaches 65 °C at 1.9 GHz and would eventually throttle at sustained
 /// fmax. The wrapper engages a descending cap when the die crosses
-/// `trip_c` and releases it once the die cools below `release_c`
+/// `trip` and releases it once the die cools below `release`
 /// (hysteresis so the cap doesn't flap).
 ///
 /// # Example
 ///
 /// ```
 /// use dora_governors::{Governor, PerformanceGovernor, ThermalThrottle};
+/// use dora_sim_core::units::Celsius;
 /// use dora_soc::DvfsTable;
 ///
 /// let table = DvfsTable::msm8974();
 /// let inner = PerformanceGovernor::new(table.clone());
-/// let throttled = ThermalThrottle::new(Box::new(inner), table, 85.0, 75.0);
+/// let throttled =
+///     ThermalThrottle::new(Box::new(inner), table, Celsius::new(85.0), Celsius::new(75.0));
 /// assert_eq!(throttled.name(), "performance+throttle");
 /// ```
 #[derive(Debug)]
 pub struct ThermalThrottle {
     inner: Box<dyn Governor>,
     table: DvfsTable,
-    trip_c: f64,
-    release_c: f64,
+    trip: Celsius,
+    release: Celsius,
     name: String,
     cap: Option<Frequency>,
 }
@@ -475,23 +481,28 @@ impl ThermalThrottle {
     ///
     /// # Panics
     ///
-    /// Panics unless `release_c < trip_c` (the hysteresis band must be
+    /// Panics unless `release < trip` (the hysteresis band must be
     /// non-empty) or if either threshold is outside a plausible die range.
-    pub fn new(inner: Box<dyn Governor>, table: DvfsTable, trip_c: f64, release_c: f64) -> Self {
+    pub fn new(
+        inner: Box<dyn Governor>,
+        table: DvfsTable,
+        trip: Celsius,
+        release: Celsius,
+    ) -> Self {
         assert!(
-            release_c < trip_c,
-            "hysteresis requires release ({release_c}) below trip ({trip_c})"
+            release < trip,
+            "hysteresis requires release ({release}) below trip ({trip})"
         );
         assert!(
-            (40.0..=150.0).contains(&trip_c),
-            "implausible trip point {trip_c} C"
+            (40.0..=150.0).contains(&trip.value()),
+            "implausible trip point {trip}"
         );
         let name = format!("{}+throttle", inner.name());
         ThermalThrottle {
             inner,
             table,
-            trip_c,
-            release_c,
+            trip,
+            release,
             name,
             cap: None,
         }
@@ -515,7 +526,7 @@ impl Governor for ThermalThrottle {
     fn decide(&mut self, observation: &GovernorObservation) -> Frequency {
         let wanted = self.inner.decide(observation);
         // Update the cap state machine.
-        if observation.temperature_c >= self.trip_c {
+        if observation.temperature >= self.trip {
             // Engage, or ratchet one step further down while still hot.
             let next = match self.cap {
                 None => self
@@ -528,7 +539,7 @@ impl Governor for ThermalThrottle {
                     .unwrap_or_else(|| self.table.min_frequency()),
             };
             self.cap = Some(next);
-        } else if observation.temperature_c <= self.release_c {
+        } else if observation.temperature <= self.release {
             self.cap = None;
         }
         match self.cap {
@@ -556,10 +567,10 @@ mod tests {
             now: SimTime::from_millis(now_ms),
             interval: SimDuration::from_millis(20),
             frequency: freq,
-            per_core_utilization: utils,
-            shared_l2_mpki: 2.0,
-            corun_utilization: 0.5,
-            temperature_c: 35.0,
+            per_core_utilization: utils.into_iter().map(Utilization::clamped).collect(),
+            shared_l2_mpki: Mpki::clamped(2.0),
+            corun_utilization: Utilization::clamped(0.5),
+            temperature: Celsius::new(35.0),
         }
     }
 
@@ -668,7 +679,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "up_threshold")]
     fn ondemand_rejects_bad_threshold() {
-        let _ = OndemandGovernor::with_threshold(DvfsTable::msm8974(), 0.0);
+        let _ = OndemandGovernor::with_threshold(DvfsTable::msm8974(), Utilization::ZERO);
     }
 
     #[test]
@@ -690,17 +701,17 @@ mod tests {
             now: SimTime::ZERO,
             interval: SimDuration::from_millis(20),
             frequency: Frequency::from_mhz(300.0),
-            per_core_utilization: vec![1.7, -0.5, 0.4],
-            shared_l2_mpki: 0.0,
-            corun_utilization: 0.0,
-            temperature_c: 25.0,
+            per_core_utilization: [1.7, -0.5, 0.4].map(Utilization::clamped).to_vec(),
+            shared_l2_mpki: Mpki::ZERO,
+            corun_utilization: Utilization::ZERO,
+            temperature: Celsius::new(25.0),
         };
-        assert_eq!(o.max_utilization(), 1.0);
+        assert_eq!(o.max_utilization(), Utilization::ONE);
     }
 
     fn hot_obs(freq: Frequency, temp_c: f64) -> GovernorObservation {
         GovernorObservation {
-            temperature_c: temp_c,
+            temperature: Celsius::new(temp_c),
             ..obs(0, freq, vec![1.0])
         }
     }
@@ -711,8 +722,8 @@ mod tests {
         let mut g = ThermalThrottle::new(
             Box::new(PerformanceGovernor::new(t.clone())),
             t.clone(),
-            85.0,
-            75.0,
+            Celsius::new(85.0),
+            Celsius::new(75.0),
         );
         // Cool: passes the inner decision through.
         assert_eq!(
@@ -740,8 +751,8 @@ mod tests {
         let mut g = ThermalThrottle::new(
             Box::new(PowersaveGovernor::new(t.clone())),
             t.clone(),
-            85.0,
-            75.0,
+            Celsius::new(85.0),
+            Celsius::new(75.0),
         );
         // Even while hot, powersave's fmin is below any cap.
         assert_eq!(
@@ -754,7 +765,12 @@ mod tests {
     #[should_panic(expected = "hysteresis")]
     fn throttle_rejects_inverted_band() {
         let t = DvfsTable::msm8974();
-        let _ = ThermalThrottle::new(Box::new(PerformanceGovernor::new(t.clone())), t, 70.0, 80.0);
+        let _ = ThermalThrottle::new(
+            Box::new(PerformanceGovernor::new(t.clone())),
+            t,
+            Celsius::new(70.0),
+            Celsius::new(80.0),
+        );
     }
 
     #[test]

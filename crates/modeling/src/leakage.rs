@@ -15,6 +15,7 @@
 
 use crate::linalg::{lu_solve, Matrix};
 use crate::ModelError;
+use dora_sim_core::units::{Celsius, Watts};
 use dora_sim_core::Rng;
 
 /// The six Eq. 5 parameters.
@@ -39,15 +40,15 @@ pub struct Eq5Params {
 }
 
 impl Eq5Params {
-    /// Evaluates Eq. 5 at supply `voltage` (volts) and `temp_c` (°C).
-    pub fn eval(&self, voltage: f64, temp_c: f64) -> f64 {
-        let t = temp_c + 273.15;
+    /// Evaluates Eq. 5 at supply `voltage` (volts) and temperature `temp`.
+    pub fn eval(&self, voltage: f64, temp: Celsius) -> Watts {
+        let t = temp.to_kelvin();
         if t <= 0.0 || voltage <= 0.0 {
-            return 0.0;
+            return Watts::ZERO;
         }
         let sub = self.k1 * voltage * t * t * ((self.alpha * voltage + self.beta) / t).exp();
         let gate = self.k2 * (self.gamma * voltage + self.delta).exp();
-        sub + gate
+        Watts::new(sub + gate)
     }
 
     fn to_theta(self) -> [f64; 6] {
@@ -79,10 +80,10 @@ impl Eq5Params {
 pub struct LeakageObservation {
     /// Supply voltage in volts.
     pub voltage: f64,
-    /// Die temperature in °C.
-    pub temp_c: f64,
-    /// Measured leakage power in watts.
-    pub power_w: f64,
+    /// Die temperature.
+    pub temp: Celsius,
+    /// Measured leakage power.
+    pub power: Watts,
 }
 
 /// The result of a leakage fit.
@@ -110,7 +111,7 @@ impl LeakageFit {
 fn sse(params: &Eq5Params, obs: &[LeakageObservation]) -> f64 {
     obs.iter()
         .map(|o| {
-            let r = params.eval(o.voltage, o.temp_c) - o.power_w;
+            let r = params.eval(o.voltage, o.temp).value() - o.power.value();
             r * r
         })
         .sum()
@@ -135,7 +136,7 @@ fn lm_descend(
         // Residuals and numerical Jacobian.
         let residuals: Vec<f64> = obs
             .iter()
-            .map(|o| params.eval(o.voltage, o.temp_c) - o.power_w)
+            .map(|o| params.eval(o.voltage, o.temp).value() - o.power.value())
             .collect();
         let mut jac = Matrix::zeros(n, 6);
         for j in 0..6 {
@@ -144,7 +145,8 @@ fn lm_descend(
             bumped[j] += h;
             let p_bumped = Eq5Params::from_theta(&bumped);
             for (i, o) in obs.iter().enumerate() {
-                let d = (p_bumped.eval(o.voltage, o.temp_c) - params.eval(o.voltage, o.temp_c)) / h;
+                let d =
+                    (p_bumped.eval(o.voltage, o.temp) - params.eval(o.voltage, o.temp)).value() / h;
                 jac.set(i, j, if d.is_finite() { d } else { 0.0 });
             }
         }
@@ -203,6 +205,7 @@ fn lm_descend(
 ///
 /// ```
 /// use dora_modeling::leakage::{fit_leakage, Eq5Params, LeakageObservation};
+/// use dora_sim_core::units::Celsius;
 ///
 /// let truth = Eq5Params {
 ///     k1: 0.22, alpha: 800.0, beta: -4300.0,
@@ -211,13 +214,14 @@ fn lm_descend(
 /// let obs: Vec<LeakageObservation> = (0..40)
 ///     .map(|i| {
 ///         let v = 0.8 + 0.3 * (i % 8) as f64 / 7.0;
-///         let t = 25.0 + 50.0 * (i / 8) as f64 / 4.0;
-///         LeakageObservation { voltage: v, temp_c: t, power_w: truth.eval(v, t) }
+///         let t = Celsius::new(25.0 + 50.0 * (i / 8) as f64 / 4.0);
+///         LeakageObservation { voltage: v, temp: t, power: truth.eval(v, t) }
 ///     })
 ///     .collect();
 /// let fit = fit_leakage(&obs, 42)?;
 /// // Noiseless synthetic data: the fit reproduces the curve closely.
-/// assert!((fit.params.eval(1.0, 50.0) - truth.eval(1.0, 50.0)).abs() < 0.01);
+/// let mid = Celsius::new(50.0);
+/// assert!((fit.params.eval(1.0, mid) - truth.eval(1.0, mid)).value().abs() < 0.01);
 /// # Ok::<(), dora_modeling::ModelError>(())
 /// ```
 pub fn fit_leakage(obs: &[LeakageObservation], seed: u64) -> Result<LeakageFit, ModelError> {
@@ -230,9 +234,9 @@ pub fn fit_leakage(obs: &[LeakageObservation], seed: u64) -> Result<LeakageFit, 
     for o in obs {
         if o.voltage <= 0.0
             || !o.voltage.is_finite()
-            || !o.temp_c.is_finite()
-            || o.power_w < 0.0
-            || !o.power_w.is_finite()
+            || !o.temp.is_finite()
+            || o.power.value() < 0.0
+            || !o.power.is_finite()
         {
             return Err(ModelError::ShapeMismatch(format!(
                 "implausible observation {o:?}"
@@ -306,12 +310,12 @@ mod tests {
         for vi in 0..8 {
             for ti in 0..6 {
                 let v = 0.78 + 0.34 * vi as f64 / 7.0;
-                let c = 20.0 + 55.0 * ti as f64 / 5.0;
+                let c = Celsius::new(20.0 + 55.0 * ti as f64 / 5.0);
                 let p = t.eval(v, c) * rng.jitter(noise_sigma);
                 obs.push(LeakageObservation {
                     voltage: v,
-                    temp_c: c,
-                    power_w: p,
+                    temp: c,
+                    power: p,
                 });
             }
         }
@@ -327,7 +331,8 @@ mod tests {
         // extrapolation to a hotter corner.
         let t = truth();
         for (v, c) in [(0.8, 30.0), (1.0, 55.0), (1.1, 80.0)] {
-            let rel = (fit.params.eval(v, c) - t.eval(v, c)).abs() / t.eval(v, c);
+            let c = Celsius::new(c);
+            let rel = (fit.params.eval(v, c) - t.eval(v, c)).value().abs() / t.eval(v, c).value();
             assert!(rel < 0.02, "rel error {rel} at ({v}, {c})");
         }
     }
@@ -338,7 +343,8 @@ mod tests {
         let fit = fit_leakage(&obs, 9).expect("fits");
         let t = truth();
         for (v, c) in [(0.85, 40.0), (1.05, 60.0)] {
-            let rel = (fit.params.eval(v, c) - t.eval(v, c)).abs() / t.eval(v, c);
+            let c = Celsius::new(c);
+            let rel = (fit.params.eval(v, c) - t.eval(v, c)).value().abs() / t.eval(v, c).value();
             assert!(rel < 0.08, "rel error {rel} at ({v}, {c})");
         }
     }
@@ -364,7 +370,7 @@ mod tests {
     #[test]
     fn implausible_observations_rejected() {
         let mut obs = grid_observations(0.0, 1);
-        obs[0].power_w = f64::NAN;
+        obs[0].power = Watts::new(f64::NAN);
         assert!(matches!(
             fit_leakage(&obs, 1).unwrap_err(),
             ModelError::ShapeMismatch(_)
@@ -377,17 +383,17 @@ mod tests {
     #[test]
     fn eval_degenerate_inputs() {
         let t = truth();
-        assert_eq!(t.eval(0.0, 50.0), 0.0);
-        assert_eq!(t.eval(1.0, -300.0), 0.0);
+        assert_eq!(t.eval(0.0, Celsius::new(50.0)), Watts::ZERO);
+        assert_eq!(t.eval(1.0, Celsius::new(-300.0)), Watts::ZERO);
     }
 
     #[test]
     fn fitted_model_is_monotone_like_truth() {
         let obs = grid_observations(0.01, 5);
         let fit = fit_leakage(&obs, 13).expect("fits");
-        let mut last = 0.0;
+        let mut last = Watts::ZERO;
         for c in [25.0, 40.0, 55.0, 70.0] {
-            let p = fit.params.eval(1.0, c);
+            let p = fit.params.eval(1.0, Celsius::new(c));
             assert!(p > last, "fitted leakage must rise with temperature");
             last = p;
         }

@@ -13,6 +13,7 @@ pub struct SizeRange {
 }
 
 impl SizeRange {
+    #[allow(clippy::expect_used)] // drawn value is bounded by a usize range
     fn draw(&self, rng: &mut TestRng) -> usize {
         if self.min + 1 >= self.max {
             self.min

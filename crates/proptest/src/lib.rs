@@ -16,7 +16,7 @@
 //!   ranges, tuples and vectors, so only those are implemented.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod collection;
 pub mod strategy;

@@ -36,13 +36,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod rng;
 mod time;
 
 pub mod stats;
 pub mod trace;
+pub mod units;
 
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

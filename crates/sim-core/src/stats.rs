@@ -275,8 +275,7 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if self.dirty {
-            self.sorted
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            self.sorted.sort_by(f64::total_cmp);
             self.dirty = false;
         }
     }

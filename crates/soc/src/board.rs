@@ -18,6 +18,7 @@ use crate::task::Task;
 use crate::thermal::{ThermalNode, ThermalParams};
 use dora_sim_core::stats::TimeWeighted;
 use dora_sim_core::trace::TraceRing;
+use dora_sim_core::units::{Celsius, Joules, Seconds, Watts};
 use dora_sim_core::{SimDuration, SimTime};
 use std::error::Error;
 use std::fmt;
@@ -144,33 +145,33 @@ impl BoardConfig {
     }
 }
 
-/// Cumulative device energy itemized by power-model component (joules).
+/// Cumulative device energy itemized by power-model component.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Platform floor (display, rails).
-    pub platform_j: f64,
+    pub platform: Joules,
     /// Per-core dynamic switching energy.
-    pub core_dynamic_j: f64,
+    pub core_dynamic: Joules,
     /// Uncore/interconnect energy.
-    pub uncore_j: f64,
+    pub uncore: Joules,
     /// DRAM traffic energy.
-    pub dram_j: f64,
+    pub dram: Joules,
     /// Eq. 5 leakage energy.
-    pub leakage_j: f64,
+    pub leakage: Joules,
 }
 
 impl EnergyBreakdown {
-    fn accumulate(&mut self, power: &PowerBreakdown, dt_s: f64) {
-        self.platform_j += power.platform_w * dt_s;
-        self.core_dynamic_j += power.core_dynamic_w * dt_s;
-        self.uncore_j += power.uncore_w * dt_s;
-        self.dram_j += power.dram_w * dt_s;
-        self.leakage_j += power.leakage_w * dt_s;
+    fn accumulate(&mut self, power: &PowerBreakdown, dt: Seconds) {
+        self.platform += power.platform * dt;
+        self.core_dynamic += power.core_dynamic * dt;
+        self.uncore += power.uncore * dt;
+        self.dram += power.dram * dt;
+        self.leakage += power.leakage * dt;
     }
 
     /// The sum of all components.
-    pub fn total_j(&self) -> f64 {
-        self.platform_j + self.core_dynamic_j + self.uncore_j + self.dram_j + self.leakage_j
+    pub fn total(&self) -> Joules {
+        self.platform + self.core_dynamic + self.uncore + self.dram + self.leakage
     }
 }
 
@@ -218,7 +219,7 @@ pub struct Board {
     counters: CounterSet,
     freq_index: usize,
     now: SimTime,
-    energy_j: f64,
+    energy: Joules,
     power_track: TimeWeighted,
     last_power: PowerBreakdown,
     switch_count: u64,
@@ -237,6 +238,7 @@ impl Board {
     /// # Panics
     ///
     /// Panics if the configuration fails [`BoardConfig::validate`].
+    #[allow(clippy::expect_used)] // constructor contract: documented # Panics
     pub fn new(config: BoardConfig, seed: u64) -> Self {
         config.validate().expect("invalid board configuration");
         let cache = SharedCache::new(config.l2_capacity_bytes);
@@ -260,7 +262,7 @@ impl Board {
             counters,
             freq_index: 0,
             now: SimTime::ZERO,
-            energy_j: 0.0,
+            energy: Joules::ZERO,
             power_track: TimeWeighted::new(),
             last_power: PowerBreakdown::default(),
             switch_count: 0,
@@ -317,19 +319,19 @@ impl Board {
         self.opp().frequency
     }
 
-    /// Die temperature in °C.
-    pub fn temperature_c(&self) -> f64 {
-        self.thermal.temperature_c()
+    /// Die temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.thermal.temperature()
     }
 
-    /// Peak die temperature so far in °C.
-    pub fn peak_temperature_c(&self) -> f64 {
-        self.thermal.peak_c()
+    /// Peak die temperature so far.
+    pub fn peak_temperature(&self) -> Celsius {
+        self.thermal.peak()
     }
 
-    /// Total device energy consumed so far, in joules.
-    pub fn energy_j(&self) -> f64 {
-        self.energy_j
+    /// Total device energy consumed so far.
+    pub fn energy(&self) -> Joules {
+        self.energy
     }
 
     /// The cumulative energy itemized by power-model component.
@@ -337,9 +339,9 @@ impl Board {
         self.energy_breakdown
     }
 
-    /// Time-weighted mean device power so far, in watts.
-    pub fn mean_power_w(&self) -> f64 {
-        self.power_track.mean()
+    /// Time-weighted mean device power so far.
+    pub fn mean_power(&self) -> Watts {
+        Watts::new(self.power_track.mean())
     }
 
     /// The itemized power of the most recent quantum.
@@ -461,6 +463,7 @@ impl Board {
     }
 
     /// One quantum of execution.
+    #[allow(clippy::expect_used)] // internal invariant: active core indices hold unfinished tasks
     fn step_quantum(&mut self, dt: SimDuration) {
         let dt_s = dt.as_secs_f64();
         // Consume pending DVFS stall: it eats into the available run time
@@ -559,7 +562,7 @@ impl Board {
             core_utils[core] = busy_frac;
             let c = self.counters.core_mut(core);
             c.instructions += executed;
-            c.busy_time_s += busy_frac * dt_s;
+            c.busy_time += Seconds::new(busy_frac * dt_s);
             let accesses = executed * p.l2_apki / 1000.0;
             c.l2_accesses += accesses;
             c.l2_misses += accesses * miss_ratios[k];
@@ -588,7 +591,7 @@ impl Board {
         // Wall time advances for every enabled core.
         for (i, slot) in self.slots.iter().enumerate() {
             if slot.enabled {
-                self.counters.core_mut(i).total_time_s += dt_s;
+                self.counters.core_mut(i).total_time += Seconds::new(dt_s);
             }
         }
 
@@ -597,11 +600,12 @@ impl Board {
         let served_dram = dram_demand * (avail_s / dt_s.max(1e-12));
         let breakdown =
             self.power_model
-                .evaluate(opp, &core_utils, served_dram, self.thermal.temperature_c());
-        self.energy_j += breakdown.total_w() * dt_s;
-        self.energy_breakdown.accumulate(&breakdown, dt_s);
-        self.power_track.record(breakdown.total_w(), dt_s);
-        self.thermal.step(breakdown.soc_w(), dt_s);
+                .evaluate(opp, &core_utils, served_dram, self.thermal.temperature());
+        let dt_span = Seconds::new(dt_s);
+        self.energy += breakdown.total() * dt_span;
+        self.energy_breakdown.accumulate(&breakdown, dt_span);
+        self.power_track.record(breakdown.total().value(), dt_s);
+        self.thermal.step(breakdown.soc(), dt_span);
         self.last_power = breakdown;
         self.now += dt;
     }
@@ -766,10 +770,10 @@ mod tests {
         b.assign(0, Box::new(LoopTask::compute_bound("spin", 1.0)))
             .expect("free");
         b.step(SimDuration::from_secs(2));
-        let e = b.energy_j();
-        let p = b.mean_power_w();
-        assert!((p - e / 2.0).abs() < 1e-9);
-        assert!((1.5..5.0).contains(&p), "power {p}");
+        let e = b.energy();
+        let p = b.mean_power();
+        assert!((p - e / Seconds::new(2.0)).value().abs() < 1e-9);
+        assert!((1.5..5.0).contains(&p.value()), "power {p}");
     }
 
     #[test]
@@ -781,10 +785,10 @@ mod tests {
             .expect("free");
         b.assign(1, Box::new(LoopTask::compute_bound("spin2", 1.0)))
             .expect("free");
-        let t0 = b.temperature_c();
+        let t0 = b.temperature().value();
         b.step(SimDuration::from_secs(20));
-        assert!(b.temperature_c() > t0 + 5.0);
-        assert!(b.peak_temperature_c() >= b.temperature_c());
+        assert!(b.temperature().value() > t0 + 5.0);
+        assert!(b.peak_temperature() >= b.temperature());
     }
 
     #[test]
@@ -837,7 +841,7 @@ mod tests {
         b.assign(2, Box::new(LoopTask::compute_bound("duty", 0.4)))
             .expect("free");
         b.step(SimDuration::from_secs(1));
-        let u = b.counters(2).utilization();
+        let u = b.counters(2).utilization().value();
         assert!((u - 0.4).abs() < 0.05, "utilization {u}");
     }
 
@@ -845,8 +849,8 @@ mod tests {
     fn disabled_core_accumulates_no_wall_time() {
         let mut b = board();
         b.step(SimDuration::from_millis(100));
-        assert_eq!(b.counters(3).total_time_s, 0.0);
-        assert!(b.counters(0).total_time_s > 0.0);
+        assert_eq!(b.counters(3).total_time, Seconds::ZERO);
+        assert!(b.counters(0).total_time > Seconds::ZERO);
     }
 
     #[test]
@@ -862,15 +866,15 @@ mod tests {
         .expect("free");
         b.step(SimDuration::from_secs(3));
         let e = b.energy_breakdown();
-        assert!((e.total_j() - b.energy_j()).abs() < 1e-6);
+        assert!((e.total() - b.energy()).value().abs() < 1e-6);
         // Every component participated.
-        assert!(e.platform_j > 0.0);
-        assert!(e.core_dynamic_j > 0.0);
-        assert!(e.uncore_j > 0.0);
-        assert!(e.dram_j > 0.0, "{e:?}");
-        assert!(e.leakage_j > 0.0);
+        assert!(e.platform > Joules::ZERO);
+        assert!(e.core_dynamic > Joules::ZERO);
+        assert!(e.uncore > Joules::ZERO);
+        assert!(e.dram > Joules::ZERO, "{e:?}");
+        assert!(e.leakage > Joules::ZERO);
         // The platform floor dominates a 3 s window at moderate load.
-        assert!(e.platform_j > e.dram_j, "{e:?}");
+        assert!(e.platform > e.dram, "{e:?}");
     }
 
     #[test]

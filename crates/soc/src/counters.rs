@@ -10,15 +10,17 @@
 //! and difference them with [`CounterSet::delta`] to get per-interval rates,
 //! exactly like reading `/proc`-exported counters twice.
 
+use dora_sim_core::units::{Mpki, Seconds, Utilization};
+
 /// Monotonic counters for one core.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CoreCounters {
     /// Retired instructions.
     pub instructions: f64,
-    /// Seconds the core spent executing (not idle).
-    pub busy_time_s: f64,
-    /// Seconds of wall-clock time the core existed (powered on).
-    pub total_time_s: f64,
+    /// Time the core spent executing (not idle).
+    pub busy_time: Seconds,
+    /// Wall-clock time the core existed (powered on).
+    pub total_time: Seconds,
     /// Accesses reaching the shared L2.
     pub l2_accesses: f64,
     /// Shared-L2 misses.
@@ -27,11 +29,11 @@ pub struct CoreCounters {
 
 impl CoreCounters {
     /// L2 misses per kilo-instruction. Zero when no instructions retired.
-    pub fn mpki(&self) -> f64 {
+    pub fn mpki(&self) -> Mpki {
         if self.instructions <= 0.0 {
-            0.0
+            Mpki::ZERO
         } else {
-            self.l2_misses / (self.instructions / 1000.0)
+            Mpki::clamped(self.l2_misses / (self.instructions / 1000.0))
         }
     }
 
@@ -45,11 +47,11 @@ impl CoreCounters {
     }
 
     /// Busy fraction in `[0, 1]`. Zero when no wall time has elapsed.
-    pub fn utilization(&self) -> f64 {
-        if self.total_time_s <= 0.0 {
-            0.0
+    pub fn utilization(&self) -> Utilization {
+        if self.total_time.value() <= 0.0 {
+            Utilization::ZERO
         } else {
-            (self.busy_time_s / self.total_time_s).clamp(0.0, 1.0)
+            Utilization::clamped(self.busy_time / self.total_time)
         }
     }
 
@@ -58,8 +60,8 @@ impl CoreCounters {
     pub fn delta(&self, earlier: &CoreCounters) -> CoreCounters {
         CoreCounters {
             instructions: (self.instructions - earlier.instructions).max(0.0),
-            busy_time_s: (self.busy_time_s - earlier.busy_time_s).max(0.0),
-            total_time_s: (self.total_time_s - earlier.total_time_s).max(0.0),
+            busy_time: (self.busy_time - earlier.busy_time).max(Seconds::ZERO),
+            total_time: (self.total_time - earlier.total_time).max(Seconds::ZERO),
             l2_accesses: (self.l2_accesses - earlier.l2_accesses).max(0.0),
             l2_misses: (self.l2_misses - earlier.l2_misses).max(0.0),
         }
@@ -68,8 +70,8 @@ impl CoreCounters {
     /// Accumulates another counter block into this one.
     pub fn add(&mut self, other: &CoreCounters) {
         self.instructions += other.instructions;
-        self.busy_time_s += other.busy_time_s;
-        self.total_time_s += other.total_time_s;
+        self.busy_time += other.busy_time;
+        self.total_time += other.total_time;
         self.l2_accesses += other.l2_accesses;
         self.l2_misses += other.l2_misses;
     }
@@ -90,7 +92,7 @@ impl CoreCounters {
 /// set.core_mut(0).l2_misses = 9.0e3;
 /// let delta = set.delta(&snap);
 /// assert_eq!(delta.core(0).instructions, 1.0e6);
-/// assert_eq!(delta.core(0).mpki(), 4.0);
+/// assert_eq!(delta.core(0).mpki().value(), 4.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CounterSet {
@@ -181,7 +183,7 @@ impl CounterSet {
     /// Combined L2 MPKI across every core — the "shared L2 cache MPKI"
     /// DORA monitors (the paper's X6 covers total pressure on the shared
     /// cache, not a single core's).
-    pub fn shared_l2_mpki(&self) -> f64 {
+    pub fn shared_l2_mpki(&self) -> Mpki {
         let ids: Vec<usize> = (0..self.cores.len()).collect();
         self.aggregate(&ids).mpki()
     }
@@ -194,8 +196,8 @@ mod tests {
     fn counters(instr: f64, busy: f64, total: f64, acc: f64, miss: f64) -> CoreCounters {
         CoreCounters {
             instructions: instr,
-            busy_time_s: busy,
-            total_time_s: total,
+            busy_time: Seconds::new(busy),
+            total_time: Seconds::new(total),
             l2_accesses: acc,
             l2_misses: miss,
         }
@@ -204,17 +206,17 @@ mod tests {
     #[test]
     fn derived_rates() {
         let c = counters(2.0e6, 0.5, 1.0, 4.0e4, 1.0e4);
-        assert_eq!(c.mpki(), 5.0);
+        assert_eq!(c.mpki().value(), 5.0);
         assert_eq!(c.apki(), 20.0);
-        assert_eq!(c.utilization(), 0.5);
+        assert_eq!(c.utilization().value(), 0.5);
     }
 
     #[test]
     fn zero_instruction_rates_are_zero() {
         let c = CoreCounters::default();
-        assert_eq!(c.mpki(), 0.0);
+        assert_eq!(c.mpki(), Mpki::ZERO);
         assert_eq!(c.apki(), 0.0);
-        assert_eq!(c.utilization(), 0.0);
+        assert_eq!(c.utilization(), Utilization::ZERO);
     }
 
     #[test]
@@ -235,10 +237,10 @@ mod tests {
         set.core_mut(2).instructions = 100.0;
         let snap = set.snapshot();
         set.core_mut(2).instructions = 350.0;
-        set.core_mut(0).busy_time_s = 0.25;
+        set.core_mut(0).busy_time = Seconds::new(0.25);
         let d = set.delta(&snap);
         assert_eq!(d.core(2).instructions, 250.0);
-        assert_eq!(d.core(0).busy_time_s, 0.25);
+        assert_eq!(d.core(0).busy_time, Seconds::new(0.25));
         assert_eq!(d.core(1).instructions, 0.0);
     }
 
@@ -250,7 +252,7 @@ mod tests {
         *set.core_mut(2) = counters(5000.0, 1.0, 1.0, 999.0, 500.0);
         let browser = set.aggregate(&[0, 1]);
         assert_eq!(browser.instructions, 4000.0);
-        assert_eq!(browser.mpki(), 4.0);
+        assert_eq!(browser.mpki().value(), 4.0);
         // Shared MPKI includes the noisy third core.
         assert!(set.shared_l2_mpki() > browser.mpki());
     }

@@ -131,6 +131,53 @@ pub struct Opp {
     pub voltage: f64,
 }
 
+/// The MSM8974 operating points as integer `(kHz, millivolt)` pairs.
+///
+/// Kept as a `const` so sortedness and duplicate-freedom are proven at
+/// compile time by the `const` assertion below — a corrupted table edit
+/// fails `cargo build`, not a campaign three layers up. (`xtask lint`
+/// additionally verifies this guard stays in place.)
+pub const MSM8974_KHZ_MV: [(u64, u32); 14] = [
+    (300_000, 800),
+    (422_400, 810),
+    (576_000, 825),
+    (729_600, 840),
+    (806_400, 850),
+    (883_200, 860),
+    (960_000, 875),
+    (1_190_400, 900),
+    (1_267_200, 910),
+    (1_497_600, 945),
+    (1_728_000, 974),
+    (1_958_400, 1_030),
+    (2_112_000, 1_065),
+    (2_265_600, 1_100),
+];
+
+/// Compile-time check that a `(kHz, mV)` table is strictly ascending in
+/// frequency (which also rules out duplicates) with positive voltages.
+const fn khz_mv_table_is_valid(table: &[(u64, u32)]) -> bool {
+    if table.is_empty() {
+        return false;
+    }
+    let mut i = 0;
+    while i < table.len() {
+        if table[i].1 == 0 {
+            return false;
+        }
+        if i > 0 && table[i - 1].0 >= table[i].0 {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+const _: () = assert!(
+    khz_mv_table_is_valid(&MSM8974_KHZ_MV),
+    "MSM8974 DVFS table must be strictly ascending with positive voltages"
+);
+
 /// The table of available operating points, sorted ascending by frequency.
 ///
 /// # Example
@@ -185,23 +232,15 @@ impl DvfsTable {
     /// ranging from 300 MHz to 2265 MHz"). Voltages follow the published
     /// Krait voltage-ladder shape: ~0.80 V at the bottom, ~1.10 V at the top
     /// with a super-linear tail.
+    ///
+    /// Built from [`MSM8974_KHZ_MV`], whose ordering is checked at
+    /// compile time.
     pub fn msm8974() -> Self {
-        DvfsTable::new(&[
-            (300.0, 0.800),
-            (422.4, 0.810),
-            (576.0, 0.825),
-            (729.6, 0.840),
-            (806.4, 0.850),
-            (883.2, 0.860),
-            (960.0, 0.875),
-            (1190.4, 0.900),
-            (1267.2, 0.910),
-            (1497.6, 0.945),
-            (1728.0, 0.974),
-            (1958.4, 1.030),
-            (2112.0, 1.065),
-            (2265.6, 1.100),
-        ])
+        let points: Vec<(f64, f64)> = MSM8974_KHZ_MV
+            .iter()
+            .map(|&(khz, mv)| (khz as f64 / 1000.0, mv as f64 / 1000.0))
+            .collect();
+        DvfsTable::new(&points)
     }
 
     /// Number of operating points.
@@ -253,17 +292,28 @@ impl DvfsTable {
         self.index_of(f).map(|i| self.opps[i].voltage)
     }
 
+    /// The operating point whose frequency is closest to `target` (ties
+    /// resolve downward). The total alternative to
+    /// `voltage_of(nearest(f)).unwrap()`: every lookup that only needs the
+    /// nearest entry gets its voltage without an unwrap.
+    pub fn nearest_opp(&self, target: Frequency) -> Opp {
+        let mut best = self.opps[0];
+        let mut best_d = best.frequency.as_khz().abs_diff(target.as_khz());
+        for &opp in &self.opps[1..] {
+            let d = opp.frequency.as_khz().abs_diff(target.as_khz());
+            // Strict improvement only: on a tie the earlier (lower)
+            // frequency wins because the table ascends.
+            if d < best_d {
+                best = opp;
+                best_d = d;
+            }
+        }
+        best
+    }
+
     /// The table frequency closest to `target` (ties resolve downward).
     pub fn nearest(&self, target: Frequency) -> Frequency {
-        self.opps
-            .iter()
-            .map(|o| o.frequency)
-            .min_by_key(|f| {
-                let d = f.as_khz().abs_diff(target.as_khz());
-                // Tie-break toward the lower frequency.
-                (d, f.as_khz())
-            })
-            .expect("table is non-empty")
+        self.nearest_opp(target).frequency
     }
 
     /// The lowest table frequency `>= target`, or the maximum if none.

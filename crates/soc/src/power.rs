@@ -21,6 +21,7 @@
 //!   `P_lkg = k1·v·T²·e^((α·v+β)/T) + k2·e^(γ·v+δ)` with `T` in kelvin.
 
 use crate::dvfs::Opp;
+use dora_sim_core::units::{Celsius, Watts};
 
 /// Parameters of the Eq. 5 leakage model.
 ///
@@ -57,16 +58,16 @@ impl LeakageParams {
         }
     }
 
-    /// Evaluates the leakage power in watts at supply `voltage` (volts)
-    /// and die temperature `temp_c` (°C).
-    pub fn power_w(&self, voltage: f64, temp_c: f64) -> f64 {
-        let t = temp_c + 273.15;
+    /// Evaluates the leakage power at supply `voltage` (volts) and die
+    /// temperature `temp`.
+    pub fn power(&self, voltage: f64, temp: Celsius) -> Watts {
+        let t = temp.to_kelvin();
         if t <= 0.0 || !voltage.is_finite() || voltage <= 0.0 {
-            return 0.0;
+            return Watts::ZERO;
         }
         let sub = self.k1 * voltage * t * t * ((self.alpha * voltage + self.beta) / t).exp();
         let gate = self.k2 * (self.gamma * voltage + self.delta).exp();
-        (sub + gate).max(0.0)
+        Watts::new((sub + gate).max(0.0))
     }
 }
 
@@ -74,8 +75,8 @@ impl LeakageParams {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerParams {
     /// Constant platform power (display at browsing brightness, rails,
-    /// idle radios) in watts.
-    pub platform_floor_w: f64,
+    /// idle radios).
+    pub platform_floor: Watts,
     /// Effective switching capacitance per core in farads.
     pub ceff_core_f: f64,
     /// Uncore dynamic power per GHz of core clock, in watts, scaled by
@@ -92,7 +93,7 @@ impl PowerParams {
     /// Nexus-5-like defaults.
     pub fn nexus5() -> Self {
         PowerParams {
-            platform_floor_w: 1.45,
+            platform_floor: Watts::new(1.45),
             ceff_core_f: 0.30e-9,
             uncore_w_per_ghz: 0.18,
             dram_j_per_byte: 150.0e-12,
@@ -107,7 +108,7 @@ impl PowerParams {
     /// Returns a message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         let fields = [
-            ("platform_floor_w", self.platform_floor_w),
+            ("platform_floor", self.platform_floor.value()),
             ("ceff_core_f", self.ceff_core_f),
             ("uncore_w_per_ghz", self.uncore_w_per_ghz),
             ("dram_j_per_byte", self.dram_j_per_byte),
@@ -124,28 +125,28 @@ impl PowerParams {
 /// Itemized power at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PowerBreakdown {
-    /// Constant platform (display etc.) watts.
-    pub platform_w: f64,
-    /// Sum of per-core dynamic watts.
-    pub core_dynamic_w: f64,
-    /// Uncore/interconnect dynamic watts.
-    pub uncore_w: f64,
-    /// DRAM traffic watts.
-    pub dram_w: f64,
-    /// Eq. 5 leakage watts.
-    pub leakage_w: f64,
+    /// Constant platform (display etc.) power.
+    pub platform: Watts,
+    /// Sum of per-core dynamic power.
+    pub core_dynamic: Watts,
+    /// Uncore/interconnect dynamic power.
+    pub uncore: Watts,
+    /// DRAM traffic power.
+    pub dram: Watts,
+    /// Eq. 5 leakage power.
+    pub leakage: Watts,
 }
 
 impl PowerBreakdown {
-    /// Total device power in watts.
-    pub fn total_w(&self) -> f64 {
-        self.platform_w + self.core_dynamic_w + self.uncore_w + self.dram_w + self.leakage_w
+    /// Total device power.
+    pub fn total(&self) -> Watts {
+        self.platform + self.core_dynamic + self.uncore + self.dram + self.leakage
     }
 
     /// The SoC-only share (everything except the platform floor) — the
     /// portion that heats the die.
-    pub fn soc_w(&self) -> f64 {
-        self.core_dynamic_w + self.uncore_w + self.leakage_w + self.dram_w * 0.5
+    pub fn soc(&self) -> Watts {
+        self.core_dynamic + self.uncore + self.leakage + self.dram * 0.5
     }
 }
 
@@ -154,14 +155,16 @@ impl PowerBreakdown {
 /// # Example
 ///
 /// ```
+/// use dora_sim_core::units::Celsius;
 /// use dora_soc::dvfs::DvfsTable;
 /// use dora_soc::power::{PowerModel, PowerParams};
 ///
 /// let model = PowerModel::new(PowerParams::nexus5()).expect("valid params");
 /// let table = DvfsTable::msm8974();
-/// let low = model.evaluate(table.opp(0), &[1.0, 0.0, 0.0, 0.0], 0.0, 40.0);
-/// let high = model.evaluate(table.opp(13), &[1.0, 0.0, 0.0, 0.0], 0.0, 40.0);
-/// assert!(high.total_w() > low.total_w());
+/// let t = Celsius::new(40.0);
+/// let low = model.evaluate(table.opp(0), &[1.0, 0.0, 0.0, 0.0], 0.0, t);
+/// let high = model.evaluate(table.opp(13), &[1.0, 0.0, 0.0, 0.0], 0.0, t);
+/// assert!(high.total() > low.total());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
@@ -190,18 +193,18 @@ impl PowerModel {
     /// * `core_utilizations` — busy fraction per core in `[0, 1]`; powered
     ///   off cores should be 0.
     /// * `dram_bytes_per_sec` — aggregate DRAM traffic.
-    /// * `temp_c` — die temperature for the leakage term.
+    /// * `temp` — die temperature for the leakage term.
     pub fn evaluate(
         &self,
         opp: Opp,
         core_utilizations: &[f64],
         dram_bytes_per_sec: f64,
-        temp_c: f64,
+        temp: Celsius,
     ) -> PowerBreakdown {
         let p = &self.params;
         let v = opp.voltage;
         let f_hz = opp.frequency.as_hz();
-        let core_dynamic_w: f64 = core_utilizations
+        let core_dynamic: f64 = core_utilizations
             .iter()
             .map(|u| u.clamp(0.0, 1.0) * p.ceff_core_f * v * v * f_hz)
             .sum();
@@ -214,15 +217,15 @@ impl PowerModel {
                 .sum::<f64>()
                 / core_utilizations.len() as f64
         };
-        let uncore_w = p.uncore_w_per_ghz * opp.frequency.as_ghz() * mean_util;
-        let dram_w = p.dram_j_per_byte * dram_bytes_per_sec.max(0.0);
-        let leakage_w = p.leakage.power_w(v, temp_c);
+        let uncore = p.uncore_w_per_ghz * opp.frequency.as_ghz() * mean_util;
+        let dram = p.dram_j_per_byte * dram_bytes_per_sec.max(0.0);
+        let leakage = p.leakage.power(v, temp);
         PowerBreakdown {
-            platform_w: p.platform_floor_w,
-            core_dynamic_w,
-            uncore_w,
-            dram_w,
-            leakage_w,
+            platform: p.platform_floor,
+            core_dynamic: Watts::new(core_dynamic),
+            uncore: Watts::new(uncore),
+            dram: Watts::new(dram),
+            leakage,
         }
     }
 }
@@ -236,11 +239,15 @@ mod tests {
         PowerModel::new(PowerParams::nexus5()).expect("valid")
     }
 
+    fn c(t: f64) -> Celsius {
+        Celsius::new(t)
+    }
+
     #[test]
     fn leakage_anchor_points() {
         let lk = LeakageParams::nexus5();
-        let cold_low = lk.power_w(0.80, 35.0);
-        let hot_high = lk.power_w(1.10, 65.0);
+        let cold_low = lk.power(0.80, c(35.0)).value();
+        let hot_high = lk.power(1.10, c(65.0)).value();
         assert!((0.10..0.25).contains(&cold_low), "low anchor {cold_low}");
         assert!((0.8..1.6).contains(&hot_high), "high anchor {hot_high}");
     }
@@ -250,13 +257,13 @@ mod tests {
         let lk = LeakageParams::nexus5();
         let mut last = 0.0;
         for t in [20.0, 35.0, 50.0, 65.0, 80.0] {
-            let p = lk.power_w(1.0, t);
+            let p = lk.power(1.0, c(t)).value();
             assert!(p > last, "leakage must rise with temperature");
             last = p;
         }
         let mut last = 0.0;
         for v in [0.8, 0.9, 1.0, 1.1] {
-            let p = lk.power_w(v, 50.0);
+            let p = lk.power(v, c(50.0)).value();
             assert!(p > last, "leakage must rise with voltage");
             last = p;
         }
@@ -265,23 +272,23 @@ mod tests {
     #[test]
     fn leakage_handles_degenerate_inputs() {
         let lk = LeakageParams::nexus5();
-        assert_eq!(lk.power_w(0.0, 40.0), 0.0);
-        assert_eq!(lk.power_w(-1.0, 40.0), 0.0);
-        assert_eq!(lk.power_w(1.0, -300.0), 0.0);
-        assert_eq!(lk.power_w(f64::NAN, 40.0), 0.0);
+        assert_eq!(lk.power(0.0, c(40.0)), Watts::ZERO);
+        assert_eq!(lk.power(-1.0, c(40.0)), Watts::ZERO);
+        assert_eq!(lk.power(1.0, c(-300.0)), Watts::ZERO);
+        assert_eq!(lk.power(f64::NAN, c(40.0)), Watts::ZERO);
     }
 
     #[test]
     fn dynamic_power_scales_with_v_squared_f() {
         let m = model();
         let t = DvfsTable::msm8974();
-        let lo = m.evaluate(t.opp(0), &[1.0], 0.0, 40.0);
-        let hi = m.evaluate(t.opp(13), &[1.0], 0.0, 40.0);
+        let lo = m.evaluate(t.opp(0), &[1.0], 0.0, c(40.0));
+        let hi = m.evaluate(t.opp(13), &[1.0], 0.0, c(40.0));
         let lo_opp = t.opp(0);
         let hi_opp = t.opp(13);
         let expected_ratio = (hi_opp.voltage / lo_opp.voltage).powi(2)
             * (hi_opp.frequency.as_hz() / lo_opp.frequency.as_hz());
-        let actual_ratio = hi.core_dynamic_w / lo.core_dynamic_w;
+        let actual_ratio = hi.core_dynamic.value() / lo.core_dynamic.value();
         assert!((actual_ratio - expected_ratio).abs() < 1e-9);
     }
 
@@ -289,20 +296,20 @@ mod tests {
     fn idle_cores_draw_no_dynamic_power() {
         let m = model();
         let t = DvfsTable::msm8974();
-        let b = m.evaluate(t.opp(10), &[0.0, 0.0, 0.0, 0.0], 0.0, 40.0);
-        assert_eq!(b.core_dynamic_w, 0.0);
-        assert_eq!(b.uncore_w, 0.0);
-        assert!(b.platform_w > 0.0);
-        assert!(b.leakage_w > 0.0);
+        let b = m.evaluate(t.opp(10), &[0.0, 0.0, 0.0, 0.0], 0.0, c(40.0));
+        assert_eq!(b.core_dynamic, Watts::ZERO);
+        assert_eq!(b.uncore, Watts::ZERO);
+        assert!(b.platform > Watts::ZERO);
+        assert!(b.leakage > Watts::ZERO);
     }
 
     #[test]
     fn dram_term_scales_with_traffic() {
         let m = model();
         let t = DvfsTable::msm8974();
-        let quiet = m.evaluate(t.opp(5), &[1.0], 1e8, 40.0);
-        let busy = m.evaluate(t.opp(5), &[1.0], 4e9, 40.0);
-        assert!((busy.dram_w / quiet.dram_w - 40.0).abs() < 1e-9);
+        let quiet = m.evaluate(t.opp(5), &[1.0], 1e8, c(40.0));
+        let busy = m.evaluate(t.opp(5), &[1.0], 4e9, c(40.0));
+        assert!((busy.dram / quiet.dram - 40.0).abs() < 1e-9);
     }
 
     #[test]
@@ -311,18 +318,18 @@ mod tests {
         let t = DvfsTable::msm8974();
         // Browser on two cores + co-runner at max frequency, warm die,
         // heavy DRAM traffic: a Nexus 5 pulls 3–6 W in this regime.
-        let peak = m.evaluate(t.opp(13), &[1.0, 0.8, 1.0, 0.0], 3e9, 60.0);
+        let peak = m.evaluate(t.opp(13), &[1.0, 0.8, 1.0, 0.0], 3e9, c(60.0));
         assert!(
-            (3.0..6.5).contains(&peak.total_w()),
+            (3.0..6.5).contains(&peak.total().value()),
             "peak power {}",
-            peak.total_w()
+            peak.total()
         );
         // Idle at minimum frequency: dominated by the platform floor.
-        let idle = m.evaluate(t.opp(0), &[0.0, 0.0, 0.0, 0.0], 0.0, 30.0);
+        let idle = m.evaluate(t.opp(0), &[0.0, 0.0, 0.0, 0.0], 0.0, c(30.0));
         assert!(
-            (1.3..1.8).contains(&idle.total_w()),
+            (1.3..1.8).contains(&idle.total().value()),
             "idle power {}",
-            idle.total_w()
+            idle.total()
         );
     }
 
@@ -330,27 +337,27 @@ mod tests {
     fn breakdown_total_is_sum_of_parts() {
         let m = model();
         let t = DvfsTable::msm8974();
-        let b = m.evaluate(t.opp(7), &[0.5, 0.5], 1e9, 45.0);
-        let sum = b.platform_w + b.core_dynamic_w + b.uncore_w + b.dram_w + b.leakage_w;
-        assert!((b.total_w() - sum).abs() < 1e-12);
-        assert!(b.soc_w() < b.total_w());
+        let b = m.evaluate(t.opp(7), &[0.5, 0.5], 1e9, c(45.0));
+        let sum = b.platform + b.core_dynamic + b.uncore + b.dram + b.leakage;
+        assert!((b.total() - sum).value().abs() < 1e-12);
+        assert!(b.soc() < b.total());
     }
 
     #[test]
     fn utilization_is_clamped() {
         let m = model();
         let t = DvfsTable::msm8974();
-        let a = m.evaluate(t.opp(5), &[2.0], 0.0, 40.0);
-        let b = m.evaluate(t.opp(5), &[1.0], 0.0, 40.0);
-        assert_eq!(a.core_dynamic_w, b.core_dynamic_w);
-        let c = m.evaluate(t.opp(5), &[-1.0], 0.0, 40.0);
-        assert_eq!(c.core_dynamic_w, 0.0);
+        let a = m.evaluate(t.opp(5), &[2.0], 0.0, c(40.0));
+        let b = m.evaluate(t.opp(5), &[1.0], 0.0, c(40.0));
+        assert_eq!(a.core_dynamic, b.core_dynamic);
+        let z = m.evaluate(t.opp(5), &[-1.0], 0.0, c(40.0));
+        assert_eq!(z.core_dynamic, Watts::ZERO);
     }
 
     #[test]
     fn invalid_params_rejected() {
         let bad = PowerParams {
-            platform_floor_w: -1.0,
+            platform_floor: Watts::new(-1.0),
             ..PowerParams::nexus5()
         };
         assert!(PowerModel::new(bad).is_err());

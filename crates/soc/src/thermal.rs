@@ -13,15 +13,17 @@
 //! T_ss = T_amb + P·R,      T(t+dt) = T_ss + (T(t) − T_ss)·exp(−dt/τ)
 //! ```
 
+use dora_sim_core::units::{Celsius, Seconds, Watts};
+
 /// Parameters of the thermal node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalParams {
     /// Junction-to-ambient thermal resistance in kelvin per watt.
     pub resistance_k_per_w: f64,
-    /// RC time constant in seconds.
-    pub time_constant_s: f64,
-    /// Ambient temperature in °C.
-    pub ambient_c: f64,
+    /// RC time constant.
+    pub time_constant: Seconds,
+    /// Ambient temperature.
+    pub ambient: Celsius,
 }
 
 impl ThermalParams {
@@ -31,8 +33,8 @@ impl ThermalParams {
     pub fn nexus5_room() -> Self {
         ThermalParams {
             resistance_k_per_w: 13.0,
-            time_constant_s: 8.0,
-            ambient_c: 25.0,
+            time_constant: Seconds::new(8.0),
+            ambient: Celsius::new(25.0),
         }
     }
 
@@ -40,7 +42,7 @@ impl ThermalParams {
     /// ("low ambient temperature").
     pub fn nexus5_cold() -> Self {
         ThermalParams {
-            ambient_c: 5.0,
+            ambient: Celsius::new(5.0),
             ..ThermalParams::nexus5_room()
         }
     }
@@ -57,11 +59,11 @@ impl ThermalParams {
                 self.resistance_k_per_w
             ));
         }
-        if !(self.time_constant_s.is_finite() && self.time_constant_s > 0.0) {
-            return Err(format!("bad time constant {}", self.time_constant_s));
+        if !(self.time_constant.is_finite() && self.time_constant.value() > 0.0) {
+            return Err(format!("bad time constant {}", self.time_constant));
         }
-        if !(self.ambient_c.is_finite() && (-40.0..=60.0).contains(&self.ambient_c)) {
-            return Err(format!("implausible ambient {} °C", self.ambient_c));
+        if !(self.ambient.is_finite() && (-40.0..=60.0).contains(&self.ambient.value())) {
+            return Err(format!("implausible ambient {}", self.ambient));
         }
         Ok(())
     }
@@ -72,22 +74,23 @@ impl ThermalParams {
 /// # Example
 ///
 /// ```
+/// use dora_sim_core::units::{Celsius, Seconds, Watts};
 /// use dora_soc::thermal::{ThermalNode, ThermalParams};
 ///
 /// let mut node = ThermalNode::new(ThermalParams::nexus5_room());
-/// assert_eq!(node.temperature_c(), 25.0);
+/// assert_eq!(node.temperature(), Celsius::new(25.0));
 /// // 3 W sustained for a long time settles at ambient + P·R.
 /// for _ in 0..10_000 {
-///     node.step(3.0, 0.01);
+///     node.step(Watts::new(3.0), Seconds::new(0.01));
 /// }
 /// let expected = 25.0 + 3.0 * node.params().resistance_k_per_w;
-/// assert!((node.temperature_c() - expected).abs() < 0.1);
+/// assert!((node.temperature().value() - expected).abs() < 0.1);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThermalNode {
     params: ThermalParams,
-    temperature_c: f64,
-    peak_c: f64,
+    temperature: Celsius,
+    peak: Celsius,
 }
 
 impl ThermalNode {
@@ -97,47 +100,49 @@ impl ThermalNode {
     ///
     /// Panics if `params` fail validation.
     pub fn new(params: ThermalParams) -> Self {
+        #[allow(clippy::expect_used)] // constructor contract: documented panic
         params.validate().expect("invalid thermal parameters");
         ThermalNode {
             params,
-            temperature_c: params.ambient_c,
-            peak_c: params.ambient_c,
+            temperature: params.ambient,
+            peak: params.ambient,
         }
     }
 
-    /// Advances the node by `dt_s` seconds under `soc_power_w` watts of
-    /// heat (SoC power only — the display's heat path is separate and
-    /// excluded, as in the paper's CPU-focused thermal discussion).
+    /// Advances the node by `dt` under `soc_power` of heat (SoC power
+    /// only — the display's heat path is separate and excluded, as in the
+    /// paper's CPU-focused thermal discussion).
     ///
     /// Negative or non-finite power is treated as zero.
-    pub fn step(&mut self, soc_power_w: f64, dt_s: f64) {
+    pub fn step(&mut self, soc_power: Watts, dt: Seconds) {
+        let dt_s = dt.value();
         if dt_s <= 0.0 || !dt_s.is_finite() {
             return;
         }
-        let p = if soc_power_w.is_finite() {
-            soc_power_w.max(0.0)
+        let p = if soc_power.is_finite() {
+            soc_power.value().max(0.0)
         } else {
             0.0
         };
-        let t_ss = self.params.ambient_c + p * self.params.resistance_k_per_w;
-        let decay = (-dt_s / self.params.time_constant_s).exp();
-        self.temperature_c = t_ss + (self.temperature_c - t_ss) * decay;
-        self.peak_c = self.peak_c.max(self.temperature_c);
+        let t_ss = self.params.ambient.value() + p * self.params.resistance_k_per_w;
+        let decay = (-dt_s / self.params.time_constant.value()).exp();
+        self.temperature = Celsius::new(t_ss + (self.temperature.value() - t_ss) * decay);
+        self.peak = self.peak.max(self.temperature);
     }
 
-    /// Current die temperature in °C.
-    pub fn temperature_c(&self) -> f64 {
-        self.temperature_c
+    /// Current die temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
     }
 
     /// Current die temperature in kelvin.
     pub fn temperature_k(&self) -> f64 {
-        self.temperature_c + 273.15
+        self.temperature.to_kelvin()
     }
 
     /// The hottest temperature seen so far.
-    pub fn peak_c(&self) -> f64 {
-        self.peak_c
+    pub fn peak(&self) -> Celsius {
+        self.peak
     }
 
     /// The configured parameters.
@@ -151,11 +156,12 @@ impl ThermalNode {
     /// # Panics
     ///
     /// Panics if the resulting parameters fail validation.
-    pub fn set_ambient_c(&mut self, ambient_c: f64) {
+    pub fn set_ambient(&mut self, ambient: Celsius) {
         let next = ThermalParams {
-            ambient_c,
+            ambient,
             ..self.params
         };
+        #[allow(clippy::expect_used)] // setter contract: documented panic
         next.validate().expect("invalid ambient");
         self.params = next;
     }
@@ -165,10 +171,18 @@ impl ThermalNode {
 mod tests {
     use super::*;
 
+    fn w(v: f64) -> Watts {
+        Watts::new(v)
+    }
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
     #[test]
     fn starts_at_ambient() {
         let node = ThermalNode::new(ThermalParams::nexus5_room());
-        assert_eq!(node.temperature_c(), 25.0);
+        assert_eq!(node.temperature(), Celsius::new(25.0));
         assert_eq!(node.temperature_k(), 298.15);
     }
 
@@ -177,10 +191,10 @@ mod tests {
         let params = ThermalParams::nexus5_room();
         let mut node = ThermalNode::new(params);
         for _ in 0..100_000 {
-            node.step(2.0, 0.01);
+            node.step(w(2.0), s(0.01));
         }
         let expected = 25.0 + 2.0 * params.resistance_k_per_w;
-        assert!((node.temperature_c() - expected).abs() < 0.01);
+        assert!((node.temperature().value() - expected).abs() < 0.01);
     }
 
     #[test]
@@ -188,11 +202,11 @@ mod tests {
         let params = ThermalParams::nexus5_room();
         let mut node = ThermalNode::new(params);
         // One time constant of heating at 1 W: should cover ~63% of the gap.
-        let steps = (params.time_constant_s / 0.001) as usize;
+        let steps = (params.time_constant.value() / 0.001) as usize;
         for _ in 0..steps {
-            node.step(1.0, 0.001);
+            node.step(w(1.0), s(0.001));
         }
-        let frac = (node.temperature_c() - 25.0) / params.resistance_k_per_w;
+        let frac = (node.temperature().value() - 25.0) / params.resistance_k_per_w;
         assert!((frac - 0.632).abs() < 0.01, "fraction {frac}");
     }
 
@@ -200,15 +214,15 @@ mod tests {
     fn cooling_when_power_drops() {
         let mut node = ThermalNode::new(ThermalParams::nexus5_room());
         for _ in 0..10_000 {
-            node.step(3.0, 0.01);
+            node.step(w(3.0), s(0.01));
         }
-        let hot = node.temperature_c();
+        let hot = node.temperature().value();
         for _ in 0..10_000 {
-            node.step(0.0, 0.01);
+            node.step(Watts::ZERO, s(0.01));
         }
-        assert!(node.temperature_c() < hot);
-        assert!((node.temperature_c() - 25.0).abs() < 0.1);
-        assert!((node.peak_c() - hot).abs() < 1e-9);
+        assert!(node.temperature().value() < hot);
+        assert!((node.temperature().value() - 25.0).abs() < 0.1);
+        assert!((node.peak().value() - hot).abs() < 1e-9);
     }
 
     #[test]
@@ -216,28 +230,29 @@ mod tests {
         let mut room = ThermalNode::new(ThermalParams::nexus5_room());
         let mut cold = ThermalNode::new(ThermalParams::nexus5_cold());
         for _ in 0..50_000 {
-            room.step(2.5, 0.01);
-            cold.step(2.5, 0.01);
+            room.step(w(2.5), s(0.01));
+            cold.step(w(2.5), s(0.01));
         }
-        assert!((room.temperature_c() - cold.temperature_c() - 20.0).abs() < 0.1);
+        let gap = room.temperature().value() - cold.temperature().value();
+        assert!((gap - 20.0).abs() < 0.1);
     }
 
     #[test]
     fn ignores_bad_inputs() {
         let mut node = ThermalNode::new(ThermalParams::nexus5_room());
-        node.step(f64::NAN, 1.0);
-        node.step(-5.0, 1.0);
-        node.step(1.0, -1.0);
-        node.step(1.0, f64::NAN);
-        assert!(node.temperature_c() <= 25.0 + 1e-9);
-        assert!(node.temperature_c().is_finite());
+        node.step(w(f64::NAN), s(1.0));
+        node.step(w(-5.0), s(1.0));
+        node.step(w(1.0), s(-1.0));
+        node.step(w(1.0), s(f64::NAN));
+        assert!(node.temperature().value() <= 25.0 + 1e-9);
+        assert!(node.temperature().is_finite());
     }
 
     #[test]
     #[should_panic(expected = "implausible ambient")]
     fn rejects_absurd_ambient() {
         let _ = ThermalNode::new(ThermalParams {
-            ambient_c: 500.0,
+            ambient: Celsius::new(500.0),
             ..ThermalParams::nexus5_room()
         });
     }

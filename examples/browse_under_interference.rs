@@ -77,11 +77,11 @@ fn main() {
         println!(
             "{:<14} {:>8.2} {:>9.2} {:>8.4} {:>10} {:>9.2}",
             r.governor,
-            r.load_time_s,
-            r.mean_power_w,
-            r.ppw,
+            r.load_time.value(),
+            r.mean_power.value(),
+            r.ppw.value(),
             if r.met_deadline { "met" } else { "missed" },
-            r.mean_freq_ghz,
+            r.mean_frequency.as_ghz(),
         );
     }
     println!("\n(train DORA with the quickstart example to add it to this table)");

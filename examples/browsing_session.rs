@@ -7,6 +7,9 @@
 //! cargo run --release --example browsing_session
 //! ```
 
+// Example code: failing fast on setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dora_repro::browser::Catalog;
 use dora_repro::campaign::session::{run_session, SessionConfig};
 use dora_repro::coworkloads::Kernel;
@@ -57,10 +60,10 @@ fn main() {
         println!(
             "{:<13} {:>10.1} {:>10.2} {:>9.0}% {:>11.1} {:>12.1}",
             r.governor,
-            r.energy_j,
-            r.mean_power_w(),
+            r.energy.value(),
+            r.mean_power().value(),
             r.met_fraction() * 100.0,
-            r.peak_temp_c,
+            r.peak_temp.value(),
             r.battery_hours(BATTERY_WH),
         );
     }

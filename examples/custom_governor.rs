@@ -34,7 +34,7 @@ impl Governor for RaceToIdle {
     }
 
     fn decide(&mut self, observation: &GovernorObservation) -> Frequency {
-        if observation.max_utilization() > 0.05 {
+        if observation.max_utilization().value() > 0.05 {
             self.table.max_frequency()
         } else {
             self.table.min_frequency()
@@ -59,14 +59,14 @@ fn main() {
         let mine = run_scenario(w, &mut custom, &config);
         let mut baseline = InteractiveGovernor::new(table.clone());
         let theirs = run_scenario(w, &mut baseline, &config);
-        let ratio = mine.ppw / theirs.ppw;
+        let ratio = mine.ppw.value() / theirs.ppw.value();
         ratios.push(ratio);
         println!(
             "{:<26} {:>9.2}s {:>3} {:>9.2}s {:>3} {:>11.3}",
             w.id(),
-            mine.load_time_s,
+            mine.load_time.value(),
             if mine.met_deadline { "ok" } else { "X" },
-            theirs.load_time_s,
+            theirs.load_time.value(),
             if theirs.met_deadline { "ok" } else { "X" },
             ratio,
         );

@@ -47,26 +47,22 @@ fn main() {
         "deadline(s)", "fopt(GHz)", "load(s)", "met"
     );
     for deadline in 1..=10u32 {
-        let deadline_s = f64::from(deadline);
+        let deadline_s = dora_repro::units::Seconds::new(f64::from(deadline));
         let mut governor = DoraGovernor::new(
             pipeline.models.clone(),
             workload.page.features,
             DoraConfig {
-                qos_target_s: deadline_s,
+                qos_target: deadline_s,
                 ..DoraConfig::default()
             },
         );
-        let config = pipeline
-            .scenario
-            .to_builder()
-            .deadline_s(deadline_s)
-            .build();
+        let config = pipeline.scenario.to_builder().deadline(deadline_s).build();
         let r = run_scenario(workload, &mut governor, &config);
         println!(
             "{:>12} {:>11.2} {:>9.2} {:>9}",
             deadline,
-            r.mean_freq_ghz,
-            r.load_time_s,
+            r.mean_frequency.as_ghz(),
+            r.load_time.value(),
             if r.met_deadline { "yes" } else { "no" }
         );
     }

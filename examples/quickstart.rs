@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Example code: failing fast on setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dora_repro::campaign::evaluate::{evaluate, Policy, Subset};
 use dora_repro::campaign::workload::WorkloadSet;
 use dora_repro::experiments::pipeline::{Pipeline, Scale};
@@ -53,10 +56,10 @@ fn main() {
         println!(
             "  {:<24} load {:.2}s  power {:.2}W  deadline {}  mean clock {:.2} GHz",
             r.workload_id,
-            r.load_time_s,
-            r.mean_power_w,
+            r.load_time.value(),
+            r.mean_power.value(),
             if r.met_deadline { "met" } else { "missed" },
-            r.mean_freq_ghz,
+            r.mean_frequency.as_ghz(),
         );
     }
     let gain = result.mean_normalized_ppw("DORA", "interactive", Subset::All);

@@ -5,6 +5,9 @@
 //! cargo run --release --example thermal_story
 //! ```
 
+// Example code: failing fast on setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dora_repro::browser::catalog::Catalog;
 use dora_repro::browser::engine::RenderEngine;
 use dora_repro::sim::SimDuration;
@@ -30,7 +33,7 @@ fn main() {
             "t(s)", "die(C)", "mean(W)", "leakage(W)", "loads done"
         );
         let mut loads = 0u32;
-        let mut window_energy = board.energy_j();
+        let mut window_energy = board.energy();
         for second in 1..=40u32 {
             // Keep the browser permanently busy: as soon as a page load
             // finishes, start the next one.
@@ -46,14 +49,14 @@ fn main() {
             }
             board.step(SimDuration::from_secs(1));
             if second % 4 == 0 {
-                let mean_w = (board.energy_j() - window_energy) / 4.0;
-                window_energy = board.energy_j();
+                let mean_w = (board.energy() - window_energy).value() / 4.0;
+                window_energy = board.energy();
                 println!(
                     "{:>6} {:>9.1} {:>10.2} {:>11.2} {:>10}",
                     second,
-                    board.temperature_c(),
+                    board.temperature().value(),
                     mean_w,
-                    board.last_power().leakage_w,
+                    board.last_power().leakage.value(),
                     loads
                 );
             }
@@ -62,12 +65,12 @@ fn main() {
         println!(
             "peak die temperature: {:.1}C; energy: {:.0}J \
              (platform {:.0}J, cores {:.0}J, leakage {:.0}J, dram {:.0}J)\n",
-            board.peak_temperature_c(),
-            board.energy_j(),
-            e.platform_j,
-            e.core_dynamic_j + e.uncore_j,
-            e.leakage_j,
-            e.dram_j,
+            board.peak_temperature().value(),
+            board.energy().value(),
+            e.platform.value(),
+            (e.core_dynamic + e.uncore).value(),
+            e.leakage.value(),
+            e.dram.value(),
         );
     }
     println!(

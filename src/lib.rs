@@ -20,6 +20,7 @@
 //! See `examples/quickstart.rs` for an end-to-end train-then-evaluate run.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use dora;
 pub use dora_browser as browser;
@@ -29,4 +30,5 @@ pub use dora_experiments as experiments;
 pub use dora_governors as governors;
 pub use dora_modeling as modeling;
 pub use dora_sim_core as sim;
+pub use dora_sim_core::units;
 pub use dora_soc as soc;

@@ -1,12 +1,16 @@
 //! Property-based tests of Algorithm 1 and model persistence, over
 //! randomized (but physically shaped) trained model bundles.
 
+// Test code asserts invariants directly; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dora_repro::browser::PageFeatures;
 use dora_repro::dora::models::{DoraModels, FrequencyEncoding, PiecewiseSurface, PredictorInputs};
 use dora_repro::dora::{from_text, select_frequency, to_text};
 use dora_repro::modeling::leakage::Eq5Params;
 use dora_repro::modeling::surface::{ResponseSurface, SurfaceKind};
 use dora_repro::soc::DvfsTable;
+use dora_repro::units::{Celsius, Mpki, Seconds, Utilization};
 use proptest::prelude::*;
 
 /// Builds a trained bundle from a randomized physical ground truth:
@@ -21,7 +25,13 @@ fn synth_models(work: f64, mpki_k: f64, floor: f64, c: f64) -> DoraModels {
         let v = dvfs.voltage_of(f).expect("table entry");
         for mpki in [0.5f64, 4.0, 9.0, 16.0] {
             for util in [0.2f64, 0.6, 1.0] {
-                let inputs = PredictorInputs::for_frequency(page, f, &dvfs, mpki, util);
+                let inputs = PredictorInputs::for_frequency(
+                    page,
+                    f,
+                    &dvfs,
+                    Mpki::clamped(mpki),
+                    Utilization::clamped(util),
+                );
                 let mut x = inputs.to_vector();
                 FrequencyEncoding::Period.encode(&mut x);
                 xs.push(x);
@@ -77,7 +87,15 @@ proptest! {
     ) {
         let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
         let models = synth_models(work, 0.03, 1.5, 0.8);
-        let d = select_frequency(&models, page, deadline, mpki, util, temp, true);
+        let d = select_frequency(
+            &models,
+            page,
+            Seconds::new(deadline),
+            Mpki::clamped(mpki),
+            Utilization::clamped(util),
+            Celsius::new(temp),
+            true,
+        );
         prop_assert!(models.dvfs.index_of(d.chosen).is_some());
         prop_assert_eq!(d.curve.len(), models.dvfs.len());
         let any_feasible = d.curve.iter().any(|p| p.feasible);
@@ -90,8 +108,8 @@ proptest! {
         }
         // Every prediction is positive and finite.
         for p in &d.curve {
-            prop_assert!(p.load_time_s > 0.0 && p.load_time_s.is_finite());
-            prop_assert!(p.power_w > 0.0 && p.power_w.is_finite());
+            prop_assert!(p.load_time.value() > 0.0 && p.load_time.is_finite());
+            prop_assert!(p.power.value() > 0.0 && p.power.is_finite());
             prop_assert!(p.ppw.is_finite());
         }
     }
@@ -106,11 +124,27 @@ proptest! {
     ) {
         let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
         let models = synth_models(work, 0.03, 1.5, 0.8);
-        let tight = select_frequency(&models, page, d1, mpki, 0.6, 45.0, true);
-        let loose = select_frequency(&models, page, d1 + extra, mpki, 0.6, 45.0, true);
+        let tight = select_frequency(
+            &models,
+            page,
+            Seconds::new(d1),
+            Mpki::clamped(mpki),
+            Utilization::clamped(0.6),
+            Celsius::new(45.0),
+            true,
+        );
+        let loose = select_frequency(
+            &models,
+            page,
+            Seconds::new(d1 + extra),
+            Mpki::clamped(mpki),
+            Utilization::clamped(0.6),
+            Celsius::new(45.0),
+            true,
+        );
         if tight.feasible {
             prop_assert!(loose.feasible);
-            prop_assert!(loose.predicted_ppw >= tight.predicted_ppw - 1e-12);
+            prop_assert!(loose.predicted_ppw.value() >= tight.predicted_ppw.value() - 1e-12);
         }
     }
 
@@ -123,7 +157,15 @@ proptest! {
     ) {
         let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
         let models = synth_models(work, 0.03, 1.5, 0.8);
-        let d = select_frequency(&models, page, deadline, mpki, 0.6, 45.0, true);
+        let d = select_frequency(
+            &models,
+            page,
+            Seconds::new(deadline),
+            Mpki::clamped(mpki),
+            Utilization::clamped(0.6),
+            Celsius::new(45.0),
+            true,
+        );
         if let Some(fd) = d.f_deadline() {
             prop_assert!(fd <= d.chosen, "fD {fd} above chosen {}", d.chosen);
             let fe = d.f_energy();

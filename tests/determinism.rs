@@ -92,9 +92,9 @@ fn training_campaign_is_deterministic_across_executors() {
     let parallel = training_campaign_with(&set, &config, &Executor::new(Parallelism::Fixed(4)));
     assert_eq!(sequential.len(), parallel.len());
     for (s, p) in sequential.iter().zip(&parallel) {
-        assert_eq!(s.load_time_s, p.load_time_s);
-        assert_eq!(s.total_power_w, p.total_power_w);
-        assert_eq!(s.mean_temp_c, p.mean_temp_c);
+        assert_eq!(s.load_time, p.load_time);
+        assert_eq!(s.total_power, p.total_power);
+        assert_eq!(s.mean_temp, p.mean_temp);
         assert_eq!(s.inputs.l2_mpki, p.inputs.l2_mpki);
         assert_eq!(s.inputs.corun_utilization, p.inputs.corun_utilization);
     }

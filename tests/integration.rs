@@ -3,6 +3,9 @@
 //! tolerable in debug builds. The full-scale equivalents live as
 //! `#[ignore]`d tests in `dora-experiments` and run in release.
 
+// Test code asserts invariants directly; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dora_repro::campaign::evaluate::{evaluate, Policy, Subset};
 use dora_repro::campaign::runner::ScenarioConfig;
 use dora_repro::campaign::training::{
@@ -36,7 +39,10 @@ fn small_pipeline() -> (dora_repro::dora::DoraModels, WorkloadSet, ScenarioConfi
             frequencies: Some(frequencies),
         },
     );
-    let leakage = leakage_calibration(&scenario.board, &[15.0, 35.0]);
+    let leakage = leakage_calibration(
+        &scenario.board,
+        &[15.0, 35.0].map(dora_repro::units::Celsius::new),
+    );
     let models = train(
         &observations,
         &leakage,
@@ -96,7 +102,8 @@ fn dora_beats_interactive_without_sacrificing_deadlines() {
             assert!(
                 r.met_deadline,
                 "{} feasible under performance but DORA missed ({:.2}s)",
-                r.workload_id, r.load_time_s
+                r.workload_id,
+                r.load_time.value()
             );
         }
     }
@@ -119,7 +126,7 @@ fn dora_tracks_oracle_fopt_for_an_easy_page() {
     let offline = result.results_for("offline_opt")[0];
     // DORA lands within 12% of the exhaustively enumerated optimum.
     assert!(
-        dora.ppw > offline.ppw * 0.88,
+        dora.ppw.value() > offline.ppw.value() * 0.88,
         "DORA {:.4} vs offline {:.4}",
         dora.ppw,
         offline.ppw
@@ -170,17 +177,18 @@ fn models_transfer_across_deadlines_without_retraining() {
         .expect("exists");
     let mut chosen = Vec::new();
     for deadline_s in [1.0, 3.0, 8.0] {
+        let deadline = dora_repro::units::Seconds::new(deadline_s);
         let mut governor = dora_repro::dora::DoraGovernor::new(
             models.clone(),
             w.page.features,
             dora_repro::dora::DoraConfig {
-                qos_target_s: deadline_s,
+                qos_target: deadline,
                 ..dora_repro::dora::DoraConfig::default()
             },
         );
-        let config = scenario.to_builder().deadline_s(deadline_s).build();
+        let config = scenario.to_builder().deadline(deadline).build();
         let r = dora_repro::campaign::runner::run_scenario(w, &mut governor, &config);
-        chosen.push(r.mean_freq_ghz);
+        chosen.push(r.mean_frequency.as_ghz());
     }
     assert!(
         chosen[0] > chosen[2],

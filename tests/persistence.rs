@@ -35,7 +35,10 @@ fn shipped_models_govern_identically() {
             frequencies: Some(frequencies),
         },
     );
-    let leakage = leakage_calibration(&scenario.board, &[15.0, 40.0]);
+    let leakage = leakage_calibration(
+        &scenario.board,
+        &[15.0, 40.0].map(dora_repro::units::Celsius::new),
+    );
     let models = train(
         &observations,
         &leakage,

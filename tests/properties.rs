@@ -109,7 +109,7 @@ proptest! {
     ) {
         let mem = MemorySystem::lpddr3();
         let mut sorted = demands.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         for tier in BusTier::ALL {
             let mut last = 0.0;
             for &d in &sorted {
@@ -164,7 +164,7 @@ proptest! {
     ) {
         let samples: Samples = values.iter().copied().collect();
         let mut sorted_q = qs.clone();
-        sorted_q.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted_q.sort_by(f64::total_cmp);
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut last = f64::NEG_INFINITY;
@@ -192,9 +192,9 @@ proptest! {
                 .expect("table frequency");
             board.step(SimDuration::from_millis(millis));
             (
-                board.energy_j().to_bits(),
+                board.energy().value().to_bits(),
                 board.counters(0).instructions.to_bits(),
-                board.temperature_c().to_bits(),
+                board.temperature().value().to_bits(),
             )
         };
         prop_assert_eq!(run(), run());

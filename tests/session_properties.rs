@@ -37,17 +37,17 @@ proptest! {
         let r = run(&config);
         prop_assert_eq!(r.loads.len(), pages.len());
         // Duration covers every load plus every think period.
-        let load_total: f64 = r.loads.iter().map(|l| l.load_time_s).sum();
+        let load_total: f64 = r.loads.iter().map(|l| l.load_time.value()).sum();
         let think_total = think_s as f64 * pages.len() as f64;
-        prop_assert!(r.duration_s >= load_total + think_total - 0.01);
+        prop_assert!(r.duration.value() >= load_total + think_total - 0.01);
         // Loads cannot be instantaneous or absurd.
         for l in &r.loads {
-            prop_assert!(l.load_time_s > 0.05, "{l:?}");
-            prop_assert!(l.load_time_s <= 60.0, "{l:?}");
+            prop_assert!(l.load_time.value() > 0.05, "{l:?}");
+            prop_assert!(l.load_time.value() <= 60.0, "{l:?}");
         }
         // Energy and power are physical.
-        prop_assert!(r.energy_j > 0.0);
-        let p = r.mean_power_w();
+        prop_assert!(r.energy.value() > 0.0);
+        let p = r.mean_power().value();
         prop_assert!((1.0..7.0).contains(&p), "mean power {p}");
         // Bit-exact determinism.
         let again = run(&config);
@@ -69,8 +69,8 @@ proptest! {
         let a = run_session(&short, None, &mut g, &config);
         let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
         let b = run_session(&long, None, &mut g, &config);
-        prop_assert!(b.energy_j > a.energy_j);
-        prop_assert!(b.duration_s > a.duration_s);
+        prop_assert!(b.energy > a.energy);
+        prop_assert!(b.duration > a.duration);
     }
 }
 

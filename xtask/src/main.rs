@@ -1,0 +1,204 @@
+//! `cargo run -p xtask -- lint` — the repository's static-analysis gate.
+//!
+//! Scans every crate's library source (plus the root `src/`) and fails on:
+//! panic-site growth beyond `xtask/panic_allowlist.txt`, raw unit-suffixed
+//! `pub …: f64` fields, `partial_cmp` in enforced crates, missing crate
+//! lint headers, and a missing DVFS const-eval table guard. See
+//! `xtask/src/lib.rs` for the individual passes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use xtask::{
+    dvfs_guard_present, has_lint_header, library_code, panic_sites, parse_allowlist,
+    partial_cmp_sites, suffixed_fields, Finding,
+};
+
+/// Crates whose report structs intentionally keep raw `f64` fields while
+/// the typed-units burn-down proceeds outward (tracked in DESIGN.md).
+const SUFFIX_EXEMPT: [&str; 2] = ["crates/experiments/", "crates/cli/"];
+
+/// Crates where `partial_cmp` is banned outright (`f64::total_cmp`
+/// replaces it); the rest are covered by the panic ratchet only.
+const TOTAL_CMP_ENFORCED: [&str; 7] = [
+    "crates/sim-core/",
+    "crates/soc/",
+    "crates/modeling/",
+    "crates/governors/",
+    "crates/core/",
+    "crates/campaign/",
+    "src/",
+];
+
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Library source trees: each crate's `src/`, the workspace root `src/`,
+/// and xtask's own `src/`. Tests, benches and examples live outside
+/// these directories and are intentionally not scanned.
+fn library_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    collect_rs_files(&root.join("src"), &mut files)?;
+    collect_rs_files(&root.join("xtask").join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+        .replace('\\', "/")
+}
+
+fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let allowlist_path = root.join("xtask").join("panic_allowlist.txt");
+    let allowlist_text = std::fs::read_to_string(&allowlist_path)
+        .map_err(|e| format!("reading {}: {e}", allowlist_path.display()))?;
+    let allowlist = parse_allowlist(&allowlist_text);
+    let budget_for = |file: &str| -> usize {
+        allowlist
+            .iter()
+            .find(|(p, _)| p == file)
+            .map_or(0, |&(_, n)| n)
+    };
+
+    for path in library_sources(root)? {
+        let file = rel(root, &path);
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let stripped = library_code(&source);
+
+        let sites = panic_sites(&stripped);
+        let budget = budget_for(&file);
+        if sites.len() > budget {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *sites.last().unwrap_or(&0),
+                message: format!(
+                    "{} panic-capable site(s) in library code, budget is \
+                     {budget}; handle the error or, for a documented \
+                     invariant, raise the budget in xtask/panic_allowlist.txt \
+                     (lines: {sites:?})",
+                    sites.len()
+                ),
+            });
+        } else if sites.len() < budget {
+            println!(
+                "note: {file} is below its panic budget ({} < {budget}); \
+                 ratchet xtask/panic_allowlist.txt down",
+                sites.len()
+            );
+        }
+
+        if !SUFFIX_EXEMPT.iter().any(|p| file.starts_with(p)) {
+            for (line, name) in suffixed_fields(&stripped) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line,
+                    message: format!(
+                        "public field `{name}: f64` carries a raw unit suffix; \
+                         use a typed quantity from dora_sim_core::units instead"
+                    ),
+                });
+            }
+        }
+
+        if TOTAL_CMP_ENFORCED.iter().any(|p| file.starts_with(p)) {
+            for line in partial_cmp_sites(&stripped) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line,
+                    message: "partial_cmp on floats can surface NaN panics; \
+                              use f64::total_cmp"
+                        .to_string(),
+                });
+            }
+        }
+
+        if file.ends_with("/lib.rs") && !has_lint_header(&source) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: 0,
+                message: "crate root is missing the agreed lint header \
+                          (#![forbid(unsafe_code)] + #![deny(missing_docs)])"
+                    .to_string(),
+            });
+        }
+    }
+
+    let dvfs = root.join("crates").join("soc").join("src").join("dvfs.rs");
+    let dvfs_src =
+        std::fs::read_to_string(&dvfs).map_err(|e| format!("reading {}: {e}", dvfs.display()))?;
+    if !dvfs_guard_present(&dvfs_src) {
+        findings.push(Finding {
+            file: rel(root, &dvfs),
+            line: 0,
+            message: "the DVFS table's const-eval sorted/deduplicated guard \
+                      (`const _: () = assert!(khz_mv_table_is_valid(..))`) is gone"
+                .to_string(),
+        });
+    }
+
+    Ok(findings)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = repo_root();
+            match run_lint(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("xtask lint: clean");
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("error: {f}");
+                    }
+                    eprintln!("xtask lint: {} finding(s)", findings.len());
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            std::process::exit(2);
+        }
+    }
+}
