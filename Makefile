@@ -3,7 +3,7 @@
 # gate (xtask), then the tier-1 build + test pass
 # (ROADMAP.md: `cargo build --release && cargo test -q`).
 
-.PHONY: verify fmt lint xtask-lint lint-fix build test bench
+.PHONY: verify fmt lint xtask-lint sarif bless-api lint-fix build test bench
 
 verify: fmt lint xtask-lint build test
 
@@ -13,9 +13,20 @@ fmt:
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# Panic-site ratchet, unit-suffix field ban, lint headers, DVFS guard.
+# The nine-pass diagnostics framework (DESIGN.md §8), configured by
+# xtask/xtask.toml: panic ratchet, unit-suffix and partial_cmp bans,
+# lint headers, DVFS guard, crate layering, export determinism,
+# paper-constant provenance, API-surface snapshots.
 xtask-lint:
 	cargo run -q -p xtask -- lint
+
+# Machine-readable reports (also uploaded as a CI artifact).
+sarif:
+	cargo run -q -p xtask -- lint --format sarif > xtask-lint.sarif
+
+# Regenerate xtask/api/<crate>.txt after an intentional API change.
+bless-api:
+	cargo run -q -p xtask -- bless-api
 
 lint-fix:
 	cargo clippy --workspace --all-targets --fix --allow-dirty --allow-staged

@@ -122,6 +122,11 @@ struct Stage {
 
 /// The six-stage pipeline: parse → DOM build → style → layout → paint →
 /// script. Shares sum to 1.
+///
+/// paper: Section II-A — Chromium's rendering pipeline under Telemetry
+/// page loads; per-stage shares/CPI/MPKI are modeling choices calibrated
+/// so the 14-point frequency sweeps reproduce the Fig. 2 load-time and
+/// energy curves.
 const STAGES: [Stage; 6] = [
     Stage {
         name: "parse",

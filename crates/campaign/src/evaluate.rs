@@ -19,7 +19,7 @@ use dora_governors::{
 };
 use dora_sim_core::stats::Samples;
 use dora_soc::Frequency;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 pub use crate::policy::{Policy, PolicyName};
@@ -78,7 +78,7 @@ impl Subset {
 #[derive(Debug, Clone)]
 pub struct Evaluation {
     results: Vec<RunResult>,
-    oracles: HashMap<String, OracleFrequencies>,
+    oracles: BTreeMap<String, OracleFrequencies>,
 }
 
 /// Builds the governor instance for a policy over one workload.
@@ -169,7 +169,6 @@ pub fn evaluate(
 ///
 /// [`EvaluateError::ModelsRequired`] when a DORA-family policy is
 /// requested without trained models.
-#[allow(clippy::expect_used)] // one input frequency always yields one sweep point
 pub fn evaluate_with(
     set: &WorkloadSet,
     policies: &[Policy],
@@ -185,7 +184,7 @@ pub fn evaluate_with(
 
     // Phase 1: oracle sweeps, one task per (unique workload, frequency).
     let need_oracle = policies.iter().any(|p| p.needs_oracle());
-    let mut oracles: HashMap<String, OracleFrequencies> = HashMap::new();
+    let mut oracles: BTreeMap<String, OracleFrequencies> = BTreeMap::new();
     if need_oracle {
         // First occurrence wins, matching the sequential loop's
         // `entry(..).or_insert_with(..)` on duplicate workload ids.
@@ -201,11 +200,13 @@ pub fn evaluate_with(
             .enumerate()
             .flat_map(|(i, _)| freqs.iter().map(move |&f| (i, f)))
             .collect();
-        let points: Vec<SweepPoint> = executor.map(&tasks, |&(i, f)| {
-            sweep_frequencies_with(unique[i], config, &[f], &Executor::sequential())
-                .pop()
-                .expect("one frequency yields one point")
-        });
+        let points: Vec<SweepPoint> = executor
+            .map(&tasks, |&(i, f)| {
+                sweep_frequencies_with(unique[i], config, &[f], &Executor::sequential())
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         for (workload, sweep) in unique.iter().zip(points.chunks(freqs.len())) {
             oracles.insert(workload.id(), oracle_from_sweep(sweep.to_vec(), config));
         }
@@ -234,7 +235,7 @@ impl Evaluation {
 
     /// The oracle frequencies per workload id (empty when no oracle
     /// policy was evaluated).
-    pub fn oracles(&self) -> &HashMap<String, OracleFrequencies> {
+    pub fn oracles(&self) -> &BTreeMap<String, OracleFrequencies> {
         &self.oracles
     }
 
@@ -250,7 +251,7 @@ impl Evaluation {
     /// (workload id, ratio), in workload order. Workloads the baseline
     /// did not run are skipped.
     pub fn normalized_ppw(&self, governor: &str, baseline: &str) -> Vec<(String, f64)> {
-        let base: HashMap<&str, f64> = self
+        let base: BTreeMap<&str, f64> = self
             .results
             .iter()
             .filter(|r| r.governor == baseline)
@@ -269,7 +270,7 @@ impl Evaluation {
     /// Mean normalized PPW of a governor over a subset — the bars of
     /// Fig. 7(a).
     pub fn mean_normalized_ppw(&self, governor: &str, baseline: &str, subset: Subset) -> f64 {
-        let base: HashMap<&str, f64> = self
+        let base: BTreeMap<&str, f64> = self
             .results
             .iter()
             .filter(|r| r.governor == baseline)
@@ -371,7 +372,7 @@ mod tests {
         assert_eq!(eval.oracles().len(), 2);
         // Offline-opt is the feasible PPW maximizer: it must beat (or tie)
         // the performance governor on PPW for each workload.
-        let perf: HashMap<String, f64> = eval
+        let perf: BTreeMap<String, f64> = eval
             .results_for("performance")
             .iter()
             .map(|r| (r.workload_id.clone(), r.ppw.value()))

@@ -1,7 +1,8 @@
 //! End-to-end smoke run: quick-train DORA, then compare it with the
 //! interactive baseline on a handful of workloads.
 
-// Smoke binary fails fast by design; budgeted in xtask/panic_allowlist.txt.
+// Smoke binary fails fast by design; budgeted under [panic-budget] in
+// xtask/xtask.toml.
 #![allow(clippy::expect_used)]
 
 use dora_campaign::evaluate::{evaluate_with, Policy, Subset};

@@ -11,7 +11,7 @@ use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, Table};
 use dora_campaign::evaluate::{evaluate_with, Evaluation, Policy};
 use dora_soc::Frequency;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One workload's row in the figure.
 #[derive(Debug, Clone)]
@@ -19,7 +19,7 @@ pub struct Fig08Row {
     /// Workload id (`page+kernel`).
     pub workload_id: String,
     /// Normalized PPW per governor, keyed by governor name.
-    pub normalized_ppw: HashMap<String, f64>,
+    pub normalized_ppw: BTreeMap<String, f64>,
     /// Whether the workload is in the `fE < fD` regime (deadline-bound).
     pub deadline_bound: bool,
 }
@@ -52,7 +52,7 @@ pub fn run(pipeline: &Pipeline) -> Fig08 {
     )
     .expect("models supplied");
 
-    let base: HashMap<String, f64> = evaluation
+    let base: BTreeMap<String, f64> = evaluation
         .results_for("interactive")
         .iter()
         .map(|r| (r.workload_id.clone(), r.ppw.value()))
@@ -63,7 +63,7 @@ pub fn run(pipeline: &Pipeline) -> Fig08 {
         .iter()
         .map(|w| {
             let id = w.id();
-            let mut normalized_ppw = HashMap::new();
+            let mut normalized_ppw = BTreeMap::new();
             for g in GOVERNORS {
                 let ppw = evaluation
                     .results_for(g)
@@ -85,11 +85,7 @@ pub fn run(pipeline: &Pipeline) -> Fig08 {
             }
         })
         .collect();
-    rows.sort_by(|a, b| {
-        a.normalized_ppw["DORA"]
-            .partial_cmp(&b.normalized_ppw["DORA"])
-            .expect("ppw ratios are finite")
-    });
+    rows.sort_by(|a, b| a.normalized_ppw["DORA"].total_cmp(&b.normalized_ppw["DORA"]));
     Fig08 { rows, evaluation }
 }
 

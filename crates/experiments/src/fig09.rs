@@ -17,7 +17,7 @@ use crate::report::{fmt_f, Table};
 use dora_campaign::evaluate::{evaluate_with, Policy};
 use dora_campaign::workload::WorkloadSet;
 use dora_coworkloads::Intensity;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One (page, intensity) cell of the figure.
 #[derive(Debug, Clone)]
@@ -27,7 +27,7 @@ pub struct Fig09Cell {
     /// Co-runner intensity.
     pub intensity: Intensity,
     /// Per-governor `(normalized PPW, load time s, mean frequency GHz)`.
-    pub by_governor: HashMap<String, (f64, f64, f64)>,
+    pub by_governor: BTreeMap<String, (f64, f64, f64)>,
     /// The measured oracle `fD` in GHz (`None` when infeasible).
     pub fd_ghz: Option<f64>,
     /// The measured oracle `fE` in GHz.

@@ -71,7 +71,10 @@ pub fn run(pipeline: &Pipeline) -> Generalization {
                 training: false,
                 memory_weight: 1.0,
             };
-            let kernel = rng.choose(&kernels).expect("non-empty suite").clone();
+            // Same draw as `Rng::choose`, without the Option (the suite is
+            // a non-empty const): one `below(len)` call keeps the stream
+            // identical to the previous `choose`-based code.
+            let kernel = kernels[rng.below(kernels.len() as u64) as usize].clone();
 
             let mut interactive = InteractiveGovernor::new(config.board.dvfs.clone());
             let base = run_page(&page, Some(&kernel), &mut interactive, &config);

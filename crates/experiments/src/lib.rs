@@ -36,8 +36,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 // Burn-down: exhibit regenerators still unwrap/expect on documented pipeline
-// invariants; each file is budgeted in xtask/panic_allowlist.txt and the
-// budget only ratchets down.
+// invariants; each file is budgeted under [panic-budget] in xtask/xtask.toml
+// and the budget only ratchets down.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod ablation;

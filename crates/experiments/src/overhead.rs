@@ -15,6 +15,9 @@ use dora_campaign::runner::run_scenario;
 use dora_governors::Governor;
 
 /// Charged CPU time per Algorithm 1 evaluation (seconds).
+// paper: Section V-H — sampling + fopt computation measured below 1% of
+// execution time; 20 µs per decision at the 20 ms interval charges ~0.1%,
+// a deliberately generous stand-in for the measured cost.
 pub const DECISION_COST_S: f64 = 20e-6;
 
 /// One workload's overhead accounting.

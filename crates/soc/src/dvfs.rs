@@ -137,6 +137,10 @@ pub struct Opp {
 /// compile time by the `const` assertion below — a corrupted table edit
 /// fails `cargo build`, not a campaign three layers up. (`xtask lint`
 /// additionally verifies this guard stays in place.)
+///
+/// paper: Section II — Nexus 5 (Snapdragon 800 / MSM8974) with 14 OPPs
+/// from 300 MHz to 2.2656 GHz; voltages follow the msm8974 regulator
+/// tables from the platform's ACPU clock driver.
 pub const MSM8974_KHZ_MV: [(u64, u32); 14] = [
     (300_000, 800),
     (422_400, 810),

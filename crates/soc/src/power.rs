@@ -23,6 +23,31 @@
 use crate::dvfs::Opp;
 use dora_sim_core::units::{Celsius, Watts};
 
+// Ground-truth Nexus 5 model coefficients. This module is a designated
+// constants module (`[constants] modules` in xtask/xtask.toml): every
+// value states its provenance and `xtask lint` keeps it that way.
+
+/// Eq. 5 subthreshold-term scale `k1`.
+const NEXUS5_K1: f64 = 0.22; // paper: Eq. 5; tuned to ~0.15 W at (0.80 V, 35 °C)
+/// Eq. 5 voltage slope `α` inside the exponential, kelvin per volt.
+const NEXUS5_ALPHA: f64 = 800.0; // paper: Eq. 5
+/// Eq. 5 exponential offset `β`, kelvin.
+const NEXUS5_BETA: f64 = -4300.0; // paper: Eq. 5
+/// Eq. 5 gate-term scale `k2`.
+const NEXUS5_K2: f64 = 0.05; // paper: Eq. 5; tuned to ~1.2 W at (1.10 V, 65 °C)
+/// Eq. 5 gate-term voltage slope `γ`.
+const NEXUS5_GAMMA: f64 = 2.0; // paper: Eq. 5
+/// Eq. 5 gate-term offset `δ`.
+const NEXUS5_DELTA: f64 = -2.0; // paper: Eq. 5
+/// Constant whole-device platform power, watts.
+const NEXUS5_PLATFORM_FLOOR_W: f64 = 1.45; // paper: Section IV-A whole-phone DAQ floor
+/// Effective switching capacitance per Krait 400 core, farads.
+const NEXUS5_CEFF_CORE_F: f64 = 0.30e-9; // paper: Section II Snapdragon 800; C·V²·f fit
+/// Uncore dynamic power per GHz of core clock, watts.
+const NEXUS5_UNCORE_W_PER_GHZ: f64 = 0.18; // paper: Section IV SoC-minus-core residual
+/// DRAM energy per byte moved, joules.
+const NEXUS5_DRAM_J_PER_BYTE: f64 = 150.0e-12; // paper: Fig. 2b interference energy E_Δ
+
 /// Parameters of the Eq. 5 leakage model.
 ///
 /// `P_lkg(v, T) = k1·v·T²·exp((α·v + β)/T) + k2·exp(γ·v + δ)`, `T` in
@@ -49,12 +74,12 @@ impl LeakageParams {
     /// enough temperature dependence to reproduce the paper's Fig. 10.
     pub fn nexus5() -> Self {
         LeakageParams {
-            k1: 0.22,
-            alpha: 800.0,
-            beta: -4300.0,
-            k2: 0.05,
-            gamma: 2.0,
-            delta: -2.0,
+            k1: NEXUS5_K1,
+            alpha: NEXUS5_ALPHA,
+            beta: NEXUS5_BETA,
+            k2: NEXUS5_K2,
+            gamma: NEXUS5_GAMMA,
+            delta: NEXUS5_DELTA,
         }
     }
 
@@ -93,10 +118,10 @@ impl PowerParams {
     /// Nexus-5-like defaults.
     pub fn nexus5() -> Self {
         PowerParams {
-            platform_floor: Watts::new(1.45),
-            ceff_core_f: 0.30e-9,
-            uncore_w_per_ghz: 0.18,
-            dram_j_per_byte: 150.0e-12,
+            platform_floor: Watts::new(NEXUS5_PLATFORM_FLOOR_W),
+            ceff_core_f: NEXUS5_CEFF_CORE_F,
+            uncore_w_per_ghz: NEXUS5_UNCORE_W_PER_GHZ,
+            dram_j_per_byte: NEXUS5_DRAM_J_PER_BYTE,
             leakage: LeakageParams::nexus5(),
         }
     }

@@ -1,0 +1,245 @@
+//! Typed view of `xtask.toml`.
+//!
+//! The config file owns everything a pass can be parameterized on:
+//! per-lint levels, per-lint file allowlists, the crate layer order, the
+//! determinism-scanned export paths, the designated paper-constants
+//! modules with their trivial-float exemptions, and the per-file panic
+//! budgets (which subsumed the old `panic_allowlist.txt`).
+
+use crate::toml::{self, Value};
+use std::collections::BTreeMap;
+
+/// How findings of one lint are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// Findings fail the run (the default).
+    #[default]
+    Deny,
+    /// Findings are reported but do not fail the run.
+    Warn,
+    /// Findings are dropped.
+    Allow,
+}
+
+impl Level {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "deny" => Ok(Level::Deny),
+            "warn" => Ok(Level::Warn),
+            "allow" => Ok(Level::Allow),
+            other => Err(format!(
+                "unknown lint level `{other}` (expected deny | warn | allow)"
+            )),
+        }
+    }
+}
+
+/// The parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Per-lint level overrides (`[levels]`).
+    pub levels: BTreeMap<String, Level>,
+    /// Per-lint path-prefix allowlists (`[allow]`).
+    pub allow: BTreeMap<String, Vec<String>>,
+    /// The declared crate layers, bottom-up (`[layering] layers`). A crate
+    /// may depend only on crates in its own or a lower layer.
+    pub layers: Vec<Vec<String>>,
+    /// Path prefixes of export/serialization code the determinism lint
+    /// scans (`[determinism] export_paths`).
+    pub determinism_paths: Vec<String>,
+    /// Files designated as paper-constants modules (`[constants] modules`).
+    pub constants_modules: Vec<String>,
+    /// Float values exempt from the constants audit (`[constants]
+    /// trivial`): structural values like 0.0, 1.0, 1024.0 that encode no
+    /// physical or model assumption.
+    pub trivial_floats: Vec<f64>,
+    /// Per-file panic budgets (`[panic-budget]`); unlisted files have
+    /// budget zero.
+    pub panic_budget: BTreeMap<String, usize>,
+}
+
+fn string_list(value: &Value, what: &str) -> Result<Vec<String>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what} must contain strings"))
+        })
+        .collect()
+}
+
+impl Config {
+    /// Parses `xtask.toml` text.
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        let doc = toml::parse(text)?;
+        let mut config = Config::default();
+        for (table, entries) in &doc {
+            match table.as_str() {
+                "" => {
+                    if let Some(key) = entries.keys().next() {
+                        return Err(format!("top-level key `{key}` outside any table"));
+                    }
+                }
+                "levels" => {
+                    for (lint, v) in entries {
+                        let s = v
+                            .as_str()
+                            .ok_or_else(|| format!("[levels] {lint} must be a string"))?;
+                        config.levels.insert(lint.clone(), Level::parse(s)?);
+                    }
+                }
+                "allow" => {
+                    for (lint, v) in entries {
+                        config
+                            .allow
+                            .insert(lint.clone(), string_list(v, &format!("[allow] {lint}"))?);
+                    }
+                }
+                "layering" => {
+                    for (key, v) in entries {
+                        if key != "layers" {
+                            return Err(format!("unknown key `{key}` in [layering]"));
+                        }
+                        let outer = v
+                            .as_array()
+                            .ok_or("[layering] layers must be an array of arrays")?;
+                        for layer in outer {
+                            config
+                                .layers
+                                .push(string_list(layer, "[layering] layers entries")?);
+                        }
+                    }
+                }
+                "determinism" => {
+                    for (key, v) in entries {
+                        if key != "export_paths" {
+                            return Err(format!("unknown key `{key}` in [determinism]"));
+                        }
+                        config.determinism_paths = string_list(v, "[determinism] export_paths")?;
+                    }
+                }
+                "constants" => {
+                    for (key, v) in entries {
+                        match key.as_str() {
+                            "modules" => {
+                                config.constants_modules = string_list(v, "[constants] modules")?;
+                            }
+                            "trivial" => {
+                                config.trivial_floats = v
+                                    .as_array()
+                                    .ok_or("[constants] trivial must be an array")?
+                                    .iter()
+                                    .map(|x| {
+                                        x.as_float().ok_or_else(|| {
+                                            "[constants] trivial must contain numbers".to_string()
+                                        })
+                                    })
+                                    .collect::<Result<_, _>>()?;
+                            }
+                            other => return Err(format!("unknown key `{other}` in [constants]")),
+                        }
+                    }
+                }
+                "panic-budget" => {
+                    for (file, v) in entries {
+                        let n = v.as_int().filter(|&n| n >= 0).ok_or_else(|| {
+                            format!("[panic-budget] {file} must be a non-negative integer")
+                        })?;
+                        config.panic_budget.insert(file.clone(), n as usize);
+                    }
+                }
+                other => return Err(format!("unknown table `[{other}]` in xtask.toml")),
+            }
+        }
+        Ok(config)
+    }
+
+    /// The effective level of a lint (deny unless overridden).
+    pub fn level(&self, lint: &str) -> Level {
+        self.levels.get(lint).copied().unwrap_or_default()
+    }
+
+    /// Whether `file` is allowlisted for `lint` (path-prefix match).
+    pub fn is_allowed(&self, lint: &str, file: &str) -> bool {
+        self.allow
+            .get(lint)
+            .is_some_and(|prefixes| prefixes.iter().any(|p| file.starts_with(p.as_str())))
+    }
+
+    /// The panic budget of a file (zero when unlisted).
+    pub fn budget(&self, file: &str) -> usize {
+        self.panic_budget.get(file).copied().unwrap_or(0)
+    }
+
+    /// Whether a float value is in the trivial exemption list.
+    pub fn is_trivial_float(&self, value: f64) -> bool {
+        self.trivial_floats.contains(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[levels]
+partial-cmp = "warn"
+dvfs-guard = "allow"
+
+[allow]
+unit-suffix = ["crates/experiments/", "crates/cli/"]
+
+[layering]
+layers = [
+  ["dora-sim-core", "dora-soc"],
+  ["dora-browser"],
+]
+
+[determinism]
+export_paths = ["crates/campaign/src/export.rs"]
+
+[constants]
+modules = ["crates/soc/src/dvfs.rs"]
+trivial = [0.0, 1.0, 1024.0]
+
+[panic-budget]
+"crates/soc/src/board.rs" = 6
+"#;
+
+    #[test]
+    fn full_sample_round_trips() {
+        let c = Config::from_toml(SAMPLE).expect("parses");
+        assert_eq!(c.level("partial-cmp"), Level::Warn);
+        assert_eq!(c.level("dvfs-guard"), Level::Allow);
+        assert_eq!(c.level("panic-ratchet"), Level::Deny);
+        assert!(c.is_allowed("unit-suffix", "crates/cli/src/args.rs"));
+        assert!(!c.is_allowed("unit-suffix", "crates/soc/src/dvfs.rs"));
+        assert_eq!(c.layers.len(), 2);
+        assert_eq!(c.layers[0], vec!["dora-sim-core", "dora-soc"]);
+        assert_eq!(c.budget("crates/soc/src/board.rs"), 6);
+        assert_eq!(c.budget("crates/soc/src/task.rs"), 0);
+        assert!(c.is_trivial_float(1024.0));
+        assert!(!c.is_trivial_float(64.0));
+    }
+
+    #[test]
+    fn bad_level_is_rejected() {
+        let err = Config::from_toml("[levels]\nx = \"fatal\"\n").expect_err("bad");
+        assert!(err.contains("unknown lint level"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_is_rejected() {
+        let err = Config::from_toml("[typo]\nx = 1\n").expect_err("bad");
+        assert!(err.contains("unknown table"), "{err}");
+    }
+
+    #[test]
+    fn negative_budget_is_rejected() {
+        let err = Config::from_toml("[panic-budget]\n\"a.rs\" = -1\n").expect_err("bad");
+        assert!(err.contains("non-negative"), "{err}");
+    }
+}

@@ -1,283 +1,199 @@
-//! Source-level lint passes behind `cargo run -p xtask -- lint`.
+//! The repository's static-analysis framework, behind
+//! `cargo run -p xtask -- lint`.
 //!
-//! Everything here operates on source *text* rather than on a parsed AST:
-//! the checks stay dependency-free, run in milliseconds over the whole
-//! tree, and can be unit-tested against small fixture strings. The passes:
+//! Architecture (DESIGN.md §8):
 //!
-//! * **Panic ratchet** — `.unwrap()` / `.expect(` / `panic!` in non-test
-//!   library code is budgeted per file by `xtask/panic_allowlist.txt`.
-//!   New sites fail the build; burning a site down below its budget is
-//!   reported so the budget can be tightened.
-//! * **Unit-suffix field ban** — `pub foo_mhz: f64`-style fields leak raw
-//!   unit-suffixed scalars through public APIs; typed quantities from
-//!   `dora_sim_core::units` carry the unit instead.
-//! * **`partial_cmp` ban** — float ordering in enforced crates goes
-//!   through `f64::total_cmp`, which cannot panic on NaN.
-//! * **Lint header** — every crate's `lib.rs` must carry the agreed
-//!   `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` header.
-//! * **DVFS const guard** — the MSM8974 frequency/voltage table keeps its
-//!   compile-time sorted/deduplicated assertion.
+//! * [`diag`] — the [`Diagnostic`] model: lint id, severity, file/line/
+//!   column [`Span`], message, help.
+//! * [`source`] / [`workspace`] — dependency-free extraction of library
+//!   source text and the crate dependency graph.
+//! * [`config`] — `xtask.toml`: per-lint levels, allowlists, the crate
+//!   layer order, determinism scan paths, constants modules, panic
+//!   budgets.
+//! * [`passes`] — the [`Pass`] trait and registry. Each lint is a plugin
+//!   over a shared read-only [`Context`].
+//! * [`render`] — human, `--format json` and `--format sarif` emitters.
+//!
+//! Every pass is pure over the [`Context`], so fixtures test them without
+//! touching the filesystem; only [`Context::load`] and the `bless-api`
+//! command do I/O.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-/// One lint violation, pointing at a file and line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    /// Repo-relative path of the offending file.
-    pub file: String,
-    /// 1-based line number (0 when the finding is file-scoped).
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
-}
+pub mod config;
+pub mod diag;
+pub mod passes;
+pub mod render;
+pub mod source;
+pub mod toml;
+pub mod workspace;
 
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.line == 0 {
-            write!(f, "{}: {}", self.file, self.message)
-        } else {
-            write!(f, "{}:{}: {}", self.file, self.line, self.message)
-        }
-    }
-}
+pub use config::{Config, Level};
+pub use diag::{Diagnostic, Severity, Span};
+pub use passes::Pass;
+pub use source::SourceFile;
+pub use workspace::Manifest;
 
-/// Returns `source` with comments and `#[cfg(test)]` modules blanked out,
-/// preserving line structure so reported line numbers stay true.
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Everything the passes see: loaded library sources, workspace
+/// manifests, API snapshots, and the parsed `xtask.toml`.
 ///
-/// The pass is textual, not a full parser: a line comment marker inside a
-/// string literal is treated as a comment. That trade-off keeps the tool
-/// dependency-free and has no false positives on this rustfmt'd tree.
-pub fn library_code(source: &str) -> String {
-    let mut out: Vec<String> = Vec::new();
-    let mut skip_above: Option<usize> = None;
-    let mut depth = 0usize;
-    let mut pending_cfg_test = false;
-    for raw in source.lines() {
-        let code = match raw.find("//") {
-            Some(idx) => &raw[..idx],
-            None => raw,
-        };
-        let opens = code.matches('{').count();
-        let closes = code.matches('}').count();
-        let emit = if let Some(entry) = skip_above {
-            depth = (depth + opens).saturating_sub(closes);
-            if depth <= entry {
-                skip_above = None;
-            }
-            false
-        } else if code.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-            depth = (depth + opens).saturating_sub(closes);
-            false
-        } else if pending_cfg_test && code.trim_start().starts_with("mod") && code.contains('{') {
-            // The attribute applied to this module: skip until its brace
-            // closes back to the entry depth.
-            let entry = depth;
-            depth = (depth + opens).saturating_sub(closes);
-            if depth > entry {
-                skip_above = Some(entry);
-            }
-            pending_cfg_test = false;
-            false
-        } else {
-            if !code.trim().is_empty() {
-                pending_cfg_test = false;
-            }
-            depth = (depth + opens).saturating_sub(closes);
-            true
-        };
-        out.push(if emit {
-            code.to_string()
-        } else {
-            String::new()
-        });
-    }
-    out.join("\n")
+/// Fields are public so tests can assemble synthetic contexts.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    /// Library source files (each crate's `src/`, the root `src/`, and
+    /// `xtask/src/`), sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Workspace package manifests (root, `crates/*`, `xtask`).
+    pub manifests: Vec<Manifest>,
+    /// Public-API snapshots: crate key → `xtask/api/<key>.txt` contents.
+    pub api_snapshots: BTreeMap<String, String>,
+    /// Parsed `xtask.toml`.
+    pub config: Config,
 }
 
-/// 1-based line numbers of panic-capable sites (`.unwrap()`, `.expect(`,
-/// `panic!`) in already-stripped library code.
-pub fn panic_sites(stripped: &str) -> Vec<usize> {
-    let mut sites = Vec::new();
-    for (i, line) in stripped.lines().enumerate() {
-        // Patterns assembled at runtime so this file does not flag itself.
-        let unwrap_pat = concat!(".unw", "rap()");
-        let expect_pat = concat!(".exp", "ect(");
-        let panic_pat = concat!("pan", "ic!");
-        let hits = line.matches(unwrap_pat).count()
-            + line.matches(expect_pat).count()
-            + line.matches(panic_pat).count();
-        for _ in 0..hits {
-            sites.push(i + 1);
+/// The repository root, derived from this crate's manifest directory.
+pub fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
         }
     }
-    sites
+    Ok(())
 }
 
-const BANNED_SUFFIXES: [&str; 11] = [
-    "_mhz", "_ghz", "_khz", "_hz", "_ms", "_s", "_mw", "_w", "_j", "_c", "_mpki",
-];
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
 
-/// Public `f64` struct fields whose names end in a raw unit suffix.
-///
-/// `_per_` compound names (e.g. `resistance_k_per_w`) describe a ratio
-/// whose unit is the name, not a disguised scalar quantity, and are
-/// exempt.
-pub fn suffixed_fields(stripped: &str) -> Vec<(usize, String)> {
-    let mut found = Vec::new();
-    for (i, line) in stripped.lines().enumerate() {
-        let t = line.trim_start();
-        let Some(rest) = t.strip_prefix("pub ") else {
-            continue;
-        };
-        let Some((name, ty)) = rest.split_once(':') else {
-            continue;
-        };
-        let name = name.trim();
-        let ty = ty.trim().trim_end_matches(',');
-        if ty != "f64" || name.contains('(') || name.contains("_per_") {
-            continue;
+impl Context {
+    /// Loads the real repository at `root`.
+    ///
+    /// # Errors
+    ///
+    /// On unreadable files or an invalid `xtask.toml`.
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let config = Config::from_toml(&read(&root.join("xtask").join("xtask.toml"))?)?;
+
+        // Library sources: each crate's `src/`, the workspace root `src/`,
+        // and xtask's own `src/`. Tests, benches and examples live outside
+        // these directories and are intentionally not scanned.
+        let mut paths = Vec::new();
+        let crates = root.join("crates");
+        let entries =
+            std::fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
+        let mut crate_dirs: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
+            crate_dirs.push(entry.path());
         }
-        if BANNED_SUFFIXES.iter().any(|s| name.ends_with(s)) {
-            found.push((i + 1, name.to_string()));
+        crate_dirs.sort();
+        for dir in &crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs_files(&src, &mut paths)?;
+            }
         }
-    }
-    found
-}
+        collect_rs_files(&root.join("src"), &mut paths)?;
+        collect_rs_files(&root.join("xtask").join("src"), &mut paths)?;
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for path in &paths {
+            files.push(SourceFile::new(rel(root, path), read(path)?));
+        }
 
-/// 1-based lines calling `partial_cmp` in stripped library code.
-pub fn partial_cmp_sites(stripped: &str) -> Vec<usize> {
-    stripped
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| l.contains(".partial_cmp("))
-        .map(|(i, _)| i + 1)
-        .collect()
-}
+        // Manifests: the root package, every crate, and xtask.
+        let mut manifests = Vec::new();
+        let mut manifest_paths = vec![root.join("Cargo.toml"), root.join("xtask/Cargo.toml")];
+        for dir in &crate_dirs {
+            manifest_paths.push(dir.join("Cargo.toml"));
+        }
+        for path in &manifest_paths {
+            if !path.is_file() {
+                continue;
+            }
+            if let Some(m) = workspace::parse_manifest(&rel(root, path), &read(path)?) {
+                manifests.push(m);
+            }
+        }
 
-/// Whether a crate root carries the agreed lint header.
-pub fn has_lint_header(source: &str) -> bool {
-    source.contains("#![forbid(unsafe_code)]") && source.contains("#![deny(missing_docs)]")
-}
+        // API snapshots (absent files surface as missing-snapshot
+        // findings, not load errors).
+        let mut api_snapshots = BTreeMap::new();
+        let api_dir = root.join("xtask").join("api");
+        if api_dir.is_dir() {
+            let entries = std::fs::read_dir(&api_dir)
+                .map_err(|e| format!("reading {}: {e}", api_dir.display()))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("reading {}: {e}", api_dir.display()))?;
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "txt") {
+                    let key = path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    api_snapshots.insert(key, read(&path)?);
+                }
+            }
+        }
 
-/// Whether the DVFS table source keeps its const-eval validity guard.
-pub fn dvfs_guard_present(source: &str) -> bool {
-    source.contains("const _: () = assert!(") && source.contains("khz_mv_table_is_valid")
-}
-
-/// Parses `panic_allowlist.txt`: `<max-count> <path>` per line, `#`
-/// comments and blank lines ignored.
-pub fn parse_allowlist(text: &str) -> Vec<(String, usize)> {
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let (count, path) = l.split_once(char::is_whitespace)?;
-            Some((path.trim().to_string(), count.parse().ok()?))
+        Ok(Context {
+            files,
+            manifests,
+            api_snapshots,
+            config,
         })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const FIXTURE_UNWRAP: &str = r#"
-pub fn read(path: &str) -> String {
-    std::fs::read_to_string(path).unwrap()
-}
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn in_tests_is_fine() {
-        let x: Option<u8> = None;
-        x.unwrap();
     }
 }
-"#;
 
-    const FIXTURE_FIELD: &str = r#"
-/// A result row.
-pub struct Row {
-    /// Core clock in megahertz.
-    pub freq_mhz: f64,
-    /// A ratio, exempt.
-    pub joules_per_s: f64,
-    /// Typed, fine.
-    pub load_time: Seconds,
-}
-"#;
-
-    #[test]
-    fn library_unwrap_is_flagged_but_test_unwrap_is_not() {
-        let stripped = library_code(FIXTURE_UNWRAP);
-        let sites = panic_sites(&stripped);
-        assert_eq!(
-            sites,
-            vec![3],
-            "exactly the library unwrap, not the test one"
-        );
+/// Runs every registered pass over the context and applies `xtask.toml`
+/// policy: per-lint/per-file allowlists drop findings, `level = "allow"`
+/// drops a lint entirely, `level = "warn"` downgrades errors to warnings.
+///
+/// The returned list is sorted by span then lint id, so output (and the
+/// JSON/SARIF emitted from it) is deterministic regardless of pass order.
+pub fn run_passes(cx: &Context) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for pass in passes::registry() {
+        for mut d in pass.run(cx) {
+            if cx.config.is_allowed(d.lint, &d.span.file) {
+                continue;
+            }
+            match cx.config.level(d.lint) {
+                Level::Allow => continue,
+                Level::Warn => {
+                    if d.severity == Severity::Error {
+                        d.severity = Severity::Warning;
+                    }
+                }
+                Level::Deny => {}
+            }
+            out.push(d);
+        }
     }
-
-    #[test]
-    fn expect_and_panic_are_flagged() {
-        let stripped =
-            library_code("fn f() {\n    g().expect(\"boom\");\n    panic!(\"no\");\n}\n");
-        assert_eq!(panic_sites(&stripped), vec![2, 3]);
-    }
-
-    #[test]
-    fn comments_and_docs_do_not_count() {
-        let src = "/// Call `.unwrap()` at your peril.\n// panic! lives here\nfn ok() {}\n";
-        assert!(panic_sites(&library_code(src)).is_empty());
-    }
-
-    #[test]
-    fn public_mhz_field_is_flagged() {
-        let found = suffixed_fields(&library_code(FIXTURE_FIELD));
-        assert_eq!(found, vec![(5, "freq_mhz".to_string())]);
-    }
-
-    #[test]
-    fn suffixed_non_f64_and_private_fields_pass() {
-        let src = "pub struct S {\n    pub t: Seconds,\n    load_s: f64,\n    pub f_hz: u64,\n}\n";
-        assert!(suffixed_fields(&library_code(src)).is_empty());
-    }
-
-    #[test]
-    fn partial_cmp_is_flagged() {
-        let src = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
-        assert_eq!(partial_cmp_sites(&library_code(src)), vec![2]);
-    }
-
-    #[test]
-    fn header_check() {
-        assert!(has_lint_header(
-            "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n"
-        ));
-        assert!(!has_lint_header("#![forbid(unsafe_code)]\n"));
-    }
-
-    #[test]
-    fn allowlist_parses() {
-        let parsed = parse_allowlist("# comment\n3 crates/soc/src/board.rs\n\n1 src/lib.rs\n");
-        assert_eq!(
-            parsed,
-            vec![
-                ("crates/soc/src/board.rs".to_string(), 3),
-                ("src/lib.rs".to_string(), 1)
-            ]
-        );
-    }
-
-    #[test]
-    fn dvfs_guard_detector() {
-        let ok = "const _: () = assert!(\n    khz_mv_table_is_valid(&T),\n    \"msg\"\n);";
-        assert!(dvfs_guard_present(ok));
-        assert!(!dvfs_guard_present(
-            "pub const T: [(u64, u32); 1] = [(1, 1)];"
-        ));
-    }
+    out.sort_by(|a, b| (&a.span, a.lint).cmp(&(&b.span, b.lint)));
+    out
 }

@@ -1,203 +1,155 @@
-//! `cargo run -p xtask -- lint` — the repository's static-analysis gate.
+//! `cargo run -p xtask -- <command>` — the repository's static-analysis
+//! gate.
 //!
-//! Scans every crate's library source (plus the root `src/`) and fails on:
-//! panic-site growth beyond `xtask/panic_allowlist.txt`, raw unit-suffixed
-//! `pub …: f64` fields, `partial_cmp` in enforced crates, missing crate
-//! lint headers, and a missing DVFS const-eval table guard. See
-//! `xtask/src/lib.rs` for the individual passes.
+//! Commands:
+//!
+//! * `lint [--format human|json|sarif] [--only <id,id>]` — run every
+//!   registered pass over the tree; exit 1 when any error-severity
+//!   finding survives `xtask.toml` policy, 2 on tool failure.
+//! * `bless-api` — regenerate the `xtask/api/<crate>.txt` public-API
+//!   snapshots after an intentional surface change.
+//! * `passes` — list registered lint ids and descriptions.
+//!
+//! Configuration lives in `xtask/xtask.toml`; see DESIGN.md §8.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::path::{Path, PathBuf};
-use xtask::{
-    dvfs_guard_present, has_lint_header, library_code, panic_sites, parse_allowlist,
-    partial_cmp_sites, suffixed_fields, Finding,
-};
+use std::path::Path;
+use xtask::passes::{api_surface, registry};
+use xtask::{render, repo_root, Context};
 
-/// Crates whose report structs intentionally keep raw `f64` fields while
-/// the typed-units burn-down proceeds outward (tracked in DESIGN.md).
-const SUFFIX_EXEMPT: [&str; 2] = ["crates/experiments/", "crates/cli/"];
+const USAGE: &str = "\
+usage: cargo run -p xtask -- <command>
 
-/// Crates where `partial_cmp` is banned outright (`f64::total_cmp`
-/// replaces it); the rest are covered by the panic ratchet only.
-const TOTAL_CMP_ENFORCED: [&str; 7] = [
-    "crates/sim-core/",
-    "crates/soc/",
-    "crates/modeling/",
-    "crates/governors/",
-    "crates/core/",
-    "crates/campaign/",
-    "src/",
-];
+commands:
+  lint [--format human|json|sarif] [--only <id,id>]
+        run the static-analysis passes; non-zero exit on findings
+  bless-api
+        regenerate xtask/api/<crate>.txt public-API snapshots
+  passes
+        list registered passes
+";
 
-fn repo_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+fn parse_lint_args(args: &[String]) -> Result<(Format, Option<Vec<String>>), String> {
+    let mut format = Format::Human;
+    let mut only = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                let value = args.get(i + 1).ok_or("--format needs a value")?;
+                format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+                i += 2;
+            }
+            "--only" => {
+                let value = args.get(i + 1).ok_or("--only needs a value")?;
+                only = Some(value.split(',').map(str::to_string).collect::<Vec<_>>());
+                i += 2;
+            }
+            other => return Err(format!("unknown lint option `{other}`")),
         }
     }
-    Ok(())
+    Ok((format, only))
 }
 
-/// Library source trees: each crate's `src/`, the workspace root `src/`,
-/// and xtask's own `src/`. Tests, benches and examples live outside
-/// these directories and are intentionally not scanned.
-fn library_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut files = Vec::new();
-    let crates = root.join("crates");
-    let entries =
-        std::fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
-        let src = entry.path().join("src");
-        if src.is_dir() {
-            collect_rs_files(&src, &mut files)?;
-        }
-    }
-    collect_rs_files(&root.join("src"), &mut files)?;
-    collect_rs_files(&root.join("xtask").join("src"), &mut files)?;
-    files.sort();
-    Ok(files)
-}
-
-fn rel(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .display()
-        .to_string()
-        .replace('\\', "/")
-}
-
-fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
-    let allowlist_path = root.join("xtask").join("panic_allowlist.txt");
-    let allowlist_text = std::fs::read_to_string(&allowlist_path)
-        .map_err(|e| format!("reading {}: {e}", allowlist_path.display()))?;
-    let allowlist = parse_allowlist(&allowlist_text);
-    let budget_for = |file: &str| -> usize {
-        allowlist
-            .iter()
-            .find(|(p, _)| p == file)
-            .map_or(0, |&(_, n)| n)
-    };
-
-    for path in library_sources(root)? {
-        let file = rel(root, &path);
-        let source = std::fs::read_to_string(&path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let stripped = library_code(&source);
-
-        let sites = panic_sites(&stripped);
-        let budget = budget_for(&file);
-        if sites.len() > budget {
-            findings.push(Finding {
-                file: file.clone(),
-                line: *sites.last().unwrap_or(&0),
-                message: format!(
-                    "{} panic-capable site(s) in library code, budget is \
-                     {budget}; handle the error or, for a documented \
-                     invariant, raise the budget in xtask/panic_allowlist.txt \
-                     (lines: {sites:?})",
-                    sites.len()
-                ),
-            });
-        } else if sites.len() < budget {
-            println!(
-                "note: {file} is below its panic budget ({} < {budget}); \
-                 ratchet xtask/panic_allowlist.txt down",
-                sites.len()
-            );
-        }
-
-        if !SUFFIX_EXEMPT.iter().any(|p| file.starts_with(p)) {
-            for (line, name) in suffixed_fields(&stripped) {
-                findings.push(Finding {
-                    file: file.clone(),
-                    line,
-                    message: format!(
-                        "public field `{name}: f64` carries a raw unit suffix; \
-                         use a typed quantity from dora_sim_core::units instead"
-                    ),
-                });
+fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
+    let (format, only) = parse_lint_args(args)?;
+    if let Some(ids) = &only {
+        let known: Vec<&str> = registry().iter().map(|p| p.id()).collect();
+        for id in ids {
+            if !known.contains(&id.as_str()) {
+                return Err(format!("unknown lint id `{id}` (see `xtask passes`)"));
             }
         }
-
-        if TOTAL_CMP_ENFORCED.iter().any(|p| file.starts_with(p)) {
-            for line in partial_cmp_sites(&stripped) {
-                findings.push(Finding {
-                    file: file.clone(),
-                    line,
-                    message: "partial_cmp on floats can surface NaN panics; \
-                              use f64::total_cmp"
-                        .to_string(),
-                });
+    }
+    let cx = Context::load(root)?;
+    let mut diags = xtask::run_passes(&cx);
+    if let Some(ids) = &only {
+        diags.retain(|d| ids.iter().any(|id| id == d.lint));
+    }
+    let (errors, warnings, notes) = render::tally(&diags);
+    match format {
+        Format::Human => {
+            print!("{}", render::human(&diags));
+            if errors == 0 {
+                println!("xtask lint: clean ({warnings} warning(s), {notes} note(s))");
+            } else {
+                eprintln!("xtask lint: {errors} error(s), {warnings} warning(s), {notes} note(s)");
             }
         }
-
-        if file.ends_with("/lib.rs") && !has_lint_header(&source) {
-            findings.push(Finding {
-                file: file.clone(),
-                line: 0,
-                message: "crate root is missing the agreed lint header \
-                          (#![forbid(unsafe_code)] + #![deny(missing_docs)])"
-                    .to_string(),
-            });
+        Format::Json => print!("{}", render::json(&diags)),
+        Format::Sarif => {
+            let passes = registry();
+            let rules: Vec<(&str, &str)> =
+                passes.iter().map(|p| (p.id(), p.description())).collect();
+            print!("{}", render::sarif(&diags, &rules));
         }
     }
+    Ok(i32::from(errors > 0))
+}
 
-    let dvfs = root.join("crates").join("soc").join("src").join("dvfs.rs");
-    let dvfs_src =
-        std::fs::read_to_string(&dvfs).map_err(|e| format!("reading {}: {e}", dvfs.display()))?;
-    if !dvfs_guard_present(&dvfs_src) {
-        findings.push(Finding {
-            file: rel(root, &dvfs),
-            line: 0,
-            message: "the DVFS table's const-eval sorted/deduplicated guard \
-                      (`const _: () = assert!(khz_mv_table_is_valid(..))`) is gone"
-                .to_string(),
-        });
+fn bless_api(root: &Path) -> Result<i32, String> {
+    let cx = Context::load(root)?;
+    let api_dir = root.join("xtask").join("api");
+    std::fs::create_dir_all(&api_dir)
+        .map_err(|e| format!("creating {}: {e}", api_dir.display()))?;
+    let surface = api_surface::extract_surface(&cx.files);
+    for (crate_key, items) in &surface {
+        let path = api_dir.join(format!("{crate_key}.txt"));
+        let text = api_surface::render_snapshot(items);
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("blessed {} ({} symbols)", path.display(), items.len());
     }
+    // Remove snapshots for crates that no longer exist.
+    for stale in cx.api_snapshots.keys() {
+        if !surface.contains_key(stale) {
+            let path = api_dir.join(format!("{stale}.txt"));
+            std::fs::remove_file(&path).map_err(|e| format!("removing {}: {e}", path.display()))?;
+            println!("removed stale {}", path.display());
+        }
+    }
+    Ok(0)
+}
 
-    Ok(findings)
+fn passes_list() -> i32 {
+    for pass in registry() {
+        println!("{:<16} {}", pass.id(), pass.description());
+    }
+    0
+}
+
+fn dispatch() -> Result<i32, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = repo_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&root, &args[1..]),
+        Some("bless-api") => bless_api(&root),
+        Some("passes") => Ok(passes_list()),
+        _ => {
+            eprint!("{USAGE}");
+            Ok(2)
+        }
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => {
-            let root = repo_root();
-            match run_lint(&root) {
-                Ok(findings) if findings.is_empty() => {
-                    println!("xtask lint: clean");
-                }
-                Ok(findings) => {
-                    for f in &findings {
-                        eprintln!("error: {f}");
-                    }
-                    eprintln!("xtask lint: {} finding(s)", findings.len());
-                    std::process::exit(1);
-                }
-                Err(e) => {
-                    eprintln!("xtask lint: {e}");
-                    std::process::exit(2);
-                }
-            }
-        }
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+    match dispatch() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("xtask: {e}");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,346 @@
+//! `paper-constants` — hard-coded physical/model constants carry
+//! provenance.
+//!
+//! Two complementary rules keep the paper's numbers auditable:
+//!
+//! 1. **Designated constants modules** (`[constants] modules` in
+//!    `xtask.toml` — the DVFS table, the power model, the overhead
+//!    budget) may hold numeric `const`/`static` items, but each must cite
+//!    its source with a `paper:` comment (doc comment or trailing `//`).
+//! 2. **Everywhere else**, a float-literal audit flags non-trivial float
+//!    values in `const`/`static` initializers: a magic `0.22` belongs in
+//!    a constants module with a citation, not inline. Structural values
+//!    (`0.0`, `1.0`, `1024.0`, …) are exempted via `[constants] trivial`.
+
+use crate::diag::{Diagnostic, Span};
+use crate::source::{blank_strings, float_literals, SourceFile};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct PaperConstants;
+
+/// One `const`/`static` item found in stripped source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstItem {
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// The item name (`_` for anonymous const assertions).
+    pub name: String,
+    /// Float literals in the initializer: `(line, column, text, value)`.
+    pub floats: Vec<(usize, usize, String, f64)>,
+    /// Whether the initializer contains any numeric literal at all.
+    pub has_numeric: bool,
+}
+
+fn decl_name(trimmed: &str) -> Option<String> {
+    let rest = trimmed
+        .strip_prefix("pub ")
+        .or_else(|| trimmed.strip_prefix("pub(crate) "))
+        .unwrap_or(trimmed);
+    let rest = rest
+        .strip_prefix("const ")
+        .or_else(|| rest.strip_prefix("static "))?;
+    // `const fn` / `static ref` style declarations are not items we audit.
+    if rest.starts_with("fn ") || rest.starts_with("unsafe ") || rest.starts_with("mut ") {
+        return None;
+    }
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn bracket_depth_delta(line: &str) -> i64 {
+    let mut delta = 0;
+    for c in line.chars() {
+        match c {
+            '(' | '[' | '{' => delta += 1,
+            ')' | ']' | '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+fn has_int_literal(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let glued = i > 0
+                && (bytes[i - 1].is_ascii_alphanumeric()
+                    || bytes[i - 1] == b'_'
+                    || bytes[i - 1] == b'.');
+            if !glued {
+                return true;
+            }
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Extracts `const`/`static` items (with their initializer literals) from
+/// a stripped source file.
+pub fn const_items(stripped: &str) -> Vec<ConstItem> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim_start();
+        let Some(name) = decl_name(trimmed) else {
+            i += 1;
+            continue;
+        };
+        let start = i;
+        let mut depth = 0i64;
+        let mut floats = Vec::new();
+        let mut has_numeric = false;
+        let mut seen_eq = false;
+        loop {
+            let line = lines.get(i).copied().unwrap_or("");
+            let blanked = blank_strings(line);
+            // Only the initializer (after `=`) is audited; array lengths
+            // in the type annotation are structure, not physics.
+            let audit_from = if seen_eq {
+                0
+            } else if let Some(eq) = blanked.find('=') {
+                seen_eq = true;
+                eq + 1
+            } else {
+                blanked.len()
+            };
+            let audited = &blanked[audit_from..];
+            for (col, text, value) in float_literals(audited) {
+                floats.push((i + 1, audit_from + col, text, value));
+                has_numeric = true;
+            }
+            if has_int_literal(audited) {
+                has_numeric = true;
+            }
+            depth += bracket_depth_delta(&blanked);
+            let done = depth <= 0 && blanked.trim_end().ends_with(';');
+            i += 1;
+            if done || i >= lines.len() || i - start > 200 {
+                break;
+            }
+        }
+        items.push(ConstItem {
+            line: start + 1,
+            name,
+            floats,
+            has_numeric,
+        });
+    }
+    items
+}
+
+/// Whether the raw source cites a paper reference for the item starting
+/// at `line` (1-based): a `paper:` marker in the contiguous comment /
+/// attribute block above, or trailing on one of the item's own lines.
+pub fn has_citation(raw: &SourceFile, line: usize, end_line: usize) -> bool {
+    let lines: Vec<&str> = raw.text.lines().collect();
+    // Walk up through the doc/comment/attribute block.
+    let mut i = line.saturating_sub(1);
+    while i > 0 {
+        let above = lines.get(i - 1).map_or("", |l| l.trim_start());
+        if above.starts_with("//") || above.starts_with("#[") || above.starts_with("#!") {
+            if above.contains("paper:") {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    // Trailing comments on the item's own lines.
+    for l in lines
+        .iter()
+        .skip(line.saturating_sub(1))
+        .take(end_line.saturating_sub(line) + 1)
+    {
+        if let Some(idx) = l.find("//") {
+            if l[idx..].contains("paper:") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+impl super::Pass for PaperConstants {
+    fn id(&self) -> &'static str {
+        "paper-constants"
+    }
+
+    fn description(&self) -> &'static str {
+        "model constants live in designated modules and cite the paper"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &cx.files {
+            let designated = cx.config.constants_modules.contains(&file.rel);
+            let items = const_items(&file.stripped);
+            for item in &items {
+                let end_line = item
+                    .floats
+                    .last()
+                    .map_or(item.line, |&(l, _, _, _)| l)
+                    .max(item.line);
+                if designated {
+                    if item.has_numeric && !has_citation(file, item.line, end_line + 1) {
+                        out.push(
+                            Diagnostic::error(
+                                self.id(),
+                                Span::line(&file.rel, item.line),
+                                format!(
+                                    "constant `{}` in a designated constants module lacks \
+                                     a `paper:` citation",
+                                    item.name
+                                ),
+                            )
+                            .with_help(
+                                "add a `// paper: <section/table/equation>` comment \
+                                 documenting where the value comes from",
+                            ),
+                        );
+                    }
+                } else {
+                    for &(line, column, ref text, value) in &item.floats {
+                        if cx.config.is_trivial_float(value) {
+                            continue;
+                        }
+                        out.push(
+                            Diagnostic::error(
+                                self.id(),
+                                Span::at(&file.rel, line, column),
+                                format!(
+                                    "hard-coded model constant `{text}` in `{}` outside a \
+                                     designated constants module",
+                                    item.name
+                                ),
+                            )
+                            .with_help(
+                                "move it to a module listed under [constants] modules in \
+                                 xtask/xtask.toml with a `// paper:` citation, or add the \
+                                 value to [constants] trivial if it is structural",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::Config;
+
+    const DESIGNATED: &str = r#"
+/// The table. paper: Table II (MSM8974 OPPs).
+pub const TABLE: [(u64, u32); 2] = [
+    (300_000, 800),
+    (422_400, 810),
+];
+
+/// Uncited numeric constant.
+pub const K1: f64 = 0.22;
+
+/// No numerics, no citation needed.
+pub const NAME: &str = "msm8974";
+"#;
+
+    fn config() -> Config {
+        Config::from_toml(
+            "[constants]\nmodules = [\"crates/soc/src/power.rs\"]\ntrivial = [0.0, 1.0]\n",
+        )
+        .expect("config")
+    }
+
+    #[test]
+    fn const_item_extraction_sees_multiline_arrays() {
+        let items = const_items(&crate::source::library_code(DESIGNATED));
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].name, "TABLE");
+        assert!(items[0].has_numeric);
+        assert_eq!(items[1].name, "K1");
+        assert_eq!(items[1].floats.len(), 1);
+        assert!(!items[2].has_numeric);
+    }
+
+    #[test]
+    fn const_fn_is_not_an_item() {
+        assert!(
+            const_items("pub const fn from_khz(khz: u64) -> Self {\n    Self(khz)\n}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn uncited_constant_in_designated_module_is_flagged() {
+        let cx = Context {
+            files: vec![SourceFile::new("crates/soc/src/power.rs", DESIGNATED)],
+            config: config(),
+            ..Context::default()
+        };
+        let diags = PaperConstants.run(&cx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`K1`"));
+        assert_eq!(diags[0].span.line, 9);
+    }
+
+    #[test]
+    fn magic_float_const_outside_designated_module_is_flagged() {
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/governors/src/lib.rs",
+                "const UP_THRESHOLD: f64 = 0.85;\nconst UNITY: f64 = 1.0;\n",
+            )],
+            config: config(),
+            ..Context::default()
+        };
+        let diags = PaperConstants.run(&cx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("0.85"));
+        assert!(diags[0].span.column > 0);
+    }
+
+    #[test]
+    fn trailing_citation_counts() {
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/soc/src/power.rs",
+                "pub const K1: f64 = 0.22; // paper: Eq. 5\n",
+            )],
+            config: config(),
+            ..Context::default()
+        };
+        assert!(PaperConstants.run(&cx).is_empty());
+    }
+
+    #[test]
+    fn inline_floats_in_functions_are_not_audited() {
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/modeling/src/leakage.rs",
+                "fn f(x: f64) -> f64 {\n    x.max(1e-12) * 0.3\n}\n",
+            )],
+            config: config(),
+            ..Context::default()
+        };
+        assert!(PaperConstants.run(&cx).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! `map-determinism` — export/serialization code must not iterate
+//! hash-seeded collections.
+//!
+//! `HashMap`/`HashSet` iteration order varies run to run, so any CSV/JSON
+//! row order derived from one silently breaks bit-reproducibility — the
+//! property the campaign's accuracy claims rest on. Files reachable from
+//! the export pipeline (listed under `[determinism] export_paths` in
+//! `xtask.toml`) must use `BTreeMap`/`BTreeSet` or sort explicitly.
+
+use crate::diag::{Diagnostic, Span};
+use crate::source::blank_strings;
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct MapDeterminism;
+
+/// `(1-based line, 1-based column, type name)` of hash-collection
+/// mentions in stripped, string-blanked library code.
+pub fn hash_collection_sites(stripped: &str) -> Vec<(usize, usize, &'static str)> {
+    let blanked = blank_strings(stripped);
+    let mut out = Vec::new();
+    for (i, line) in blanked.lines().enumerate() {
+        for name in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(idx) = line[from..].find(name) {
+                let at = from + idx;
+                // Reject identifier continuations (`FxHashMap`, `HashMapExt`).
+                let before_ok = at == 0
+                    || !line.as_bytes()[at - 1].is_ascii_alphanumeric()
+                        && line.as_bytes()[at - 1] != b'_';
+                let end = at + name.len();
+                let after_ok = end >= line.len()
+                    || !line.as_bytes()[end].is_ascii_alphanumeric()
+                        && line.as_bytes()[end] != b'_';
+                if before_ok && after_ok {
+                    out.push((i + 1, at + 1, name));
+                }
+                from = end;
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+impl super::Pass for MapDeterminism {
+    fn id(&self) -> &'static str {
+        "map-determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "export/serialization code must not use hash-seeded collections"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &cx.files {
+            if !cx
+                .config
+                .determinism_paths
+                .iter()
+                .any(|p| file.rel.starts_with(p.as_str()))
+            {
+                continue;
+            }
+            for (line, column, name) in hash_collection_sites(&file.stripped) {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::at(&file.rel, line, column),
+                        format!(
+                            "`{name}` in export-reachable code: iteration order is \
+                             nondeterministic"
+                        ),
+                    )
+                    .with_help("use BTreeMap/BTreeSet, or collect and sort before serializing"),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::Config;
+
+    const FIXTURE: &str = r#"
+use std::collections::HashMap;
+
+pub fn export(rows: &HashMap<String, f64>) -> String {
+    rows.iter().map(|(k, v)| format!("{k},{v}\n")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+}
+"#;
+
+    #[test]
+    fn hash_collections_in_export_paths_are_flagged() {
+        let cx = Context {
+            files: vec![SourceFile::new("crates/campaign/src/export.rs", FIXTURE)],
+            config: Config::from_toml(
+                "[determinism]\nexport_paths = [\"crates/campaign/src/export.rs\"]\n",
+            )
+            .expect("config"),
+            ..Context::default()
+        };
+        let diags = MapDeterminism.run(&cx);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(
+            diags[0].span,
+            Span::at("crates/campaign/src/export.rs", 2, 23)
+        );
+        assert!(diags[0].message.contains("HashMap"));
+    }
+
+    #[test]
+    fn test_modules_and_out_of_scope_files_are_exempt() {
+        let cx = Context {
+            files: vec![SourceFile::new("crates/cli/src/args.rs", FIXTURE)],
+            config: Config::from_toml("[determinism]\nexport_paths = [\"crates/campaign/\"]\n")
+                .expect("config"),
+            ..Context::default()
+        };
+        assert!(MapDeterminism.run(&cx).is_empty());
+    }
+
+    #[test]
+    fn prefix_scoping_covers_fig_modules() {
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/experiments/src/fig08.rs",
+                "pub struct R {\n    pub m: std::collections::HashMap<String, f64>,\n}\n",
+            )],
+            config: Config::from_toml(
+                "[determinism]\nexport_paths = [\"crates/experiments/src/fig\"]\n",
+            )
+            .expect("config"),
+            ..Context::default()
+        };
+        let diags = MapDeterminism.run(&cx);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn identifier_continuations_and_strings_do_not_match() {
+        let sites = hash_collection_sites(
+            "let a = FxHashMap::default();\nlet b = \"HashMap\";\nstruct HashMapExt;\n",
+        );
+        assert!(sites.is_empty(), "{sites:?}");
+    }
+}

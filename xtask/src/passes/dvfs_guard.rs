@@ -1,0 +1,75 @@
+//! `dvfs-guard` — the MSM8974 frequency/voltage table keeps its
+//! compile-time sorted/deduplicated assertion, so a corrupted table edit
+//! fails `cargo build`, not a campaign three layers up.
+
+use crate::diag::{Diagnostic, Span};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct DvfsGuard;
+
+/// The file that must carry the guard.
+pub const DVFS_FILE: &str = "crates/soc/src/dvfs.rs";
+
+/// Whether the DVFS table source keeps its const-eval validity guard.
+pub fn dvfs_guard_present(source: &str) -> bool {
+    source.contains("const _: () = assert!(") && source.contains("khz_mv_table_is_valid")
+}
+
+impl super::Pass for DvfsGuard {
+    fn id(&self) -> &'static str {
+        "dvfs-guard"
+    }
+
+    fn description(&self) -> &'static str {
+        "the DVFS table keeps its const-eval sorted/deduplicated assertion"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let Some(file) = cx.files.iter().find(|f| f.rel == DVFS_FILE) else {
+            return vec![Diagnostic::error(
+                self.id(),
+                Span::file(DVFS_FILE),
+                "the DVFS table module is gone",
+            )];
+        };
+        if dvfs_guard_present(&file.text) {
+            Vec::new()
+        } else {
+            vec![Diagnostic::error(
+                self.id(),
+                Span::file(DVFS_FILE),
+                "the DVFS table's const-eval sorted/deduplicated guard is gone",
+            )
+            .with_help(
+                "restore `const _: () = assert!(khz_mv_table_is_valid(..))` next to the table",
+            )]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn dvfs_guard_detector() {
+        let ok = "const _: () = assert!(\n    khz_mv_table_is_valid(&T),\n    \"msg\"\n);";
+        assert!(dvfs_guard_present(ok));
+        assert!(!dvfs_guard_present(
+            "pub const T: [(u64, u32); 1] = [(1, 1)];"
+        ));
+    }
+
+    #[test]
+    fn missing_guard_and_missing_file_are_findings() {
+        let cx = Context {
+            files: vec![SourceFile::new(DVFS_FILE, "pub const T: u8 = 1;\n")],
+            ..Context::default()
+        };
+        assert_eq!(DvfsGuard.run(&cx).len(), 1);
+        assert_eq!(DvfsGuard.run(&Context::default()).len(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! `lint-header` — every crate root must carry the agreed header:
+//! `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
+
+use crate::diag::{Diagnostic, Span};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct LintHeader;
+
+/// Whether a crate root carries the agreed lint header.
+pub fn has_lint_header(source: &str) -> bool {
+    source.contains("#![forbid(unsafe_code)]") && source.contains("#![deny(missing_docs)]")
+}
+
+impl super::Pass for LintHeader {
+    fn id(&self) -> &'static str {
+        "lint-header"
+    }
+
+    fn description(&self) -> &'static str {
+        "crate roots carry #![forbid(unsafe_code)] + #![deny(missing_docs)]"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &cx.files {
+            if file.rel.ends_with("/lib.rs") && !has_lint_header(&file.text) {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::file(&file.rel),
+                        "crate root is missing the agreed lint header",
+                    )
+                    .with_help("add #![forbid(unsafe_code)] and #![deny(missing_docs)]"),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn header_check() {
+        assert!(has_lint_header(
+            "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n"
+        ));
+        assert!(!has_lint_header("#![forbid(unsafe_code)]\n"));
+    }
+
+    #[test]
+    fn only_crate_roots_are_checked() {
+        let cx = Context {
+            files: vec![
+                SourceFile::new("crates/x/src/lib.rs", "//! Bare.\n"),
+                SourceFile::new("crates/x/src/other.rs", "//! Bare.\n"),
+            ],
+            ..Context::default()
+        };
+        let diags = LintHeader.run(&cx);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].span.file, "crates/x/src/lib.rs");
+    }
+}

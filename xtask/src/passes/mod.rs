@@ -1,0 +1,64 @@
+//! The pass registry: every lint is a plugin implementing [`Pass`].
+//!
+//! Adding a lint (DESIGN.md §8): create a module here, implement [`Pass`]
+//! over the read-only [`Context`], register it in [`registry`], and give
+//! it a kebab-case id. Ids are stable — they key `[levels]` / `[allow]`
+//! entries in `xtask.toml` and become SARIF rule ids in CI.
+
+use crate::diag::Diagnostic;
+use crate::Context;
+
+pub mod api_surface;
+pub mod constants;
+pub mod determinism;
+pub mod dvfs_guard;
+pub mod layering;
+pub mod lint_header;
+pub mod panic_ratchet;
+pub mod partial_cmp;
+pub mod unit_suffix;
+
+/// One static-analysis pass.
+pub trait Pass {
+    /// Stable kebab-case lint id (`xtask.toml` key, SARIF rule id).
+    fn id(&self) -> &'static str;
+    /// One-line description, shown by `xtask passes` and in SARIF rules.
+    fn description(&self) -> &'static str;
+    /// Runs the pass. Diagnostics are emitted at their natural severity;
+    /// the driver applies `xtask.toml` levels and allowlists afterwards.
+    fn run(&self, cx: &Context) -> Vec<Diagnostic>;
+}
+
+/// Every registered pass, in documentation order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(panic_ratchet::PanicRatchet),
+        Box::new(unit_suffix::UnitSuffix),
+        Box::new(partial_cmp::PartialCmp),
+        Box::new(lint_header::LintHeader),
+        Box::new(dvfs_guard::DvfsGuard),
+        Box::new(layering::CrateLayering),
+        Box::new(determinism::MapDeterminism),
+        Box::new(constants::PaperConstants),
+        Box::new(api_surface::ApiSurface),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn pass_ids_are_unique_kebab_case() {
+        let ids: Vec<&str> = registry().iter().map(|p| p.id()).collect();
+        let set: BTreeSet<&str> = ids.iter().copied().collect();
+        assert_eq!(ids.len(), set.len(), "duplicate pass ids: {ids:?}");
+        for id in ids {
+            assert!(
+                id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "id `{id}` is not kebab-case"
+            );
+        }
+    }
+}

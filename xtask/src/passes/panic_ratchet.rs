@@ -1,0 +1,142 @@
+//! `panic-ratchet` — `.unwrap()` / `.expect(` / `panic!` in non-test
+//! library code is budgeted per file by `[panic-budget]` in `xtask.toml`.
+//!
+//! New sites fail the build; burning a site down below its budget emits a
+//! note so the budget can be tightened. Budgets only ratchet down: never
+//! raise one to land new code — return a `Result` instead.
+
+use crate::diag::{Diagnostic, Span};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct PanicRatchet;
+
+/// 1-based line numbers of panic-capable sites in already-stripped
+/// library code.
+pub fn panic_sites(stripped: &str) -> Vec<usize> {
+    // Patterns assembled at runtime so this file does not flag itself.
+    let unwrap_pat = concat!(".unw", "rap()");
+    let expect_pat = concat!(".exp", "ect(");
+    let panic_pat = concat!("pan", "ic!");
+    let mut sites = Vec::new();
+    for (i, line) in stripped.lines().enumerate() {
+        let hits = line.matches(unwrap_pat).count()
+            + line.matches(expect_pat).count()
+            + line.matches(panic_pat).count();
+        for _ in 0..hits {
+            sites.push(i + 1);
+        }
+    }
+    sites
+}
+
+impl super::Pass for PanicRatchet {
+    fn id(&self) -> &'static str {
+        "panic-ratchet"
+    }
+
+    fn description(&self) -> &'static str {
+        "panic-capable sites in library code are budgeted per file and only ratchet down"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &cx.files {
+            let sites = panic_sites(&file.stripped);
+            let budget = cx.config.budget(&file.rel);
+            if sites.len() > budget {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::line(&file.rel, sites.last().copied().unwrap_or(0)),
+                        format!(
+                            "{} panic-capable site(s) in library code, budget is {budget} \
+                             (lines: {sites:?})",
+                            sites.len()
+                        ),
+                    )
+                    .with_help(
+                        "handle the error, or for a documented invariant raise the \
+                         [panic-budget] entry in xtask/xtask.toml"
+                            .to_string(),
+                    ),
+                );
+            } else if sites.len() < budget {
+                out.push(Diagnostic::note(
+                    self.id(),
+                    Span::file(&file.rel),
+                    format!(
+                        "below its panic budget ({} < {budget}); ratchet \
+                         [panic-budget] in xtask/xtask.toml down",
+                        sites.len()
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::diag::Severity;
+    use crate::source::{library_code, SourceFile};
+    use crate::Config;
+
+    const FIXTURE: &str = r#"
+pub fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_is_fine() {
+        let x: Option<u8> = None;
+        x.unwrap();
+    }
+}
+"#;
+
+    #[test]
+    fn library_unwrap_is_flagged_but_test_unwrap_is_not() {
+        assert_eq!(panic_sites(&library_code(FIXTURE)), vec![3]);
+    }
+
+    #[test]
+    fn expect_and_panic_are_flagged() {
+        let stripped =
+            library_code("fn f() {\n    g().expect(\"boom\");\n    panic!(\"no\");\n}\n");
+        assert_eq!(panic_sites(&stripped), vec![2, 3]);
+    }
+
+    #[test]
+    fn comments_and_docs_do_not_count() {
+        let src = "/// Call `.unwrap()` at your peril.\n// panic! lives here\nfn ok() {}\n";
+        assert!(panic_sites(&library_code(src)).is_empty());
+    }
+
+    #[test]
+    fn over_budget_errors_and_under_budget_notes() {
+        let mut cx = Context {
+            files: vec![SourceFile::new("crates/x/src/lib.rs", FIXTURE)],
+            ..Context::default()
+        };
+        let over = PanicRatchet.run(&cx);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].severity, Severity::Error);
+        assert_eq!(over[0].span.line, 3);
+
+        cx.config =
+            Config::from_toml("[panic-budget]\n\"crates/x/src/lib.rs\" = 2\n").expect("config");
+        let under = PanicRatchet.run(&cx);
+        assert_eq!(under.len(), 1);
+        assert_eq!(under[0].severity, Severity::Note);
+
+        cx.config =
+            Config::from_toml("[panic-budget]\n\"crates/x/src/lib.rs\" = 1\n").expect("config");
+        assert!(PanicRatchet.run(&cx).is_empty(), "exactly on budget");
+    }
+}

@@ -1,0 +1,78 @@
+//! `partial-cmp` — float ordering goes through `f64::total_cmp`, which
+//! cannot panic on NaN. Crates not yet migrated are allowlisted under
+//! `[allow] partial-cmp` in `xtask.toml`.
+
+use crate::diag::{Diagnostic, Span};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct PartialCmp;
+
+/// `(1-based line, 1-based column)` of `partial_cmp` calls in stripped
+/// library code.
+pub fn partial_cmp_sites(stripped: &str) -> Vec<(usize, usize)> {
+    let needle = ".partial_cmp(";
+    let mut out = Vec::new();
+    for (i, line) in stripped.lines().enumerate() {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(needle) {
+            out.push((i + 1, from + idx + 2)); // column of the `p`
+            from += idx + needle.len();
+        }
+    }
+    out
+}
+
+impl super::Pass for PartialCmp {
+    fn id(&self) -> &'static str {
+        "partial-cmp"
+    }
+
+    fn description(&self) -> &'static str {
+        "float ordering must use f64::total_cmp, not partial_cmp"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &cx.files {
+            for (line, column) in partial_cmp_sites(&file.stripped) {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::at(&file.rel, line, column),
+                        "partial_cmp on floats can surface NaN panics",
+                    )
+                    .with_help("use f64::total_cmp"),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::source::{library_code, SourceFile};
+
+    #[test]
+    fn partial_cmp_is_flagged_with_column() {
+        let src = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        assert_eq!(partial_cmp_sites(&library_code(src)), vec![(2, 24)]);
+    }
+
+    #[test]
+    fn pass_reports_span() {
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/x/src/lib.rs",
+                "fn f(a: f64, b: f64) -> bool {\n    a.partial_cmp(&b).is_some()\n}\n",
+            )],
+            ..Context::default()
+        };
+        let diags = PartialCmp.run(&cx);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].span, Span::at("crates/x/src/lib.rs", 2, 7));
+    }
+}

@@ -1,0 +1,114 @@
+//! `unit-suffix` — `pub foo_mhz: f64`-style fields leak raw unit-suffixed
+//! scalars through public APIs; typed quantities from
+//! `dora_sim_core::units` carry the unit instead.
+//!
+//! Crates still mid-burn-down are allowlisted under `[allow] unit-suffix`
+//! in `xtask.toml`.
+
+use crate::diag::{Diagnostic, Span};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct UnitSuffix;
+
+const BANNED_SUFFIXES: [&str; 11] = [
+    "_mhz", "_ghz", "_khz", "_hz", "_ms", "_s", "_mw", "_w", "_j", "_c", "_mpki",
+];
+
+/// Public `f64` struct fields whose names end in a raw unit suffix, as
+/// `(1-based line, field name)`.
+///
+/// `_per_` compound names (e.g. `resistance_k_per_w`) describe a ratio
+/// whose unit is the name, not a disguised scalar quantity, and are
+/// exempt.
+pub fn suffixed_fields(stripped: &str) -> Vec<(usize, String)> {
+    let mut found = Vec::new();
+    for (i, line) in stripped.lines().enumerate() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("pub ") else {
+            continue;
+        };
+        let Some((name, ty)) = rest.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        let ty = ty.trim().trim_end_matches(',');
+        if ty != "f64" || name.contains('(') || name.contains("_per_") {
+            continue;
+        }
+        if BANNED_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            found.push((i + 1, name.to_string()));
+        }
+    }
+    found
+}
+
+impl super::Pass for UnitSuffix {
+    fn id(&self) -> &'static str {
+        "unit-suffix"
+    }
+
+    fn description(&self) -> &'static str {
+        "public f64 fields must not carry raw unit suffixes; use typed quantities"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &cx.files {
+            for (line, name) in suffixed_fields(&file.stripped) {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::line(&file.rel, line),
+                        format!("public field `{name}: f64` carries a raw unit suffix"),
+                    )
+                    .with_help("use a typed quantity from dora_sim_core::units instead"),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::source::{library_code, SourceFile};
+
+    const FIXTURE: &str = r#"
+/// A result row.
+pub struct Row {
+    /// Core clock in megahertz.
+    pub freq_mhz: f64,
+    /// A ratio, exempt.
+    pub joules_per_s: f64,
+    /// Typed, fine.
+    pub load_time: Seconds,
+}
+"#;
+
+    #[test]
+    fn public_mhz_field_is_flagged() {
+        let found = suffixed_fields(&library_code(FIXTURE));
+        assert_eq!(found, vec![(5, "freq_mhz".to_string())]);
+    }
+
+    #[test]
+    fn suffixed_non_f64_and_private_fields_pass() {
+        let src = "pub struct S {\n    pub t: Seconds,\n    load_s: f64,\n    pub f_hz: u64,\n}\n";
+        assert!(suffixed_fields(&library_code(src)).is_empty());
+    }
+
+    #[test]
+    fn pass_emits_span_carrying_diagnostic() {
+        let cx = Context {
+            files: vec![SourceFile::new("crates/x/src/lib.rs", FIXTURE)],
+            ..Context::default()
+        };
+        let diags = UnitSuffix.run(&cx);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].span, Span::line("crates/x/src/lib.rs", 5));
+        assert!(diags[0].message.contains("freq_mhz"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Source-text utilities shared by the passes.
+//!
+//! Everything operates on source *text* rather than a parsed AST: the
+//! checks stay dependency-free, run in milliseconds over the whole tree,
+//! and can be unit-tested against small fixture strings. Stripping
+//! preserves line structure so reported spans stay true.
+
+/// One library source file loaded into the lint [`crate::Context`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated.
+    pub rel: String,
+    /// Raw file contents.
+    pub text: String,
+    /// [`library_code`] view: comments and `#[cfg(test)]` modules blanked.
+    pub stripped: String,
+}
+
+impl SourceFile {
+    /// Builds a file from its path and contents, computing the stripped
+    /// view.
+    pub fn new(rel: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let stripped = library_code(&text);
+        SourceFile {
+            rel: rel.into(),
+            text,
+            stripped,
+        }
+    }
+
+    /// The crate directory key this file belongs to: `crates/<name>/…` →
+    /// `<name>`, `xtask/…` → `xtask`, the root `src/` → `dora-repro`.
+    pub fn crate_key(&self) -> &str {
+        if let Some(rest) = self.rel.strip_prefix("crates/") {
+            rest.split('/').next().unwrap_or(rest)
+        } else if self.rel.starts_with("xtask/") {
+            "xtask"
+        } else {
+            "dora-repro"
+        }
+    }
+}
+
+/// Returns `source` with comments and `#[cfg(test)]` modules blanked out,
+/// preserving line structure so reported line numbers stay true.
+///
+/// The pass is textual, not a full parser: a line comment marker inside a
+/// string literal is treated as a comment. That trade-off keeps the tool
+/// dependency-free and has no false positives on this rustfmt'd tree.
+pub fn library_code(source: &str) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut skip_above: Option<usize> = None;
+    let mut depth = 0usize;
+    let mut pending_cfg_test = false;
+    for raw in source.lines() {
+        let code = match raw.find("//") {
+            Some(idx) => &raw[..idx],
+            None => raw,
+        };
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        let emit = if let Some(entry) = skip_above {
+            depth = (depth + opens).saturating_sub(closes);
+            if depth <= entry {
+                skip_above = None;
+            }
+            false
+        } else if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            depth = (depth + opens).saturating_sub(closes);
+            false
+        } else if pending_cfg_test && code.trim_start().starts_with("mod") && code.contains('{') {
+            // The attribute applied to this module: skip until its brace
+            // closes back to the entry depth.
+            let entry = depth;
+            depth = (depth + opens).saturating_sub(closes);
+            if depth > entry {
+                skip_above = Some(entry);
+            }
+            pending_cfg_test = false;
+            false
+        } else {
+            if !code.trim().is_empty() {
+                pending_cfg_test = false;
+            }
+            depth = (depth + opens).saturating_sub(closes);
+            true
+        };
+        out.push(if emit {
+            code.to_string()
+        } else {
+            String::new()
+        });
+    }
+    let mut text = out.join("\n");
+    // `lines()` would otherwise swallow a final blanked line, shifting the
+    // stripped view's line count relative to the raw file.
+    if source.ends_with('\n') {
+        text.push('\n');
+    }
+    text
+}
+
+/// Replaces the contents of `"…"` string literals with spaces, preserving
+/// length and line structure, so token scans cannot match inside strings.
+///
+/// Handles `\"` escapes; char literals and raw strings are left alone
+/// (rare enough in this tree that the passes tolerate them).
+pub fn blank_strings(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in source.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+                out.push(' ');
+            } else if c == '\\' {
+                escaped = true;
+                out.push(' ');
+            } else if c == '"' {
+                in_string = false;
+                out.push('"');
+            } else if c == '\n' {
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        } else {
+            if c == '"' {
+                in_string = true;
+            }
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Float literals (`1.5`, `2.0e8`, `20e-6`) in one line of string-blanked
+/// code: `(1-based column, literal text, parsed value)`.
+pub fn float_literals(line: &str) -> Vec<(usize, String, f64)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        // Not a literal start if glued to an identifier or to `.` (method
+        // position / tuple index like `x.0`).
+        if i > 0 {
+            let prev = bytes[i - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.' {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let mut is_float = false;
+        if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+            is_float = true;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+        if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+            let mut j = i + 1;
+            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j].is_ascii_digit() {
+                is_float = true;
+                i = j;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+        }
+        // `1.0f64` / `1.0f32` suffix.
+        if is_float && (line[i..].starts_with("f64") || line[i..].starts_with("f32")) {
+            i += 3;
+        }
+        if is_float {
+            let text = &line[start..i];
+            let cleaned: String = text
+                .trim_end_matches("f64")
+                .trim_end_matches("f32")
+                .chars()
+                .filter(|&c| c != '_')
+                .collect();
+            if let Ok(v) = cleaned.parse::<f64>() {
+                out.push((start + 1, text.to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE_UNWRAP: &str = r#"
+pub fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_is_fine() {
+        let x: Option<u8> = None;
+        x.unwrap();
+    }
+}
+"#;
+
+    #[test]
+    fn test_modules_are_blanked_but_lines_preserved() {
+        let stripped = library_code(FIXTURE_UNWRAP);
+        assert_eq!(stripped.lines().count(), FIXTURE_UNWRAP.lines().count());
+        assert!(stripped.contains("read_to_string"));
+        assert!(!stripped.contains("in_tests_is_fine"));
+    }
+
+    #[test]
+    fn comments_are_blanked() {
+        let stripped = library_code("/// Call `.unwrap()` at your peril.\nfn ok() {}\n");
+        assert!(!stripped.contains("unwrap"));
+        assert!(stripped.contains("fn ok"));
+    }
+
+    #[test]
+    fn strings_blank_to_same_length() {
+        let s = blank_strings("let x = \"HashMap \\\" inside\"; HashMap");
+        assert_eq!(s.len(), "let x = \"HashMap \\\" inside\"; HashMap".len());
+        assert_eq!(s.matches("HashMap").count(), 1);
+    }
+
+    #[test]
+    fn float_literal_scanner_finds_values_and_columns() {
+        let found = float_literals("const K: f64 = 0.30e-9 + 2.0; let i = 42; x.0;");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].1, "0.30e-9");
+        assert!((found[0].2 - 0.30e-9).abs() < 1e-24);
+        assert_eq!(found[0].0, 16);
+        assert_eq!(found[1].1, "2.0");
+    }
+
+    #[test]
+    fn integers_and_tuple_indexes_are_not_floats() {
+        assert!(float_literals("let a = [1, 2, 3]; b.1; 1_000;").is_empty());
+        assert_eq!(float_literals("20e-6")[0].2, 20e-6);
+    }
+
+    #[test]
+    fn crate_key_maps_paths() {
+        assert_eq!(
+            SourceFile::new("crates/soc/src/dvfs.rs", "").crate_key(),
+            "soc"
+        );
+        assert_eq!(
+            SourceFile::new("xtask/src/main.rs", "").crate_key(),
+            "xtask"
+        );
+        assert_eq!(SourceFile::new("src/lib.rs", "").crate_key(), "dora-repro");
+    }
+}

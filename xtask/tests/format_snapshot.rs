@@ -1,0 +1,77 @@
+//! Snapshot tests pinning the JSON and SARIF output shapes.
+//!
+//! CI consumers (the SARIF artifact upload, any jq-based tooling) parse
+//! these documents; a field rename or reordering is a breaking change and
+//! must show up as a reviewed diff here.
+
+use xtask::diag::{Diagnostic, Span};
+use xtask::render;
+
+fn sample() -> Vec<Diagnostic> {
+    vec![
+        Diagnostic::error(
+            "map-determinism",
+            Span::at("crates/campaign/src/export.rs", 12, 5),
+            "`HashMap` in export-reachable code: iteration order is nondeterministic",
+        )
+        .with_help("use BTreeMap/BTreeSet, or collect and sort before serializing"),
+        Diagnostic::note(
+            "panic-ratchet",
+            Span::file("crates/soc/src/board.rs"),
+            "4 panic-capable site(s), budget is 6 — budget can ratchet down",
+        ),
+    ]
+}
+
+#[test]
+fn json_shape_is_stable() {
+    let expected = r#"{
+  "version": 1,
+  "diagnostics": [
+    {"lint": "map-determinism", "severity": "error", "file": "crates/campaign/src/export.rs", "line": 12, "column": 5, "message": "`HashMap` in export-reachable code: iteration order is nondeterministic", "help": "use BTreeMap/BTreeSet, or collect and sort before serializing"},
+    {"lint": "panic-ratchet", "severity": "note", "file": "crates/soc/src/board.rs", "line": 0, "column": 0, "message": "4 panic-capable site(s), budget is 6 — budget can ratchet down", "help": null}
+  ]
+}
+"#;
+    assert_eq!(render::json(&sample()), expected);
+}
+
+#[test]
+fn sarif_shape_is_stable() {
+    let rules = [
+        ("map-determinism", "no hash-seeded iteration in export code"),
+        ("panic-ratchet", "per-file panic budget only ratchets down"),
+    ];
+    let text = render::sarif(&sample(), &rules);
+
+    // Document skeleton.
+    assert!(text.starts_with("{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\""));
+    assert!(text.contains("\"version\": \"2.1.0\""));
+    assert!(text.contains("\"name\": \"xtask-lint\""));
+
+    // The full rules table is present, in registry order.
+    let r0 = text.find("\"id\": \"map-determinism\"").expect("rule 0");
+    let r1 = text.find("\"id\": \"panic-ratchet\"").expect("rule 1");
+    assert!(r0 < r1);
+
+    // Results carry ruleId, ruleIndex, level and a span-bearing location.
+    assert!(text.contains("\"ruleId\": \"map-determinism\""));
+    assert!(text.contains("\"ruleIndex\": 0"));
+    assert!(text.contains("\"level\": \"error\""));
+    assert!(text.contains("\"uri\": \"crates/campaign/src/export.rs\""));
+    assert!(text.contains("\"region\": {\"startLine\": 12, \"startColumn\": 5}"));
+
+    // File-scoped findings omit the region entirely and map note → note.
+    assert!(text.contains("\"uri\": \"crates/soc/src/board.rs\"}\n"));
+    assert!(text.contains("\"level\": \"note\""));
+}
+
+#[test]
+fn both_formats_are_valid_when_empty() {
+    assert_eq!(
+        render::json(&[]),
+        "{\n  \"version\": 1,\n  \"diagnostics\": [\n  ]\n}\n"
+    );
+    let text = render::sarif(&[], &[("panic-ratchet", "d")]);
+    assert!(text.contains("\"results\": [\n      ]"));
+}

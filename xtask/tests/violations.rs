@@ -1,0 +1,153 @@
+//! End-to-end fixture tests: each of the four semantic passes must turn a
+//! synthetic violating tree into a non-zero exit (error-severity
+//! diagnostics surviving `run_passes` policy), and the same tree repaired
+//! must come back clean.
+
+use xtask::source::SourceFile;
+use xtask::workspace::parse_manifest;
+use xtask::{render, run_passes, Config, Context};
+
+fn exit_code(cx: &Context) -> i32 {
+    let (errors, _, _) = render::tally(&run_passes(cx));
+    i32::from(errors > 0)
+}
+
+/// Whether `lint` reports any error on this context. The clean-side
+/// assertions scope to the lint under test: the synthetic fixtures are
+/// deliberately minimal, so unrelated whole-tree passes (e.g. dvfs-guard
+/// noticing the missing dvfs.rs) still fire on them.
+fn lint_fires(cx: &Context, lint: &str) -> bool {
+    run_passes(cx).iter().any(|d| d.lint == lint)
+}
+
+#[test]
+fn layering_violation_fails_and_repaired_tree_passes() {
+    let config = Config::from_toml("[layering]\nlayers = [[\"dora-soc\"], [\"dora-campaign\"]]\n")
+        .expect("config");
+    let manifests = |soc_deps: &str| {
+        vec![
+            parse_manifest(
+                "crates/soc/Cargo.toml",
+                &format!("[package]\nname = \"dora-soc\"\n[dependencies]\n{soc_deps}"),
+            )
+            .expect("manifest"),
+            parse_manifest(
+                "crates/campaign/Cargo.toml",
+                "[package]\nname = \"dora-campaign\"\n[dependencies]\ndora-soc = { path = \"../soc\" }\n",
+            )
+            .expect("manifest"),
+        ]
+    };
+
+    // An upward edge: the substrate crate depending on the orchestrator.
+    let cx = Context {
+        manifests: manifests("dora-campaign = { path = \"../campaign\" }\n"),
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "crate-layering" && d.message.contains("dora-campaign")),
+        "{diags:?}"
+    );
+
+    // Same workspace without the upward edge is clean.
+    let cx = Context {
+        manifests: manifests(""),
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "crate-layering"));
+}
+
+#[test]
+fn determinism_violation_fails_and_btreemap_passes() {
+    let config =
+        Config::from_toml("[determinism]\nexport_paths = [\"crates/campaign/src/export.rs\"]\n")
+            .expect("config");
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/campaign/src/export.rs",
+            "use std::collections::HashMap;\npub fn rows() -> HashMap<String, f64> { todo!() }\n",
+        )],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/campaign/src/export.rs",
+            "use std::collections::BTreeMap;\npub fn rows() -> BTreeMap<String, f64> { todo!() }\n",
+        )],
+        config,
+        ..Context::default()
+    };
+    // No api-surface snapshot is configured, so restrict to the lint under
+    // test by checking the surviving lints directly.
+    assert!(
+        run_passes(&cx).iter().all(|d| d.lint != "map-determinism"),
+        "BTreeMap must not trip map-determinism"
+    );
+}
+
+#[test]
+fn uncited_constant_fails_and_cited_passes() {
+    let config = Config::from_toml(
+        "[constants]\nmodules = [\"crates/soc/src/power.rs\"]\ntrivial = [0.0, 1.0]\n",
+    )
+    .expect("config");
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/soc/src/power.rs",
+            "pub const K1: f64 = 0.22;\n",
+        )],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/soc/src/power.rs",
+            "pub const K1: f64 = 0.22; // paper: Eq. 5\n",
+        )],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert!(run_passes(&cx).iter().all(|d| d.lint != "paper-constants"));
+
+    // A magic float const outside any designated module also fails.
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/governors/src/interactive.rs",
+            "const UP_THRESHOLD: f64 = 0.85;\n",
+        )],
+        config,
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+}
+
+#[test]
+fn api_drift_fails_and_blessed_snapshot_passes() {
+    let file = SourceFile::new(
+        "crates/soc/src/lib.rs",
+        "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn frequency() -> u64 {\n    0\n}\n",
+    );
+    // Snapshot missing the symbol → drift → non-zero.
+    let mut cx = Context {
+        files: vec![file.clone()],
+        ..Context::default()
+    };
+    cx.api_snapshots.insert("soc".into(), String::new());
+    assert_eq!(exit_code(&cx), 1);
+
+    // Blessed snapshot → clean.
+    cx.api_snapshots
+        .insert("soc".into(), "pub fn frequency() -> u64\n".into());
+    assert!(!lint_fires(&cx, "api-surface"));
+}
