@@ -3,7 +3,8 @@
 # gate (xtask), then the tier-1 build + test pass
 # (ROADMAP.md: `cargo build --release && cargo test -q`).
 
-.PHONY: verify fmt lint xtask-lint sarif bless-api lint-fix build test bench
+.PHONY: verify fmt lint xtask-lint sarif bless-api lint-fix build test bench \
+        check-interleave miri
 
 verify: fmt lint xtask-lint build test
 
@@ -13,10 +14,10 @@ fmt:
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# The nine-pass diagnostics framework (DESIGN.md §8), configured by
+# The ten-pass diagnostics framework (DESIGN.md §8), configured by
 # xtask/xtask.toml: panic ratchet, unit-suffix and partial_cmp bans,
 # lint headers, DVFS guard, crate layering, export determinism,
-# paper-constant provenance, API-surface snapshots.
+# sync hygiene, paper-constant provenance, API-surface snapshots.
 xtask-lint:
 	cargo run -q -p xtask -- lint
 
@@ -40,3 +41,15 @@ test:
 
 bench:
 	cargo bench -p dora-bench --bench parallel
+
+# Model-check the campaign executor under every bounded interleaving
+# (DESIGN.md §9): the interleave crate's own suite, then the executor
+# suite with the sync facade swapped to the model primitives.
+check-interleave:
+	cargo test -p interleave
+	RUSTFLAGS="--cfg interleave" cargo test -p dora-campaign
+
+# Undefined-behavior sweep of the concurrency layer (nightly-only).
+miri:
+	cargo +nightly miri test -p interleave --lib
+	cargo +nightly miri test -p dora-campaign --lib executor

@@ -16,20 +16,27 @@
 //!
 //! With `jobs == 1` the executor does not spawn at all — it *is* the
 //! sequential loop, byte for byte and allocation for allocation.
+//!
+//! All synchronization goes through [`crate::sync`], so building with
+//! `--cfg interleave` swaps in the model checker and
+//! `tests/interleave.rs` proves these guarantees hold under every
+//! bounded interleaving, not just the schedules the OS happens to pick.
+//! DESIGN.md §9 walks through the cursor protocol and the argument for
+//! why the first reported `try_map` error is schedule-independent.
 
+use crate::sync::{thread, AtomicBool, AtomicUsize, Mutex, Ordering, PoisonError};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// How many worker threads a campaign may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// One worker: the classic in-order loop (what `--jobs 1` selects).
     Sequential,
-    /// One worker per available core (what `--jobs` defaults to).
+    /// One worker per available core (what `--jobs` defaults to; also
+    /// what `--jobs 0` requests).
     #[default]
     Auto,
-    /// Exactly this many workers (`--jobs N`); 0 is treated as 1.
+    /// Exactly this many workers (`--jobs N`).
     Fixed(usize),
 }
 
@@ -38,7 +45,7 @@ impl Parallelism {
     pub fn jobs(self) -> usize {
         match self {
             Parallelism::Sequential => 1,
-            Parallelism::Auto => std::thread::available_parallelism()
+            Parallelism::Auto => thread::available_parallelism()
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
             Parallelism::Fixed(n) => n.max(1),
@@ -89,9 +96,12 @@ impl Executor {
     /// order**, regardless of which worker ran which item.
     ///
     /// Work is distributed through a shared atomic cursor, so uneven item
-    /// costs (a 60 s timeout next to a 1 s load) still balance. A panic
-    /// in `f` propagates to the caller once all workers have stopped.
-    #[allow(clippy::expect_used)] // worker panics resume_unwind before the lock is read
+    /// costs (a 60 s timeout next to a 1 s load) still balance. Workers
+    /// accumulate `(index, result)` pairs locally and the pairs are
+    /// merged after the join, so the steady state takes no lock at all.
+    /// A panic in `f` propagates to the caller once all workers have
+    /// stopped.
+    #[allow(clippy::expect_used)] // the cursor hands out each index exactly once
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -104,45 +114,59 @@ impl Executor {
         }
 
         let cursor = AtomicUsize::new(0);
-        // Slots are pre-sized so each finished item lands at its own
-        // index; the mutex only guards the Vec, never the work.
-        let slots: Mutex<Vec<Option<R>>> = {
-            let mut v = Vec::with_capacity(items.len());
-            v.resize_with(items.len(), || None);
-            Mutex::new(v)
-        };
-
-        std::thread::scope(|scope| {
+        let batches: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    scope.spawn(|| loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= items.len() {
-                            break;
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            // ordering: the cursor is a pure claim ticket —
+                            // the fetch_add's atomicity alone guarantees each
+                            // index is handed out once; no other memory is
+                            // published through it.
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= items.len() {
+                                break;
+                            }
+                            local.push((idx, f(&items[idx])));
                         }
-                        let result = f(&items[idx]);
-                        slots.lock().expect("no poisoned result slots")[idx] = Some(result);
+                        local
                     })
                 })
                 .collect();
+            let mut batches = Vec::with_capacity(workers);
             for handle in handles {
-                if let Err(panic) = handle.join() {
-                    std::panic::resume_unwind(panic);
+                match handle.join() {
+                    Ok(local) => batches.push(local),
+                    Err(panic) => std::panic::resume_unwind(panic),
                 }
             }
+            batches
         });
 
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (idx, result) in batches.into_iter().flatten() {
+            slots[idx] = Some(result);
+        }
         slots
-            .into_inner()
-            .expect("workers joined")
             .into_iter()
-            .map(|slot| slot.expect("every index was visited"))
+            .map(|slot| slot.expect("every index was claimed exactly once"))
             .collect()
     }
 
     /// [`Executor::map`] for fallible work: the first error (in **input
     /// order**, not completion order) wins, so error reporting is as
     /// deterministic as the results.
+    ///
+    /// An error also cancels the remaining work: once any item fails, a
+    /// shared stop flag keeps workers from claiming further items (items
+    /// already claimed still run to completion). Cancellation cannot
+    /// change which error is reported — the cursor hands out indices in
+    /// order, so the smallest erroring index is always claimed, and
+    /// therefore always recorded, before any later error can stop the
+    /// fan-out.
+    #[allow(clippy::expect_used)] // in the Ok case every index was claimed
     pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
     where
         T: Sync,
@@ -150,13 +174,82 @@ impl Executor {
         E: Send,
         F: Fn(&T) -> Result<R, E> + Sync,
     {
-        self.map(items, f).into_iter().collect()
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let batches: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            // ordering: a best-effort shutdown hint; the lock
+                            // around `first_err` already orders the error
+                            // itself, and a stale read here only costs one
+                            // extra item of work.
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // ordering: claim ticket, as in `map`.
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= items.len() {
+                                break;
+                            }
+                            match f(&items[idx]) {
+                                Ok(result) => local.push((idx, result)),
+                                Err(err) => {
+                                    let mut slot =
+                                        first_err.lock().unwrap_or_else(PoisonError::into_inner);
+                                    if slot.as_ref().is_none_or(|(seen, _)| idx < *seen) {
+                                        *slot = Some((idx, err));
+                                    }
+                                    drop(slot);
+                                    // ordering: pure flag; see the load above.
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut batches = Vec::with_capacity(workers);
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => batches.push(local),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            batches
+        });
+
+        if let Some((_, err)) = first_err
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return Err(err);
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (idx, result) in batches.into_iter().flatten() {
+            slots[idx] = Some(result);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("no error recorded, so every index was claimed"))
+            .collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn parallelism_resolves_to_positive_jobs() {
@@ -214,6 +307,36 @@ mod tests {
     }
 
     #[test]
+    fn try_map_cancels_remaining_work_after_an_error() {
+        use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+        let items: Vec<u64> = (0..4096).collect();
+        let processed = StdAtomicUsize::new(0);
+        let result = Executor::new(Parallelism::Fixed(4)).try_map(&items, |&x| {
+            processed.fetch_add(1, StdOrdering::SeqCst);
+            if x == 0 {
+                Err("item 0 failed")
+            } else {
+                // Enough busywork that cancellation can outrun the sweep.
+                let mut acc = x;
+                for i in 0..5_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                Ok(acc)
+            }
+        });
+        // The error is deterministic even though cancellation raced the
+        // other workers; far fewer than all items should have run.
+        assert_eq!(result, Err("item 0 failed"));
+        let ran = processed.load(StdOrdering::SeqCst);
+        assert!(
+            ran < items.len(),
+            "cancellation should skip most of the {} items, but {ran} ran",
+            items.len()
+        );
+    }
+
+    #[test]
     fn worker_panics_propagate() {
         let items: Vec<u64> = (0..16).collect();
         let caught = std::panic::catch_unwind(|| {
@@ -223,5 +346,34 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// `map` is bit-identical to the sequential loop for arbitrary
+        /// item and worker counts, including the degenerate ones.
+        #[test]
+        fn map_matches_sequential_for_arbitrary_shapes(
+            items in prop::collection::vec(0u64..1_000_000, 0..40),
+            workers in 1usize..9,
+        ) {
+            let parallel = Executor::new(Parallelism::Fixed(workers)).map(&items, |&x| x * 3 + 1);
+            let sequential: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            prop_assert_eq!(parallel, sequential);
+        }
+
+        /// `try_map` reports the smallest erroring index for arbitrary
+        /// error sets, or the full sequential result when none errors.
+        #[test]
+        fn try_map_error_choice_is_schedule_independent(
+            items in prop::collection::vec(0u64..50, 0..40),
+            workers in 1usize..9,
+        ) {
+            let verdict = |&x: &u64| if x % 5 == 0 { Err(x) } else { Ok(x * 2) };
+            let got = Executor::new(Parallelism::Fixed(workers)).try_map(&items, verdict);
+            let expected: Result<Vec<u64>, u64> = items.iter().map(verdict).collect();
+            prop_assert_eq!(got, expected);
+        }
     }
 }

@@ -51,6 +51,7 @@ pub mod export;
 pub mod policy;
 pub mod runner;
 pub mod session;
+pub(crate) mod sync;
 pub mod training;
 pub mod workload;
 

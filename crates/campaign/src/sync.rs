@@ -1,0 +1,27 @@
+//! The executor's synchronization facade.
+//!
+//! Every primitive the campaign executor synchronizes through is
+//! imported from here and nowhere else (the `sync-hygiene` xtask pass
+//! enforces it). Normally the facade is a zero-cost re-export of `std`;
+//! under `--cfg interleave` it resolves to the in-tree model checker's
+//! drop-ins instead, so `crates/campaign/tests/interleave.rs` can
+//! explore every bounded interleaving of [`crate::executor`] without
+//! the executor changing a line.
+//!
+//! ```text
+//! RUSTFLAGS="--cfg interleave" cargo test -p dora-campaign --test interleave
+//! ```
+
+#[cfg(not(interleave))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(interleave))]
+pub(crate) use std::sync::{Mutex, PoisonError};
+#[cfg(not(interleave))]
+pub(crate) use std::thread;
+
+#[cfg(interleave)]
+pub(crate) use interleave::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(interleave)]
+pub(crate) use interleave::sync::{Mutex, PoisonError};
+#[cfg(interleave)]
+pub(crate) use interleave::thread;

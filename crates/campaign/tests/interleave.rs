@@ -1,0 +1,140 @@
+//! Model-check suite for the campaign executor.
+//!
+//! Compiled only under `--cfg interleave`, when [`dora_campaign`]'s sync
+//! facade resolves to the model checker's primitives:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg interleave" cargo test -p dora-campaign --test interleave
+//! ```
+//!
+//! Each test wraps an executor call in [`interleave::check`], so its
+//! assertions run under **every** interleaving of the worker threads up
+//! to the preemption bound — the bit-identical-to-sequential guarantee
+//! becomes a proved property of the cursor protocol instead of an
+//! observation about whichever schedules the OS produced.
+#![cfg(interleave)]
+
+use dora_campaign::executor::{Executor, Parallelism};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+// Instrumentation inside worker closures uses *std* atomics on purpose:
+// model execution is serialized, so they are exact counters that add no
+// scheduling points and keep the explored state space small.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `map` returns input-ordered results and runs the closure exactly
+/// once per item, under every explored schedule — and the exploration
+/// visits more than one schedule, so the guarantee is non-vacuous.
+#[test]
+fn map_is_exactly_once_and_input_ordered_under_every_schedule() {
+    let report = interleave::check(2, || {
+        let items: Vec<usize> = vec![0, 1, 2];
+        let calls: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
+        let results = Executor::new(Parallelism::Fixed(2)).map(&items, |&x| {
+            calls[x].fetch_add(1, Ordering::SeqCst);
+            x * 10
+        });
+        assert_eq!(results, vec![0, 10, 20], "input order");
+        for (idx, count) in calls.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                1,
+                "item {idx} ran exactly once"
+            );
+        }
+    });
+    assert!(
+        report.schedules > 1,
+        "two workers over three items must interleave in more than one way, got {report:?}"
+    );
+}
+
+/// `try_map` reports the smallest erroring index under every schedule,
+/// even though a later error may race it to the stop flag.
+#[test]
+fn try_map_error_is_deterministic_under_every_schedule() {
+    interleave::check(2, || {
+        let items: Vec<usize> = vec![0, 1, 2];
+        let result = Executor::new(Parallelism::Fixed(2)).try_map(&items, |&x| {
+            if x == 0 {
+                Ok(x)
+            } else {
+                Err(x)
+            }
+        });
+        assert_eq!(
+            result,
+            Err(1),
+            "smallest erroring index wins on every schedule"
+        );
+    });
+}
+
+/// `try_map` without errors matches the sequential loop under every
+/// schedule.
+#[test]
+fn try_map_ok_matches_sequential_under_every_schedule() {
+    interleave::check(2, || {
+        let items: Vec<usize> = vec![0, 1, 2];
+        let result = Executor::new(Parallelism::Fixed(2)).try_map(&items, |&x| Ok::<_, ()>(x + 1));
+        assert_eq!(result, Ok(vec![1, 2, 3]));
+    });
+}
+
+/// A worker panic reaches the caller under every explored schedule.
+#[test]
+fn worker_panics_propagate_under_every_schedule() {
+    interleave::check(2, || {
+        let items: Vec<usize> = vec![0, 1, 2];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(Parallelism::Fixed(2)).map(&items, |&x| {
+                assert!(x != 1, "boom");
+                x
+            })
+        }));
+        assert!(caught.is_err(), "the worker panic must reach the caller");
+    });
+}
+
+/// The protocol the executor deliberately does *not* use: claiming work
+/// with a load-then-store instead of `fetch_add`. The checker finds the
+/// double-claim schedule and hands back its step trace — the regression
+/// test for why the cursor must be a read-modify-write.
+#[test]
+fn racy_load_store_cursor_is_caught_with_a_trace() {
+    use interleave::sync::atomic::{AtomicUsize as ModelUsize, Ordering as ModelOrdering};
+
+    let failure = interleave::check_result(2, || {
+        let items = 2usize;
+        let cursor = ModelUsize::new(0);
+        let claimed: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(0)).collect();
+        interleave::thread::scope(|s| {
+            let claim = || loop {
+                // The bug under test: not atomic, so two threads can
+                // read the same cursor value and claim the same index.
+                let idx = cursor.load(ModelOrdering::SeqCst);
+                if idx >= items {
+                    break;
+                }
+                cursor.store(idx + 1, ModelOrdering::SeqCst);
+                claimed[idx].fetch_add(1, Ordering::SeqCst);
+            };
+            let h = s.spawn(claim);
+            claim();
+            h.join().expect("no panic");
+        });
+        for (idx, count) in claimed.iter().enumerate() {
+            assert!(
+                count.load(Ordering::SeqCst) <= 1,
+                "index {idx} claimed twice"
+            );
+        }
+    })
+    .expect_err("the load/store claim must double-claim under some schedule");
+
+    assert!(failure.message.contains("claimed twice"), "{failure}");
+    let rendered = failure.to_string();
+    assert!(
+        rendered.contains("AtomicUsize::load") && rendered.contains("AtomicUsize::store"),
+        "the trace names the racing operations:\n{rendered}"
+    );
+}

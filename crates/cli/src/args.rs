@@ -97,21 +97,23 @@ impl Args {
     }
 
     /// The campaign executor selected by `--jobs N` (default: one worker
-    /// per core; `--jobs 1` reproduces the sequential loop exactly).
+    /// per core; `--jobs 1` reproduces the sequential loop exactly;
+    /// `--jobs 0` means auto, matching make/cargo convention).
     ///
     /// # Errors
     ///
-    /// When `--jobs` is present but not a positive integer.
+    /// When `--jobs` is present but not a non-negative integer.
     pub fn executor(&self) -> Result<Executor, String> {
         match self.get("jobs") {
             None => Ok(Executor::new(Parallelism::Auto)),
             Some(v) => {
                 let n = v
                     .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("--jobs expects a positive integer, got {v:?}"))?;
-                Ok(Executor::new(Parallelism::Fixed(n)))
+                    .map_err(|_| format!("--jobs expects a non-negative integer, got {v:?}"))?;
+                Ok(Executor::new(match n {
+                    0 => Parallelism::Auto,
+                    n => Parallelism::Fixed(n),
+                }))
             }
         }
     }
@@ -162,26 +164,42 @@ mod tests {
         assert!(err.contains("--out"));
     }
 
+    /// The executor `--jobs <value>` resolves to.
+    fn executor_for(value: &str) -> Executor {
+        Args::parse(&strings(&["--jobs", value]))
+            .expect("parses")
+            .executor()
+            .expect("valid width")
+    }
+
     #[test]
     fn jobs_flag_selects_executor_width() {
         let default = Args::parse(&[]).expect("parses").executor().expect("auto");
         assert!(default.jobs() >= 1);
-        let one = Args::parse(&strings(&["--jobs", "1"]))
-            .expect("parses")
-            .executor()
-            .expect("sequential");
-        assert_eq!(one.jobs(), 1);
-        let four = Args::parse(&strings(&["--jobs", "4"]))
-            .expect("parses")
-            .executor()
-            .expect("fixed");
-        assert_eq!(four.jobs(), 4);
-        for bad in ["0", "-2", "many"] {
+        assert_eq!(executor_for("1").jobs(), 1);
+        assert_eq!(executor_for("4").jobs(), 4);
+        for bad in ["-2", "many", "1.5", ""] {
             // "-2" may already fail at parse; anything that parses must
             // be rejected by executor().
             if let Ok(a) = Args::parse(&strings(&["--jobs", bad])) {
                 assert!(a.executor().is_err(), "--jobs {bad} must be rejected");
             }
+        }
+    }
+
+    #[test]
+    fn jobs_round_trips_through_parallelism() {
+        // `--jobs 0` and the flag's absence both mean auto: one worker
+        // per available core, exactly what Parallelism::Auto resolves to.
+        let auto = Executor::new(Parallelism::Auto).jobs();
+        let absent = Args::parse(&[]).expect("parses").executor().expect("auto");
+        assert_eq!(absent.jobs(), auto);
+        assert_eq!(executor_for("0").jobs(), auto);
+        // Explicit widths round-trip verbatim, matching Fixed(n).
+        for n in [1usize, 2, 3, 8, 64] {
+            let got = executor_for(&n.to_string()).jobs();
+            assert_eq!(got, Executor::new(Parallelism::Fixed(n)).jobs());
+            assert_eq!(got, n);
         }
     }
 }

@@ -106,12 +106,11 @@ fn inspect_rejects_garbage_bundles() {
 
 #[test]
 fn jobs_flag_is_validated() {
-    let out = dora(&["csv", "--page", "Amazon", "--jobs", "0"]);
-    assert!(!out.status.success());
-    assert!(stderr(&out).contains("--jobs expects a positive integer"));
+    // `--jobs 0` means auto (round-tripped at the unit level in
+    // args.rs); only non-integers are rejected.
     let out = dora(&["csv", "--page", "Amazon", "--jobs", "some"]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("--jobs"));
+    assert!(stderr(&out).contains("--jobs expects a non-negative integer"));
 }
 
 #[test]

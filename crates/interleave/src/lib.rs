@@ -1,0 +1,305 @@
+//! # interleave (in-tree model checker)
+//!
+//! A dependency-free, offline implementation of the slice of the
+//! [loom](https://docs.rs/loom) idea this workspace needs: drop-in
+//! [`sync`]/[`thread`] primitives plus a **preemption-bounded DFS
+//! scheduler** ([`check`]) that exhaustively explores the thread
+//! interleavings of a closure, up to a bound on context switches taken
+//! while the switching thread could still run.
+//!
+//! The campaign executor routes all of its synchronization through a
+//! facade that resolves to these types under `--cfg interleave`, so its
+//! bit-identical-to-sequential guarantee is checked under *every*
+//! explored schedule instead of whichever one the OS happened to pick.
+//!
+//! ```
+//! use interleave::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let report = interleave::check(2, || {
+//!     let hits = AtomicUsize::new(0);
+//!     interleave::thread::scope(|s| {
+//!         let h = s.spawn(|| hits.fetch_add(1, Ordering::SeqCst));
+//!         hits.fetch_add(1, Ordering::SeqCst);
+//!         h.join().expect("no panic");
+//!     });
+//!     assert_eq!(hits.into_inner(), 2);
+//! });
+//! assert!(report.schedules >= 1);
+//! ```
+//!
+//! Differences from loom are deliberate:
+//!
+//! * **Interleavings, not weak memory.** Execution is serialized and
+//!   sequentially consistent; `Relaxed`/`Acquire`/`Release` orderings
+//!   are forwarded but add no reordering behaviors. The checker proves
+//!   schedule-independence of the protocol, not fence correctness.
+//! * **Preemption bounding, not partial-order reduction.** Exploration
+//!   is exhaustive up to `bound` preemptions (the CHESS result: almost
+//!   all real concurrency bugs manifest within two), and the explored
+//!   schedule count is reported so tests can assert real coverage.
+//! * **Failures replay deterministically.** A failing run reports the
+//!   exact choice sequence and a step trace; [`replay`] re-executes it.
+//!
+//! Model threads are real OS threads gated by a cooperative scheduler,
+//! so the primitives also work *outside* a check (degrading to `std`
+//! behavior) — a `--cfg interleave` build still runs its ordinary tests.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod sync;
+pub mod thread;
+
+mod scheduler;
+
+use scheduler::Execution;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Hard cap on schedules explored by one [`check`] call. Exceeding it is
+/// reported as a [`Failure`] (never a silent truncation): lower the
+/// preemption bound or the thread/operation count.
+pub const MAX_SCHEDULES: usize = 100_000;
+
+/// One scheduling step of an execution: which model thread performed
+/// which synchronization operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Model thread id (0 is the closure under check).
+    pub thread: usize,
+    /// The operation that reached the scheduler.
+    pub op: String,
+}
+
+/// Statistics from a completed, failure-free exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// Deepest choice-point count over all schedules.
+    pub max_depth: usize,
+    /// The preemption bound the exploration ran under.
+    pub bound: usize,
+}
+
+/// A failing schedule: what went wrong, the exact choices that reach it,
+/// and the step trace of the execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The panic message, deadlock report, or budget overrun.
+    pub message: String,
+    /// Choice indices reproducing the failure (see [`replay`]).
+    pub schedule: Vec<usize>,
+    /// Every scheduling step of the failing execution, in order.
+    pub trace: Vec<Step>,
+    /// Schedules executed up to and including the failing one.
+    pub schedules: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model check failed on schedule #{}: {}",
+            self.schedules, self.message
+        )?;
+        writeln!(f, "schedule (choice indices): {:?}", self.schedule)?;
+        writeln!(f, "step trace of the failing schedule:")?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. t{} {}", i + 1, step.thread, step.op)?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one execution, extracted after the run.
+struct Outcome {
+    choices: Vec<(usize, usize)>,
+    trace: Vec<Step>,
+    failure: Option<String>,
+}
+
+/// Renders a caught panic payload as a message.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs `f` once under the scheduler, replaying `prefix` and taking the
+/// first candidate at any fresh choice point.
+fn run_once<F: Fn()>(bound: usize, prefix: Vec<usize>, f: &F) -> Outcome {
+    let exec = Arc::new(Execution::new(bound, prefix));
+    scheduler::install(exec.clone(), 0);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    scheduler::clear();
+    let (choices, trace, recorded) = exec.snapshot();
+    let failure = recorded.or_else(|| match result {
+        Ok(()) => None,
+        Err(payload) if scheduler::is_abort(payload.as_ref()) => {
+            // The sentinel without a recorded failure cannot happen, but
+            // degrade to an explicit message rather than swallowing it.
+            Some("execution aborted".to_string())
+        }
+        Err(payload) => Some(payload_message(payload.as_ref())),
+    });
+    Outcome {
+        choices,
+        trace,
+        failure,
+    }
+}
+
+/// Exhaustively explores the interleavings of `f` up to `bound`
+/// preemptions, returning exploration statistics on success or the
+/// first failing schedule.
+///
+/// `f` runs once per schedule and must be deterministic apart from
+/// scheduling; replay divergence is itself reported as a failure.
+///
+/// # Errors
+///
+/// A [`Failure`] carrying the failing schedule's choice sequence and
+/// step trace when any explored schedule panics, deadlocks, diverges
+/// under replay, or the [`MAX_SCHEDULES`] budget is exhausted.
+pub fn check_result<F: Fn()>(bound: usize, f: F) -> Result<Report, Failure> {
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    let mut max_depth = 0usize;
+    loop {
+        let outcome = run_once(bound, prefix.clone(), &f);
+        schedules += 1;
+        max_depth = max_depth.max(outcome.choices.len());
+        if let Some(message) = outcome.failure {
+            return Err(Failure {
+                message,
+                schedule: outcome.choices.iter().map(|&(c, _)| c).collect(),
+                trace: outcome.trace,
+                schedules,
+            });
+        }
+        // Depth-first backtrack: advance the deepest choice point that
+        // still has an unexplored candidate, drop everything below it.
+        let mut next = outcome.choices;
+        loop {
+            match next.last().copied() {
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        max_depth,
+                        bound,
+                    })
+                }
+                Some((chosen, candidates)) if chosen + 1 < candidates => {
+                    let last = next.len() - 1;
+                    next[last] = (chosen + 1, candidates);
+                    break;
+                }
+                Some(_) => {
+                    next.pop();
+                }
+            }
+        }
+        if schedules >= MAX_SCHEDULES {
+            return Err(Failure {
+                message: format!(
+                    "exploration budget exhausted after {MAX_SCHEDULES} schedules; \
+                     lower the preemption bound or the thread/operation count"
+                ),
+                schedule: Vec::new(),
+                trace: outcome.trace,
+                schedules,
+            });
+        }
+        prefix = next.iter().map(|&(c, _)| c).collect();
+    }
+}
+
+/// [`check_result`], panicking with the rendered failing schedule — the
+/// form model-check tests call.
+///
+/// # Panics
+///
+/// When any explored schedule fails; the panic message contains the
+/// step trace of the failing schedule.
+#[allow(clippy::panic)] // reporting a failed model check IS this API
+pub fn check<F: Fn()>(bound: usize, f: F) -> Report {
+    match check_result(bound, f) {
+        Ok(report) => report,
+        // Budgeted in xtask.toml: the whole point of `check` is to fail
+        // the surrounding test with the schedule trace attached.
+        Err(failure) => panic!("interleave: {failure}"),
+    }
+}
+
+/// Re-executes exactly one schedule — typically [`Failure::schedule`] —
+/// and reports whether it still fails. The deterministic-replay half of
+/// the checker: a printed schedule is enough to reproduce a bug.
+///
+/// # Errors
+///
+/// The reproduced [`Failure`] when the replayed schedule still fails.
+pub fn replay<F: Fn()>(bound: usize, schedule: &[usize], f: F) -> Result<(), Failure> {
+    let outcome = run_once(bound, schedule.to_vec(), &f);
+    match outcome.failure {
+        None => Ok(()),
+        Some(message) => Err(Failure {
+            message,
+            schedule: outcome.choices.iter().map(|&(c, _)| c).collect(),
+            trace: outcome.trace,
+            schedules: 1,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_closure_explores_one_schedule() {
+        let report = check(2, || {
+            let x = sync::atomic::AtomicUsize::new(0);
+            x.store(7, sync::atomic::Ordering::SeqCst);
+            assert_eq!(x.load(sync::atomic::Ordering::SeqCst), 7);
+        });
+        assert_eq!(report.schedules, 1);
+        assert_eq!(report.max_depth, 0);
+    }
+
+    #[test]
+    fn failure_renders_a_step_trace() {
+        let failure = Failure {
+            message: "boom".into(),
+            schedule: vec![1, 0],
+            trace: vec![
+                Step {
+                    thread: 0,
+                    op: "spawn".into(),
+                },
+                Step {
+                    thread: 1,
+                    op: "AtomicUsize::load".into(),
+                },
+            ],
+            schedules: 4,
+        };
+        let text = failure.to_string();
+        assert!(text.contains("schedule #4"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        assert!(text.contains("[1, 0]"), "{text}");
+        assert!(text.contains("1. t0 spawn"), "{text}");
+        assert!(text.contains("2. t1 AtomicUsize::load"), "{text}");
+    }
+
+    #[test]
+    fn payload_messages_degrade_gracefully() {
+        assert_eq!(payload_message(&"boom"), "boom");
+        assert_eq!(payload_message(&"boom".to_string()), "boom");
+        assert_eq!(payload_message(&42u8), "panicked with a non-string payload");
+    }
+}

@@ -1,0 +1,347 @@
+//! The cooperative scheduler behind one model-checked execution.
+//!
+//! Model threads are real OS threads, but at most one of them runs at a
+//! time: every synchronization operation (an atomic access, a mutex
+//! acquisition, a spawn, a join) first calls [`Execution::switch`], which
+//! records the step in the trace, consults the exploration prefix to pick
+//! the next thread, and parks the caller until it is scheduled again.
+//! Serializing execution this way makes the interleaving — not the OS —
+//! the only source of concurrency, so the DFS driver in the crate root
+//! can enumerate interleavings exhaustively and replay any of them.
+//!
+//! Blocking is modeled explicitly: a thread that cannot make progress
+//! (mutex held, join target still running) moves to [`Status::Blocked`]
+//! and is excluded from scheduling until a release or exit wakes it. If
+//! every live thread is blocked the execution is a deadlock; the
+//! scheduler records the failure and aborts the run by unwinding every
+//! model thread with a sentinel panic that [`crate::check_result`]
+//! recognizes and converts into a [`crate::Failure`].
+
+use crate::Step;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+/// The panic payload used to unwind model threads out of a cancelled
+/// execution (deadlock or replay divergence). Never user-visible:
+/// `check_result` reports the recorded failure instead.
+pub(crate) const ABORT: &str = "interleave: execution aborted";
+
+/// Unwinds the calling model thread out of a cancelled execution.
+#[allow(clippy::panic)] // the one sanctioned unwind channel of the checker
+fn bail() -> ! {
+    // Budgeted in xtask.toml: the sentinel is caught by `check_result`
+    // (or by std's scope machinery) and never escapes `check`.
+    panic!("{ABORT}")
+}
+
+/// What a model thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting on a mutex release or a thread exit; woken (made
+    /// runnable) by the next release/exit, after which it re-checks its
+    /// condition and either proceeds or blocks again.
+    Blocked,
+    /// Returned or panicked; never scheduled again.
+    Finished,
+}
+
+/// Mutable scheduler state, behind the execution's big lock.
+#[derive(Debug)]
+struct ExecState {
+    /// Per-thread status, indexed by model thread id.
+    status: Vec<Status>,
+    /// The thread currently allowed to run.
+    current: usize,
+    /// Choice indices to replay before exploring fresh ground.
+    prefix: Vec<usize>,
+    /// `(chosen index, candidate count)` at every choice point so far.
+    choices: Vec<(usize, usize)>,
+    /// Context switches taken while the switching thread was runnable.
+    preemptions: usize,
+    /// Maximum preemptions allowed in this execution.
+    bound: usize,
+    /// Set on deadlock/divergence: every scheduler entry point unwinds.
+    abort: bool,
+    /// The failure recorded for this execution, if any.
+    failure: Option<String>,
+    /// Every scheduling step taken, for failure reports.
+    trace: Vec<Step>,
+}
+
+/// One model-checked execution: the big lock plus the wakeup channel.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// The execution and model thread id of the calling OS thread, when
+    /// it is participating in a model-checked run.
+    static CONTEXT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's `(execution, thread id)`, if it is a model
+/// thread of an active `check`.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// Marks the calling OS thread as model thread `tid` of `exec`.
+pub(crate) fn install(exec: Arc<Execution>, tid: usize) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+/// Detaches the calling OS thread from its execution.
+pub(crate) fn clear() {
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Execution {
+    /// A fresh execution replaying `prefix` under `bound` preemptions,
+    /// with the driver registered as thread 0.
+    pub(crate) fn new(bound: usize, prefix: Vec<usize>) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                status: vec![Status::Runnable],
+                current: 0,
+                prefix,
+                choices: Vec::new(),
+                preemptions: 0,
+                bound,
+                abort: false,
+                failure: None,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The big lock. Poisoning is impossible to exploit here — state is
+    /// plain data — so a poisoned lock is simply re-entered.
+    fn locked(&self) -> StdMutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a newly spawned model thread and returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.locked();
+        st.status.push(Status::Runnable);
+        st.status.len() - 1
+    }
+
+    /// Whether model thread `tid` has exited.
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.locked().status[tid] == Status::Finished
+    }
+
+    /// `(choices, trace, failure)` of this execution so far.
+    pub(crate) fn snapshot(&self) -> (Vec<(usize, usize)>, Vec<Step>, Option<String>) {
+        let st = self.locked();
+        (st.choices.clone(), st.trace.clone(), st.failure.clone())
+    }
+
+    /// Wakes every blocked thread so it can re-check its condition.
+    fn wake_blocked(st: &mut ExecState) {
+        for s in &mut st.status {
+            if *s == Status::Blocked {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Records the failure, cancels the execution and unwinds the caller.
+    fn abort_with(&self, mut st: StdMutexGuard<'_, ExecState>, message: String) -> ! {
+        st.failure = Some(message);
+        st.abort = true;
+        self.cv.notify_all();
+        drop(st);
+        bail()
+    }
+
+    /// One scheduling point: records `op` in the trace, applies the
+    /// caller's status transition, picks the next thread to run (a DFS
+    /// choice point whenever more than one candidate is eligible) and, if
+    /// another thread was picked, parks the caller until rescheduled.
+    pub(crate) fn switch(&self, me: usize, op: &str, new_status: Option<Status>) {
+        let mut st = self.locked();
+        if st.abort {
+            drop(st);
+            bail();
+        }
+        st.trace.push(Step {
+            thread: me,
+            op: op.to_string(),
+        });
+        if let Some(s) = new_status {
+            st.status[me] = s;
+            if s == Status::Finished {
+                // Joiners and scope drains re-check on any exit.
+                Self::wake_blocked(&mut st);
+            }
+        }
+
+        let runnable: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.status.iter().all(|s| *s == Status::Finished) {
+                // Nothing left to schedule; the execution is over.
+                return;
+            }
+            let live = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Status::Blocked)
+                .map(|(i, _)| format!("t{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            self.abort_with(
+                st,
+                format!(
+                    "deadlock: every live thread is blocked ({live}), detected at t{me} `{op}`"
+                ),
+            );
+        }
+
+        let me_runnable = st.status[me] == Status::Runnable;
+        let candidates = if me_runnable && st.preemptions >= st.bound {
+            // Preemption budget spent: a runnable thread keeps running.
+            vec![me]
+        } else {
+            runnable
+        };
+        let pick = if candidates.len() == 1 {
+            0
+        } else {
+            let k = st.choices.len();
+            let chosen = if k < st.prefix.len() {
+                let c = st.prefix[k];
+                if c >= candidates.len() {
+                    self.abort_with(
+                        st,
+                        format!(
+                            "nondeterministic execution: replay choice {k} wants candidate {c} \
+                             of {}; the closure under check must be deterministic",
+                            candidates.len()
+                        ),
+                    );
+                }
+                c
+            } else {
+                0
+            };
+            st.choices.push((chosen, candidates.len()));
+            chosen
+        };
+        let next = candidates[pick];
+        if next != me && me_runnable {
+            st.preemptions += 1;
+        }
+        st.current = next;
+        self.cv.notify_all();
+        if next != me && st.status[me] != Status::Finished {
+            self.wait_for_turn(st, me);
+        }
+    }
+
+    /// Parks until this thread is both runnable and scheduled.
+    fn wait_for_turn(&self, mut st: StdMutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                bail();
+            }
+            if st.current == me && st.status[me] == Status::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Parks a freshly spawned thread until its first scheduling.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let st = self.locked();
+        self.wait_for_turn(st, me);
+    }
+
+    /// Notes a resource release (mutex unlock) and wakes blocked threads
+    /// to re-check. Deliberately not a scheduling point, and deliberately
+    /// panic-free: it runs from guard `Drop` impls, possibly mid-unwind.
+    pub(crate) fn resource_released(&self, me: usize, op: &str) {
+        let mut st = self.locked();
+        if st.abort {
+            return;
+        }
+        st.trace.push(Step {
+            thread: me,
+            op: op.to_string(),
+        });
+        Self::wake_blocked(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks thread `me` until every thread in `tids` has exited. Used
+    /// by `thread::scope` so std's real joins never wait on a thread the
+    /// model scheduler still owns.
+    pub(crate) fn drain(&self, me: usize, tids: &[usize]) {
+        loop {
+            {
+                let st = self.locked();
+                if st.abort {
+                    drop(st);
+                    bail();
+                }
+                if tids.iter().all(|&t| st.status[t] == Status::Finished) {
+                    return;
+                }
+            }
+            self.switch(me, "scope: await children", Some(Status::Blocked));
+        }
+    }
+}
+
+/// Whether a caught panic payload is the scheduler's abort sentinel.
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<&str>().is_some_and(|s| *s == ABORT)
+        || payload.downcast_ref::<String>().is_some_and(|s| s == ABORT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_installs_and_clears() {
+        assert!(current().is_none());
+        let exec = Arc::new(Execution::new(0, Vec::new()));
+        install(exec.clone(), 0);
+        let (got, tid) = current().expect("installed");
+        assert_eq!(tid, 0);
+        assert!(Arc::ptr_eq(&got, &exec));
+        clear();
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let exec = Execution::new(0, Vec::new());
+        assert_eq!(exec.register_thread(), 1);
+        assert_eq!(exec.register_thread(), 2);
+        assert!(!exec.is_finished(2));
+    }
+
+    #[test]
+    fn abort_payload_is_recognized() {
+        let payload = std::panic::catch_unwind(|| bail()).expect_err("bails");
+        assert!(is_abort(payload.as_ref()));
+        assert!(!is_abort(Box::new("other").as_ref()));
+    }
+}

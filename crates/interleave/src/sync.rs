@@ -1,0 +1,254 @@
+//! Model-checked drop-ins for the `std::sync` primitives the campaign
+//! executor uses.
+//!
+//! Each type mirrors the `std` API shape exactly (so a facade module can
+//! swap it in with a `use` flip) and carries the same data semantics,
+//! but every operation first yields to the active [`crate::check`]
+//! scheduler, turning it into an explorable interleaving point. Outside
+//! a `check` run the types degrade to thin wrappers over their `std`
+//! counterparts, so code compiled with `--cfg interleave` still runs
+//! normally in ordinary tests.
+//!
+//! Modeling scope: the checker explores *interleavings* under sequential
+//! consistency. Weak-memory reorderings permitted by `Relaxed`/`Acquire`
+//! /`Release` are **not** modeled — orderings are forwarded to the inner
+//! `std` atomic (preserving std's invalid-ordering panics) but add no
+//! extra behaviors. See DESIGN.md §9 for the consequences.
+
+use crate::scheduler::{self, Status};
+
+pub use std::sync::{LockResult, PoisonError, TryLockError};
+
+/// Yields to the scheduler at one named operation, when a check is
+/// active on this thread.
+fn yield_op(op: &str) {
+    if let Some((exec, me)) = scheduler::current() {
+        exec.switch(me, op, None);
+    }
+}
+
+/// Model-checked atomic types; mirrors `std::sync::atomic`.
+pub mod atomic {
+    use super::yield_op;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// A `std::sync::atomic::AtomicUsize` whose every access is an
+    /// interleaving point under [`crate::check`].
+    #[derive(Debug, Default)]
+    pub struct AtomicUsize {
+        inner: std::sync::atomic::AtomicUsize,
+    }
+
+    impl AtomicUsize {
+        /// An atomic holding `value`.
+        pub const fn new(value: usize) -> Self {
+            AtomicUsize {
+                inner: std::sync::atomic::AtomicUsize::new(value),
+            }
+        }
+
+        /// Loads the value.
+        pub fn load(&self, order: Ordering) -> usize {
+            yield_op("AtomicUsize::load");
+            self.inner.load(order)
+        }
+
+        /// Stores `value`.
+        pub fn store(&self, value: usize, order: Ordering) {
+            yield_op("AtomicUsize::store");
+            self.inner.store(value, order);
+        }
+
+        /// Adds `value`, returning the previous value.
+        pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+            yield_op("AtomicUsize::fetch_add");
+            self.inner.fetch_add(value, order)
+        }
+
+        /// Consumes the atomic, returning the value.
+        pub fn into_inner(self) -> usize {
+            self.inner.into_inner()
+        }
+    }
+
+    /// A `std::sync::atomic::AtomicBool` whose every access is an
+    /// interleaving point under [`crate::check`].
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// An atomic holding `value`.
+        pub const fn new(value: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Loads the value.
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_op("AtomicBool::load");
+            self.inner.load(order)
+        }
+
+        /// Stores `value`.
+        pub fn store(&self, value: bool, order: Ordering) {
+            yield_op("AtomicBool::store");
+            self.inner.store(value, order);
+        }
+
+        /// Stores `value`, returning the previous value.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            yield_op("AtomicBool::swap");
+            self.inner.swap(value, order)
+        }
+
+        /// Consumes the atomic, returning the value.
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+}
+
+/// Wakes blocked model threads when the guard releases the lock. Field
+/// order in [`MutexGuard`] makes this run strictly after the inner
+/// `std` guard has dropped.
+#[derive(Debug)]
+struct Unlock {
+    ctx: Option<(std::sync::Arc<crate::scheduler::Execution>, usize)>,
+}
+
+impl Drop for Unlock {
+    fn drop(&mut self) {
+        if let Some((exec, me)) = &self.ctx {
+            exec.resource_released(*me, "Mutex::unlock");
+        }
+    }
+}
+
+/// A `std::sync::MutexGuard` equivalent for the model [`Mutex`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    // Declaration order is load-bearing: `inner` must drop (releasing
+    // the std lock) before `unlock` wakes the scheduler's waiters.
+    inner: std::sync::MutexGuard<'a, T>,
+    _unlock: Unlock,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A `std::sync::Mutex` whose acquisition is an interleaving point and
+/// whose contention is visible to the deadlock detector.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, parking the model thread while it is held
+    /// elsewhere. Mirrors `std`: a poisoned lock still hands back a
+    /// guard inside the error.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let Some((exec, me)) = scheduler::current() else {
+            return match self.data.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    inner,
+                    _unlock: Unlock { ctx: None },
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    inner: poisoned.into_inner(),
+                    _unlock: Unlock { ctx: None },
+                })),
+            };
+        };
+        loop {
+            exec.switch(me, "Mutex::lock", None);
+            match self.data.try_lock() {
+                Ok(inner) => {
+                    return Ok(MutexGuard {
+                        inner,
+                        _unlock: Unlock {
+                            ctx: Some((exec, me)),
+                        },
+                    })
+                }
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    return Err(PoisonError::new(MutexGuard {
+                        inner: poisoned.into_inner(),
+                        _unlock: Unlock {
+                            ctx: Some((exec, me)),
+                        },
+                    }))
+                }
+                Err(TryLockError::WouldBlock) => {
+                    exec.switch(me, "Mutex::lock (contended)", Some(Status::Blocked));
+                }
+            }
+        }
+    }
+
+    /// Consumes the mutex, returning the value (or the poison error
+    /// wrapping it, as in `std`).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::Mutex;
+
+    #[test]
+    fn primitives_degrade_to_std_outside_a_check() {
+        let n = AtomicUsize::new(3);
+        assert_eq!(n.fetch_add(2, Ordering::SeqCst), 3);
+        assert_eq!(n.load(Ordering::SeqCst), 5);
+        n.store(9, Ordering::SeqCst);
+        assert_eq!(n.into_inner(), 9);
+
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+        b.store(false, Ordering::SeqCst);
+        assert!(!b.into_inner());
+
+        let m = Mutex::new(vec![1]);
+        m.lock().expect("unpoisoned").push(2);
+        assert_eq!(m.into_inner().expect("unpoisoned"), vec![1, 2]);
+    }
+
+    #[test]
+    fn poisoned_mutex_still_hands_back_the_data() {
+        let m = std::sync::Arc::new(Mutex::new(7usize));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        let err = m.lock().expect_err("poisoned");
+        assert_eq!(**err.get_ref(), 7);
+    }
+}

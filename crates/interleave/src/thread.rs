@@ -1,0 +1,166 @@
+//! A model-checked `std::thread::scope` equivalent.
+//!
+//! Mirrors the `std` shape — `scope(|s| { s.spawn(..) })`, handles with
+//! `join() -> thread::Result<T>` — so the campaign's sync facade can
+//! swap it in with a `use` flip. Under an active [`crate::check`] every
+//! spawn registers a model thread with the scheduler, the spawned
+//! closure waits for its first scheduling slot, and `join` parks the
+//! caller until the target has exited *in the model*, so std's real
+//! joins never wait on a thread the scheduler still owns. Outside a
+//! check the module is a thin pass-through over `std::thread::scope`.
+
+use crate::scheduler::{self, Execution, Status};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+pub use std::thread::available_parallelism;
+
+/// A scope for spawning model-checked scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<(Arc<Execution>, usize)>,
+    /// Model thread ids spawned through this scope, drained on exit.
+    spawned: RefCell<Vec<usize>>,
+}
+
+/// An owned permission to join on a scoped model thread.
+pub struct JoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> JoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning `Err` with the panic
+    /// payload if it panicked — exactly like `std`.
+    ///
+    /// # Errors
+    ///
+    /// The spawned closure's panic payload, when it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some((exec, target)), Some((_, me))) = (&self.model, scheduler::current()) {
+            loop {
+                exec.switch(me, "join", None);
+                if exec.is_finished(*target) {
+                    break;
+                }
+                exec.switch(me, "join (blocked)", Some(Status::Blocked));
+            }
+        }
+        // The model thread has exited the scheduler; the OS thread is
+        // at most a few instructions from returning, so this real join
+        // is brief and cannot deadlock.
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread, mirroring `std::thread::Scope::spawn`.
+    pub fn spawn<F, T>(&self, f: F) -> JoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let Some((exec, parent)) = &self.ctx else {
+            return JoinHandle {
+                inner: self.inner.spawn(f),
+                model: None,
+            };
+        };
+        let tid = exec.register_thread();
+        self.spawned.borrow_mut().push(tid);
+        let child = exec.clone();
+        let inner = self.inner.spawn(move || {
+            scheduler::install(child.clone(), tid);
+            child.wait_first(tid);
+            let out = catch_unwind(AssertUnwindSafe(f));
+            child.switch(
+                tid,
+                if out.is_ok() {
+                    "exit"
+                } else {
+                    "exit (panicked)"
+                },
+                Some(Status::Finished),
+            );
+            scheduler::clear();
+            match out {
+                Ok(value) => value,
+                // Re-raise so std's scope and our join observe the
+                // panic exactly as they would a raw std thread's.
+                Err(payload) => resume_unwind(payload),
+            }
+        });
+        // The spawn itself is an interleaving point: the child may run
+        // immediately or the parent may continue.
+        exec.switch(*parent, "spawn", None);
+        JoinHandle {
+            inner,
+            model: Some((exec.clone(), tid)),
+        }
+    }
+}
+
+/// Creates a scope for spawning scoped threads, mirroring
+/// `std::thread::scope`. Under an active [`crate::check`] the scope
+/// body's panics are held back until every child thread has run to
+/// completion in the model, preserving std's all-children-join-on-exit
+/// guarantee without wedging the scheduler.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = scheduler::current();
+    std::thread::scope(|inner| {
+        let scope = Scope {
+            inner,
+            ctx: ctx.clone(),
+            spawned: RefCell::new(Vec::new()),
+        };
+        match &ctx {
+            None => f(&scope),
+            Some((exec, me)) => {
+                let out = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+                // Whether the body returned or panicked, every model
+                // thread spawned here must finish before std's scope
+                // exit joins the OS threads for real.
+                let tids = scope.spawned.borrow().clone();
+                exec.drain(*me, &tids);
+                match out {
+                    Ok(value) => value,
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_passes_through_outside_a_check() {
+        let items = [1u64, 2, 3];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = items.iter().map(|&x| s.spawn(move || x * 10)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        });
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn join_surfaces_panics_outside_a_check() {
+        let caught = std::panic::catch_unwind(|| {
+            scope(|s| {
+                let h = s.spawn(|| panic!("boom"));
+                h.join()
+            })
+        })
+        .expect("join returns the Err instead of unwinding");
+        assert!(caught.is_err());
+    }
+}

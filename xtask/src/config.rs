@@ -56,6 +56,9 @@ pub struct Config {
     /// Per-file panic budgets (`[panic-budget]`); unlisted files have
     /// budget zero.
     pub panic_budget: BTreeMap<String, usize>,
+    /// Path prefixes of sync-facade implementations, exempt from the
+    /// sync-hygiene facade ban (`[sync-hygiene] facade_paths`).
+    pub sync_facade_paths: Vec<String>,
 }
 
 fn string_list(value: &Value, what: &str) -> Result<Vec<String>, String> {
@@ -141,6 +144,14 @@ impl Config {
                             }
                             other => return Err(format!("unknown key `{other}` in [constants]")),
                         }
+                    }
+                }
+                "sync-hygiene" => {
+                    for (key, v) in entries {
+                        if key != "facade_paths" {
+                            return Err(format!("unknown key `{key}` in [sync-hygiene]"));
+                        }
+                        config.sync_facade_paths = string_list(v, "[sync-hygiene] facade_paths")?;
                     }
                 }
                 "panic-budget" => {

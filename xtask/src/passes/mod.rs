@@ -16,6 +16,7 @@ pub mod layering;
 pub mod lint_header;
 pub mod panic_ratchet;
 pub mod partial_cmp;
+pub mod sync_hygiene;
 pub mod unit_suffix;
 
 /// One static-analysis pass.
@@ -39,6 +40,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(dvfs_guard::DvfsGuard),
         Box::new(layering::CrateLayering),
         Box::new(determinism::MapDeterminism),
+        Box::new(sync_hygiene::SyncHygiene),
         Box::new(constants::PaperConstants),
         Box::new(api_surface::ApiSurface),
     ]

@@ -1,4 +1,4 @@
-//! End-to-end fixture tests: each of the four semantic passes must turn a
+//! End-to-end fixture tests: each of the five semantic passes must turn a
 //! synthetic violating tree into a non-zero exit (error-severity
 //! diagnostics surviving `run_passes` policy), and the same tree repaired
 //! must come back clean.
@@ -130,6 +130,58 @@ fn uncited_constant_fails_and_cited_passes() {
         ..Context::default()
     };
     assert_eq!(exit_code(&cx), 1);
+}
+
+#[test]
+fn sync_hygiene_violations_fail_and_facade_code_passes() {
+    let config =
+        Config::from_toml("[sync-hygiene]\nfacade_paths = [\"crates/campaign/src/sync.rs\"]\n")
+            .expect("config");
+
+    // All three rules at once: a direct std::sync import, an unjustified
+    // Relaxed ordering, and a static mut.
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/soc/src/board.rs",
+            "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+             static mut HITS: usize = 0;\n\
+             pub fn bump(c: &AtomicUsize) -> usize {\n\
+                 c.fetch_add(1, Ordering::Relaxed)\n\
+             }\n",
+        )],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    for needle in ["std::sync", "static mut", "Ordering::Relaxed"] {
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == "sync-hygiene" && d.message.contains(needle)),
+            "sync-hygiene must flag {needle}: {diags:?}"
+        );
+    }
+
+    // The facade file itself, plus justified orderings, are clean.
+    let cx = Context {
+        files: vec![
+            SourceFile::new(
+                "crates/campaign/src/sync.rs",
+                "pub(crate) use std::sync::atomic::{AtomicUsize, Ordering};\n",
+            ),
+            SourceFile::new(
+                "crates/campaign/src/executor.rs",
+                "pub fn bump(c: &AtomicUsize) -> usize {\n\
+                     // ordering: pure claim ticket; nothing is published through it.\n\
+                     c.fetch_add(1, Ordering::Relaxed)\n\
+                 }\n",
+            ),
+        ],
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "sync-hygiene"));
 }
 
 #[test]
