@@ -41,6 +41,7 @@ test:
 
 bench:
 	cargo bench -p dora-bench --bench parallel
+	cargo bench -p dora-bench --bench forksweep
 
 # Model-check the campaign executor under every bounded interleaving
 # (DESIGN.md §9): the interleave crate's own suite, then the executor

@@ -7,21 +7,39 @@
 //! cadence, sampling counter deltas exactly as DORA samples `perf`.
 //!
 //! Each scenario begins with a thermal warm-up phase (sustained browsing
-//! plus the co-runner under the same governor) so die temperature — and
-//! therefore leakage — is in its steady browsing regime when the measured
-//! load starts, as on a phone that has been in use.
+//! plus the co-runner) so die temperature — and therefore leakage — is in
+//! its steady browsing regime when the measured load starts, as on a
+//! phone that has been in use. [`WarmupPolicy`] chooses who drives the
+//! warm-up: the measured governor itself (the legacy behaviour, whose
+//! prefix depends on the governor under test), or a pinned frequency.
+//!
+//! A pinned warm-up makes the prefix *frequency-invariant*: every point
+//! of a frequency sweep shares the exact same warm-up trajectory. Sweeps
+//! exploit that with fork-at-warmup — simulate the shared prefix once,
+//! [`dora_soc::Board::snapshot`] it, and fan one per-frequency
+//! continuation per executor worker — instead of re-simulating the
+//! warm-up 14 times. When the prefix is not frequency-invariant
+//! ([`WarmupPolicy::Measured`]) sweeps fall back to full re-runs.
+//!
+//! Probes attach to the measured window only:
+//! [`run_scenario_observed`] warms the board first and attaches the
+//! probe before the measured load, so e.g. counted `DvfsSwitch` events
+//! match [`RunResult::switches`].
 
 use crate::executor::Executor;
 use crate::policy::PolicyName;
 use crate::workload::Workload;
 use dora_browser::engine::RenderEngine;
 use dora_coworkloads::Intensity;
-use dora_governors::{Governor, GovernorObservation};
+use dora_governors::{Governor, GovernorObservation, PinnedGovernor};
+use dora_sim_core::probe::{Probe, ProbeEvent};
 use dora_sim_core::units::{Celsius, Joules, Mpki, Ppw, Seconds, Utilization, Watts};
 use dora_sim_core::{SimDuration, SimTime};
 use dora_soc::board::{Board, BoardConfig};
 use dora_soc::task::{LoopTask, PhaseProfile};
 use dora_soc::Frequency;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Core assignments used throughout the evaluation.
 pub const BROWSER_MAIN_CORE: usize = 0;
@@ -29,6 +47,24 @@ pub const BROWSER_MAIN_CORE: usize = 0;
 pub const BROWSER_AUX_CORE: usize = 1;
 /// The co-runner's core.
 pub const CORUN_CORE: usize = 2;
+
+/// Who drives the DVFS clock during the thermal warm-up phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmupPolicy {
+    /// The governor under measurement also governs the warm-up, so its
+    /// hysteresis state is warm when the measured load starts. This is
+    /// the legacy behaviour and the default — but the warm-up trajectory
+    /// then depends on the governor (and, in a sweep, on the pinned
+    /// frequency), so sweeps cannot share a prefix and must re-simulate
+    /// the warm-up for every point.
+    Measured,
+    /// A [`PinnedGovernor`] at the given frequency drives the warm-up,
+    /// independent of the governor under measurement. The warm-up prefix
+    /// is then frequency-invariant, and frequency sweeps simulate it once
+    /// and fork per-frequency continuations from a
+    /// [`dora_soc::BoardSnapshot`].
+    Pinned(Frequency),
+}
 
 /// Configuration of one scenario run.
 ///
@@ -54,6 +90,8 @@ pub struct ScenarioConfig {
     pub deadline: Seconds,
     /// Thermal warm-up duration before the measured load.
     pub warmup: SimDuration,
+    /// Who governs the warm-up phase.
+    pub warmup_policy: WarmupPolicy,
     /// Abort the load after this much simulated time.
     pub timeout: SimDuration,
 }
@@ -65,6 +103,7 @@ impl Default for ScenarioConfig {
             board: BoardConfig::nexus5(),
             deadline: Seconds::new(3.0),
             warmup: SimDuration::from_secs(20),
+            warmup_policy: WarmupPolicy::Measured,
             timeout: SimDuration::from_secs(60),
         }
     }
@@ -119,6 +158,13 @@ impl ScenarioConfigBuilder {
     #[must_use]
     pub fn warmup(mut self, warmup: SimDuration) -> Self {
         self.config.warmup = warmup;
+        self
+    }
+
+    /// Sets who governs the warm-up phase.
+    #[must_use]
+    pub fn warmup_policy(mut self, policy: WarmupPolicy) -> Self {
+        self.config.warmup_policy = policy;
         self
     }
 
@@ -228,6 +274,10 @@ fn observation(
 /// Steps the board under governor control until `stop` fires or `until`
 /// elapses. Returns the time-weighted mean frequency (GHz·s integral and
 /// duration).
+///
+/// Every decision is mirrored onto the board's probe bus as a
+/// [`ProbeEvent::GovernorDecision`] (with the predicted candidate curve
+/// for model-based governors) — built only while a probe listens.
 #[allow(clippy::expect_used)] // callers document the governor-bug panic
 fn govern_until(
     board: &mut Board,
@@ -252,6 +302,13 @@ fn govern_until(
             snap = now_snap;
             let obs = observation(board, &delta, interval);
             let f = governor.decide(&obs);
+            if board.probes_active() {
+                board.emit_event(ProbeEvent::GovernorDecision {
+                    governor: governor.name().to_string(),
+                    chosen_khz: f.as_khz(),
+                    curve: governor.decision_curve().unwrap_or_default(),
+                });
+            }
             board
                 .set_frequency(f)
                 .expect("governors must return table frequencies");
@@ -275,6 +332,30 @@ pub fn run_scenario(
     run_page(&workload.page, Some(&workload.kernel), governor, config)
 }
 
+/// [`run_scenario`] with a probe observing the measured window: the board
+/// is warmed first, the probe attached, then the load measured — so the
+/// probe sees exactly the events behind the returned [`RunResult`]
+/// (e.g. its `DvfsSwitch` count equals [`RunResult::switches`]).
+///
+/// # Panics
+///
+/// Panics if the governor returns a frequency outside the board's DVFS
+/// table.
+pub fn run_scenario_observed(
+    workload: &Workload,
+    governor: &mut dyn Governor,
+    config: &ScenarioConfig,
+    probe: Rc<RefCell<dyn Probe>>,
+) -> RunResult {
+    run_page_observed(
+        &workload.page,
+        Some(&workload.kernel),
+        governor,
+        config,
+        probe,
+    )
+}
+
 /// Runs a page load with an optional co-runner (pass `None` to measure
 /// the browser alone, as the paper's "running alone" baselines do).
 ///
@@ -282,21 +363,49 @@ pub fn run_scenario(
 ///
 /// Panics if the governor returns a frequency outside the board's DVFS
 /// table.
-#[allow(clippy::expect_used)] // fresh-board invariants: documented panic
 pub fn run_page(
     page: &dora_browser::catalog::CatalogPage,
     kernel: Option<&dora_coworkloads::Kernel>,
     governor: &mut dyn Governor,
     config: &ScenarioConfig,
 ) -> RunResult {
+    let mut board = warmed_board(kernel, governor, config);
+    measured_load(&mut board, page, kernel, governor, config)
+}
+
+/// [`run_page`] with a probe attached for the measured window only.
+///
+/// # Panics
+///
+/// Panics if the governor returns a frequency outside the board's DVFS
+/// table.
+pub fn run_page_observed(
+    page: &dora_browser::catalog::CatalogPage,
+    kernel: Option<&dora_coworkloads::Kernel>,
+    governor: &mut dyn Governor,
+    config: &ScenarioConfig,
+    probe: Rc<RefCell<dyn Probe>>,
+) -> RunResult {
+    let mut board = warmed_board(kernel, governor, config);
+    board.attach_probe(probe);
+    measured_load(&mut board, page, kernel, governor, config)
+}
+
+/// Builds a fresh board, assigns the co-runner, and runs the thermal
+/// warm-up per the configured [`WarmupPolicy`]. The returned board is
+/// ready for a measured load (browser cores cleared).
+#[allow(clippy::expect_used)] // fresh-board invariants: documented panic
+fn warmed_board(
+    kernel: Option<&dora_coworkloads::Kernel>,
+    governor: &mut dyn Governor,
+    config: &ScenarioConfig,
+) -> Board {
     let mut board = Board::new(config.board.clone(), config.seed);
     if let Some(kernel) = kernel {
         board
             .assign(CORUN_CORE, Box::new(kernel.spawn(config.seed)))
             .expect("corun core free on a fresh board");
     }
-
-    // ---- Warm-up: sustained browsing-like load under the governor. ----
     if !config.warmup.is_zero() {
         let (wm, wa) = warmup_tasks();
         board
@@ -306,12 +415,30 @@ pub fn run_page(
             .assign(BROWSER_AUX_CORE, Box::new(wa))
             .expect("aux core free");
         let until = board.time() + config.warmup;
-        let _ = govern_until(&mut board, governor, until, |_| false);
+        match config.warmup_policy {
+            WarmupPolicy::Measured => {
+                let _ = govern_until(&mut board, governor, until, |_| false);
+            }
+            WarmupPolicy::Pinned(f) => {
+                let mut pin = PinnedGovernor::new("warmup-pin", f);
+                let _ = govern_until(&mut board, &mut pin, until, |_| false);
+            }
+        }
         board.clear_core(BROWSER_MAIN_CORE).expect("core id valid");
         board.clear_core(BROWSER_AUX_CORE).expect("core id valid");
     }
+    board
+}
 
-    // ---- The measured load. ----
+/// Measures one page load on an already warmed board.
+#[allow(clippy::expect_used)] // warmed-board invariants: documented panic
+fn measured_load(
+    board: &mut Board,
+    page: &dora_browser::catalog::CatalogPage,
+    kernel: Option<&dora_coworkloads::Kernel>,
+    governor: &mut dyn Governor,
+    config: &ScenarioConfig,
+) -> RunResult {
     let engine = RenderEngine::default();
     let job = engine.spawn(page, config.seed);
     board
@@ -327,7 +454,7 @@ pub fn run_page(
     let snap0 = board.counter_set().snapshot();
 
     let deadline_wall = t0 + config.timeout;
-    let (freq_integral, governed_s) = govern_until(&mut board, governor, deadline_wall, |b| {
+    let (freq_integral, governed_s) = govern_until(board, governor, deadline_wall, |b| {
         b.task_finished(BROWSER_MAIN_CORE)
     });
 
@@ -387,9 +514,9 @@ pub struct SweepPoint {
     pub result: RunResult,
 }
 
-/// Measures one pinned-frequency point of a sweep.
+/// Measures one pinned-frequency point of a sweep, warm-up included.
 fn sweep_point(workload: &Workload, config: &ScenarioConfig, f: Frequency) -> SweepPoint {
-    let mut pinned = dora_governors::PinnedGovernor::new("pinned", f);
+    let mut pinned = PinnedGovernor::new("pinned", f);
     let result = run_scenario(workload, &mut pinned, config);
     SweepPoint {
         frequency: f,
@@ -411,7 +538,55 @@ pub fn sweep_frequencies(
 ///
 /// Each point is an independent seeded simulation, so the returned sweep
 /// is bit-identical to the sequential one, in frequency order.
+///
+/// Under [`WarmupPolicy::Pinned`] the warm-up prefix is
+/// frequency-invariant, so it is simulated **once**, snapshotted, and
+/// every point continues from a fork of the snapshot — bit-identical to
+/// (but much cheaper than) re-running the warm-up per point, which
+/// [`sweep_frequencies_rerun_with`] does and which this function falls
+/// back to under [`WarmupPolicy::Measured`].
 pub fn sweep_frequencies_with(
+    workload: &Workload,
+    config: &ScenarioConfig,
+    frequencies: &[Frequency],
+    executor: &Executor,
+) -> Vec<SweepPoint> {
+    let WarmupPolicy::Pinned(warmup_f) = config.warmup_policy else {
+        // The warm-up depends on the measured (pinned) frequency: no
+        // shared prefix exists, so every point re-runs in full.
+        return sweep_frequencies_rerun_with(workload, config, frequencies, executor);
+    };
+    // Simulate the shared, frequency-invariant prefix exactly once.
+    let mut warm_gov = PinnedGovernor::new("warmup-pin", warmup_f);
+    let warmed = warmed_board(Some(&workload.kernel), &mut warm_gov, config);
+    let snapshot = warmed.snapshot();
+    executor.map(frequencies, |&f| {
+        let mut fork = Board::new(config.board.clone(), config.seed);
+        if fork.restore(&snapshot).is_err() {
+            // Defensive: a structural mismatch means the prefix cannot be
+            // reused; measure this point the slow, always-correct way.
+            return sweep_point(workload, config, f);
+        }
+        let mut pinned = PinnedGovernor::new("pinned", f);
+        let result = measured_load(
+            &mut fork,
+            &workload.page,
+            Some(&workload.kernel),
+            &mut pinned,
+            config,
+        );
+        SweepPoint {
+            frequency: f,
+            result,
+        }
+    })
+}
+
+/// [`sweep_frequencies_with`] without fork-at-warmup: every point is an
+/// independent full simulation, warm-up included. This is the reference
+/// implementation sweeps are checked against (and benchmarked against in
+/// `benches/forksweep.rs`).
+pub fn sweep_frequencies_rerun_with(
     workload: &Workload,
     config: &ScenarioConfig,
     frequencies: &[Frequency],
@@ -633,6 +808,110 @@ mod tests {
             &crate::executor::Executor::new(crate::executor::Parallelism::Fixed(3)),
         );
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn fork_at_warmup_sweep_is_bit_identical_to_full_rerun() {
+        let set = WorkloadSet::paper54();
+        let w = set
+            .find_by_class("Amazon", Intensity::Low)
+            .expect("present");
+        let config = ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(2))
+            .warmup_policy(WarmupPolicy::Pinned(Frequency::from_mhz(1190.4)))
+            .build();
+        let freqs = [
+            Frequency::from_mhz(729.6),
+            Frequency::from_mhz(1497.6),
+            Frequency::from_mhz(2265.6),
+        ];
+        let rerun = sweep_frequencies_rerun_with(
+            w,
+            &config,
+            &freqs,
+            &crate::executor::Executor::sequential(),
+        );
+        let forked =
+            sweep_frequencies_with(w, &config, &freqs, &crate::executor::Executor::sequential());
+        assert_eq!(rerun, forked, "fork-at-warmup must not change results");
+        let forked_parallel = sweep_frequencies_with(
+            w,
+            &config,
+            &freqs,
+            &crate::executor::Executor::new(crate::executor::Parallelism::Fixed(3)),
+        );
+        assert_eq!(forked, forked_parallel);
+    }
+
+    #[test]
+    fn pinned_warmup_oracle_matches_rerun_oracle_on_full_table() {
+        let set = WorkloadSet::paper54();
+        let w = set
+            .find_by_class("Amazon", Intensity::Low)
+            .expect("present");
+        let config = ScenarioConfig::builder()
+            .warmup(SimDuration::from_millis(500))
+            .warmup_policy(WarmupPolicy::Pinned(Frequency::from_mhz(1190.4)))
+            .build();
+        let freqs: Vec<Frequency> = config.board.dvfs.frequencies().collect();
+        let rerun = sweep_frequencies_rerun_with(
+            w,
+            &config,
+            &freqs,
+            &crate::executor::Executor::sequential(),
+        );
+        let forked = oracle_with(w, &config, &crate::executor::Executor::sequential());
+        assert_eq!(forked.sweep, rerun);
+        assert_eq!(forked.sweep.len(), 14);
+    }
+
+    #[test]
+    fn observed_run_sees_decisions_and_matching_switches() {
+        use dora_sim_core::probe::ProbeRing;
+
+        let set = WorkloadSet::paper54();
+        let w = set
+            .find_by_class("Amazon", Intensity::Low)
+            .expect("present");
+        let config = ScenarioConfig::builder()
+            .warmup(SimDuration::from_secs(1))
+            .build();
+        let mut g = dora_governors::InteractiveGovernor::new(DvfsTable::msm8974());
+        let ring = ProbeRing::shared(1 << 16);
+        let r = run_scenario_observed(w, &mut g, &config, ring.clone());
+
+        let events = ring.borrow().to_vec();
+        assert_eq!(ring.borrow().dropped(), 0, "ring too small for the run");
+        let switches = events
+            .iter()
+            .filter(|e| matches!(e.event, ProbeEvent::DvfsSwitch { .. }))
+            .count() as u64;
+        assert_eq!(
+            switches, r.switches,
+            "probe attaches after warmup, so counts must match the result"
+        );
+        let decisions: Vec<&dora_sim_core::probe::RecordedEvent> = events
+            .iter()
+            .filter(|e| matches!(e.event, ProbeEvent::GovernorDecision { .. }))
+            .collect();
+        assert!(!decisions.is_empty(), "decisions must be mirrored");
+        for d in &decisions {
+            let ProbeEvent::GovernorDecision {
+                governor,
+                chosen_khz,
+                curve,
+            } = &d.event
+            else {
+                unreachable!("filtered above");
+            };
+            assert_eq!(governor, "interactive");
+            assert!(config
+                .board
+                .dvfs
+                .frequencies()
+                .any(|f| f.as_khz() == *chosen_khz));
+            assert!(curve.is_empty(), "heuristic governors have no curve");
+        }
     }
 
     #[test]

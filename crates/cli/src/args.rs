@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 1] = ["quick"];
+const BOOLEAN_FLAGS: [&str; 2] = ["quick", "trace"];
 
 impl Args {
     /// Parses a raw argument list.

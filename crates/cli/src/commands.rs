@@ -6,7 +6,7 @@ use dora::{from_text, to_text, DoraConfig, DoraGovernor, DoraModels};
 use dora_browser::{Catalog, PageFeatures};
 use dora_campaign::evaluate::{evaluate_with, Policy};
 use dora_campaign::export::results_to_csv;
-use dora_campaign::runner::{run_page, ScenarioConfig};
+use dora_campaign::runner::{run_page, run_page_observed, ScenarioConfig};
 use dora_campaign::workload::{Workload, WorkloadSet};
 use dora_coworkloads::Kernel;
 use dora_experiments::pipeline::{Pipeline, Scale};
@@ -180,6 +180,47 @@ fn resolve_kernel(args: &Args) -> Result<Option<Kernel>, String> {
     }
 }
 
+/// A probe collecting the decision trace `dora govern --trace` prints:
+/// every governor decision (with DORA's predicted candidate curve) and
+/// every resulting DVFS transition, in order.
+#[derive(Debug, Default)]
+struct DecisionTrace {
+    lines: Vec<String>,
+}
+
+impl dora_sim_core::probe::Probe for DecisionTrace {
+    fn on_event(&mut self, at: dora_sim_core::SimTime, event: &dora_sim_core::probe::ProbeEvent) {
+        use dora_sim_core::probe::ProbeEvent;
+        match event {
+            ProbeEvent::GovernorDecision {
+                governor,
+                chosen_khz,
+                curve,
+            } => {
+                let chosen = dora_soc::Frequency::from_khz(*chosen_khz);
+                self.lines.push(format!("{at}  {governor} -> {chosen}"));
+                for p in curve {
+                    let f = dora_soc::Frequency::from_khz(p.frequency_khz);
+                    self.lines.push(format!(
+                        "{:12}  {f}: T={:.3}s P={:.3}W PPW={:.4}{}",
+                        "",
+                        p.load_time.value(),
+                        p.power.value(),
+                        p.ppw.value(),
+                        if p.feasible { "" } else { "  (misses QoS)" },
+                    ));
+                }
+            }
+            ProbeEvent::DvfsSwitch { from_khz, to_khz } => {
+                let from = dora_soc::Frequency::from_khz(*from_khz);
+                let to = dora_soc::Frequency::from_khz(*to_khz);
+                self.lines.push(format!("{at}  dvfs {from} -> {to}"));
+            }
+            _ => {}
+        }
+    }
+}
+
 /// `dora govern`: simulate one governed page load.
 pub fn govern(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -214,7 +255,17 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
         "powersave" => Box::new(PowersaveGovernor::new(config.board.dvfs.clone())),
         other => return Err(format!("unknown governor {other:?}")),
     };
-    let r = run_page(page, kernel.as_ref(), governor.as_mut(), &config);
+    let trace = if args.flag("trace") {
+        Some(std::rc::Rc::new(std::cell::RefCell::new(
+            DecisionTrace::default(),
+        )))
+    } else {
+        None
+    };
+    let r = match &trace {
+        Some(t) => run_page_observed(page, kernel.as_ref(), governor.as_mut(), &config, t.clone()),
+        None => run_page(page, kernel.as_ref(), governor.as_mut(), &config),
+    };
     println!("{}  under {}", r.workload_id, r.governor);
     println!(
         "  load time:   {:.3} s ({}; deadline {deadline:.1}s)",
@@ -235,6 +286,12 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
         r.mean_mpki.value(),
         r.corun_utilization.value()
     );
+    if let Some(t) = trace {
+        println!("decision trace (measured window):");
+        for line in &t.borrow().lines {
+            println!("  {line}");
+        }
+    }
     Ok(())
 }
 

@@ -7,7 +7,7 @@
 //! dora predict <models.txt> (--page NAME | --html FILE)
 //!              [--mpki X] [--util X] [--temp C] [--deadline S]
 //! dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
-//!              [--governor dora|interactive|performance|powersave]
+//!              [--governor dora|interactive|performance|powersave] [--trace]
 //! dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
 //! ```
 //!
@@ -29,7 +29,7 @@ USAGE:
   dora predict <models.txt> (--page NAME | --html FILE)
                [--mpki X] [--util X] [--temp C] [--deadline S]
   dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
-               [--governor dora|interactive|performance|powersave]
+               [--governor dora|interactive|performance|powersave] [--trace]
   dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
   dora session [<models.txt>] [--pages A,B,C] [--kernel NAME]
                [--governor dora|interactive|performance|powersave]

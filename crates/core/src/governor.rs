@@ -243,6 +243,21 @@ impl Governor for DoraGovernor {
     fn page_changed(&mut self, page: &PageFeatures) {
         self.retarget(*page);
     }
+
+    fn decision_curve(&self) -> Option<Vec<dora_sim_core::probe::CandidatePrediction>> {
+        self.last_decision.as_ref().map(|d| {
+            d.curve
+                .iter()
+                .map(|p| dora_sim_core::probe::CandidatePrediction {
+                    frequency_khz: p.frequency.as_khz(),
+                    load_time: p.load_time,
+                    power: p.power,
+                    ppw: p.ppw,
+                    feasible: p.feasible,
+                })
+                .collect()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +353,15 @@ mod tests {
         let d = g.last_decision().expect("recorded");
         assert_eq!(d.curve.len(), m.dvfs.len());
         assert_eq!(g.decision_count(), 1);
+        // The probe-facing curve mirrors the decision, point for point.
+        let probe_curve = g.decision_curve().expect("recorded");
+        assert_eq!(probe_curve.len(), d.curve.len());
+        for (traced, predicted) in probe_curve.iter().zip(d.curve.iter()) {
+            assert_eq!(traced.frequency_khz, predicted.frequency.as_khz());
+            assert_eq!(traced.load_time, predicted.load_time);
+            assert_eq!(traced.ppw, predicted.ppw);
+            assert_eq!(traced.feasible, predicted.feasible);
+        }
     }
 
     #[test]

@@ -103,6 +103,16 @@ pub trait Governor: fmt::Debug {
     /// governors don't care — the default is a no-op — but model-based
     /// governors retarget their page-complexity inputs.
     fn page_changed(&mut self, _page: &dora_browser::PageFeatures) {}
+
+    /// The predicted candidate curve behind the most recent
+    /// [`Governor::decide`] call, for observation
+    /// ([`dora_sim_core::probe::ProbeEvent::GovernorDecision`] events).
+    /// Model-based governors (DORA) report their per-frequency load-time /
+    /// power / PPW predictions here; heuristic governors have no such
+    /// curve and keep the default `None`.
+    fn decision_curve(&self) -> Option<Vec<dora_sim_core::probe::CandidatePrediction>> {
+        None
+    }
 }
 
 /// Always runs at the highest available frequency.

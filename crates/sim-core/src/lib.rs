@@ -16,8 +16,11 @@
 //!   time-weighted averages) used by performance counters and by the
 //!   experiment harness.
 //!
-//! A small bounded [`trace::TraceRing`] is also provided for debugging
-//! governor decisions without unbounded memory growth.
+//! Observation rides on the typed [`probe`] bus: simulators emit
+//! [`probe::ProbeEvent`]s lazily (zero cost with no probe attached) and
+//! consumers attach [`probe::Probe`] sinks. A small bounded
+//! [`trace::TraceRing`] remains as the string-formatted compatibility
+//! layer over the bus.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 mod rng;
 mod time;
 
+pub mod probe;
 pub mod stats;
 pub mod trace;
 pub mod units;

@@ -3,184 +3,54 @@
 //! A [`Board`] owns four cores (the paper disables the fourth), the shared
 //! L2, the LPDDR3 memory system, a thermal node, and the power model, and
 //! advances them together in fixed quanta (1 ms by default). Per quantum it
-//! solves a small fixed point: instruction rates determine cache pressure,
-//! cache pressure determines miss ratios, misses determine DRAM queuing,
-//! and queuing feeds back into effective CPI. That loop is what makes a
-//! co-scheduled memory hog genuinely slow the browser down — the paper's
-//! central phenomenon.
+//! delegates to [`crate::contention::ContentionSolver`] for the small fixed
+//! point — instruction rates determine cache pressure, cache pressure
+//! determines miss ratios, misses determine DRAM queuing, and queuing feeds
+//! back into effective CPI — that makes a co-scheduled memory hog genuinely
+//! slow the browser down, the paper's central phenomenon.
+//!
+//! Observation goes through the typed probe bus
+//! ([`Board::attach_probe`]): events are built lazily, so with no probe
+//! attached the stepping path performs no allocation and no formatting.
+//! The `probe-purity` xtask pass enforces that property on this file.
+//! The string [`Board::trace_events`] view survives as a thin shim probe
+//! (see `trace_compat`). Boards can also be checkpointed and forked
+//! mid-run via [`Board::snapshot`] (see `snapshot`).
 
-use crate::cache::{CacheDemand, SharedCache};
+use crate::contention::{ContentionParams, ContentionSolver};
 use crate::counters::{CoreCounters, CounterSet};
-use crate::dvfs::{DvfsTable, Frequency, Opp};
-use crate::memory::MemorySystem;
-use crate::power::{PowerBreakdown, PowerModel, PowerParams};
+use crate::dvfs::{Frequency, Opp};
+use crate::power::{PowerBreakdown, PowerModel};
 use crate::task::Task;
-use crate::thermal::{ThermalNode, ThermalParams};
+use crate::thermal::ThermalNode;
+use crate::trace_compat::LifecycleTrace;
+use dora_sim_core::probe::{Probe, ProbeBus, ProbeEvent, ProbeId};
 use dora_sim_core::stats::TimeWeighted;
-use dora_sim_core::trace::TraceRing;
 use dora_sim_core::units::{Celsius, Joules, Seconds, Watts};
 use dora_sim_core::{SimDuration, SimTime};
-use std::error::Error;
-use std::fmt;
+use std::cell::RefCell;
+use std::rc::Rc;
 
-/// Errors returned by [`Board`] operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BoardError {
-    /// The referenced core id does not exist on this board.
-    CoreOutOfRange(usize),
-    /// The core already has a task assigned.
-    CoreOccupied(usize),
-    /// The core is powered off.
-    CoreDisabled(usize),
-    /// The frequency is not an entry of the DVFS table.
-    UnknownFrequency(Frequency),
-}
-
-impl fmt::Display for BoardError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BoardError::CoreOutOfRange(id) => write!(f, "core {id} out of range"),
-            BoardError::CoreOccupied(id) => write!(f, "core {id} already has a task"),
-            BoardError::CoreDisabled(id) => write!(f, "core {id} is powered off"),
-            BoardError::UnknownFrequency(freq) => {
-                write!(f, "frequency {freq} is not in the DVFS table")
-            }
-        }
-    }
-}
-
-impl Error for BoardError {}
-
-/// Static configuration of a board.
-#[derive(Debug, Clone)]
-pub struct BoardConfig {
-    /// Human-readable platform name.
-    pub name: String,
-    /// Number of physical cores.
-    pub num_cores: usize,
-    /// Which cores are powered on at construction.
-    pub cores_enabled: Vec<bool>,
-    /// The DVFS operating-point table.
-    pub dvfs: DvfsTable,
-    /// Shared L2 capacity in bytes.
-    pub l2_capacity_bytes: f64,
-    /// The DRAM model.
-    pub memory: MemorySystem,
-    /// The power model parameters.
-    pub power: PowerParams,
-    /// The thermal node parameters.
-    pub thermal: ThermalParams,
-    /// Simulation quantum.
-    pub quantum: SimDuration,
-    /// Core stall incurred by one DVFS transition (Section V-H measures
-    /// frequency switching as the dominant overhead, up to 3 % of
-    /// execution time when switches are frequent).
-    pub dvfs_switch_stall: SimDuration,
-    /// Memory-level-parallelism overlap factor: the fraction of each miss
-    /// latency that actually stalls retirement.
-    pub mem_overlap: f64,
-    /// Fraction of evicted lines that are dirty (written back).
-    pub dirty_fraction: f64,
-}
-
-impl BoardConfig {
-    /// The Nexus 5 platform of the paper's Table II: four Krait cores
-    /// (fourth switched off, as in Section IV-B), 2 MB shared L2, LPDDR3,
-    /// the 14-entry MSM8974 DVFS table, room ambient.
-    pub fn nexus5() -> Self {
-        BoardConfig {
-            name: "Google Nexus 5 (MSM8974 Snapdragon 800)".to_string(),
-            num_cores: 4,
-            cores_enabled: vec![true, true, true, false],
-            dvfs: DvfsTable::msm8974(),
-            l2_capacity_bytes: 2.0 * 1024.0 * 1024.0,
-            memory: MemorySystem::lpddr3(),
-            power: PowerParams::nexus5(),
-            thermal: ThermalParams::nexus5_room(),
-            quantum: SimDuration::from_millis(1),
-            dvfs_switch_stall: SimDuration::from_micros(60),
-            mem_overlap: 0.65,
-            dirty_fraction: 0.30,
-        }
-    }
-
-    /// Same platform at the cold ambient of Fig. 10(b).
-    pub fn nexus5_cold() -> Self {
-        BoardConfig {
-            thermal: ThermalParams::nexus5_cold(),
-            ..BoardConfig::nexus5()
-        }
-    }
-
-    /// Validates all constituent parameters.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.num_cores == 0 {
-            return Err("board needs at least one core".into());
-        }
-        if self.cores_enabled.len() != self.num_cores {
-            return Err("cores_enabled length must equal num_cores".into());
-        }
-        if !(self.l2_capacity_bytes.is_finite() && self.l2_capacity_bytes > 0.0) {
-            return Err(format!("bad L2 capacity {}", self.l2_capacity_bytes));
-        }
-        if self.quantum.is_zero() {
-            return Err("quantum must be positive".into());
-        }
-        if !(self.mem_overlap.is_finite() && (0.0..=1.0).contains(&self.mem_overlap)) {
-            return Err(format!("mem_overlap {} outside [0,1]", self.mem_overlap));
-        }
-        if !(self.dirty_fraction.is_finite() && (0.0..=1.0).contains(&self.dirty_fraction)) {
-            return Err(format!(
-                "dirty_fraction {} outside [0,1]",
-                self.dirty_fraction
-            ));
-        }
-        self.power.validate()?;
-        self.thermal.validate()?;
-        Ok(())
-    }
-}
-
-/// Cumulative device energy itemized by power-model component.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct EnergyBreakdown {
-    /// Platform floor (display, rails).
-    pub platform: Joules,
-    /// Per-core dynamic switching energy.
-    pub core_dynamic: Joules,
-    /// Uncore/interconnect energy.
-    pub uncore: Joules,
-    /// DRAM traffic energy.
-    pub dram: Joules,
-    /// Eq. 5 leakage energy.
-    pub leakage: Joules,
-}
-
-impl EnergyBreakdown {
-    fn accumulate(&mut self, power: &PowerBreakdown, dt: Seconds) {
-        self.platform += power.platform * dt;
-        self.core_dynamic += power.core_dynamic * dt;
-        self.uncore += power.uncore * dt;
-        self.dram += power.dram * dt;
-        self.leakage += power.leakage * dt;
-    }
-
-    /// The sum of all components.
-    pub fn total(&self) -> Joules {
-        self.platform + self.core_dynamic + self.uncore + self.dram + self.leakage
-    }
-}
+pub use crate::cache::SharedCache;
+pub use crate::config::{BoardConfig, BoardError, EnergyBreakdown};
 
 /// One core's slot on the board.
 #[derive(Debug)]
-struct CoreSlot {
-    enabled: bool,
-    task: Option<Box<dyn Task>>,
-    finish_time: Option<SimTime>,
+pub(crate) struct CoreSlot {
+    pub(crate) enabled: bool,
+    pub(crate) task: Option<Box<dyn Task>>,
+    pub(crate) finish_time: Option<SimTime>,
+}
+
+/// Reusable per-quantum working storage, excluded from snapshots.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Indices of enabled cores holding unfinished tasks.
+    active: Vec<usize>,
+    /// Profiles of those tasks, parallel to `active`.
+    profiles: Vec<crate::task::PhaseProfile>,
+    /// Per-core utilization handed to the power model.
+    core_utils: Vec<f64>,
 }
 
 /// The assembled, steppable platform.
@@ -211,23 +81,29 @@ struct CoreSlot {
 /// ```
 #[derive(Debug)]
 pub struct Board {
-    config: BoardConfig,
-    cache: SharedCache,
-    power_model: PowerModel,
-    thermal: ThermalNode,
-    slots: Vec<CoreSlot>,
-    counters: CounterSet,
-    freq_index: usize,
-    now: SimTime,
-    energy: Joules,
-    power_track: TimeWeighted,
-    last_power: PowerBreakdown,
-    switch_count: u64,
-    pending_stall: SimDuration,
-    energy_breakdown: EnergyBreakdown,
-    trace: Option<TraceRing>,
-    #[allow(dead_code)]
-    seed: u64,
+    pub(crate) config: BoardConfig,
+    pub(crate) cache: SharedCache,
+    pub(crate) power_model: PowerModel,
+    pub(crate) thermal: ThermalNode,
+    pub(crate) slots: Vec<CoreSlot>,
+    pub(crate) counters: CounterSet,
+    pub(crate) freq_index: usize,
+    pub(crate) now: SimTime,
+    pub(crate) energy: Joules,
+    pub(crate) power_track: TimeWeighted,
+    pub(crate) last_power: PowerBreakdown,
+    pub(crate) switch_count: u64,
+    pub(crate) pending_stall: SimDuration,
+    pub(crate) energy_breakdown: EnergyBreakdown,
+    pub(crate) seed: u64,
+    /// Observers. Not simulation state: excluded from snapshots.
+    probes: ProbeBus,
+    /// The string-trace shim, when enabled, with its bus handle.
+    trace: Option<(ProbeId, Rc<RefCell<LifecycleTrace>>)>,
+    /// Fixed-point solver with reusable buffers.
+    solver: ContentionSolver,
+    /// Per-quantum working storage.
+    scratch: StepScratch,
 }
 
 impl Board {
@@ -252,6 +128,7 @@ impl Board {
                 task: None,
                 finish_time: None,
             })
+            // alloc: one-time construction, not the stepping hot path.
             .collect();
         let counters = CounterSet::new(config.num_cores);
         Board {
@@ -268,40 +145,76 @@ impl Board {
             switch_count: 0,
             pending_stall: SimDuration::ZERO,
             energy_breakdown: EnergyBreakdown::default(),
-            trace: None,
             seed,
+            probes: ProbeBus::new(),
+            trace: None,
+            solver: ContentionSolver::new(),
+            scratch: StepScratch::default(),
             config,
         }
+    }
+
+    /// Attaches a typed probe to the board's bus; it observes every
+    /// subsequent event until detached. Probes are observers, not
+    /// simulation state — they never perturb the simulation and are
+    /// excluded from [`Board::snapshot`].
+    pub fn attach_probe(&mut self, probe: Rc<RefCell<dyn Probe>>) -> ProbeId {
+        self.probes.attach(probe)
+    }
+
+    /// Detaches a probe attached via [`Board::attach_probe`]. Returns
+    /// whether the handle was still attached.
+    pub fn detach_probe(&mut self, id: ProbeId) -> bool {
+        self.probes.detach(id)
+    }
+
+    /// Whether any probe (including the trace shim) is listening.
+    pub fn probes_active(&self) -> bool {
+        self.probes.is_active()
+    }
+
+    /// Emits an externally constructed event onto the board's bus at the
+    /// current simulated time. Drivers (e.g. the campaign runner) use
+    /// this for events the board itself cannot know about, such as
+    /// governor decisions.
+    pub fn emit_event(&mut self, event: ProbeEvent) {
+        self.probes.emit(self.now, event);
     }
 
     /// Enables event tracing: DVFS transitions, task assignments and task
     /// completions are recorded into a bounded ring of `capacity` events
     /// (oldest evicted first). Pass 0 to disable again.
+    ///
+    /// This is a compatibility shim: the ring is an ordinary probe on the
+    /// bus that formats lifecycle events into the historical strings.
+    /// New code should attach a typed probe instead.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = if capacity == 0 {
-            None
-        } else {
-            Some(TraceRing::new(capacity))
-        };
+        if let Some((id, _)) = self.trace.take() {
+            self.probes.detach(id);
+        }
+        if capacity > 0 {
+            let shim = LifecycleTrace::shared(capacity);
+            let id = self.probes.attach(shim.clone());
+            self.trace = Some((id, shim));
+        }
     }
 
     /// The recorded events, oldest first (empty when tracing is off).
     pub fn trace_events(&self) -> Vec<dora_sim_core::trace::TraceEvent> {
         self.trace
             .as_ref()
-            .map(|t| t.iter().cloned().collect())
+            .map(|(_, shim)| shim.borrow().events())
             .unwrap_or_default()
-    }
-
-    fn record(&mut self, message: String) {
-        if let Some(trace) = self.trace.as_mut() {
-            trace.record(self.now, message);
-        }
     }
 
     /// The static configuration.
     pub fn config(&self) -> &BoardConfig {
         &self.config
+    }
+
+    /// The seed this board was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Current simulated time.
@@ -385,10 +298,20 @@ impl Board {
         if slot.task.is_some() {
             return Err(BoardError::CoreOccupied(core));
         }
-        let name = task.name().to_string();
         slot.task = Some(task);
         slot.finish_time = None;
-        self.record(format!("core{core}: assigned task {name:?}"));
+        let slots = &self.slots;
+        self.probes
+            .emit_with(self.now, || ProbeEvent::TaskAssigned {
+                core,
+                name: slots[core]
+                    .task
+                    .as_deref()
+                    .map(|t| t.name())
+                    .unwrap_or("")
+                    // alloc: lazy — the name is only copied when a probe listens.
+                    .to_string(),
+            });
         Ok(())
     }
 
@@ -440,10 +363,14 @@ impl Board {
             .index_of(f)
             .ok_or(BoardError::UnknownFrequency(f))?;
         if index != self.freq_index {
+            let from_khz = self.frequency().as_khz();
             self.freq_index = index;
             self.switch_count += 1;
             self.pending_stall += self.config.dvfs_switch_stall;
-            self.record(format!("dvfs: -> {f}"));
+            self.probes.emit_with(self.now, || ProbeEvent::DvfsSwitch {
+                from_khz,
+                to_khz: f.as_khz(),
+            });
         }
         Ok(())
     }
@@ -463,7 +390,6 @@ impl Board {
     }
 
     /// One quantum of execution.
-    #[allow(clippy::expect_used)] // internal invariant: active core indices hold unfinished tasks
     fn step_quantum(&mut self, dt: SimDuration) {
         let dt_s = dt.as_secs_f64();
         // Consume pending DVFS stall: it eats into the available run time
@@ -480,99 +406,71 @@ impl Board {
         let f_hz = opp.frequency.as_hz();
         let tier = self.config.dvfs.bus_tier(opp.frequency);
 
-        // Collect active (enabled, unfinished) tasks.
-        let active: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.enabled && s.task.as_ref().is_some_and(|t| !t.is_finished()))
-            .map(|(i, _)| i)
-            .collect();
-
-        let profiles: Vec<_> = active
-            .iter()
-            .map(|&i| {
-                self.slots[i]
-                    .task
-                    .as_ref()
-                    .expect("active implies task")
-                    .profile()
-                    .expect("active implies unfinished")
-            })
-            .collect();
-
-        // Fixed point: instruction rates <-> cache shares <-> DRAM latency.
-        let n = active.len();
-        let mut instr_rates: Vec<f64> = profiles
-            .iter()
-            .map(|p| p.duty_cycle * f_hz / p.base_cpi)
-            .collect();
-        let mut miss_ratios = vec![0.0f64; n];
-        let mut dram_demand = 0.0f64;
-        for _ in 0..4 {
-            let demands: Vec<CacheDemand> = profiles
-                .iter()
-                .zip(&instr_rates)
-                .map(|(p, &r)| CacheDemand {
-                    access_rate: r * p.l2_apki / 1000.0,
-                    working_set: p.working_set_bytes,
-                    reuse_fraction: p.reuse_fraction,
-                })
-                .collect();
-            let shares = self.cache.apportion(&demands);
-            dram_demand = 0.0;
-            for i in 0..n {
-                miss_ratios[i] = shares[i].miss_ratio;
-                let miss_rate = demands[i].access_rate * shares[i].miss_ratio;
-                dram_demand +=
-                    MemorySystem::demand_from_miss_rate(miss_rate, self.config.dirty_fraction);
+        // Collect active (enabled, unfinished) tasks. A task with a
+        // profile is by definition unfinished.
+        self.scratch.active.clear();
+        self.scratch.profiles.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !slot.enabled {
+                continue;
             }
-            let lat_ns = self.config.memory.miss_latency_ns(tier, dram_demand);
-            for i in 0..n {
-                let p = &profiles[i];
-                let miss_cycles = (p.l2_apki / 1000.0)
-                    * miss_ratios[i]
-                    * lat_ns
-                    * 1e-9
-                    * f_hz
-                    * self.config.mem_overlap;
-                let cpi_eff = p.base_cpi + miss_cycles;
-                instr_rates[i] = p.duty_cycle * f_hz / cpi_eff;
+            if let Some(profile) = slot.task.as_deref().and_then(|t| t.profile()) {
+                self.scratch.active.push(i);
+                self.scratch.profiles.push(profile);
             }
         }
 
+        // Fixed point: instruction rates <-> cache shares <-> DRAM latency.
+        let params = ContentionParams {
+            f_hz,
+            tier,
+            mem_overlap: self.config.mem_overlap,
+            dirty_fraction: self.config.dirty_fraction,
+        };
+        self.solver.solve(
+            &self.cache,
+            &self.config.memory,
+            &params,
+            &self.scratch.profiles,
+        );
+
         // Retire work and update counters; interpolate finish times.
-        let mut core_utils = vec![0.0f64; self.config.num_cores];
-        let mut finished_cores: Vec<(usize, SimTime)> = Vec::new();
-        for (k, &core) in active.iter().enumerate() {
-            let p = &profiles[k];
-            let offered = instr_rates[k] * avail_s;
-            let task = self.slots[core].task.as_mut().expect("active");
-            let remaining = remaining_of(task.as_ref());
+        self.scratch.core_utils.clear();
+        self.scratch.core_utils.resize(self.config.num_cores, 0.0);
+        for k in 0..self.scratch.active.len() {
+            let core = self.scratch.active[k];
+            let p = self.scratch.profiles[k];
+            let miss_ratio = self.solver.miss_ratios()[k];
+            let offered = self.solver.instr_rates()[k] * avail_s;
+            let Some(task) = self.slots[core].task.as_mut() else {
+                continue;
+            };
+            let remaining = task.remaining_instructions();
             let executed = match remaining {
                 Some(rem) if rem < offered => rem,
                 _ => offered,
             };
             task.retire(executed);
+            let finished = task.is_finished();
             let busy_frac = if offered > 0.0 {
                 p.duty_cycle * (executed / offered) * (avail_s / dt_s)
             } else {
                 0.0
             };
-            core_utils[core] = busy_frac;
+            self.scratch.core_utils[core] = busy_frac;
             let c = self.counters.core_mut(core);
             c.instructions += executed;
             c.busy_time += Seconds::new(busy_frac * dt_s);
             let accesses = executed * p.l2_apki / 1000.0;
             c.l2_accesses += accesses;
-            c.l2_misses += accesses * miss_ratios[k];
-            if self.slots[core]
-                .task
-                .as_ref()
-                .expect("active")
-                .is_finished()
-                && self.slots[core].finish_time.is_none()
-            {
+            c.l2_misses += accesses * miss_ratio;
+            self.probes
+                .emit_with(self.now, || ProbeEvent::QuantumRetired {
+                    core,
+                    instructions: executed,
+                    miss_ratio,
+                });
+            if finished && self.slots[core].finish_time.is_none() {
                 // Fraction of the quantum actually needed.
                 let frac = if offered > 0.0 {
                     (executed / offered).clamp(0.0, 1.0)
@@ -582,11 +480,9 @@ impl Board {
                 let used = SimDuration::from_secs_f64(stall.as_secs_f64() + avail_s * frac);
                 let at = self.now + used;
                 self.slots[core].finish_time = Some(at);
-                finished_cores.push((core, at));
+                self.probes
+                    .emit_with(self.now, || ProbeEvent::TaskFinished { core, at });
             }
-        }
-        for (core, at) in finished_cores {
-            self.record(format!("core{core}: task finished at {at}"));
         }
         // Wall time advances for every enabled core.
         for (i, slot) in self.slots.iter().enumerate() {
@@ -597,23 +493,28 @@ impl Board {
 
         // Power and heat. The DRAM demand actually served is pro-rated by
         // the time the cores were running.
-        let served_dram = dram_demand * (avail_s / dt_s.max(1e-12));
-        let breakdown =
-            self.power_model
-                .evaluate(opp, &core_utils, served_dram, self.thermal.temperature());
+        let served_dram = self.solver.dram_demand() * (avail_s / dt_s.max(1e-12));
+        let breakdown = self.power_model.evaluate(
+            opp,
+            &self.scratch.core_utils,
+            served_dram,
+            self.thermal.temperature(),
+        );
         let dt_span = Seconds::new(dt_s);
         self.energy += breakdown.total() * dt_span;
         self.energy_breakdown.accumulate(&breakdown, dt_span);
         self.power_track.record(breakdown.total().value(), dt_s);
         self.thermal.step(breakdown.soc(), dt_span);
         self.last_power = breakdown;
+        self.probes.emit_with(self.now, || ProbeEvent::PowerSample {
+            total: breakdown.total(),
+            leakage: breakdown.leakage,
+        });
+        let temperature = self.thermal.temperature();
+        self.probes
+            .emit_with(self.now, || ProbeEvent::ThermalSample { temperature });
         self.now += dt;
     }
-}
-
-/// Extracts a task's remaining-instruction hint when it offers one.
-fn remaining_of(task: &dyn Task) -> Option<f64> {
-    task.remaining_instructions()
 }
 
 #[cfg(test)]
@@ -921,5 +822,72 @@ mod tests {
         assert!(t.is_some());
         assert!(b.clear_core(1).expect("in range").is_none());
         assert!(b.clear_core(77).is_err());
+    }
+
+    #[test]
+    fn typed_probe_sees_quantum_and_lifecycle_events() {
+        use dora_sim_core::probe::ProbeRing;
+
+        let mut b = board();
+        let ring = ProbeRing::shared(1 << 14);
+        let id = b.attach_probe(ring.clone());
+        assert!(b.probes_active());
+        b.set_frequency(Frequency::from_mhz(1958.4)).expect("ok");
+        b.assign(0, compute_task(1.0e7)).expect("free");
+        b.step(SimDuration::from_millis(10));
+
+        let events = ring.borrow().to_vec();
+        let mut saw_switch = false;
+        let mut saw_assign = false;
+        let mut saw_finish = false;
+        let mut saw_power = false;
+        let mut saw_thermal = false;
+        let mut retired = 0.0;
+        for r in &events {
+            match &r.event {
+                ProbeEvent::DvfsSwitch { from_khz, to_khz } => {
+                    assert_eq!(*from_khz, 300_000);
+                    assert_eq!(*to_khz, 1_958_400);
+                    saw_switch = true;
+                }
+                ProbeEvent::TaskAssigned { core, name } => {
+                    assert_eq!((*core, name.as_str()), (0, "job"));
+                    saw_assign = true;
+                }
+                ProbeEvent::TaskFinished { core, at } => {
+                    assert_eq!(*core, 0);
+                    assert_eq!(Some(*at), b.finish_time(0));
+                    saw_finish = true;
+                }
+                ProbeEvent::PowerSample { total, .. } => {
+                    assert!(total.value() > 0.0);
+                    saw_power = true;
+                }
+                ProbeEvent::ThermalSample { temperature } => {
+                    assert!(temperature.value() > 0.0);
+                    saw_thermal = true;
+                }
+                ProbeEvent::QuantumRetired {
+                    core, instructions, ..
+                } => {
+                    assert_eq!(*core, 0);
+                    retired += instructions;
+                }
+                ProbeEvent::GovernorDecision { .. } => {}
+            }
+        }
+        assert!(saw_switch && saw_assign && saw_finish && saw_power && saw_thermal);
+        // The probe saw every retired instruction.
+        let counted = b.counters(0).instructions;
+        assert!(
+            (retired - counted).abs() < 1e-6,
+            "probe {retired} vs counters {counted}"
+        );
+
+        // Detach: no further events.
+        let before = ring.borrow().len();
+        assert!(b.detach_probe(id));
+        b.step(SimDuration::from_millis(5));
+        assert_eq!(ring.borrow().len(), before);
     }
 }

@@ -33,6 +33,14 @@ pub struct CacheShare {
     pub miss_ratio: f64,
 }
 
+/// Reusable buffers for [`SharedCache::apportion_into`], so the
+/// per-quantum contention fixed point allocates nothing at steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ApportionScratch {
+    alloc: Vec<f64>,
+    satisfied: Vec<bool>,
+}
+
 /// The shared L2 cache.
 ///
 /// # Example
@@ -89,9 +97,28 @@ impl SharedCache {
     /// Tasks with zero access rate receive no occupancy and a miss ratio of
     /// 1.0 (vacuously — they issue no accesses).
     pub fn apportion(&self, demands: &[CacheDemand]) -> Vec<CacheShare> {
+        // alloc: convenience wrapper; hot callers hold their own buffers
+        // and go through `apportion_into` instead.
+        let mut shares = Vec::new();
+        let mut scratch = ApportionScratch::default();
+        self.apportion_into(demands, &mut shares, &mut scratch);
+        shares
+    }
+
+    /// [`SharedCache::apportion`] into caller-owned buffers: `shares` is
+    /// cleared and refilled, `scratch` is reused across calls. Identical
+    /// arithmetic to `apportion` — only the storage differs — so results
+    /// are bit-for-bit the same.
+    pub fn apportion_into(
+        &self,
+        demands: &[CacheDemand],
+        shares: &mut Vec<CacheShare>,
+        scratch: &mut ApportionScratch,
+    ) {
+        shares.clear();
         let n = demands.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         for d in demands {
             debug_assert!(d.access_rate >= 0.0 && d.working_set >= 0.0);
@@ -101,13 +128,17 @@ impl SharedCache {
         // Water-filling: weight = access rate; each round, distribute the
         // remaining capacity among unsatisfied tasks proportionally to
         // weight, capping at the working set, until stable.
-        let mut alloc = vec![0.0f64; n];
-        let mut satisfied = vec![false; n];
+        let alloc = &mut scratch.alloc;
+        let satisfied = &mut scratch.satisfied;
+        alloc.clear();
+        alloc.resize(n, 0.0);
+        satisfied.clear();
+        satisfied.resize(n, false);
         let mut remaining = self.capacity_bytes;
         for _ in 0..n {
             let weight_sum: f64 = demands
                 .iter()
-                .zip(&satisfied)
+                .zip(satisfied.iter())
                 .filter(|(_, &s)| !s)
                 .map(|(d, _)| d.access_rate)
                 .sum();
@@ -139,14 +170,12 @@ impl SharedCache {
             remaining = self.capacity_bytes - alloc.iter().sum::<f64>();
         }
 
-        demands
-            .iter()
-            .zip(&alloc)
-            .map(|(d, &a)| CacheShare {
+        for (d, &a) in demands.iter().zip(alloc.iter()) {
+            shares.push(CacheShare {
                 allocated_bytes: a,
                 miss_ratio: Self::miss_ratio(d, a),
-            })
-            .collect()
+            });
+        }
     }
 
     /// Hit/miss curve: with fraction `x = alloc / working_set` of the
@@ -268,5 +297,27 @@ mod tests {
     #[should_panic(expected = "bad cache capacity")]
     fn rejects_zero_capacity() {
         let _ = SharedCache::new(0.0);
+    }
+
+    #[test]
+    fn reused_scratch_buffers_match_fresh_apportion_bitwise() {
+        let l2 = SharedCache::new(2.0 * MIB);
+        let mut shares = Vec::new();
+        let mut scratch = ApportionScratch::default();
+        let sets: [&[CacheDemand]; 4] = [
+            &[demand(2e7, 1.5, 0.85), demand(6e7, 8.0, 0.1)],
+            &[demand(1e7, 1.0, 0.9)],
+            &[
+                demand(5e7, 4.0, 0.5),
+                demand(2e7, 3.0, 0.8),
+                demand(9e7, 6.0, 0.2),
+                demand(0.0, 4.0, 0.9),
+            ],
+            &[],
+        ];
+        for demands in sets {
+            l2.apportion_into(demands, &mut shares, &mut scratch);
+            assert_eq!(shares, l2.apportion(demands));
+        }
     }
 }

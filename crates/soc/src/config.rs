@@ -1,0 +1,174 @@
+//! Board configuration, errors, and energy accounting.
+//!
+//! These types used to live inside `board.rs`; they moved out when the
+//! board was split so that the stepping hot path (`board.rs`,
+//! `contention.rs`) contains no formatting or allocation — the
+//! `probe-purity` xtask pass holds it to that. Everything here is
+//! re-exported from [`crate::board`], so existing paths keep working.
+
+use crate::dvfs::{DvfsTable, Frequency};
+use crate::memory::MemorySystem;
+use crate::power::{PowerBreakdown, PowerParams};
+use crate::thermal::ThermalParams;
+use dora_sim_core::units::{Joules, Seconds};
+use dora_sim_core::SimDuration;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::board::Board`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoardError {
+    /// The referenced core id does not exist on this board.
+    CoreOutOfRange(usize),
+    /// The core already has a task assigned.
+    CoreOccupied(usize),
+    /// The core is powered off.
+    CoreDisabled(usize),
+    /// The frequency is not an entry of the DVFS table.
+    UnknownFrequency(Frequency),
+    /// The snapshot was taken from a structurally different board (core
+    /// count or DVFS table shape differ) and cannot be restored here.
+    SnapshotMismatch,
+}
+
+impl fmt::Display for BoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoardError::CoreOutOfRange(id) => write!(f, "core {id} out of range"),
+            BoardError::CoreOccupied(id) => write!(f, "core {id} already has a task"),
+            BoardError::CoreDisabled(id) => write!(f, "core {id} is powered off"),
+            BoardError::UnknownFrequency(freq) => {
+                write!(f, "frequency {freq} is not in the DVFS table")
+            }
+            BoardError::SnapshotMismatch => {
+                write!(f, "snapshot does not fit this board's configuration")
+            }
+        }
+    }
+}
+
+impl Error for BoardError {}
+
+/// Static configuration of a board.
+#[derive(Debug, Clone)]
+pub struct BoardConfig {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Number of physical cores.
+    pub num_cores: usize,
+    /// Which cores are powered on at construction.
+    pub cores_enabled: Vec<bool>,
+    /// The DVFS operating-point table.
+    pub dvfs: DvfsTable,
+    /// Shared L2 capacity in bytes.
+    pub l2_capacity_bytes: f64,
+    /// The DRAM model.
+    pub memory: MemorySystem,
+    /// The power model parameters.
+    pub power: PowerParams,
+    /// The thermal node parameters.
+    pub thermal: ThermalParams,
+    /// Simulation quantum.
+    pub quantum: SimDuration,
+    /// Core stall incurred by one DVFS transition (Section V-H measures
+    /// frequency switching as the dominant overhead, up to 3 % of
+    /// execution time when switches are frequent).
+    pub dvfs_switch_stall: SimDuration,
+    /// Memory-level-parallelism overlap factor: the fraction of each miss
+    /// latency that actually stalls retirement.
+    pub mem_overlap: f64,
+    /// Fraction of evicted lines that are dirty (written back).
+    pub dirty_fraction: f64,
+}
+
+impl BoardConfig {
+    /// The Nexus 5 platform of the paper's Table II: four Krait cores
+    /// (fourth switched off, as in Section IV-B), 2 MB shared L2, LPDDR3,
+    /// the 14-entry MSM8974 DVFS table, room ambient.
+    pub fn nexus5() -> Self {
+        BoardConfig {
+            name: "Google Nexus 5 (MSM8974 Snapdragon 800)".to_string(),
+            num_cores: 4,
+            cores_enabled: vec![true, true, true, false],
+            dvfs: DvfsTable::msm8974(),
+            l2_capacity_bytes: 2.0 * 1024.0 * 1024.0,
+            memory: MemorySystem::lpddr3(),
+            power: PowerParams::nexus5(),
+            thermal: ThermalParams::nexus5_room(),
+            quantum: SimDuration::from_millis(1),
+            dvfs_switch_stall: SimDuration::from_micros(60),
+            mem_overlap: 0.65,
+            dirty_fraction: 0.30,
+        }
+    }
+
+    /// Same platform at the cold ambient of Fig. 10(b).
+    pub fn nexus5_cold() -> Self {
+        BoardConfig {
+            thermal: ThermalParams::nexus5_cold(),
+            ..BoardConfig::nexus5()
+        }
+    }
+
+    /// Validates all constituent parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cores == 0 {
+            return Err("board needs at least one core".into());
+        }
+        if self.cores_enabled.len() != self.num_cores {
+            return Err("cores_enabled length must equal num_cores".into());
+        }
+        if !(self.l2_capacity_bytes.is_finite() && self.l2_capacity_bytes > 0.0) {
+            return Err(format!("bad L2 capacity {}", self.l2_capacity_bytes));
+        }
+        if self.quantum.is_zero() {
+            return Err("quantum must be positive".into());
+        }
+        if !(self.mem_overlap.is_finite() && (0.0..=1.0).contains(&self.mem_overlap)) {
+            return Err(format!("mem_overlap {} outside [0,1]", self.mem_overlap));
+        }
+        if !(self.dirty_fraction.is_finite() && (0.0..=1.0).contains(&self.dirty_fraction)) {
+            return Err(format!(
+                "dirty_fraction {} outside [0,1]",
+                self.dirty_fraction
+            ));
+        }
+        self.power.validate()?;
+        self.thermal.validate()?;
+        Ok(())
+    }
+}
+
+/// Cumulative device energy itemized by power-model component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Platform floor (display, rails).
+    pub platform: Joules,
+    /// Per-core dynamic switching energy.
+    pub core_dynamic: Joules,
+    /// Uncore/interconnect energy.
+    pub uncore: Joules,
+    /// DRAM traffic energy.
+    pub dram: Joules,
+    /// Eq. 5 leakage energy.
+    pub leakage: Joules,
+}
+
+impl EnergyBreakdown {
+    pub(crate) fn accumulate(&mut self, power: &PowerBreakdown, dt: Seconds) {
+        self.platform += power.platform * dt;
+        self.core_dynamic += power.core_dynamic * dt;
+        self.uncore += power.uncore * dt;
+        self.dram += power.dram * dt;
+        self.leakage += power.leakage * dt;
+    }
+
+    /// The sum of all components.
+    pub fn total(&self) -> Joules {
+        self.platform + self.core_dynamic + self.uncore + self.dram + self.leakage
+    }
+}

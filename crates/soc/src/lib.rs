@@ -21,8 +21,11 @@
 //!   temperature/voltage leakage model the paper adopts as Eq. 5.
 //! * [`counters`] — the `perf`-style counters governors sample: retired
 //!   instructions, busy cycles, L2 accesses/misses, per-core utilization.
+//! * [`contention`] — the pure per-quantum fixed point coupling
+//!   instruction rates, cache shares, and DRAM queuing latency.
 //! * [`board`] — the assembled platform stepped in fixed quanta, with DVFS
-//!   switch overhead accounting.
+//!   switch overhead accounting, a typed probe bus for observation, and
+//!   [`snapshot`] checkpoint/fork support.
 //!
 //! The timing model is quantum-stepped (default 1 ms) rather than
 //! cycle-accurate: per quantum each busy core retires
@@ -53,13 +56,18 @@
 
 pub mod board;
 pub mod cache;
+pub mod config;
+pub mod contention;
 pub mod counters;
 pub mod dvfs;
 pub mod memory;
 pub mod power;
+pub mod snapshot;
 pub mod task;
 pub mod thermal;
+mod trace_compat;
 
 pub use board::{Board, BoardConfig, BoardError};
 pub use dvfs::{BusTier, DvfsTable, Frequency, Opp};
+pub use snapshot::BoardSnapshot;
 pub use task::{PhaseProfile, Task};

@@ -1,0 +1,259 @@
+//! Board checkpointing: capture a running simulation and fork it.
+//!
+//! A [`BoardSnapshot`] is a pure value holding everything that determines
+//! a board's future behaviour: task progress, counters, thermal and
+//! energy state, DVFS position, pending stall, and the seed. It
+//! deliberately excludes observers (probes, the trace shim) and the
+//! solver's scratch buffers — those never influence the simulation, so
+//! restoring onto a board with different probes attached still replays
+//! bit-identically.
+//!
+//! The campaign layer uses this to run a frequency-invariant warmup
+//! prefix once, snapshot, and fan one continuation per candidate
+//! frequency across worker threads. Snapshots are `Send + Sync` (tasks
+//! carry those bounds) so a single snapshot can be shared by reference
+//! across the executor's workers.
+
+use crate::board::Board;
+use crate::config::{BoardError, EnergyBreakdown};
+use crate::counters::CounterSet;
+use crate::power::PowerBreakdown;
+use crate::task::Task;
+use crate::thermal::ThermalNode;
+use dora_sim_core::stats::TimeWeighted;
+use dora_sim_core::units::Joules;
+use dora_sim_core::{SimDuration, SimTime};
+
+/// One core slot's captured state.
+#[derive(Debug)]
+pub struct SlotSnapshot {
+    pub(crate) enabled: bool,
+    pub(crate) task: Option<Box<dyn Task>>,
+    pub(crate) finish_time: Option<SimTime>,
+}
+
+/// A point-in-time capture of a [`Board`]'s complete simulation state.
+///
+/// Produced by [`Board::snapshot`], consumed by [`Board::restore`]. The
+/// same snapshot can be restored onto any number of boards built from a
+/// structurally identical configuration; each restored board then evolves
+/// bit-identically to the original under the same inputs.
+#[derive(Debug)]
+pub struct BoardSnapshot {
+    pub(crate) slots: Vec<SlotSnapshot>,
+    pub(crate) counters: CounterSet,
+    pub(crate) freq_index: usize,
+    pub(crate) now: SimTime,
+    pub(crate) energy: Joules,
+    pub(crate) power_track: TimeWeighted,
+    pub(crate) last_power: PowerBreakdown,
+    pub(crate) switch_count: u64,
+    pub(crate) pending_stall: SimDuration,
+    pub(crate) energy_breakdown: EnergyBreakdown,
+    pub(crate) thermal: ThermalNode,
+    pub(crate) seed: u64,
+}
+
+impl BoardSnapshot {
+    /// The simulated instant the snapshot was taken at.
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// The seed of the board the snapshot was taken from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of core slots captured.
+    pub fn num_cores(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Board {
+    /// Captures the board's complete simulation state as a value.
+    ///
+    /// Tasks are deep-copied via [`Task::snapshot_box`], so the snapshot
+    /// is independent of the live board: stepping the board afterwards
+    /// does not disturb it. Probes and the trace shim are observers, not
+    /// state, and are not captured.
+    pub fn snapshot(&self) -> BoardSnapshot {
+        BoardSnapshot {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotSnapshot {
+                    enabled: s.enabled,
+                    task: s.task.as_deref().map(Task::snapshot_box),
+                    finish_time: s.finish_time,
+                })
+                .collect(),
+            counters: self.counters.clone(),
+            freq_index: self.freq_index,
+            now: self.now,
+            energy: self.energy,
+            power_track: self.power_track.clone(),
+            last_power: self.last_power,
+            switch_count: self.switch_count,
+            pending_stall: self.pending_stall,
+            energy_breakdown: self.energy_breakdown,
+            thermal: self.thermal.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Overwrites this board's simulation state with a snapshot's.
+    ///
+    /// The board keeps its own configuration, probes, and trace shim;
+    /// only simulation state is replaced. After a successful restore the
+    /// board evolves bit-identically to the board the snapshot was taken
+    /// from (under the same subsequent inputs).
+    ///
+    /// # Errors
+    ///
+    /// [`BoardError::SnapshotMismatch`] when the snapshot's core count
+    /// does not match this board or its DVFS index does not fit this
+    /// board's table. On error the board is left unchanged.
+    pub fn restore(&mut self, snapshot: &BoardSnapshot) -> Result<(), BoardError> {
+        if snapshot.slots.len() != self.config.num_cores
+            || snapshot.freq_index >= self.config.dvfs.len()
+        {
+            return Err(BoardError::SnapshotMismatch);
+        }
+        for (slot, snap) in self.slots.iter_mut().zip(snapshot.slots.iter()) {
+            slot.enabled = snap.enabled;
+            slot.task = snap.task.as_deref().map(Task::snapshot_box);
+            slot.finish_time = snap.finish_time;
+        }
+        self.counters = snapshot.counters.clone();
+        self.freq_index = snapshot.freq_index;
+        self.now = snapshot.now;
+        self.energy = snapshot.energy;
+        self.power_track = snapshot.power_track.clone();
+        self.last_power = snapshot.last_power;
+        self.switch_count = snapshot.switch_count;
+        self.pending_stall = snapshot.pending_stall;
+        self.energy_breakdown = snapshot.energy_breakdown;
+        self.thermal = snapshot.thermal.clone();
+        self.seed = snapshot.seed;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::BoardConfig;
+    use crate::dvfs::Frequency;
+    use crate::task::{LoopTask, PhaseProfile, PhasedTask};
+
+    fn loaded_board() -> Board {
+        let mut b = Board::new(BoardConfig::nexus5(), 11);
+        b.set_frequency(Frequency::from_mhz(1497.6)).expect("ok");
+        b.assign(
+            0,
+            Box::new(PhasedTask::new(
+                "main",
+                vec![(2.0e9, PhaseProfile::compute_bound())],
+            )),
+        )
+        .expect("free");
+        b.assign(
+            2,
+            Box::new(LoopTask::new("hog", PhaseProfile::streaming(40.0))),
+        )
+        .expect("free");
+        b.step(SimDuration::from_millis(250));
+        b
+    }
+
+    #[test]
+    fn snapshot_is_independent_of_the_live_board() {
+        let mut b = loaded_board();
+        let snap = b.snapshot();
+        let instructions_at_snap = snap.counters.core(0).instructions;
+        b.step(SimDuration::from_millis(100));
+        // The board moved on; the snapshot did not.
+        assert!(b.counters(0).instructions > instructions_at_snap);
+        assert_eq!(snap.counters.core(0).instructions, instructions_at_snap);
+        assert_eq!(snap.time(), SimTime::from_millis(250));
+        assert_eq!(snap.seed(), 11);
+        assert_eq!(snap.num_cores(), 4);
+    }
+
+    #[test]
+    fn restore_then_step_matches_the_original_bitwise() {
+        let mut original = loaded_board();
+        let snap = original.snapshot();
+
+        let mut fork = Board::new(BoardConfig::nexus5(), 0);
+        fork.restore(&snap).expect("fits");
+
+        let horizon = SimDuration::from_millis(400);
+        original.step(horizon);
+        fork.step(horizon);
+
+        assert_eq!(original.time(), fork.time());
+        assert_eq!(original.counter_set(), fork.counter_set());
+        assert_eq!(original.energy(), fork.energy());
+        assert_eq!(original.energy_breakdown(), fork.energy_breakdown());
+        assert_eq!(original.temperature(), fork.temperature());
+        assert_eq!(original.mean_power(), fork.mean_power());
+        assert_eq!(original.switch_count(), fork.switch_count());
+        assert_eq!(original.finish_time(0), fork.finish_time(0));
+    }
+
+    #[test]
+    fn forks_can_diverge_by_frequency() {
+        let b = loaded_board();
+        let snap = b.snapshot();
+
+        let run = |mhz: f64| {
+            let mut fork = Board::new(BoardConfig::nexus5(), 0);
+            fork.restore(&snap).expect("fits");
+            fork.set_frequency(Frequency::from_mhz(mhz)).expect("ok");
+            while !fork.task_finished(0) {
+                fork.step(SimDuration::from_millis(20));
+            }
+            fork.finish_time(0).expect("finished").as_secs_f64()
+        };
+        let slow = run(729.6);
+        let fast = run(2265.6);
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn restore_rejects_structural_mismatch_and_leaves_board_untouched() {
+        let b = loaded_board();
+        let mut snap = b.snapshot();
+        snap.slots.pop();
+
+        let mut target = Board::new(BoardConfig::nexus5(), 5);
+        target.step(SimDuration::from_millis(3));
+        let before = target.time();
+        assert_eq!(target.restore(&snap), Err(BoardError::SnapshotMismatch));
+        assert_eq!(target.time(), before);
+        assert_eq!(target.seed(), 5);
+    }
+
+    #[test]
+    fn snapshot_leaves_probes_attached() {
+        use dora_sim_core::probe::ProbeRing;
+
+        let mut b = loaded_board();
+        let ring = ProbeRing::shared(64);
+        b.attach_probe(ring.clone());
+        let snap = b.snapshot();
+        b.restore(&snap).expect("fits");
+        assert!(b.probes_active());
+        b.step(SimDuration::from_millis(2));
+        assert!(!ring.borrow().is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<BoardSnapshot>();
+    }
+}

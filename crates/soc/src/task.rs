@@ -106,7 +106,12 @@ impl PhaseProfile {
 ///
 /// Implementations must be deterministic given their construction inputs;
 /// any randomness should come from a seed captured at construction time.
-pub trait Task: fmt::Debug {
+///
+/// `Send + Sync` bounds make boxed tasks — and therefore
+/// [`crate::snapshot::BoardSnapshot`]s — shareable across the campaign
+/// executor's worker threads, which is what lets one warmed-up snapshot
+/// fan out into parallel per-frequency continuations.
+pub trait Task: fmt::Debug + Send + Sync {
     /// A short human-readable name for traces and reports.
     fn name(&self) -> &str;
 
@@ -134,6 +139,12 @@ pub trait Task: fmt::Debug {
     fn remaining_instructions(&self) -> Option<f64> {
         None
     }
+
+    /// A boxed deep copy of the task in its *current* state (retired
+    /// work, phase position and all), used by
+    /// [`crate::board::Board::snapshot`] to checkpoint a running board.
+    /// Cloneable implementations simply box a clone.
+    fn snapshot_box(&self) -> Box<dyn Task>;
 }
 
 /// An endlessly repeating single-phase task.
@@ -205,6 +216,10 @@ impl Task for LoopTask {
 
     fn retired(&self) -> f64 {
         self.retired
+    }
+
+    fn snapshot_box(&self) -> Box<dyn Task> {
+        Box::new(self.clone())
     }
 }
 
@@ -326,6 +341,10 @@ impl Task for PhasedTask {
     fn remaining_instructions(&self) -> Option<f64> {
         Some(PhasedTask::remaining_instructions(self))
     }
+
+    fn snapshot_box(&self) -> Box<dyn Task> {
+        Box::new(self.clone())
+    }
 }
 
 /// An endless task cycling through a fixed sequence of phases.
@@ -436,6 +455,10 @@ impl Task for CyclicTask {
 
     fn retired(&self) -> f64 {
         self.retired
+    }
+
+    fn snapshot_box(&self) -> Box<dyn Task> {
+        Box::new(self.clone())
     }
 }
 

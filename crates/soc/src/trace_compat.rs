@@ -1,0 +1,109 @@
+//! String-trace compatibility shim over the probe bus.
+//!
+//! [`crate::board::Board::trace_events`] predates the typed probe layer
+//! and is kept as a thin view for debugging and for callers that only
+//! want readable lines. The shim is an ordinary [`Probe`]: it listens on
+//! the board's bus, keeps only the lifecycle events the old string ring
+//! recorded (assignments, DVFS switches, task completions), and formats
+//! them into the historical messages. Formatting happens here — off the
+//! stepping hot path, and only while tracing is enabled.
+
+use crate::dvfs::Frequency;
+use dora_sim_core::probe::{Probe, ProbeEvent};
+use dora_sim_core::trace::{TraceEvent, TraceRing};
+use dora_sim_core::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Bounded ring of formatted lifecycle events, fed by the probe bus.
+#[derive(Debug)]
+pub(crate) struct LifecycleTrace {
+    ring: TraceRing,
+}
+
+impl LifecycleTrace {
+    /// A shared handle holding at most `capacity` events, ready for
+    /// [`dora_sim_core::probe::ProbeBus::attach`].
+    pub(crate) fn shared(capacity: usize) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(LifecycleTrace {
+            ring: TraceRing::new(capacity),
+        }))
+    }
+
+    /// The formatted events, oldest first.
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        self.ring.iter().cloned().collect()
+    }
+}
+
+impl Probe for LifecycleTrace {
+    fn on_event(&mut self, at: SimTime, event: &ProbeEvent) {
+        // Only the three lifecycle kinds the historical string ring
+        // carried; per-quantum samples must not consume ring capacity.
+        match event {
+            ProbeEvent::TaskAssigned { core, name } => {
+                self.ring
+                    .record(at, format!("core{core}: assigned task {name:?}"));
+            }
+            ProbeEvent::DvfsSwitch { to_khz, .. } => {
+                let f = Frequency::from_khz(*to_khz);
+                self.ring.record(at, format!("dvfs: -> {f}"));
+            }
+            ProbeEvent::TaskFinished { core, at: when } => {
+                self.ring
+                    .record(at, format!("core{core}: task finished at {when}"));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_the_historical_messages_and_ignores_samples() {
+        let shim = LifecycleTrace::shared(8);
+        let now = SimTime::from_millis(3);
+        let mut probe = shim.borrow_mut();
+        probe.on_event(
+            now,
+            &ProbeEvent::TaskAssigned {
+                core: 0,
+                name: "job".to_string(),
+            },
+        );
+        probe.on_event(
+            now,
+            &ProbeEvent::DvfsSwitch {
+                from_khz: 300_000,
+                to_khz: 1_958_400,
+            },
+        );
+        probe.on_event(
+            now,
+            &ProbeEvent::QuantumRetired {
+                core: 0,
+                instructions: 1.0e6,
+                miss_ratio: 0.2,
+            },
+        );
+        probe.on_event(
+            now,
+            &ProbeEvent::TaskFinished {
+                core: 0,
+                at: SimTime::from_millis(4),
+            },
+        );
+        let messages: Vec<String> = probe.events().into_iter().map(|e| e.message).collect();
+        assert_eq!(
+            messages,
+            vec![
+                "core0: assigned task \"job\"".to_string(),
+                "dvfs: -> 1.958GHz".to_string(),
+                "core0: task finished at t=0.004000s".to_string(),
+            ]
+        );
+    }
+}

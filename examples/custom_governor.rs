@@ -10,11 +10,14 @@
 //! cargo run --release --example custom_governor
 //! ```
 
-use dora_repro::campaign::runner::{run_scenario, ScenarioConfig};
+use dora_repro::campaign::runner::{run_scenario, run_scenario_observed, ScenarioConfig};
 use dora_repro::campaign::workload::WorkloadSet;
 use dora_repro::governors::{Governor, GovernorObservation, InteractiveGovernor};
-use dora_repro::sim::SimDuration;
+use dora_repro::sim::probe::{Probe, ProbeEvent};
+use dora_repro::sim::{SimDuration, SimTime};
 use dora_repro::soc::{DvfsTable, Frequency};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Pin the top frequency whenever anything is running; idle at the
 /// bottom. Implementing [`Governor`] is all it takes to enter the
@@ -22,6 +25,25 @@ use dora_repro::soc::{DvfsTable, Frequency};
 #[derive(Debug)]
 struct RaceToIdle {
     table: DvfsTable,
+}
+
+/// Watches the measured window through the typed probe bus: every
+/// [`ProbeEvent::GovernorDecision`] and [`ProbeEvent::DvfsSwitch`] the
+/// custom governor produces, cross-checked against the summary result.
+#[derive(Debug, Default)]
+struct DecisionTally {
+    decisions: u64,
+    switches: u64,
+}
+
+impl Probe for DecisionTally {
+    fn on_event(&mut self, _at: SimTime, event: &ProbeEvent) {
+        match event {
+            ProbeEvent::GovernorDecision { .. } => self.decisions += 1,
+            ProbeEvent::DvfsSwitch { .. } => self.switches += 1,
+            _ => {}
+        }
+    }
 }
 
 impl Governor for RaceToIdle {
@@ -56,7 +78,11 @@ fn main() {
         let mut custom = RaceToIdle {
             table: table.clone(),
         };
-        let mine = run_scenario(w, &mut custom, &config);
+        let tally = Rc::new(RefCell::new(DecisionTally::default()));
+        let mine = run_scenario_observed(w, &mut custom, &config, tally.clone());
+        // The probe and the summary saw the same measured window.
+        assert_eq!(tally.borrow().switches, mine.switches);
+        assert!(tally.borrow().decisions > 0, "governor was consulted");
         let mut baseline = InteractiveGovernor::new(table.clone());
         let theirs = run_scenario(w, &mut baseline, &config);
         let ratio = mine.ppw.value() / theirs.ppw.value();

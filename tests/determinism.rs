@@ -1,7 +1,9 @@
 //! The campaign executor's determinism guarantee, end to end: parallel
 //! fan-out must produce `RunResult` vectors byte-identical to the
 //! sequential loop, for the evaluation grid, the oracle sweeps behind
-//! the pinned policies, and the training campaign.
+//! the pinned policies, and the training campaign — plus the snapshot
+//! kernel's replay guarantee: restore + re-step reproduces the original
+//! trajectory bit for bit, observable events included.
 
 use dora_repro::campaign::evaluate::{evaluate, evaluate_with, Policy};
 use dora_repro::campaign::executor::{Executor, Parallelism};
@@ -98,4 +100,88 @@ fn training_campaign_is_deterministic_across_executors() {
         assert_eq!(s.inputs.l2_mpki, p.inputs.l2_mpki);
         assert_eq!(s.inputs.corun_utilization, p.inputs.corun_utilization);
     }
+}
+
+#[test]
+fn snapshot_restore_replays_the_trajectory_bitwise_with_events() {
+    use dora_repro::sim::probe::ProbeRing;
+    use dora_repro::soc::task::{LoopTask, PhaseProfile, PhasedTask};
+    use dora_repro::soc::{Board, BoardConfig};
+
+    let mut board = Board::new(BoardConfig::nexus5(), 11);
+    board
+        .set_frequency(Frequency::from_mhz(1190.4))
+        .expect("in table");
+    // A finite foreground task (so both runs see a TaskFinished and a
+    // lifecycle trace line) next to an endless streaming co-runner.
+    board
+        .assign(
+            0,
+            Box::new(PhasedTask::new(
+                "page",
+                vec![
+                    (1.0e8, PhaseProfile::compute_bound()),
+                    (0.5e8, PhaseProfile::streaming(30.0)),
+                ],
+            )),
+        )
+        .expect("free");
+    board
+        .assign(
+            2,
+            Box::new(LoopTask::new("hog", PhaseProfile::streaming(45.0))),
+        )
+        .expect("free");
+    board.step(SimDuration::from_millis(120));
+
+    let snapshot = board.snapshot();
+    let d = SimDuration::from_millis(700);
+
+    // Observers go on after the snapshot so both runs watch the same
+    // window: a fresh trace shim and ring per run.
+    board.enable_trace(1 << 10);
+    let ring_a = ProbeRing::shared(1 << 14);
+    let id_a = board.attach_probe(ring_a.clone());
+    board.step(d);
+    board.detach_probe(id_a);
+    let run_a = (
+        board.time(),
+        board.energy(),
+        board.energy_breakdown(),
+        board.temperature(),
+        board.counters(0),
+        board.counters(2),
+        board.finish_time(0),
+        board.trace_events(),
+    );
+    let events_a = ring_a.borrow().to_vec();
+    assert!(
+        board.task_finished(0),
+        "the page task should finish in run A"
+    );
+    assert!(!events_a.is_empty(), "run A should observe events");
+
+    board.restore(&snapshot).expect("snapshot fits");
+    // Fresh observers for run B: the trace shim and ring still hold run
+    // A's events (observers are deliberately outside the snapshot).
+    board.enable_trace(1 << 10);
+    let ring_b = ProbeRing::shared(1 << 14);
+    board.attach_probe(ring_b.clone());
+    board.step(d);
+    let run_b = (
+        board.time(),
+        board.energy(),
+        board.energy_breakdown(),
+        board.temperature(),
+        board.counters(0),
+        board.counters(2),
+        board.finish_time(0),
+        board.trace_events(),
+    );
+    assert_eq!(run_a, run_b, "restore + re-step must replay run A bitwise");
+    assert_eq!(
+        events_a,
+        ring_b.borrow().to_vec(),
+        "the observable event stream must replay bitwise too"
+    );
 }

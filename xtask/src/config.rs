@@ -59,6 +59,9 @@ pub struct Config {
     /// Path prefixes of sync-facade implementations, exempt from the
     /// sync-hygiene facade ban (`[sync-hygiene] facade_paths`).
     pub sync_facade_paths: Vec<String>,
+    /// Path prefixes of probe-off hot-path files the probe-purity lint
+    /// scans for allocation/formatting (`[probe-purity] hot_paths`).
+    pub probe_hot_paths: Vec<String>,
 }
 
 fn string_list(value: &Value, what: &str) -> Result<Vec<String>, String> {
@@ -152,6 +155,14 @@ impl Config {
                             return Err(format!("unknown key `{key}` in [sync-hygiene]"));
                         }
                         config.sync_facade_paths = string_list(v, "[sync-hygiene] facade_paths")?;
+                    }
+                }
+                "probe-purity" => {
+                    for (key, v) in entries {
+                        if key != "hot_paths" {
+                            return Err(format!("unknown key `{key}` in [probe-purity]"));
+                        }
+                        config.probe_hot_paths = string_list(v, "[probe-purity] hot_paths")?;
                     }
                 }
                 "panic-budget" => {

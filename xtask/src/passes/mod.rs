@@ -16,6 +16,7 @@ pub mod layering;
 pub mod lint_header;
 pub mod panic_ratchet;
 pub mod partial_cmp;
+pub mod probe_purity;
 pub mod sync_hygiene;
 pub mod unit_suffix;
 
@@ -41,6 +42,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(layering::CrateLayering),
         Box::new(determinism::MapDeterminism),
         Box::new(sync_hygiene::SyncHygiene),
+        Box::new(probe_purity::ProbePurity),
         Box::new(constants::PaperConstants),
         Box::new(api_surface::ApiSurface),
     ]
