@@ -66,9 +66,10 @@ fn bench_exhibits(c: &mut Criterion) {
     // Fig. 9's six cells each need an oracle sweep; benchmark one sweep
     // (14 pinned loads), the unit the figure scales by.
     c.bench_function("fig09_oracle_sweep_one_workload", |b| {
-        use dora_campaign::runner::oracle;
+        use dora_campaign::driver::CampaignDriver;
         let workload = p.workloads.workloads()[0].clone();
-        b.iter(|| black_box(oracle(&workload, &p.scenario).fopt))
+        let driver = CampaignDriver::new();
+        b.iter(|| black_box(driver.oracle(&workload, &p.scenario).fopt))
     });
 
     c.bench_function("fig10_leakage_ablation", |b| {
@@ -102,7 +103,8 @@ fn bench_exhibits(c: &mut Criterion) {
 /// machinery on a 6-workload slice (two pages × three intensities). The
 /// figure binaries remain the way to regenerate the full exhibits.
 fn bench_big_evaluations(c: &mut Criterion) {
-    use dora_campaign::evaluate::{evaluate, Policy};
+    use dora_campaign::driver::CampaignDriver;
+    use dora_campaign::evaluate::Policy;
     use dora_campaign::workload::WorkloadSet;
     let p = pipeline();
     let slice = WorkloadSet::from_workloads(
@@ -116,10 +118,12 @@ fn bench_big_evaluations(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluation_slices");
     group.sample_size(10);
 
+    let driver = CampaignDriver::new();
     group.bench_function("fig07_machinery_3_workloads", |b| {
         b.iter(|| {
             black_box(
-                evaluate(&slice, &Policy::FIG7, Some(&p.models), &p.scenario)
+                driver
+                    .evaluate(&slice, &Policy::FIG7, Some(&p.models), &p.scenario)
                     .expect("models supplied")
                     .results()
                     .len(),
@@ -130,7 +134,8 @@ fn bench_big_evaluations(c: &mut Criterion) {
     group.bench_function("fig08_machinery_3_workloads_with_oracle", |b| {
         b.iter(|| {
             black_box(
-                evaluate(&slice, &Policy::FIG8, Some(&p.models), &p.scenario)
+                driver
+                    .evaluate(&slice, &Policy::FIG8, Some(&p.models), &p.scenario)
                     .expect("models supplied")
                     .oracles()
                     .len(),

@@ -11,8 +11,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dora_campaign::evaluate::{evaluate_with, Policy};
-use dora_campaign::runner::{oracle_with, ScenarioConfig};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::evaluate::Policy;
+use dora_campaign::runner::ScenarioConfig;
 use dora_campaign::workload::WorkloadSet;
 use dora_campaign::{Executor, Parallelism};
 use dora_coworkloads::Intensity;
@@ -47,16 +48,17 @@ fn campaign_throughput(c: &mut Criterion) {
         ("sequential", Executor::sequential()),
         ("parallel", Executor::auto()),
     ] {
+        let driver = CampaignDriver::new().executor(executor);
         group.bench_function(label, |b| {
             b.iter(|| {
-                let eval = evaluate_with(
-                    black_box(&set),
-                    black_box(&policies),
-                    None,
-                    black_box(&config),
-                    &executor,
-                )
-                .expect("no models needed");
+                let eval = driver
+                    .evaluate(
+                        black_box(&set),
+                        black_box(&policies),
+                        None,
+                        black_box(&config),
+                    )
+                    .expect("no models needed");
                 black_box(eval.results().len())
             })
         });
@@ -77,9 +79,10 @@ fn oracle_sweep_throughput(c: &mut Criterion) {
         ("sequential", Executor::sequential()),
         ("parallel", Executor::auto()),
     ] {
+        let driver = CampaignDriver::new().executor(executor);
         group.bench_function(label, |b| {
             b.iter(|| {
-                let o = oracle_with(black_box(&workload), black_box(&config), &executor);
+                let o = driver.oracle(black_box(&workload), black_box(&config));
                 black_box(o.fopt)
             })
         });

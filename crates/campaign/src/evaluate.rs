@@ -82,7 +82,7 @@ pub struct Evaluation {
 }
 
 /// Builds the governor instance for a policy over one workload.
-fn make_governor(
+pub(crate) fn make_governor(
     policy: Policy,
     workload: &Workload,
     models: Option<&DoraModels>,
@@ -138,24 +138,39 @@ fn make_governor(
 
 /// Runs every workload under every policy, sequentially.
 ///
-/// Equivalent to [`evaluate_with`] on [`Executor::sequential`]; kept as
-/// the simple entry point for small sets and doctests.
-///
 /// # Errors
 ///
 /// [`EvaluateError::ModelsRequired`] when a DORA-family policy is
 /// requested without trained models.
+#[deprecated(note = "use CampaignDriver::evaluate")]
 pub fn evaluate(
     set: &WorkloadSet,
     policies: &[Policy],
     models: Option<&DoraModels>,
     config: &ScenarioConfig,
 ) -> Result<Evaluation, EvaluateError> {
-    evaluate_with(set, policies, models, config, &Executor::sequential())
+    evaluate_impl(set, policies, models, config, &Executor::sequential())
 }
 
 /// Runs every workload under every policy, fanning independent scenarios
 /// out across `executor`.
+///
+/// # Errors
+///
+/// [`EvaluateError::ModelsRequired`] when a DORA-family policy is
+/// requested without trained models.
+#[deprecated(note = "use CampaignDriver::evaluate with an executor")]
+pub fn evaluate_with(
+    set: &WorkloadSet,
+    policies: &[Policy],
+    models: Option<&DoraModels>,
+    config: &ScenarioConfig,
+    executor: &Executor,
+) -> Result<Evaluation, EvaluateError> {
+    evaluate_impl(set, policies, models, config, executor)
+}
+
+/// The evaluation grid behind [`crate::driver::CampaignDriver::evaluate`].
 ///
 /// Two flat fan-outs: first the oracle sweeps (one task per unique
 /// workload × table frequency, computed only when an oracle policy is
@@ -164,12 +179,7 @@ pub fn evaluate(
 /// [`Evaluation`] is **bit-identical** to the sequential one — results in
 /// workload-major, policy-minor order, exactly as the classic loop
 /// produced them.
-///
-/// # Errors
-///
-/// [`EvaluateError::ModelsRequired`] when a DORA-family policy is
-/// requested without trained models.
-pub fn evaluate_with(
+pub(crate) fn evaluate_impl(
     set: &WorkloadSet,
     policies: &[Policy],
     models: Option<&DoraModels>,
@@ -321,8 +331,18 @@ impl Evaluation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::CampaignDriver;
     use dora_coworkloads::Intensity;
     use dora_sim_core::SimDuration;
+
+    fn evaluate(
+        set: &WorkloadSet,
+        policies: &[Policy],
+        models: Option<&DoraModels>,
+        config: &ScenarioConfig,
+    ) -> Result<Evaluation, EvaluateError> {
+        CampaignDriver::new().evaluate(set, policies, models, config)
+    }
 
     fn small_set() -> WorkloadSet {
         let all = WorkloadSet::paper54();
@@ -417,14 +437,10 @@ mod tests {
         let set = small_set();
         let policies = [Policy::Interactive, Policy::OfflineOpt];
         let sequential = evaluate(&set, &policies, None, &quick()).expect("runs");
-        let parallel = evaluate_with(
-            &set,
-            &policies,
-            None,
-            &quick(),
-            &Executor::new(Parallelism::Fixed(4)),
-        )
-        .expect("runs");
+        let parallel = CampaignDriver::new()
+            .executor(Executor::new(Parallelism::Fixed(4)))
+            .evaluate(&set, &policies, None, &quick())
+            .expect("runs");
         assert_eq!(sequential.results(), parallel.results());
         assert_eq!(sequential.oracles(), parallel.oracles());
     }

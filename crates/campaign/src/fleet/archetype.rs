@@ -1,0 +1,158 @@
+//! Device-class archetypes: the hardware population of a fleet.
+//!
+//! A fleet is not one phone — it is a weighted population of device
+//! classes sitting in different thermal environments. Each
+//! [`DeviceArchetype`] pins down one (class, ambient) cell of that
+//! population: a board configuration, a battery pack, and the share of
+//! sessions it contributes. Archetypes are what the fleet warms once and
+//! snapshots — every session of an archetype forks the same warmed board,
+//! so the archetype count (not the session count) bounds warm-up cost.
+
+use dora_sim_core::units::{Celsius, WattHours};
+use dora_soc::board::BoardConfig;
+
+/// A hardware tier of the fleet population.
+///
+/// All tiers share the MSM8974 DVFS table (so board snapshots stay
+/// structurally compatible and DORA's models transfer); they differ in
+/// chassis thermals and battery capacity, the two knobs that move
+/// battery-life and throttling behaviour without retraining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Large chassis, good heat spreading, big battery.
+    Flagship,
+    /// The paper's Nexus 5 itself.
+    Mainstream,
+    /// Cramped chassis (higher junction-to-ambient resistance), small
+    /// battery.
+    Budget,
+}
+
+impl DeviceClass {
+    /// Every class, in tier order.
+    pub const ALL: [DeviceClass; 3] = [
+        DeviceClass::Flagship,
+        DeviceClass::Mainstream,
+        DeviceClass::Budget,
+    ];
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceClass::Flagship => "flagship",
+            DeviceClass::Mainstream => "mainstream",
+            DeviceClass::Budget => "budget",
+        }
+    }
+
+    /// The class's battery pack.
+    pub fn battery(self) -> WattHours {
+        match self {
+            DeviceClass::Flagship => WattHours::new(11.55),
+            // 2300 mAh at 3.8 V — the Nexus 5 pack.
+            DeviceClass::Mainstream => WattHours::new(8.74),
+            DeviceClass::Budget => WattHours::new(7.22),
+        }
+    }
+
+    /// The class's board at room ambient.
+    pub fn board(self) -> BoardConfig {
+        let mut board = BoardConfig::nexus5();
+        // Chassis quality scales the junction-to-ambient resistance: a
+        // budget phone runs the same silicon hotter at the same power.
+        board.thermal.resistance_k_per_w *= match self {
+            DeviceClass::Flagship => 0.85,
+            DeviceClass::Mainstream => 1.0,
+            DeviceClass::Budget => 1.25,
+        };
+        board
+    }
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One cell of the fleet population: a device class at an ambient
+/// temperature, holding a share of the fleet's sessions.
+#[derive(Debug, Clone)]
+pub struct DeviceArchetype {
+    /// Stable label, e.g. `budget@35C`.
+    pub name: String,
+    /// The hardware tier.
+    pub class: DeviceClass,
+    /// The board configuration (class board re-anchored at the ambient).
+    pub board: BoardConfig,
+    /// The battery pack.
+    pub battery: WattHours,
+    /// Relative population weight (any positive scale; normalized when
+    /// sampling).
+    pub weight: f64,
+}
+
+impl DeviceArchetype {
+    /// Builds the archetype for `class` sitting at `ambient`.
+    pub fn new(class: DeviceClass, ambient: Celsius, weight: f64) -> DeviceArchetype {
+        DeviceArchetype {
+            name: format!("{}@{:.0}C", class.name(), ambient.value()),
+            class,
+            board: class.board().with_ambient(ambient),
+            battery: class.battery(),
+            weight,
+        }
+    }
+
+    /// The default population: three tiers across room, cold and hot
+    /// ambients, weighted toward mainstream devices indoors.
+    pub fn default_population() -> Vec<DeviceArchetype> {
+        vec![
+            DeviceArchetype::new(DeviceClass::Flagship, Celsius::new(25.0), 0.20),
+            DeviceArchetype::new(DeviceClass::Mainstream, Celsius::new(25.0), 0.35),
+            DeviceArchetype::new(DeviceClass::Mainstream, Celsius::new(10.0), 0.15),
+            DeviceArchetype::new(DeviceClass::Budget, Celsius::new(25.0), 0.20),
+            DeviceArchetype::new(DeviceClass::Budget, Celsius::new(35.0), 0.10),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boards_share_the_dvfs_table() {
+        let reference = BoardConfig::nexus5();
+        for class in DeviceClass::ALL {
+            let board = class.board();
+            assert_eq!(board.dvfs.len(), reference.dvfs.len(), "{class}");
+            assert_eq!(board.num_cores, reference.num_cores, "{class}");
+            board.validate().expect("class boards must validate");
+        }
+    }
+
+    #[test]
+    fn ambient_reanchors_the_thermal_node() {
+        let hot = DeviceArchetype::new(DeviceClass::Budget, Celsius::new(35.0), 1.0);
+        assert_eq!(hot.board.thermal.ambient, Celsius::new(35.0));
+        assert_eq!(hot.name, "budget@35C");
+        hot.board
+            .validate()
+            .expect("ambient within plausible range");
+    }
+
+    #[test]
+    fn default_population_weights_are_normalizable() {
+        let population = DeviceArchetype::default_population();
+        let total: f64 = population.iter().map(|a| a.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(population.iter().all(|a| a.weight > 0.0));
+    }
+
+    #[test]
+    fn batteries_order_by_tier() {
+        assert!(DeviceClass::Flagship.battery() > DeviceClass::Mainstream.battery());
+        assert!(DeviceClass::Mainstream.battery() > DeviceClass::Budget.battery());
+    }
+}

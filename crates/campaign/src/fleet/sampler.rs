@@ -1,0 +1,178 @@
+//! Deterministic per-session sampling.
+//!
+//! Every session of a fleet is described by a [`SessionSpec`] derived
+//! *only* from the fleet seed and the session's global index: each index
+//! seeds its own [`Rng`], so specs are identical no matter how sessions
+//! are later grouped into shards or which executor width runs them. That
+//! independence is what lets the fleet report be byte-identical across
+//! `--jobs 1/N` — sharding changes who *computes* a session, never *what*
+//! the session is.
+
+use super::archetype::DeviceArchetype;
+use crate::workload::Workload;
+use dora_browser::catalog::Catalog;
+use dora_coworkloads::Kernel;
+use dora_sim_core::Rng;
+
+/// One sampled device session, fully determined by `(fleet seed, index)`.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Global session index in `0..sessions`.
+    pub index: u64,
+    /// Index into the fleet's archetype population.
+    pub archetype: usize,
+    /// The sampled page + co-runner pair.
+    pub workload: Workload,
+    /// Battery state of charge in `[0.35, 1.0)` at session start.
+    pub charge: f64,
+    /// Seed for the session's simulation (page jitter, co-runner phases).
+    pub seed: u64,
+}
+
+/// The sampling space: the archetype population plus the page and
+/// co-runner catalogs sessions draw from.
+#[derive(Debug, Clone)]
+pub struct SessionSampler {
+    archetypes: Vec<DeviceArchetype>,
+    cumulative_weights: Vec<f64>,
+    workload_pool: Vec<Workload>,
+}
+
+impl SessionSampler {
+    /// Builds the sampler over `archetypes` and the full built-in page ×
+    /// kernel catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archetypes` is empty or its weights do not sum to a
+    /// positive finite value (a configuration bug, not a runtime
+    /// condition).
+    pub fn new(archetypes: Vec<DeviceArchetype>) -> SessionSampler {
+        assert!(!archetypes.is_empty(), "fleet needs at least one archetype");
+        let mut cumulative_weights = Vec::with_capacity(archetypes.len());
+        let mut total = 0.0;
+        for archetype in &archetypes {
+            total += archetype.weight;
+            cumulative_weights.push(total);
+        }
+        assert!(
+            total.is_finite() && total > 0.0,
+            "archetype weights must sum to a positive finite value, got {total}"
+        );
+        let catalog = Catalog::alexa18();
+        let mut workload_pool = Vec::new();
+        for page in catalog.pages() {
+            for kernel in Kernel::all() {
+                workload_pool.push(Workload {
+                    page: page.clone(),
+                    kernel: kernel.clone(),
+                });
+            }
+        }
+        SessionSampler {
+            archetypes,
+            cumulative_weights,
+            workload_pool,
+        }
+    }
+
+    /// The archetype population.
+    pub fn archetypes(&self) -> &[DeviceArchetype] {
+        &self.archetypes
+    }
+
+    /// Every distinct workload a session can draw.
+    pub fn workload_pool(&self) -> &[Workload] {
+        &self.workload_pool
+    }
+
+    /// Samples session `index` of the fleet seeded by `fleet_seed`.
+    pub fn sample(&self, fleet_seed: u64, index: u64) -> SessionSpec {
+        // A per-index generator (not a shared stream) keeps the spec
+        // independent of evaluation order. The multiplier is the 64-bit
+        // golden-ratio constant; seed_from_u64 then splitmixes, so
+        // adjacent indices land far apart in state space.
+        let mut rng = Rng::seed_from_u64(
+            fleet_seed ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let pick = rng.f64() * self.cumulative_weights[self.cumulative_weights.len() - 1];
+        let archetype = self
+            .cumulative_weights
+            .iter()
+            .position(|&c| pick < c)
+            .unwrap_or(self.archetypes.len() - 1);
+        let workload =
+            self.workload_pool[rng.below(self.workload_pool.len() as u64) as usize].clone();
+        let charge = rng.range_f64(0.35, 1.0);
+        SessionSpec {
+            index,
+            archetype,
+            workload,
+            charge,
+            seed: rng.next_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn sampler() -> SessionSampler {
+        SessionSampler::new(DeviceArchetype::default_population())
+    }
+
+    #[test]
+    fn specs_depend_only_on_seed_and_index() {
+        let s = sampler();
+        for index in [0u64, 1, 17, 999_983] {
+            let a = s.sample(42, index);
+            let b = s.sample(42, index);
+            assert_eq!(a.archetype, b.archetype);
+            assert_eq!(a.workload.id(), b.workload.id());
+            assert_eq!(a.charge, b.charge);
+            assert_eq!(a.seed, b.seed);
+        }
+        assert_ne!(s.sample(42, 0).seed, s.sample(43, 0).seed);
+        assert_ne!(s.sample(42, 0).seed, s.sample(42, 1).seed);
+    }
+
+    #[test]
+    fn population_mixes_archetypes_pages_and_kernels() {
+        let s = sampler();
+        let mut archetypes = BTreeSet::new();
+        let mut pages = BTreeSet::new();
+        let mut kernels = BTreeSet::new();
+        for index in 0..2000 {
+            let spec = s.sample(7, index);
+            archetypes.insert(spec.archetype);
+            pages.insert(spec.workload.page.name.to_string());
+            kernels.insert(spec.workload.kernel.name().to_string());
+            assert!((0.35..1.0).contains(&spec.charge), "{}", spec.charge);
+        }
+        assert_eq!(archetypes.len(), s.archetypes().len());
+        assert_eq!(pages.len(), 18, "all catalog pages should appear");
+        assert_eq!(kernels.len(), 9, "all co-run kernels should appear");
+    }
+
+    #[test]
+    fn archetype_shares_track_weights() {
+        let s = sampler();
+        let n = 20_000u64;
+        let mut counts = vec![0u64; s.archetypes().len()];
+        for index in 0..n {
+            counts[s.sample(1, index).archetype] += 1;
+        }
+        let total: f64 = s.archetypes().iter().map(|a| a.weight).sum();
+        for (archetype, &count) in s.archetypes().iter().zip(&counts) {
+            let expected = archetype.weight / total;
+            let got = count as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.02,
+                "{}: weight {expected:.2}, sampled {got:.3}",
+                archetype.name
+            );
+        }
+    }
+}

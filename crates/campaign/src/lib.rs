@@ -20,9 +20,13 @@
 //! * [`policy`] — the closed [`policy::Policy`] set of paper policies and
 //!   the open [`policy::PolicyName`] identities result rows carry.
 //! * [`executor`] — deterministic fan-out of independent scenario runs
-//!   across a scoped thread pool; every campaign entry point has a
-//!   `*_with(.., &Executor)` variant whose output is bit-identical to the
-//!   sequential loop.
+//!   across a scoped thread pool; output is bit-identical to the
+//!   sequential loop at any width.
+//! * [`driver`] — the [`driver::CampaignDriver`] context object (executor
+//!   + warm-up policy + probe) every campaign operation runs through.
+//! * [`fleet`] — fleet-scale simulation: 10⁴–10⁶ sampled device sessions
+//!   streamed through sharded, mergeable sketches; memory stays
+//!   O(shards) and reports are byte-identical at any executor width.
 //! * [`export`] — CSV export of raw results for plotting tools.
 //! * [`session`] — multi-page browsing sessions with think time, for
 //!   battery-life-style comparisons beyond the paper's single loads.
@@ -45,9 +49,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod driver;
 pub mod evaluate;
 pub mod executor;
 pub mod export;
+pub mod fleet;
 pub mod policy;
 pub mod runner;
 pub mod session;
@@ -55,7 +61,9 @@ pub(crate) mod sync;
 pub mod training;
 pub mod workload;
 
+pub use driver::CampaignDriver;
 pub use executor::{Executor, Parallelism};
+pub use fleet::{FleetConfig, FleetError, FleetReport};
 pub use policy::{Policy, PolicyName};
 pub use runner::{run_scenario, RunResult, ScenarioConfig};
 pub use workload::{Workload, WorkloadSet};

@@ -279,7 +279,7 @@ fn observation(
 /// [`ProbeEvent::GovernorDecision`] (with the predicted candidate curve
 /// for model-based governors) — built only while a probe listens.
 #[allow(clippy::expect_used)] // callers document the governor-bug panic
-fn govern_until(
+pub(crate) fn govern_until(
     board: &mut Board,
     governor: &mut dyn Governor,
     until: SimTime,
@@ -395,7 +395,7 @@ pub fn run_page_observed(
 /// warm-up per the configured [`WarmupPolicy`]. The returned board is
 /// ready for a measured load (browser cores cleared).
 #[allow(clippy::expect_used)] // fresh-board invariants: documented panic
-fn warmed_board(
+pub(crate) fn warmed_board(
     kernel: Option<&dora_coworkloads::Kernel>,
     governor: &mut dyn Governor,
     config: &ScenarioConfig,
@@ -432,7 +432,7 @@ fn warmed_board(
 
 /// Measures one page load on an already warmed board.
 #[allow(clippy::expect_used)] // warmed-board invariants: documented panic
-fn measured_load(
+pub(crate) fn measured_load(
     board: &mut Board,
     page: &dora_browser::catalog::CatalogPage,
     kernel: Option<&dora_coworkloads::Kernel>,
@@ -612,12 +612,24 @@ pub struct OracleFrequencies {
 
 /// Exhaustively determines `fD`, `fE` and `fopt` for a workload by
 /// sweeping every frequency in the table.
+#[deprecated(note = "use CampaignDriver::oracle")]
 pub fn oracle(workload: &Workload, config: &ScenarioConfig) -> OracleFrequencies {
-    oracle_with(workload, config, &Executor::sequential())
+    oracle_impl(workload, config, &Executor::sequential())
 }
 
 /// [`oracle`] with the frequency sweep fanned out across `executor`.
+#[deprecated(note = "use CampaignDriver::oracle with an executor")]
 pub fn oracle_with(
+    workload: &Workload,
+    config: &ScenarioConfig,
+    executor: &Executor,
+) -> OracleFrequencies {
+    oracle_impl(workload, config, executor)
+}
+
+/// The full-table oracle sweep behind
+/// [`crate::driver::CampaignDriver::oracle`].
+pub(crate) fn oracle_impl(
     workload: &Workload,
     config: &ScenarioConfig,
     executor: &Executor,
@@ -744,7 +756,7 @@ mod tests {
             .find_by_class("Amazon", Intensity::Low)
             .expect("present");
         let config = fast_config();
-        let o = oracle(w, &config);
+        let o = oracle_impl(w, &config, &Executor::sequential());
         assert_eq!(o.sweep.len(), 14);
         // Amazon+low is easy: some fD exists well below fmax.
         let fd = o.fd.expect("feasible");
@@ -860,7 +872,7 @@ mod tests {
             &freqs,
             &crate::executor::Executor::sequential(),
         );
-        let forked = oracle_with(w, &config, &crate::executor::Executor::sequential());
+        let forked = oracle_impl(w, &config, &crate::executor::Executor::sequential());
         assert_eq!(forked.sweep, rerun);
         assert_eq!(forked.sweep.len(), 14);
     }
@@ -923,7 +935,7 @@ mod tests {
             .find_by_class("Amazon", Intensity::Low)
             .expect("present");
         let config = fast_config();
-        let o = oracle(w, &config);
+        let o = oracle_impl(w, &config, &Executor::sequential());
         assert!(
             o.fe > Frequency::from_mhz(300.0),
             "fE at the bottom: floor power should forbid this"

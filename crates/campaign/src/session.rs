@@ -17,7 +17,7 @@ use dora_browser::catalog::CatalogPage;
 use dora_browser::engine::RenderEngine;
 use dora_coworkloads::Kernel;
 use dora_governors::{Governor, GovernorObservation};
-use dora_sim_core::units::{Celsius, Joules, Seconds, Utilization, Watts};
+use dora_sim_core::units::{Celsius, Joules, Seconds, Utilization, WattHours, Watts};
 use dora_sim_core::SimDuration;
 use dora_soc::board::{Board, BoardConfig};
 
@@ -94,14 +94,10 @@ impl SessionResult {
         self.loads.iter().filter(|l| l.met_deadline).count() as f64 / self.loads.len() as f64
     }
 
-    /// Hours of this usage pattern a battery of `watt_hours` sustains.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `watt_hours` is not positive.
-    pub fn battery_hours(&self, watt_hours: f64) -> f64 {
-        assert!(watt_hours > 0.0, "battery capacity must be positive");
-        watt_hours / self.mean_power().value().max(1e-9)
+    /// Hours of this usage pattern a `battery` pack sustains; zero for a
+    /// degenerate (zero-power, zero-duration) session.
+    pub fn battery_hours(&self, battery: WattHours) -> f64 {
+        battery.hours_at(self.mean_power())
     }
 }
 
@@ -272,7 +268,7 @@ mod tests {
         let mut g = InteractiveGovernor::new(DvfsTable::msm8974());
         let r = run_session(&ps, None, &mut g, &quick());
         // Nexus 5 battery ~8.8 Wh; browsing should sustain 2-6 hours.
-        let hours = r.battery_hours(8.8);
+        let hours = r.battery_hours(WattHours::new(8.8));
         assert!((1.0..8.0).contains(&hours), "battery estimate {hours}h");
     }
 

@@ -64,20 +64,32 @@ pub fn measure_observation(
 /// The full offline training sweep over the Webpage-Inclusive workloads.
 ///
 /// Returns one observation per (training workload, frequency).
+#[deprecated(note = "use CampaignDriver::training_campaign")]
 pub fn training_campaign(
     set: &WorkloadSet,
     config: &TrainingCampaignConfig,
 ) -> Vec<TrainingObservation> {
-    training_campaign_with(set, config, &Executor::sequential())
+    training_campaign_impl(set, config, &Executor::sequential())
 }
 
 /// [`training_campaign`] with the (workload, frequency) grid fanned out
 /// across `executor`.
+#[deprecated(note = "use CampaignDriver::training_campaign with an executor")]
+pub fn training_campaign_with(
+    set: &WorkloadSet,
+    config: &TrainingCampaignConfig,
+    executor: &Executor,
+) -> Vec<TrainingObservation> {
+    training_campaign_impl(set, config, executor)
+}
+
+/// The training grid behind
+/// [`crate::driver::CampaignDriver::training_campaign`].
 ///
 /// Each measurement is an independent seeded simulation, so the returned
 /// observations are bit-identical to the sequential sweep, in the same
 /// workload-major, frequency-minor order.
-pub fn training_campaign_with(
+pub(crate) fn training_campaign_impl(
     set: &WorkloadSet,
     config: &TrainingCampaignConfig,
     executor: &Executor,
@@ -103,15 +115,28 @@ pub fn training_campaign_with(
 /// (display and rails) is measured once with the SoC rails gated and
 /// removed from every sample, leaving the SoC leakage, since idle cores
 /// clock-gate their dynamic power away.
+#[deprecated(note = "use CampaignDriver::leakage_calibration")]
 pub fn leakage_calibration(base: &BoardConfig, ambients: &[Celsius]) -> Vec<LeakageObservation> {
-    leakage_calibration_with(base, ambients, &Executor::sequential())
+    leakage_calibration_impl(base, ambients, &Executor::sequential())
 }
 
 /// [`leakage_calibration`] with the (ambient, operating point) grid
-/// fanned out across `executor`; each soak is an independent board, so
-/// observations are bit-identical to the sequential sweep.
-#[allow(clippy::expect_used)] // table-sourced frequency: documented invariant
+/// fanned out across `executor`.
+#[deprecated(note = "use CampaignDriver::leakage_calibration with an executor")]
 pub fn leakage_calibration_with(
+    base: &BoardConfig,
+    ambients: &[Celsius],
+    executor: &Executor,
+) -> Vec<LeakageObservation> {
+    leakage_calibration_impl(base, ambients, executor)
+}
+
+/// The soak grid behind
+/// [`crate::driver::CampaignDriver::leakage_calibration`]; each soak is
+/// an independent board, so observations are bit-identical to the
+/// sequential sweep.
+#[allow(clippy::expect_used)] // table-sourced frequency: documented invariant
+pub(crate) fn leakage_calibration_impl(
     base: &BoardConfig,
     ambients: &[Celsius],
     executor: &Executor,
@@ -145,6 +170,7 @@ pub fn leakage_calibration_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::CampaignDriver;
     use dora_coworkloads::Intensity;
     use dora_modeling::leakage::fit_leakage;
 
@@ -197,7 +223,7 @@ mod tests {
                 Frequency::from_mhz(2265.6),
             ]),
         };
-        let obs = training_campaign(&subset, &config);
+        let obs = CampaignDriver::new().training_campaign(&subset, &config);
         assert_eq!(obs.len(), 2 * 3 * 3);
         // One row per (class, frequency) for Amazon (1400 DOM nodes).
         let amazon: Vec<&TrainingObservation> = obs
@@ -239,9 +265,10 @@ mod tests {
                 Frequency::from_mhz(2265.6),
             ]),
         };
-        let sequential = training_campaign(&subset, &config);
-        let parallel =
-            training_campaign_with(&subset, &config, &Executor::new(Parallelism::Fixed(3)));
+        let sequential = CampaignDriver::new().training_campaign(&subset, &config);
+        let parallel = CampaignDriver::new()
+            .executor(Executor::new(Parallelism::Fixed(3)))
+            .training_campaign(&subset, &config);
         assert_eq!(sequential.len(), parallel.len());
         for (s, p) in sequential.iter().zip(&parallel) {
             assert_eq!(s.load_time, p.load_time);
@@ -252,7 +279,7 @@ mod tests {
 
     #[test]
     fn leakage_calibration_is_fittable() {
-        let obs = leakage_calibration(
+        let obs = CampaignDriver::new().leakage_calibration(
             &BoardConfig::nexus5(),
             &[Celsius::new(5.0), Celsius::new(25.0), Celsius::new(45.0)],
         );
@@ -280,7 +307,8 @@ mod tests {
 
     #[test]
     fn idle_soak_reaches_near_ambient_steady_state() {
-        let obs = leakage_calibration(&BoardConfig::nexus5(), &[Celsius::new(25.0)]);
+        let obs = CampaignDriver::new()
+            .leakage_calibration(&BoardConfig::nexus5(), &[Celsius::new(25.0)]);
         // At the lowest OPP the leakage is tiny, so die ~ ambient.
         let coolest = obs
             .iter()

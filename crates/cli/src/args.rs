@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 2] = ["quick", "trace"];
+const BOOLEAN_FLAGS: [&str; 3] = ["quick", "trace", "oracle"];
 
 impl Args {
     /// Parses a raw argument list.
@@ -119,6 +119,53 @@ impl Args {
     }
 }
 
+/// Output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable aligned tables (the default).
+    Text,
+    /// Machine-readable CSV on stdout.
+    Csv,
+}
+
+/// The option set shared by every simulation subcommand — `--jobs N`,
+/// `--seed N`, `--format text|csv`, `--trace` — parsed once so govern,
+/// campaign and fleet commands agree on spelling and defaults.
+#[derive(Debug)]
+pub struct CommonArgs {
+    /// Fan-out width from `--jobs` (auto when absent or `0`).
+    pub executor: Executor,
+    /// Simulation seed from `--seed` (subcommand default when absent).
+    pub seed: u64,
+    /// Output format from `--format` (text when absent).
+    pub format: OutputFormat,
+    /// Whether `--trace` asked for per-decision probe output.
+    pub trace: bool,
+}
+
+impl Args {
+    /// Parses the shared subcommand options, defaulting `--seed` to
+    /// `default_seed`.
+    ///
+    /// # Errors
+    ///
+    /// When `--jobs` or `--seed` is unparseable, or `--format` names an
+    /// unknown format.
+    pub fn common(&self, default_seed: u64) -> Result<CommonArgs, String> {
+        let format = match self.get("format") {
+            None | Some("text") => OutputFormat::Text,
+            Some("csv") => OutputFormat::Csv,
+            Some(other) => return Err(format!("--format expects text or csv, got {other:?}")),
+        };
+        Ok(CommonArgs {
+            executor: self.executor()?,
+            seed: self.get_u64("seed", default_seed)?,
+            format,
+            trace: self.flag("trace"),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +232,28 @@ mod tests {
                 assert!(a.executor().is_err(), "--jobs {bad} must be rejected");
             }
         }
+    }
+
+    #[test]
+    fn common_args_share_one_grammar() {
+        let a = Args::parse(&strings(&[
+            "--jobs", "2", "--seed", "7", "--format", "csv", "--trace",
+        ]))
+        .expect("parses");
+        let common = a.common(42).expect("valid");
+        assert_eq!(common.executor.jobs(), 2);
+        assert_eq!(common.seed, 7);
+        assert_eq!(common.format, OutputFormat::Csv);
+        assert!(common.trace);
+
+        let defaults = Args::parse(&[]).expect("parses").common(42).expect("valid");
+        assert_eq!(defaults.seed, 42);
+        assert_eq!(defaults.format, OutputFormat::Text);
+        assert!(!defaults.trace);
+
+        let bad = Args::parse(&strings(&["--format", "yaml"])).expect("parses");
+        let err = bad.common(42).expect_err("unknown format");
+        assert!(err.contains("yaml"), "{err}");
     }
 
     #[test]

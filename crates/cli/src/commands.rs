@@ -1,11 +1,13 @@
 //! The CLI subcommands.
 
-use crate::args::Args;
-use dora::units::{Celsius, Mpki, Seconds, Utilization};
+use crate::args::{Args, OutputFormat};
+use dora::units::{Celsius, Mpki, Seconds, Utilization, WattHours};
 use dora::{from_text, to_text, DoraConfig, DoraGovernor, DoraModels};
 use dora_browser::{Catalog, PageFeatures};
-use dora_campaign::evaluate::{evaluate_with, Policy};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::evaluate::Policy;
 use dora_campaign::export::results_to_csv;
+use dora_campaign::fleet::FleetConfig;
 use dora_campaign::runner::{run_page, run_page_observed, ScenarioConfig};
 use dora_campaign::workload::{Workload, WorkloadSet};
 use dora_coworkloads::Kernel;
@@ -16,19 +18,20 @@ use dora_governors::{Governor, InteractiveGovernor, PerformanceGovernor, Powersa
 pub fn train(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let out = args.require("out")?;
-    let seed = args.get_u64("seed", 42)?;
+    let common = args.common(42)?;
     let scale = if args.flag("quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
-    let executor = args.executor()?;
+    let executor = common.executor;
     eprintln!(
-        "training ({scale:?}, seed {seed}, {} worker{})...",
+        "training ({scale:?}, seed {}, {} worker{})...",
+        common.seed,
         executor.jobs(),
         if executor.jobs() == 1 { "" } else { "s" }
     );
-    let pipeline = Pipeline::build_with(scale, seed, &executor);
+    let pipeline = Pipeline::build_with(scale, common.seed, &executor);
     let eval = dora::trainer::evaluate_models(&pipeline.models, &pipeline.observations);
     eprintln!(
         "trained on {} observations; train-set MAPE: time {:.2}%, power {:.2}%",
@@ -233,8 +236,10 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
         .page(page_name)
         .ok_or_else(|| format!("unknown page {page_name:?}; see `dora pages`"))?;
     let kernel = resolve_kernel(&args)?;
+    let common = args.common(42)?;
     let deadline = args.get_f64("deadline", 3.0)?;
     let config = ScenarioConfig::builder()
+        .seed(common.seed)
         .deadline(Seconds::new(deadline))
         .build();
     let governor_name = args.get("governor").unwrap_or("dora");
@@ -255,7 +260,7 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
         "powersave" => Box::new(PowersaveGovernor::new(config.board.dvfs.clone())),
         other => return Err(format!("unknown governor {other:?}")),
     };
-    let trace = if args.flag("trace") {
+    let trace = if common.trace {
         Some(std::rc::Rc::new(std::cell::RefCell::new(
             DecisionTrace::default(),
         )))
@@ -320,15 +325,68 @@ pub fn csv(raw: &[String]) -> Result<(), String> {
         "conservative" => Policy::Conservative,
         other => return Err(format!("csv supports stock governors only, got {other:?}")),
     };
-    let evaluation = evaluate_with(
-        &WorkloadSet::from_workloads(slice),
-        &[policy],
-        None,
-        &ScenarioConfig::default(),
-        &args.executor()?,
-    )
-    .map_err(|e| e.to_string())?;
+    let common = args.common(42)?;
+    let evaluation = CampaignDriver::new()
+        .executor(common.executor)
+        .evaluate(
+            &WorkloadSet::from_workloads(slice),
+            &[policy],
+            None,
+            &ScenarioConfig::builder().seed(common.seed).build(),
+        )
+        .map_err(|e| e.to_string())?;
     print!("{}", results_to_csv(evaluation.results()));
+    Ok(())
+}
+
+/// `dora fleet`: stream a population of sampled device sessions through
+/// the sharded executor and report fleet-wide battery-life deltas per
+/// governor.
+pub fn fleet(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let common = args.common(42)?;
+    let deadline = args.get_f64("deadline", 3.0)?;
+    let mut config = FleetConfig {
+        sessions: args.get_u64("sessions", 1000)?,
+        seed: common.seed,
+        shard_size: args.get_u64("shard", 256)?.max(1),
+        deadline: Seconds::new(deadline),
+        ..FleetConfig::default()
+    };
+    if config.sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+    if args.flag("quick") {
+        config.warmup = dora_sim_core::SimDuration::from_secs(2);
+    }
+    let mut policies = vec![Policy::Interactive, Policy::Performance, Policy::Powersave];
+    let models = match args.positional(0) {
+        Some(path) => {
+            policies.push(Policy::Dora);
+            Some(load_models(path)?)
+        }
+        None => None,
+    };
+    if args.flag("oracle") {
+        policies.push(Policy::OfflineOpt);
+    }
+    config.policies = policies;
+    eprintln!(
+        "fleet: {} sessions over {} archetypes, shard {}, {} worker{}...",
+        config.sessions,
+        config.archetypes.len(),
+        config.shard_size,
+        common.executor.jobs(),
+        if common.executor.jobs() == 1 { "" } else { "s" }
+    );
+    let report = CampaignDriver::new()
+        .executor(common.executor)
+        .fleet(&config, models.as_ref())
+        .map_err(|e| e.to_string())?;
+    match common.format {
+        OutputFormat::Text => print!("{}", report.render(Seconds::new(deadline))),
+        OutputFormat::Csv => print!("{}", report.to_csv()),
+    }
     Ok(())
 }
 
@@ -391,7 +449,7 @@ pub fn session(raw: &[String]) -> Result<(), String> {
     );
     println!(
         "  battery estimate (8.74 Wh pack): {:.1} h",
-        r.battery_hours(8.74)
+        r.battery_hours(WattHours::new(8.74))
     );
     Ok(())
 }

@@ -9,6 +9,8 @@
 //! dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
 //!              [--governor dora|interactive|performance|powersave] [--trace]
 //! dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
+//! dora fleet   [<models.txt>] [--sessions N] [--shard N] [--oracle]
+//!              [--jobs N] [--seed N] [--format text|csv] [--quick]
 //! ```
 //!
 //! Argument parsing is hand-rolled: the grammar is small and the
@@ -31,13 +33,19 @@ USAGE:
   dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
                [--governor dora|interactive|performance|powersave] [--trace]
   dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
+  dora fleet   [<models.txt>] [--sessions N] [--shard N] [--oracle]
+               [--deadline S] [--jobs N] [--seed N] [--format text|csv]
+               [--quick]
   dora session [<models.txt>] [--pages A,B,C] [--kernel NAME]
                [--governor dora|interactive|performance|powersave]
   dora pages
   dora kernels
 
-Campaign commands fan scenarios out over all cores; results are
-bit-identical at any width. --jobs 1 forces the classic sequential loop.
+Campaign and fleet commands share --jobs/--seed/--format/--trace and fan
+scenarios out over all cores; results are bit-identical at any width.
+--jobs 1 forces the classic sequential loop. `dora fleet` streams the
+sampled device population through mergeable sketches, so memory stays
+flat no matter how many sessions you ask for.
 
 Run `dora pages` / `dora kernels` to list the built-in catalog.";
 
@@ -68,6 +76,7 @@ fn main() -> ExitCode {
         "predict" => commands::predict(rest),
         "govern" => commands::govern(rest),
         "csv" => commands::csv(rest),
+        "fleet" => commands::fleet(rest),
         "session" => commands::session(rest),
         "pages" => commands::pages(),
         "kernels" => commands::kernels(),

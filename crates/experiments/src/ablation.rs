@@ -17,7 +17,8 @@ use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, Table};
 use dora::trainer::{evaluate_models, train, TrainerConfig, TrainingObservation};
 use dora::{DoraConfig, DoraGovernor, DoraModels};
-use dora_campaign::evaluate::{evaluate_with, Policy};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::evaluate::Policy;
 use dora_campaign::runner::run_scenario;
 use dora_campaign::workload::WorkloadSet;
 
@@ -91,14 +92,15 @@ fn governor_variant(
         .cloned()
         .collect();
     let scenario = &pipeline.scenario;
-    let baseline_eval = evaluate_with(
-        &WorkloadSet::from_workloads(slice.clone()),
-        &[Policy::Interactive],
-        None,
-        scenario,
-        &pipeline.executor,
-    )
-    .expect("no models needed");
+    let baseline_eval = CampaignDriver::new()
+        .executor(pipeline.executor)
+        .evaluate(
+            &WorkloadSet::from_workloads(slice.clone()),
+            &[Policy::Interactive],
+            None,
+            scenario,
+        )
+        .expect("no models needed");
     let mut ratios = Vec::new();
     let mut met = 0usize;
     let mut switches = 0u64;

@@ -5,7 +5,8 @@
 // xtask/xtask.toml.
 #![allow(clippy::expect_used)]
 
-use dora_campaign::evaluate::{evaluate_with, Policy, Subset};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::evaluate::{Policy, Subset};
 use dora_campaign::workload::WorkloadSet;
 use dora_experiments::Pipeline;
 
@@ -47,14 +48,15 @@ fn main() {
         Policy::DeadlineOnly,
         Policy::EnergyOnly,
     ];
-    let result = evaluate_with(
-        &subset,
-        &policies,
-        Some(&pipeline.models),
-        &pipeline.scenario,
-        &pipeline.executor,
-    )
-    .expect("models provided");
+    let result = CampaignDriver::new()
+        .executor(pipeline.executor)
+        .evaluate(
+            &subset,
+            &policies,
+            Some(&pipeline.models),
+            &pipeline.scenario,
+        )
+        .expect("models provided");
     for p in &policies {
         let name = p.name();
         println!(

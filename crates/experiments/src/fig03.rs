@@ -13,7 +13,8 @@
 //! table at fmax" number.
 
 use crate::report::{fmt_f, render_series, Table};
-use dora_campaign::runner::{oracle_with, OracleFrequencies, ScenarioConfig};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::runner::{OracleFrequencies, ScenarioConfig};
 use dora_campaign::workload::WorkloadSet;
 use dora_campaign::Executor;
 use dora_coworkloads::Intensity;
@@ -44,7 +45,9 @@ fn side(page: &str, config: &ScenarioConfig, executor: &Executor) -> Fig03Side {
     let workload = set
         .find_by_class(page, Intensity::High)
         .expect("page in the 54-workload set");
-    let o = oracle_with(workload, config, executor);
+    let o = CampaignDriver::new()
+        .executor(*executor)
+        .oracle(workload, config);
     let ppw_at = |mhz: f64| -> f64 {
         o.sweep
             .iter()

@@ -10,7 +10,8 @@
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, render_series, Table};
 use dora::models::PredictorInputs;
-use dora_campaign::runner::{oracle_with, OracleFrequencies, ScenarioConfig};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::runner::{OracleFrequencies, ScenarioConfig};
 use dora_campaign::workload::WorkloadSet;
 use dora_coworkloads::Intensity;
 use dora_soc::Frequency;
@@ -36,7 +37,9 @@ pub fn run(pipeline: &Pipeline, config: &ScenarioConfig) -> Fig06 {
     let workload = set
         .find_by_class("Youtube", Intensity::High)
         .expect("Youtube+high in the 54-workload set");
-    let o = oracle_with(workload, config, &pipeline.executor);
+    let o = CampaignDriver::new()
+        .executor(pipeline.executor)
+        .oracle(workload, config);
     // fE is the measured PPW optimum regardless of the deadline.
     let fopt = o.fe;
     let dvfs = &config.board.dvfs;

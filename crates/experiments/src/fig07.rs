@@ -14,7 +14,8 @@
 
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, fmt_gain, render_series, Table};
-use dora_campaign::evaluate::{evaluate_with, Evaluation, Policy, Subset};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::evaluate::{Evaluation, Policy, Subset};
 use dora_campaign::workload::WorkloadSet;
 use dora_sim_core::Rng;
 
@@ -36,14 +37,15 @@ pub const GOVERNORS: [&str; 5] = ["interactive", "performance", "DL", "EE", "DOR
 ///
 /// Panics on internal policy errors (models are always supplied here).
 pub fn run(pipeline: &Pipeline) -> Fig07 {
-    let evaluation = evaluate_with(
-        &pipeline.workloads,
-        &Policy::FIG7,
-        Some(&pipeline.models),
-        &pipeline.scenario,
-        &pipeline.executor,
-    )
-    .expect("models supplied");
+    let driver = CampaignDriver::new().executor(pipeline.executor);
+    let evaluation = driver
+        .evaluate(
+            &pipeline.workloads,
+            &Policy::FIG7,
+            Some(&pipeline.models),
+            &pipeline.scenario,
+        )
+        .expect("models supplied");
 
     // Footnote 8: Offline_opt enumerated for ten randomly chosen
     // workloads (the full enumeration is what the authors call
@@ -57,14 +59,14 @@ pub fn run(pipeline: &Pipeline) -> Fig07 {
             .map(|&i| pipeline.workloads.workloads()[i].clone())
             .collect(),
     );
-    let spot = evaluate_with(
-        &ten,
-        &[Policy::OfflineOpt, Policy::Dora],
-        Some(&pipeline.models),
-        &pipeline.scenario,
-        &pipeline.executor,
-    )
-    .expect("models supplied");
+    let spot = driver
+        .evaluate(
+            &ten,
+            &[Policy::OfflineOpt, Policy::Dora],
+            Some(&pipeline.models),
+            &pipeline.scenario,
+        )
+        .expect("models supplied");
     let offline_check = spot
         .results_for("DORA")
         .iter()

@@ -9,7 +9,8 @@
 
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, Table};
-use dora_campaign::evaluate::{evaluate_with, Evaluation, Policy};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::evaluate::{Evaluation, Policy};
 use dora_soc::Frequency;
 use std::collections::BTreeMap;
 
@@ -43,14 +44,15 @@ pub const GOVERNORS: [&str; 7] = ["interactive", "performance", "fD", "fE", "DOR
 ///
 /// Panics on internal policy errors (models are always supplied here).
 pub fn run(pipeline: &Pipeline) -> Fig08 {
-    let evaluation = evaluate_with(
-        &pipeline.workloads,
-        &Policy::FIG8,
-        Some(&pipeline.models),
-        &pipeline.scenario,
-        &pipeline.executor,
-    )
-    .expect("models supplied");
+    let evaluation = CampaignDriver::new()
+        .executor(pipeline.executor)
+        .evaluate(
+            &pipeline.workloads,
+            &Policy::FIG8,
+            Some(&pipeline.models),
+            &pipeline.scenario,
+        )
+        .expect("models supplied");
 
     let base: BTreeMap<String, f64> = evaluation
         .results_for("interactive")

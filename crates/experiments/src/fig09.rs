@@ -14,7 +14,8 @@
 
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, Table};
-use dora_campaign::evaluate::{evaluate_with, Policy};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::evaluate::Policy;
 use dora_campaign::workload::WorkloadSet;
 use dora_coworkloads::Intensity;
 use std::collections::BTreeMap;
@@ -59,20 +60,21 @@ pub fn run(pipeline: &Pipeline) -> Fig09 {
                 .expect("page x class exists")
                 .clone();
             let set = WorkloadSet::from_workloads(vec![workload.clone()]);
-            let eval = evaluate_with(
-                &set,
-                &[
-                    Policy::Interactive,
-                    Policy::Performance,
-                    Policy::OracleFd,
-                    Policy::OracleFe,
-                    Policy::Dora,
-                ],
-                Some(&pipeline.models),
-                &pipeline.scenario,
-                &pipeline.executor,
-            )
-            .expect("models supplied");
+            let eval = CampaignDriver::new()
+                .executor(pipeline.executor)
+                .evaluate(
+                    &set,
+                    &[
+                        Policy::Interactive,
+                        Policy::Performance,
+                        Policy::OracleFd,
+                        Policy::OracleFe,
+                        Policy::Dora,
+                    ],
+                    Some(&pipeline.models),
+                    &pipeline.scenario,
+                )
+                .expect("models supplied");
             let base = eval.results_for("interactive")[0].ppw.value();
             let by_governor = GOVERNORS
                 .iter()

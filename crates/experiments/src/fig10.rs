@@ -13,7 +13,8 @@
 use crate::pipeline::Pipeline;
 use crate::report::{fmt_f, render_series, Table};
 use dora::{DoraConfig, DoraGovernor};
-use dora_campaign::runner::{oracle_with, run_scenario};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::runner::run_scenario;
 use dora_campaign::workload::WorkloadSet;
 use dora_coworkloads::Intensity;
 use dora_governors::{InteractiveGovernor, PinnedGovernor};
@@ -113,7 +114,9 @@ fn ambient_sweep(pipeline: &Pipeline, board: BoardConfig) -> AmbientSweep {
             (f.as_ghz(), r.mean_power.value(), r.final_temp.value())
         })
         .collect();
-    let o = oracle_with(workload, &config, &pipeline.executor);
+    let o = CampaignDriver::new()
+        .executor(pipeline.executor)
+        .oracle(workload, &config);
     AmbientSweep {
         ambient_c,
         rows,

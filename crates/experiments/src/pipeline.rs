@@ -13,9 +13,8 @@
 
 use dora::trainer::{train, TrainerConfig, TrainingObservation};
 use dora::DoraModels;
-use dora_campaign::training::{
-    leakage_calibration_with, training_campaign_with, TrainingCampaignConfig,
-};
+use dora_campaign::driver::CampaignDriver;
+use dora_campaign::training::TrainingCampaignConfig;
 use dora_campaign::workload::WorkloadSet;
 use dora_campaign::{Executor, ScenarioConfig};
 use dora_modeling::leakage::LeakageObservation;
@@ -95,11 +94,11 @@ impl Pipeline {
             scenario: scenario.clone(),
             frequencies,
         };
-        let observations = training_campaign_with(&set_for_training, &campaign_config, executor);
-        let leakage_observations = leakage_calibration_with(
+        let driver = CampaignDriver::new().executor(*executor);
+        let observations = driver.training_campaign(&set_for_training, &campaign_config);
+        let leakage_observations = driver.leakage_calibration(
             &scenario.board,
             &[5.0, 15.0, 25.0, 35.0, 45.0].map(dora::units::Celsius::new),
-            executor,
         );
         let models = train(
             &observations,

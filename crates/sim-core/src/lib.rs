@@ -45,6 +45,7 @@ mod rng;
 mod time;
 
 pub mod probe;
+pub mod sketch;
 pub mod stats;
 pub mod trace;
 pub mod units;

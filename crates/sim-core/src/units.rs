@@ -159,6 +159,13 @@ quantity!(
     "°C"
 );
 quantity!(
+    /// Battery capacity in watt-hours — the fleet layer's battery-life
+    /// arithmetic (`WattHours / Watts → Seconds`) lives on this type so
+    /// no raw-`f64` capacity can sneak into a report.
+    WattHours,
+    "Wh"
+);
+quantity!(
     /// Performance per watt, the paper's objective `PPW = 1/(T·P)`; its
     /// SI dimension is 1/J.
     Ppw,
@@ -370,6 +377,37 @@ impl std::ops::Div<Watts> for Joules {
     }
 }
 
+impl WattHours {
+    /// The same energy in joules (1 Wh = 3600 J).
+    pub fn to_joules(self) -> Joules {
+        Joules(self.0 * 3600.0)
+    }
+
+    /// The capacity at a state-of-charge `fraction` (clamped to `[0, 1]`),
+    /// e.g. the usable energy of a pack sampled at 60 % charge.
+    #[must_use]
+    pub fn at_charge(self, fraction: f64) -> WattHours {
+        WattHours(self.0 * fraction.clamp(0.0, 1.0))
+    }
+
+    /// How many hours this capacity lasts at a mean drain. Non-positive
+    /// or non-finite drains yield zero rather than a nonsense lifetime.
+    pub fn hours_at(self, drain: Watts) -> f64 {
+        if drain.0.is_finite() && drain.0 > 0.0 {
+            self.0 / drain.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::ops::Div<Watts> for WattHours {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 * 3600.0 / rhs.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +490,17 @@ mod tests {
     #[test]
     fn kelvin_conversion() {
         assert_eq!(Celsius::new(25.0).to_kelvin(), 298.15);
+    }
+
+    #[test]
+    fn watt_hours_battery_arithmetic() {
+        let battery = WattHours::new(8.74); // Nexus 5 nominal pack
+        assert_eq!(battery.to_joules(), Joules::new(8.74 * 3600.0));
+        assert!((battery.hours_at(Watts::new(2.0)) - 4.37).abs() < 1e-12);
+        assert_eq!(battery.hours_at(Watts::ZERO), 0.0);
+        assert_eq!(battery.hours_at(Watts::new(f64::NAN)), 0.0);
+        assert_eq!(WattHours::new(1.0) / Watts::new(1.0), Seconds::new(3600.0));
+        assert_eq!("8.74Wh".parse::<WattHours>().unwrap(), battery);
     }
 
     #[test]

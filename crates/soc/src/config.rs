@@ -10,7 +10,7 @@ use crate::dvfs::{DvfsTable, Frequency};
 use crate::memory::MemorySystem;
 use crate::power::{PowerBreakdown, PowerParams};
 use crate::thermal::ThermalParams;
-use dora_sim_core::units::{Joules, Seconds};
+use dora_sim_core::units::{Celsius, Joules, Seconds};
 use dora_sim_core::SimDuration;
 use std::error::Error;
 use std::fmt;
@@ -108,6 +108,15 @@ impl BoardConfig {
             thermal: ThermalParams::nexus5_cold(),
             ..BoardConfig::nexus5()
         }
+    }
+
+    /// This platform with its thermal node re-anchored at `ambient` —
+    /// the typed knob fleet archetypes turn instead of reaching into
+    /// [`ThermalParams`] by hand.
+    #[must_use]
+    pub fn with_ambient(mut self, ambient: Celsius) -> Self {
+        self.thermal.ambient = ambient;
+        self
     }
 
     /// Validates all constituent parameters.

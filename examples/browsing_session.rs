@@ -17,9 +17,10 @@ use dora_repro::dora::{DoraConfig, DoraGovernor};
 use dora_repro::experiments::pipeline::{Pipeline, Scale};
 use dora_repro::governors::{Governor, InteractiveGovernor, OndemandGovernor, PerformanceGovernor};
 use dora_repro::soc::DvfsTable;
+use dora_repro::units::WattHours;
 
-/// Nexus 5 battery capacity in watt-hours (2300 mAh at 3.8 V).
-const BATTERY_WH: f64 = 8.74;
+/// Nexus 5 battery capacity (2300 mAh at 3.8 V).
+const BATTERY: WattHours = WattHours::new(8.74);
 
 fn main() {
     let catalog = Catalog::alexa18();
@@ -64,7 +65,7 @@ fn main() {
             r.mean_power().value(),
             r.met_fraction() * 100.0,
             r.peak_temp.value(),
-            r.battery_hours(BATTERY_WH),
+            r.battery_hours(BATTERY),
         );
     }
     println!(

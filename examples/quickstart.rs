@@ -8,7 +8,8 @@
 // Example code: failing fast on setup keeps the walkthrough readable.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use dora_repro::campaign::evaluate::{evaluate, Policy, Subset};
+use dora_repro::campaign::driver::CampaignDriver;
+use dora_repro::campaign::evaluate::{Policy, Subset};
 use dora_repro::campaign::workload::WorkloadSet;
 use dora_repro::experiments::pipeline::{Pipeline, Scale};
 
@@ -43,13 +44,14 @@ fn main() {
             .cloned()
             .collect(),
     );
-    let result = evaluate(
-        &subset,
-        &[Policy::Interactive, Policy::Dora],
-        Some(&pipeline.models),
-        &pipeline.scenario,
-    )
-    .expect("models were supplied");
+    let result = CampaignDriver::new()
+        .evaluate(
+            &subset,
+            &[Policy::Interactive, Policy::Dora],
+            Some(&pipeline.models),
+            &pipeline.scenario,
+        )
+        .expect("models were supplied");
 
     println!("\nworkload results under DORA:");
     for r in result.results_for("DORA") {

@@ -5,12 +5,11 @@
 //! kernel's replay guarantee: restore + re-step reproduces the original
 //! trajectory bit for bit, observable events included.
 
-use dora_repro::campaign::evaluate::{evaluate, evaluate_with, Policy};
+use dora_repro::campaign::driver::CampaignDriver;
+use dora_repro::campaign::evaluate::Policy;
 use dora_repro::campaign::executor::{Executor, Parallelism};
 use dora_repro::campaign::runner::ScenarioConfig;
-use dora_repro::campaign::training::{
-    training_campaign, training_campaign_with, TrainingCampaignConfig,
-};
+use dora_repro::campaign::training::TrainingCampaignConfig;
 use dora_repro::campaign::workload::WorkloadSet;
 use dora_repro::sim::SimDuration;
 use dora_repro::soc::Frequency;
@@ -28,15 +27,13 @@ fn full_54_workload_campaign_is_deterministic_across_executors() {
     // same workload-major order.
     let set = WorkloadSet::paper54();
     let config = quick();
-    let sequential = evaluate(&set, &[Policy::Interactive], None, &config).expect("runs");
-    let parallel = evaluate_with(
-        &set,
-        &[Policy::Interactive],
-        None,
-        &config,
-        &Executor::new(Parallelism::Fixed(4)),
-    )
-    .expect("runs");
+    let sequential = CampaignDriver::new()
+        .evaluate(&set, &[Policy::Interactive], None, &config)
+        .expect("runs");
+    let parallel = CampaignDriver::new()
+        .executor(Executor::new(Parallelism::Fixed(4)))
+        .evaluate(&set, &[Policy::Interactive], None, &config)
+        .expect("runs");
     assert_eq!(sequential.results().len(), 54);
     assert_eq!(sequential.results(), parallel.results());
 }
@@ -56,15 +53,13 @@ fn oracle_backed_policies_are_deterministic_across_executors() {
     );
     let config = quick();
     let policies = [Policy::Interactive, Policy::OfflineOpt];
-    let sequential = evaluate(&set, &policies, None, &config).expect("runs");
-    let parallel = evaluate_with(
-        &set,
-        &policies,
-        None,
-        &config,
-        &Executor::new(Parallelism::Fixed(3)),
-    )
-    .expect("runs");
+    let sequential = CampaignDriver::new()
+        .evaluate(&set, &policies, None, &config)
+        .expect("runs");
+    let parallel = CampaignDriver::new()
+        .executor(Executor::new(Parallelism::Fixed(3)))
+        .evaluate(&set, &policies, None, &config)
+        .expect("runs");
     assert_eq!(sequential.results(), parallel.results());
     assert_eq!(sequential.oracles(), parallel.oracles());
     for oracle in parallel.oracles().values() {
@@ -90,8 +85,10 @@ fn training_campaign_is_deterministic_across_executors() {
             Frequency::from_mhz(2265.6),
         ]),
     };
-    let sequential = training_campaign(&set, &config);
-    let parallel = training_campaign_with(&set, &config, &Executor::new(Parallelism::Fixed(4)));
+    let sequential = CampaignDriver::new().training_campaign(&set, &config);
+    let parallel = CampaignDriver::new()
+        .executor(Executor::new(Parallelism::Fixed(4)))
+        .training_campaign(&set, &config);
     assert_eq!(sequential.len(), parallel.len());
     for (s, p) in sequential.iter().zip(&parallel) {
         assert_eq!(s.load_time, p.load_time);

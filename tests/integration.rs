@@ -6,11 +6,10 @@
 // Test code asserts invariants directly; the panic ratchet covers libraries.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use dora_repro::campaign::evaluate::{evaluate, Policy, Subset};
+use dora_repro::campaign::driver::CampaignDriver;
+use dora_repro::campaign::evaluate::{Policy, Subset};
 use dora_repro::campaign::runner::ScenarioConfig;
-use dora_repro::campaign::training::{
-    leakage_calibration, training_campaign, TrainingCampaignConfig,
-};
+use dora_repro::campaign::training::TrainingCampaignConfig;
 use dora_repro::campaign::workload::WorkloadSet;
 use dora_repro::dora::trainer::{evaluate_models, train, TrainerConfig};
 use dora_repro::sim::SimDuration;
@@ -32,14 +31,15 @@ fn small_pipeline() -> (dora_repro::dora::DoraModels, WorkloadSet, ScenarioConfi
             .collect(),
     );
     let frequencies: Vec<Frequency> = scenario.board.dvfs.frequencies().step_by(2).collect();
-    let observations = training_campaign(
+    let driver = CampaignDriver::new();
+    let observations = driver.training_campaign(
         &train_set,
         &TrainingCampaignConfig {
             scenario: scenario.clone(),
             frequencies: Some(frequencies),
         },
     );
-    let leakage = leakage_calibration(
+    let leakage = driver.leakage_calibration(
         &scenario.board,
         &[15.0, 35.0].map(dora_repro::units::Celsius::new),
     );
@@ -77,13 +77,14 @@ fn dora_beats_interactive_without_sacrificing_deadlines() {
             .cloned()
             .collect(),
     );
-    let result = evaluate(
-        &eval_set,
-        &[Policy::Interactive, Policy::Performance, Policy::Dora],
-        Some(&models),
-        &scenario,
-    )
-    .expect("models supplied");
+    let result = CampaignDriver::new()
+        .evaluate(
+            &eval_set,
+            &[Policy::Interactive, Policy::Performance, Policy::Dora],
+            Some(&models),
+            &scenario,
+        )
+        .expect("models supplied");
 
     // Energy efficiency: DORA ahead of the baseline on average.
     let gain = result.mean_normalized_ppw("DORA", "interactive", Subset::All);
@@ -115,13 +116,14 @@ fn dora_tracks_oracle_fopt_for_an_easy_page() {
     let w = all
         .find_by_class("Amazon", dora_repro::coworkloads::Intensity::Low)
         .expect("exists");
-    let result = evaluate(
-        &WorkloadSet::from_workloads(vec![w.clone()]),
-        &[Policy::Interactive, Policy::OfflineOpt, Policy::Dora],
-        Some(&models),
-        &scenario,
-    )
-    .expect("models supplied");
+    let result = CampaignDriver::new()
+        .evaluate(
+            &WorkloadSet::from_workloads(vec![w.clone()]),
+            &[Policy::Interactive, Policy::OfflineOpt, Policy::Dora],
+            Some(&models),
+            &scenario,
+        )
+        .expect("models supplied");
     let dora = result.results_for("DORA")[0];
     let offline = result.results_for("offline_opt")[0];
     // DORA lands within 12% of the exhaustively enumerated optimum.
@@ -145,18 +147,19 @@ fn deadline_governor_is_energy_suboptimal_and_ee_violates() {
             .cloned()
             .collect(),
     );
-    let result = evaluate(
-        &eval_set,
-        &[
-            Policy::Interactive,
-            Policy::Dora,
-            Policy::DeadlineOnly,
-            Policy::EnergyOnly,
-        ],
-        Some(&models),
-        &scenario,
-    )
-    .expect("models supplied");
+    let result = CampaignDriver::new()
+        .evaluate(
+            &eval_set,
+            &[
+                Policy::Interactive,
+                Policy::Dora,
+                Policy::DeadlineOnly,
+                Policy::EnergyOnly,
+            ],
+            Some(&models),
+            &scenario,
+        )
+        .expect("models supplied");
     let dora = result.mean_normalized_ppw("DORA", "interactive", Subset::All);
     let dl = result.mean_normalized_ppw("DL", "interactive", Subset::All);
     let ee = result.mean_normalized_ppw("EE", "interactive", Subset::All);

@@ -3,10 +3,9 @@
 //! and govern with the loaded copy — verifying the governor's behaviour
 //! is identical.
 
+use dora_repro::campaign::driver::CampaignDriver;
 use dora_repro::campaign::runner::{run_scenario, ScenarioConfig};
-use dora_repro::campaign::training::{
-    leakage_calibration, training_campaign, TrainingCampaignConfig,
-};
+use dora_repro::campaign::training::TrainingCampaignConfig;
 use dora_repro::campaign::workload::WorkloadSet;
 use dora_repro::dora::trainer::{train, TrainerConfig};
 use dora_repro::dora::{from_text, to_text, DoraConfig, DoraGovernor};
@@ -28,14 +27,15 @@ fn shipped_models_govern_identically() {
             .collect(),
     );
     let frequencies: Vec<Frequency> = scenario.board.dvfs.frequencies().step_by(3).collect();
-    let observations = training_campaign(
+    let driver = CampaignDriver::new();
+    let observations = driver.training_campaign(
         &train_set,
         &TrainingCampaignConfig {
             scenario: scenario.clone(),
             frequencies: Some(frequencies),
         },
     );
-    let leakage = leakage_calibration(
+    let leakage = driver.leakage_calibration(
         &scenario.board,
         &[15.0, 40.0].map(dora_repro::units::Celsius::new),
     );

@@ -1,0 +1,160 @@
+//! Property-based tests of the mergeable-sketch layer the fleet report
+//! is built on: merge associativity, grouping/order invariance of the
+//! discrete state, the empty-histogram identity, and digest stability.
+//!
+//! One subtlety is load-bearing for the fleet determinism contract:
+//! the *discrete* state (bin counts, totals) is exactly associative
+//! under any grouping, while the float `sum` is a left fold — so a
+//! **fixed** shard layout merged in a **fixed** order is byte-stable,
+//! but regrouping shards may move the sum by an ULP. The properties
+//! below pin down both halves of that contract.
+
+// Test code asserts invariants directly; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dora_repro::sim::sketch::{Digest64, FixedHistogram};
+use proptest::prelude::*;
+
+const BINS: usize = 24;
+const LO: f64 = 0.0;
+const HI: f64 = 12.0;
+
+fn histogram(values: &[f64]) -> FixedHistogram {
+    let mut h = FixedHistogram::new(BINS, LO, HI).unwrap();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn digest_of(h: &FixedHistogram) -> u64 {
+    let mut d = Digest64::new();
+    h.digest_into(&mut d);
+    d.finish()
+}
+
+/// Sampled values straddle the histogram range so underflow and
+/// overflow counters participate in every property.
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.0f64..18.0, 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Discrete state is exactly associative: `(a ⊕ b) ⊕ c` and
+    /// `a ⊕ (b ⊕ c)` agree on every counter, and the float sums agree
+    /// to within reassociation ULPs.
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (histogram(&a), histogram(&b), histogram(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb).unwrap();
+        left.merge(&hc).unwrap();
+
+        let mut bc = hb.clone();
+        bc.merge(&hc).unwrap();
+        let mut right = ha.clone();
+        right.merge(&bc).unwrap();
+
+        prop_assert_eq!(left.bin_counts(), right.bin_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.underflow(), right.underflow());
+        prop_assert_eq!(left.overflow(), right.overflow());
+        let tolerance = 1e-12 * left.sum().abs().max(1.0);
+        prop_assert!((left.sum() - right.sum()).abs() <= tolerance);
+    }
+
+    /// A fixed partition merged in a fixed order is bitwise
+    /// reproducible: recomputing the same sharded fold yields the same
+    /// digest, float sum included. This — not grouping invariance — is
+    /// the contract `--jobs 1/N` byte-identity rests on: the shard
+    /// layout never changes with executor width, only shard ownership.
+    #[test]
+    fn fixed_partition_fold_is_bitwise_reproducible(xs in values(), cut in 0usize..64) {
+        let cut = cut.min(xs.len());
+        let fold = || {
+            let mut h = histogram(&xs[..cut]);
+            h.merge(&histogram(&xs[cut..])).unwrap();
+            h
+        };
+        let (a, b) = (fold(), fold());
+        prop_assert_eq!(a.sum().to_bits(), b.sum().to_bits());
+        prop_assert_eq!(digest_of(&a), digest_of(&b));
+        // And the discrete state of any partition matches the whole.
+        let whole = histogram(&xs);
+        prop_assert_eq!(a.bin_counts(), whole.bin_counts());
+        prop_assert_eq!(a.count(), whole.count());
+    }
+
+    /// Merging singleton shards in sequence order IS the unsharded left
+    /// fold, bit for bit — each one-sample histogram carries an exact
+    /// sum, so the merge chain reassociates nothing.
+    #[test]
+    fn singleton_shard_fold_matches_whole_bitwise(xs in values()) {
+        let whole = histogram(&xs);
+        let mut folded = FixedHistogram::new(BINS, LO, HI).unwrap();
+        for &x in &xs {
+            folded.merge(&histogram(&[x])).unwrap();
+        }
+        prop_assert_eq!(folded.sum().to_bits(), whole.sum().to_bits());
+        prop_assert_eq!(digest_of(&folded), digest_of(&whole));
+    }
+
+    /// The empty histogram is a two-sided identity, bitwise.
+    #[test]
+    fn empty_is_identity(xs in values()) {
+        let h = histogram(&xs);
+        let empty = FixedHistogram::new(BINS, LO, HI).unwrap();
+
+        let mut left = empty.clone();
+        left.merge(&h).unwrap();
+        let mut right = h.clone();
+        right.merge(&empty).unwrap();
+
+        prop_assert_eq!(digest_of(&left), digest_of(&h));
+        prop_assert_eq!(digest_of(&right), digest_of(&h));
+        prop_assert_eq!(left.sum().to_bits(), h.sum().to_bits());
+        prop_assert_eq!(right.sum().to_bits(), h.sum().to_bits());
+    }
+
+    /// Merging shards in a *different* order still agrees on all
+    /// discrete state (commutativity of the counters).
+    #[test]
+    fn counters_commute(a in values(), b in values()) {
+        let (ha, hb) = (histogram(&a), histogram(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb).unwrap();
+        let mut ba = hb.clone();
+        ba.merge(&ha).unwrap();
+        prop_assert_eq!(ab.bin_counts(), ba.bin_counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.underflow(), ba.underflow());
+        prop_assert_eq!(ab.overflow(), ba.overflow());
+    }
+
+    /// Shape mismatches are merge errors, never silent corruption.
+    #[test]
+    fn shape_mismatch_is_rejected(xs in values()) {
+        let h = histogram(&xs);
+        let before = digest_of(&h);
+        let mut target = h.clone();
+        let narrow = FixedHistogram::new(BINS - 1, LO, HI).unwrap();
+        prop_assert!(target.merge(&narrow).is_err());
+        prop_assert_eq!(digest_of(&target), before, "failed merge must not mutate");
+    }
+
+    /// Recording a non-finite value is ignored; everything else lands in
+    /// exactly one of (underflow | bins | overflow).
+    #[test]
+    fn every_finite_record_lands_once(xs in values()) {
+        let mut h = histogram(&xs);
+        let counted: u64 = h.bin_counts().iter().sum::<u64>() + h.underflow() + h.overflow();
+        prop_assert_eq!(counted, xs.len() as u64);
+        let before = digest_of(&h);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        prop_assert_eq!(digest_of(&h), before);
+    }
+}
