@@ -14,12 +14,15 @@ fmt:
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# The ten-pass diagnostics framework (DESIGN.md §8), configured by
-# xtask/xtask.toml: panic ratchet, unit-suffix and partial_cmp bans,
-# lint headers, DVFS guard, crate layering, export determinism,
-# sync hygiene, paper-constant provenance, API-surface snapshots.
+# The thirteen-pass diagnostics framework (DESIGN.md §8, §12),
+# configured by xtask/xtask.toml: panic reachability, unit-suffix /
+# units-escape and partial_cmp bans, lint headers, DVFS guard, crate
+# layering, export determinism (per-file and call-graph taint), sync
+# hygiene, probe purity, paper-constant provenance, API-surface
+# snapshots. `--timing --budget-ms` is the runtime-regression gate CI
+# applies to the suite itself.
 xtask-lint:
-	cargo run -q -p xtask -- lint
+	cargo run -q -p xtask -- lint --timing --budget-ms 10000
 
 # Machine-readable reports (also uploaded as a CI artifact).
 sarif:

@@ -118,12 +118,11 @@ impl ContentionSolver {
                 self.dram_demand +=
                     MemorySystem::demand_from_miss_rate(miss_rate, params.dirty_fraction);
             }
-            let lat_ns = memory.miss_latency_ns(params.tier, self.dram_demand);
+            let latency = memory.miss_latency(params.tier, self.dram_demand);
             for (i, p) in profiles.iter().enumerate() {
                 let miss_cycles = (p.l2_apki / 1000.0)
                     * self.miss_ratios[i]
-                    * lat_ns
-                    * 1e-9
+                    * latency.value()
                     * params.f_hz
                     * params.mem_overlap;
                 let cpi_eff = p.base_cpi + miss_cycles;
@@ -210,13 +209,12 @@ mod tests {
                 dram_demand +=
                     MemorySystem::demand_from_miss_rate(miss_rate, params.dirty_fraction);
             }
-            let lat_ns = memory.miss_latency_ns(params.tier, dram_demand);
+            let latency = memory.miss_latency(params.tier, dram_demand);
             for i in 0..n {
                 let p = &profiles[i];
                 let miss_cycles = (p.l2_apki / 1000.0)
                     * miss_ratios[i]
-                    * lat_ns
-                    * 1e-9
+                    * latency.value()
                     * params.f_hz
                     * params.mem_overlap;
                 let cpi_eff = p.base_cpi + miss_cycles;

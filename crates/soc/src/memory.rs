@@ -18,6 +18,7 @@
 //! below 1.
 
 use crate::dvfs::BusTier;
+use dora_sim_core::units::Seconds;
 
 /// Bytes transferred per L2 miss (one cache line).
 pub const LINE_BYTES: f64 = 64.0;
@@ -27,8 +28,8 @@ pub const LINE_BYTES: f64 = 64.0;
 pub struct TierParams {
     /// Sustainable bandwidth in bytes per second.
     pub peak_bandwidth: f64,
-    /// Unloaded (zero-queue) miss latency in nanoseconds.
-    pub base_latency_ns: f64,
+    /// Unloaded (zero-queue) miss latency.
+    pub base_latency: Seconds,
 }
 
 /// The LPDDR3 memory system.
@@ -40,8 +41,8 @@ pub struct TierParams {
 /// use dora_soc::memory::MemorySystem;
 ///
 /// let mem = MemorySystem::lpddr3();
-/// let idle = mem.miss_latency_ns(BusTier::High, 0.0);
-/// let busy = mem.miss_latency_ns(BusTier::High, 5.0e9);
+/// let idle = mem.miss_latency(BusTier::High, 0.0);
+/// let busy = mem.miss_latency(BusTier::High, 5.0e9);
 /// assert!(busy > idle); // queuing under load
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -64,17 +65,17 @@ impl MemorySystem {
                 // BusTier::Low — 200 MHz DDR vote.
                 TierParams {
                     peak_bandwidth: 2.0e9,
-                    base_latency_ns: 150.0,
+                    base_latency: Seconds::new(150.0e-9),
                 },
                 // BusTier::Mid — 460.8 MHz.
                 TierParams {
                     peak_bandwidth: 4.2e9,
-                    base_latency_ns: 110.0,
+                    base_latency: Seconds::new(110.0e-9),
                 },
                 // BusTier::High — 800 MHz.
                 TierParams {
                     peak_bandwidth: 6.8e9,
-                    base_latency_ns: 85.0,
+                    base_latency: Seconds::new(85.0e-9),
                 },
             ],
             queue_gain: 0.55,
@@ -91,7 +92,7 @@ impl MemorySystem {
     pub fn new(tiers: [TierParams; 3], queue_gain: f64, max_utilization: f64) -> Self {
         for t in &tiers {
             assert!(t.peak_bandwidth > 0.0, "non-positive bandwidth");
-            assert!(t.base_latency_ns > 0.0, "non-positive latency");
+            assert!(t.base_latency > Seconds::ZERO, "non-positive latency");
         }
         assert!(queue_gain >= 0.0, "negative queue gain");
         assert!(
@@ -116,12 +117,12 @@ impl MemorySystem {
         (demand / self.params(tier).peak_bandwidth).min(self.max_utilization)
     }
 
-    /// Effective miss latency in nanoseconds under the given aggregate
-    /// demand. Monotone non-decreasing in demand.
-    pub fn miss_latency_ns(&self, tier: BusTier, bytes_per_sec: f64) -> f64 {
+    /// Effective miss latency under the given aggregate demand.
+    /// Monotone non-decreasing in demand.
+    pub fn miss_latency(&self, tier: BusTier, bytes_per_sec: f64) -> Seconds {
         let p = self.params(tier);
         let rho = self.utilization(tier, bytes_per_sec);
-        p.base_latency_ns * (1.0 + self.queue_gain * rho / (1.0 - rho))
+        p.base_latency * (1.0 + self.queue_gain * rho / (1.0 - rho))
     }
 
     /// Convenience: converts an L2 miss rate (misses/second) into a DRAM
@@ -148,27 +149,24 @@ mod tests {
         let lo = mem.params(BusTier::Low);
         let hi = mem.params(BusTier::High);
         assert!(hi.peak_bandwidth > lo.peak_bandwidth);
-        assert!(hi.base_latency_ns < lo.base_latency_ns);
+        assert!(hi.base_latency < lo.base_latency);
     }
 
     #[test]
     fn idle_latency_equals_base() {
         let mem = MemorySystem::lpddr3();
         for tier in BusTier::ALL {
-            assert_eq!(
-                mem.miss_latency_ns(tier, 0.0),
-                mem.params(tier).base_latency_ns
-            );
+            assert_eq!(mem.miss_latency(tier, 0.0), mem.params(tier).base_latency);
         }
     }
 
     #[test]
     fn latency_is_monotone_in_demand() {
         let mem = MemorySystem::lpddr3();
-        let mut last = 0.0;
+        let mut last = Seconds::ZERO;
         for demand in [0.0, 1e9, 2e9, 4e9, 6e9, 1e10, 1e12] {
-            let lat = mem.miss_latency_ns(BusTier::High, demand);
-            assert!(lat >= last, "{lat} < {last} at demand {demand}");
+            let lat = mem.miss_latency(BusTier::High, demand);
+            assert!(lat >= last, "{lat:?} < {last:?} at demand {demand}");
             last = lat;
         }
     }
@@ -176,10 +174,10 @@ mod tests {
     #[test]
     fn latency_stays_finite_past_saturation() {
         let mem = MemorySystem::lpddr3();
-        let lat = mem.miss_latency_ns(BusTier::Low, 1e15);
-        assert!(lat.is_finite());
+        let lat = mem.miss_latency(BusTier::Low, 1e15);
+        assert!(lat.value().is_finite());
         // With rho capped at 0.93 and k = 0.55: 150·(1+0.55·0.93/0.07)
-        assert!(lat < 150.0 * 10.0);
+        assert!(lat < Seconds::new(150.0e-9 * 10.0));
     }
 
     #[test]
@@ -202,7 +200,7 @@ mod tests {
     fn rejects_bad_max_utilization() {
         let t = TierParams {
             peak_bandwidth: 1.0,
-            base_latency_ns: 1.0,
+            base_latency: Seconds::new(1.0e-9),
         };
         let _ = MemorySystem::new([t, t, t], 0.5, 1.0);
     }

@@ -135,11 +135,6 @@ impl ThermalNode {
         self.temperature
     }
 
-    /// Current die temperature in kelvin.
-    pub fn temperature_k(&self) -> f64 {
-        self.temperature.to_kelvin()
-    }
-
     /// The hottest temperature seen so far.
     pub fn peak(&self) -> Celsius {
         self.peak
@@ -183,7 +178,7 @@ mod tests {
     fn starts_at_ambient() {
         let node = ThermalNode::new(ThermalParams::nexus5_room());
         assert_eq!(node.temperature(), Celsius::new(25.0));
-        assert_eq!(node.temperature_k(), 298.15);
+        assert_eq!(node.temperature().to_kelvin(), 298.15);
     }
 
     #[test]

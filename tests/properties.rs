@@ -14,6 +14,7 @@ use dora_repro::soc::cache::{CacheDemand, SharedCache};
 use dora_repro::soc::dvfs::BusTier;
 use dora_repro::soc::memory::MemorySystem;
 use dora_repro::soc::task::{CyclicTask, PhaseProfile, PhasedTask, Task};
+use dora_repro::units::Seconds;
 use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = PhaseProfile> {
@@ -111,12 +112,12 @@ proptest! {
         let mut sorted = demands.clone();
         sorted.sort_by(f64::total_cmp);
         for tier in BusTier::ALL {
-            let mut last = 0.0;
+            let mut last = Seconds::ZERO;
             for &d in &sorted {
-                let lat = mem.miss_latency_ns(tier, d);
+                let lat = mem.miss_latency(tier, d);
                 prop_assert!(lat >= last);
-                prop_assert!(lat.is_finite());
-                prop_assert!(lat >= mem.params(tier).base_latency_ns);
+                prop_assert!(lat.value().is_finite());
+                prop_assert!(lat >= mem.params(tier).base_latency);
                 last = lat;
             }
         }

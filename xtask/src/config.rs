@@ -3,8 +3,9 @@
 //! The config file owns everything a pass can be parameterized on:
 //! per-lint levels, per-lint file allowlists, the crate layer order, the
 //! determinism-scanned export paths, the designated paper-constants
-//! modules with their trivial-float exemptions, and the per-file panic
-//! budgets (which subsumed the old `panic_allowlist.txt`).
+//! modules with their trivial-float exemptions, and the sanctioned
+//! panic entry points (`[panic-reachability] allow`, which subsumed the
+//! old per-file `[panic-budget]` counts).
 
 use crate::toml::{self, Value};
 use std::collections::BTreeMap;
@@ -53,15 +54,26 @@ pub struct Config {
     /// trivial`): structural values like 0.0, 1.0, 1024.0 that encode no
     /// physical or model assumption.
     pub trivial_floats: Vec<f64>,
-    /// Per-file panic budgets (`[panic-budget]`); unlisted files have
-    /// budget zero.
-    pub panic_budget: BTreeMap<String, usize>,
+    /// Qualified function paths sanctioned to contain panic sites
+    /// (`[panic-reachability] allow`), e.g.
+    /// `campaign::runner::Runner::run`.
+    pub panic_allow: Vec<String>,
     /// Path prefixes of sync-facade implementations, exempt from the
     /// sync-hygiene facade ban (`[sync-hygiene] facade_paths`).
     pub sync_facade_paths: Vec<String>,
     /// Path prefixes of probe-off hot-path files the probe-purity lint
     /// scans for allocation/formatting (`[probe-purity] hot_paths`).
     pub probe_hot_paths: Vec<String>,
+    /// Path prefixes of the typed-units boundary crates the units-escape
+    /// lint audits (`[units-escape] boundary_paths`).
+    pub units_boundary_paths: Vec<String>,
+    /// Names of the unit newtypes (`[units-escape] unit_types`) —
+    /// declared here because the types are macro-generated and invisible
+    /// to item extraction.
+    pub unit_types: Vec<String>,
+    /// Qualified function paths treated as extra nondeterminism sources
+    /// by the determinism-taint lint (`[determinism-taint] source_fns`).
+    pub taint_source_fns: Vec<String>,
 }
 
 fn string_list(value: &Value, what: &str) -> Result<Vec<String>, String> {
@@ -165,12 +177,36 @@ impl Config {
                         config.probe_hot_paths = string_list(v, "[probe-purity] hot_paths")?;
                     }
                 }
-                "panic-budget" => {
-                    for (file, v) in entries {
-                        let n = v.as_int().filter(|&n| n >= 0).ok_or_else(|| {
-                            format!("[panic-budget] {file} must be a non-negative integer")
-                        })?;
-                        config.panic_budget.insert(file.clone(), n as usize);
+                "panic-reachability" => {
+                    for (key, v) in entries {
+                        if key != "allow" {
+                            return Err(format!("unknown key `{key}` in [panic-reachability]"));
+                        }
+                        config.panic_allow = string_list(v, "[panic-reachability] allow")?;
+                    }
+                }
+                "units-escape" => {
+                    for (key, v) in entries {
+                        match key.as_str() {
+                            "boundary_paths" => {
+                                config.units_boundary_paths =
+                                    string_list(v, "[units-escape] boundary_paths")?;
+                            }
+                            "unit_types" => {
+                                config.unit_types = string_list(v, "[units-escape] unit_types")?;
+                            }
+                            other => {
+                                return Err(format!("unknown key `{other}` in [units-escape]"))
+                            }
+                        }
+                    }
+                }
+                "determinism-taint" => {
+                    for (key, v) in entries {
+                        if key != "source_fns" {
+                            return Err(format!("unknown key `{key}` in [determinism-taint]"));
+                        }
+                        config.taint_source_fns = string_list(v, "[determinism-taint] source_fns")?;
                     }
                 }
                 other => return Err(format!("unknown table `[{other}]` in xtask.toml")),
@@ -189,11 +225,6 @@ impl Config {
         self.allow
             .get(lint)
             .is_some_and(|prefixes| prefixes.iter().any(|p| file.starts_with(p.as_str())))
-    }
-
-    /// The panic budget of a file (zero when unlisted).
-    pub fn budget(&self, file: &str) -> usize {
-        self.panic_budget.get(file).copied().unwrap_or(0)
     }
 
     /// Whether a float value is in the trivial exemption list.
@@ -227,8 +258,15 @@ export_paths = ["crates/campaign/src/export.rs"]
 modules = ["crates/soc/src/dvfs.rs"]
 trivial = [0.0, 1.0, 1024.0]
 
-[panic-budget]
-"crates/soc/src/board.rs" = 6
+[panic-reachability]
+allow = ["campaign::runner::Runner::run"]
+
+[units-escape]
+boundary_paths = ["crates/soc/"]
+unit_types = ["Seconds", "Watts"]
+
+[determinism-taint]
+source_fns = ["campaign::executor::unordered_reduce"]
 "#;
 
     #[test]
@@ -236,13 +274,18 @@ trivial = [0.0, 1.0, 1024.0]
         let c = Config::from_toml(SAMPLE).expect("parses");
         assert_eq!(c.level("partial-cmp"), Level::Warn);
         assert_eq!(c.level("dvfs-guard"), Level::Allow);
-        assert_eq!(c.level("panic-ratchet"), Level::Deny);
+        assert_eq!(c.level("panic-reachability"), Level::Deny);
         assert!(c.is_allowed("unit-suffix", "crates/cli/src/args.rs"));
         assert!(!c.is_allowed("unit-suffix", "crates/soc/src/dvfs.rs"));
         assert_eq!(c.layers.len(), 2);
         assert_eq!(c.layers[0], vec!["dora-sim-core", "dora-soc"]);
-        assert_eq!(c.budget("crates/soc/src/board.rs"), 6);
-        assert_eq!(c.budget("crates/soc/src/task.rs"), 0);
+        assert_eq!(c.panic_allow, vec!["campaign::runner::Runner::run"]);
+        assert_eq!(c.units_boundary_paths, vec!["crates/soc/"]);
+        assert_eq!(c.unit_types, vec!["Seconds", "Watts"]);
+        assert_eq!(
+            c.taint_source_fns,
+            vec!["campaign::executor::unordered_reduce"]
+        );
         assert!(c.is_trivial_float(1024.0));
         assert!(!c.is_trivial_float(64.0));
     }
@@ -260,8 +303,8 @@ trivial = [0.0, 1.0, 1024.0]
     }
 
     #[test]
-    fn negative_budget_is_rejected() {
-        let err = Config::from_toml("[panic-budget]\n\"a.rs\" = -1\n").expect_err("bad");
-        assert!(err.contains("non-negative"), "{err}");
+    fn retired_panic_budget_table_is_rejected() {
+        let err = Config::from_toml("[panic-budget]\n\"a.rs\" = 1\n").expect_err("bad");
+        assert!(err.contains("unknown table"), "{err}");
     }
 }

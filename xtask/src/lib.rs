@@ -1,15 +1,21 @@
 //! The repository's static-analysis framework, behind
 //! `cargo run -p xtask -- lint`.
 //!
-//! Architecture (DESIGN.md §8):
+//! Architecture (DESIGN.md §8, §12):
 //!
 //! * [`diag`] — the [`Diagnostic`] model: lint id, severity, file/line/
 //!   column [`Span`], message, help.
-//! * [`source`] / [`workspace`] — dependency-free extraction of library
-//!   source text and the crate dependency graph.
+//! * [`lex`] / [`items`] / [`callgraph`] — the dependency-free syntax
+//!   layer: a full Rust lexer with byte-exact spans, an item tree
+//!   (functions, consts, structs, uses) extracted from the token
+//!   stream, and a conservative intra-workspace call graph built on
+//!   top of both.
+//! * [`source`] / [`workspace`] — source loading (each file carries its
+//!   tokens, items, and a column-preserving stripped view) and the
+//!   crate dependency graph.
 //! * [`config`] — `xtask.toml`: per-lint levels, allowlists, the crate
-//!   layer order, determinism scan paths, constants modules, panic
-//!   budgets.
+//!   layer order, determinism scan paths, constants modules,
+//!   panic-reachability entry allowlists, units-boundary paths.
 //! * [`passes`] — the [`Pass`] trait and registry. Each lint is a plugin
 //!   over a shared read-only [`Context`].
 //! * [`render`] — human, `--format json` and `--format sarif` emitters.
@@ -21,8 +27,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod items;
+pub mod lex;
 pub mod passes;
 pub mod render;
 pub mod source;
@@ -176,9 +185,35 @@ impl Context {
 /// The returned list is sorted by span then lint id, so output (and the
 /// JSON/SARIF emitted from it) is deterministic regardless of pass order.
 pub fn run_passes(cx: &Context) -> Vec<Diagnostic> {
+    run_passes_timed(cx).0
+}
+
+/// Wall-clock runtime of one pass, as reported by `lint --timing`.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// The pass's stable lint id.
+    pub id: &'static str,
+    /// How long its `run` took over the whole tree.
+    pub elapsed: std::time::Duration,
+}
+
+/// [`run_passes`], also returning per-pass wall-clock timings in
+/// registry order. Backs `lint --timing` and the CI `--budget-ms`
+/// runtime-regression gate.
+pub fn run_passes_timed(cx: &Context) -> (Vec<Diagnostic>, Vec<PassTiming>) {
     let mut out = Vec::new();
+    let mut timings = Vec::new();
     for pass in passes::registry() {
-        for mut d in pass.run(cx) {
+        // Timing the driver is the one sanctioned wall-clock use in this
+        // workspace: durations are reported, never fed into results.
+        #[allow(clippy::disallowed_methods)]
+        let start = std::time::Instant::now();
+        let raw = pass.run(cx);
+        timings.push(PassTiming {
+            id: pass.id(),
+            elapsed: start.elapsed(),
+        });
+        for mut d in raw {
             if cx.config.is_allowed(d.lint, &d.span.file) {
                 continue;
             }
@@ -195,5 +230,5 @@ pub fn run_passes(cx: &Context) -> Vec<Diagnostic> {
         }
     }
     out.sort_by(|a, b| (&a.span, a.lint).cmp(&(&b.span, b.lint)));
-    out
+    (out, timings)
 }

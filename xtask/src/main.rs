@@ -3,9 +3,12 @@
 //!
 //! Commands:
 //!
-//! * `lint [--format human|json|sarif] [--only <id,id>]` — run every
-//!   registered pass over the tree; exit 1 when any error-severity
-//!   finding survives `xtask.toml` policy, 2 on tool failure.
+//! * `lint [--format human|json|sarif] [--only <id,id>] [--timing]
+//!   [--budget-ms <n>]` — run every registered pass over the tree; exit
+//!   1 when any error-severity finding survives `xtask.toml` policy, 2
+//!   on tool failure. `--timing` prints a per-pass runtime report to
+//!   stderr; `--budget-ms` additionally fails the run when the summed
+//!   pass runtime exceeds the budget (the CI runtime-regression gate).
 //! * `bless-api` — regenerate the `xtask/api/<crate>.txt` public-API
 //!   snapshots after an intentional surface change.
 //! * `passes` — list registered lint ids and descriptions.
@@ -23,8 +26,10 @@ const USAGE: &str = "\
 usage: cargo run -p xtask -- <command>
 
 commands:
-  lint [--format human|json|sarif] [--only <id,id>]
+  lint [--format human|json|sarif] [--only <id,id>] [--timing] [--budget-ms <n>]
         run the static-analysis passes; non-zero exit on findings
+        --timing prints a per-pass runtime report; --budget-ms fails
+        the run when total pass runtime exceeds the budget
   bless-api
         regenerate xtask/api/<crate>.txt public-API snapshots
   passes
@@ -38,15 +43,27 @@ enum Format {
     Sarif,
 }
 
-fn parse_lint_args(args: &[String]) -> Result<(Format, Option<Vec<String>>), String> {
-    let mut format = Format::Human;
-    let mut only = None;
+/// Parsed `lint` subcommand options.
+struct LintArgs {
+    format: Format,
+    only: Option<Vec<String>>,
+    timing: bool,
+    budget_ms: Option<u64>,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
+    let mut parsed = LintArgs {
+        format: Format::Human,
+        only: None,
+        timing: false,
+        budget_ms: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--format" => {
                 let value = args.get(i + 1).ok_or("--format needs a value")?;
-                format = match value.as_str() {
+                parsed.format = match value.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
                     "sarif" => Format::Sarif,
@@ -56,17 +73,65 @@ fn parse_lint_args(args: &[String]) -> Result<(Format, Option<Vec<String>>), Str
             }
             "--only" => {
                 let value = args.get(i + 1).ok_or("--only needs a value")?;
-                only = Some(value.split(',').map(str::to_string).collect::<Vec<_>>());
+                parsed.only = Some(value.split(',').map(str::to_string).collect::<Vec<_>>());
+                i += 2;
+            }
+            "--timing" => {
+                parsed.timing = true;
+                i += 1;
+            }
+            "--budget-ms" => {
+                let value = args.get(i + 1).ok_or("--budget-ms needs a value")?;
+                parsed.budget_ms = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--budget-ms: `{value}` is not a number"))?,
+                );
                 i += 2;
             }
             other => return Err(format!("unknown lint option `{other}`")),
         }
     }
-    Ok((format, only))
+    Ok(parsed)
+}
+
+/// Renders the `--timing` report: one line per pass plus a total, with
+/// the budget verdict when `--budget-ms` is set.
+fn timing_report(timings: &[xtask::PassTiming], budget_ms: Option<u64>) -> (String, bool) {
+    let total: std::time::Duration = timings.iter().map(|t| t.elapsed).sum();
+    let mut out = String::from("pass timings:\n");
+    for t in timings {
+        out.push_str(&format!(
+            "  {:<20} {:>9.3} ms\n",
+            t.id,
+            t.elapsed.as_secs_f64() * 1e3
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<20} {:>9.3} ms\n",
+        "total",
+        total.as_secs_f64() * 1e3
+    ));
+    let mut over = false;
+    if let Some(budget) = budget_ms {
+        let total_ms = total.as_secs_f64() * 1e3;
+        over = total_ms > budget as f64;
+        out.push_str(&format!(
+            "  budget {budget} ms: {}\n",
+            if over { "EXCEEDED" } else { "ok" }
+        ));
+    }
+    (out, over)
 }
 
 fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
-    let (format, only) = parse_lint_args(args)?;
+    let opts = parse_lint_args(args)?;
+    let LintArgs {
+        format,
+        only,
+        timing,
+        budget_ms,
+    } = opts;
     if let Some(ids) = &only {
         let known: Vec<&str> = registry().iter().map(|p| p.id()).collect();
         for id in ids {
@@ -76,9 +141,15 @@ fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
         }
     }
     let cx = Context::load(root)?;
-    let mut diags = xtask::run_passes(&cx);
+    let (mut diags, timings) = xtask::run_passes_timed(&cx);
     if let Some(ids) = &only {
         diags.retain(|d| ids.iter().any(|id| id == d.lint));
+    }
+    let mut budget_exceeded = false;
+    if timing || budget_ms.is_some() {
+        let (report, over) = timing_report(&timings, budget_ms);
+        eprint!("{report}");
+        budget_exceeded = over;
     }
     let (errors, warnings, notes) = render::tally(&diags);
     match format {
@@ -97,6 +168,10 @@ fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
                 passes.iter().map(|p| (p.id(), p.description())).collect();
             print!("{}", render::sarif(&diags, &rules));
         }
+    }
+    if budget_exceeded {
+        eprintln!("xtask lint: pass runtime exceeded --budget-ms; see timing report above");
+        return Ok(1);
     }
     Ok(i32::from(errors > 0))
 }

@@ -11,142 +11,24 @@
 //!    values in `const`/`static` initializers: a magic `0.22` belongs in
 //!    a constants module with a citation, not inline. Structural values
 //!    (`0.0`, `1.0`, `1024.0`, …) are exempted via `[constants] trivial`.
+//!
+//! The audit walks the [`crate::items`] const items and their
+//! initializer token ranges, so only the initializer (never array
+//! lengths in the type annotation, never comments or strings) is
+//! scanned.
 
 use crate::diag::{Diagnostic, Span};
-use crate::source::{blank_strings, float_literals, SourceFile};
+use crate::lex::{literal_value, LineIndex, TokenKind};
+use crate::source::SourceFile;
 use crate::Context;
 
 /// The pass. See the module docs.
 pub struct PaperConstants;
 
-/// One `const`/`static` item found in stripped source.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ConstItem {
-    /// 1-based line of the declaration.
-    pub line: usize,
-    /// The item name (`_` for anonymous const assertions).
-    pub name: String,
-    /// Float literals in the initializer: `(line, column, text, value)`.
-    pub floats: Vec<(usize, usize, String, f64)>,
-    /// Whether the initializer contains any numeric literal at all.
-    pub has_numeric: bool,
-}
-
-fn decl_name(trimmed: &str) -> Option<String> {
-    let rest = trimmed
-        .strip_prefix("pub ")
-        .or_else(|| trimmed.strip_prefix("pub(crate) "))
-        .unwrap_or(trimmed);
-    let rest = rest
-        .strip_prefix("const ")
-        .or_else(|| rest.strip_prefix("static "))?;
-    // `const fn` / `static ref` style declarations are not items we audit.
-    if rest.starts_with("fn ") || rest.starts_with("unsafe ") || rest.starts_with("mut ") {
-        return None;
-    }
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() {
-        None
-    } else {
-        Some(name)
-    }
-}
-
-fn bracket_depth_delta(line: &str) -> i64 {
-    let mut delta = 0;
-    for c in line.chars() {
-        match c {
-            '(' | '[' | '{' => delta += 1,
-            ')' | ']' | '}' => delta -= 1,
-            _ => {}
-        }
-    }
-    delta
-}
-
-fn has_int_literal(line: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i].is_ascii_digit() {
-            let glued = i > 0
-                && (bytes[i - 1].is_ascii_alphanumeric()
-                    || bytes[i - 1] == b'_'
-                    || bytes[i - 1] == b'.');
-            if !glued {
-                return true;
-            }
-            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
-                i += 1;
-            }
-        } else {
-            i += 1;
-        }
-    }
-    false
-}
-
-/// Extracts `const`/`static` items (with their initializer literals) from
-/// a stripped source file.
-pub fn const_items(stripped: &str) -> Vec<ConstItem> {
-    let lines: Vec<&str> = stripped.lines().collect();
-    let mut items = Vec::new();
-    let mut i = 0;
-    while i < lines.len() {
-        let trimmed = lines[i].trim_start();
-        let Some(name) = decl_name(trimmed) else {
-            i += 1;
-            continue;
-        };
-        let start = i;
-        let mut depth = 0i64;
-        let mut floats = Vec::new();
-        let mut has_numeric = false;
-        let mut seen_eq = false;
-        loop {
-            let line = lines.get(i).copied().unwrap_or("");
-            let blanked = blank_strings(line);
-            // Only the initializer (after `=`) is audited; array lengths
-            // in the type annotation are structure, not physics.
-            let audit_from = if seen_eq {
-                0
-            } else if let Some(eq) = blanked.find('=') {
-                seen_eq = true;
-                eq + 1
-            } else {
-                blanked.len()
-            };
-            let audited = &blanked[audit_from..];
-            for (col, text, value) in float_literals(audited) {
-                floats.push((i + 1, audit_from + col, text, value));
-                has_numeric = true;
-            }
-            if has_int_literal(audited) {
-                has_numeric = true;
-            }
-            depth += bracket_depth_delta(&blanked);
-            let done = depth <= 0 && blanked.trim_end().ends_with(';');
-            i += 1;
-            if done || i >= lines.len() || i - start > 200 {
-                break;
-            }
-        }
-        items.push(ConstItem {
-            line: start + 1,
-            name,
-            floats,
-            has_numeric,
-        });
-    }
-    items
-}
-
-/// Whether the raw source cites a paper reference for the item starting
-/// at `line` (1-based): a `paper:` marker in the contiguous comment /
-/// attribute block above, or trailing on one of the item's own lines.
+/// Whether the raw source cites a paper reference for the item spanning
+/// `line..=end_line` (1-based): a `paper:` marker in the contiguous
+/// comment / attribute block above, or trailing on one of the item's own
+/// lines.
 pub fn has_citation(raw: &SourceFile, line: usize, end_line: usize) -> bool {
     let lines: Vec<&str> = raw.text.lines().collect();
     // Walk up through the doc/comment/attribute block.
@@ -190,15 +72,38 @@ impl super::Pass for PaperConstants {
         let mut out = Vec::new();
         for file in &cx.files {
             let designated = cx.config.constants_modules.contains(&file.rel);
-            let items = const_items(&file.stripped);
-            for item in &items {
-                let end_line = item
-                    .floats
-                    .last()
-                    .map_or(item.line, |&(l, _, _, _)| l)
-                    .max(item.line);
+            if file.items.consts.is_empty() {
+                continue;
+            }
+            let index = LineIndex::new(&file.text);
+            for item in file.items.consts.iter().filter(|c| !c.in_test) {
+                // Numeric literals in the initializer token range. A
+                // tuple-index `x.0` lexes as an Int after a `.` and is a
+                // projection, not a value.
+                let mut floats: Vec<(usize, usize, String, f64)> = Vec::new();
+                let mut has_numeric = false;
+                for i in item.init.0..item.init.1.min(file.tokens.len()) {
+                    let tok = &file.tokens[i];
+                    let after_dot = file.tokens[..i]
+                        .iter()
+                        .rev()
+                        .find(|t| !t.kind.is_trivia())
+                        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(&file.text) == ".");
+                    match tok.kind {
+                        TokenKind::Int if !after_dot => has_numeric = true,
+                        TokenKind::Float if !after_dot => {
+                            has_numeric = true;
+                            let text = tok.text(&file.text);
+                            if let Some(value) = literal_value(text) {
+                                let (line, col) = index.line_col(tok.lo);
+                                floats.push((line, col, text.to_string(), value));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
                 if designated {
-                    if item.has_numeric && !has_citation(file, item.line, end_line + 1) {
+                    if has_numeric && !has_citation(file, item.line, item.end_line) {
                         out.push(
                             Diagnostic::error(
                                 self.id(),
@@ -216,7 +121,7 @@ impl super::Pass for PaperConstants {
                         );
                     }
                 } else {
-                    for &(line, column, ref text, value) in &item.floats {
+                    for &(line, column, ref text, value) in &floats {
                         if cx.config.is_trivial_float(value) {
                             continue;
                         }
@@ -272,24 +177,6 @@ pub const NAME: &str = "msm8974";
     }
 
     #[test]
-    fn const_item_extraction_sees_multiline_arrays() {
-        let items = const_items(&crate::source::library_code(DESIGNATED));
-        assert_eq!(items.len(), 3);
-        assert_eq!(items[0].name, "TABLE");
-        assert!(items[0].has_numeric);
-        assert_eq!(items[1].name, "K1");
-        assert_eq!(items[1].floats.len(), 1);
-        assert!(!items[2].has_numeric);
-    }
-
-    #[test]
-    fn const_fn_is_not_an_item() {
-        assert!(
-            const_items("pub const fn from_khz(khz: u64) -> Self {\n    Self(khz)\n}\n").is_empty()
-        );
-    }
-
-    #[test]
     fn uncited_constant_in_designated_module_is_flagged() {
         let cx = Context {
             files: vec![SourceFile::new("crates/soc/src/power.rs", DESIGNATED)],
@@ -300,6 +187,19 @@ pub const NAME: &str = "msm8974";
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert!(diags[0].message.contains("`K1`"));
         assert_eq!(diags[0].span.line, 9);
+    }
+
+    #[test]
+    fn const_fn_is_not_an_item() {
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/soc/src/dvfs.rs",
+                "pub const fn from_khz(khz: u64) -> u64 {\n    khz * 3\n}\n",
+            )],
+            config: config(),
+            ..Context::default()
+        };
+        assert!(PaperConstants.run(&cx).is_empty());
     }
 
     #[test]
@@ -324,6 +224,36 @@ pub const NAME: &str = "msm8974";
             files: vec![SourceFile::new(
                 "crates/soc/src/power.rs",
                 "pub const K1: f64 = 0.22; // paper: Eq. 5\n",
+            )],
+            config: config(),
+            ..Context::default()
+        };
+        assert!(PaperConstants.run(&cx).is_empty());
+    }
+
+    #[test]
+    fn array_lengths_in_types_are_structure_not_physics() {
+        // The `2` in `[(u64, u32); 2]` is in the type annotation, not
+        // the initializer: a designated module still needs the citation
+        // because of the element values, but an empty-init const with
+        // only a typed length is not numeric.
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/governors/src/lib.rs",
+                "pub const EMPTY: [f64; 4] = [0.0, 0.0, 0.0, 0.0];\n",
+            )],
+            config: config(),
+            ..Context::default()
+        };
+        assert!(PaperConstants.run(&cx).is_empty());
+    }
+
+    #[test]
+    fn floats_in_strings_and_comments_are_invisible() {
+        let cx = Context {
+            files: vec![SourceFile::new(
+                "crates/governors/src/lib.rs",
+                "const LABEL: &str = \"k = 0.85\"; // tune 0.9 later\n",
             )],
             config: config(),
             ..Context::default()

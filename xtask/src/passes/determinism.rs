@@ -6,36 +6,43 @@
 //! property the campaign's accuracy claims rest on. Files reachable from
 //! the export pipeline (listed under `[determinism] export_paths` in
 //! `xtask.toml`) must use `BTreeMap`/`BTreeSet` or sort explicitly.
+//!
+//! This is the *per-file* ban on the export files themselves; the
+//! `determinism-taint` pass extends the same property through the call
+//! graph to everything those files reach.
 
 use crate::diag::{Diagnostic, Span};
-use crate::source::blank_strings;
+use crate::lex::{LineIndex, TokenKind};
+use crate::source::SourceFile;
 use crate::Context;
 
 /// The pass. See the module docs.
 pub struct MapDeterminism;
 
 /// `(1-based line, 1-based column, type name)` of hash-collection
-/// mentions in stripped, string-blanked library code.
-pub fn hash_collection_sites(stripped: &str) -> Vec<(usize, usize, &'static str)> {
-    let blanked = blank_strings(stripped);
+/// mentions in non-test library code.
+///
+/// Token-level: only whole identifiers count (`FxHashMap` and
+/// `HashMapExt` are different tokens), and comments, strings, and
+/// `#[cfg(test)]` items never match.
+pub fn hash_collection_sites(file: &SourceFile) -> Vec<(usize, usize, &'static str)> {
+    let src = file.text.as_str();
+    let index = LineIndex::new(src);
+    let in_cfg_test = |lo: usize| {
+        file.items
+            .cfg_test_spans
+            .iter()
+            .any(|&(a, b)| a <= lo && lo < b)
+    };
     let mut out = Vec::new();
-    for (i, line) in blanked.lines().enumerate() {
+    for tok in &file.tokens {
+        if tok.kind != TokenKind::Ident || in_cfg_test(tok.lo) {
+            continue;
+        }
         for name in ["HashMap", "HashSet"] {
-            let mut from = 0;
-            while let Some(idx) = line[from..].find(name) {
-                let at = from + idx;
-                // Reject identifier continuations (`FxHashMap`, `HashMapExt`).
-                let before_ok = at == 0
-                    || !line.as_bytes()[at - 1].is_ascii_alphanumeric()
-                        && line.as_bytes()[at - 1] != b'_';
-                let end = at + name.len();
-                let after_ok = end >= line.len()
-                    || !line.as_bytes()[end].is_ascii_alphanumeric()
-                        && line.as_bytes()[end] != b'_';
-                if before_ok && after_ok {
-                    out.push((i + 1, at + 1, name));
-                }
-                from = end;
+            if tok.text(src) == name {
+                let (line, col) = index.line_col(tok.lo);
+                out.push((line, col, name));
             }
         }
     }
@@ -63,7 +70,7 @@ impl super::Pass for MapDeterminism {
             {
                 continue;
             }
-            for (line, column, name) in hash_collection_sites(&file.stripped) {
+            for (line, column, name) in hash_collection_sites(file) {
                 out.push(
                     Diagnostic::error(
                         self.id(),
@@ -151,9 +158,11 @@ mod tests {
 
     #[test]
     fn identifier_continuations_and_strings_do_not_match() {
-        let sites = hash_collection_sites(
-            "let a = FxHashMap::default();\nlet b = \"HashMap\";\nstruct HashMapExt;\n",
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "fn f() {\n    let a = FxHashMap::default();\n    let b = \"HashMap\";\n    let c = r#\"HashSet\"#;\n    let _ = (a, b, c);\n}\nstruct HashMapExt;\n",
         );
+        let sites = hash_collection_sites(&file);
         assert!(sites.is_empty(), "{sites:?}");
     }
 }

@@ -1,0 +1,244 @@
+//! `determinism-taint` — nondeterminism sources must not be reachable
+//! from export/golden/sketch-merge code through the call graph.
+//!
+//! `map-determinism` bans hash collections *inside* the export files
+//! themselves; this pass upgrades the guarantee to reachability: a
+//! `HashMap` iteration, wall-clock read (`Instant` / `SystemTime`), or a
+//! declared unordered-reduction helper (`[determinism-taint]
+//! source_fns`) anywhere in the workspace is an error if some function
+//! in `[determinism] export_paths` can reach it, and the finding prints
+//! the call chain from the sink. Byte-identical goldens (the fleet
+//! digest, SARIF snapshots, CSV exports) are the repo's core
+//! reproducibility claim — order- or time-dependent values feeding them
+//! must be caught before they reach an artifact.
+//!
+//! Sources are token-level idents, so strings, comments, and
+//! `#[cfg(test)]` code never count.
+
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Span};
+use crate::lex::{LineIndex, TokenKind};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct DeterminismTaint;
+
+const HASH_SOURCES: [&str; 2] = ["HashMap", "HashSet"];
+const CLOCK_SOURCES: [&str; 2] = ["Instant", "SystemTime"];
+
+impl super::Pass for DeterminismTaint {
+    fn id(&self) -> &'static str {
+        "determinism-taint"
+    }
+
+    fn description(&self) -> &'static str {
+        "nondeterminism sources must not be reachable from export/golden code"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        if cx.config.determinism_paths.is_empty() {
+            return Vec::new();
+        }
+        let graph = CallGraph::build(cx);
+        let in_export = |rel: &str| {
+            cx.config
+                .determinism_paths
+                .iter()
+                .any(|p| rel.starts_with(p.as_str()))
+        };
+
+        // Sinks: every non-test function defined in an export path.
+        let sinks: Vec<usize> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.item.in_test && in_export(&n.rel))
+            .map(|(i, _)| i)
+            .collect();
+        if sinks.is_empty() {
+            return Vec::new();
+        }
+        let reach = graph.forward(&sinks);
+
+        // Sources: token scan of each reachable body, plus declared
+        // source functions.
+        let mut out = Vec::new();
+        for (idx, node) in graph.nodes.iter().enumerate() {
+            if node.item.in_test || !reach.contains(idx) {
+                continue;
+            }
+            let chain = reach
+                .path_to(idx)
+                .map(|p| graph.render_path(&p))
+                .unwrap_or_else(|| node.item.qual.clone());
+            if cx
+                .config
+                .taint_source_fns
+                .iter()
+                .any(|q| q == &node.item.qual)
+            {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::line(&node.rel, node.item.line),
+                        format!(
+                            "declared nondeterminism source `{}` is reachable from export \
+                             code (chain: `{chain}`)",
+                            node.item.qual
+                        ),
+                    )
+                    .with_help(
+                        "make the helper deterministic or cut the call path to the \
+                         export sink",
+                    ),
+                );
+            }
+            let Some((body_lo, body_hi)) = node.item.body else {
+                continue;
+            };
+            let file = &cx.files[node.file];
+            let src = file.text.as_str();
+            let index = LineIndex::new(src);
+            let mut seen_kinds: Vec<&str> = Vec::new();
+            for i in body_lo..body_hi.min(file.tokens.len()) {
+                let tok = &file.tokens[i];
+                if tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let text = tok.text(src);
+                let is_hash = HASH_SOURCES.contains(&text);
+                let is_clock = CLOCK_SOURCES.contains(&text);
+                if !is_hash && !is_clock {
+                    continue;
+                }
+                // Hash collections inside an export file are
+                // map-determinism's finding; don't double-report.
+                if is_hash && in_export(&node.rel) {
+                    continue;
+                }
+                if seen_kinds.contains(&text) {
+                    continue;
+                }
+                seen_kinds.push(text);
+                let what = if is_hash {
+                    format!("`{text}` iteration order")
+                } else {
+                    format!("wall clock (`{text}`)")
+                };
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::line(&node.rel, index.line(tok.lo)),
+                        format!(
+                            "{what} in `{}` is reachable from export code \
+                             (chain: `{chain}`)",
+                            node.item.qual
+                        ),
+                    )
+                    .with_help(if is_hash {
+                        "use BTreeMap/BTreeSet (stable iteration order) or sort before \
+                         exporting"
+                    } else {
+                        "exported artifacts must not depend on wall-clock time; thread a \
+                         simulated clock through instead"
+                    }),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::Config;
+
+    fn config() -> Config {
+        Config::from_toml(
+            "[determinism]\nexport_paths = [\"crates/campaign/src/export.rs\"]\n\
+             [determinism-taint]\nsource_fns = [\"campaign::stats::unordered_sum\"]\n",
+        )
+        .expect("config")
+    }
+
+    #[test]
+    fn hash_iteration_reachable_from_export_is_flagged_with_chain() {
+        let export = SourceFile::new(
+            "crates/campaign/src/export.rs",
+            "pub fn write_csv() {\n    crate::stats::summarize();\n}\n",
+        );
+        let stats = SourceFile::new(
+            "crates/campaign/src/stats.rs",
+            "use std::collections::HashMap;\n\npub fn summarize() {\n    let m: HashMap<u32, f64> = HashMap::new();\n    let _ = m;\n}\n",
+        );
+        let cx = Context {
+            files: vec![export, stats],
+            config: config(),
+            ..Context::default()
+        };
+        let diags = DeterminismTaint.run(&cx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].span.file, "crates/campaign/src/stats.rs");
+        assert_eq!(diags[0].span.line, 4);
+        assert!(
+            diags[0]
+                .message
+                .contains("campaign::export::write_csv -> campaign::stats::summarize"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_sources_and_test_code_are_clean() {
+        let export = SourceFile::new("crates/campaign/src/export.rs", "pub fn write_csv() {}\n");
+        let stats = SourceFile::new(
+            "crates/campaign/src/stats.rs",
+            "use std::collections::HashMap;\n\npub fn summarize() {\n    let m: HashMap<u32, f64> = HashMap::new();\n    let _ = m;\n}\n\n#[cfg(test)]\nmod tests {\n    fn t() {\n        let _ = std::time::Instant::now();\n    }\n}\n",
+        );
+        let cx = Context {
+            files: vec![export, stats],
+            config: config(),
+            ..Context::default()
+        };
+        assert!(DeterminismTaint.run(&cx).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_is_flagged_even_inside_export_files() {
+        let export = SourceFile::new(
+            "crates/campaign/src/export.rs",
+            "pub fn write_csv() {\n    let _t = std::time::Instant::now();\n}\n",
+        );
+        let cx = Context {
+            files: vec![export],
+            config: config(),
+            ..Context::default()
+        };
+        let diags = DeterminismTaint.run(&cx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("Instant"), "{diags:?}");
+    }
+
+    #[test]
+    fn declared_source_fns_taint_their_callers() {
+        let export = SourceFile::new(
+            "crates/campaign/src/export.rs",
+            "pub fn write_csv() {\n    crate::stats::unordered_sum();\n}\n",
+        );
+        let stats = SourceFile::new(
+            "crates/campaign/src/stats.rs",
+            "pub fn unordered_sum() {}\n",
+        );
+        let cx = Context {
+            files: vec![export, stats],
+            config: config(),
+            ..Context::default()
+        };
+        let diags = DeterminismTaint.run(&cx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("declared nondeterminism source"));
+    }
+}

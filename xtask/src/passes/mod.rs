@@ -11,14 +11,16 @@ use crate::Context;
 pub mod api_surface;
 pub mod constants;
 pub mod determinism;
+pub mod determinism_taint;
 pub mod dvfs_guard;
 pub mod layering;
 pub mod lint_header;
-pub mod panic_ratchet;
+pub mod panic_reachability;
 pub mod partial_cmp;
 pub mod probe_purity;
 pub mod sync_hygiene;
 pub mod unit_suffix;
+pub mod units_escape;
 
 /// One static-analysis pass.
 pub trait Pass {
@@ -34,13 +36,15 @@ pub trait Pass {
 /// Every registered pass, in documentation order.
 pub fn registry() -> Vec<Box<dyn Pass>> {
     vec![
-        Box::new(panic_ratchet::PanicRatchet),
+        Box::new(panic_reachability::PanicReachability),
         Box::new(unit_suffix::UnitSuffix),
+        Box::new(units_escape::UnitsEscape),
         Box::new(partial_cmp::PartialCmp),
         Box::new(lint_header::LintHeader),
         Box::new(dvfs_guard::DvfsGuard),
         Box::new(layering::CrateLayering),
         Box::new(determinism::MapDeterminism),
+        Box::new(determinism_taint::DeterminismTaint),
         Box::new(sync_hygiene::SyncHygiene),
         Box::new(probe_purity::ProbePurity),
         Box::new(constants::PaperConstants),

@@ -1,0 +1,227 @@
+//! `panic-reachability` — every panic-capable site in library code must
+//! live in a function sanctioned by `[panic-reachability] allow` in
+//! `xtask.toml`, and the diagnostic reports which `pub` entry point
+//! reaches it through the call graph.
+//!
+//! This subsumes the old per-file panic-count ratchet: instead of
+//! "file X may contain N sites", the contract is "function `F` is
+//! sanctioned to panic" — renames and moves show up in review as
+//! allowlist edits, and the *reach* of each site is visible in the
+//! finding. Allow entries that no longer match any panicking function
+//! are reported as notes so the list only ratchets down.
+//!
+//! Sites are token-level (`.unwrap(` / `.expect(` method calls and
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!` macro
+//! invocations), so strings, comments, and identifiers like
+//! `unwrap_or_default` never trip it, and `#[cfg(test)]` code is skipped
+//! via item spans rather than brace counting.
+
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Span};
+use crate::lex::{LineIndex, TokenKind};
+use crate::source::SourceFile;
+use crate::Context;
+use std::collections::BTreeSet;
+
+/// The pass. See the module docs.
+pub struct PanicReachability;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// One panic-capable site: `(byte offset, 1-based line, what)`.
+pub fn panic_sites(file: &SourceFile) -> Vec<(usize, usize, String)> {
+    let index = LineIndex::new(&file.text);
+    let src = file.text.as_str();
+    let code: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| !file.tokens[i].kind.is_trivia())
+        .collect();
+    let in_cfg_test = |lo: usize| {
+        file.items
+            .cfg_test_spans
+            .iter()
+            .any(|&(a, b)| a <= lo && lo < b)
+    };
+    let mut out = Vec::new();
+    for (pos, &i) in code.iter().enumerate() {
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident || in_cfg_test(tok.lo) {
+            continue;
+        }
+        let text = tok.text(src);
+        let at = |p: usize| code.get(p).map(|&j| &file.tokens[j]);
+        let punct = |p: usize, s: &str| {
+            at(p).is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == s)
+        };
+        let site = match text {
+            "unwrap" | "expect" => pos > 0 && punct(pos - 1, ".") && punct(pos + 1, "("),
+            _ => PANIC_MACROS.contains(&text) && punct(pos + 1, "!"),
+        };
+        if site {
+            let what = if text == "unwrap" || text == "expect" {
+                format!(".{text}()")
+            } else {
+                format!("{text}!")
+            };
+            out.push((tok.lo, index.line(tok.lo), what));
+        }
+    }
+    out
+}
+
+impl super::Pass for PanicReachability {
+    fn id(&self) -> &'static str {
+        "panic-reachability"
+    }
+
+    fn description(&self) -> &'static str {
+        "panic-capable sites must be in sanctioned functions; findings show the pub call path"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let graph = CallGraph::build(cx);
+        let allowed: BTreeSet<&str> = cx.config.panic_allow.iter().map(String::as_str).collect();
+        let mut used: BTreeSet<&str> = BTreeSet::new();
+        let mut out = Vec::new();
+        for (file_idx, file) in cx.files.iter().enumerate() {
+            for (lo, line, what) in panic_sites(file) {
+                let Some(node) = graph.enclosing_fn(file_idx, lo) else {
+                    out.push(
+                        Diagnostic::error(
+                            self.id(),
+                            Span::line(&file.rel, line),
+                            format!("panic-capable site `{what}` outside any function"),
+                        )
+                        .with_help(
+                            "const/static initializers must not contain panic sites; \
+                             compute the value infallibly",
+                        ),
+                    );
+                    continue;
+                };
+                let fn_node = &graph.nodes[node];
+                if fn_node.item.in_test {
+                    continue;
+                }
+                let qual = fn_node.item.qual.as_str();
+                if let Some(&hit) = allowed.get(qual) {
+                    used.insert(hit);
+                    continue;
+                }
+                let reach = graph
+                    .path_from_pub(node)
+                    .map(|p| format!("reachable via `{}`", graph.render_path(&p)))
+                    .unwrap_or_else(|| {
+                        "not reachable from any resolved pub entry point".to_string()
+                    });
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        Span::line(&file.rel, line),
+                        format!("panic-capable site `{what}` in unsanctioned `{qual}` ({reach})"),
+                    )
+                    .with_help(format!(
+                        "handle the error instead, or for a documented invariant add \
+                         `\"{qual}\"` to [panic-reachability] allow in xtask/xtask.toml"
+                    )),
+                );
+            }
+        }
+        // Ratchet-down: allow entries with no remaining panic sites.
+        for stale in allowed.difference(&used) {
+            out.push(Diagnostic::note(
+                self.id(),
+                Span::file("xtask/xtask.toml"),
+                format!(
+                    "[panic-reachability] allow entry `{stale}` matches no panic site; \
+                     remove it"
+                ),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::diag::Severity;
+    use crate::Config;
+
+    const FIXTURE: &str = r#"
+pub fn read(path: &str) -> String {
+    load(path)
+}
+
+fn load(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_is_fine() {
+        let x: Option<u8> = None;
+        x.unwrap();
+        panic!("fine here");
+    }
+}
+"#;
+
+    fn cx(config: &str) -> Context {
+        Context {
+            files: vec![SourceFile::new("crates/soc/src/io.rs", FIXTURE)],
+            config: Config::from_toml(config).expect("config"),
+            ..Context::default()
+        }
+    }
+
+    #[test]
+    fn sites_are_token_level() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "fn f() {\n    g().expect(\"boom\");\n    h().unwrap_or_default();\n    // .unwrap() in a comment\n    let s = \"panic!\";\n    todo!()\n}\n",
+        );
+        let whats: Vec<String> = panic_sites(&file).into_iter().map(|s| s.2).collect();
+        assert_eq!(whats, vec![".expect()", "todo!"]);
+    }
+
+    #[test]
+    fn unsanctioned_site_reports_the_pub_call_path() {
+        let diags = PanicReachability.run(&cx(""));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span.line, 7);
+        assert!(diags[0].message.contains("soc::io::load"), "{diags:?}");
+        assert!(
+            diags[0].message.contains("soc::io::read -> soc::io::load"),
+            "{diags:?}"
+        );
+        assert!(
+            diags[0]
+                .help
+                .as_deref()
+                .is_some_and(|h| h.contains("\"soc::io::load\"")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn sanctioned_function_is_clean_and_stale_entries_note() {
+        let diags = PanicReachability.run(&cx(
+            "[panic-reachability]\nallow = [\"soc::io::load\", \"soc::io::gone\"]\n",
+        ));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Note);
+        assert!(diags[0].message.contains("soc::io::gone"));
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        None::<u8>.unwrap();\n    }\n}\n",
+        );
+        assert!(panic_sites(&file).is_empty());
+    }
+}

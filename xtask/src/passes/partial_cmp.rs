@@ -1,23 +1,44 @@
 //! `partial-cmp` — float ordering goes through `f64::total_cmp`, which
 //! cannot panic on NaN. Crates not yet migrated are allowlisted under
 //! `[allow] partial-cmp` in `xtask.toml`.
+//!
+//! Token-level: only a real `.partial_cmp(` method call counts — the
+//! name in a comment, doc example, or string literal never trips it.
 
 use crate::diag::{Diagnostic, Span};
+use crate::lex::{LineIndex, TokenKind};
+use crate::source::SourceFile;
 use crate::Context;
 
 /// The pass. See the module docs.
 pub struct PartialCmp;
 
-/// `(1-based line, 1-based column)` of `partial_cmp` calls in stripped
-/// library code.
-pub fn partial_cmp_sites(stripped: &str) -> Vec<(usize, usize)> {
-    let needle = ".partial_cmp(";
+/// `(1-based line, 1-based column)` of `.partial_cmp(` call sites.
+pub fn partial_cmp_sites(file: &SourceFile) -> Vec<(usize, usize)> {
+    let src = file.text.as_str();
+    let index = LineIndex::new(src);
+    let code: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| !file.tokens[i].kind.is_trivia())
+        .collect();
     let mut out = Vec::new();
-    for (i, line) in stripped.lines().enumerate() {
-        let mut from = 0;
-        while let Some(idx) = line[from..].find(needle) {
-            out.push((i + 1, from + idx + 2)); // column of the `p`
-            from += idx + needle.len();
+    let in_cfg_test = |lo: usize| {
+        file.items
+            .cfg_test_spans
+            .iter()
+            .any(|&(a, b)| a <= lo && lo < b)
+    };
+    for (pos, &i) in code.iter().enumerate() {
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident || tok.text(src) != "partial_cmp" || in_cfg_test(tok.lo) {
+            continue;
+        }
+        let punct = |p: usize, s: &str| {
+            code.get(p).is_some_and(|&j| {
+                file.tokens[j].kind == TokenKind::Punct && file.tokens[j].text(src) == s
+            })
+        };
+        if pos > 0 && punct(pos - 1, ".") && punct(pos + 1, "(") {
+            out.push(index.line_col(tok.lo));
         }
     }
     out
@@ -35,7 +56,7 @@ impl super::Pass for PartialCmp {
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {
-            for (line, column) in partial_cmp_sites(&file.stripped) {
+            for (line, column) in partial_cmp_sites(file) {
                 out.push(
                     Diagnostic::error(
                         self.id(),
@@ -54,12 +75,23 @@ impl super::Pass for PartialCmp {
 mod tests {
     use super::super::Pass;
     use super::*;
-    use crate::source::{library_code, SourceFile};
 
     #[test]
     fn partial_cmp_is_flagged_with_column() {
-        let src = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
-        assert_eq!(partial_cmp_sites(&library_code(src)), vec![(2, 24)]);
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+        );
+        assert_eq!(partial_cmp_sites(&file), vec![(2, 24)]);
+    }
+
+    #[test]
+    fn comments_strings_and_tests_do_not_count() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "/// Avoid `.partial_cmp(x)` here.\nfn f() {\n    let s = \"a.partial_cmp(b)\";\n    let _ = s;\n}\n\n#[cfg(test)]\nmod tests {\n    fn t(a: f64, b: f64) {\n        let _ = a.partial_cmp(&b);\n    }\n}\n",
+        );
+        assert!(partial_cmp_sites(&file).is_empty());
     }
 
     #[test]

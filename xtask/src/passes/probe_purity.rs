@@ -10,8 +10,9 @@
 //! way, probes or not.
 //!
 //! This pass scans the files listed under `[probe-purity] hot_paths` in
-//! `xtask.toml` (stripped of comments, `#[cfg(test)]` modules, and
-//! string literals) for allocation/formatting constructs. A site that is
+//! `xtask.toml` (on the lexer-derived views: comments, `#[cfg(test)]`
+//! items, and all textual literals blanked exactly) for
+//! allocation/formatting constructs. A site that is
 //! genuinely lazy (inside an `emit_with` closure) or one-time (a
 //! constructor) carries an `// alloc:` justification on the same line or
 //! in the comment block directly above, mirroring sync-hygiene's

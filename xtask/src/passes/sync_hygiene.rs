@@ -1,8 +1,9 @@
 //! `sync-hygiene` — synchronization stays behind the model-checked
 //! facade, and memory-ordering choices carry their proof obligation.
 //!
-//! Three rules, all on stripped (comments and `#[cfg(test)]` modules
-//! blanked) and string-blanked library code:
+//! Three rules, all on the lexer-derived stripped + string-blanked views
+//! (comments, `#[cfg(test)]` items, and every textual literal — raw
+//! strings and char literals included — blanked exactly):
 //!
 //! 1. **No direct `std::sync` / `std::thread::spawn` / `std::thread::scope`
 //!    in library crates.** The campaign executor's concurrency guarantees

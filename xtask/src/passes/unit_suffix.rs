@@ -2,18 +2,21 @@
 //! scalars through public APIs; typed quantities from
 //! `dora_sim_core::units` carry the unit instead.
 //!
+//! Field extraction comes from the [`crate::items`] item tree, so
+//! wrapped declarations, strings, and comments cannot confuse it.
 //! Crates still mid-burn-down are allowlisted under `[allow] unit-suffix`
-//! in `xtask.toml`.
+//! in `xtask.toml`. Function *signatures* crossing the units boundary
+//! are the `units-escape` pass's job, which shares this pass's suffix
+//! list.
 
+use super::units_escape::has_unit_suffix;
 use crate::diag::{Diagnostic, Span};
+use crate::items::Vis;
+use crate::source::SourceFile;
 use crate::Context;
 
 /// The pass. See the module docs.
 pub struct UnitSuffix;
-
-const BANNED_SUFFIXES: [&str; 11] = [
-    "_mhz", "_ghz", "_khz", "_hz", "_ms", "_s", "_mw", "_w", "_j", "_c", "_mpki",
-];
 
 /// Public `f64` struct fields whose names end in a raw unit suffix, as
 /// `(1-based line, field name)`.
@@ -21,23 +24,13 @@ const BANNED_SUFFIXES: [&str; 11] = [
 /// `_per_` compound names (e.g. `resistance_k_per_w`) describe a ratio
 /// whose unit is the name, not a disguised scalar quantity, and are
 /// exempt.
-pub fn suffixed_fields(stripped: &str) -> Vec<(usize, String)> {
+pub fn suffixed_fields(file: &SourceFile) -> Vec<(usize, String)> {
     let mut found = Vec::new();
-    for (i, line) in stripped.lines().enumerate() {
-        let t = line.trim_start();
-        let Some(rest) = t.strip_prefix("pub ") else {
-            continue;
-        };
-        let Some((name, ty)) = rest.split_once(':') else {
-            continue;
-        };
-        let name = name.trim();
-        let ty = ty.trim().trim_end_matches(',');
-        if ty != "f64" || name.contains('(') || name.contains("_per_") {
-            continue;
-        }
-        if BANNED_SUFFIXES.iter().any(|s| name.ends_with(s)) {
-            found.push((i + 1, name.to_string()));
+    for s in file.items.structs.iter().filter(|s| !s.in_test) {
+        for field in &s.fields {
+            if field.vis == Vis::Pub && field.ty == "f64" && has_unit_suffix(&field.name) {
+                found.push((field.line, field.name.clone()));
+            }
         }
     }
     found
@@ -55,7 +48,7 @@ impl super::Pass for UnitSuffix {
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {
-            for (line, name) in suffixed_fields(&file.stripped) {
+            for (line, name) in suffixed_fields(file) {
                 out.push(
                     Diagnostic::error(
                         self.id(),
@@ -74,7 +67,6 @@ impl super::Pass for UnitSuffix {
 mod tests {
     use super::super::Pass;
     use super::*;
-    use crate::source::{library_code, SourceFile};
 
     const FIXTURE: &str = r#"
 /// A result row.
@@ -90,14 +82,14 @@ pub struct Row {
 
     #[test]
     fn public_mhz_field_is_flagged() {
-        let found = suffixed_fields(&library_code(FIXTURE));
+        let found = suffixed_fields(&SourceFile::new("crates/x/src/lib.rs", FIXTURE));
         assert_eq!(found, vec![(5, "freq_mhz".to_string())]);
     }
 
     #[test]
     fn suffixed_non_f64_and_private_fields_pass() {
         let src = "pub struct S {\n    pub t: Seconds,\n    load_s: f64,\n    pub f_hz: u64,\n}\n";
-        assert!(suffixed_fields(&library_code(src)).is_empty());
+        assert!(suffixed_fields(&SourceFile::new("crates/x/src/lib.rs", src)).is_empty());
     }
 
     #[test]

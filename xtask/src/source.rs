@@ -1,9 +1,18 @@
-//! Source-text utilities shared by the passes.
+//! Source-file loading and the lexer-backed stripped views shared by the
+//! passes.
 //!
-//! Everything operates on source *text* rather than a parsed AST: the
-//! checks stay dependency-free, run in milliseconds over the whole tree,
-//! and can be unit-tested against small fixture strings. Stripping
-//! preserves line structure so reported spans stay true.
+//! Every [`SourceFile`] carries its [`crate::lex`] token stream and
+//! [`crate::items`] item tree, computed once at load. The textual views
+//! ([`library_code`], [`blank_strings`]) are reconstructed from token
+//! spans, so string literals, char literals, raw strings, and nested
+//! block comments are all handled exactly — the former line-oriented
+//! scanners' blind spots (`//` inside a string literal truncating the
+//! line; raw strings and char literals passing through unblanked) are
+//! gone. Blanking replaces bytes with spaces, preserving both line
+//! numbers *and* columns, so reported spans stay true.
+
+use crate::items::ItemSet;
+use crate::lex::{lex, Token, TokenKind};
 
 /// One library source file loaded into the lint [`crate::Context`].
 #[derive(Debug, Clone)]
@@ -12,19 +21,29 @@ pub struct SourceFile {
     pub rel: String,
     /// Raw file contents.
     pub text: String,
-    /// [`library_code`] view: comments and `#[cfg(test)]` modules blanked.
+    /// Token stream of `text` (byte-complete: concatenating token spans
+    /// reconstructs the file).
+    pub tokens: Vec<Token>,
+    /// Item tree extracted from the tokens.
+    pub items: ItemSet,
+    /// [`library_code`] view: comments and `#[cfg(test)]` items blanked.
     pub stripped: String,
 }
 
 impl SourceFile {
-    /// Builds a file from its path and contents, computing the stripped
-    /// view.
+    /// Builds a file from its path and contents, computing the token
+    /// stream, item tree, and stripped view.
     pub fn new(rel: impl Into<String>, text: impl Into<String>) -> Self {
+        let rel = rel.into();
         let text = text.into();
-        let stripped = library_code(&text);
+        let tokens = lex(&text);
+        let items = crate::items::parse_items(&rel, &text, &tokens);
+        let stripped = strip_with(&text, &tokens, &items.cfg_test_spans);
         SourceFile {
-            rel: rel.into(),
+            rel,
             text,
+            tokens,
+            items,
             stripped,
         }
     }
@@ -42,167 +61,70 @@ impl SourceFile {
     }
 }
 
-/// Returns `source` with comments and `#[cfg(test)]` modules blanked out,
-/// preserving line structure so reported line numbers stay true.
-///
-/// The pass is textual, not a full parser: a line comment marker inside a
-/// string literal is treated as a comment. That trade-off keeps the tool
-/// dependency-free and has no false positives on this rustfmt'd tree.
-pub fn library_code(source: &str) -> String {
-    let mut out: Vec<String> = Vec::new();
-    let mut skip_above: Option<usize> = None;
-    let mut depth = 0usize;
-    let mut pending_cfg_test = false;
-    for raw in source.lines() {
-        let code = match raw.find("//") {
-            Some(idx) => &raw[..idx],
-            None => raw,
-        };
-        let opens = code.matches('{').count();
-        let closes = code.matches('}').count();
-        let emit = if let Some(entry) = skip_above {
-            depth = (depth + opens).saturating_sub(closes);
-            if depth <= entry {
-                skip_above = None;
+/// Blanks `spans` (byte ranges) of `source` with spaces, preserving
+/// newlines so line numbers and columns survive.
+fn blank_spans(source: &str, spans: &[(usize, usize)]) -> String {
+    let mut bytes = source.as_bytes().to_vec();
+    for &(lo, hi) in spans {
+        for b in bytes.iter_mut().take(hi.min(source.len())).skip(lo) {
+            if *b != b'\n' {
+                *b = b' ';
             }
-            false
-        } else if code.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-            depth = (depth + opens).saturating_sub(closes);
-            false
-        } else if pending_cfg_test && code.trim_start().starts_with("mod") && code.contains('{') {
-            // The attribute applied to this module: skip until its brace
-            // closes back to the entry depth.
-            let entry = depth;
-            depth = (depth + opens).saturating_sub(closes);
-            if depth > entry {
-                skip_above = Some(entry);
-            }
-            pending_cfg_test = false;
-            false
-        } else {
-            if !code.trim().is_empty() {
-                pending_cfg_test = false;
-            }
-            depth = (depth + opens).saturating_sub(closes);
-            true
-        };
-        out.push(if emit {
-            code.to_string()
-        } else {
-            String::new()
-        });
-    }
-    let mut text = out.join("\n");
-    // `lines()` would otherwise swallow a final blanked line, shifting the
-    // stripped view's line count relative to the raw file.
-    if source.ends_with('\n') {
-        text.push('\n');
-    }
-    text
-}
-
-/// Replaces the contents of `"…"` string literals with spaces, preserving
-/// length and line structure, so token scans cannot match inside strings.
-///
-/// Handles `\"` escapes; char literals and raw strings are left alone
-/// (rare enough in this tree that the passes tolerate them).
-pub fn blank_strings(source: &str) -> String {
-    let mut out = String::with_capacity(source.len());
-    let mut in_string = false;
-    let mut escaped = false;
-    for c in source.chars() {
-        if in_string {
-            if escaped {
-                escaped = false;
-                out.push(' ');
-            } else if c == '\\' {
-                escaped = true;
-                out.push(' ');
-            } else if c == '"' {
-                in_string = false;
-                out.push('"');
-            } else if c == '\n' {
-                out.push('\n');
-            } else {
-                out.push(' ');
-            }
-        } else {
-            if c == '"' {
-                in_string = true;
-            }
-            out.push(c);
         }
     }
-    out
+    // Only whole spans of non-newline bytes were replaced, so the result
+    // is still valid UTF-8.
+    String::from_utf8(bytes).unwrap_or_else(|_| source.to_string())
 }
 
-/// Float literals (`1.5`, `2.0e8`, `20e-6`) in one line of string-blanked
-/// code: `(1-based column, literal text, parsed value)`.
-pub fn float_literals(line: &str) -> Vec<(usize, String, f64)> {
-    let bytes = line.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        if !bytes[i].is_ascii_digit() {
-            i += 1;
+fn strip_with(source: &str, tokens: &[Token], cfg_test_spans: &[(usize, usize)]) -> String {
+    let mut spans: Vec<(usize, usize)> = tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|t| (t.lo, t.hi))
+        .collect();
+    spans.extend_from_slice(cfg_test_spans);
+    blank_spans(source, &spans)
+}
+
+/// Returns `source` with comments and `#[cfg(test)]` items blanked out
+/// (spaces, newlines kept), so line numbers *and* columns stay true.
+///
+/// Lexer-backed: a `//` inside a string literal is part of the string,
+/// not a comment — the former line scanner's truncation bug is fixed.
+pub fn library_code(source: &str) -> String {
+    let tokens = lex(source);
+    let items = crate::items::parse_items("", source, &tokens);
+    strip_with(source, &tokens, &items.cfg_test_spans)
+}
+
+/// Replaces the contents of string, raw-string, char, and byte literals
+/// with spaces (delimiters kept, length and line structure preserved), so
+/// token scans cannot match inside any textual literal.
+///
+/// Lexer-backed: raw strings (`r#"…"#`), char literals (`'"'`, `'\''`),
+/// and byte strings are all blanked — the former scanner left them alone.
+pub fn blank_strings(source: &str) -> String {
+    let tokens = lex(source);
+    let mut spans = Vec::new();
+    for tok in &tokens {
+        if !tok.kind.is_textual_literal() {
             continue;
         }
-        // Not a literal start if glued to an identifier or to `.` (method
-        // position / tuple index like `x.0`).
-        if i > 0 {
-            let prev = bytes[i - 1];
-            if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.' {
-                i += 1;
-                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        let start = i;
-        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
-            i += 1;
-        }
-        let mut is_float = false;
-        if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
-            is_float = true;
-            i += 1;
-            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
-                i += 1;
-            }
-        }
-        if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
-            let mut j = i + 1;
-            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
-                j += 1;
-            }
-            if j < bytes.len() && bytes[j].is_ascii_digit() {
-                is_float = true;
-                i = j;
-                while i < bytes.len() && bytes[i].is_ascii_digit() {
-                    i += 1;
-                }
-            }
-        }
-        // `1.0f64` / `1.0f32` suffix.
-        if is_float && (line[i..].starts_with("f64") || line[i..].starts_with("f32")) {
-            i += 3;
-        }
-        if is_float {
-            let text = &line[start..i];
-            let cleaned: String = text
-                .trim_end_matches("f64")
-                .trim_end_matches("f32")
-                .chars()
-                .filter(|&c| c != '_')
-                .collect();
-            if let Ok(v) = cleaned.parse::<f64>() {
-                out.push((start + 1, text.to_string(), v));
-            }
+        let text = tok.text(source);
+        // Blank strictly between the opening and closing delimiter so the
+        // literal still reads as one (`""`-shaped) token.
+        let Some(open) = text.find(['"', '\'']) else {
+            continue;
+        };
+        let Some(close) = text.rfind(['"', '\'']) else {
+            continue;
+        };
+        if close > open + 1 {
+            spans.push((tok.lo + open + 1, tok.lo + close));
         }
     }
-    out
+    blank_spans(source, &spans)
 }
 
 #[cfg(test)]
@@ -240,26 +162,47 @@ mod tests {
     }
 
     #[test]
+    fn stripping_preserves_columns() {
+        let src = "fn f() { /* note */ g(); }\n";
+        let stripped = library_code(src);
+        assert_eq!(stripped.len(), src.len());
+        assert_eq!(src.find("g()"), stripped.find("g()"));
+    }
+
+    // Regression: the line-oriented scanner treated a `//` inside a
+    // string literal as a comment and truncated the rest of the line.
+    #[test]
+    fn slashes_inside_strings_do_not_truncate() {
+        let src = "let url = \"http://example.com\"; after_the_string();\n";
+        let stripped = library_code(src);
+        assert!(stripped.contains("after_the_string()"));
+        assert!(stripped.contains("http://example.com"));
+    }
+
+    #[test]
     fn strings_blank_to_same_length() {
         let s = blank_strings("let x = \"HashMap \\\" inside\"; HashMap");
         assert_eq!(s.len(), "let x = \"HashMap \\\" inside\"; HashMap".len());
         assert_eq!(s.matches("HashMap").count(), 1);
     }
 
+    // Regression: raw strings and char literals used to pass through
+    // `blank_strings` unblanked.
     #[test]
-    fn float_literal_scanner_finds_values_and_columns() {
-        let found = float_literals("const K: f64 = 0.30e-9 + 2.0; let i = 42; x.0;");
-        assert_eq!(found.len(), 2);
-        assert_eq!(found[0].1, "0.30e-9");
-        assert!((found[0].2 - 0.30e-9).abs() < 1e-24);
-        assert_eq!(found[0].0, 16);
-        assert_eq!(found[1].1, "2.0");
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let r = r#\"HashMap \"quoted\" inside\"#; let c = 'H'; HashMap";
+        let s = blank_strings(src);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.matches("HashMap").count(), 1);
+        assert!(!s.contains("'H'"));
     }
 
     #[test]
-    fn integers_and_tuple_indexes_are_not_floats() {
-        assert!(float_literals("let a = [1, 2, 3]; b.1; 1_000;").is_empty());
-        assert_eq!(float_literals("20e-6")[0].2, 20e-6);
+    fn escaped_quote_char_does_not_derail_blanking() {
+        let src = "let q = '\\''; let s = \"text\"; text";
+        let s = blank_strings(src);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.matches("text").count(), 1);
     }
 
     #[test]

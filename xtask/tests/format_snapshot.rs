@@ -16,9 +16,9 @@ fn sample() -> Vec<Diagnostic> {
         )
         .with_help("use BTreeMap/BTreeSet, or collect and sort before serializing"),
         Diagnostic::note(
-            "panic-ratchet",
-            Span::file("crates/soc/src/board.rs"),
-            "4 panic-capable site(s), budget is 6 — budget can ratchet down",
+            "panic-reachability",
+            Span::file("xtask/xtask.toml"),
+            "[panic-reachability] allow entry `soc::gone` matches no panic site; remove it",
         ),
     ]
 }
@@ -29,7 +29,7 @@ fn json_shape_is_stable() {
   "version": 1,
   "diagnostics": [
     {"lint": "map-determinism", "severity": "error", "file": "crates/campaign/src/export.rs", "line": 12, "column": 5, "message": "`HashMap` in export-reachable code: iteration order is nondeterministic", "help": "use BTreeMap/BTreeSet, or collect and sort before serializing"},
-    {"lint": "panic-ratchet", "severity": "note", "file": "crates/soc/src/board.rs", "line": 0, "column": 0, "message": "4 panic-capable site(s), budget is 6 — budget can ratchet down", "help": null}
+    {"lint": "panic-reachability", "severity": "note", "file": "xtask/xtask.toml", "line": 0, "column": 0, "message": "[panic-reachability] allow entry `soc::gone` matches no panic site; remove it", "help": null}
   ]
 }
 "#;
@@ -40,7 +40,10 @@ fn json_shape_is_stable() {
 fn sarif_shape_is_stable() {
     let rules = [
         ("map-determinism", "no hash-seeded iteration in export code"),
-        ("panic-ratchet", "per-file panic budget only ratchets down"),
+        (
+            "panic-reachability",
+            "panic sites must be in sanctioned functions",
+        ),
     ];
     let text = render::sarif(&sample(), &rules);
 
@@ -51,7 +54,7 @@ fn sarif_shape_is_stable() {
 
     // The full rules table is present, in registry order.
     let r0 = text.find("\"id\": \"map-determinism\"").expect("rule 0");
-    let r1 = text.find("\"id\": \"panic-ratchet\"").expect("rule 1");
+    let r1 = text.find("\"id\": \"panic-reachability\"").expect("rule 1");
     assert!(r0 < r1);
 
     // Results carry ruleId, ruleIndex, level and a span-bearing location.
@@ -62,7 +65,7 @@ fn sarif_shape_is_stable() {
     assert!(text.contains("\"region\": {\"startLine\": 12, \"startColumn\": 5}"));
 
     // File-scoped findings omit the region entirely and map note → note.
-    assert!(text.contains("\"uri\": \"crates/soc/src/board.rs\"}\n"));
+    assert!(text.contains("\"uri\": \"xtask/xtask.toml\"}\n"));
     assert!(text.contains("\"level\": \"note\""));
 }
 
@@ -72,6 +75,6 @@ fn both_formats_are_valid_when_empty() {
         render::json(&[]),
         "{\n  \"version\": 1,\n  \"diagnostics\": [\n  ]\n}\n"
     );
-    let text = render::sarif(&[], &[("panic-ratchet", "d")]);
+    let text = render::sarif(&[], &[("panic-reachability", "d")]);
     assert!(text.contains("\"results\": [\n      ]"));
 }

@@ -1,0 +1,112 @@
+//! The lexer's load-bearing invariant, checked against the whole tree
+//! and fuzzed over adversarial literal soup: `lex(src)` partitions the
+//! source into contiguous tokens whose concatenated texts rebuild the
+//! input byte-for-byte, and real Rust never produces `Unknown` tokens.
+//!
+//! Every span any pass reports is derived from these token offsets, so a
+//! single mis-lexed byte would silently shift every diagnostic after it.
+
+use proptest::prelude::*;
+use xtask::lex::{lex, TokenKind};
+use xtask::{repo_root, Context};
+
+/// Reconstructs the source from its tokens.
+fn rebuild(src: &str) -> String {
+    lex(src).iter().map(|t| t.text(src)).collect()
+}
+
+#[test]
+fn whole_tree_roundtrips_byte_identical_with_no_unknown_tokens() {
+    let cx = Context::load(&repo_root()).expect("loading the repository");
+    assert!(!cx.files.is_empty(), "no files loaded");
+    for file in &cx.files {
+        let tokens = lex(&file.text);
+        let rebuilt: String = tokens.iter().map(|t| t.text(&file.text)).collect();
+        assert_eq!(rebuilt, file.text, "round-trip mismatch in {}", file.rel);
+        // Contiguity: each token starts where the previous ended.
+        let mut pos = 0;
+        for t in &tokens {
+            assert_eq!(t.lo, pos, "gap before token at byte {pos} in {}", file.rel);
+            pos = t.hi;
+        }
+        assert_eq!(pos, file.text.len(), "trailing gap in {}", file.rel);
+        for t in &tokens {
+            assert_ne!(
+                t.kind,
+                TokenKind::Unknown,
+                "unknown token `{}` at byte {} in {}",
+                t.text(&file.text),
+                t.lo,
+                file.rel
+            );
+        }
+    }
+}
+
+/// Tricky-but-valid Rust fragments. Each must lex with no `Unknown`
+/// tokens, in any concatenation (separated by a space so adjacent
+/// fragments cannot merge into different constructs).
+const FRAGMENTS: &[&str] = &[
+    "r#\"raw \\ not-an-escape \" inside\"#",
+    "r##\"nested \"# hash\"##",
+    "br#\"raw bytes\"#",
+    "'\\''",
+    "'\\\\'",
+    "'\\n'",
+    "'a'",
+    "b'\\x7f'",
+    "\"str with // no comment\"",
+    "\"escaped \\\" quote\"",
+    "1_000e-6f32",
+    "0xFF_u8",
+    "0b1010_1010u16",
+    "0o77",
+    "12.5e+3",
+    "1.0f64",
+    "100_000",
+    "3usize",
+    "/* outer /* nested */ still comment */",
+    "// line comment\n",
+    "'static",
+    "'a",
+    "ident_0",
+    "x.0",
+    "0..10",
+    "a<=b",
+    "v<<2",
+    "-> f64",
+    "::<Vec<u8>>",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any space-joined sequence of tricky fragments round-trips
+    /// byte-identically and lexes entirely into known token kinds.
+    #[test]
+    fn fragment_soup_roundtrips(picks in prop::collection::vec(0usize..FRAGMENTS.len(), 1..12)) {
+        let src: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        prop_assert_eq!(rebuild(&src), src.clone());
+        for t in lex(&src) {
+            prop_assert!(
+                t.kind != TokenKind::Unknown,
+                "unknown token `{}` in `{}`",
+                t.text(&src),
+                src
+            );
+        }
+    }
+
+    /// Round-trip holds for *arbitrary* byte soup too (printable ASCII
+    /// plus quotes/backslashes): even unterminated literals must span
+    /// exactly the bytes they consumed.
+    #[test]
+    fn arbitrary_ascii_roundtrips(bytes in prop::collection::vec(32u8..127, 0..64)) {
+        let src = String::from_utf8(bytes.clone()).expect("printable ascii");
+        prop_assert_eq!(rebuild(&src), src);
+    }
+}

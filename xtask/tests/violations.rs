@@ -1,7 +1,8 @@
-//! End-to-end fixture tests: each of the five semantic passes must turn a
-//! synthetic violating tree into a non-zero exit (error-severity
-//! diagnostics surviving `run_passes` policy), and the same tree repaired
-//! must come back clean.
+//! End-to-end fixture tests: each semantic pass must turn a synthetic
+//! violating tree into a non-zero exit (error-severity diagnostics
+//! surviving `run_passes` policy), and the same tree repaired must come
+//! back clean. The call-graph passes (panic-reachability, units-escape,
+//! determinism-taint) additionally pin the expected span and help text.
 
 use xtask::source::SourceFile;
 use xtask::workspace::parse_manifest;
@@ -202,4 +203,138 @@ fn api_drift_fails_and_blessed_snapshot_passes() {
     cx.api_snapshots
         .insert("soc".into(), "pub fn frequency() -> u64\n".into());
     assert!(!lint_fires(&cx, "api-surface"));
+}
+
+#[test]
+fn reachable_panic_fails_with_call_path_and_allow_entry_passes() {
+    // A pub entry point reaching a helper's `.unwrap()` two hops down.
+    let src = "pub fn summarize(path: &str) -> usize {\n    parse(path)\n}\n\nfn parse(path: &str) -> usize {\n    read(path).len()\n}\n\nfn read(path: &str) -> String {\n    std::fs::read_to_string(path).unwrap()\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/io.rs", src)],
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "panic-reachability")
+        .expect("panic-reachability must fire");
+    assert_eq!(hit.span.file, "crates/soc/src/io.rs");
+    assert_eq!(hit.span.line, 10, "{hit:?}");
+    assert!(
+        hit.message
+            .contains("soc::io::summarize -> soc::io::parse -> soc::io::read"),
+        "finding must show the pub call path: {hit:?}"
+    );
+    assert!(
+        hit.help
+            .as_deref()
+            .is_some_and(|h| h.contains("add `\"soc::io::read\"` to [panic-reachability] allow")),
+        "{hit:?}"
+    );
+
+    // Sanctioning exactly that function repairs the tree.
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/io.rs", src)],
+        config: Config::from_toml("[panic-reachability]\nallow = [\"soc::io::read\"]\n")
+            .expect("config"),
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "panic-reachability"));
+}
+
+#[test]
+fn escaping_f64_fails_and_typed_signature_passes() {
+    let config = Config::from_toml(
+        "[units-escape]\nboundary_paths = [\"crates/soc/\"]\nunit_types = [\"Seconds\"]\n",
+    )
+    .expect("config");
+    // A unit-suffixed raw f64 crossing a pub signature inside the boundary.
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/soc/src/dvfs.rs",
+            "pub fn settle(&self, dwell_ms: f64) -> bool {\n    dwell_ms > 0.0\n}\n",
+        )],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "units-escape")
+        .expect("units-escape must fire");
+    assert_eq!(hit.span.file, "crates/soc/src/dvfs.rs");
+    assert_eq!(hit.span.line, 1, "{hit:?}");
+    assert!(
+        hit.message
+            .contains("takes raw `dwell_ms: f64` across the typed-units boundary"),
+        "{hit:?}"
+    );
+    assert!(
+        hit.help
+            .as_deref()
+            .is_some_and(|h| h.contains("dora_sim_core::units newtype")),
+        "{hit:?}"
+    );
+
+    // The typed signature passes.
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/soc/src/dvfs.rs",
+            "pub fn settle(&self, dwell: Seconds) -> bool {\n    dwell > Seconds::ZERO\n}\n",
+        )],
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "units-escape"));
+}
+
+#[test]
+fn hash_map_taint_reaching_export_fails_and_btreemap_passes() {
+    let config =
+        Config::from_toml("[determinism]\nexport_paths = [\"crates/campaign/src/export.rs\"]\n")
+            .expect("config");
+    let export = "use crate::rows::collect_rows;\n\npub fn write_csv() -> String {\n    collect_rows().join(\"\\n\")\n}\n";
+    // The helper lives OUTSIDE the export path, so only the call-graph
+    // taint pass can see it from the sink.
+    let tainted = "use std::collections::HashMap;\n\npub fn collect_rows() -> Vec<String> {\n    let m: HashMap<String, f64> = HashMap::new();\n    m.keys().cloned().collect()\n}\n";
+    let cx = Context {
+        files: vec![
+            SourceFile::new("crates/campaign/src/export.rs", export),
+            SourceFile::new("crates/campaign/src/rows.rs", tainted),
+        ],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "determinism-taint")
+        .expect("determinism-taint must fire");
+    assert_eq!(hit.span.file, "crates/campaign/src/rows.rs");
+    assert_eq!(hit.span.line, 4, "{hit:?}");
+    assert!(
+        hit.message.contains("`HashMap` iteration order")
+            && hit.message.contains("campaign::export::write_csv"),
+        "finding must name the source and the sink chain: {hit:?}"
+    );
+    assert!(
+        hit.help
+            .as_deref()
+            .is_some_and(|h| h.contains("BTreeMap/BTreeSet")),
+        "{hit:?}"
+    );
+
+    let repaired = tainted.replace("HashMap", "BTreeMap");
+    let cx = Context {
+        files: vec![
+            SourceFile::new("crates/campaign/src/export.rs", export),
+            SourceFile::new("crates/campaign/src/rows.rs", repaired),
+        ],
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "determinism-taint"));
 }
