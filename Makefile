@@ -3,8 +3,8 @@
 # gate (xtask), then the tier-1 build + test pass
 # (ROADMAP.md: `cargo build --release && cargo test -q`).
 
-.PHONY: verify fmt lint xtask-lint sarif bless-api lint-fix build test bench \
-        check-interleave miri
+.PHONY: verify fmt lint xtask-lint lint-changed lint-cache-clear sarif \
+        bless-api lint-fix build test bench check-interleave miri
 
 verify: fmt lint xtask-lint build test
 
@@ -14,15 +14,25 @@ fmt:
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# The thirteen-pass diagnostics framework (DESIGN.md §8, §12),
+# The sixteen-pass diagnostics framework (DESIGN.md §8, §12, §13),
 # configured by xtask/xtask.toml: panic reachability, unit-suffix /
 # units-escape and partial_cmp bans, lint headers, DVFS guard, crate
-# layering, export determinism (per-file and call-graph taint), sync
+# layering, export determinism (per-file and call-graph taint),
+# state coverage, merge associativity, stale-config validation, sync
 # hygiene, probe purity, paper-constant provenance, API-surface
 # snapshots. `--timing --budget-ms` is the runtime-regression gate CI
 # applies to the suite itself.
 xtask-lint:
 	cargo run -q -p xtask -- lint --timing --budget-ms 10000
+
+# Fast inner loop: re-lint only files whose cache entry is stale
+# (tree-scoped passes are skipped and reported on stderr).
+lint-changed:
+	cargo run -q -p xtask -- lint --changed
+
+# Drop the incremental lint cache; the next run is fully cold.
+lint-cache-clear:
+	rm -rf target/xtask-cache
 
 # Machine-readable reports (also uploaded as a CI artifact).
 sarif:

@@ -104,6 +104,10 @@ impl GovernorSheet {
         self.timed_out += other.timed_out;
         self.switches += other.switches;
         self.energy += other.energy;
+        // merge: shards fold in fixed shard-index order (FleetReport::merge
+        // iterates sheets in governor order), so this addition sequence is
+        // identical across --jobs 1/N/auto; byte-stability is pinned by the
+        // golden fleet digest.
         self.battery_hours_sum += other.battery_hours_sum;
         Ok(())
     }

@@ -87,7 +87,10 @@ impl std::error::Error for SketchError {}
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FixedHistogram {
+    // state: skip(shape key, not accumulated state; merge refuses
+    // mismatched shapes via self.shape() so lo/hi are never transferred)
     lo: f64,
+    // state: skip(shape key, not accumulated state; see lo)
     hi: f64,
     bins: Vec<u64>,
     underflow: u64,

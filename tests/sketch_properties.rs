@@ -158,3 +158,115 @@ proptest! {
         prop_assert_eq!(digest_of(&h), before);
     }
 }
+
+/// `Running` is the third mergeable sketch the fleet report folds
+/// (alongside `FixedHistogram` and `Digest64`); its parallel-Welford
+/// merge is float-*approximate* rather than bitwise, so these
+/// properties assert exactness on the discrete state (count, min, max)
+/// and tolerance-bounded agreement on the moments (mean, variance).
+mod running_merge {
+    use dora_repro::sim::stats::Running;
+    use proptest::prelude::*;
+
+    fn running(values: &[f64]) -> Running {
+        let mut r = Running::new();
+        for &v in values {
+            r.push(v);
+        }
+        r
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        // Welford merges reassociate the second moment; allow a few
+        // orders of magnitude over ULP noise, relative to magnitude.
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    fn values() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-3.0f64..18.0, 0..64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` agree exactly on count/min/
+        /// max and to tolerance on mean/variance.
+        #[test]
+        fn merge_is_associative(a in values(), b in values(), c in values()) {
+            let (ra, rb, rc) = (running(&a), running(&b), running(&c));
+
+            let mut left = ra.clone();
+            left.merge(&rb);
+            left.merge(&rc);
+
+            let mut bc = rb.clone();
+            bc.merge(&rc);
+            let mut right = ra.clone();
+            right.merge(&bc);
+
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert_eq!(left.min().to_bits(), right.min().to_bits());
+            prop_assert_eq!(left.max().to_bits(), right.max().to_bits());
+            prop_assert!(close(left.mean(), right.mean()),
+                "mean {} vs {}", left.mean(), right.mean());
+            prop_assert!(close(left.variance(), right.variance()),
+                "variance {} vs {}", left.variance(), right.variance());
+        }
+
+        /// Shard order does not matter: `a ⊕ b` and `b ⊕ a` agree the
+        /// same way, so shard *ownership* (which worker folds which) is
+        /// free to change without moving the reported statistics.
+        #[test]
+        fn merge_is_order_insensitive(a in values(), b in values()) {
+            let (ra, rb) = (running(&a), running(&b));
+            let mut ab = ra.clone();
+            ab.merge(&rb);
+            let mut ba = rb.clone();
+            ba.merge(&ra);
+
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert_eq!(ab.min().to_bits(), ba.min().to_bits());
+            prop_assert_eq!(ab.max().to_bits(), ba.max().to_bits());
+            prop_assert!(close(ab.mean(), ba.mean()),
+                "mean {} vs {}", ab.mean(), ba.mean());
+            prop_assert!(close(ab.variance(), ba.variance()),
+                "variance {} vs {}", ab.variance(), ba.variance());
+        }
+
+        /// Any two-way split merged back equals the unsharded stream to
+        /// tolerance — merging loses no information relative to pushing
+        /// every sample into one accumulator.
+        #[test]
+        fn split_merge_matches_whole(xs in values(), cut in 0usize..64) {
+            let cut = cut.min(xs.len());
+            let whole = running(&xs);
+            let mut merged = running(&xs[..cut]);
+            merged.merge(&running(&xs[cut..]));
+
+            prop_assert_eq!(merged.count(), whole.count());
+            prop_assert_eq!(merged.min().to_bits(), whole.min().to_bits());
+            prop_assert_eq!(merged.max().to_bits(), whole.max().to_bits());
+            prop_assert!(close(merged.mean(), whole.mean()),
+                "mean {} vs {}", merged.mean(), whole.mean());
+            prop_assert!(close(merged.variance(), whole.variance()),
+                "variance {} vs {}", merged.variance(), whole.variance());
+        }
+
+        /// The empty accumulator is a two-sided merge identity.
+        #[test]
+        fn empty_is_identity(xs in values()) {
+            let r = running(&xs);
+            let mut left = Running::new();
+            left.merge(&r);
+            let mut right = r.clone();
+            right.merge(&Running::new());
+            for out in [&left, &right] {
+                prop_assert_eq!(out.count(), r.count());
+                prop_assert_eq!(out.mean().to_bits(), r.mean().to_bits());
+                prop_assert_eq!(out.variance().to_bits(), r.variance().to_bits());
+                prop_assert_eq!(out.min().to_bits(), r.min().to_bits());
+                prop_assert_eq!(out.max().to_bits(), r.max().to_bits());
+            }
+        }
+    }
+}

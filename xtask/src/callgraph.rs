@@ -174,6 +174,9 @@ struct Builder<'a> {
     by_module: BTreeMap<(String, String, String), Vec<usize>>,
     /// (file index, alias) → full use path.
     use_map: BTreeMap<(usize, String), Vec<String>>,
+    /// (struct name, field name) → `(crate key, rendered field type)`
+    /// candidates, for typed receiver resolution of `self.field.method()`.
+    field_types: BTreeMap<(String, String), Vec<(String, String)>>,
     /// crate ident (`dora_soc`) → crate key (`soc`).
     crate_idents: BTreeMap<String, String>,
     /// crate key → dependency crate keys (including itself).
@@ -199,6 +202,7 @@ impl<'a> Builder<'a> {
             by_assoc: BTreeMap::new(),
             by_module: BTreeMap::new(),
             use_map: BTreeMap::new(),
+            field_types: BTreeMap::new(),
             crate_idents: BTreeMap::new(),
             deps: BTreeMap::new(),
         }
@@ -265,6 +269,17 @@ impl<'a> Builder<'a> {
             for u in &file.items.uses {
                 self.use_map
                     .insert((file_idx, u.alias.clone()), u.path.clone());
+            }
+            for s in &file.items.structs {
+                if s.in_test {
+                    continue;
+                }
+                for f in &s.fields {
+                    self.field_types
+                        .entry((s.name.clone(), f.name.clone()))
+                        .or_default()
+                        .push((crate_key.clone(), f.ty.clone()));
+                }
             }
         }
 
@@ -348,7 +363,48 @@ impl<'a> Builder<'a> {
             }
             // A call site is a path followed by `(`.
             if is_p(k + 1, "(") {
-                if let Some(callee) = self.resolve(caller, &segs, is_method && segs.len() == 1) {
+                // For bare method calls, try to type the receiver from
+                // the tokens just before the dot: `self.m(…)` uses the
+                // impl self type, `self.field.m(…)` the field's declared
+                // type, `param.m(…)` the parameter's type. Chains through
+                // locals or call results stay untyped (`None`).
+                let recv_ty: Option<String> = if is_method && segs.len() == 1 {
+                    let ident_at = |p: usize| p < j && kind(p) == Some(TokenKind::Ident);
+                    if j >= 2 && ident_at(j - 2) && text(j - 2) == "self" {
+                        node.item.self_ty.clone()
+                    } else if j >= 4
+                        && ident_at(j - 2)
+                        && is_p(j - 3, ".")
+                        && ident_at(j - 4)
+                        && text(j - 4) == "self"
+                        && !(j >= 5 && is_p(j - 5, "."))
+                    {
+                        node.item
+                            .self_ty
+                            .as_deref()
+                            .and_then(|st| self.field_type(node, st, text(j - 2)))
+                    } else if j >= 2
+                        && ident_at(j - 2)
+                        && !(j >= 3 && (is_p(j - 3, ".") || is_p(j - 3, ":")))
+                    {
+                        let name = text(j - 2);
+                        node.item
+                            .params
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, ty)| ty.clone())
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if let Some(callee) = self.resolve(
+                    caller,
+                    &segs,
+                    is_method && segs.len() == 1,
+                    recv_ty.as_deref(),
+                ) {
                     out.push(callee);
                 }
             }
@@ -365,9 +421,23 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn resolve(&self, caller: usize, segs: &[String], is_method: bool) -> Option<usize> {
+    fn resolve(
+        &self,
+        caller: usize,
+        segs: &[String],
+        is_method: bool,
+        recv_ty: Option<&str>,
+    ) -> Option<usize> {
         let node = &self.nodes[caller];
         if is_method {
+            // Typed receiver: look the method up on the receiver type's
+            // impls directly, which disambiguates names like `merge`
+            // that several sketch types share.
+            if let Some(head) = recv_ty.and_then(type_head) {
+                if let Some(found) = self.resolve_assoc(node, &head, &segs[0]) {
+                    return Some(found);
+                }
+            }
             // Bare method name: resolve only when globally unique among
             // workspace methods and the defining crate is a dependency.
             let candidates = self.by_name.get(&segs[0])?;
@@ -494,6 +564,22 @@ impl<'a> Builder<'a> {
             .and_then(|v| v.first().copied())
     }
 
+    /// The declared type of `field` on the struct named `self_ty`, when
+    /// exactly one visible candidate exists.
+    fn field_type(&self, node: &FnNode, self_ty: &str, field: &str) -> Option<String> {
+        let cands = self
+            .field_types
+            .get(&(self_ty.to_string(), field.to_string()))?;
+        let viable: Vec<&(String, String)> = cands
+            .iter()
+            .filter(|(ck, _)| self.allowed(&node.crate_key, ck))
+            .collect();
+        match viable.as_slice() {
+            [one] => Some(one.1.clone()),
+            _ => None,
+        }
+    }
+
     fn resolve_assoc(&self, node: &FnNode, ty: &str, name: &str) -> Option<usize> {
         let candidates = self.by_assoc.get(&(ty.to_string(), name.to_string()))?;
         let viable: Vec<usize> = candidates
@@ -503,6 +589,35 @@ impl<'a> Builder<'a> {
             .collect();
         viable.first().copied()
     }
+}
+
+/// The head type name of a rendered type: strips reference sigils,
+/// lifetimes, and `mut`/`dyn`/`impl` qualifiers, then takes the leading
+/// ident (`&'a mut Running` → `Running`, `Vec<T>` → `Vec`). `None` for
+/// tuples, slices, and fn-pointer shapes.
+fn type_head(ty: &str) -> Option<String> {
+    let mut s = ty.trim_start_matches('&').trim_start();
+    loop {
+        if s.starts_with('\'') {
+            s = s.split_once(' ').map_or("", |(_, rest)| rest).trim_start();
+            continue;
+        }
+        let mut stripped = false;
+        for kw in ["mut ", "dyn ", "impl "] {
+            if let Some(rest) = s.strip_prefix(kw) {
+                s = rest.trim_start();
+                stripped = true;
+            }
+        }
+        if !stripped {
+            break;
+        }
+    }
+    let head: String = s
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!head.is_empty() && !head.chars().next().is_some_and(|c| c.is_ascii_digit())).then_some(head)
 }
 
 /// The `::`-joined module path inside a qual (between crate key and
@@ -621,6 +736,36 @@ mod tests {
         // `new` exists on two types: the bare method form would be
         // ambiguous; neither is linked from `run`.
         assert_eq!(g.callees[run].len(), 1);
+    }
+
+    #[test]
+    fn typed_receivers_disambiguate_shared_method_names() {
+        let f = SourceFile::new(
+            "crates/soc/src/m.rs",
+            "pub struct Hist {\n    pub n: u64,\n}\nimpl Hist {\n    pub fn merge(&mut self, other: &Hist) {\n        let _ = other;\n    }\n}\npub struct Sheet {\n    pub hist: Hist,\n}\nimpl Sheet {\n    pub fn merge(&mut self, other: &Sheet) {\n        self.hist.merge(&other.hist);\n    }\n}\npub fn fold(acc: &mut Sheet, next: &Sheet) {\n    acc.merge(next);\n}\n",
+        );
+        let g = graph(vec![f]);
+        let sheet_merge = idx(&g, "soc::m::Sheet::merge");
+        let hist_merge = idx(&g, "soc::m::Hist::merge");
+        let fold = idx(&g, "soc::m::fold");
+        // `self.hist.merge(…)` types the receiver through the field
+        // index; `acc.merge(…)` through the parameter list. Both names
+        // are ambiguous under the bare unique-name rule.
+        assert!(g.callees[sheet_merge].contains(&hist_merge));
+        assert!(g.callees[fold].contains(&sheet_merge));
+        assert!(!g.callees[fold].contains(&hist_merge));
+    }
+
+    #[test]
+    fn type_head_strips_sigils() {
+        assert_eq!(type_head("&'a mut Running").as_deref(), Some("Running"));
+        assert_eq!(
+            type_head("&FixedHistogram").as_deref(),
+            Some("FixedHistogram")
+        );
+        assert_eq!(type_head("Vec<T>").as_deref(), Some("Vec"));
+        assert_eq!(type_head("(f64,f64)"), None);
+        assert_eq!(type_head("[u64;4]"), None);
     }
 
     #[test]

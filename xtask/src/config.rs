@@ -74,6 +74,17 @@ pub struct Config {
     /// Qualified function paths treated as extra nondeterminism sources
     /// by the determinism-taint lint (`[determinism-taint] source_fns`).
     pub taint_source_fns: Vec<String>,
+    /// State-coverage contracts (`[state-coverage]`): qualified struct
+    /// path → qualified methods that must each access every named field
+    /// of the struct (or justify the gap with `// state: skip(<reason>)`).
+    pub state_coverage: BTreeMap<String, Vec<String>>,
+    /// Qualified shard-merge sink functions (`[merge-associativity]
+    /// sink_fns`): raw `f64` accumulation reachable from these is
+    /// flagged unless it goes through a mergeable sketch type.
+    pub merge_sink_fns: Vec<String>,
+    /// Type names whose methods are trusted to merge associatively
+    /// (`[merge-associativity] mergeable_types`).
+    pub merge_mergeable_types: Vec<String>,
 }
 
 fn string_list(value: &Value, what: &str) -> Result<Vec<String>, String> {
@@ -201,6 +212,33 @@ impl Config {
                         }
                     }
                 }
+                "state-coverage" => {
+                    for (ty, v) in entries {
+                        config.state_coverage.insert(
+                            ty.clone(),
+                            string_list(v, &format!("[state-coverage] \"{ty}\""))?,
+                        );
+                    }
+                }
+                "merge-associativity" => {
+                    for (key, v) in entries {
+                        match key.as_str() {
+                            "sink_fns" => {
+                                config.merge_sink_fns =
+                                    string_list(v, "[merge-associativity] sink_fns")?;
+                            }
+                            "mergeable_types" => {
+                                config.merge_mergeable_types =
+                                    string_list(v, "[merge-associativity] mergeable_types")?;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "unknown key `{other}` in [merge-associativity]"
+                                ))
+                            }
+                        }
+                    }
+                }
                 "determinism-taint" => {
                     for (key, v) in entries {
                         if key != "source_fns" {
@@ -267,6 +305,17 @@ unit_types = ["Seconds", "Watts"]
 
 [determinism-taint]
 source_fns = ["campaign::executor::unordered_reduce"]
+
+[state-coverage]
+"soc::snapshot::BoardSnapshot" = [
+  "soc::snapshot::Board::snapshot",
+  "soc::snapshot::Board::restore",
+]
+"sim-core::stats::Running" = ["sim-core::stats::Running::merge"]
+
+[merge-associativity]
+sink_fns = ["campaign::fleet::report::FleetReport::merge"]
+mergeable_types = ["FixedHistogram", "Running"]
 "#;
 
     #[test]
@@ -288,6 +337,28 @@ source_fns = ["campaign::executor::unordered_reduce"]
         );
         assert!(c.is_trivial_float(1024.0));
         assert!(!c.is_trivial_float(64.0));
+        assert_eq!(
+            c.state_coverage["soc::snapshot::BoardSnapshot"],
+            vec![
+                "soc::snapshot::Board::snapshot",
+                "soc::snapshot::Board::restore"
+            ]
+        );
+        assert_eq!(
+            c.state_coverage["sim-core::stats::Running"],
+            vec!["sim-core::stats::Running::merge"]
+        );
+        assert_eq!(
+            c.merge_sink_fns,
+            vec!["campaign::fleet::report::FleetReport::merge"]
+        );
+        assert_eq!(c.merge_mergeable_types, vec!["FixedHistogram", "Running"]);
+    }
+
+    #[test]
+    fn unknown_merge_associativity_key_is_rejected() {
+        let err = Config::from_toml("[merge-associativity]\nsinks = []\n").expect_err("bad");
+        assert!(err.contains("unknown key `sinks`"), "{err}");
     }
 
     #[test]

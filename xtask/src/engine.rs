@@ -1,0 +1,564 @@
+//! The incremental, parallel lint engine behind `cargo run -p xtask --
+//! lint`.
+//!
+//! [`run_passes_timed`](crate::run_passes_timed) is the sequential
+//! reference implementation: every pass over the whole tree, every
+//! time. This module produces byte-identical diagnostics faster, two
+//! ways:
+//!
+//! * **Parallelism.** Passes that declare
+//!   [`PassScope::File`](crate::passes::PassScope::File) run
+//!   file-parallel over single-file contexts; the
+//!   [`PassScope::Tree`](crate::passes::PassScope::Tree) passes run
+//!   pass-parallel (each builds its own call graph, so they scale
+//!   independently). Work is distributed by an atomic cursor over a
+//!   fixed worker pool and results are reassembled in input order, so
+//!   scheduling never reorders output.
+//! * **Caching.** Under `target/xtask-cache/` the engine keeps (a) one
+//!   *tree* entry keyed by a hash of every input the passes can see —
+//!   all file contents, manifests, API snapshots, `xtask.toml`, and the
+//!   registry — holding the final post-policy diagnostics, and (b) one
+//!   entry per file keyed by that file's content hash plus the config
+//!   hash, holding the file-scoped passes' post-policy findings for it.
+//!   A warm unchanged tree is one file read; an edit re-lints the
+//!   touched files plus the tree passes only.
+//!
+//! Cache entries are plain tab-separated text with a version header;
+//! any parse failure, unknown lint id, or I/O error is a silent miss —
+//! the cache can always be deleted (`make lint-cache-clear`).
+
+use crate::diag::{Diagnostic, Severity, Span};
+use crate::passes::{registry, PassScope};
+use crate::source::SourceFile;
+use crate::{apply_policy, sort_diags, Context, PassTiming};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Bump to invalidate every existing cache entry (serialization or
+/// semantics changes).
+const CACHE_VERSION: &str = "xtask-cache v1";
+
+/// How the engine is asked to run.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Read and write `target/xtask-cache/` (off under `--no-cache`).
+    pub use_cache: bool,
+    /// `--changed`: lint only files whose per-file cache entry is
+    /// missing or stale, and skip the tree passes entirely.
+    pub changed_only: bool,
+    /// Cache directory (`<repo>/target/xtask-cache` in production;
+    /// tests point this at a scratch dir).
+    pub cache_dir: PathBuf,
+}
+
+impl EngineOptions {
+    /// Production options rooted at the repository.
+    pub fn at_root(root: &Path) -> Self {
+        EngineOptions {
+            use_cache: true,
+            changed_only: false,
+            cache_dir: root.join("target").join("xtask-cache"),
+        }
+    }
+}
+
+/// What the cache did during one run.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Whether the cache was consulted at all.
+    pub enabled: bool,
+    /// The whole-tree entry matched: nothing was re-linted.
+    pub tree_hit: bool,
+    /// Files whose per-file entry was reused.
+    pub file_hits: usize,
+    /// Files that were (re-)linted by the file-scoped passes.
+    pub file_misses: usize,
+}
+
+/// Everything one engine run produced.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Final post-policy diagnostics, in the canonical (span, lint)
+    /// order — byte-identical to [`crate::run_passes`].
+    pub diags: Vec<Diagnostic>,
+    /// Per-pass runtimes in registry order. For file-scoped passes the
+    /// duration is summed across workers (work, not wall-clock); empty
+    /// on a whole-tree cache hit.
+    pub timings: Vec<PassTiming>,
+    /// Cache behavior.
+    pub cache: CacheStats,
+    /// How many files were in scope.
+    pub files: usize,
+    /// Tree-scoped passes skipped by `--changed`, in registry order.
+    pub skipped_tree_passes: Vec<&'static str>,
+}
+
+// --- hashing ---------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a sequence of length-delimited byte strings.
+fn fnv(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for p in parts {
+        eat(&(p.len() as u64).to_le_bytes());
+        eat(p.as_bytes());
+    }
+    h
+}
+
+/// Hash of everything that parameterizes pass *behavior* (as opposed to
+/// the sources being linted): cache format version, the registered pass
+/// ids, and the parsed config.
+fn config_hash(cx: &Context) -> u64 {
+    let ids: Vec<&str> = registry().iter().map(|p| p.id()).collect();
+    let config = format!("{:?}", cx.config);
+    let mut parts = vec![CACHE_VERSION, config.as_str()];
+    parts.extend(ids);
+    fnv(&parts)
+}
+
+/// Hash of one file's identity and contents.
+fn file_hash(file: &SourceFile) -> u64 {
+    fnv(&[file.rel.as_str(), file.text.as_str()])
+}
+
+/// Hash of every input the tree passes can see.
+fn tree_hash(cx: &Context) -> u64 {
+    let mut parts: Vec<&str> = Vec::new();
+    for f in &cx.files {
+        parts.push(f.rel.as_str());
+        parts.push(f.text.as_str());
+    }
+    let manifests: Vec<String> = cx.manifests.iter().map(|m| format!("{m:?}")).collect();
+    for m in &manifests {
+        parts.push(m.as_str());
+    }
+    for (k, v) in &cx.api_snapshots {
+        parts.push(k.as_str());
+        parts.push(v.as_str());
+    }
+    fnv(&parts)
+}
+
+// --- diagnostic (de)serialization ------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn serialize_diags(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(CACHE_VERSION);
+    out.push('\n');
+    for d in diags {
+        let help = match &d.help {
+            None => "-".to_string(),
+            Some(h) => format!("={}", escape(h)),
+        };
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            d.lint,
+            d.severity.as_str(),
+            escape(&d.span.file),
+            d.span.line,
+            d.span.column,
+            escape(&d.message),
+            help
+        ));
+    }
+    out
+}
+
+/// Parses a cache entry; `None` on any mismatch (treated as a miss).
+fn parse_diags(text: &str, ids: &BTreeMap<&'static str, &'static str>) -> Option<Vec<Diagnostic>> {
+    let mut lines = text.lines();
+    if lines.next()? != CACHE_VERSION {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        let cols: Vec<&str> = line.split('\t').collect();
+        let [lint, sev, file, line_no, col, msg, help] = cols.as_slice() else {
+            return None;
+        };
+        let lint: &'static str = ids.get(lint)?;
+        let severity = match *sev {
+            "note" => Severity::Note,
+            "warning" => Severity::Warning,
+            "error" => Severity::Error,
+            _ => return None,
+        };
+        let span = Span {
+            file: unescape(file)?,
+            line: line_no.parse().ok()?,
+            column: col.parse().ok()?,
+        };
+        let help = match help.strip_prefix('=') {
+            Some(h) => Some(unescape(h)?),
+            None => {
+                if *help != "-" {
+                    return None;
+                }
+                None
+            }
+        };
+        out.push(Diagnostic {
+            lint,
+            severity,
+            span,
+            message: unescape(msg)?,
+            help,
+        });
+    }
+    Some(out)
+}
+
+fn cache_read(path: &Path) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+fn cache_write(path: &Path, text: &str) {
+    // Best effort: a failed write degrades to a future miss.
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(path, text);
+}
+
+// --- parallel execution ----------------------------------------------
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(8)
+        .min(items.max(1))
+}
+
+/// Runs `work` over `0..n` on a fixed worker pool, returning results in
+/// index order. Propagates worker panics as an error.
+fn parallel_map<R, F>(n: usize, work: F) -> Result<Vec<R>, String>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let workers = worker_count(n);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, work(i)));
+                }
+                local
+            }));
+        }
+        let mut all = Vec::new();
+        let mut panicked = false;
+        for h in handles {
+            match h.join() {
+                Ok(v) => all.extend(v),
+                Err(_) => panicked = true,
+            }
+        }
+        if panicked {
+            Err("a lint worker panicked".to_string())
+        } else {
+            Ok(all)
+        }
+    })?;
+    indexed.sort_by_key(|(i, _)| *i);
+    Ok(indexed.into_iter().map(|(_, r)| r).collect())
+}
+
+// --- the engine ------------------------------------------------------
+
+/// One file's result from the file-scoped passes.
+struct FileResult {
+    diags: Vec<Diagnostic>,
+    timings: Vec<(usize, Duration)>,
+    cache_hit: bool,
+}
+
+/// Runs the registered passes over `cx` with caching and parallelism
+/// per `opts`. Diagnostics are byte-identical to [`crate::run_passes`]
+/// (modulo `--changed`, which skips the tree passes).
+///
+/// # Errors
+///
+/// When a pass panics on a worker thread.
+#[allow(clippy::disallowed_methods)] // timing the driver: durations are reported, never fed into results
+pub fn run_lint(cx: &Context, opts: &EngineOptions) -> Result<LintOutcome, String> {
+    let passes = registry();
+    let ids: BTreeMap<&'static str, &'static str> =
+        passes.iter().map(|p| (p.id(), p.id())).collect();
+    let conf = config_hash(cx);
+    let mut cache = CacheStats {
+        enabled: opts.use_cache,
+        ..CacheStats::default()
+    };
+
+    // Whole-tree hit: nothing changed anywhere, return the final
+    // diagnostics without lexing or running anything.
+    let tree_path = opts
+        .cache_dir
+        .join(format!("tree-{conf:016x}-{:016x}.txt", tree_hash(cx)));
+    if opts.use_cache && !opts.changed_only {
+        if let Some(diags) = cache_read(&tree_path).and_then(|t| parse_diags(&t, &ids)) {
+            cache.tree_hit = true;
+            cache.file_hits = cx.files.len();
+            return Ok(LintOutcome {
+                diags,
+                timings: Vec::new(),
+                cache,
+                files: cx.files.len(),
+                skipped_tree_passes: Vec::new(),
+            });
+        }
+    }
+
+    let file_pass_idx: Vec<usize> = (0..passes.len())
+        .filter(|&i| passes[i].scope() == PassScope::File)
+        .collect();
+    let tree_pass_idx: Vec<usize> = (0..passes.len())
+        .filter(|&i| passes[i].scope() == PassScope::Tree)
+        .collect();
+
+    // File-scoped passes, file-parallel with per-file cache entries.
+    let file_results: Vec<FileResult> = parallel_map(cx.files.len(), |i| {
+        let file = &cx.files[i];
+        let entry = opts
+            .cache_dir
+            .join(format!("file-{conf:016x}-{:016x}.txt", file_hash(file)));
+        if opts.use_cache {
+            if let Some(diags) = cache_read(&entry).and_then(|t| parse_diags(&t, &ids)) {
+                return FileResult {
+                    diags,
+                    timings: Vec::new(),
+                    cache_hit: true,
+                };
+            }
+        }
+        let single = Context {
+            files: vec![file.clone()],
+            config: cx.config.clone(),
+            ..Context::default()
+        };
+        let mut diags = Vec::new();
+        let mut timings = Vec::new();
+        for &p in &file_pass_idx {
+            let start = std::time::Instant::now();
+            let raw = passes[p].run(&single);
+            timings.push((p, start.elapsed()));
+            diags.extend(apply_policy(&cx.config, raw));
+        }
+        sort_diags(&mut diags);
+        if opts.use_cache {
+            cache_write(&entry, &serialize_diags(&diags));
+        }
+        FileResult {
+            diags,
+            timings,
+            cache_hit: false,
+        }
+    })?;
+
+    let mut per_pass: BTreeMap<usize, Duration> = BTreeMap::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for r in &file_results {
+        cache.file_hits += usize::from(r.cache_hit);
+        cache.file_misses += usize::from(!r.cache_hit);
+        diags.extend(r.diags.iter().cloned());
+        for &(p, d) in &r.timings {
+            *per_pass.entry(p).or_default() += d;
+        }
+    }
+
+    let mut skipped_tree_passes = Vec::new();
+    if opts.changed_only {
+        skipped_tree_passes = tree_pass_idx.iter().map(|&p| passes[p].id()).collect();
+    } else {
+        // Tree-scoped passes, pass-parallel (each builds its own call
+        // graph, so they scale independently).
+        let tree_results: Vec<(Vec<Diagnostic>, Duration)> =
+            parallel_map(tree_pass_idx.len(), |k| {
+                let start = std::time::Instant::now();
+                let raw = passes[tree_pass_idx[k]].run(cx);
+                (apply_policy(&cx.config, raw), start.elapsed())
+            })?;
+        for (k, (d, elapsed)) in tree_results.into_iter().enumerate() {
+            diags.extend(d);
+            *per_pass.entry(tree_pass_idx[k]).or_default() += elapsed;
+        }
+    }
+
+    sort_diags(&mut diags);
+    if opts.use_cache && !opts.changed_only {
+        cache_write(&tree_path, &serialize_diags(&diags));
+    }
+    let timings: Vec<PassTiming> = per_pass
+        .into_iter()
+        .map(|(p, elapsed)| PassTiming {
+            id: passes[p].id(),
+            elapsed,
+        })
+        .collect();
+    Ok(LintOutcome {
+        diags,
+        timings,
+        cache,
+        files: cx.files.len(),
+        skipped_tree_passes,
+    })
+}
+
+// --- BENCH_lint.json -------------------------------------------------
+
+/// Writes the `BENCH_lint.json` perf-trajectory record for one run.
+/// `total_ms` is the caller-measured wall-clock around [`run_lint`].
+///
+/// # Errors
+///
+/// On an unwritable path.
+pub fn write_bench(path: &Path, outcome: &LintOutcome, total_ms: f64) -> Result<(), String> {
+    let mut passes = String::new();
+    for (i, t) in outcome.timings.iter().enumerate() {
+        if i > 0 {
+            passes.push_str(", ");
+        }
+        passes.push_str(&format!(
+            "{{\"id\": \"{}\", \"ms\": {:.3}}}",
+            t.id,
+            t.elapsed.as_secs_f64() * 1e3
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"xtask-lint\",\n  \"files\": {},\n  \"total_ms\": {:.3},\n  \
+         \"cache\": {{\"enabled\": {}, \"tree_hit\": {}, \"file_hits\": {}, \"file_misses\": {}}},\n  \
+         \"passes\": [{}]\n}}\n",
+        outcome.files,
+        total_ms,
+        outcome.cache.enabled,
+        outcome.cache.tree_hit,
+        outcome.cache.file_hits,
+        outcome.cache.file_misses,
+        passes
+    );
+    std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+
+    #[test]
+    fn diag_serialization_round_trips() {
+        let ids: BTreeMap<&'static str, &'static str> =
+            registry().iter().map(|p| (p.id(), p.id())).collect();
+        let diags = vec![
+            Diagnostic::error(
+                "unit-suffix",
+                Span::at("crates/a/src/lib.rs", 3, 7),
+                "tab\there",
+            )
+            .with_help("multi\nline"),
+            Diagnostic::note(
+                "stale-config",
+                Span::file("xtask/xtask.toml"),
+                "back\\slash",
+            ),
+        ];
+        let text = serialize_diags(&diags);
+        let back = parse_diags(&text, &ids).expect("round trip");
+        assert_eq!(back, diags);
+    }
+
+    #[test]
+    fn unknown_lint_and_bad_header_are_misses() {
+        let ids: BTreeMap<&'static str, &'static str> =
+            registry().iter().map(|p| (p.id(), p.id())).collect();
+        assert!(parse_diags("other header\n", &ids).is_none());
+        let bogus = format!("{CACHE_VERSION}\nno-such-lint\terror\tf\t1\t0\tm\t-\n");
+        assert!(parse_diags(&bogus, &ids).is_none());
+        let short = format!("{CACHE_VERSION}\nunit-suffix\terror\tf\n");
+        assert!(parse_diags(&short, &ids).is_none());
+    }
+
+    #[test]
+    fn hashes_separate_fields() {
+        // Length-delimiting means ("ab","c") and ("a","bc") differ.
+        assert_ne!(fnv(&["ab", "c"]), fnv(&["a", "bc"]));
+        assert_ne!(fnv(&["a"]), fnv(&["a", ""]));
+    }
+
+    #[test]
+    fn config_hash_tracks_config_changes() {
+        let a = Context {
+            config: Config::from_toml("[levels]\nunit-suffix = \"warn\"\n").expect("config"),
+            ..Context::default()
+        };
+        let b = Context::default();
+        assert_ne!(config_hash(&a), config_hash(&b));
+        assert_eq!(config_hash(&b), config_hash(&Context::default()));
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let out = parallel_map(100, |i| i * 2).expect("no panics");
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_surfaces_worker_panics() {
+        let err = parallel_map(4, |i| {
+            assert!(i != 2, "boom");
+            i
+        })
+        .expect_err("panic propagates");
+        assert!(err.contains("worker panicked"), "{err}");
+    }
+}

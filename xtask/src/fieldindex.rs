@@ -1,0 +1,265 @@
+//! Per-function field-access index over the token stream.
+//!
+//! For a function body this extracts every token position that *uses* a
+//! struct field: dotted projections (`self.energy`, `other.count`,
+//! `snapshot.seed`), struct-literal keys (`BoardSnapshot { seed: …, now }`
+//! — including the shorthand form and struct *patterns*, which
+//! destructure fields and therefore count as access), and dotted method
+//! calls (recorded separately so `self.merge(…)` is never mistaken for a
+//! field named `merge`).
+//!
+//! The extractor is a deliberate over-approximation in the same spirit
+//! as [`crate::callgraph`]: it does not resolve types, so `a.count` and
+//! `b.count` both witness a field named `count` regardless of what `a`
+//! and `b` are. For the state-coverage pass this is the conservative
+//! direction — a method that truly transfers every field always passes,
+//! and a false "covered" verdict requires another struct in the same
+//! body to share the missing field's name, which review catches. It
+//! never produces false *positives* for that pass.
+//!
+//! Disambiguation rules (token-level, single-character `Punct`s):
+//! - `a..b` range endpoints are not projections: an ident after `.` is
+//!   only a projection when the token before the `.` is not another `.`.
+//! - `x.collect::<V>()` is a method call, not a projection: a `(` or a
+//!   `::` turbofish after the ident reclassifies it.
+//! - struct-literal keys are only collected inside brace groups opened
+//!   by a type-like path head (`Ident` starting uppercase, or `Self`),
+//!   so closure parameters and plain blocks never contribute keys.
+
+use crate::items::FnItem;
+use crate::lex::{LineIndex, TokenKind};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// How a field name was used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Dotted projection: `recv.field`.
+    Projection,
+    /// Struct-literal or struct-pattern key: `Ty { field: … }` /
+    /// `Ty { field }` / `let Ty { field } = …`.
+    LiteralKey,
+    /// Dotted method call: `recv.method(…)` (not a field access; kept so
+    /// callers can distinguish deliberately).
+    MethodCall,
+}
+
+/// One field-name use inside a function body.
+#[derive(Debug, Clone)]
+pub struct FieldAccess {
+    /// The field (or method) name; tuple projections are `"0"`, `"1"`, …
+    pub name: String,
+    /// 1-based line of the use.
+    pub line: usize,
+    /// The receiver ident immediately before the dot (`self`, `other`,
+    /// …), when there is a single-ident receiver; `None` for chained or
+    /// parenthesised receivers and for literal keys.
+    pub base: Option<String>,
+    /// What kind of use this is.
+    pub kind: AccessKind,
+}
+
+/// Extract every field-name use in `item`'s body. Returns an empty list
+/// for bodyless trait methods.
+pub fn body_accesses(file: &SourceFile, item: &FnItem) -> Vec<FieldAccess> {
+    let Some((lo, hi)) = item.body else {
+        return Vec::new();
+    };
+    let src = file.text.as_str();
+    let index = LineIndex::new(&file.text);
+    // Code tokens of the whole file; `start` is the first at/after `lo`.
+    let code: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| !file.tokens[i].kind.is_trivia())
+        .collect();
+    let start = code.partition_point(|&i| i < lo);
+    let end = code.partition_point(|&i| i < hi);
+    let tok = |p: usize| code.get(p).map(|&j| &file.tokens[j]);
+    let is_punct =
+        |p: usize, s: &str| tok(p).is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == s);
+    // Stack of brace groups open at the cursor; `true` = struct-literal-
+    // like (opened by an uppercase path head or `Self`).
+    let mut braces: Vec<bool> = Vec::new();
+    let mut out = Vec::new();
+    for pos in start..end {
+        let Some(t) = tok(pos) else {
+            break;
+        };
+        let word = t.text(src);
+        if t.kind == TokenKind::Punct {
+            match word {
+                "{" => {
+                    let literal_like = pos > 0
+                        && tok(pos - 1).is_some_and(|p| {
+                            let s = p.text(src);
+                            p.kind == TokenKind::Ident
+                                && (s == "Self" || s.chars().next().is_some_and(char::is_uppercase))
+                        });
+                    braces.push(literal_like);
+                }
+                "}" => {
+                    braces.pop();
+                }
+                _ => {}
+            }
+            continue;
+        }
+        let numeric = t.kind == TokenKind::Int;
+        if t.kind != TokenKind::Ident && !numeric {
+            continue;
+        }
+        let line = index.line(t.lo);
+        // Dotted forms: ident/int preceded by a single `.`.
+        if pos > start && is_punct(pos - 1, ".") && !(pos > start + 1 && is_punct(pos - 2, ".")) {
+            if word == "await" {
+                continue;
+            }
+            let base = (pos >= start + 2)
+                .then(|| tok(pos - 2))
+                .flatten()
+                .filter(|b| b.kind == TokenKind::Ident)
+                .map(|b| b.text(src).to_string());
+            let kind =
+                if is_punct(pos + 1, "(") || (is_punct(pos + 1, ":") && is_punct(pos + 2, ":")) {
+                    AccessKind::MethodCall
+                } else {
+                    AccessKind::Projection
+                };
+            out.push(FieldAccess {
+                name: word.to_string(),
+                line,
+                base,
+                kind,
+            });
+            continue;
+        }
+        // Struct-literal / struct-pattern keys, only in literal-like
+        // brace groups and only for idents.
+        if numeric || braces.last() != Some(&true) {
+            continue;
+        }
+        let after_open_or_comma = pos > start && (is_punct(pos - 1, "{") || is_punct(pos - 1, ","));
+        if !after_open_or_comma {
+            continue;
+        }
+        let keyed = is_punct(pos + 1, ":") && !is_punct(pos + 2, ":");
+        let shorthand = is_punct(pos + 1, ",") || is_punct(pos + 1, "}");
+        if keyed || shorthand {
+            out.push(FieldAccess {
+                name: word.to_string(),
+                line,
+                base: None,
+                kind: AccessKind::LiteralKey,
+            });
+        }
+    }
+    out
+}
+
+/// The set of field names `item`'s body accesses (projections and
+/// literal keys; method calls excluded).
+pub fn accessed_fields(file: &SourceFile, item: &FnItem) -> BTreeSet<String> {
+    body_accesses(file, item)
+        .into_iter()
+        .filter(|a| a.kind != AccessKind::MethodCall)
+        .map(|a| a.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fn_accesses(body: &str) -> Vec<FieldAccess> {
+        let src = format!("struct S;\nimpl S {{\n    fn m(&self) {{\n{body}\n    }}\n}}\n");
+        let file = SourceFile::new("crates/x/src/lib.rs", &src);
+        let item = file
+            .items
+            .fns
+            .iter()
+            .find(|f| f.name == "m")
+            .expect("fn m")
+            .clone();
+        body_accesses(&file, &item)
+    }
+
+    fn names(accs: &[FieldAccess], kind: AccessKind) -> Vec<&str> {
+        accs.iter()
+            .filter(|a| a.kind == kind)
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn projections_carry_base_and_skip_ranges() {
+        let accs = fn_accesses(
+            "        let x = self.energy;\n        let y = other.count + snapshot.seed;\n        for i in 0..n { let _ = i; }\n",
+        );
+        let proj = names(&accs, AccessKind::Projection);
+        assert_eq!(proj, vec!["energy", "count", "seed"]);
+        assert_eq!(accs[0].base.as_deref(), Some("self"));
+        assert_eq!(accs[1].base.as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn method_calls_and_turbofish_are_not_projections() {
+        let accs = fn_accesses(
+            "        self.merge(other);\n        let v = xs.iter().collect::<Vec<_>>();\n        self.load_time.merge(&other.load_time);\n",
+        );
+        assert_eq!(
+            names(&accs, AccessKind::MethodCall),
+            vec!["merge", "iter", "collect", "merge"]
+        );
+        assert_eq!(
+            names(&accs, AccessKind::Projection),
+            vec!["load_time", "load_time"]
+        );
+    }
+
+    #[test]
+    fn tuple_projections_are_indexed_by_position() {
+        let accs = fn_accesses("        let a = self.0;\n        let b = pair.1;\n");
+        assert_eq!(names(&accs, AccessKind::Projection), vec!["0", "1"]);
+    }
+
+    #[test]
+    fn literal_keys_require_a_type_like_head() {
+        let accs = fn_accesses(
+            "        let s = Snapshot { seed: 1, now, thermal: t };\n        let f = |x: u64| { x };\n        let b = { seed };\n",
+        );
+        assert_eq!(
+            names(&accs, AccessKind::LiteralKey),
+            vec!["seed", "now", "thermal"]
+        );
+    }
+
+    #[test]
+    fn struct_patterns_count_as_access() {
+        let accs = fn_accesses("        let Self { count, mean } = self;\n");
+        assert_eq!(names(&accs, AccessKind::LiteralKey), vec!["count", "mean"]);
+    }
+
+    #[test]
+    fn struct_update_base_and_paths_do_not_leak_keys() {
+        let accs = fn_accesses(
+            "        let s = Snapshot { seed: 2, ..base };\n        let m = Mode::Fast;\n",
+        );
+        assert_eq!(names(&accs, AccessKind::LiteralKey), vec!["seed"]);
+        assert!(names(&accs, AccessKind::Projection).is_empty());
+    }
+
+    #[test]
+    fn accessed_fields_unions_projections_and_keys() {
+        let src = "struct S;\nimpl S {\n    fn m(&self, o: &S) {\n        let _ = self.a;\n        let _ = S { b: 1, c };\n        self.d();\n    }\n}\n";
+        let file = SourceFile::new("crates/x/src/lib.rs", src);
+        let item = file.items.fns[0].clone();
+        let got: Vec<String> = accessed_fields(&file, &item).into_iter().collect();
+        assert_eq!(got, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_empty() {
+        let file = SourceFile::new("crates/x/src/lib.rs", "trait T {\n    fn m(&self);\n}\n");
+        let item = file.items.fns[0].clone();
+        assert!(body_accesses(&file, &item).is_empty());
+    }
+}

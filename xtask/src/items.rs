@@ -94,19 +94,56 @@ pub struct FieldItem {
     pub ty: String,
 }
 
-/// One struct declaration (named-field structs carry their fields).
+/// One struct declaration (named-field structs carry their fields;
+/// tuple structs carry positional fields named `0`, `1`, …).
 #[derive(Debug, Clone)]
 pub struct StructItem {
     /// Struct name.
     pub name: String,
+    /// Crate-qualified path (`soc::snapshot::BoardSnapshot`).
+    pub qual: String,
     /// 1-based line.
     pub line: usize,
     /// Declared visibility.
     pub vis: Vis,
     /// Whether the item lives under `#[cfg(test)]`.
     pub in_test: bool,
-    /// Named fields, in declaration order.
+    /// Whether this is a tuple struct (`struct Pair(f64, f64);`).
+    pub tuple: bool,
+    /// Rendered generic-parameter text (without the angle brackets),
+    /// empty for non-generic structs.
+    pub generics: String,
+    /// Fields, in declaration order.
     pub fields: Vec<FieldItem>,
+}
+
+/// One variant of an enum.
+#[derive(Debug, Clone)]
+pub struct VariantItem {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One enum declaration.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// Enum name.
+    pub name: String,
+    /// Crate-qualified path.
+    pub qual: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Declared visibility.
+    pub vis: Vis,
+    /// Whether the item lives under `#[cfg(test)]`.
+    pub in_test: bool,
+    /// Rendered generic-parameter text (without the angle brackets),
+    /// empty for non-generic enums.
+    pub generics: String,
+    /// Variants, in declaration order.
+    pub variants: Vec<VariantItem>,
 }
 
 /// One leaf of a `use` declaration: `alias` names `path` in `module`.
@@ -130,6 +167,8 @@ pub struct ItemSet {
     pub consts: Vec<ConstItem>,
     /// Struct declarations.
     pub structs: Vec<StructItem>,
+    /// Enum declarations.
+    pub enums: Vec<EnumItem>,
     /// `use` imports.
     pub uses: Vec<UseItem>,
     /// Byte spans of `#[cfg(test)]`-gated regions (attribute through
@@ -715,13 +754,24 @@ impl<'a> Parser<'a> {
         self.pos = end + 1;
     }
 
+    /// Renders the generics group at `pos` (without the angle brackets)
+    /// and returns `(text, pos past the closing >)`.
+    fn capture_generics(&self, pos: usize) -> (String, usize) {
+        if self.is_p(pos, "<") {
+            let end = self.skip_balanced(pos);
+            (self.render((pos + 1, end.saturating_sub(1))), end)
+        } else {
+            (String::new(), pos)
+        }
+    }
+
     fn parse_struct(&mut self, kw_pos: usize, vis: Vis, test: bool) {
         let Some(name) = self.any_ident(kw_pos + 1).map(str::to_string) else {
             self.pos = kw_pos + 1;
             return;
         };
         let line = self.line_at(kw_pos);
-        let mut pos = self.skip_generics(kw_pos + 2);
+        let (generics, mut pos) = self.capture_generics(kw_pos + 2);
         // Skip a `where` clause.
         while let Some(tok) = self.tok(pos) {
             let text = tok.text(self.src);
@@ -731,6 +781,7 @@ impl<'a> Parser<'a> {
             pos += 1;
         }
         let mut fields = Vec::new();
+        let mut tuple = false;
         if self.is_p(pos, "{") {
             let end = self.skip_balanced(pos);
             let mut p = pos + 1;
@@ -775,19 +826,129 @@ impl<'a> Parser<'a> {
             }
             pos = end;
         } else if self.is_p(pos, "(") {
-            pos = self.skip_balanced(pos);
-            if self.is_p(pos, ";") {
+            // Tuple struct: positional fields named `0`, `1`, …
+            tuple = true;
+            let end = self.skip_balanced(pos);
+            let inner = (pos + 1, end.saturating_sub(1));
+            let mut part_start = inner.0;
+            let mut depth = 0i64;
+            let mut cuts = Vec::new();
+            for p in inner.0..inner.1 {
+                let Some(tok) = self.tok(p) else { break };
+                let text = tok.text(self.src);
+                if tok.kind == TokenKind::Punct {
+                    match text {
+                        "(" | "[" | "{" | "<" => depth += 1,
+                        ")" | "]" | "}" | ">" => depth -= 1,
+                        "," if depth == 0 => cuts.push(p),
+                        _ => {}
+                    }
+                }
+            }
+            cuts.push(inner.1);
+            for cut in cuts {
+                let piece = (part_start, cut);
+                part_start = cut + 1;
+                if piece.1 <= piece.0 {
+                    continue;
+                }
+                let (after_attrs, _, _) = self.skip_attrs(piece.0);
+                let (after_vis, fvis) = self.skip_vis(after_attrs);
+                fields.push(FieldItem {
+                    name: fields.len().to_string(),
+                    line: self.line_at(after_vis),
+                    vis: fvis,
+                    ty: self.render((after_vis, piece.1)),
+                });
+            }
+            pos = end;
+            // Skip any trailing `where` clause up to the `;`.
+            while let Some(tok) = self.tok(pos) {
+                if tok.kind == TokenKind::Punct && tok.text(self.src) == ";" {
+                    pos += 1;
+                    break;
+                }
                 pos += 1;
             }
         } else if self.is_p(pos, ";") {
             pos += 1;
         }
         self.out.structs.push(StructItem {
+            qual: self.qual(&name),
             name,
             line,
             vis,
             in_test: test || self.in_test_scope(),
+            tuple,
+            generics,
             fields,
+        });
+        self.pos = pos;
+    }
+
+    fn parse_enum(&mut self, kw_pos: usize, vis: Vis, test: bool) {
+        let Some(name) = self.any_ident(kw_pos + 1).map(str::to_string) else {
+            self.pos = kw_pos + 1;
+            return;
+        };
+        let line = self.line_at(kw_pos);
+        let (generics, mut pos) = self.capture_generics(kw_pos + 2);
+        // Skip a `where` clause.
+        while let Some(tok) = self.tok(pos) {
+            let text = tok.text(self.src);
+            if tok.kind == TokenKind::Punct && (text == "{" || text == ";") {
+                break;
+            }
+            pos += 1;
+        }
+        let mut variants = Vec::new();
+        if self.is_p(pos, "{") {
+            let end = self.skip_balanced(pos);
+            let mut p = pos + 1;
+            while p < end.saturating_sub(1) {
+                let (after_attrs, _, _) = self.skip_attrs(p);
+                let Some(vname) = self.any_ident(after_attrs) else {
+                    p = after_attrs + 1;
+                    continue;
+                };
+                variants.push(VariantItem {
+                    name: vname.to_string(),
+                    line: self.line_at(after_attrs),
+                });
+                // Skip the payload (`(…)` / `{…}`) and any `= discr`
+                // expression up to the `,` at depth 0.
+                let mut q = after_attrs + 1;
+                let mut depth = 0i64;
+                while q < end.saturating_sub(1) {
+                    let Some(tok) = self.tok(q) else { break };
+                    let text = tok.text(self.src);
+                    if tok.kind == TokenKind::Punct {
+                        match text {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "," if depth == 0 => {
+                                q += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    q += 1;
+                }
+                p = q;
+            }
+            pos = end;
+        } else if self.is_p(pos, ";") {
+            pos += 1;
+        }
+        self.out.enums.push(EnumItem {
+            qual: self.qual(&name),
+            name,
+            line,
+            vis,
+            in_test: test || self.in_test_scope(),
+            generics,
+            variants,
         });
         self.pos = pos;
     }
@@ -913,7 +1074,27 @@ impl<'a> Parser<'a> {
                 Some("struct") if !qualified_fn => {
                     self.parse_struct(p, vis, test);
                 }
-                Some("enum" | "union") if !qualified_fn => {
+                Some("enum") if !qualified_fn => {
+                    if test {
+                        // Record the gated item's extent before parsing.
+                        let mut q = p + 2;
+                        while let Some(tok) = self.tok(q) {
+                            let text = tok.text(self.src);
+                            if tok.kind == TokenKind::Punct && (text == "{" || text == ";") {
+                                break;
+                            }
+                            q += 1;
+                        }
+                        let end = if self.is_p(q, "{") {
+                            self.skip_balanced(q)
+                        } else {
+                            q + 1
+                        };
+                        self.record_cfg_test_span(attr_start.unwrap_or(scope_start), end);
+                    }
+                    self.parse_enum(p, vis, test);
+                }
+                Some("union") if !qualified_fn => {
                     // Record nothing, skip the body.
                     let mut q = p + 2;
                     while let Some(tok) = self.tok(q) {
@@ -1179,6 +1360,93 @@ mod tests {
         let names: Vec<&str> = set.consts.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["MASK", "NEXT"]);
         assert_eq!(set.consts[0].end_line, 1);
+    }
+
+    #[test]
+    fn struct_items_carry_quals_generics_and_tuple_flags() {
+        let src = "pub struct Plain {\n    pub a: f64,\n}\n\npub struct Sketch<T: Clone, const N: usize> {\n    bins: [T; N],\n}\n\npub struct Pair(pub f64, u64);\n\npub struct Marker;\n";
+        let set = items("crates/sim-core/src/sketch.rs", src);
+        let names: Vec<&str> = set.structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["Plain", "Sketch", "Pair", "Marker"]);
+
+        let plain = &set.structs[0];
+        assert_eq!(plain.qual, "sim-core::sketch::Plain");
+        assert!(plain.generics.is_empty());
+        assert!(!plain.tuple);
+
+        let sketch = &set.structs[1];
+        assert_eq!(sketch.generics, "T:Clone,const N:usize");
+        assert_eq!(sketch.fields.len(), 1);
+        assert_eq!(sketch.fields[0].name, "bins");
+        assert_eq!(sketch.fields[0].ty, "[T;N]");
+
+        let pair = &set.structs[2];
+        assert!(pair.tuple);
+        assert_eq!(pair.fields.len(), 2);
+        assert_eq!(pair.fields[0].name, "0");
+        assert_eq!(pair.fields[0].ty, "f64");
+        assert_eq!(pair.fields[0].vis, Vis::Pub);
+        assert_eq!(pair.fields[1].name, "1");
+        assert_eq!(pair.fields[1].ty, "u64");
+        assert_eq!(pair.fields[1].vis, Vis::Private);
+
+        assert!(set.structs[3].fields.is_empty());
+    }
+
+    #[test]
+    fn struct_where_clauses_do_not_swallow_fields() {
+        let src = "pub struct Held<T>\nwhere\n    T: Clone + Send,\n{\n    pub inner: Vec<T>,\n    pub count: u64,\n}\n\npub struct TupleWhere<T>(T)\nwhere\n    T: Copy;\n\nfn after() {}\n";
+        let set = items("crates/soc/src/hold.rs", src);
+        assert_eq!(set.structs.len(), 2);
+        let held = &set.structs[0];
+        assert_eq!(held.generics, "T");
+        let fields: Vec<&str> = held.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, vec!["inner", "count"]);
+        assert_eq!(held.fields[0].ty, "Vec<T>");
+        assert!(set.structs[1].tuple);
+        // The parser resynchronizes after the trailing where clause.
+        assert_eq!(set.fns.len(), 1);
+        assert_eq!(set.fns[0].name, "after");
+    }
+
+    #[test]
+    fn cfg_test_gated_fields_are_still_indexed() {
+        // A `#[cfg(test)]` attribute on one *field* gates the field, not
+        // the struct: the struct is library code and the field is kept
+        // in the index (state-coverage treats it like any other field;
+        // the justification mechanism handles intentional gaps).
+        let src = "pub struct Probe {\n    pub live: u64,\n    #[cfg(test)]\n    pub test_only: u64,\n}\n";
+        let set = items("crates/sim-core/src/probe.rs", src);
+        assert_eq!(set.structs.len(), 1);
+        let probe = &set.structs[0];
+        assert!(!probe.in_test);
+        let fields: Vec<&str> = probe.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, vec!["live", "test_only"]);
+        // A struct *under* #[cfg(test)] is marked in_test wholesale.
+        let gated = items(
+            "crates/sim-core/src/probe.rs",
+            "#[cfg(test)]\nmod tests {\n    struct Helper {\n        x: u64,\n    }\n}\n",
+        );
+        assert!(gated.structs[0].in_test);
+    }
+
+    #[test]
+    fn enums_carry_variants_and_quals() {
+        let src = "pub enum Policy {\n    Conservative,\n    Ondemand { sample_ms: u64 },\n    Fixed(u64),\n}\n\n#[derive(Debug)]\npub enum Verdict<T>\nwhere\n    T: Clone,\n{\n    Pass(T),\n    Fail = 2,\n}\n\nfn after() {}\n";
+        let set = items("crates/governors/src/policy.rs", src);
+        assert_eq!(set.enums.len(), 2);
+        let policy = &set.enums[0];
+        assert_eq!(policy.qual, "governors::policy::Policy");
+        let variants: Vec<&str> = policy.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(variants, vec!["Conservative", "Ondemand", "Fixed"]);
+        let verdict = &set.enums[1];
+        assert_eq!(verdict.generics, "T");
+        let variants: Vec<&str> = verdict.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(variants, vec!["Pass", "Fail"]);
+        // Payload field names (`sample_ms`) are not variants, and the
+        // parser resynchronizes after the enums.
+        assert_eq!(set.fns.len(), 1);
+        assert_eq!(set.fns[0].name, "after");
     }
 
     #[test]

@@ -30,6 +30,8 @@
 pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod engine;
+pub mod fieldindex;
 pub mod items;
 pub mod lex;
 pub mod passes;
@@ -213,22 +215,38 @@ pub fn run_passes_timed(cx: &Context) -> (Vec<Diagnostic>, Vec<PassTiming>) {
             id: pass.id(),
             elapsed: start.elapsed(),
         });
-        for mut d in raw {
-            if cx.config.is_allowed(d.lint, &d.span.file) {
-                continue;
-            }
-            match cx.config.level(d.lint) {
-                Level::Allow => continue,
-                Level::Warn => {
-                    if d.severity == Severity::Error {
-                        d.severity = Severity::Warning;
-                    }
-                }
-                Level::Deny => {}
-            }
-            out.push(d);
-        }
+        out.extend(apply_policy(&cx.config, raw));
     }
-    out.sort_by(|a, b| (&a.span, a.lint).cmp(&(&b.span, b.lint)));
+    sort_diags(&mut out);
     (out, timings)
+}
+
+/// Applies `xtask.toml` policy to one pass's raw findings: per-lint/
+/// per-file allowlists drop findings, `level = "allow"` drops a lint
+/// entirely, `level = "warn"` downgrades errors to warnings. Shared by
+/// the sequential driver above and the incremental [`engine`].
+pub fn apply_policy(config: &Config, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for mut d in raw {
+        if config.is_allowed(d.lint, &d.span.file) {
+            continue;
+        }
+        match config.level(d.lint) {
+            Level::Allow => continue,
+            Level::Warn => {
+                if d.severity == Severity::Error {
+                    d.severity = Severity::Warning;
+                }
+            }
+            Level::Deny => {}
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// The canonical diagnostic order: span, then lint id. All drivers sort
+/// with this so output is identical regardless of pass or worker order.
+pub fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.span, a.lint).cmp(&(&b.span, b.lint)));
 }

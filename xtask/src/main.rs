@@ -4,11 +4,16 @@
 //! Commands:
 //!
 //! * `lint [--format human|json|sarif] [--only <id,id>] [--timing]
-//!   [--budget-ms <n>]` — run every registered pass over the tree; exit
-//!   1 when any error-severity finding survives `xtask.toml` policy, 2
-//!   on tool failure. `--timing` prints a per-pass runtime report to
-//!   stderr; `--budget-ms` additionally fails the run when the summed
-//!   pass runtime exceeds the budget (the CI runtime-regression gate).
+//!   [--budget-ms <n>] [--no-cache] [--changed]` — run every registered
+//!   pass over the tree via the incremental parallel engine
+//!   (`xtask::engine`); exit 1 when any error-severity finding survives
+//!   `xtask.toml` policy, 2 on tool failure. `--timing` prints a
+//!   per-pass runtime + cache report to stderr and writes
+//!   `BENCH_lint.json` at the repo root; `--budget-ms` additionally
+//!   fails the run when wall-clock exceeds the budget (the CI
+//!   runtime-regression gate). `--no-cache` bypasses
+//!   `target/xtask-cache/`; `--changed` re-lints only files whose cache
+//!   entry is stale and skips the tree-scoped passes.
 //! * `bless-api` — regenerate the `xtask/api/<crate>.txt` public-API
 //!   snapshots after an intentional surface change.
 //! * `passes` — list registered lint ids and descriptions.
@@ -27,9 +32,12 @@ usage: cargo run -p xtask -- <command>
 
 commands:
   lint [--format human|json|sarif] [--only <id,id>] [--timing] [--budget-ms <n>]
+       [--no-cache] [--changed]
         run the static-analysis passes; non-zero exit on findings
-        --timing prints a per-pass runtime report; --budget-ms fails
-        the run when total pass runtime exceeds the budget
+        --timing prints a per-pass runtime + cache report and writes
+        BENCH_lint.json; --budget-ms fails the run when wall-clock
+        exceeds the budget; --no-cache bypasses target/xtask-cache/;
+        --changed lints only cache-stale files (skips tree passes)
   bless-api
         regenerate xtask/api/<crate>.txt public-API snapshots
   passes
@@ -49,6 +57,8 @@ struct LintArgs {
     only: Option<Vec<String>>,
     timing: bool,
     budget_ms: Option<u64>,
+    no_cache: bool,
+    changed: bool,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
@@ -57,6 +67,8 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
         only: None,
         timing: false,
         budget_ms: None,
+        no_cache: false,
+        changed: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -80,6 +92,14 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                 parsed.timing = true;
                 i += 1;
             }
+            "--no-cache" => {
+                parsed.no_cache = true;
+                i += 1;
+            }
+            "--changed" => {
+                parsed.changed = true;
+                i += 1;
+            }
             "--budget-ms" => {
                 let value = args.get(i + 1).ok_or("--budget-ms needs a value")?;
                 parsed.budget_ms = Some(
@@ -92,15 +112,24 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
             other => return Err(format!("unknown lint option `{other}`")),
         }
     }
+    if parsed.changed && parsed.no_cache {
+        return Err("--changed needs the cache; drop --no-cache".to_string());
+    }
     Ok(parsed)
 }
 
-/// Renders the `--timing` report: one line per pass plus a total, with
-/// the budget verdict when `--budget-ms` is set.
-fn timing_report(timings: &[xtask::PassTiming], budget_ms: Option<u64>) -> (String, bool) {
-    let total: std::time::Duration = timings.iter().map(|t| t.elapsed).sum();
+/// Renders the `--timing` report: one line per pass, the engine's
+/// wall-clock total and cache behavior, with the budget verdict when
+/// `--budget-ms` is set. The budget is judged on wall-clock (per-pass
+/// durations are summed across workers, so their sum can exceed it on
+/// a healthy run).
+fn timing_report(
+    outcome: &xtask::engine::LintOutcome,
+    wall: std::time::Duration,
+    budget_ms: Option<u64>,
+) -> (String, bool) {
     let mut out = String::from("pass timings:\n");
-    for t in timings {
+    for t in &outcome.timings {
         out.push_str(&format!(
             "  {:<20} {:>9.3} ms\n",
             t.id,
@@ -109,13 +138,24 @@ fn timing_report(timings: &[xtask::PassTiming], budget_ms: Option<u64>) -> (Stri
     }
     out.push_str(&format!(
         "  {:<20} {:>9.3} ms\n",
-        "total",
-        total.as_secs_f64() * 1e3
+        "total (wall)",
+        wall.as_secs_f64() * 1e3
     ));
+    let c = &outcome.cache;
+    if !c.enabled {
+        out.push_str("  cache: disabled\n");
+    } else if c.tree_hit {
+        out.push_str(&format!("  cache: tree hit ({} files)\n", outcome.files));
+    } else {
+        out.push_str(&format!(
+            "  cache: {} file hit(s), {} miss(es)\n",
+            c.file_hits, c.file_misses
+        ));
+    }
     let mut over = false;
     if let Some(budget) = budget_ms {
-        let total_ms = total.as_secs_f64() * 1e3;
-        over = total_ms > budget as f64;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        over = wall_ms > budget as f64;
         out.push_str(&format!(
             "  budget {budget} ms: {}\n",
             if over { "EXCEEDED" } else { "ok" }
@@ -124,6 +164,7 @@ fn timing_report(timings: &[xtask::PassTiming], budget_ms: Option<u64>) -> (Stri
     (out, over)
 }
 
+#[allow(clippy::disallowed_methods)] // timing the driver: reported, never fed into results
 fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
     let opts = parse_lint_args(args)?;
     let LintArgs {
@@ -131,6 +172,8 @@ fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
         only,
         timing,
         budget_ms,
+        no_cache,
+        changed,
     } = opts;
     if let Some(ids) = &only {
         let known: Vec<&str> = registry().iter().map(|p| p.id()).collect();
@@ -141,15 +184,34 @@ fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
         }
     }
     let cx = Context::load(root)?;
-    let (mut diags, timings) = xtask::run_passes_timed(&cx);
+    let engine_opts = xtask::engine::EngineOptions {
+        use_cache: !no_cache,
+        changed_only: changed,
+        ..xtask::engine::EngineOptions::at_root(root)
+    };
+    let start = std::time::Instant::now();
+    let outcome = xtask::engine::run_lint(&cx, &engine_opts)?;
+    let wall = start.elapsed();
+    if !outcome.skipped_tree_passes.is_empty() {
+        eprintln!(
+            "xtask lint: --changed skipped tree passes: {}",
+            outcome.skipped_tree_passes.join(", ")
+        );
+    }
+    let mut diags = outcome.diags.clone();
     if let Some(ids) = &only {
         diags.retain(|d| ids.iter().any(|id| id == d.lint));
     }
     let mut budget_exceeded = false;
     if timing || budget_ms.is_some() {
-        let (report, over) = timing_report(&timings, budget_ms);
+        let (report, over) = timing_report(&outcome, wall, budget_ms);
         eprint!("{report}");
         budget_exceeded = over;
+    }
+    if timing {
+        let bench = root.join("BENCH_lint.json");
+        xtask::engine::write_bench(&bench, &outcome, wall.as_secs_f64() * 1e3)?;
+        eprintln!("wrote {}", bench.display());
     }
     let (errors, warnings, notes) = render::tally(&diags);
     match format {

@@ -68,6 +68,10 @@ impl super::Pass for PaperConstants {
         "model constants live in designated modules and cite the paper"
     }
 
+    fn scope(&self) -> super::PassScope {
+        super::PassScope::File
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {

@@ -59,6 +59,10 @@ impl super::Pass for MapDeterminism {
         "export/serialization code must not use hash-seeded collections"
     }
 
+    fn scope(&self) -> super::PassScope {
+        super::PassScope::File
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {

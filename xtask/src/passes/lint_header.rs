@@ -21,6 +21,10 @@ impl super::Pass for LintHeader {
         "crate roots carry #![forbid(unsafe_code)] + #![deny(missing_docs)]"
     }
 
+    fn scope(&self) -> super::PassScope {
+        super::PassScope::File
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {

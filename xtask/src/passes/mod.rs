@@ -15,15 +15,32 @@ pub mod determinism_taint;
 pub mod dvfs_guard;
 pub mod layering;
 pub mod lint_header;
+pub mod merge_associativity;
 pub mod panic_reachability;
 pub mod partial_cmp;
 pub mod probe_purity;
+pub mod stale_config;
+pub mod state_coverage;
 pub mod sync_hygiene;
 pub mod unit_suffix;
 pub mod units_escape;
 
-/// One static-analysis pass.
-pub trait Pass {
+/// What input a pass actually reads, declared so the incremental engine
+/// ([`crate::engine`]) knows what it may cache and parallelize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassScope {
+    /// The pass reads one file at a time and its findings for a file
+    /// depend only on that file's text plus the config: the engine runs
+    /// it file-parallel over single-file contexts and caches per file.
+    File,
+    /// The pass reads cross-file state (call graph, manifests, API
+    /// snapshots, file-set membership): it always sees the full tree.
+    Tree,
+}
+
+/// One static-analysis pass. Passes are stateless (`Send + Sync`) so
+/// the engine may run them from worker threads.
+pub trait Pass: Send + Sync {
     /// Stable kebab-case lint id (`xtask.toml` key, SARIF rule id).
     fn id(&self) -> &'static str;
     /// One-line description, shown by `xtask passes` and in SARIF rules.
@@ -31,6 +48,12 @@ pub trait Pass {
     /// Runs the pass. Diagnostics are emitted at their natural severity;
     /// the driver applies `xtask.toml` levels and allowlists afterwards.
     fn run(&self, cx: &Context) -> Vec<Diagnostic>;
+    /// The pass's input scope. Defaults to [`PassScope::Tree`], the
+    /// always-correct choice; per-file passes opt in to `File` to become
+    /// cacheable and file-parallel.
+    fn scope(&self) -> PassScope {
+        PassScope::Tree
+    }
 }
 
 /// Every registered pass, in documentation order.
@@ -45,6 +68,9 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(layering::CrateLayering),
         Box::new(determinism::MapDeterminism),
         Box::new(determinism_taint::DeterminismTaint),
+        Box::new(state_coverage::StateCoverage),
+        Box::new(merge_associativity::MergeAssociativity),
+        Box::new(stale_config::StaleConfig),
         Box::new(sync_hygiene::SyncHygiene),
         Box::new(probe_purity::ProbePurity),
         Box::new(constants::PaperConstants),

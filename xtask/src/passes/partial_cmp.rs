@@ -53,6 +53,10 @@ impl super::Pass for PartialCmp {
         "float ordering must use f64::total_cmp, not partial_cmp"
     }
 
+    fn scope(&self) -> super::PassScope {
+        super::PassScope::File
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {

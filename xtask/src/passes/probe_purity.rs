@@ -93,6 +93,10 @@ impl super::Pass for ProbePurity {
         "probe-off hot-path files allocate/format only at `// alloc:`-justified sites"
     }
 
+    fn scope(&self) -> super::PassScope {
+        super::PassScope::File
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {

@@ -1,0 +1,248 @@
+//! `state-coverage` — configured (struct, method) contracts: every
+//! named field of the struct must be *used* in each method's body.
+//!
+//! The fleet layer's byte-identical-across-`--jobs` guarantee rests on
+//! `snapshot`/`restore`/`merge` implementations transferring every field
+//! of their subject struct. Add a field to `BoardSnapshot` and forget it
+//! in `Board::restore`, and the golden-digest test may still pass while
+//! forked sessions silently leak state between runs. This pass makes
+//! the transfer contract static: `[state-coverage]` in `xtask.toml`
+//! maps a struct's qualified path to the methods bound by it, and each
+//! method body must witness every field — as a dotted projection, a
+//! struct-literal key, or a struct-pattern key (see
+//! [`crate::fieldindex`]).
+//!
+//! Intentional gaps are justified *at the field declaration* with
+//! `// state: skip(<reason>)` (same line or the comment block directly
+//! above), so the exemption is visible where the field lives and is
+//! audited in one place. A skip on a field that every bound method
+//! accesses anyway is reported as a stale note, so markers ratchet
+//! down. Entries whose type or method paths no longer resolve are the
+//! `stale-config` pass's job, not this one's.
+
+use crate::diag::{Diagnostic, Span};
+use crate::fieldindex::accessed_fields;
+use crate::items::{FieldItem, StructItem};
+use crate::Context;
+
+/// The pass. See the module docs.
+pub struct StateCoverage;
+
+const SKIP_MARKER: &str = "// state: skip(";
+
+/// Whether raw line `line_idx` (0-based) carries a `// state: skip(…)`
+/// justification: on the line itself, or in the contiguous run of
+/// comment-only lines directly above it.
+fn has_skip_justification(raw_lines: &[&str], line_idx: usize) -> bool {
+    if raw_lines
+        .get(line_idx)
+        .is_some_and(|l| l.contains(SKIP_MARKER))
+    {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 {
+        i -= 1;
+        let trimmed = raw_lines[i].trim_start();
+        if !trimmed.starts_with("//") {
+            return false;
+        }
+        if raw_lines[i].contains(SKIP_MARKER) {
+            return true;
+        }
+    }
+    false
+}
+
+impl super::Pass for StateCoverage {
+    fn id(&self) -> &'static str {
+        "state-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "configured snapshot/restore/merge methods must access every field of their struct"
+    }
+
+    fn run(&self, cx: &Context) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (ty_qual, method_quals) in &cx.config.state_coverage {
+            // Resolve the struct; unresolved entries are stale-config's
+            // findings, not ours.
+            let Some((ty_file_idx, ty)) = find_struct(cx, ty_qual) else {
+                continue;
+            };
+            let ty_file = &cx.files[ty_file_idx];
+            let raw_lines: Vec<&str> = ty_file.text.lines().collect();
+            let skipped: Vec<&FieldItem> = ty
+                .fields
+                .iter()
+                .filter(|f| has_skip_justification(&raw_lines, f.line.saturating_sub(1)))
+                .collect();
+            let mut methods_seen = 0usize;
+            // Fields accessed by *every* bound method, for stale-skip
+            // detection.
+            let mut accessed_by_all: Option<std::collections::BTreeSet<String>> = None;
+            for method_qual in method_quals {
+                let Some((m_file_idx, item)) = find_fn(cx, method_qual) else {
+                    continue;
+                };
+                methods_seen += 1;
+                let accessed = accessed_fields(&cx.files[m_file_idx], &item);
+                for field in &ty.fields {
+                    if accessed.contains(&field.name)
+                        || skipped.iter().any(|s| s.name == field.name)
+                    {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::error(
+                            self.id(),
+                            Span::line(&cx.files[m_file_idx].rel, item.line),
+                            format!(
+                                "`{method_qual}` does not access field `{}` of `{ty_qual}`",
+                                field.name
+                            ),
+                        )
+                        .with_help(format!(
+                            "transfer the field, or add `// state: skip(<reason>)` to its \
+                             declaration at {}:{}",
+                            ty_file.rel, field.line
+                        )),
+                    );
+                }
+                accessed_by_all = Some(match accessed_by_all.take() {
+                    None => accessed,
+                    Some(prev) => prev.intersection(&accessed).cloned().collect(),
+                });
+            }
+            // Ratchet-down: a skip on a field every bound method accesses
+            // anyway is stale.
+            if methods_seen > 0 {
+                let all = accessed_by_all.unwrap_or_default();
+                for field in skipped {
+                    if all.contains(&field.name) {
+                        out.push(Diagnostic::note(
+                            self.id(),
+                            Span::line(&ty_file.rel, field.line),
+                            format!(
+                                "field `{}` of `{ty_qual}` carries `// state: skip` but every \
+                                 configured method accesses it; remove the marker",
+                                field.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The non-test struct with qualified path `qual`, with its file index.
+fn find_struct<'a>(cx: &'a Context, qual: &str) -> Option<(usize, &'a StructItem)> {
+    cx.files.iter().enumerate().find_map(|(i, f)| {
+        f.items
+            .structs
+            .iter()
+            .find(|s| !s.in_test && s.qual == qual)
+            .map(|s| (i, s))
+    })
+}
+
+/// The non-test function with qualified path `qual`, with its file index.
+fn find_fn(cx: &Context, qual: &str) -> Option<(usize, crate::items::FnItem)> {
+    cx.files.iter().enumerate().find_map(|(i, f)| {
+        f.items
+            .fns
+            .iter()
+            .find(|m| !m.in_test && m.qual == qual)
+            .map(|m| (i, m.clone()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Pass;
+    use super::*;
+    use crate::diag::Severity;
+    use crate::source::SourceFile;
+    use crate::Config;
+
+    const CONFIG: &str = "[state-coverage]\n\"soc::snap::Snap\" = [\"soc::snap::Board::save\", \"soc::snap::Board::load\"]\n";
+
+    fn cx(src: &str) -> Context {
+        Context {
+            files: vec![SourceFile::new("crates/soc/src/snap.rs", src)],
+            config: Config::from_toml(CONFIG).expect("config"),
+            ..Context::default()
+        }
+    }
+
+    #[test]
+    fn full_transfer_is_clean() {
+        let src = "pub struct Snap {\n    pub a: u64,\n    pub b: f64,\n}\npub struct Board;\nimpl Board {\n    pub fn save(&self) -> Snap {\n        Snap { a: 1, b: 2.0 }\n    }\n    pub fn load(&mut self, s: &Snap) {\n        let _ = (s.a, s.b);\n    }\n}\n";
+        assert!(StateCoverage.run(&cx(src)).is_empty());
+    }
+
+    #[test]
+    fn missing_field_is_reported_at_the_method() {
+        let src = "pub struct Snap {\n    pub a: u64,\n    pub b: f64,\n}\npub struct Board;\nimpl Board {\n    pub fn save(&self) -> Snap {\n        Snap { a: 1, b: 2.0 }\n    }\n    pub fn load(&mut self, s: &Snap) {\n        let _ = s.a;\n    }\n}\n";
+        let diags = StateCoverage.run(&cx(src));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span.line, 10);
+        assert!(
+            diags[0]
+                .message
+                .contains("`soc::snap::Board::load` does not access field `b`"),
+            "{diags:?}"
+        );
+        assert!(
+            diags[0]
+                .help
+                .as_deref()
+                .is_some_and(|h| h.contains("// state: skip(<reason>)")
+                    && h.contains("crates/soc/src/snap.rs:3")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn skip_justification_covers_the_gap() {
+        let src = "pub struct Snap {\n    pub a: u64,\n    // state: skip(derived from a on load)\n    pub b: f64,\n}\npub struct Board;\nimpl Board {\n    pub fn save(&self) -> Snap {\n        Snap { a: 1, b: 2.0 }\n    }\n    pub fn load(&mut self, s: &Snap) {\n        let _ = s.a;\n    }\n}\n";
+        assert!(StateCoverage.run(&cx(src)).is_empty());
+    }
+
+    #[test]
+    fn stale_skip_is_noted() {
+        let src = "pub struct Snap {\n    // state: skip(obsolete)\n    pub a: u64,\n}\npub struct Board;\nimpl Board {\n    pub fn save(&self) -> Snap {\n        Snap { a: 1 }\n    }\n    pub fn load(&mut self, s: &Snap) {\n        let _ = s.a;\n    }\n}\n";
+        let diags = StateCoverage.run(&cx(src));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Note);
+        assert_eq!(diags[0].span.line, 3);
+        assert!(diags[0].message.contains("remove the marker"), "{diags:?}");
+    }
+
+    #[test]
+    fn unresolved_entries_are_left_to_stale_config() {
+        let src = "pub struct Other {\n    pub x: u64,\n}\n";
+        assert!(StateCoverage.run(&cx(src)).is_empty());
+    }
+
+    #[test]
+    fn tuple_struct_positional_fields_are_covered_by_index_projection() {
+        let config = "[state-coverage]\n\"soc::snap::Pair\" = [\"soc::snap::Pair::merge\"]\n";
+        let src = "pub struct Pair(pub f64, pub f64);\nimpl Pair {\n    pub fn merge(&mut self, o: &Pair) {\n        self.0 += o.0;\n    }\n}\n";
+        let cx = Context {
+            files: vec![SourceFile::new("crates/soc/src/snap.rs", src)],
+            config: Config::from_toml(config).expect("config"),
+            ..Context::default()
+        };
+        let diags = StateCoverage.run(&cx);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("does not access field `1`"),
+            "{diags:?}"
+        );
+    }
+}

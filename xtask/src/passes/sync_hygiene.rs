@@ -101,6 +101,10 @@ impl super::Pass for SyncHygiene {
         "synchronization goes through the model-checked facade; non-SeqCst orderings are justified"
     }
 
+    fn scope(&self) -> super::PassScope {
+        super::PassScope::File
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let banned_sync = ["std::sync", "std::thread::spawn", "std::thread::scope"];
         let mut out = Vec::new();

@@ -45,6 +45,10 @@ impl super::Pass for UnitSuffix {
         "public f64 fields must not carry raw unit suffixes; use typed quantities"
     }
 
+    fn scope(&self) -> super::PassScope {
+        super::PassScope::File
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for file in &cx.files {

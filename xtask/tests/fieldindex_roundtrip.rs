@@ -1,0 +1,111 @@
+//! Round-trip fuzz of the field-access extractor the state-coverage
+//! pass is built on: generate a struct plus a method body that accesses
+//! a *known* subset of its fields through randomly chosen access forms
+//! (projection, compound assignment, struct-literal key, pattern key),
+//! salted with distractors that reuse the *unaccessed* field names in
+//! non-access positions (method calls, plain locals, range endpoints).
+//! `accessed_fields` must report exactly the chosen subset — every real
+//! access found, no distractor miscounted.
+
+// Test code asserts invariants directly; the panic ratchet covers libraries.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use xtask::fieldindex::accessed_fields;
+use xtask::source::SourceFile;
+
+/// Field-name pool. Deliberately includes names that collide with
+/// common method names (`merge`, `count`) so the method-call
+/// distractors below are maximally confusable.
+const POOL: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "count", "merge", "lo", "hi",
+];
+
+/// One statement that genuinely accesses `field`, selected by `form`.
+fn access_stmt(field: &str, form: usize) -> String {
+    match form % 5 {
+        0 => format!("        let _ = self.{field};\n"),
+        1 => format!("        self.{field} += 1.0;\n"),
+        2 => format!("        let _ = Def {{ {field}: 0.0, ..Def::default() }};\n"),
+        3 => format!(
+            "        let Def {{ {field}, .. }} = Def::default();\n        let _ = {field};\n"
+        ),
+        _ => format!("        let _ = other.{field} * 2.0;\n"),
+    }
+}
+
+/// One statement that *uses the name* of `field` without accessing a
+/// field: a dotted method call, a shadowing local, or a range bound.
+fn distractor_stmt(field: &str, form: usize) -> String {
+    match form % 3 {
+        0 => format!("        self.{field}();\n"),
+        1 => format!("        let {field} = 1.0;\n        let _ = {field};\n"),
+        _ => format!("        for _ in 0 .. {field}_n {{}}\n"),
+    }
+}
+
+fn build_source(accessed: &[(usize, usize)], distractors: &[(usize, usize)]) -> String {
+    let fields: String = POOL.iter().map(|f| format!("    {f}: f64,\n")).collect();
+    let mut body = String::new();
+    for &(idx, form) in accessed {
+        body.push_str(&access_stmt(POOL[idx], form));
+    }
+    for &(idx, form) in distractors {
+        body.push_str(&distractor_stmt(POOL[idx], form));
+    }
+    format!(
+        "#[derive(Default)]\nstruct Def {{\n{fields}}}\n\nimpl Def {{\n    fn probe(&mut self, other: &Def) {{\n{body}    }}\n}}\n"
+    )
+}
+
+fn extracted(src: &str) -> BTreeSet<String> {
+    let file = SourceFile::new("crates/x/src/lib.rs", src);
+    let item = file
+        .items
+        .fns
+        .iter()
+        .find(|f| f.name == "probe")
+        .expect("fn probe")
+        .clone();
+    accessed_fields(&file, &item)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The extracted field set equals the generated access set exactly:
+    /// distractor uses of the complement's names never leak in, and no
+    /// chosen access form is missed.
+    #[test]
+    fn extracted_fields_match_generated_accesses(
+        picks in prop::collection::vec((0usize..POOL.len(), 0usize..5), 0..10),
+        distractor_forms in prop::collection::vec(0usize..3, POOL.len()),
+    ) {
+        let accessed: BTreeSet<usize> = picks.iter().map(|&(i, _)| i).collect();
+        // Distract with every *unaccessed* pool name, so a false
+        // positive on any name is caught, not just sampled ones.
+        let distractors: Vec<(usize, usize)> = (0..POOL.len())
+            .filter(|i| !accessed.contains(i))
+            .map(|i| (i, distractor_forms[i]))
+            .collect();
+        let src = build_source(&picks, &distractors);
+        let got = extracted(&src);
+        let want: BTreeSet<String> = accessed.iter().map(|&i| POOL[i].to_string()).collect();
+        prop_assert_eq!(got, want, "source:\n{}", src);
+    }
+
+    /// Order of statements never changes the extracted set: accesses
+    /// interleaved with distractors in any permutation agree with the
+    /// accesses alone.
+    #[test]
+    fn extraction_is_order_insensitive(
+        picks in prop::collection::vec((0usize..POOL.len(), 0usize..5), 1..8),
+    ) {
+        let mut reversed = picks.clone();
+        reversed.reverse();
+        let a = extracted(&build_source(&picks, &[]));
+        let b = extracted(&build_source(&reversed, &[]));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -338,3 +338,156 @@ fn hash_map_taint_reaching_export_fails_and_btreemap_passes() {
     };
     assert!(!lint_fires(&cx, "determinism-taint"));
 }
+
+#[test]
+fn uncovered_snapshot_field_fails_and_skip_marker_passes() {
+    let config = Config::from_toml(
+        "[state-coverage]\n\"soc::snap::Snap\" = [\"soc::snap::Board::restore\"]\n",
+    )
+    .expect("config");
+    // `restore` transfers `seed` but forgets `energy`.
+    let src = "pub struct Snap {\n    pub seed: u64,\n    pub energy: f64,\n}\npub struct Board;\nimpl Board {\n    pub fn restore(&mut self, s: &Snap) {\n        let _ = s.seed;\n    }\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/snap.rs", src)],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "state-coverage")
+        .expect("state-coverage must fire");
+    assert_eq!(hit.span.file, "crates/soc/src/snap.rs");
+    assert_eq!(hit.span.line, 7, "{hit:?}");
+    assert!(
+        hit.message.contains(
+            "`soc::snap::Board::restore` does not access field `energy` of `soc::snap::Snap`"
+        ),
+        "{hit:?}"
+    );
+    assert!(
+        hit.help.as_deref().is_some_and(|h| {
+            h.contains("transfer the field, or add `// state: skip(<reason>)`")
+                && h.contains("crates/soc/src/snap.rs:3")
+        }),
+        "{hit:?}"
+    );
+
+    // A justified skip on the field's declaration repairs the tree.
+    let repaired = src.replace(
+        "    pub energy: f64,",
+        "    // state: skip(recomputed from seed on restore)\n    pub energy: f64,",
+    );
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/snap.rs", repaired)],
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "state-coverage"));
+}
+
+#[test]
+fn raw_f64_fold_under_merge_sink_fails_and_sketch_type_passes() {
+    let config = Config::from_toml(
+        "[merge-associativity]\nsink_fns = [\"soc::agg::Report::merge\"]\nmergeable_types = [\"Hist\"]\n",
+    )
+    .expect("config");
+    // The sink reaches a helper whose `.sum()` reassociates under resharding.
+    let src = "pub struct Report {\n    pub total: f64,\n}\nimpl Report {\n    pub fn merge(&mut self, other: &Report) {\n        self.total = combine(self.total, other.total);\n    }\n}\nfn combine(a: f64, b: f64) -> f64 {\n    [a, b].iter().sum()\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/agg.rs", src)],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "merge-associativity")
+        .expect("merge-associativity must fire");
+    assert_eq!(hit.span.file, "crates/soc/src/agg.rs");
+    assert_eq!(hit.span.line, 10, "{hit:?}");
+    assert!(
+        hit.message.contains(
+            "raw f64 accumulation `.sum()` in `soc::agg::combine` \
+             (merge-reachable via `soc::agg::Report::merge -> soc::agg::combine`)"
+        ),
+        "{hit:?}"
+    );
+    assert!(
+        hit.help.as_deref().is_some_and(|h| {
+            h.contains("accumulate through a mergeable sketch type")
+                && h.contains("// merge: <reason>")
+        }),
+        "{hit:?}"
+    );
+
+    // Folding through a declared-mergeable sketch type passes.
+    let repaired = "pub struct Report {\n    pub total: Hist,\n}\npub struct Hist;\nimpl Hist {\n    pub fn merge(&mut self, _other: &Hist) {}\n}\nimpl Report {\n    pub fn merge(&mut self, other: &Report) {\n        self.total.merge(&other.total);\n    }\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/agg.rs", repaired)],
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "merge-associativity"));
+}
+
+#[test]
+fn stale_config_entry_fails_and_resolving_entry_passes() {
+    let src = "pub struct Snap {\n    pub seed: u64,\n}\npub struct Board;\nimpl Board {\n    pub fn restore(&mut self, s: &Snap) {\n        let _ = s.seed;\n    }\n}\n";
+    // The config points state-coverage at a struct that no longer exists.
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/snap.rs", src)],
+        config: Config::from_toml(
+            "[state-coverage]\n\"soc::snap::Gone\" = [\"soc::snap::Board::restore\"]\n",
+        )
+        .expect("config"),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "stale-config")
+        .expect("stale-config must fire");
+    assert_eq!(hit.span.file, "xtask/xtask.toml");
+    assert!(
+        hit.message
+            .contains("[state-coverage] key `soc::snap::Gone` resolves to no struct"),
+        "{hit:?}"
+    );
+    assert!(
+        hit.help
+            .as_deref()
+            .is_some_and(|h| h.contains("update the entry to match the tree")),
+        "{hit:?}"
+    );
+
+    // The same entry pointed at the live struct passes.
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/snap.rs", src)],
+        config: Config::from_toml(
+            "[state-coverage]\n\"soc::snap::Snap\" = [\"soc::snap::Board::restore\"]\n",
+        )
+        .expect("config"),
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "stale-config"));
+
+    // A dangling path prefix is caught the same way.
+    let cx = Context {
+        files: vec![SourceFile::new("crates/soc/src/snap.rs", src)],
+        config: Config::from_toml("[allow]\n\"partial-cmp\" = [\"crates/gone/src/\"]\n")
+            .expect("config"),
+        ..Context::default()
+    };
+    assert!(lint_fires(&cx, "stale-config"));
+    let diags = run_passes(&cx);
+    assert!(
+        diags.iter().any(|d| d.lint == "stale-config"
+            && d.message
+                .contains("prefix `crates/gone/src/` matches no loaded file")),
+        "{diags:?}"
+    );
+}
