@@ -14,14 +14,17 @@ fmt:
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# The sixteen-pass diagnostics framework (DESIGN.md §8, §12, §13),
+# The nineteen-pass diagnostics framework (DESIGN.md §8, §12–§14),
 # configured by xtask/xtask.toml: panic reachability, unit-suffix /
-# units-escape and partial_cmp bans, lint headers, DVFS guard, crate
-# layering, export determinism (per-file and call-graph taint),
-# state coverage, merge associativity, stale-config validation, sync
-# hygiene, probe purity, paper-constant provenance, API-surface
-# snapshots. `--timing --budget-ms` is the runtime-regression gate CI
-# applies to the suite itself.
+# units-escape and partial_cmp bans, dimensional flow, lint headers,
+# DVFS guard, crate layering, export determinism (per-file and
+# call-graph taint), state coverage, merge associativity, snapshot
+# pairing, probe balance, stale-config validation, sync hygiene, probe
+# purity, paper-constant provenance, API-surface snapshots.
+# `cargo run -p xtask -- lint --explain <lint-id>` prints any pass's
+# long-form rationale. `--timing --budget-ms` is the runtime-regression
+# gate CI applies to the suite itself (total wall-clock AND a per-pass
+# share ceiling).
 xtask-lint:
 	cargo run -q -p xtask -- lint --timing --budget-ms 10000
 

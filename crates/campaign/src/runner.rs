@@ -387,8 +387,10 @@ pub fn run_page_observed(
     probe: Rc<RefCell<dyn Probe>>,
 ) -> RunResult {
     let mut board = warmed_board(kernel, governor, config);
-    board.attach_probe(probe);
-    measured_load(&mut board, page, kernel, governor, config)
+    let probe_id = board.attach_probe(probe);
+    let result = measured_load(&mut board, page, kernel, governor, config);
+    board.detach_probe(probe_id);
+    result
 }
 
 /// Builds a fresh board, assigns the co-runner, and runs the thermal

@@ -23,6 +23,7 @@ use dora_browser::catalog::{Catalog, CatalogPage};
 use dora_campaign::runner::{run_page, ScenarioConfig};
 use dora_coworkloads::Kernel;
 use dora_governors::PinnedGovernor;
+use dora_sim_core::units::{Seconds, Watts};
 use dora_sim_core::SimDuration;
 use dora_soc::board::Board;
 use dora_soc::Frequency;
@@ -50,14 +51,14 @@ pub struct Fig02 {
     pub freq: Frequency,
 }
 
-/// Mean idle device power at `freq` after thermal settling, in watts.
-fn idle_power_w(config: &ScenarioConfig, freq: Frequency) -> f64 {
+/// Mean idle device power at `freq` after thermal settling.
+fn idle_power(config: &ScenarioConfig, freq: Frequency) -> Watts {
     let mut board = Board::new(config.board.clone(), config.seed);
     board.set_frequency(freq).expect("table frequency");
     board.step(SimDuration::from_secs(30));
-    let e0 = board.energy().value();
+    let e0 = board.energy();
     board.step(SimDuration::from_secs(10));
-    (board.energy().value() - e0) / 10.0
+    (board.energy() - e0) / Seconds::new(10.0)
 }
 
 /// The kernel's alone-run marginal energy per instruction (joules), i.e.
@@ -66,7 +67,7 @@ fn kernel_joules_per_instruction(
     config: &ScenarioConfig,
     kernel: &Kernel,
     freq: Frequency,
-    idle_power_w: f64,
+    idle_power: Watts,
 ) -> f64 {
     let mut board = Board::new(config.board.clone(), config.seed);
     board.set_frequency(freq).expect("table frequency");
@@ -74,12 +75,12 @@ fn kernel_joules_per_instruction(
         .assign(2, Box::new(kernel.spawn(config.seed)))
         .expect("fresh board");
     board.step(config.warmup);
-    let e0 = board.energy().value();
+    let e0 = board.energy();
     let i0 = board.counters(2).instructions;
     board.step(SimDuration::from_secs(10));
-    let energy = board.energy().value() - e0 - idle_power_w * 10.0;
+    let energy = board.energy() - e0 - idle_power * Seconds::new(10.0);
     let instructions = board.counters(2).instructions - i0;
-    (energy / instructions).max(0.0)
+    (energy.value() / instructions).max(0.0)
 }
 
 /// Measures the figure.
@@ -87,7 +88,7 @@ pub fn run(config: &ScenarioConfig) -> Fig02 {
     let catalog = Catalog::alexa18();
     let freq = config.board.dvfs.max_frequency();
     let [low, medium, high] = Kernel::representatives();
-    let p_idle = idle_power_w(config, freq);
+    let p_idle = idle_power(config, freq);
 
     // Attribute energies as increments over the idle platform, with the
     // kernel's share normalized to the work it actually completed during
@@ -100,8 +101,8 @@ pub fn run(config: &ScenarioConfig) -> Fig02 {
         let mut pin = PinnedGovernor::new("pin", freq);
         let alone = run_page(page, None, &mut pin, config);
         let j_per_instr = kernel_joules_per_instruction(config, kernel, freq, p_idle);
-        let e_co_hat = co.energy.value() - p_idle * co.load_time.value();
-        let e_browser_hat = alone.energy.value() - p_idle * alone.load_time.value();
+        let e_co_hat = (co.energy - p_idle * co.load_time).value();
+        let e_browser_hat = (alone.energy - p_idle * alone.load_time).value();
         let e_kernel_hat = j_per_instr * co.corun_instructions;
         ((e_co_hat - e_browser_hat - e_kernel_hat) / e_co_hat).max(0.0)
     };

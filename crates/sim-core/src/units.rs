@@ -187,7 +187,10 @@ impl Ppw {
     /// `Ppw::ZERO`, the worst possible score, so a corrupt prediction can
     /// never *win* a frequency search.
     pub fn from_time_power(time: Seconds, power: Watts) -> Ppw {
-        let product = time.value() * power.value();
+        // Build the energy through the typed `Watts × Seconds → Joules`
+        // impl rather than multiplying raw scalars: `T·P` *is* the
+        // energy of the load, and the typed product keeps it that way.
+        let product = (power * time).value();
         if product.is_finite() && product > 0.0 {
             Ppw(1.0 / product)
         } else {

@@ -85,6 +85,19 @@ pub struct Config {
     /// Type names whose methods are trusted to merge associatively
     /// (`[merge-associativity] mergeable_types`).
     pub merge_mergeable_types: Vec<String>,
+    /// Method name that opens a snapshot pair (`[snapshot-pairing]
+    /// open`). Empty means the pass's built-in default, `snapshot`.
+    pub snapshot_open: String,
+    /// Method name that closes a snapshot pair (`[snapshot-pairing]
+    /// close`). Empty means the pass's built-in default, `restore`.
+    pub snapshot_close: String,
+    /// Qualified functions the snapshot-pairing lint checks
+    /// (`[snapshot-pairing] fns`). Empty leaves the pass inert.
+    pub snapshot_fns: Vec<String>,
+    /// Probe-balance contracts (`[probe-balance]`): qualified function
+    /// path → `[open_method, close_method]` that must balance on every
+    /// control-flow path through that function.
+    pub probe_balance: BTreeMap<String, (String, String)>,
 }
 
 fn string_list(value: &Value, what: &str) -> Result<Vec<String>, String> {
@@ -239,6 +252,39 @@ impl Config {
                         }
                     }
                 }
+                "snapshot-pairing" => {
+                    for (key, v) in entries {
+                        match key.as_str() {
+                            "open" => {
+                                config.snapshot_open = v
+                                    .as_str()
+                                    .ok_or("[snapshot-pairing] open must be a string")?
+                                    .to_string();
+                            }
+                            "close" => {
+                                config.snapshot_close = v
+                                    .as_str()
+                                    .ok_or("[snapshot-pairing] close must be a string")?
+                                    .to_string();
+                            }
+                            "fns" => {
+                                config.snapshot_fns = string_list(v, "[snapshot-pairing] fns")?;
+                            }
+                            other => {
+                                return Err(format!("unknown key `{other}` in [snapshot-pairing]"))
+                            }
+                        }
+                    }
+                }
+                "probe-balance" => {
+                    for (qual, v) in entries {
+                        let pair = string_list(v, &format!("[probe-balance] \"{qual}\""))?;
+                        let [open, close] = <[String; 2]>::try_from(pair).map_err(|_| {
+                            format!("[probe-balance] \"{qual}\" must be [open, close]")
+                        })?;
+                        config.probe_balance.insert(qual.clone(), (open, close));
+                    }
+                }
                 "determinism-taint" => {
                     for (key, v) in entries {
                         if key != "source_fns" {
@@ -316,6 +362,14 @@ source_fns = ["campaign::executor::unordered_reduce"]
 [merge-associativity]
 sink_fns = ["campaign::fleet::report::FleetReport::merge"]
 mergeable_types = ["FixedHistogram", "Running"]
+
+[snapshot-pairing]
+open = "snapshot"
+close = "restore"
+fns = ["campaign::runner::Runner::sweep_frequencies_with"]
+
+[probe-balance]
+"campaign::runner::Runner::run_page_observed" = ["attach_probe", "detach_probe"]
 "#;
 
     #[test]
@@ -353,6 +407,22 @@ mergeable_types = ["FixedHistogram", "Running"]
             vec!["campaign::fleet::report::FleetReport::merge"]
         );
         assert_eq!(c.merge_mergeable_types, vec!["FixedHistogram", "Running"]);
+        assert_eq!(c.snapshot_open, "snapshot");
+        assert_eq!(c.snapshot_close, "restore");
+        assert_eq!(
+            c.snapshot_fns,
+            vec!["campaign::runner::Runner::sweep_frequencies_with"]
+        );
+        assert_eq!(
+            c.probe_balance["campaign::runner::Runner::run_page_observed"],
+            ("attach_probe".to_string(), "detach_probe".to_string())
+        );
+    }
+
+    #[test]
+    fn probe_balance_pair_must_have_two_entries() {
+        let err = Config::from_toml("[probe-balance]\n\"a::b\" = [\"open\"]\n").expect_err("bad");
+        assert!(err.contains("must be [open, close]"), "{err}");
     }
 
     #[test]

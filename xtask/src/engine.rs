@@ -38,7 +38,7 @@ use std::time::Duration;
 
 /// Bump to invalidate every existing cache entry (serialization or
 /// semantics changes).
-const CACHE_VERSION: &str = "xtask-cache v1";
+const CACHE_VERSION: &str = "xtask-cache v2";
 
 /// How the engine is asked to run.
 #[derive(Debug, Clone)]
@@ -117,14 +117,15 @@ fn fnv(parts: &[&str]) -> u64 {
 }
 
 /// Hash of everything that parameterizes pass *behavior* (as opposed to
-/// the sources being linted): cache format version, the registered pass
-/// ids, and the parsed config.
+/// the sources being linted): cache format version, the registry
+/// fingerprint (pass ids, order, *and* per-pass behavioral versions —
+/// see [`crate::passes::registry_fingerprint`]), and the parsed config.
+/// A rebuilt xtask whose pass logic changed therefore never serves
+/// per-file entries computed by the old logic.
 fn config_hash(cx: &Context) -> u64 {
-    let ids: Vec<&str> = registry().iter().map(|p| p.id()).collect();
+    let fingerprint = format!("{:016x}", crate::passes::registry_fingerprint());
     let config = format!("{:?}", cx.config);
-    let mut parts = vec![CACHE_VERSION, config.as_str()];
-    parts.extend(ids);
-    fnv(&parts)
+    fnv(&[CACHE_VERSION, fingerprint.as_str(), config.as_str()])
 }
 
 /// Hash of one file's identity and contents.

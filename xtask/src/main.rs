@@ -4,16 +4,19 @@
 //! Commands:
 //!
 //! * `lint [--format human|json|sarif] [--only <id,id>] [--timing]
-//!   [--budget-ms <n>] [--no-cache] [--changed]` — run every registered
-//!   pass over the tree via the incremental parallel engine
-//!   (`xtask::engine`); exit 1 when any error-severity finding survives
-//!   `xtask.toml` policy, 2 on tool failure. `--timing` prints a
-//!   per-pass runtime + cache report to stderr and writes
+//!   [--budget-ms <n>] [--no-cache] [--changed] [--explain <id>]` — run
+//!   every registered pass over the tree via the incremental parallel
+//!   engine (`xtask::engine`); exit 1 when any error-severity finding
+//!   survives `xtask.toml` policy, 2 on tool failure. `--timing` prints
+//!   a per-pass runtime + cache report to stderr and writes
 //!   `BENCH_lint.json` at the repo root; `--budget-ms` additionally
-//!   fails the run when wall-clock exceeds the budget (the CI
-//!   runtime-regression gate). `--no-cache` bypasses
-//!   `target/xtask-cache/`; `--changed` re-lints only files whose cache
-//!   entry is stale and skips the tree-scoped passes.
+//!   fails the run when wall-clock exceeds the budget or any single
+//!   pass exceeds its per-pass share of it (the CI runtime-regression
+//!   gate). `--no-cache` bypasses `target/xtask-cache/`; `--changed`
+//!   re-lints only files whose cache entry is stale and skips the
+//!   tree-scoped passes. `--explain <id>` prints one pass's reference
+//!   text (what it checks, config keys, justification syntax) and
+//!   exits without linting.
 //! * `bless-api` — regenerate the `xtask/api/<crate>.txt` public-API
 //!   snapshots after an intentional surface change.
 //! * `passes` — list registered lint ids and descriptions.
@@ -32,12 +35,14 @@ usage: cargo run -p xtask -- <command>
 
 commands:
   lint [--format human|json|sarif] [--only <id,id>] [--timing] [--budget-ms <n>]
-       [--no-cache] [--changed]
+       [--no-cache] [--changed] [--explain <id>]
         run the static-analysis passes; non-zero exit on findings
         --timing prints a per-pass runtime + cache report and writes
         BENCH_lint.json; --budget-ms fails the run when wall-clock
-        exceeds the budget; --no-cache bypasses target/xtask-cache/;
-        --changed lints only cache-stale files (skips tree passes)
+        exceeds the budget or any pass exceeds its per-pass share;
+        --no-cache bypasses target/xtask-cache/; --changed lints only
+        cache-stale files (skips tree passes); --explain <id> prints
+        one pass's reference text and exits
   bless-api
         regenerate xtask/api/<crate>.txt public-API snapshots
   passes
@@ -59,6 +64,7 @@ struct LintArgs {
     budget_ms: Option<u64>,
     no_cache: bool,
     changed: bool,
+    explain: Option<String>,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
@@ -69,6 +75,7 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
         budget_ms: None,
         no_cache: false,
         changed: false,
+        explain: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -100,6 +107,11 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                 parsed.changed = true;
                 i += 1;
             }
+            "--explain" => {
+                let value = args.get(i + 1).ok_or("--explain needs a lint id")?;
+                parsed.explain = Some(value.clone());
+                i += 2;
+            }
             "--budget-ms" => {
                 let value = args.get(i + 1).ok_or("--budget-ms needs a value")?;
                 parsed.budget_ms = Some(
@@ -120,9 +132,13 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
 
 /// Renders the `--timing` report: one line per pass, the engine's
 /// wall-clock total and cache behavior, with the budget verdict when
-/// `--budget-ms` is set. The budget is judged on wall-clock (per-pass
-/// durations are summed across workers, so their sum can exceed it on
-/// a healthy run).
+/// `--budget-ms` is set. Two gates share the budget: total wall-clock
+/// must stay under it, and each single pass must stay under its
+/// per-pass share (budget ÷ passes run) — a pass that eats the whole
+/// budget alone is a regression even while the total still fits.
+/// Wall-clock is the primary gate (per-pass durations are summed
+/// across workers, so their *sum* can exceed it on a healthy run, but
+/// no single pass should).
 fn timing_report(
     outcome: &xtask::engine::LintOutcome,
     wall: std::time::Duration,
@@ -156,6 +172,17 @@ fn timing_report(
     if let Some(budget) = budget_ms {
         let wall_ms = wall.as_secs_f64() * 1e3;
         over = wall_ms > budget as f64;
+        let share = budget as f64 / outcome.timings.len().max(1) as f64;
+        for t in &outcome.timings {
+            let ms = t.elapsed.as_secs_f64() * 1e3;
+            if ms > share {
+                over = true;
+                out.push_str(&format!(
+                    "  pass {} over its per-pass share: {ms:.3} ms > {share:.1} ms\n",
+                    t.id
+                ));
+            }
+        }
         out.push_str(&format!(
             "  budget {budget} ms: {}\n",
             if over { "EXCEEDED" } else { "ok" }
@@ -174,7 +201,12 @@ fn lint(root: &Path, args: &[String]) -> Result<i32, String> {
         budget_ms,
         no_cache,
         changed,
+        explain,
     } = opts;
+    if let Some(id) = &explain {
+        print!("{}", render::explain(id)?);
+        return Ok(0);
+    }
     if let Some(ids) = &only {
         let known: Vec<&str> = registry().iter().map(|p| p.id()).collect();
         for id in ids {

@@ -159,6 +159,17 @@ impl super::Pass for ApiSurface {
         "public API changes must be blessed into xtask/api/ snapshots"
     }
 
+    fn explain(&self) -> &'static str {
+        "Renders each crate's public API surface (pub fns, types, consts,\n\
+         re-exports) from the item tree and diffs it against the blessed\n\
+         snapshot in `xtask/api/<crate>.txt`. Any drift — additions,\n\
+         removals, signature changes, or a missing snapshot — is an\n\
+         error, so API changes are explicit, reviewed artifacts.\n\
+         \n\
+         Config: none; bless intentional changes with\n\
+         `cargo run -p xtask -- bless-api` and commit the snapshot diff."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         let bless = "review the change, then run `cargo run -p xtask -- bless-api`";

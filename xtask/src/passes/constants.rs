@@ -68,6 +68,21 @@ impl super::Pass for PaperConstants {
         "model constants live in designated modules and cite the paper"
     }
 
+    fn explain(&self) -> &'static str {
+        "Keeps the paper's model constants auditable: non-trivial float\n\
+         literals may appear only in the designated constants modules,\n\
+         and every constant there must cite its source with a\n\
+         `// paper: <section/table/equation>` comment. A magic float\n\
+         elsewhere either moves into a constants module or joins the\n\
+         trivial list.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [constants]\n\
+           modules = [\"crates/soc/src/dvfs.rs\"]   # designated modules\n\
+           trivial = [0.0, 1.0, 1024.0]           # structural values\n\
+         Justification: the `// paper:` citation itself."
+    }
+
     fn scope(&self) -> super::PassScope {
         super::PassScope::File
     }

@@ -59,6 +59,20 @@ impl super::Pass for MapDeterminism {
         "export/serialization code must not use hash-seeded collections"
     }
 
+    fn explain(&self) -> &'static str {
+        "Bans hash-seeded collections (`HashMap`, `HashSet`) in the\n\
+         configured export/serialization paths: their iteration order\n\
+         varies run to run, so golden files and exported reports stop\n\
+         being byte-stable. Use `BTreeMap`/`BTreeSet` (or sort before\n\
+         emitting) in export code.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [determinism]\n\
+           export_paths = [\"crates/campaign/src/export.rs\"]  # prefixes\n\
+         See also `determinism-taint`, which follows the call graph out\n\
+         of these paths."
+    }
+
     fn scope(&self) -> super::PassScope {
         super::PassScope::File
     }

@@ -35,6 +35,22 @@ impl super::Pass for DeterminismTaint {
         "nondeterminism sources must not be reachable from export/golden code"
     }
 
+    fn explain(&self) -> &'static str {
+        "Taint analysis over the intra-workspace call graph: functions\n\
+         defined in the determinism export paths are sinks, and any\n\
+         nondeterminism source reachable from them — wall-clock reads,\n\
+         hash-seeded iteration, thread-id dependence, plus the configured\n\
+         extra sources — is an error, with the call path shown.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [determinism]\n\
+           export_paths = [\"crates/campaign/src/export.rs\"]  # the sinks\n\
+           [determinism-taint]\n\
+           source_fns = [\"campaign::executor::unordered_reduce\"]\n\
+         Justification: none inline — route the sink through a\n\
+         deterministic facade instead."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         if cx.config.determinism_paths.is_empty() {
             return Vec::new();

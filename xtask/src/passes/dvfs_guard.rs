@@ -25,6 +25,15 @@ impl super::Pass for DvfsGuard {
         "the DVFS table keeps its const-eval sorted/deduplicated assertion"
     }
 
+    fn explain(&self) -> &'static str {
+        "Checks that the DVFS operating-point table keeps its compile-time\n\
+         guard: the `const`-evaluated assertion that the table is sorted\n\
+         by frequency and free of duplicates. Losing the guard lets an\n\
+         edited table silently break the governors' binary searches.\n\
+         \n\
+         Config: none; the generic `[levels]` / `[allow]` policy applies."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let Some(file) = cx.files.iter().find(|f| f.rel == DVFS_FILE) else {
             return vec![Diagnostic::error(

@@ -74,6 +74,19 @@ impl super::Pass for CrateLayering {
         "crate dependencies respect the declared layer order: no upward edges, no cycles"
     }
 
+    fn explain(&self) -> &'static str {
+        "Checks workspace crate dependencies against the declared layer\n\
+         order: a crate may depend only on crates in its own or a lower\n\
+         layer, every workspace crate must be assigned to a layer, and\n\
+         the dependency graph must be acyclic.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [layering]\n\
+           layers = [[\"dora-sim-core\", …], [\"dora-soc\"], …]  # bottom-up\n\
+         Justification: none inline — fix the dependency or move the\n\
+         crate's layer assignment."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         if cx.config.layers.is_empty() {
             return Vec::new();

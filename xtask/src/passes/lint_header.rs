@@ -21,6 +21,15 @@ impl super::Pass for LintHeader {
         "crate roots carry #![forbid(unsafe_code)] + #![deny(missing_docs)]"
     }
 
+    fn explain(&self) -> &'static str {
+        "Checks that every crate root (`lib.rs` / `main.rs`) declares both\n\
+         `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`. The\n\
+         attributes are the workspace's baseline contract — forgetting\n\
+         them on a new crate silently relaxes it for the whole crate.\n\
+         \n\
+         Config: none; the generic `[levels]` / `[allow]` policy applies."
+    }
+
     fn scope(&self) -> super::PassScope {
         super::PassScope::File
     }

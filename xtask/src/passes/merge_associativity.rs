@@ -58,6 +58,23 @@ impl super::Pass for MergeAssociativity {
         "no raw f64 accumulation in code reachable from shard-merge sinks"
     }
 
+    fn explain(&self) -> &'static str {
+        "Walks the call graph from the configured shard-merge sinks and\n\
+         flags raw `f64` accumulation (`+=`, `sum()`, fold-style updates)\n\
+         reachable from them: float addition is not associative, so\n\
+         accumulating in shard-arrival order makes fleet reports depend\n\
+         on scheduling. Accumulation through a declared mergeable sketch\n\
+         type is trusted.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [merge-associativity]\n\
+           sink_fns = [\"campaign::fleet::report::FleetReport::merge\"]\n\
+           mergeable_types = [\"FixedHistogram\", \"Running\"]\n\
+         Justification: `// merge: <reason>` on the flagged line or in\n\
+         the comment block directly above it (say why the fold order is\n\
+         stable)."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         if cx.config.merge_sink_fns.is_empty() {
             return Vec::new();

@@ -12,13 +12,16 @@ pub mod api_surface;
 pub mod constants;
 pub mod determinism;
 pub mod determinism_taint;
+pub mod dimensional_flow;
 pub mod dvfs_guard;
 pub mod layering;
 pub mod lint_header;
 pub mod merge_associativity;
 pub mod panic_reachability;
 pub mod partial_cmp;
+pub mod probe_balance;
 pub mod probe_purity;
+pub mod snapshot_pairing;
 pub mod stale_config;
 pub mod state_coverage;
 pub mod sync_hygiene;
@@ -45,6 +48,12 @@ pub trait Pass: Send + Sync {
     fn id(&self) -> &'static str;
     /// One-line description, shown by `xtask passes` and in SARIF rules.
     fn description(&self) -> &'static str;
+    /// Multi-line reference shown by `lint --explain <id>`: what the
+    /// pass checks, its `xtask.toml` config keys, and the
+    /// justification-comment syntax it honors. Required — the
+    /// `stale-config` pass fails the run if any registered pass ships
+    /// an empty explainer.
+    fn explain(&self) -> &'static str;
     /// Runs the pass. Diagnostics are emitted at their natural severity;
     /// the driver applies `xtask.toml` levels and allowlists afterwards.
     fn run(&self, cx: &Context) -> Vec<Diagnostic>;
@@ -54,6 +63,12 @@ pub trait Pass: Send + Sync {
     fn scope(&self) -> PassScope {
         PassScope::Tree
     }
+    /// Behavioral version, folded into the engine's cache key. Bump it
+    /// whenever `run`'s semantics change so a rebuilt xtask never
+    /// serves per-file cache entries computed by the old logic.
+    fn version(&self) -> u32 {
+        1
+    }
 }
 
 /// Every registered pass, in documentation order.
@@ -62,6 +77,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(panic_reachability::PanicReachability),
         Box::new(unit_suffix::UnitSuffix),
         Box::new(units_escape::UnitsEscape),
+        Box::new(dimensional_flow::DimensionalFlow),
         Box::new(partial_cmp::PartialCmp),
         Box::new(lint_header::LintHeader),
         Box::new(dvfs_guard::DvfsGuard),
@@ -70,12 +86,40 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(determinism_taint::DeterminismTaint),
         Box::new(state_coverage::StateCoverage),
         Box::new(merge_associativity::MergeAssociativity),
+        Box::new(snapshot_pairing::SnapshotPairing),
+        Box::new(probe_balance::ProbeBalance),
         Box::new(stale_config::StaleConfig),
         Box::new(sync_hygiene::SyncHygiene),
         Box::new(probe_purity::ProbePurity),
         Box::new(constants::PaperConstants),
         Box::new(api_surface::ApiSurface),
     ]
+}
+
+/// A stable fingerprint of a pass list: FNV-1a over `id@version`
+/// pairs, length-delimited, order-sensitive. Changing the registry's
+/// membership, order, or any pass's [`Pass::version`] changes it.
+pub fn fingerprint_of(passes: &[(&str, u32)]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (id, version) in passes {
+        eat(&(id.len() as u64).to_le_bytes());
+        eat(id.as_bytes());
+        eat(&version.to_le_bytes());
+    }
+    hash
+}
+
+/// [`fingerprint_of`] the live registry. The engine folds this into
+/// its cache key so pass-logic changes invalidate stale entries.
+pub fn registry_fingerprint() -> u64 {
+    let passes: Vec<(&str, u32)> = registry().iter().map(|p| (p.id(), p.version())).collect();
+    fingerprint_of(&passes)
 }
 
 #[cfg(test)]
@@ -92,6 +136,28 @@ mod tests {
             assert!(
                 id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
                 "id `{id}` is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_ids_versions_and_order() {
+        let base = fingerprint_of(&[("a", 1), ("b", 1)]);
+        assert_ne!(base, fingerprint_of(&[("a", 2), ("b", 1)]), "version bump");
+        assert_ne!(base, fingerprint_of(&[("b", 1), ("a", 1)]), "order");
+        assert_ne!(base, fingerprint_of(&[("a", 1)]), "membership");
+        assert_ne!(base, fingerprint_of(&[("ab", 1), ("", 1)]), "boundaries");
+        assert_eq!(base, fingerprint_of(&[("a", 1), ("b", 1)]), "stable");
+    }
+
+    #[test]
+    fn every_pass_has_explain_text_mentioning_its_id() {
+        for pass in registry() {
+            let text = pass.explain();
+            assert!(
+                !text.trim().is_empty(),
+                "pass `{}` has no --explain text",
+                pass.id()
             );
         }
     }

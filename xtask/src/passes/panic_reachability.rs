@@ -77,6 +77,20 @@ impl super::Pass for PanicReachability {
         "panic-capable sites must be in sanctioned functions; findings show the pub call path"
     }
 
+    fn explain(&self) -> &'static str {
+        "Finds panic-capable sites (`unwrap`, `expect`, `panic!`, and\n\
+         friends) in library code and walks the intra-workspace call graph\n\
+         to show the shortest public call path that reaches each one.\n\
+         A site is sanctioned only when the function containing it is\n\
+         listed in the config allowlist.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [panic-reachability]\n\
+           allow = [\"campaign::runner::Runner::run\"]   # qualified fns\n\
+         Justification: none inline — sanctioning happens in the config so\n\
+         every accepted panic entry point is reviewed in one place."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let graph = CallGraph::build(cx);
         let allowed: BTreeSet<&str> = cx.config.panic_allow.iter().map(String::as_str).collect();

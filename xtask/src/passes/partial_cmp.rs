@@ -53,6 +53,17 @@ impl super::Pass for PartialCmp {
         "float ordering must use f64::total_cmp, not partial_cmp"
     }
 
+    fn explain(&self) -> &'static str {
+        "Flags `partial_cmp` on floats in library code: a NaN anywhere in\n\
+         the data turns `partial_cmp(..).unwrap()` into a panic and\n\
+         sort-by-partial_cmp into an inconsistent order. Use\n\
+         `f64::total_cmp`, which is a total order over every bit pattern\n\
+         and keeps campaign reductions deterministic.\n\
+         \n\
+         Config: none of its own; the generic `[levels]` / `[allow]`\n\
+         policy applies."
+    }
+
     fn scope(&self) -> super::PassScope {
         super::PassScope::File
     }

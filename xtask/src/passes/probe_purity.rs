@@ -93,6 +93,20 @@ impl super::Pass for ProbePurity {
         "probe-off hot-path files allocate/format only at `// alloc:`-justified sites"
     }
 
+    fn explain(&self) -> &'static str {
+        "Scans the configured probe-off hot-path files for allocation and\n\
+         formatting (`String::new`, `to_string`, `format!`, `Vec::new`,\n\
+         collectors, …): the measurement loop must not allocate when\n\
+         probes are off, or probe overhead leaks into the measured\n\
+         energy. Each intentional site says why it is lazy or one-time.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [probe-purity]\n\
+           hot_paths = [\"crates/soc/src/probe.rs\"]  # path prefixes\n\
+         Justification: `// alloc: <reason>` on the flagged line or in\n\
+         the comment block directly above it."
+    }
+
     fn scope(&self) -> super::PassScope {
         super::PassScope::File
     }

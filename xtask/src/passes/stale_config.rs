@@ -36,6 +36,17 @@ impl super::Pass for StaleConfig {
         "every path, function, and type named in xtask.toml must resolve against the tree"
     }
 
+    fn explain(&self) -> &'static str {
+        "The meta-lint: every path prefix, qualified function, type, and\n\
+         lint id named in `xtask.toml` must still resolve against the\n\
+         tree, so a rename or deletion cannot silently turn a contract\n\
+         into a no-op. Also checks the registry itself — every pass must\n\
+         ship non-empty `lint --explain` text.\n\
+         \n\
+         Config: it reads *all* of `xtask.toml`; it has no keys of its\n\
+         own. Justification: none — fix or delete the stale entry."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         let lint_ids: BTreeSet<&'static str> = super::registry().iter().map(|p| p.id()).collect();
@@ -137,6 +148,7 @@ impl super::Pass for StaleConfig {
                     &cx.config.taint_source_fns,
                 ),
                 ("[merge-associativity] sink_fns", &cx.config.merge_sink_fns),
+                ("[snapshot-pairing] fns", &cx.config.snapshot_fns),
             ] {
                 for qual in quals {
                     if !fn_quals.contains(qual.as_str()) {
@@ -163,8 +175,31 @@ impl super::Pass for StaleConfig {
                     ));
                 }
             }
+            for qual in cx.config.probe_balance.keys() {
+                if !fn_quals.contains(qual.as_str()) {
+                    err(format!(
+                        "[probe-balance] key `{qual}` resolves to no function"
+                    ));
+                }
+            }
+        }
+        // The registry itself: a pass without --explain text is a
+        // documentation contract silently dropped.
+        for pass in super::registry() {
+            if pass.explain().trim().is_empty() {
+                err(format!(
+                    "pass `{}` ships empty `lint --explain` text",
+                    pass.id()
+                ));
+            }
         }
         out
+    }
+
+    /// PR 9: new table validations ([snapshot-pairing] fns,
+    /// [probe-balance] keys) and the registry explain-text check.
+    fn version(&self) -> u32 {
+        2
     }
 }
 
@@ -242,6 +277,21 @@ mod tests {
         assert!(msgs
             .iter()
             .any(|m| m.contains("mergeable_types entry `Ghost`")));
+    }
+
+    #[test]
+    fn orphaned_dataflow_contracts_are_flagged() {
+        let diags = StaleConfig.run(&cx(
+            "[snapshot-pairing]\nfns = [\"soc::agg::gone\"]\n\n[probe-balance]\n\"soc::agg::ghost\" = [\"attach\", \"detach\"]\n",
+        ));
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("[snapshot-pairing] fns entry `soc::agg::gone`")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("[probe-balance] key `soc::agg::ghost`")));
     }
 
     #[test]

@@ -63,6 +63,23 @@ impl super::Pass for StateCoverage {
         "configured snapshot/restore/merge methods must access every field of their struct"
     }
 
+    fn explain(&self) -> &'static str {
+        "Checks state-coverage contracts: each configured method must\n\
+         access every named field of its struct, so a field added to a\n\
+         snapshot/restore/merge type cannot be silently dropped by one\n\
+         side of the pair. Also flags stale skips — a `// state: skip`\n\
+         on a field that every contract method in fact accesses.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [state-coverage]\n\
+           \"soc::snapshot::BoardSnapshot\" = [\n\
+             \"soc::snapshot::Board::snapshot\",\n\
+             \"soc::snapshot::Board::restore\",\n\
+           ]\n\
+         Justification: `// state: skip(<reason>)` at the field\n\
+         declaration (same line or the comment block directly above)."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (ty_qual, method_quals) in &cx.config.state_coverage {

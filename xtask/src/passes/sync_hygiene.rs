@@ -101,6 +101,20 @@ impl super::Pass for SyncHygiene {
         "synchronization goes through the model-checked facade; non-SeqCst orderings are justified"
     }
 
+    fn explain(&self) -> &'static str {
+        "Two rules for concurrent code: (1) synchronization primitives\n\
+         are used only through the model-checked facade — direct\n\
+         `std::sync` use outside the facade paths is an error; (2) every\n\
+         non-`SeqCst` atomic memory ordering must say why it suffices.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [sync-hygiene]\n\
+           facade_paths = [\"crates/sim-core/src/sync/\"]  # the facade impl\n\
+         Justification: `// ordering: <reason>` on the flagged line or in\n\
+         the comment block directly above it (for rule 2; rule 1 has no\n\
+         inline escape — go through the facade)."
+    }
+
     fn scope(&self) -> super::PassScope {
         super::PassScope::File
     }

@@ -45,6 +45,17 @@ impl super::Pass for UnitSuffix {
         "public f64 fields must not carry raw unit suffixes; use typed quantities"
     }
 
+    fn explain(&self) -> &'static str {
+        "Flags public `f64` struct fields whose names carry a raw unit\n\
+         suffix (`_s`, `_ms`, `_watts`, `_joules`, …): the unit belongs in\n\
+         the type, not the name — use the `dora_sim_core::units` newtypes\n\
+         so the compiler enforces what the suffix only documents.\n\
+         \n\
+         Config: none of its own; use the generic `[allow] unit-suffix`\n\
+         path-prefix allowlist for boundary crates (CLI args, exports)\n\
+         that must speak raw scalars."
+    }
+
     fn scope(&self) -> super::PassScope {
         super::PassScope::File
     }

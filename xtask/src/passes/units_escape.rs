@@ -82,6 +82,21 @@ impl super::Pass for UnitsEscape {
         "raw f64 must not cross the typed-units boundary in physics crates"
     }
 
+    fn explain(&self) -> &'static str {
+        "Audits declarations in the typed-units boundary crates: public\n\
+         functions there must not take or return raw `f64` where a\n\
+         `dora_sim_core::units` newtype exists, and unit-newtype methods\n\
+         must not hand the raw scalar back out except through the\n\
+         sanctioned accessors.\n\
+         \n\
+         Config (`xtask.toml`):\n\
+           [units-escape]\n\
+           boundary_paths = [\"crates/soc/\"]       # path prefixes audited\n\
+           unit_types = [\"Seconds\", \"Watts\", …]  # the newtype vocabulary\n\
+         Justification: `// units: <reason>` on the declaration line or in\n\
+         the comment block directly above it."
+    }
+
     fn run(&self, cx: &Context) -> Vec<Diagnostic> {
         let boundary = |rel: &str| {
             cx.config

@@ -7,6 +7,28 @@
 
 use crate::diag::{Diagnostic, Severity};
 
+/// Renders `lint --explain <id>`: the pass's one-line description as a
+/// header, then its multi-line reference text.
+///
+/// # Errors
+///
+/// When `id` names no registered pass (the message lists valid ids).
+pub fn explain(id: &str) -> Result<String, String> {
+    let passes = crate::passes::registry();
+    let Some(pass) = passes.iter().find(|p| p.id() == id) else {
+        let known: Vec<&str> = passes.iter().map(|p| p.id()).collect();
+        return Err(format!(
+            "unknown lint id `{id}` (known: {})",
+            known.join(", ")
+        ));
+    };
+    Ok(format!(
+        "{id} — {}\n\n{}\n",
+        pass.description(),
+        pass.explain()
+    ))
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -148,6 +148,39 @@ fn config_change_invalidates_everything() {
     assert!(!warm.diags.iter().any(|d| d.lint == "partial-cmp"));
 }
 
+// Pass *logic* is part of the cache key: the registry fingerprint
+// (ids, order, and per-pass behavioral versions) folds into the config
+// hash — its sensitivity is asserted at the unit level in
+// `passes::tests::fingerprint_tracks_ids_versions_and_order` — and the
+// serialized entries carry a format-version header, so an entry written
+// by any earlier xtask parses as a miss, never as stale results.
+#[test]
+fn entries_from_an_older_cache_format_are_misses() {
+    let cache = ScratchCache::new("version");
+    let opts = cache.opts();
+    let cx = synthetic(true);
+    let cold = run_lint(&cx, &opts).expect("cold run");
+    assert_eq!(cold.cache.file_misses, 2);
+
+    // Rewrite every entry's header to the previous format's: lookups
+    // still find the files, but parsing must reject them wholesale.
+    for entry in std::fs::read_dir(&cache.dir).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        let text = std::fs::read_to_string(&path).expect("entry text");
+        assert!(
+            text.starts_with("xtask-cache v"),
+            "unexpected entry format in {path:?}: {text:?}"
+        );
+        let downgraded = text.replacen(text.lines().next().expect("header"), "xtask-cache v1", 1);
+        std::fs::write(&path, downgraded).expect("rewrite entry");
+    }
+
+    let warm = run_lint(&cx, &opts).expect("tampered run");
+    assert!(!warm.cache.tree_hit, "old-format tree entry must miss");
+    assert_eq!(warm.cache.file_hits, 0, "old-format file entries must miss");
+    assert_eq!(warm.diags, cold.diags, "recomputed diags must match");
+}
+
 #[test]
 fn changed_only_reruns_stale_files_and_skips_tree_passes() {
     let cache = ScratchCache::new("changed");

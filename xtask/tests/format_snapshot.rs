@@ -78,3 +78,64 @@ fn both_formats_are_valid_when_empty() {
     let text = render::sarif(&[], &[("panic-reachability", "d")]);
     assert!(text.contains("\"results\": [\n      ]"));
 }
+
+/// `lint --explain <id>` output: the one-line header (`id — description`)
+/// followed by the pass's long-form explanation. Pinned in full for one
+/// pass so the rendering contract can't drift silently.
+#[test]
+fn explain_output_is_stable() {
+    let expected = "probe-balance — configured attach/detach probe pairs must balance on every control-flow path\n\n\
+Checks that paired probe events balance on every control-flow path\n\
+through each configured function: the set of possible\n\
+attach−detach imbalances is pushed forward over the function's\n\
+CFG ({0} on entry, branch joins union the possibilities), and any\n\
+nonzero imbalance that can reach the function's exit — `return`\n\
+and `?` paths included — is an error. A function with one attach\n\
+and one detach can still fail: the early-return path leaks the\n\
+probe.\n\
+\n\
+Imbalance magnitudes cap at 9 (reported `9+`), which keeps\n\
+attach-in-a-loop states finite.\n\
+\n\
+Config (`xtask.toml`): qualified function -> [open, close]:\n\
+[probe-balance]\n\
+\"campaign::runner::Runner::run_page_observed\" = [\"attach_probe\", \"detach_probe\"]\n\
+With no entries the pass is inert.\n\
+Justification: `// probe: <reason>` at the function's declaration\n\
+line or in the comment block directly above it.\n";
+    assert_eq!(
+        render::explain("probe-balance").expect("known id"),
+        expected
+    );
+}
+
+/// Every registered pass explains itself, and the text names its own
+/// lint id's justification marker or config table where one exists —
+/// `--explain` must never print an empty or placeholder page.
+#[test]
+fn every_pass_has_substantive_explain_text() {
+    for pass in xtask::passes::registry() {
+        let page = render::explain(pass.id()).expect("registered id");
+        assert!(
+            page.starts_with(&format!("{} — ", pass.id())),
+            "header missing for {}: {page:?}",
+            pass.id()
+        );
+        assert!(
+            page.trim().lines().count() >= 3,
+            "explain page for {} is too thin:\n{page}",
+            pass.id()
+        );
+    }
+}
+
+/// Unknown ids produce an error that lists every known id, so a typo'd
+/// `--explain` invocation is self-correcting.
+#[test]
+fn explain_rejects_unknown_ids_listing_known_ones() {
+    let err = render::explain("no-such-lint").expect_err("must reject");
+    assert!(err.contains("unknown lint id `no-such-lint`"), "{err}");
+    for id in ["dimensional-flow", "snapshot-pairing", "probe-balance"] {
+        assert!(err.contains(id), "known-id list missing {id}: {err}");
+    }
+}

@@ -491,3 +491,133 @@ fn stale_config_entry_fails_and_resolving_entry_passes() {
         "{diags:?}"
     );
 }
+
+#[test]
+fn leaked_snapshot_fails_and_all_paths_restored_passes() {
+    let config = Config::from_toml("[snapshot-pairing]\nfns = [\"campaign::runner::sweep\"]\n")
+        .expect("config");
+    // The early return leaks `snap`: nothing consumed it on that path.
+    let src = "pub fn sweep(board: &mut Board) {\n    let snap = board.snapshot();\n    if bail() {\n        return;\n    }\n    board.restore(snap);\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/campaign/src/runner.rs", src)],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "snapshot-pairing")
+        .expect("snapshot-pairing must fire");
+    assert_eq!(hit.span.file, "crates/campaign/src/runner.rs");
+    assert_eq!(hit.span.line, 2, "anchored at the binding: {hit:?}");
+    assert!(
+        hit.message.contains(
+            "`snap` from `snapshot()` reaches the end of `campaign::runner::sweep` \
+             unused on some path"
+        ),
+        "{hit:?}"
+    );
+    assert!(
+        hit.help.as_deref().is_some_and(|h| {
+            h.contains("every path must consume the snapshot (normally via `restore()`)")
+                && h.contains("// snapshot: <reason>")
+        }),
+        "{hit:?}"
+    );
+
+    // Restoring before the early return repairs the tree.
+    let repaired = src.replace(
+        "    if bail() {\n        return;\n    }\n",
+        "    if bail() {\n        board.restore(snap);\n        return;\n    }\n",
+    );
+    let cx = Context {
+        files: vec![SourceFile::new("crates/campaign/src/runner.rs", repaired)],
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "snapshot-pairing"));
+}
+
+#[test]
+fn unbalanced_probe_fails_and_detach_on_every_path_passes() {
+    let config = Config::from_toml(
+        "[probe-balance]\n\"campaign::runner::observe\" = [\"attach_probe\", \"detach_probe\"]\n",
+    )
+    .expect("config");
+    // The `?` exit escapes with the probe still attached.
+    let src = "pub fn observe(board: &mut Board) -> Result<f64, Error> {\n    let id = board.attach_probe(probe());\n    let sample = board.measure()?;\n    board.detach_probe(id);\n    Ok(sample)\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/campaign/src/runner.rs", src)],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "probe-balance")
+        .expect("probe-balance must fire");
+    assert_eq!(hit.span.file, "crates/campaign/src/runner.rs");
+    assert_eq!(hit.span.line, 1, "anchored at the function: {hit:?}");
+    assert!(
+        hit.message.contains(
+            "`attach_probe`/`detach_probe` can exit `campaign::runner::observe` \
+             unbalanced (+1 on some path)"
+        ),
+        "{hit:?}"
+    );
+    assert!(
+        hit.help.as_deref().is_some_and(|h| {
+            h.contains("must pair each `attach_probe` with a `detach_probe`")
+                && h.contains("// probe: <reason>")
+        }),
+        "{hit:?}"
+    );
+
+    // Detaching before the fallible call repairs the tree.
+    let repaired = "pub fn observe(board: &mut Board) -> Result<f64, Error> {\n    let id = board.attach_probe(probe());\n    let sample = board.measure();\n    board.detach_probe(id);\n    let sample = sample?;\n    Ok(sample)\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/campaign/src/runner.rs", repaired)],
+        config,
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "probe-balance"));
+}
+
+#[test]
+fn raw_dimension_mix_fails_and_typed_arithmetic_passes() {
+    // No config: the dimension vocabulary is fixed at compile time.
+    let src = "use dora_sim_core::units::*;\npub fn energy(t: Seconds, p: Watts) -> f64 {\n    t.value() * p.value()\n}\n";
+    let cx = Context {
+        files: vec![SourceFile::new("crates/modeling/src/power.rs", src)],
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "dimensional-flow")
+        .expect("dimensional-flow must fire");
+    assert_eq!(hit.span.file, "crates/modeling/src/power.rs");
+    assert_eq!(hit.span.line, 3, "{hit:?}");
+    assert!(
+        hit.message
+            .contains("raw W·s product is not rebuilt as Joules"),
+        "{hit:?}"
+    );
+    assert!(
+        hit.help.as_deref().is_some_and(|h| {
+            h.contains("`Watts * Seconds` is `Joules`") && h.contains("// dim: <reason>")
+        }),
+        "{hit:?}"
+    );
+
+    // Building the product through the typed impl repairs the tree.
+    let repaired = src.replace("t.value() * p.value()", "(p * t).value()");
+    let cx = Context {
+        files: vec![SourceFile::new("crates/modeling/src/power.rs", repaired)],
+        ..Context::default()
+    };
+    assert!(!lint_fires(&cx, "dimensional-flow"));
+}
