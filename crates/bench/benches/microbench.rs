@@ -16,7 +16,7 @@ use dora_experiments::pipeline::{Pipeline, Scale};
 use dora_modeling::leakage::Eq5Params;
 use dora_sim_core::units::{Celsius, Mpki, Seconds, Utilization};
 use dora_sim_core::SimDuration;
-use dora_soc::board::{Board, BoardConfig};
+use dora_soc::board::Board;
 use dora_soc::cache::{CacheDemand, SharedCache};
 use dora_soc::task::LoopTask;
 use dora_soc::Frequency;
@@ -72,7 +72,7 @@ fn bench_algorithm(c: &mut Criterion) {
 
 fn bench_substrate(c: &mut Criterion) {
     c.bench_function("board_step_1ms_three_tasks", |b| {
-        let mut board = Board::new(BoardConfig::nexus5(), 7);
+        let mut board = Board::new(dora_soc::SocProfile::msm8974().board_config(), 7);
         board
             .set_frequency(Frequency::from_mhz(1497.6))
             .expect("table frequency");
@@ -130,7 +130,7 @@ fn bench_substrate(c: &mut Criterion) {
         let engine = RenderEngine::default();
         b.iter(|| {
             let job = engine.spawn(page, 7);
-            let mut board = Board::new(BoardConfig::nexus5(), 7);
+            let mut board = Board::new(dora_soc::SocProfile::msm8974().board_config(), 7);
             board
                 .set_frequency(Frequency::from_mhz(2265.6))
                 .expect("table frequency");

@@ -12,7 +12,7 @@
 use dora_browser::catalog::{Catalog, PageClass};
 use dora_browser::engine::RenderEngine;
 use dora_sim_core::SimDuration;
-use dora_soc::board::{Board, BoardConfig};
+use dora_soc::board::Board;
 
 /// Loads `page` alone (both browser cores, no co-runner) at the given
 /// table frequency and returns the load time in seconds.
@@ -21,7 +21,7 @@ fn load_alone(name: &str, mhz: f64, seed: u64) -> f64 {
     let page = catalog.page(name).expect("page in catalog");
     let engine = RenderEngine::default();
     let job = engine.spawn(page, seed);
-    let mut board = Board::new(BoardConfig::nexus5(), seed);
+    let mut board = Board::new(dora_soc::SocProfile::msm8974().board_config(), seed);
     board
         .set_frequency(dora_soc::Frequency::from_mhz(mhz))
         .expect("table frequency");

@@ -314,7 +314,7 @@ mod tests {
         let w = &set.workloads()[0];
         let ring = ProbeRing::shared(1 << 16);
         let driver = CampaignDriver::new().probe(ring.clone());
-        let mut g = dora_governors::InteractiveGovernor::new(dora_soc::DvfsTable::msm8974());
+        let mut g = dora_governors::InteractiveGovernor::new(dora_soc::DvfsTable::default());
         let r = driver.run(w, &mut g, &quick());
         let switches = ring
             .borrow()

@@ -12,7 +12,7 @@ use crate::runner::{
     ScenarioConfig, SweepPoint,
 };
 use crate::workload::{Workload, WorkloadSet};
-use dora::{DoraConfig, DoraGovernor, DoraModels, DoraPolicy};
+use dora::{DoraConfig, DoraGovernor, DoraModels, DoraPolicy, HeterogeneousDoraGovernor};
 use dora_governors::{
     ConservativeGovernor, Governor, InteractiveGovernor, PerformanceGovernor, PinnedGovernor,
     PowersaveGovernor,
@@ -102,6 +102,21 @@ pub(crate) fn make_governor(
             .ok_or(EvaluateError::ModelsRequired(policy.name()))
     };
     let need_oracle = || oracle_freqs.ok_or(EvaluateError::MissingOracle(policy.name()));
+    // On multi-cluster boards the DORA family searches the full
+    // (cluster, F) product space; single-cluster boards keep the exact
+    // 1-D governor so its decisions stay byte-identical to history.
+    let dora = |models: DoraModels, cfg: DoraConfig| -> Box<dyn Governor> {
+        if config.board.clusters.len() > 1 {
+            Box::new(HeterogeneousDoraGovernor::from_profile(
+                &models,
+                &config.board,
+                workload.page.features,
+                cfg,
+            ))
+        } else {
+            Box::new(DoraGovernor::new(models, workload.page.features, cfg))
+        }
+    };
     Ok(match policy {
         Policy::Interactive => Box::new(InteractiveGovernor::new(table)),
         Policy::Performance => Box::new(PerformanceGovernor::new(table)),
@@ -113,26 +128,10 @@ pub(crate) fn make_governor(
         }
         Policy::OracleFe => Box::new(PinnedGovernor::new("fE", need_oracle()?.fe)),
         Policy::OfflineOpt => Box::new(PinnedGovernor::new("offline_opt", need_oracle()?.fopt)),
-        Policy::Dora => Box::new(DoraGovernor::new(
-            need_models()?,
-            workload.page.features,
-            dora_config(DoraPolicy::Dora, true),
-        )),
-        Policy::DoraNoLkg => Box::new(DoraGovernor::new(
-            need_models()?,
-            workload.page.features,
-            dora_config(DoraPolicy::Dora, false),
-        )),
-        Policy::DeadlineOnly => Box::new(DoraGovernor::new(
-            need_models()?,
-            workload.page.features,
-            dora_config(DoraPolicy::DeadlineOnly, true),
-        )),
-        Policy::EnergyOnly => Box::new(DoraGovernor::new(
-            need_models()?,
-            workload.page.features,
-            dora_config(DoraPolicy::EnergyOnly, true),
-        )),
+        Policy::Dora => dora(need_models()?, dora_config(DoraPolicy::Dora, true)),
+        Policy::DoraNoLkg => dora(need_models()?, dora_config(DoraPolicy::Dora, false)),
+        Policy::DeadlineOnly => dora(need_models()?, dora_config(DoraPolicy::DeadlineOnly, true)),
+        Policy::EnergyOnly => dora(need_models()?, dora_config(DoraPolicy::EnergyOnly, true)),
     })
 }
 

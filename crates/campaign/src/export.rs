@@ -148,7 +148,7 @@ mod tests {
     fn one_result() -> RunResult {
         let set = WorkloadSet::paper54();
         let w = set.find_by_class("Amazon", Intensity::Low).expect("exists");
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         run_scenario(
             w,
             &mut g,

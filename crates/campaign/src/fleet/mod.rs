@@ -150,14 +150,20 @@ impl From<EvaluateError> for FleetError {
 }
 
 /// The base scenario of one archetype (fleet seed; per-session runs
-/// derive from it with the session's own seed).
+/// derive from it with the session's own seed). The warm-up pin is
+/// snapped to the archetype's own primary-cluster table, so one fleet
+/// config can span SoC profiles whose OPP grids differ (the default
+/// 1190.4 MHz pin is already on the MSM8974 grid, so the snap is a
+/// no-op there).
 fn archetype_scenario(config: &FleetConfig, archetype: &DeviceArchetype) -> ScenarioConfig {
     ScenarioConfig::builder()
         .seed(config.seed)
         .board(archetype.board.clone())
         .deadline(config.deadline)
         .warmup(config.warmup)
-        .warmup_policy(WarmupPolicy::Pinned(config.warmup_pin))
+        .warmup_policy(WarmupPolicy::Pinned(
+            archetype.board.dvfs.nearest(config.warmup_pin),
+        ))
         .timeout(config.timeout)
         .build()
 }
@@ -228,7 +234,10 @@ pub(crate) fn run_fleet(
     // participates, so the prefix is shared by every session of the
     // archetype regardless of its sampled kernel.
     let snapshots: Vec<dora_soc::BoardSnapshot> = executor.map(&scenarios, |scenario| {
-        let mut pin = PinnedGovernor::new("warmup-pin", config.warmup_pin);
+        let WarmupPolicy::Pinned(pin_f) = scenario.warmup_policy else {
+            unreachable!("archetype_scenario always pins the warm-up");
+        };
+        let mut pin = PinnedGovernor::new("warmup-pin", pin_f);
         warmed_board(None, &mut pin, scenario).snapshot()
     });
 

@@ -41,7 +41,7 @@
 //!
 //! let set = WorkloadSet::paper54();
 //! let w = &set.workloads()[0];
-//! let mut governor = InteractiveGovernor::new(DvfsTable::msm8974());
+//! let mut governor = InteractiveGovernor::new(DvfsTable::default());
 //! let result = run_scenario(w, &mut governor, &ScenarioConfig::default());
 //! println!("{} loaded in {}", w.id(), result.load_time);
 //! ```

@@ -100,7 +100,7 @@ impl Default for ScenarioConfig {
     fn default() -> Self {
         ScenarioConfig {
             seed: 42,
-            board: BoardConfig::nexus5(),
+            board: dora_soc::SocProfile::msm8974().board_config(),
             deadline: Seconds::new(3.0),
             warmup: SimDuration::from_secs(20),
             warmup_policy: WarmupPolicy::Measured,
@@ -260,10 +260,15 @@ fn observation(
         .iter()
         .map(dora_soc::counters::CoreCounters::utilization)
         .collect();
+    // The governor governs the browser: it observes the cluster the
+    // browser's main core is bound to and that cluster's current clock
+    // (on homogeneous boards this is cluster 0 / `board.frequency()`).
+    let cluster = board.cluster_of(BROWSER_MAIN_CORE);
     GovernorObservation {
         now: board.time(),
         interval,
-        frequency: board.frequency(),
+        frequency: board.cluster_frequency(cluster),
+        cluster: cluster.index(),
         per_core_utilization,
         shared_l2_mpki: delta.shared_l2_mpki(),
         corun_utilization: delta.core(CORUN_CORE).utilization(),
@@ -293,7 +298,12 @@ pub(crate) fn govern_until(
     let mut elapsed = 0.0;
     while board.time() < until && !stop(board) {
         let dt = quantum;
-        freq_integral += board.frequency().as_ghz() * dt.as_secs_f64();
+        // The integral tracks the governed (browser) cluster's clock; on
+        // homogeneous boards that is exactly `board.frequency()`.
+        freq_integral += board
+            .cluster_frequency(board.cluster_of(BROWSER_MAIN_CORE))
+            .as_ghz()
+            * dt.as_secs_f64();
         elapsed += dt.as_secs_f64();
         board.step(dt);
         if board.time() >= next_decision {
@@ -301,16 +311,27 @@ pub(crate) fn govern_until(
             let delta = now_snap.delta(&snap);
             snap = now_snap;
             let obs = observation(board, &delta, interval);
-            let f = governor.decide(&obs);
+            let point = governor.decide_point(&obs);
             if board.probes_active() {
                 board.emit_event(ProbeEvent::GovernorDecision {
                     governor: governor.name().to_string(),
-                    chosen_khz: f.as_khz(),
+                    cluster: point.cluster.index(),
+                    chosen_khz: point.frequency.as_khz(),
                     curve: governor.decision_curve().unwrap_or_default(),
                 });
             }
+            if point.cluster.index() != obs.cluster {
+                // The governor moved the browser: rebind its cores. The
+                // co-runner stays put — only the governed task migrates.
+                board
+                    .migrate(BROWSER_MAIN_CORE, point.cluster)
+                    .expect("governors must return board clusters");
+                board
+                    .migrate(BROWSER_AUX_CORE, point.cluster)
+                    .expect("governors must return board clusters");
+            }
             board
-                .set_frequency(f)
+                .set_cluster_frequency(point.cluster, point.frequency)
                 .expect("governors must return table frequencies");
             next_decision = board.time() + interval;
         }
@@ -687,7 +708,7 @@ mod tests {
         let w = set
             .find_by_class("Amazon", Intensity::Low)
             .expect("present");
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         let r = run_scenario(w, &mut g, &fast_config());
         assert!(!r.timed_out);
         assert!(
@@ -744,8 +765,8 @@ mod tests {
             .find_by_class("MSN", Intensity::Medium)
             .expect("present");
         let config = fast_config();
-        let mut a = PerformanceGovernor::new(DvfsTable::msm8974());
-        let mut b = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut a = PerformanceGovernor::new(DvfsTable::default());
+        let mut b = PerformanceGovernor::new(DvfsTable::default());
         let ra = run_scenario(w, &mut a, &config);
         let rb = run_scenario(w, &mut b, &config);
         assert_eq!(ra, rb);
@@ -890,7 +911,7 @@ mod tests {
         let config = ScenarioConfig::builder()
             .warmup(SimDuration::from_secs(1))
             .build();
-        let mut g = dora_governors::InteractiveGovernor::new(DvfsTable::msm8974());
+        let mut g = dora_governors::InteractiveGovernor::new(DvfsTable::default());
         let ring = ProbeRing::shared(1 << 16);
         let r = run_scenario_observed(w, &mut g, &config, ring.clone());
 
@@ -912,6 +933,7 @@ mod tests {
         for d in &decisions {
             let ProbeEvent::GovernorDecision {
                 governor,
+                cluster,
                 chosen_khz,
                 curve,
             } = &d.event
@@ -919,6 +941,7 @@ mod tests {
                 unreachable!("filtered above");
             };
             assert_eq!(governor, "interactive");
+            assert_eq!(*cluster, 0, "homogeneous boards decide on cluster 0");
             assert!(config
                 .board
                 .dvfs

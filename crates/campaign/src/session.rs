@@ -40,7 +40,7 @@ impl Default for SessionConfig {
     fn default() -> Self {
         SessionConfig {
             seed: 42,
-            board: BoardConfig::nexus5(),
+            board: dora_soc::SocProfile::msm8974().board_config(),
             deadline: Seconds::new(3.0),
             think_time: SimDuration::from_secs(8),
             per_load_timeout: SimDuration::from_secs(60),
@@ -141,18 +141,28 @@ pub fn run_session(
                     .iter()
                     .map(dora_soc::counters::CoreCounters::utilization)
                     .collect();
+                let cluster = board.cluster_of(BROWSER_MAIN_CORE);
                 let obs = GovernorObservation {
                     now: board.time(),
                     interval,
-                    frequency: board.frequency(),
+                    frequency: board.cluster_frequency(cluster),
+                    cluster: cluster.index(),
                     per_core_utilization,
                     shared_l2_mpki: delta.shared_l2_mpki(),
                     corun_utilization: delta.core(CORUN_CORE).utilization(),
                     temperature: board.temperature(),
                 };
-                let f = governor.decide(&obs);
+                let point = governor.decide_point(&obs);
+                if point.cluster.index() != obs.cluster {
+                    board
+                        .migrate(BROWSER_MAIN_CORE, point.cluster)
+                        .expect("governors must return board clusters");
+                    board
+                        .migrate(BROWSER_AUX_CORE, point.cluster)
+                        .expect("governors must return board clusters");
+                }
                 board
-                    .set_frequency(f)
+                    .set_cluster_frequency(point.cluster, point.frequency)
                     .expect("governors must return table frequencies");
                 next_decision = board.time() + interval;
             }
@@ -232,7 +242,7 @@ mod tests {
     fn session_loads_every_page_in_order() {
         let catalog = Catalog::alexa18();
         let ps = pages(&catalog, &["Amazon", "Reddit", "MSN"]);
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         let r = run_session(&ps, None, &mut g, &quick());
         assert_eq!(r.loads.len(), 3);
         assert_eq!(r.loads[0].page, "Amazon");
@@ -249,9 +259,9 @@ mod tests {
         // interactive idles down between loads; performance never does.
         let catalog = Catalog::alexa18();
         let ps = pages(&catalog, &["Amazon", "Reddit"]);
-        let mut perf = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut perf = PerformanceGovernor::new(DvfsTable::default());
         let high = run_session(&ps, None, &mut perf, &quick());
-        let mut inter = InteractiveGovernor::new(DvfsTable::msm8974());
+        let mut inter = InteractiveGovernor::new(DvfsTable::default());
         let low = run_session(&ps, None, &mut inter, &quick());
         assert!(
             low.energy < high.energy * 0.95,
@@ -265,7 +275,7 @@ mod tests {
     fn battery_estimate_is_sane() {
         let catalog = Catalog::alexa18();
         let ps = pages(&catalog, &["Amazon"]);
-        let mut g = InteractiveGovernor::new(DvfsTable::msm8974());
+        let mut g = InteractiveGovernor::new(DvfsTable::default());
         let r = run_session(&ps, None, &mut g, &quick());
         // Nexus 5 battery ~8.8 Wh; browsing should sustain 2-6 hours.
         let hours = r.battery_hours(WattHours::new(8.8));
@@ -277,9 +287,9 @@ mod tests {
         let catalog = Catalog::alexa18();
         let ps = pages(&catalog, &["Amazon", "Reddit"]);
         let kernel = Kernel::by_name("backprop").expect("in suite");
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         let with = run_session(&ps, Some(&kernel), &mut g, &quick());
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         let without = run_session(&ps, None, &mut g, &quick());
         assert!(with.energy > without.energy);
         assert!(with.loads[0].load_time > without.loads[0].load_time);
@@ -288,7 +298,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one page")]
     fn empty_session_rejected() {
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         let _ = run_session(&[], None, &mut g, &quick());
     }
 }

@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn leakage_calibration_is_fittable() {
         let obs = CampaignDriver::new().leakage_calibration(
-            &BoardConfig::nexus5(),
+            &dora_soc::SocProfile::msm8974().board_config(),
             &[Celsius::new(5.0), Celsius::new(25.0), Celsius::new(45.0)],
         );
         assert_eq!(obs.len(), 3 * 14);
@@ -307,8 +307,10 @@ mod tests {
 
     #[test]
     fn idle_soak_reaches_near_ambient_steady_state() {
-        let obs = CampaignDriver::new()
-            .leakage_calibration(&BoardConfig::nexus5(), &[Celsius::new(25.0)]);
+        let obs = CampaignDriver::new().leakage_calibration(
+            &dora_soc::SocProfile::msm8974().board_config(),
+            &[Celsius::new(25.0)],
+        );
         // At the lowest OPP the leakage is tiny, so die ~ ambient.
         let coolest = obs
             .iter()

@@ -103,6 +103,25 @@ impl Args {
     /// # Errors
     ///
     /// When `--jobs` is present but not a non-negative integer.
+    /// The SoC profile selected by `--soc <name>` (MSM8974, the paper's
+    /// platform, when absent).
+    ///
+    /// # Errors
+    ///
+    /// When `--soc` names an unknown profile; the message lists the
+    /// registry.
+    pub fn soc(&self) -> Result<dora_soc::SocProfile, String> {
+        match self.get("soc") {
+            None => Ok(dora_soc::SocProfile::msm8974()),
+            Some(name) => dora_soc::SocProfile::by_name(name).ok_or_else(|| {
+                format!(
+                    "--soc expects one of {}, got {name:?}",
+                    dora_soc::SocProfile::names().join(", ")
+                )
+            }),
+        }
+    }
+
     pub fn executor(&self) -> Result<Executor, String> {
         match self.get("jobs") {
             None => Ok(Executor::new(Parallelism::Auto)),
@@ -129,8 +148,9 @@ pub enum OutputFormat {
 }
 
 /// The option set shared by every simulation subcommand — `--jobs N`,
-/// `--seed N`, `--format text|csv`, `--trace` — parsed once so govern,
-/// campaign and fleet commands agree on spelling and defaults.
+/// `--seed N`, `--format text|csv`, `--trace`, `--soc <profile>` —
+/// parsed once so govern, campaign and fleet commands agree on spelling
+/// and defaults.
 #[derive(Debug)]
 pub struct CommonArgs {
     /// Fan-out width from `--jobs` (auto when absent or `0`).
@@ -141,6 +161,8 @@ pub struct CommonArgs {
     pub format: OutputFormat,
     /// Whether `--trace` asked for per-decision probe output.
     pub trace: bool,
+    /// The SoC profile from `--soc` (MSM8974 when absent).
+    pub soc: dora_soc::SocProfile,
 }
 
 impl Args {
@@ -162,6 +184,7 @@ impl Args {
             seed: self.get_u64("seed", default_seed)?,
             format,
             trace: self.flag("trace"),
+            soc: self.soc()?,
         })
     }
 }
@@ -254,6 +277,26 @@ mod tests {
         let bad = Args::parse(&strings(&["--format", "yaml"])).expect("parses");
         let err = bad.common(42).expect_err("unknown format");
         assert!(err.contains("yaml"), "{err}");
+    }
+
+    #[test]
+    fn soc_flag_selects_a_registry_profile() {
+        let default = Args::parse(&[]).expect("parses").soc().expect("default");
+        assert_eq!(default.name(), "msm8974");
+        let bl = Args::parse(&strings(&["--soc", "biglittle-a15a7"]))
+            .expect("parses")
+            .soc()
+            .expect("registered");
+        assert_eq!(bl.name(), "biglittle-a15a7");
+        assert_eq!(bl.board_config().clusters.len(), 2);
+        let err = Args::parse(&strings(&["--soc", "exynos9"]))
+            .expect("parses")
+            .soc()
+            .expect_err("unknown profile");
+        assert!(
+            err.contains("msm8974") && err.contains("biglittle-a15a7"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::args::{Args, OutputFormat};
 use dora::units::{Celsius, Mpki, Seconds, Utilization, WattHours};
-use dora::{from_text, to_text, DoraConfig, DoraGovernor, DoraModels};
+use dora::{from_text, to_text, DoraConfig, DoraGovernor, DoraModels, HeterogeneousDoraGovernor};
 use dora_browser::{Catalog, PageFeatures};
 use dora_campaign::driver::CampaignDriver;
 use dora_campaign::evaluate::Policy;
@@ -197,16 +197,19 @@ impl dora_sim_core::probe::Probe for DecisionTrace {
         match event {
             ProbeEvent::GovernorDecision {
                 governor,
+                cluster,
                 chosen_khz,
                 curve,
             } => {
                 let chosen = dora_soc::Frequency::from_khz(*chosen_khz);
-                self.lines.push(format!("{at}  {governor} -> {chosen}"));
+                self.lines
+                    .push(format!("{at}  {governor} -> cluster{cluster}@{chosen}"));
                 for p in curve {
                     let f = dora_soc::Frequency::from_khz(p.frequency_khz);
                     self.lines.push(format!(
-                        "{:12}  {f}: T={:.3}s P={:.3}W PPW={:.4}{}",
+                        "{:12}  cluster{}@{f}: T={:.3}s P={:.3}W PPW={:.4}{}",
                         "",
+                        p.cluster,
                         p.load_time.value(),
                         p.power.value(),
                         p.ppw.value(),
@@ -214,10 +217,24 @@ impl dora_sim_core::probe::Probe for DecisionTrace {
                     ));
                 }
             }
-            ProbeEvent::DvfsSwitch { from_khz, to_khz } => {
+            ProbeEvent::DvfsSwitch {
+                cluster,
+                from_khz,
+                to_khz,
+            } => {
                 let from = dora_soc::Frequency::from_khz(*from_khz);
                 let to = dora_soc::Frequency::from_khz(*to_khz);
-                self.lines.push(format!("{at}  dvfs {from} -> {to}"));
+                self.lines
+                    .push(format!("{at}  dvfs cluster{cluster} {from} -> {to}"));
+            }
+            ProbeEvent::TaskMigrated {
+                core,
+                from_cluster,
+                to_cluster,
+            } => {
+                self.lines.push(format!(
+                    "{at}  migrate core{core} cluster{from_cluster} -> cluster{to_cluster}"
+                ));
             }
             _ => {}
         }
@@ -241,19 +258,26 @@ pub fn govern(raw: &[String]) -> Result<(), String> {
     let config = ScenarioConfig::builder()
         .seed(common.seed)
         .deadline(Seconds::new(deadline))
+        .board(common.soc.board_config())
         .build();
     let governor_name = args.get("governor").unwrap_or("dora");
     let mut governor: Box<dyn Governor> = match governor_name {
         "dora" | "DORA" => {
             let models = load_models(path)?;
-            Box::new(DoraGovernor::new(
-                models,
-                page.features,
-                DoraConfig {
-                    qos_target: Seconds::new(deadline),
-                    ..DoraConfig::default()
-                },
-            ))
+            let dora_config = DoraConfig {
+                qos_target: Seconds::new(deadline),
+                ..DoraConfig::default()
+            };
+            if config.board.clusters.len() > 1 {
+                Box::new(HeterogeneousDoraGovernor::from_profile(
+                    &models,
+                    &config.board,
+                    page.features,
+                    dora_config,
+                ))
+            } else {
+                Box::new(DoraGovernor::new(models, page.features, dora_config))
+            }
         }
         "interactive" => Box::new(InteractiveGovernor::new(config.board.dvfs.clone())),
         "performance" => Box::new(PerformanceGovernor::new(config.board.dvfs.clone())),
@@ -332,7 +356,10 @@ pub fn csv(raw: &[String]) -> Result<(), String> {
             &WorkloadSet::from_workloads(slice),
             &[policy],
             None,
-            &ScenarioConfig::builder().seed(common.seed).build(),
+            &ScenarioConfig::builder()
+                .seed(common.seed)
+                .board(common.soc.board_config())
+                .build(),
         )
         .map_err(|e| e.to_string())?;
     print!("{}", results_to_csv(evaluation.results()));
@@ -351,6 +378,7 @@ pub fn fleet(raw: &[String]) -> Result<(), String> {
         seed: common.seed,
         shard_size: args.get_u64("shard", 256)?.max(1),
         deadline: Seconds::new(deadline),
+        archetypes: dora_campaign::fleet::DeviceArchetype::population_for(&common.soc),
         ..FleetConfig::default()
     };
     if config.sessions == 0 {
@@ -406,8 +434,11 @@ pub fn session(raw: &[String]) -> Result<(), String> {
         .collect();
     let pages = pages?;
     let kernel = resolve_kernel(&args)?;
+    let common = args.common(42)?;
     let config = SessionConfig {
         deadline: Seconds::new(args.get_f64("deadline", 3.0)?),
+        board: common.soc.board_config(),
+        seed: common.seed,
         ..SessionConfig::default()
     };
     let governor_name = args.get("governor").unwrap_or("interactive");
@@ -417,14 +448,20 @@ pub fn session(raw: &[String]) -> Result<(), String> {
                 .positional(0)
                 .ok_or("usage: dora session <models.txt> --governor dora ...")?;
             let models = load_models(path)?;
-            Box::new(DoraGovernor::new(
-                models,
-                pages[0].features,
-                DoraConfig {
-                    qos_target: config.deadline,
-                    ..DoraConfig::default()
-                },
-            ))
+            let dora_config = DoraConfig {
+                qos_target: config.deadline,
+                ..DoraConfig::default()
+            };
+            if config.board.clusters.len() > 1 {
+                Box::new(HeterogeneousDoraGovernor::from_profile(
+                    &models,
+                    &config.board,
+                    pages[0].features,
+                    dora_config,
+                ))
+            } else {
+                Box::new(DoraGovernor::new(models, pages[0].features, dora_config))
+            }
         }
         "interactive" => Box::new(InteractiveGovernor::new(config.board.dvfs.clone())),
         "performance" => Box::new(PerformanceGovernor::new(config.board.dvfs.clone())),

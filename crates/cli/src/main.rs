@@ -8,9 +8,10 @@
 //!              [--mpki X] [--util X] [--temp C] [--deadline S]
 //! dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
 //!              [--governor dora|interactive|performance|powersave] [--trace]
+//!              [--soc PROFILE]
 //! dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
 //! dora fleet   [<models.txt>] [--sessions N] [--shard N] [--oracle]
-//!              [--jobs N] [--seed N] [--format text|csv] [--quick]
+//!              [--jobs N] [--seed N] [--format text|csv] [--soc PROFILE] [--quick]
 //! ```
 //!
 //! Argument parsing is hand-rolled: the grammar is small and the
@@ -32,20 +33,27 @@ USAGE:
                [--mpki X] [--util X] [--temp C] [--deadline S]
   dora govern  <models.txt> --page NAME [--kernel NAME] [--deadline S]
                [--governor dora|interactive|performance|powersave] [--trace]
+               [--soc PROFILE]
   dora csv     --page NAME [--kernel NAME] [--governor NAME] [--jobs N]
   dora fleet   [<models.txt>] [--sessions N] [--shard N] [--oracle]
                [--deadline S] [--jobs N] [--seed N] [--format text|csv]
-               [--quick]
+               [--quick] [--soc PROFILE]
   dora session [<models.txt>] [--pages A,B,C] [--kernel NAME]
                [--governor dora|interactive|performance|powersave]
+               [--soc PROFILE]
   dora pages
   dora kernels
 
-Campaign and fleet commands share --jobs/--seed/--format/--trace and fan
-scenarios out over all cores; results are bit-identical at any width.
---jobs 1 forces the classic sequential loop. `dora fleet` streams the
-sampled device population through mergeable sketches, so memory stays
-flat no matter how many sessions you ask for.
+Campaign and fleet commands share --jobs/--seed/--format/--trace/--soc
+and fan scenarios out over all cores; results are bit-identical at any
+width. --jobs 1 forces the classic sequential loop. `dora fleet` streams
+the sampled device population through mergeable sketches, so memory
+stays flat no matter how many sessions you ask for.
+
+--soc selects the SoC profile (msm8974, the paper's platform, or
+biglittle-a15a7, a two-cluster big.LITTLE part); on multi-cluster
+profiles the DORA governor searches the (cluster, frequency) product
+space and migrates the browser between clusters.
 
 Run `dora pages` / `dora kernels` to list the built-in catalog.";
 

@@ -21,7 +21,7 @@
 use crate::models::{DoraModels, PredictorInputs};
 use dora_browser::PageFeatures;
 use dora_sim_core::units::{Celsius, Mpki, Ppw, Seconds, Utilization};
-use dora_soc::Frequency;
+use dora_soc::{BoardConfig, ClusterId, Frequency, MigrationCost, OperatingPoint};
 
 /// One row of the predicted curve: what the models expect at a candidate
 /// frequency.
@@ -136,6 +136,236 @@ pub fn select_frequency(
     }
 }
 
+/// The prediction machinery for one cluster of a heterogeneous SoC.
+///
+/// The trained [`DoraModels`] describe the *primary* cluster (the one the
+/// training measurements ran on). A sibling cluster reuses the same
+/// surfaces over its own DVFS table, corrected by two first-order ratios:
+/// `time_scale` (the clusters' base-CPI ratio — an in-order A7 retires the
+/// same work in more cycles than an out-of-order A15) and `power_scale`
+/// (their effective-capacitance ratio). This mirrors how the heterogeneous
+/// relatives of the paper transfer one cluster's model to the other
+/// (1710.03559 Section 3; 1906.08689 Section 2.1) instead of training per
+/// cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    /// Which cluster these predictions describe.
+    pub cluster: ClusterId,
+    /// The model bundle, with `models.dvfs` holding this cluster's table.
+    pub models: DoraModels,
+    /// Predicted load time multiplier relative to the trained cluster.
+    pub time_scale: f64,
+    /// Predicted power multiplier relative to the trained cluster.
+    pub power_scale: f64,
+}
+
+impl ClusterModel {
+    /// Wraps trained models as the primary cluster, scales exactly `1.0`.
+    ///
+    /// Predictions through this wrapper are bit-identical to calling the
+    /// models directly (an IEEE multiply by `1.0` is exact), which is what
+    /// lets [`select_operating_point`] reduce to [`select_frequency`] on
+    /// homogeneous profiles.
+    pub fn primary(models: DoraModels) -> Self {
+        ClusterModel {
+            cluster: ClusterId::PRIMARY,
+            models,
+            time_scale: 1.0,
+            power_scale: 1.0,
+        }
+    }
+
+    /// Builds one model per cluster of `board`, scaling the trained
+    /// (primary-cluster) models by each cluster's CPI and effective-
+    /// capacitance ratios and swapping in its DVFS table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `board` has no clusters (a validated [`BoardConfig`]
+    /// always has at least one).
+    pub fn from_profile(models: &DoraModels, board: &BoardConfig) -> Vec<ClusterModel> {
+        #[allow(clippy::expect_used)] // documented panic: validated configs are non-empty
+        let primary = board.clusters.first().expect("validated config");
+        board
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, cluster)| {
+                let mut scaled = models.clone();
+                scaled.dvfs = cluster.dvfs.clone();
+                ClusterModel {
+                    cluster: ClusterId::new(i),
+                    models: scaled,
+                    time_scale: cluster.cpi_scale / primary.cpi_scale,
+                    power_scale: cluster.ceff_core_f / primary.ceff_core_f,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One row of the 2-D predicted curve: what the models expect at a
+/// candidate (cluster, frequency) operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedOperatingPoint {
+    /// The candidate operating point.
+    pub point: OperatingPoint,
+    /// Predicted page load time, *including* the one-shot migration
+    /// latency when the candidate sits on a different cluster than the
+    /// current one.
+    pub load_time: Seconds,
+    /// Predicted total device power.
+    pub power: dora_sim_core::units::Watts,
+    /// Predicted energy efficiency `1/(T·P + E_migration)`.
+    pub ppw: Ppw,
+    /// Whether the predicted load time (with migration) meets the target.
+    pub feasible: bool,
+    /// Whether choosing this point implies a cluster migration.
+    pub migrating: bool,
+}
+
+/// The outcome of one 2-D (cluster, frequency) Algorithm 1 evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPointDecision {
+    /// The chosen operating point (or the fastest cluster's `fmax` when
+    /// no point is feasible).
+    pub chosen: OperatingPoint,
+    /// Whether any operating point met the QoS target.
+    pub feasible: bool,
+    /// The predicted PPW at the chosen point.
+    pub predicted_ppw: Ppw,
+    /// The full predicted curve, cluster-major with frequencies ascending
+    /// within each cluster.
+    pub curve: Vec<PredictedOperatingPoint>,
+}
+
+impl OperatingPointDecision {
+    /// The first feasible point in cluster-major, frequency-ascending
+    /// order — the 2-D generalization of `fD` (on one cluster this is
+    /// exactly the lowest deadline-meeting frequency).
+    pub fn point_deadline(&self) -> Option<OperatingPoint> {
+        self.curve.iter().find(|p| p.feasible).map(|p| p.point)
+    }
+
+    /// The unconstrained PPW-optimal point (`fE` generalized), deadline
+    /// disregarded. Returns the chosen point on an empty curve (which
+    /// [`select_operating_point`] never produces).
+    pub fn point_energy(&self) -> OperatingPoint {
+        self.curve
+            .iter()
+            .max_by(|a, b| a.ppw.total_cmp(&b.ppw))
+            .map_or(self.chosen, |p| p.point)
+    }
+}
+
+/// Runs Algorithm 1 over the full (cluster, frequency) product space.
+///
+/// For every cluster model and every frequency in its table, the
+/// predicted load time and power are scaled by the cluster's ratios;
+/// candidates on a different cluster than `current` additionally pay the
+/// migration cost — `migration.latency` is added to the predicted load
+/// time (and counts against the QoS target) and `migration.energy` enters
+/// the efficiency denominator: `PPW = 1/(T·P + E_migration)`. Among
+/// feasible points the PPW maximum wins, ties resolved toward the
+/// earliest cluster and lowest frequency; when nothing is feasible the
+/// search prioritizes QoS and picks `fmax` of the cluster with the
+/// smallest predicted load time.
+///
+/// With a single [`ClusterModel::primary`] entry and zero migration cost
+/// this reduces bit-identically to [`select_frequency`].
+///
+/// # Panics
+///
+/// Panics if `qos_target` is not positive and finite, or if `clusters`
+/// is empty.
+#[allow(clippy::too_many_arguments)] // mirrors select_frequency + the 2-D inputs
+pub fn select_operating_point(
+    clusters: &[ClusterModel],
+    current: OperatingPoint,
+    migration: MigrationCost,
+    page: PageFeatures,
+    qos_target: Seconds,
+    l2_mpki: Mpki,
+    corun_utilization: Utilization,
+    temp: Celsius,
+    include_leakage: bool,
+) -> OperatingPointDecision {
+    assert!(
+        qos_target.is_finite() && qos_target > Seconds::ZERO,
+        "bad QoS target {qos_target}"
+    );
+    assert!(!clusters.is_empty(), "need at least one cluster model");
+    let mut curve = Vec::with_capacity(clusters.iter().map(|c| c.models.dvfs.len()).sum::<usize>());
+    let mut best: Option<(OperatingPoint, Ppw)> = None;
+    // Index into `curve` of each cluster's fmax row, for the fallback.
+    let mut fmax_rows = Vec::with_capacity(clusters.len());
+    for cm in clusters {
+        let migrating = cm.cluster != current.cluster;
+        for f in cm.models.dvfs.frequencies() {
+            let inputs = PredictorInputs::for_frequency(
+                page,
+                f,
+                &cm.models.dvfs,
+                l2_mpki,
+                corun_utilization,
+            );
+            let mut load_time = cm.models.predict_load_time(&inputs) * cm.time_scale;
+            let power = cm
+                .models
+                .predict_total_power(&inputs, temp, include_leakage)
+                * cm.power_scale;
+            let mut energy = power * load_time;
+            if migrating {
+                load_time += Seconds::new(migration.latency.as_secs_f64());
+                energy = power * load_time + migration.energy;
+            }
+            let ppw = Ppw::from_energy(energy);
+            let feasible = load_time <= qos_target;
+            let point = OperatingPoint {
+                cluster: cm.cluster,
+                frequency: f,
+            };
+            if feasible && best.as_ref().is_none_or(|&(_, b)| ppw > b) {
+                best = Some((point, ppw));
+            }
+            curve.push(PredictedOperatingPoint {
+                point,
+                load_time,
+                power,
+                ppw,
+                feasible,
+                migrating,
+            });
+        }
+        fmax_rows.push(curve.len() - 1);
+    }
+    match best {
+        Some((chosen, predicted_ppw)) => OperatingPointDecision {
+            chosen,
+            feasible: true,
+            predicted_ppw,
+            curve,
+        },
+        None => {
+            // Infeasible: prioritize QoS — the fastest finisher, flat out.
+            // `min_by` keeps the first minimum, so ties go to the earlier
+            // cluster, and one cluster reduces to plain fmax.
+            #[allow(clippy::expect_used)] // documented panic: `clusters` is asserted non-empty
+            let fastest = fmax_rows
+                .iter()
+                .map(|&i| curve[i])
+                .min_by(|a, b| a.load_time.total_cmp(&b.load_time))
+                .expect("at least one cluster");
+            OperatingPointDecision {
+                chosen: fastest.point,
+                feasible: false,
+                predicted_ppw: fastest.ppw,
+                curve,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,7 +380,7 @@ mod tests {
 
     /// Fits a 9-input surface to a synthetic function of (mpki, freq).
     fn surface_of(f: impl Fn(f64, f64) -> f64) -> FittedSurface {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for freq in dvfs.frequencies() {
@@ -189,7 +419,7 @@ mod tests {
                 gamma: 2.0,
                 delta: -2.0,
             },
-            dvfs: DvfsTable::msm8974(),
+            dvfs: DvfsTable::default(),
         }
     }
 
@@ -353,5 +583,206 @@ mod tests {
             Celsius::new(40.0),
             true,
         );
+    }
+
+    fn biglittle_models() -> Vec<ClusterModel> {
+        let board = dora_soc::SocProfile::biglittle_a15a7().board_config();
+        ClusterModel::from_profile(&physical_models(), &board)
+    }
+
+    fn at(cluster: usize, mhz: f64) -> OperatingPoint {
+        OperatingPoint {
+            cluster: ClusterId::new(cluster),
+            frequency: Frequency::from_mhz(mhz),
+        }
+    }
+
+    #[test]
+    fn single_cluster_search_reduces_to_select_frequency_bitwise() {
+        let m = physical_models();
+        let d1 = select_frequency(
+            &m,
+            page(),
+            Seconds::new(3.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
+        let d2 = select_operating_point(
+            &[ClusterModel::primary(m)],
+            at(0, 960.0),
+            MigrationCost::none(),
+            page(),
+            Seconds::new(3.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
+        assert_eq!(d2.chosen.cluster, ClusterId::PRIMARY);
+        assert_eq!(d2.chosen.frequency, d1.chosen);
+        assert_eq!(d2.feasible, d1.feasible);
+        assert_eq!(d2.predicted_ppw, d1.predicted_ppw);
+        assert_eq!(d2.curve.len(), d1.curve.len());
+        for (p2, p1) in d2.curve.iter().zip(d1.curve.iter()) {
+            assert_eq!(p2.point.frequency, p1.frequency);
+            assert_eq!(p2.load_time, p1.load_time);
+            assert_eq!(p2.power, p1.power);
+            assert_eq!(p2.ppw, p1.ppw);
+            assert_eq!(p2.feasible, p1.feasible);
+            assert!(!p2.migrating);
+        }
+    }
+
+    #[test]
+    fn chosen_point_is_the_feasible_ppw_argmax_of_the_product_space() {
+        let clusters = biglittle_models();
+        let d = select_operating_point(
+            &clusters,
+            at(0, 1000.0),
+            dora_soc::MigrationCost::biglittle(),
+            page(),
+            Seconds::new(4.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
+        assert!(d.feasible);
+        // Exhaustive check over the returned curve: nothing feasible beats
+        // the chosen point, and the chosen row matches the reported PPW.
+        let chosen_row = d
+            .curve
+            .iter()
+            .find(|p| p.point == d.chosen)
+            .expect("chosen is in curve");
+        assert!(chosen_row.feasible);
+        assert_eq!(chosen_row.ppw, d.predicted_ppw);
+        for p in d.curve.iter().filter(|p| p.feasible) {
+            assert!(p.ppw <= d.predicted_ppw, "{:?} beats chosen", p.point);
+        }
+    }
+
+    #[test]
+    fn zero_migration_cost_reduces_to_per_cluster_argmax() {
+        let clusters = biglittle_models();
+        let current = at(0, 1000.0);
+        let run = |models: &[ClusterModel]| {
+            select_operating_point(
+                models,
+                current,
+                MigrationCost::none(),
+                page(),
+                Seconds::new(4.0),
+                Mpki::clamped(2.0),
+                Utilization::clamped(0.5),
+                Celsius::new(40.0),
+                true,
+            )
+        };
+        let full = run(&clusters);
+        // Each cluster searched alone, then the per-cluster winners
+        // compared: with zero migration cost the 2-D search must agree
+        // (earlier cluster wins exact ties).
+        let mut expected: Option<(OperatingPoint, Ppw)> = None;
+        for cm in &clusters {
+            let solo = run(std::slice::from_ref(cm));
+            if solo.feasible
+                && expected
+                    .as_ref()
+                    .is_none_or(|&(_, b)| solo.predicted_ppw > b)
+            {
+                expected = Some((solo.chosen, solo.predicted_ppw));
+            }
+        }
+        let (point, ppw) = expected.expect("feasible somewhere");
+        assert_eq!(full.chosen, point);
+        assert_eq!(full.predicted_ppw, ppw);
+    }
+
+    #[test]
+    fn migration_cost_only_penalizes_cross_cluster_candidates() {
+        let clusters = biglittle_models();
+        let current = at(0, 1000.0);
+        let run = |migration: MigrationCost| {
+            select_operating_point(
+                &clusters,
+                current,
+                migration,
+                page(),
+                Seconds::new(4.0),
+                Mpki::clamped(2.0),
+                Utilization::clamped(0.5),
+                Celsius::new(40.0),
+                true,
+            )
+        };
+        let free = run(MigrationCost::none());
+        let paid = run(dora_soc::MigrationCost::biglittle());
+        for (f, p) in free.curve.iter().zip(paid.curve.iter()) {
+            assert_eq!(f.point, p.point);
+            if p.migrating {
+                assert!(p.load_time > f.load_time, "{:?}", p.point);
+                assert!(p.ppw < f.ppw, "{:?}", p.point);
+            } else {
+                // Same-cluster rows are untouched by the migration model.
+                assert_eq!(f.load_time, p.load_time);
+                assert_eq!(f.ppw, p.ppw);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_product_space_runs_the_fastest_cluster_flat_out() {
+        let clusters = biglittle_models();
+        let d = select_operating_point(
+            &clusters,
+            at(0, 1000.0),
+            dora_soc::MigrationCost::biglittle(),
+            page(),
+            Seconds::new(0.01),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
+        assert!(!d.feasible);
+        // The A15 cluster at its fmax finishes first (the A7 pays a 1.6x
+        // CPI scale), so QoS prioritization lands there.
+        assert_eq!(d.chosen.cluster, ClusterId::new(0));
+        assert_eq!(d.chosen.frequency, clusters[0].models.dvfs.max_frequency());
+        let fallback_row = d
+            .curve
+            .iter()
+            .find(|p| p.point == d.chosen)
+            .expect("in curve");
+        assert_eq!(d.predicted_ppw, fallback_row.ppw);
+    }
+
+    #[test]
+    fn point_helpers_generalize_fd_and_fe() {
+        let clusters = biglittle_models();
+        let d = select_operating_point(
+            &clusters,
+            at(0, 1000.0),
+            MigrationCost::none(),
+            page(),
+            Seconds::new(4.0),
+            Mpki::clamped(2.0),
+            Utilization::clamped(0.5),
+            Celsius::new(40.0),
+            true,
+        );
+        let fd = d.point_deadline().expect("feasible");
+        let first_feasible = d.curve.iter().find(|p| p.feasible).expect("feasible");
+        assert_eq!(fd, first_feasible.point);
+        let fe = d.point_energy();
+        let best = d
+            .curve
+            .iter()
+            .max_by(|a, b| a.ppw.total_cmp(&b.ppw))
+            .expect("non-empty");
+        assert_eq!(fe, best.point);
     }
 }

@@ -8,13 +8,16 @@
 //! utilization and temperature, and reprograms the clock only when `fopt`
 //! moved.
 
-use crate::algorithm::{select_frequency, FrequencyDecision};
+use crate::algorithm::{
+    select_frequency, select_operating_point, ClusterModel, FrequencyDecision,
+    OperatingPointDecision,
+};
 use crate::models::DoraModels;
 use dora_browser::PageFeatures;
 use dora_governors::{Governor, GovernorObservation};
 use dora_sim_core::units::{Ppw, Seconds};
 use dora_sim_core::SimDuration;
-use dora_soc::Frequency;
+use dora_soc::{BoardConfig, ClusterId, Frequency, MigrationCost, OperatingPoint};
 
 /// Which frequency the governor extracts from each Algorithm 1 sweep.
 ///
@@ -249,7 +252,230 @@ impl Governor for DoraGovernor {
             d.curve
                 .iter()
                 .map(|p| dora_sim_core::probe::CandidatePrediction {
+                    cluster: 0,
                     frequency_khz: p.frequency.as_khz(),
+                    load_time: p.load_time,
+                    power: p.power,
+                    ppw: p.ppw,
+                    feasible: p.feasible,
+                })
+                .collect()
+        })
+    }
+}
+
+/// DORA generalized to a heterogeneous (big.LITTLE) SoC: Algorithm 1 over
+/// the full (cluster, frequency) product space, with the profile's cited
+/// migration-cost model inside the decision.
+///
+/// Every decision interval it runs [`select_operating_point`] across one
+/// [`ClusterModel`] per cluster. Candidates on the currently governed
+/// cluster are scored exactly as the homogeneous governor scores them; a
+/// candidate on the *other* cluster must additionally amortize the
+/// migration latency (against the QoS target) and energy (in the PPW
+/// denominator) before it can win. On a one-cluster profile every
+/// decision is bit-identical to [`DoraGovernor`]'s.
+#[derive(Debug, Clone)]
+pub struct HeterogeneousDoraGovernor {
+    clusters: Vec<ClusterModel>,
+    migration: MigrationCost,
+    config: DoraConfig,
+    page: PageFeatures,
+    name: String,
+    last_decision: Option<OperatingPointDecision>,
+    decision_count: u64,
+}
+
+impl HeterogeneousDoraGovernor {
+    /// Creates the governor from explicit per-cluster models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation or `clusters` is empty.
+    pub fn new(
+        clusters: Vec<ClusterModel>,
+        migration: MigrationCost,
+        page: PageFeatures,
+        config: DoraConfig,
+    ) -> Self {
+        #[allow(clippy::expect_used)] // constructor contract: documented panic
+        config.validate().expect("invalid DORA configuration");
+        assert!(!clusters.is_empty(), "need at least one cluster model");
+        let name = match (config.policy, config.include_leakage) {
+            (DoraPolicy::Dora, true) => "DORA".to_string(),
+            (DoraPolicy::Dora, false) => "DORA_no_lkg".to_string(),
+            (DoraPolicy::DeadlineOnly, _) => "DL".to_string(),
+            (DoraPolicy::EnergyOnly, _) => "EE".to_string(),
+        };
+        HeterogeneousDoraGovernor {
+            clusters,
+            migration,
+            config,
+            page,
+            name,
+            last_decision: None,
+            decision_count: 0,
+        }
+    }
+
+    /// Creates the governor for a board profile: one scaled model per
+    /// cluster ([`ClusterModel::from_profile`]) and the profile's
+    /// migration-cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation or `board` has no clusters.
+    pub fn from_profile(
+        models: &DoraModels,
+        board: &BoardConfig,
+        page: PageFeatures,
+        config: DoraConfig,
+    ) -> Self {
+        HeterogeneousDoraGovernor::new(
+            ClusterModel::from_profile(models, board),
+            board.migration,
+            page,
+            config,
+        )
+    }
+
+    /// The governor's configuration.
+    pub fn config(&self) -> DoraConfig {
+        self.config
+    }
+
+    /// The page the governor is optimizing for.
+    pub fn page(&self) -> PageFeatures {
+        self.page
+    }
+
+    /// Points the governor at a new page (models are page-independent).
+    pub fn retarget(&mut self, page: PageFeatures) {
+        self.page = page;
+        self.last_decision = None;
+    }
+
+    /// The most recent product-space sweep, if any.
+    pub fn last_decision(&self) -> Option<&OperatingPointDecision> {
+        self.last_decision.as_ref()
+    }
+
+    /// How many Algorithm 1 evaluations have run.
+    pub fn decision_count(&self) -> u64 {
+        self.decision_count
+    }
+
+    /// The per-cluster models the governor searches over.
+    pub fn cluster_models(&self) -> &[ClusterModel] {
+        &self.clusters
+    }
+
+    /// The point of the governed cluster/frequency pair in `obs`, clamped
+    /// to a cluster the governor actually has a model for.
+    fn current_point(&self, observation: &GovernorObservation) -> OperatingPoint {
+        let cluster = if observation.cluster < self.clusters.len() {
+            ClusterId::new(observation.cluster)
+        } else {
+            ClusterId::PRIMARY
+        };
+        OperatingPoint {
+            cluster,
+            frequency: observation.frequency,
+        }
+    }
+
+    /// Runs the sweep over `clusters` and applies policy extraction plus
+    /// switch hysteresis against `current`.
+    fn sweep(
+        &mut self,
+        clusters_range: std::ops::Range<usize>,
+        current: OperatingPoint,
+        observation: &GovernorObservation,
+    ) -> OperatingPoint {
+        self.decision_count += 1;
+        let decision = select_operating_point(
+            &self.clusters[clusters_range],
+            current,
+            self.migration,
+            self.page,
+            self.config.qos_target * (1.0 - self.config.qos_margin),
+            observation.shared_l2_mpki,
+            observation.corun_utilization,
+            observation.temperature,
+            self.config.include_leakage,
+        );
+        let mut chosen = match self.config.policy {
+            DoraPolicy::Dora => decision.chosen,
+            // DL when infeasible: the sweep's fallback is already the
+            // QoS-prioritizing fastest point.
+            DoraPolicy::DeadlineOnly => decision.point_deadline().unwrap_or(decision.chosen),
+            DoraPolicy::EnergyOnly => decision.point_energy(),
+        };
+        // Hysteresis, exactly as the homogeneous governor applies it: keep
+        // the programmed point when it stays feasible and its PPW is
+        // within the margin of the new optimum — a migration costs far
+        // more than a DVFS write, so marginal cross-cluster wins
+        // especially are not worth chasing.
+        if chosen != current && self.config.policy != DoraPolicy::DeadlineOnly {
+            let current_row = decision.curve.iter().find(|p| p.point == current);
+            let target_row = decision.curve.iter().find(|p| p.point == chosen);
+            if let (Some(current_row), Some(target_row)) = (current_row, target_row) {
+                let feasible_enough =
+                    current_row.feasible || self.config.policy == DoraPolicy::EnergyOnly;
+                let close_enough = if target_row.ppw > Ppw::ZERO {
+                    (target_row.ppw.value() - current_row.ppw.value()) / target_row.ppw.value()
+                        < self.config.switch_margin
+                } else {
+                    false
+                };
+                if feasible_enough && close_enough {
+                    chosen = current;
+                }
+            }
+        }
+        self.last_decision = Some(decision);
+        chosen
+    }
+}
+
+impl Governor for HeterogeneousDoraGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decision_interval(&self) -> SimDuration {
+        self.config.decision_interval
+    }
+
+    fn decide(&mut self, observation: &GovernorObservation) -> Frequency {
+        // The single-knob entry point may not migrate, so the sweep is
+        // restricted to the observed cluster's slice of the model list.
+        let current = self.current_point(observation);
+        let i = current.cluster.index();
+        self.sweep(i..i + 1, current, observation).frequency
+    }
+
+    fn decide_point(&mut self, observation: &GovernorObservation) -> OperatingPoint {
+        let current = self.current_point(observation);
+        self.sweep(0..self.clusters.len(), current, observation)
+    }
+
+    fn reset(&mut self) {
+        self.last_decision = None;
+        self.decision_count = 0;
+    }
+
+    fn page_changed(&mut self, page: &PageFeatures) {
+        self.retarget(*page);
+    }
+
+    fn decision_curve(&self) -> Option<Vec<dora_sim_core::probe::CandidatePrediction>> {
+        self.last_decision.as_ref().map(|d| {
+            d.curve
+                .iter()
+                .map(|p| dora_sim_core::probe::CandidatePrediction {
+                    cluster: p.point.cluster.index(),
+                    frequency_khz: p.point.frequency.as_khz(),
                     load_time: p.load_time,
                     power: p.power,
                     ppw: p.ppw,
@@ -275,7 +501,7 @@ mod tests {
     }
 
     fn physical_models() -> DoraModels {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let mut xs = Vec::new();
         let mut t_ys = Vec::new();
         let mut p_ys = Vec::new();
@@ -321,6 +547,7 @@ mod tests {
             now: SimTime::from_millis(100),
             interval: SimDuration::from_millis(100),
             frequency: Frequency::from_mhz(960.0),
+            cluster: 0,
             per_core_utilization: [0.9, 0.5, 0.8, 0.0].map(Utilization::clamped).to_vec(),
             shared_l2_mpki: Mpki::clamped(mpki),
             corun_utilization: Utilization::clamped(0.8),
@@ -483,5 +710,149 @@ mod tests {
         let m = physical_models();
         let g = DoraGovernor::new(m, page(), DoraConfig::default());
         assert_eq!(g.decision_interval(), SimDuration::from_millis(100));
+    }
+
+    fn biglittle_governor(config: DoraConfig) -> HeterogeneousDoraGovernor {
+        let board = dora_soc::SocProfile::biglittle_a15a7().board_config();
+        HeterogeneousDoraGovernor::from_profile(&physical_models(), &board, page(), config)
+    }
+
+    #[test]
+    fn heterogeneous_single_cluster_matches_the_homogeneous_governor_bitwise() {
+        let m = physical_models();
+        let board = dora_soc::SocProfile::msm8974().board_config();
+        let mut flat = DoraGovernor::new(m.clone(), page(), DoraConfig::default());
+        let mut hetero =
+            HeterogeneousDoraGovernor::from_profile(&m, &board, page(), DoraConfig::default());
+        for mpki in [0.5, 2.0, 8.0, 16.0] {
+            let o = obs(mpki, 42.0);
+            let f_flat = flat.decide(&o);
+            let p_hetero = hetero.decide_point(&o);
+            assert_eq!(p_hetero.cluster, ClusterId::PRIMARY);
+            assert_eq!(p_hetero.frequency, f_flat, "mpki={mpki}");
+            let d_flat = flat.last_decision().expect("recorded");
+            let d_het = hetero.last_decision().expect("recorded");
+            assert_eq!(d_het.feasible, d_flat.feasible);
+            assert_eq!(d_het.predicted_ppw, d_flat.predicted_ppw);
+        }
+    }
+
+    #[test]
+    fn relaxed_deadline_migrates_to_the_little_cluster() {
+        // Under a loose deadline the A7's far smaller effective
+        // capacitance dominates its 1.6x CPI penalty, so the 2-D search
+        // should leave the big cluster.
+        let mut g = biglittle_governor(DoraConfig {
+            qos_target: Seconds::new(10.0),
+            ..DoraConfig::default()
+        });
+        let p = g.decide_point(&obs(1.0, 40.0));
+        assert_eq!(p.cluster, ClusterId::new(1), "expected LITTLE, got {p}");
+        let d = g.last_decision().expect("recorded");
+        assert!(d.feasible);
+    }
+
+    #[test]
+    fn tight_deadline_keeps_the_big_cluster() {
+        // At a deadline near the big cluster's best case, the A7 (1.6x
+        // slower plus migration latency) cannot be feasible.
+        let mut g = biglittle_governor(DoraConfig {
+            qos_target: Seconds::new(1.45),
+            ..DoraConfig::default()
+        });
+        let p = g.decide_point(&obs(1.0, 40.0));
+        assert_eq!(p.cluster, ClusterId::new(0), "expected big, got {p}");
+    }
+
+    #[test]
+    fn decide_restricts_to_the_observed_cluster() {
+        let mut g = biglittle_governor(DoraConfig {
+            qos_target: Seconds::new(10.0),
+            ..DoraConfig::default()
+        });
+        // The plain decide() entry point may not migrate: even though the
+        // full search would pick the LITTLE cluster, the frequency must
+        // come from the observed (big) cluster's table.
+        let f = g.decide(&obs(1.0, 40.0));
+        assert!(
+            g.cluster_models()[0].models.dvfs.index_of(f).is_some(),
+            "{f} not in the big cluster's table"
+        );
+        let d = g.last_decision().expect("recorded");
+        assert!(d.curve.iter().all(|p| p.point.cluster == ClusterId::new(0)));
+    }
+
+    #[test]
+    fn heterogeneous_curve_reaches_probes_with_cluster_identities() {
+        let mut g = biglittle_governor(DoraConfig::default());
+        let _ = g.decide_point(&obs(2.0, 40.0));
+        let curve = g.decision_curve().expect("recorded");
+        let d = g.last_decision().expect("recorded");
+        assert_eq!(curve.len(), d.curve.len());
+        assert!(curve.iter().any(|p| p.cluster == 0));
+        assert!(curve.iter().any(|p| p.cluster == 1));
+        for (traced, predicted) in curve.iter().zip(d.curve.iter()) {
+            assert_eq!(traced.cluster, predicted.point.cluster.index());
+            assert_eq!(traced.frequency_khz, predicted.point.frequency.as_khz());
+            assert_eq!(traced.ppw, predicted.ppw);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_policies_and_names_mirror_the_flat_governor() {
+        let dl = biglittle_governor(DoraConfig {
+            policy: DoraPolicy::DeadlineOnly,
+            ..DoraConfig::default()
+        });
+        assert_eq!(dl.name(), "DL");
+        let mut ee = biglittle_governor(DoraConfig {
+            qos_target: Seconds::new(0.01), // impossible
+            policy: DoraPolicy::EnergyOnly,
+            ..DoraConfig::default()
+        });
+        assert_eq!(ee.name(), "EE");
+        // EE ignores the deadline: it still picks the global PPW optimum.
+        let p = ee.decide_point(&obs(2.0, 40.0));
+        let d = ee.last_decision().expect("recorded").clone();
+        assert_eq!(p, d.point_energy());
+    }
+
+    #[test]
+    fn migration_hysteresis_resists_marginal_cross_cluster_wins() {
+        // With a huge switch margin, any cross-cluster improvement is
+        // "marginal", so the governor stays put on its current feasible
+        // point rather than paying a migration.
+        let mut g = biglittle_governor(DoraConfig {
+            qos_target: Seconds::new(10.0),
+            switch_margin: 0.5,
+            ..DoraConfig::default()
+        });
+        let o = GovernorObservation {
+            frequency: Frequency::from_mhz(1000.0),
+            ..obs(1.0, 40.0)
+        };
+        let sticky = g.decide_point(&o);
+        let mut eager = biglittle_governor(DoraConfig {
+            qos_target: Seconds::new(10.0),
+            switch_margin: 0.0,
+            ..DoraConfig::default()
+        });
+        let moved = eager.decide_point(&o);
+        assert_eq!(moved.cluster, ClusterId::new(1));
+        assert!(
+            sticky.cluster == ClusterId::new(0) || sticky == moved,
+            "hysteresis may only keep the current cluster, got {sticky}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn heterogeneous_rejects_empty_cluster_list() {
+        let _ = HeterogeneousDoraGovernor::new(
+            Vec::new(),
+            dora_soc::MigrationCost::none(),
+            page(),
+            DoraConfig::default(),
+        );
     }
 }

@@ -26,10 +26,15 @@
 //!   piecewise-per-bus-tier response surfaces for load time and dynamic
 //!   power, plus fitted Eq. 5 leakage parameters.
 //! * [`algorithm`] — Algorithm 1 ([`algorithm::select_frequency`]),
-//!   returning the full predicted curve for inspection.
+//!   returning the full predicted curve for inspection, and its 2-D
+//!   generalization ([`algorithm::select_operating_point`]) that sweeps
+//!   the (cluster, frequency) product space of a heterogeneous SoC with
+//!   migration cost inside the decision model.
 //! * [`governor`] — [`governor::DoraGovernor`], implementing the shared
 //!   [`dora_governors::Governor`] trait; a constructor flag produces the
-//!   paper's `DORA_no_lkg` ablation (Fig. 10).
+//!   paper's `DORA_no_lkg` ablation (Fig. 10). On big.LITTLE profiles
+//!   [`governor::HeterogeneousDoraGovernor`] runs the 2-D search and
+//!   returns full operating points via `decide_point`.
 //! * [`trainer`] — the offline training pipeline (Section IV-C: "over 300
 //!   measurements … used to determine the coefficients").
 //! * [`persist`] — versioned text serialization of the trained bundle,
@@ -56,8 +61,11 @@ pub mod models;
 pub mod persist;
 pub mod trainer;
 
-pub use algorithm::{select_frequency, FrequencyDecision, PredictedPoint};
-pub use governor::{DoraConfig, DoraGovernor, DoraPolicy};
+pub use algorithm::{
+    select_frequency, select_operating_point, ClusterModel, FrequencyDecision,
+    OperatingPointDecision, PredictedOperatingPoint, PredictedPoint,
+};
+pub use governor::{DoraConfig, DoraGovernor, DoraPolicy, HeterogeneousDoraGovernor};
 pub use models::{DoraModels, FrequencyEncoding, PredictorInputs};
 pub use persist::{from_text, to_text, PersistError};
 pub use trainer::{TrainerConfig, TrainingObservation};

@@ -298,13 +298,13 @@ mod tests {
                 gamma: 2.0,
                 delta: -2.0,
             },
-            dvfs: DvfsTable::msm8974(),
+            dvfs: DvfsTable::default(),
         }
     }
 
     #[test]
     fn inputs_vector_is_table1_ordered() {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let inputs = PredictorInputs::for_frequency(
             page(),
             Frequency::from_mhz(1497.6),
@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn bus_frequency_follows_tier() {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let low = PredictorInputs::for_frequency(
             page(),
             Frequency::from_mhz(300.0),
@@ -400,7 +400,7 @@ mod tests {
             constant_surface(99.0),
             FrequencyEncoding::Natural,
         );
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let inputs = PredictorInputs::for_frequency(
             page(),
             Frequency::from_mhz(300.0),

@@ -362,7 +362,7 @@ mod tests {
         use crate::trainer::{train, TrainerConfig, TrainingObservation};
         use dora_modeling::leakage::LeakageObservation;
         use dora_sim_core::Rng;
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let mut rng = Rng::seed_from_u64(5);
         let mut obs = Vec::new();
         for pi in 0..10 {

@@ -268,7 +268,7 @@ mod tests {
     /// Synthetic observations from a physically-shaped ground truth, with
     /// small measurement noise.
     fn synth_observations(n_pages: usize, seed: u64) -> Vec<TrainingObservation> {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let mut rng = Rng::seed_from_u64(seed);
         let mut obs = Vec::new();
         for pi in 0..n_pages {
@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn trains_and_predicts_held_out_accurately() {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let all = synth_observations(10, 1);
         // Hold out every 5th observation.
         let train_set: Vec<_> = all
@@ -350,7 +350,7 @@ mod tests {
 
     #[test]
     fn piecewise_tiers_are_fit_with_enough_data() {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let all = synth_observations(12, 3);
         let models =
             train(&all, &synth_leakage(4), &dvfs, TrainerConfig::default()).expect("trains");
@@ -361,7 +361,7 @@ mod tests {
 
     #[test]
     fn leakage_fit_is_recovered() {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         let all = synth_observations(6, 5);
         let models =
             train(&all, &synth_leakage(6), &dvfs, TrainerConfig::default()).expect("trains");
@@ -376,7 +376,7 @@ mod tests {
 
     #[test]
     fn empty_observations_rejected() {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         assert!(matches!(
             train(&[], &synth_leakage(1), &dvfs, TrainerConfig::default()).unwrap_err(),
             ModelError::TooFewObservations { .. }
@@ -385,7 +385,7 @@ mod tests {
 
     #[test]
     fn compare_kinds_reports_all_three() {
-        let dvfs = DvfsTable::msm8974();
+        let dvfs = DvfsTable::default();
         // Enough pages that each bus tier earns its own piecewise fit —
         // matching the real campaign's data volume (42 workloads x 14
         // frequencies).

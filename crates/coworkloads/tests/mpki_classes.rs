@@ -11,11 +11,11 @@
 
 use dora_coworkloads::{Intensity, Kernel};
 use dora_sim_core::SimDuration;
-use dora_soc::board::{Board, BoardConfig};
+use dora_soc::board::Board;
 
 /// Measured solo MPKI of a kernel after one second at `mhz`.
 fn solo_mpki(kernel: &Kernel, mhz: f64) -> f64 {
-    let mut board = Board::new(BoardConfig::nexus5(), 13);
+    let mut board = Board::new(dora_soc::SocProfile::msm8974().board_config(), 13);
     board
         .set_frequency(dora_soc::Frequency::from_mhz(mhz))
         .expect("table frequency");
@@ -69,7 +69,7 @@ fn classification_is_stable_across_frequency() {
 #[test]
 fn kernel_utilization_matches_duty_cycle() {
     for kernel in Kernel::all() {
-        let mut board = Board::new(BoardConfig::nexus5(), 29);
+        let mut board = Board::new(dora_soc::SocProfile::msm8974().board_config(), 29);
         board
             .set_frequency(dora_soc::Frequency::from_mhz(1497.6))
             .expect("table frequency");

@@ -1,5 +1,5 @@
 //! Regenerates Table II (device specification).
 fn main() {
-    let config = dora_soc::BoardConfig::nexus5();
+    let config = dora_soc::SocProfile::msm8974().board_config();
     println!("{}", dora_experiments::table02::run(&config).render());
 }

@@ -126,8 +126,11 @@ fn ambient_sweep(pipeline: &Pipeline, board: BoardConfig) -> AmbientSweep {
 
 /// Measures both panels.
 pub fn run(pipeline: &Pipeline) -> Fig10 {
-    let room = BoardConfig::nexus5();
-    let cold = BoardConfig::nexus5_cold();
+    let room = dora_soc::SocProfile::msm8974().board_config();
+    let cold = BoardConfig {
+        thermal: dora_soc::thermal::ThermalParams::nexus5_cold(),
+        ..room.clone()
+    };
     Fig10 {
         ablation: ablation(pipeline),
         room: ambient_sweep(pipeline, room),

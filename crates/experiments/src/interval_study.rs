@@ -192,6 +192,7 @@ pub fn run_adaptation(pipeline: &Pipeline) -> Vec<AdaptationRow> {
                         now: board.time(),
                         interval,
                         frequency: board.frequency(),
+                        cluster: 0,
                         per_core_utilization: utilization,
                         shared_l2_mpki: delta.shared_l2_mpki(),
                         corun_utilization: delta.core(2).utilization(),

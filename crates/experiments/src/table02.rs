@@ -109,7 +109,7 @@ mod tests {
 
     #[test]
     fn spec_matches_paper_table2_shape() {
-        let t = run(&BoardConfig::nexus5());
+        let t = run(&dora_soc::SocProfile::msm8974().board_config());
         let text = t.render();
         assert!(text.contains("Nexus 5"));
         assert!(text.contains("14 settings"));

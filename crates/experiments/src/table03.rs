@@ -11,7 +11,7 @@ use dora_campaign::runner::{run_page, ScenarioConfig};
 use dora_coworkloads::{Intensity, Kernel};
 use dora_governors::PinnedGovernor;
 use dora_sim_core::SimDuration;
-use dora_soc::board::{Board, BoardConfig};
+use dora_soc::board::Board;
 
 /// One measured page row.
 #[derive(Debug, Clone)]
@@ -144,7 +144,7 @@ impl Table03 {
 pub fn default_config() -> ScenarioConfig {
     ScenarioConfig::builder()
         .warmup(SimDuration::from_secs(3))
-        .board(BoardConfig::nexus5())
+        .board(dora_soc::SocProfile::msm8974().board_config())
         .build()
 }
 

@@ -29,12 +29,13 @@
 //! use dora_sim_core::units::{Celsius, Mpki, Utilization};
 //! use dora_sim_core::{SimDuration, SimTime};
 //!
-//! let table = DvfsTable::msm8974();
+//! let table = DvfsTable::default();
 //! let mut gov = InteractiveGovernor::new(table.clone());
 //! let obs = GovernorObservation {
 //!     now: SimTime::from_millis(20),
 //!     interval: SimDuration::from_millis(20),
 //!     frequency: table.min_frequency(),
+//!     cluster: 0,
 //!     per_core_utilization: [0.95, 0.2, 0.0, 0.0].map(Utilization::clamped).to_vec(),
 //!     shared_l2_mpki: Mpki::clamped(3.0),
 //!     corun_utilization: Utilization::ZERO,
@@ -49,7 +50,7 @@
 
 use dora_sim_core::units::{Celsius, Mpki, Utilization};
 use dora_sim_core::{SimDuration, SimTime};
-use dora_soc::{DvfsTable, Frequency};
+use dora_soc::{ClusterId, DvfsTable, Frequency, OperatingPoint};
 use std::fmt;
 
 /// What a governor sees at each decision point — the same quantities DORA
@@ -61,8 +62,11 @@ pub struct GovernorObservation {
     pub now: SimTime,
     /// Time since the previous decision.
     pub interval: SimDuration,
-    /// The currently programmed core frequency.
+    /// The currently programmed core frequency (of the governed cluster).
     pub frequency: Frequency,
+    /// The cluster the governed core currently binds to — an index into
+    /// the board's cluster list, always `0` on homogeneous parts.
+    pub cluster: usize,
     /// Busy fraction of each core over the interval.
     pub per_core_utilization: Vec<Utilization>,
     /// Shared L2 MPKI over the interval (Table I X6).
@@ -94,6 +98,19 @@ pub trait Governor: fmt::Debug {
     /// Chooses the frequency for the next interval. Implementations must
     /// return a frequency that exists in their DVFS table.
     fn decide(&mut self, observation: &GovernorObservation) -> Frequency;
+
+    /// Chooses a full (cluster, frequency) operating point for the next
+    /// interval. Heterogeneous-aware governors (DORA on big.LITTLE parts)
+    /// override this to search the product space with migration cost in
+    /// the decision model; single-knob governors keep the default, which
+    /// stays on the observed cluster and delegates the frequency choice
+    /// to [`Governor::decide`].
+    fn decide_point(&mut self, observation: &GovernorObservation) -> OperatingPoint {
+        OperatingPoint {
+            cluster: ClusterId::new(observation.cluster),
+            frequency: self.decide(observation),
+        }
+    }
 
     /// Clears internal state between workloads (hysteresis timers etc.).
     fn reset(&mut self) {}
@@ -470,7 +487,7 @@ impl Governor for ConservativeGovernor {
 /// use dora_sim_core::units::Celsius;
 /// use dora_soc::DvfsTable;
 ///
-/// let table = DvfsTable::msm8974();
+/// let table = DvfsTable::default();
 /// let inner = PerformanceGovernor::new(table.clone());
 /// let throttled =
 ///     ThermalThrottle::new(Box::new(inner), table, Celsius::new(85.0), Celsius::new(75.0));
@@ -577,6 +594,7 @@ mod tests {
             now: SimTime::from_millis(now_ms),
             interval: SimDuration::from_millis(20),
             frequency: freq,
+            cluster: 0,
             per_core_utilization: utils.into_iter().map(Utilization::clamped).collect(),
             shared_l2_mpki: Mpki::clamped(2.0),
             corun_utilization: Utilization::clamped(0.5),
@@ -586,7 +604,7 @@ mod tests {
 
     #[test]
     fn performance_always_max() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = PerformanceGovernor::new(t.clone());
         let o = obs(0, t.min_frequency(), vec![0.0]);
         assert_eq!(g.decide(&o), t.max_frequency());
@@ -595,7 +613,7 @@ mod tests {
 
     #[test]
     fn powersave_always_min() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = PowersaveGovernor::new(t.clone());
         let o = obs(0, t.max_frequency(), vec![1.0]);
         assert_eq!(g.decide(&o), t.min_frequency());
@@ -603,7 +621,7 @@ mod tests {
 
     #[test]
     fn pinned_holds_its_frequency() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let f = Frequency::from_mhz(1497.6);
         let mut g = PinnedGovernor::new("DL", f);
         assert_eq!(g.decide(&obs(0, t.min_frequency(), vec![0.1])), f);
@@ -614,7 +632,7 @@ mod tests {
 
     #[test]
     fn interactive_jumps_to_hispeed_on_load() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = InteractiveGovernor::new(t.clone());
         let f = g.decide(&obs(20, t.min_frequency(), vec![0.95, 0.1, 0.0, 0.0]));
         assert!(f >= Frequency::from_mhz(1190.4), "hispeed jump, got {f}");
@@ -622,7 +640,7 @@ mod tests {
 
     #[test]
     fn interactive_tracks_target_load_upward() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = InteractiveGovernor::new(t.clone());
         // Saturated at 1.5 GHz: demanded = 1497.6/0.8 = 1872 -> ceil 1958.4,
         // and the hispeed rule cannot pull it back down.
@@ -632,7 +650,7 @@ mod tests {
 
     #[test]
     fn interactive_holds_floor_during_min_sample_time() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = InteractiveGovernor::new(t.clone());
         // Jump up at t=20ms.
         let up = g.decide(&obs(20, t.min_frequency(), vec![0.95]));
@@ -647,7 +665,7 @@ mod tests {
 
     #[test]
     fn interactive_reset_clears_floor() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = InteractiveGovernor::new(t.clone());
         let up = g.decide(&obs(20, t.min_frequency(), vec![1.0]));
         g.reset();
@@ -658,7 +676,7 @@ mod tests {
 
     #[test]
     fn interactive_idle_returns_minimum() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = InteractiveGovernor::new(t.clone());
         let f = g.decide(&obs(1000, t.min_frequency(), vec![0.0, 0.0, 0.0, 0.0]));
         assert_eq!(f, t.min_frequency());
@@ -666,7 +684,7 @@ mod tests {
 
     #[test]
     fn ondemand_jumps_to_max_and_decays_proportionally() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = OndemandGovernor::new(t.clone());
         assert_eq!(g.name(), "ondemand");
         // Busy: straight to fmax.
@@ -689,12 +707,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "up_threshold")]
     fn ondemand_rejects_bad_threshold() {
-        let _ = OndemandGovernor::with_threshold(DvfsTable::msm8974(), Utilization::ZERO);
+        let _ = OndemandGovernor::with_threshold(DvfsTable::default(), Utilization::ZERO);
     }
 
     #[test]
     fn conservative_steps_one_at_a_time() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = ConservativeGovernor::new(t.clone());
         let start = Frequency::from_mhz(960.0);
         let up = g.decide(&obs(0, start, vec![0.95]));
@@ -711,6 +729,7 @@ mod tests {
             now: SimTime::ZERO,
             interval: SimDuration::from_millis(20),
             frequency: Frequency::from_mhz(300.0),
+            cluster: 0,
             per_core_utilization: [1.7, -0.5, 0.4].map(Utilization::clamped).to_vec(),
             shared_l2_mpki: Mpki::ZERO,
             corun_utilization: Utilization::ZERO,
@@ -728,7 +747,7 @@ mod tests {
 
     #[test]
     fn throttle_engages_ratchets_and_releases() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = ThermalThrottle::new(
             Box::new(PerformanceGovernor::new(t.clone())),
             t.clone(),
@@ -757,7 +776,7 @@ mod tests {
 
     #[test]
     fn throttle_never_raises_the_inner_choice() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let mut g = ThermalThrottle::new(
             Box::new(PowersaveGovernor::new(t.clone())),
             t.clone(),
@@ -774,7 +793,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "hysteresis")]
     fn throttle_rejects_inverted_band() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let _ = ThermalThrottle::new(
             Box::new(PerformanceGovernor::new(t.clone())),
             t,
@@ -784,8 +803,19 @@ mod tests {
     }
 
     #[test]
+    fn default_decide_point_stays_on_the_observed_cluster() {
+        let t = DvfsTable::default();
+        let mut g = PerformanceGovernor::new(t.clone());
+        let mut o = obs(0, t.min_frequency(), vec![1.0]);
+        o.cluster = 1;
+        let p = g.decide_point(&o);
+        assert_eq!(p.cluster, ClusterId::new(1));
+        assert_eq!(p.frequency, t.max_frequency());
+    }
+
+    #[test]
     fn decision_intervals_are_positive() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let governors: Vec<Box<dyn Governor>> = vec![
             Box::new(PerformanceGovernor::new(t.clone())),
             Box::new(PowersaveGovernor::new(t.clone())),

@@ -31,8 +31,10 @@
 //! deliberately exclude them.
 //!
 //! Frequencies cross this API as raw kHz (`u64`) rather than as the
-//! `dora-soc` `Frequency` newtype: `dora-sim-core` is the bottom layer
-//! of the workspace and cannot name types from the SoC model above it.
+//! `dora-soc` `Frequency` newtype, and cluster identities cross as raw
+//! indices (`usize`) rather than as the `dora-soc` `ClusterId` newtype:
+//! `dora-sim-core` is the bottom layer of the workspace and cannot name
+//! types from the SoC model above it.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -51,6 +53,9 @@ use crate::SimTime;
 /// full predicted T/P/PPW sweep over the frequency table.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidatePrediction {
+    /// The cluster the candidate operating point lives on (index into
+    /// the board's cluster list; `0` on homogeneous SoCs).
+    pub cluster: usize,
     /// The candidate core frequency, in kHz.
     pub frequency_khz: u64,
     /// Predicted page load time at this frequency.
@@ -86,12 +91,24 @@ pub enum ProbeEvent {
         /// converged to for this core this quantum.
         miss_ratio: f64,
     },
-    /// The cluster clock changed.
+    /// A cluster clock changed.
     DvfsSwitch {
+        /// The cluster whose clock switched (`0` on homogeneous SoCs).
+        cluster: usize,
         /// The previous frequency, in kHz.
         from_khz: u64,
         /// The new frequency, in kHz.
         to_khz: u64,
+    },
+    /// A core was rebound from one cluster to another (big.LITTLE task
+    /// migration).
+    TaskMigrated {
+        /// The core that migrated.
+        core: usize,
+        /// The cluster the core left.
+        from_cluster: usize,
+        /// The cluster the core now runs on.
+        to_cluster: usize,
     },
     /// The task on a core ran out of instructions.
     TaskFinished {
@@ -113,10 +130,12 @@ pub enum ProbeEvent {
         /// Current die temperature.
         temperature: Celsius,
     },
-    /// A governor made a frequency decision.
+    /// A governor made an operating-point decision.
     GovernorDecision {
         /// The governor's name (e.g. `"DORA"`, `"interactive"`).
         governor: String,
+        /// The cluster the governor chose (`0` on homogeneous SoCs).
+        cluster: usize,
         /// The frequency the governor chose, in kHz.
         chosen_khz: u64,
         /// The predicted per-candidate curve behind the pick, if the
@@ -325,6 +344,7 @@ mod tests {
 
     fn switch(to: u64) -> ProbeEvent {
         ProbeEvent::DvfsSwitch {
+            cluster: 0,
             from_khz: 300_000,
             to_khz: to,
         }

@@ -190,9 +190,19 @@ impl Ppw {
         // Build the energy through the typed `Watts × Seconds → Joules`
         // impl rather than multiplying raw scalars: `T·P` *is* the
         // energy of the load, and the typed product keeps it that way.
-        let product = (power * time).value();
-        if product.is_finite() && product > 0.0 {
-            Ppw(1.0 / product)
+        Ppw::from_energy(power * time)
+    }
+
+    /// The objective generalized to a known load energy: `1/E`.
+    ///
+    /// `E` is whatever energy the load is charged — `T·P` plus, for a
+    /// cross-cluster candidate, the one-shot migration energy. With
+    /// `E = T·P` exactly this is [`Ppw::from_time_power`]. Degenerate
+    /// inputs yield `Ppw::ZERO` so a corrupt prediction can never win.
+    pub fn from_energy(energy: Joules) -> Ppw {
+        let e = energy.value();
+        if e.is_finite() && e > 0.0 {
+            Ppw(1.0 / e)
         } else {
             Ppw::ZERO
         }

@@ -21,6 +21,7 @@ use crate::contention::{ContentionParams, ContentionSolver};
 use crate::counters::{CoreCounters, CounterSet};
 use crate::dvfs::{Frequency, Opp};
 use crate::power::{PowerBreakdown, PowerModel};
+use crate::profile::ClusterId;
 use crate::task::Task;
 use crate::thermal::ThermalNode;
 use crate::trace_compat::LifecycleTrace;
@@ -47,10 +48,17 @@ pub(crate) struct CoreSlot {
 struct StepScratch {
     /// Indices of enabled cores holding unfinished tasks.
     active: Vec<usize>,
-    /// Profiles of those tasks, parallel to `active`.
+    /// Profiles of those tasks (base CPI pre-scaled by the owning
+    /// cluster's `cpi_scale`), parallel to `active`.
     profiles: Vec<crate::task::PhaseProfile>,
+    /// Each active task's cluster clock in Hz, parallel to `active`.
+    clocks: Vec<f64>,
     /// Per-core utilization handed to the power model.
     core_utils: Vec<f64>,
+    /// Per-cluster summed utilization (heterogeneous power path).
+    cluster_busy: Vec<f64>,
+    /// Per-cluster bound-core count (heterogeneous power path).
+    cluster_cores: Vec<usize>,
 }
 
 /// The assembled, steppable platform.
@@ -58,11 +66,12 @@ struct StepScratch {
 /// # Example
 ///
 /// ```
-/// use dora_soc::board::{Board, BoardConfig};
+/// use dora_soc::board::Board;
 /// use dora_soc::task::{PhasedTask, PhaseProfile};
+/// use dora_soc::SocProfile;
 /// use dora_sim_core::SimDuration;
 ///
-/// let mut board = Board::new(BoardConfig::nexus5(), 1);
+/// let mut board = Board::new(SocProfile::msm8974().board_config(), 1);
 /// board.assign(
 ///     0,
 ///     Box::new(PhasedTask::new(
@@ -87,7 +96,10 @@ pub struct Board {
     pub(crate) thermal: ThermalNode,
     pub(crate) slots: Vec<CoreSlot>,
     pub(crate) counters: CounterSet,
-    pub(crate) freq_index: usize,
+    /// Current DVFS index of each cluster, indexed by cluster.
+    pub(crate) freq_indices: Vec<usize>,
+    /// Live core→cluster binding, seeded from `config.affinity`.
+    pub(crate) cluster_of: Vec<usize>,
     pub(crate) now: SimTime,
     pub(crate) energy: Joules,
     pub(crate) power_track: TimeWeighted,
@@ -137,7 +149,10 @@ impl Board {
             thermal,
             slots,
             counters,
-            freq_index: 0,
+            // alloc: one-time construction, not the stepping hot path.
+            freq_indices: vec![0; config.clusters.len()],
+            // alloc: one-time construction, not the stepping hot path.
+            cluster_of: config.affinity.clone(),
             now: SimTime::ZERO,
             energy: Joules::ZERO,
             power_track: TimeWeighted::new(),
@@ -222,14 +237,48 @@ impl Board {
         self.now
     }
 
-    /// Current operating point.
+    /// Current operating point of the primary cluster.
     pub fn opp(&self) -> Opp {
-        self.config.dvfs.opp(self.freq_index)
+        self.config.dvfs.opp(self.freq_indices[0])
     }
 
-    /// Current core frequency.
+    /// Current core frequency of the primary cluster.
     pub fn frequency(&self) -> Frequency {
         self.opp().frequency
+    }
+
+    /// Number of clusters on this board.
+    pub fn num_clusters(&self) -> usize {
+        self.config.clusters.len()
+    }
+
+    /// Current operating point of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cluster_opp(&self, cluster: ClusterId) -> Opp {
+        self.config.clusters[cluster.index()]
+            .dvfs
+            .opp(self.freq_indices[cluster.index()])
+    }
+
+    /// Current frequency of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cluster_frequency(&self, cluster: ClusterId) -> Frequency {
+        self.cluster_opp(cluster).frequency
+    }
+
+    /// The cluster core `core` is currently bound to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cluster_of(&self, core: usize) -> ClusterId {
+        ClusterId::new(self.cluster_of[core])
     }
 
     /// Die temperature.
@@ -349,28 +398,83 @@ impl Board {
         self.slots.get(core)?.finish_time
     }
 
-    /// Sets the cluster frequency. A no-op (no stall, no switch counted)
-    /// when the target equals the current frequency — mirroring DORA's
-    /// "change only when fopt moved" behaviour (Section V-H).
+    /// Sets the primary (cluster 0) frequency — the historical
+    /// single-knob API, exact on homogeneous boards.
     ///
     /// # Errors
     ///
     /// [`BoardError::UnknownFrequency`] if `f` is not a table entry.
     pub fn set_frequency(&mut self, f: Frequency) -> Result<(), BoardError> {
-        let index = self
+        self.set_cluster_frequency(ClusterId::PRIMARY, f)
+    }
+
+    /// Sets one cluster's frequency. A no-op (no stall, no switch
+    /// counted) when the target equals the current frequency — mirroring
+    /// DORA's "change only when fopt moved" behaviour (Section V-H).
+    ///
+    /// # Errors
+    ///
+    /// [`BoardError::ClusterOutOfRange`] for a bad cluster id, or
+    /// [`BoardError::UnknownFrequency`] if `f` is not an entry of that
+    /// cluster's table.
+    pub fn set_cluster_frequency(
+        &mut self,
+        cluster: ClusterId,
+        f: Frequency,
+    ) -> Result<(), BoardError> {
+        let c = cluster.index();
+        let table = &self
             .config
-            .dvfs
-            .index_of(f)
-            .ok_or(BoardError::UnknownFrequency(f))?;
-        if index != self.freq_index {
-            let from_khz = self.frequency().as_khz();
-            self.freq_index = index;
+            .clusters
+            .get(c)
+            .ok_or(BoardError::ClusterOutOfRange(c))?
+            .dvfs;
+        let index = table.index_of(f).ok_or(BoardError::UnknownFrequency(f))?;
+        if index != self.freq_indices[c] {
+            let from_khz = table.opp(self.freq_indices[c]).frequency.as_khz();
+            self.freq_indices[c] = index;
             self.switch_count += 1;
             self.pending_stall += self.config.dvfs_switch_stall;
             self.probes.emit_with(self.now, || ProbeEvent::DvfsSwitch {
+                cluster: c,
                 from_khz,
                 to_khz: f.as_khz(),
             });
+        }
+        Ok(())
+    }
+
+    /// Rebinds a core to another cluster, paying the configured
+    /// [`crate::profile::MigrationCost`]: the latency joins the pending
+    /// stall (the quantum-grained model charges it globally, which is
+    /// conservative) and the energy is charged to the device
+    /// immediately, booked under the core-dynamic component (it is
+    /// cache-refill switching activity). A no-op when the core is
+    /// already on `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`BoardError::CoreOutOfRange`] or [`BoardError::ClusterOutOfRange`].
+    pub fn migrate(&mut self, core: usize, to: ClusterId) -> Result<(), BoardError> {
+        if core >= self.cluster_of.len() {
+            return Err(BoardError::CoreOutOfRange(core));
+        }
+        let to_cluster = to.index();
+        if to_cluster >= self.config.clusters.len() {
+            return Err(BoardError::ClusterOutOfRange(to_cluster));
+        }
+        let from_cluster = self.cluster_of[core];
+        if from_cluster != to_cluster {
+            self.cluster_of[core] = to_cluster;
+            self.pending_stall += self.config.migration.latency;
+            self.energy += self.config.migration.energy;
+            self.energy_breakdown.core_dynamic += self.config.migration.energy;
+            self.probes
+                .emit_with(self.now, || ProbeEvent::TaskMigrated {
+                    core,
+                    from_cluster,
+                    to_cluster,
+                });
         }
         Ok(())
     }
@@ -404,19 +508,44 @@ impl Board {
 
         let opp = self.opp();
         let f_hz = opp.frequency.as_hz();
-        let tier = self.config.dvfs.bus_tier(opp.frequency);
+        // The memory bus serves every cluster: its tier is voted by the
+        // fastest cluster clock (identical to the historical single-knob
+        // mapping when there is one cluster).
+        let mut bus_vote = opp.frequency;
+        for c in 1..self.config.clusters.len() {
+            let fc = self.config.clusters[c]
+                .dvfs
+                .opp(self.freq_indices[c])
+                .frequency;
+            if fc > bus_vote {
+                bus_vote = fc;
+            }
+        }
+        let tier = self.config.dvfs.bus_tier(bus_vote);
 
         // Collect active (enabled, unfinished) tasks. A task with a
-        // profile is by definition unfinished.
+        // profile is by definition unfinished. Each runs at its own
+        // cluster's clock with its base CPI scaled by the cluster's
+        // relative timing (×1.0 exactly on the reference cluster).
         self.scratch.active.clear();
         self.scratch.profiles.clear();
+        self.scratch.clocks.clear();
         for (i, slot) in self.slots.iter().enumerate() {
             if !slot.enabled {
                 continue;
             }
-            if let Some(profile) = slot.task.as_deref().and_then(|t| t.profile()) {
+            if let Some(mut profile) = slot.task.as_deref().and_then(|t| t.profile()) {
+                let cluster = &self.config.clusters[self.cluster_of[i]];
+                profile.base_cpi *= cluster.cpi_scale;
                 self.scratch.active.push(i);
                 self.scratch.profiles.push(profile);
+                self.scratch.clocks.push(
+                    cluster
+                        .dvfs
+                        .opp(self.freq_indices[self.cluster_of[i]])
+                        .frequency
+                        .as_hz(),
+                );
             }
         }
 
@@ -427,11 +556,12 @@ impl Board {
             mem_overlap: self.config.mem_overlap,
             dirty_fraction: self.config.dirty_fraction,
         };
-        self.solver.solve(
+        self.solver.solve_with_clocks(
             &self.cache,
             &self.config.memory,
             &params,
             &self.scratch.profiles,
+            &self.scratch.clocks,
         );
 
         // Retire work and update counters; interpolate finish times.
@@ -492,14 +622,20 @@ impl Board {
         }
 
         // Power and heat. The DRAM demand actually served is pro-rated by
-        // the time the cores were running.
+        // the time the cores were running. Homogeneous boards keep the
+        // historical single-OPP evaluation (bit-identical); heterogeneous
+        // boards sum per-cluster dynamic, uncore, and leakage terms.
         let served_dram = self.solver.dram_demand() * (avail_s / dt_s.max(1e-12));
-        let breakdown = self.power_model.evaluate(
-            opp,
-            &self.scratch.core_utils,
-            served_dram,
-            self.thermal.temperature(),
-        );
+        let breakdown = if self.config.clusters.len() == 1 {
+            self.power_model.evaluate(
+                opp,
+                &self.scratch.core_utils,
+                served_dram,
+                self.thermal.temperature(),
+            )
+        } else {
+            self.clustered_power(served_dram)
+        };
         let dt_span = Seconds::new(dt_s);
         self.energy += breakdown.total() * dt_span;
         self.energy_breakdown.accumulate(&breakdown, dt_span);
@@ -514,6 +650,49 @@ impl Board {
         self.probes
             .emit_with(self.now, || ProbeEvent::ThermalSample { temperature });
         self.now += dt;
+    }
+
+    /// Per-cluster power evaluation for heterogeneous boards: each
+    /// core's dynamic term uses its own cluster's capacitance, voltage,
+    /// and clock; uncore and Eq. 5 leakage are summed per cluster; the
+    /// platform floor and DRAM terms stay whole-device, exactly as in
+    /// [`PowerModel::evaluate`].
+    fn clustered_power(&mut self, dram_bytes_per_sec: f64) -> PowerBreakdown {
+        let params = self.power_model.params();
+        let temp = self.thermal.temperature();
+        let n_clusters = self.config.clusters.len();
+        self.scratch.cluster_busy.clear();
+        self.scratch.cluster_busy.resize(n_clusters, 0.0);
+        self.scratch.cluster_cores.clear();
+        self.scratch.cluster_cores.resize(n_clusters, 0);
+        let mut core_dynamic = 0.0;
+        for (i, u) in self.scratch.core_utils.iter().enumerate() {
+            let c = self.cluster_of[i];
+            let cluster = &self.config.clusters[c];
+            let opp = cluster.dvfs.opp(self.freq_indices[c]);
+            let u = u.clamp(0.0, 1.0);
+            core_dynamic +=
+                u * cluster.ceff_core_f * opp.voltage * opp.voltage * opp.frequency.as_hz();
+            self.scratch.cluster_busy[c] += u;
+            self.scratch.cluster_cores[c] += 1;
+        }
+        let mut uncore = 0.0;
+        let mut leakage = Watts::ZERO;
+        for (c, cluster) in self.config.clusters.iter().enumerate() {
+            let opp = cluster.dvfs.opp(self.freq_indices[c]);
+            if self.scratch.cluster_cores[c] > 0 {
+                let mean_util = self.scratch.cluster_busy[c] / self.scratch.cluster_cores[c] as f64;
+                uncore += cluster.uncore_w_per_ghz * opp.frequency.as_ghz() * mean_util;
+            }
+            leakage += cluster.leakage.power(opp.voltage, temp);
+        }
+        PowerBreakdown {
+            platform: params.platform_floor,
+            core_dynamic: Watts::new(core_dynamic),
+            uncore: Watts::new(uncore),
+            dram: Watts::new(params.dram_j_per_byte * dram_bytes_per_sec.max(0.0)),
+            leakage,
+        }
     }
 }
 
@@ -530,11 +709,19 @@ mod tests {
     }
 
     fn board() -> Board {
-        Board::new(BoardConfig::nexus5(), 7)
+        Board::new(crate::profile::SocProfile::msm8974().board_config(), 7)
+    }
+
+    fn biglittle_board() -> Board {
+        Board::new(
+            crate::profile::SocProfile::biglittle_a15a7().board_config(),
+            7,
+        )
     }
 
     #[test]
-    fn nexus5_config_is_valid() {
+    #[allow(deprecated)]
+    fn deprecated_nexus5_shims_still_validate() {
         assert!(BoardConfig::nexus5().validate().is_ok());
         assert!(BoardConfig::nexus5_cold().validate().is_ok());
     }
@@ -845,10 +1032,18 @@ mod tests {
         let mut retired = 0.0;
         for r in &events {
             match &r.event {
-                ProbeEvent::DvfsSwitch { from_khz, to_khz } => {
+                ProbeEvent::DvfsSwitch {
+                    cluster,
+                    from_khz,
+                    to_khz,
+                } => {
+                    assert_eq!(*cluster, 0);
                     assert_eq!(*from_khz, 300_000);
                     assert_eq!(*to_khz, 1_958_400);
                     saw_switch = true;
+                }
+                ProbeEvent::TaskMigrated { .. } => {
+                    panic!("no migration on a homogeneous board")
                 }
                 ProbeEvent::TaskAssigned { core, name } => {
                     assert_eq!((*core, name.as_str()), (0, "job"));
@@ -889,5 +1084,134 @@ mod tests {
         assert!(b.detach_probe(id));
         b.step(SimDuration::from_millis(5));
         assert_eq!(ring.borrow().len(), before);
+    }
+
+    #[test]
+    fn clusters_hold_independent_frequencies() {
+        let mut b = biglittle_board();
+        assert_eq!(b.num_clusters(), 2);
+        b.set_cluster_frequency(ClusterId::new(0), Frequency::from_mhz(1800.0))
+            .expect("A15 entry");
+        b.set_cluster_frequency(ClusterId::new(1), Frequency::from_mhz(600.0))
+            .expect("A7 entry");
+        assert_eq!(
+            b.cluster_frequency(ClusterId::new(0)),
+            Frequency::from_mhz(1800.0)
+        );
+        assert_eq!(
+            b.cluster_frequency(ClusterId::new(1)),
+            Frequency::from_mhz(600.0)
+        );
+        // An A15-only frequency is rejected on the A7 cluster.
+        assert_eq!(
+            b.set_cluster_frequency(ClusterId::new(1), Frequency::from_mhz(1800.0))
+                .unwrap_err(),
+            BoardError::UnknownFrequency(Frequency::from_mhz(1800.0))
+        );
+        assert_eq!(
+            b.set_cluster_frequency(ClusterId::new(5), Frequency::from_mhz(600.0))
+                .unwrap_err(),
+            BoardError::ClusterOutOfRange(5)
+        );
+    }
+
+    #[test]
+    fn migration_rebinds_charges_and_emits() {
+        use dora_sim_core::probe::ProbeRing;
+
+        let mut b = biglittle_board();
+        let ring = ProbeRing::shared(64);
+        b.attach_probe(ring.clone());
+        assert_eq!(b.cluster_of(0), ClusterId::new(0));
+        let e0 = b.energy();
+        b.migrate(0, ClusterId::new(1)).expect("valid target");
+        assert_eq!(b.cluster_of(0), ClusterId::new(1));
+        assert!(b.energy() > e0, "migration energy must be charged");
+        assert!(
+            (b.energy_breakdown().total() - b.energy()).value().abs() < 1e-12,
+            "breakdown stays consistent with the total"
+        );
+        // No-op re-migration charges nothing further.
+        let e1 = b.energy();
+        b.migrate(0, ClusterId::new(1)).expect("no-op");
+        assert_eq!(b.energy(), e1);
+        assert!(b.migrate(0, ClusterId::new(9)).is_err());
+        assert!(b.migrate(99, ClusterId::new(1)).is_err());
+        let migrations: Vec<_> = ring
+            .borrow()
+            .iter()
+            .filter(|r| matches!(r.event, ProbeEvent::TaskMigrated { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(migrations.len(), 1);
+        assert_eq!(
+            migrations[0].event,
+            ProbeEvent::TaskMigrated {
+                core: 0,
+                from_cluster: 0,
+                to_cluster: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn little_cluster_runs_the_same_work_slower_and_cheaper() {
+        let work = 1.0e9;
+        let run = |cluster: usize| {
+            let mut b = biglittle_board();
+            // Both clusters pinned to a common 1.4 GHz entry.
+            b.set_cluster_frequency(ClusterId::new(0), Frequency::from_mhz(1400.0))
+                .expect("A15 entry");
+            b.set_cluster_frequency(ClusterId::new(1), Frequency::from_mhz(1400.0))
+                .expect("A7 entry");
+            b.migrate(0, ClusterId::new(cluster)).expect("valid");
+            b.assign(0, compute_task(work)).expect("free");
+            while !b.task_finished(0) {
+                b.step(SimDuration::from_millis(20));
+            }
+            (
+                b.finish_time(0).expect("finished").as_secs_f64(),
+                b.energy_breakdown().core_dynamic.value(),
+            )
+        };
+        let (t_big, e_big) = run(0);
+        let (t_little, e_little) = run(1);
+        // The in-order A7 pays its CPI scale in time...
+        assert!(
+            t_little > t_big * 1.3,
+            "LITTLE should be slower: {t_big} vs {t_little}"
+        );
+        // ...but its far smaller C_eff still wins on core-dynamic energy.
+        assert!(
+            e_little < e_big,
+            "LITTLE should be cheaper: {e_big} vs {e_little}"
+        );
+    }
+
+    #[test]
+    fn migration_latency_stalls_execution() {
+        let work = 5.0e8;
+        let run = |migrations: u32| {
+            let mut b = biglittle_board();
+            b.set_cluster_frequency(ClusterId::new(0), Frequency::from_mhz(1400.0))
+                .expect("A15 entry");
+            b.set_cluster_frequency(ClusterId::new(1), Frequency::from_mhz(1400.0))
+                .expect("A7 entry");
+            b.assign(0, compute_task(work)).expect("free");
+            for _ in 0..migrations {
+                b.migrate(0, ClusterId::new(1)).expect("valid");
+                b.migrate(0, ClusterId::new(0)).expect("valid");
+            }
+            while !b.task_finished(0) {
+                b.step(SimDuration::from_millis(10));
+            }
+            b.finish_time(0).expect("finished").as_secs_f64()
+        };
+        let calm = run(0);
+        let thrashed = run(5);
+        assert!(
+            thrashed > calm + 0.015,
+            "10 migrations at 2 ms each must stall: {calm} vs {thrashed}"
+        );
     }
 }

@@ -9,6 +9,7 @@
 use crate::dvfs::{DvfsTable, Frequency};
 use crate::memory::MemorySystem;
 use crate::power::{PowerBreakdown, PowerParams};
+use crate::profile::{ClusterConfig, MigrationCost, SocProfile};
 use crate::thermal::ThermalParams;
 use dora_sim_core::units::{Celsius, Joules, Seconds};
 use dora_sim_core::SimDuration;
@@ -26,6 +27,8 @@ pub enum BoardError {
     CoreDisabled(usize),
     /// The frequency is not an entry of the DVFS table.
     UnknownFrequency(Frequency),
+    /// The referenced cluster id does not exist on this board.
+    ClusterOutOfRange(usize),
     /// The snapshot was taken from a structurally different board (core
     /// count or DVFS table shape differ) and cannot be restored here.
     SnapshotMismatch,
@@ -40,6 +43,7 @@ impl fmt::Display for BoardError {
             BoardError::UnknownFrequency(freq) => {
                 write!(f, "frequency {freq} is not in the DVFS table")
             }
+            BoardError::ClusterOutOfRange(id) => write!(f, "cluster {id} out of range"),
             BoardError::SnapshotMismatch => {
                 write!(f, "snapshot does not fit this board's configuration")
             }
@@ -58,8 +62,18 @@ pub struct BoardConfig {
     pub num_cores: usize,
     /// Which cores are powered on at construction.
     pub cores_enabled: Vec<bool>,
-    /// The DVFS operating-point table.
+    /// The primary (cluster 0) DVFS operating-point table, kept as a
+    /// direct field because every single-knob consumer reads it. Must
+    /// equal `clusters[0].dvfs`; [`BoardConfig::validate`] enforces it.
     pub dvfs: DvfsTable,
+    /// The cluster list: per-cluster DVFS tables, timing, and power
+    /// coefficients. Homogeneous platforms have exactly one entry.
+    pub clusters: Vec<ClusterConfig>,
+    /// Initial core→cluster binding, one entry per core. The board's
+    /// live binding starts here and moves via `Board::migrate`.
+    pub affinity: Vec<usize>,
+    /// The cost charged per cluster migration.
+    pub migration: MigrationCost,
     /// Shared L2 capacity in bytes.
     pub l2_capacity_bytes: f64,
     /// The DRAM model.
@@ -85,28 +99,24 @@ impl BoardConfig {
     /// The Nexus 5 platform of the paper's Table II: four Krait cores
     /// (fourth switched off, as in Section IV-B), 2 MB shared L2, LPDDR3,
     /// the 14-entry MSM8974 DVFS table, room ambient.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use the profile registry: `SocProfile::msm8974().board_config()`"
+    )]
     pub fn nexus5() -> Self {
-        BoardConfig {
-            name: "Google Nexus 5 (MSM8974 Snapdragon 800)".to_string(),
-            num_cores: 4,
-            cores_enabled: vec![true, true, true, false],
-            dvfs: DvfsTable::msm8974(),
-            l2_capacity_bytes: 2.0 * 1024.0 * 1024.0,
-            memory: MemorySystem::lpddr3(),
-            power: PowerParams::nexus5(),
-            thermal: ThermalParams::nexus5_room(),
-            quantum: SimDuration::from_millis(1),
-            dvfs_switch_stall: SimDuration::from_micros(60),
-            mem_overlap: 0.65,
-            dirty_fraction: 0.30,
-        }
+        SocProfile::msm8974().board_config()
     }
 
     /// Same platform at the cold ambient of Fig. 10(b).
+    #[deprecated(
+        since = "0.11.0",
+        note = "use `SocProfile::msm8974().board_config().with_ambient(...)` \
+                or `ThermalParams::nexus5_cold()`"
+    )]
     pub fn nexus5_cold() -> Self {
         BoardConfig {
             thermal: ThermalParams::nexus5_cold(),
-            ..BoardConfig::nexus5()
+            ..SocProfile::msm8974().board_config()
         }
     }
 
@@ -131,6 +141,25 @@ impl BoardConfig {
         if self.cores_enabled.len() != self.num_cores {
             return Err("cores_enabled length must equal num_cores".into());
         }
+        if self.clusters.is_empty() {
+            return Err("board needs at least one cluster".into());
+        }
+        for cluster in &self.clusters {
+            cluster.validate()?;
+        }
+        if self.clusters[0].dvfs != self.dvfs {
+            return Err("dvfs must alias the primary cluster's table (clusters[0].dvfs)".into());
+        }
+        if self.affinity.len() != self.num_cores {
+            return Err("affinity length must equal num_cores".into());
+        }
+        if let Some(&bad) = self.affinity.iter().find(|&&c| c >= self.clusters.len()) {
+            return Err(format!(
+                "affinity references cluster {bad}, but only {} exist",
+                self.clusters.len()
+            ));
+        }
+        self.migration.validate()?;
         if !(self.l2_capacity_bytes.is_finite() && self.l2_capacity_bytes > 0.0) {
             return Err(format!("bad L2 capacity {}", self.l2_capacity_bytes));
         }

@@ -71,7 +71,8 @@ impl ContentionSolver {
     }
 
     /// Solves the fixed point for the given active-task profiles under
-    /// the standard [`FIXED_POINT_ITERATIONS`] budget.
+    /// the standard [`FIXED_POINT_ITERATIONS`] budget, with every core
+    /// clocked at the single `params.f_hz`.
     pub fn solve(
         &mut self,
         cache: &SharedCache,
@@ -80,6 +81,35 @@ impl ContentionSolver {
         profiles: &[PhaseProfile],
     ) {
         self.solve_iterations(cache, memory, params, profiles, FIXED_POINT_ITERATIONS);
+    }
+
+    /// [`ContentionSolver::solve`] with a per-profile core clock (Hz) —
+    /// the heterogeneous entry point: on a big.LITTLE board each task
+    /// runs at its own cluster's frequency while still sharing the L2
+    /// and the DRAM bus. `clocks` is indexed like `profiles`. With every
+    /// clock equal to `params.f_hz` the arithmetic is bit-identical to
+    /// [`ContentionSolver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clocks.len() != profiles.len()`.
+    pub fn solve_with_clocks(
+        &mut self,
+        cache: &SharedCache,
+        memory: &MemorySystem,
+        params: &ContentionParams,
+        profiles: &[PhaseProfile],
+        clocks: &[f64],
+    ) {
+        assert_eq!(clocks.len(), profiles.len(), "one clock per profile");
+        self.solve_inner(
+            cache,
+            memory,
+            params,
+            profiles,
+            |i| clocks[i],
+            FIXED_POINT_ITERATIONS,
+        );
     }
 
     /// [`ContentionSolver::solve`] with an explicit iteration budget —
@@ -92,11 +122,27 @@ impl ContentionSolver {
         profiles: &[PhaseProfile],
         iterations: usize,
     ) {
+        let f_hz = params.f_hz;
+        self.solve_inner(cache, memory, params, profiles, |_| f_hz, iterations);
+    }
+
+    /// The shared fixed-point loop. `clock(i)` is the core clock (Hz)
+    /// profile `i` retires under; the closure keeps the uniform path
+    /// allocation-free and operation-for-operation identical to the
+    /// historical single-clock loop.
+    fn solve_inner(
+        &mut self,
+        cache: &SharedCache,
+        memory: &MemorySystem,
+        params: &ContentionParams,
+        profiles: &[PhaseProfile],
+        clock: impl Fn(usize) -> f64,
+        iterations: usize,
+    ) {
         let n = profiles.len();
         self.instr_rates.clear();
-        for p in profiles {
-            self.instr_rates
-                .push(p.duty_cycle * params.f_hz / p.base_cpi);
+        for (i, p) in profiles.iter().enumerate() {
+            self.instr_rates.push(p.duty_cycle * clock(i) / p.base_cpi);
         }
         self.miss_ratios.clear();
         self.miss_ratios.resize(n, 0.0);
@@ -123,10 +169,10 @@ impl ContentionSolver {
                 let miss_cycles = (p.l2_apki / 1000.0)
                     * self.miss_ratios[i]
                     * latency.value()
-                    * params.f_hz
+                    * clock(i)
                     * params.mem_overlap;
                 let cpi_eff = p.base_cpi + miss_cycles;
-                self.instr_rates[i] = p.duty_cycle * params.f_hz / cpi_eff;
+                self.instr_rates[i] = p.duty_cycle * clock(i) / cpi_eff;
             }
         }
     }
@@ -166,7 +212,7 @@ mod tests {
     }
 
     fn fixture() -> (SharedCache, MemorySystem, ContentionParams) {
-        let config = BoardConfig::nexus5();
+        let config = crate::profile::SocProfile::msm8974().board_config();
         let cache = SharedCache::new(config.l2_capacity_bytes);
         let f = crate::dvfs::Frequency::from_mhz(1497.6);
         let tier = config.dvfs.bus_tier(f);
@@ -291,6 +337,49 @@ mod tests {
         assert_eq!(
             reused.dram_demand().to_bits(),
             fresh.dram_demand().to_bits()
+        );
+    }
+
+    #[test]
+    fn uniform_clocks_match_single_clock_solve_bitwise() {
+        let (cache, memory, params) = fixture();
+        let profiles = [
+            profile(1.1, 6.0, 1.5, 0.85, 0.9),
+            profile(0.9, 45.0, 8.0, 0.1, 1.0),
+        ];
+        let clocks = [params.f_hz; 2];
+        let mut uniform = ContentionSolver::new();
+        uniform.solve_with_clocks(&cache, &memory, &params, &profiles, &clocks);
+        let mut single = ContentionSolver::new();
+        single.solve(&cache, &memory, &params, &profiles);
+        assert_eq!(uniform.instr_rates(), single.instr_rates());
+        assert_eq!(uniform.miss_ratios(), single.miss_ratios());
+        assert_eq!(
+            uniform.dram_demand().to_bits(),
+            single.dram_demand().to_bits()
+        );
+    }
+
+    #[test]
+    fn per_core_clocks_slow_only_the_downclocked_core() {
+        let (cache, memory, params) = fixture();
+        let profiles = [
+            profile(1.1, 6.0, 1.5, 0.85, 0.9),
+            profile(1.1, 6.0, 1.5, 0.85, 0.9),
+        ];
+        let mut solver = ContentionSolver::new();
+        // Core 1 on a half-speed LITTLE cluster.
+        solver.solve_with_clocks(
+            &cache,
+            &memory,
+            &params,
+            &profiles,
+            &[params.f_hz, params.f_hz / 2.0],
+        );
+        let rates = solver.instr_rates();
+        assert!(
+            rates[1] < rates[0] * 0.6,
+            "downclocked core should retire ~half as fast: {rates:?}"
         );
     }
 

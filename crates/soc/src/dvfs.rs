@@ -160,7 +160,9 @@ pub const MSM8974_KHZ_MV: [(u64, u32); 14] = [
 
 /// Compile-time check that a `(kHz, mV)` table is strictly ascending in
 /// frequency (which also rules out duplicates) with positive voltages.
-const fn khz_mv_table_is_valid(table: &[(u64, u32)]) -> bool {
+/// Shared with the profile registry, whose per-cluster tables carry the
+/// same guard.
+pub(crate) const fn khz_mv_table_is_valid(table: &[(u64, u32)]) -> bool {
     if table.is_empty() {
         return false;
     }
@@ -187,9 +189,9 @@ const _: () = assert!(
 /// # Example
 ///
 /// ```
-/// use dora_soc::{DvfsTable, Frequency};
+/// use dora_soc::{Frequency, SocProfile};
 ///
-/// let table = DvfsTable::msm8974();
+/// let table = SocProfile::msm8974().dvfs();
 /// assert_eq!(table.len(), 14);
 /// assert_eq!(table.min_frequency(), Frequency::from_mhz(300.0));
 /// assert_eq!(table.max_frequency(), Frequency::from_mhz(2265.6));
@@ -231,6 +233,16 @@ impl DvfsTable {
         DvfsTable { opps }
     }
 
+    /// Builds a table from an integer `(kHz, mV)` constant table (the
+    /// form the profile registry's cited OPP tables take).
+    pub(crate) fn from_khz_mv(table: &[(u64, u32)]) -> Self {
+        let points: Vec<(f64, f64)> = table
+            .iter()
+            .map(|&(khz, mv)| (khz as f64 / 1000.0, mv as f64 / 1000.0))
+            .collect();
+        DvfsTable::new(&points)
+    }
+
     /// The 14-entry MSM8974 Snapdragon 800 table used throughout the
     /// reproduction (Table II: "14 different frequency settings available,
     /// ranging from 300 MHz to 2265 MHz"). Voltages follow the published
@@ -239,12 +251,12 @@ impl DvfsTable {
     ///
     /// Built from [`MSM8974_KHZ_MV`], whose ordering is checked at
     /// compile time.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use the profile registry: `SocProfile::msm8974().dvfs()`"
+    )]
     pub fn msm8974() -> Self {
-        let points: Vec<(f64, f64)> = MSM8974_KHZ_MV
-            .iter()
-            .map(|&(khz, mv)| (khz as f64 / 1000.0, mv as f64 / 1000.0))
-            .collect();
-        DvfsTable::new(&points)
+        DvfsTable::from_khz_mv(&MSM8974_KHZ_MV)
     }
 
     /// Number of operating points.
@@ -370,7 +382,7 @@ impl DvfsTable {
 
 impl Default for DvfsTable {
     fn default() -> Self {
-        DvfsTable::msm8974()
+        DvfsTable::from_khz_mv(&MSM8974_KHZ_MV)
     }
 }
 
@@ -380,7 +392,7 @@ mod tests {
 
     #[test]
     fn msm8974_shape() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         assert_eq!(t.len(), 14);
         assert_eq!(t.min_frequency().as_mhz(), 300.0);
         assert!((t.max_frequency().as_mhz() - 2265.6).abs() < 1e-9);
@@ -392,7 +404,7 @@ mod tests {
 
     #[test]
     fn index_and_voltage_lookup() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let f = Frequency::from_mhz(1497.6);
         let i = t.index_of(f).expect("1497.6 in table");
         assert_eq!(t.opp(i).frequency, f);
@@ -411,7 +423,7 @@ mod tests {
 
     #[test]
     fn ceil_finds_first_at_or_above() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         assert_eq!(
             t.ceil(Frequency::from_mhz(1000.0)),
             Frequency::from_mhz(1190.4)
@@ -425,7 +437,7 @@ mod tests {
 
     #[test]
     fn step_up_down_saturate() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let min = t.min_frequency();
         let max = t.max_frequency();
         assert_eq!(t.step_down(min), Some(min));
@@ -439,7 +451,7 @@ mod tests {
 
     #[test]
     fn bus_tier_piecewise_mapping() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         assert_eq!(t.bus_tier(Frequency::from_mhz(300.0)), BusTier::Low);
         assert_eq!(t.bus_tier(Frequency::from_mhz(729.6)), BusTier::Low);
         assert_eq!(t.bus_tier(Frequency::from_mhz(806.4)), BusTier::Mid);
@@ -450,7 +462,7 @@ mod tests {
 
     #[test]
     fn paper_ladder_is_eight_ascending_table_entries() {
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let ladder = t.paper_ladder();
         assert_eq!(ladder.len(), 8);
         for pair in ladder.windows(2) {

@@ -19,6 +19,10 @@
 //! * [`power`] — whole-device power: platform floor (display etc.), per-core
 //!   dynamic `util·C·V²·f`, DRAM access energy, and the Liao et al.
 //!   temperature/voltage leakage model the paper adopts as Eq. 5.
+//! * [`profile`] — the SoC profile registry: named platform descriptions
+//!   (`msm8974`, `biglittle-a15a7`) with per-cluster DVFS tables, power
+//!   coefficients, task-to-cluster affinity, and a cited migration-cost
+//!   model — the `--soc <name>` axis of every layer above.
 //! * [`counters`] — the `perf`-style counters governors sample: retired
 //!   instructions, busy cycles, L2 accesses/misses, per-core utilization.
 //! * [`contention`] — the pure per-quantum fixed point coupling
@@ -38,11 +42,12 @@
 //! # Example
 //!
 //! ```
-//! use dora_soc::board::{Board, BoardConfig};
+//! use dora_soc::board::Board;
 //! use dora_soc::task::LoopTask;
+//! use dora_soc::SocProfile;
 //! use dora_sim_core::SimDuration;
 //!
-//! let mut board = Board::new(BoardConfig::nexus5(), 42);
+//! let mut board = Board::new(SocProfile::msm8974().board_config(), 42);
 //! board.assign(0, Box::new(LoopTask::compute_bound("spin", 1.0)))?;
 //! let top = board.config().dvfs.max_frequency();
 //! board.set_frequency(top)?;
@@ -62,6 +67,7 @@ pub mod counters;
 pub mod dvfs;
 pub mod memory;
 pub mod power;
+pub mod profile;
 pub mod snapshot;
 pub mod task;
 pub mod thermal;
@@ -69,5 +75,6 @@ mod trace_compat;
 
 pub use board::{Board, BoardConfig, BoardError};
 pub use dvfs::{BusTier, DvfsTable, Frequency, Opp};
+pub use profile::{ClusterConfig, ClusterId, MigrationCost, OperatingPoint, SocProfile};
 pub use snapshot::BoardSnapshot;
 pub use task::{PhaseProfile, Task};

@@ -185,7 +185,7 @@ impl PowerBreakdown {
 /// use dora_soc::power::{PowerModel, PowerParams};
 ///
 /// let model = PowerModel::new(PowerParams::nexus5()).expect("valid params");
-/// let table = DvfsTable::msm8974();
+/// let table = DvfsTable::default();
 /// let t = Celsius::new(40.0);
 /// let low = model.evaluate(table.opp(0), &[1.0, 0.0, 0.0, 0.0], 0.0, t);
 /// let high = model.evaluate(table.opp(13), &[1.0, 0.0, 0.0, 0.0], 0.0, t);
@@ -306,7 +306,7 @@ mod tests {
     #[test]
     fn dynamic_power_scales_with_v_squared_f() {
         let m = model();
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let lo = m.evaluate(t.opp(0), &[1.0], 0.0, c(40.0));
         let hi = m.evaluate(t.opp(13), &[1.0], 0.0, c(40.0));
         let lo_opp = t.opp(0);
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn idle_cores_draw_no_dynamic_power() {
         let m = model();
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let b = m.evaluate(t.opp(10), &[0.0, 0.0, 0.0, 0.0], 0.0, c(40.0));
         assert_eq!(b.core_dynamic, Watts::ZERO);
         assert_eq!(b.uncore, Watts::ZERO);
@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn dram_term_scales_with_traffic() {
         let m = model();
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let quiet = m.evaluate(t.opp(5), &[1.0], 1e8, c(40.0));
         let busy = m.evaluate(t.opp(5), &[1.0], 4e9, c(40.0));
         assert!((busy.dram / quiet.dram - 40.0).abs() < 1e-9);
@@ -340,7 +340,7 @@ mod tests {
     #[test]
     fn whole_device_power_is_plausible() {
         let m = model();
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         // Browser on two cores + co-runner at max frequency, warm die,
         // heavy DRAM traffic: a Nexus 5 pulls 3–6 W in this regime.
         let peak = m.evaluate(t.opp(13), &[1.0, 0.8, 1.0, 0.0], 3e9, c(60.0));
@@ -361,7 +361,7 @@ mod tests {
     #[test]
     fn breakdown_total_is_sum_of_parts() {
         let m = model();
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let b = m.evaluate(t.opp(7), &[0.5, 0.5], 1e9, c(45.0));
         let sum = b.platform + b.core_dynamic + b.uncore + b.dram + b.leakage;
         assert!((b.total() - sum).value().abs() < 1e-12);
@@ -371,7 +371,7 @@ mod tests {
     #[test]
     fn utilization_is_clamped() {
         let m = model();
-        let t = DvfsTable::msm8974();
+        let t = DvfsTable::default();
         let a = m.evaluate(t.opp(5), &[2.0], 0.0, c(40.0));
         let b = m.evaluate(t.opp(5), &[1.0], 0.0, c(40.0));
         assert_eq!(a.core_dynamic, b.core_dynamic);

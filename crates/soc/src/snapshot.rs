@@ -42,7 +42,10 @@ pub struct SlotSnapshot {
 pub struct BoardSnapshot {
     pub(crate) slots: Vec<SlotSnapshot>,
     pub(crate) counters: CounterSet,
-    pub(crate) freq_index: usize,
+    /// Per-cluster DVFS indices, parallel to the board's cluster list.
+    pub(crate) freq_indices: Vec<usize>,
+    /// Live core→cluster binding at capture time.
+    pub(crate) cluster_of: Vec<usize>,
     pub(crate) now: SimTime,
     pub(crate) energy: Joules,
     pub(crate) power_track: TimeWeighted,
@@ -90,7 +93,8 @@ impl Board {
                 })
                 .collect(),
             counters: self.counters.clone(),
-            freq_index: self.freq_index,
+            freq_indices: self.freq_indices.clone(),
+            cluster_of: self.cluster_of.clone(),
             now: self.now,
             energy: self.energy,
             power_track: self.power_track.clone(),
@@ -113,12 +117,24 @@ impl Board {
     /// # Errors
     ///
     /// [`BoardError::SnapshotMismatch`] when the snapshot's core count
-    /// does not match this board or its DVFS index does not fit this
-    /// board's table. On error the board is left unchanged.
+    /// or cluster count does not match this board, a DVFS index does not
+    /// fit the corresponding cluster's table, or a core binding
+    /// references a cluster this board does not have. On error the board
+    /// is left unchanged.
     pub fn restore(&mut self, snapshot: &BoardSnapshot) -> Result<(), BoardError> {
-        if snapshot.slots.len() != self.config.num_cores
-            || snapshot.freq_index >= self.config.dvfs.len()
-        {
+        let structurally_compatible = snapshot.slots.len() == self.config.num_cores
+            && snapshot.freq_indices.len() == self.config.clusters.len()
+            && snapshot
+                .freq_indices
+                .iter()
+                .zip(&self.config.clusters)
+                .all(|(&i, cluster)| i < cluster.dvfs.len())
+            && snapshot.cluster_of.len() == self.config.num_cores
+            && snapshot
+                .cluster_of
+                .iter()
+                .all(|&c| c < self.config.clusters.len());
+        if !structurally_compatible {
             return Err(BoardError::SnapshotMismatch);
         }
         for (slot, snap) in self.slots.iter_mut().zip(snapshot.slots.iter()) {
@@ -127,7 +143,8 @@ impl Board {
             slot.finish_time = snap.finish_time;
         }
         self.counters = snapshot.counters.clone();
-        self.freq_index = snapshot.freq_index;
+        self.freq_indices.clone_from(&snapshot.freq_indices);
+        self.cluster_of.clone_from(&snapshot.cluster_of);
         self.now = snapshot.now;
         self.energy = snapshot.energy;
         self.power_track = snapshot.power_track.clone();
@@ -144,12 +161,16 @@ impl Board {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::board::BoardConfig;
     use crate::dvfs::Frequency;
+    use crate::profile::{ClusterId, SocProfile};
     use crate::task::{LoopTask, PhaseProfile, PhasedTask};
 
+    fn nexus5() -> crate::board::BoardConfig {
+        SocProfile::msm8974().board_config()
+    }
+
     fn loaded_board() -> Board {
-        let mut b = Board::new(BoardConfig::nexus5(), 11);
+        let mut b = Board::new(nexus5(), 11);
         b.set_frequency(Frequency::from_mhz(1497.6)).expect("ok");
         b.assign(
             0,
@@ -187,7 +208,7 @@ mod tests {
         let mut original = loaded_board();
         let snap = original.snapshot();
 
-        let mut fork = Board::new(BoardConfig::nexus5(), 0);
+        let mut fork = Board::new(nexus5(), 0);
         fork.restore(&snap).expect("fits");
 
         let horizon = SimDuration::from_millis(400);
@@ -210,7 +231,7 @@ mod tests {
         let snap = b.snapshot();
 
         let run = |mhz: f64| {
-            let mut fork = Board::new(BoardConfig::nexus5(), 0);
+            let mut fork = Board::new(nexus5(), 0);
             fork.restore(&snap).expect("fits");
             fork.set_frequency(Frequency::from_mhz(mhz)).expect("ok");
             while !fork.task_finished(0) {
@@ -229,12 +250,33 @@ mod tests {
         let mut snap = b.snapshot();
         snap.slots.pop();
 
-        let mut target = Board::new(BoardConfig::nexus5(), 5);
+        let mut target = Board::new(nexus5(), 5);
         target.step(SimDuration::from_millis(3));
         let before = target.time();
         assert_eq!(target.restore(&snap), Err(BoardError::SnapshotMismatch));
         assert_eq!(target.time(), before);
         assert_eq!(target.seed(), 5);
+    }
+
+    #[test]
+    fn heterogeneous_state_round_trips_and_cross_profile_restore_fails() {
+        let mut b = Board::new(SocProfile::biglittle_a15a7().board_config(), 3);
+        b.set_cluster_frequency(ClusterId::new(1), Frequency::from_mhz(1000.0))
+            .expect("A7 entry");
+        b.migrate(2, ClusterId::new(1)).expect("valid");
+        let snap = b.snapshot();
+
+        let mut fork = Board::new(SocProfile::biglittle_a15a7().board_config(), 0);
+        fork.restore(&snap).expect("fits");
+        assert_eq!(fork.cluster_of(2), ClusterId::new(1));
+        assert_eq!(
+            fork.cluster_frequency(ClusterId::new(1)),
+            Frequency::from_mhz(1000.0)
+        );
+
+        // A homogeneous board cannot absorb a two-cluster snapshot.
+        let mut other = Board::new(nexus5(), 0);
+        assert_eq!(other.restore(&snap), Err(BoardError::SnapshotMismatch));
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod tests {
         probe.on_event(
             now,
             &ProbeEvent::DvfsSwitch {
+                cluster: 0,
                 from_khz: 300_000,
                 to_khz: 1_958_400,
             },

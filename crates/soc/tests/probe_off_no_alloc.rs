@@ -8,9 +8,9 @@
 //! hot path to exactly zero allocations.
 
 use dora_sim_core::SimDuration;
-use dora_soc::board::{Board, BoardConfig};
+use dora_soc::board::Board;
 use dora_soc::task::{LoopTask, PhaseProfile};
-use dora_soc::Frequency;
+use dora_soc::{Frequency, SocProfile};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -40,7 +40,7 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 #[test]
 fn warmed_board_steps_without_allocating_when_no_probe_listens() {
-    let mut board = Board::new(BoardConfig::nexus5(), 3);
+    let mut board = Board::new(SocProfile::msm8974().board_config(), 3);
     board
         .set_frequency(Frequency::from_mhz(1497.6))
         .expect("in table");

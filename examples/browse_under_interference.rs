@@ -56,7 +56,7 @@ fn main() {
     };
 
     let config = ScenarioConfig::default();
-    let table = DvfsTable::msm8974();
+    let table = DvfsTable::default();
     println!(
         "loading {} with co-runner {} under each stock governor:\n",
         page.name,

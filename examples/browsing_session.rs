@@ -33,7 +33,7 @@ fn main() {
         .collect();
     let kernel = Kernel::by_name("bfs").expect("in suite");
     let config = SessionConfig::default();
-    let table = DvfsTable::msm8974();
+    let table = DvfsTable::default();
 
     println!("training DORA (quick grid)...");
     let pipeline = Pipeline::build(Scale::Quick, 42);

@@ -65,7 +65,7 @@ impl Governor for RaceToIdle {
 }
 
 fn main() {
-    let table = DvfsTable::msm8974();
+    let table = DvfsTable::default();
     let config = ScenarioConfig::default();
     let set = WorkloadSet::paper54();
 

@@ -52,8 +52,17 @@ fn main() {
     let engine = RenderEngine::default();
 
     for (label, config) in [
-        ("room ambient (25C)", BoardConfig::nexus5()),
-        ("cold ambient (5C)", BoardConfig::nexus5_cold()),
+        (
+            "room ambient (25C)",
+            dora_soc::SocProfile::msm8974().board_config(),
+        ),
+        (
+            "cold ambient (5C)",
+            BoardConfig {
+                thermal: dora_soc::thermal::ThermalParams::nexus5_cold(),
+                ..dora_soc::SocProfile::msm8974().board_config()
+            },
+        ),
     ] {
         println!("== {label} ==");
         let mut board = Board::new(config, 7);

@@ -6,17 +6,19 @@
 
 use dora_repro::browser::PageFeatures;
 use dora_repro::dora::models::{DoraModels, FrequencyEncoding, PiecewiseSurface, PredictorInputs};
-use dora_repro::dora::{from_text, select_frequency, to_text};
+use dora_repro::dora::{
+    from_text, select_frequency, select_operating_point, to_text, ClusterModel,
+};
 use dora_repro::modeling::leakage::Eq5Params;
 use dora_repro::modeling::surface::{ResponseSurface, SurfaceKind};
-use dora_repro::soc::DvfsTable;
+use dora_repro::soc::{ClusterId, DvfsTable, MigrationCost, OperatingPoint, SocProfile};
 use dora_repro::units::{Celsius, Mpki, Seconds, Utilization};
 use proptest::prelude::*;
 
 /// Builds a trained bundle from a randomized physical ground truth:
 /// `T = work/f·(1 + k·mpki)`, `P = floor + c·v²·f`.
 fn synth_models(work: f64, mpki_k: f64, floor: f64, c: f64) -> DoraModels {
-    let dvfs = DvfsTable::msm8974();
+    let dvfs = DvfsTable::default();
     let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
     let mut xs = Vec::new();
     let mut t_ys = Vec::new();
@@ -171,6 +173,194 @@ proptest! {
             let fe = d.f_energy();
             let expected = if fd <= fe { fe } else { fd };
             prop_assert_eq!(d.chosen, expected);
+        }
+    }
+
+    /// The 2-D (cluster, F) search is exactly the exhaustive argmax over
+    /// its own predicted product space: the feasible PPW maximizer in
+    /// cluster-major order, or — when nothing is feasible — fmax of the
+    /// cluster whose flat-out load time is smallest.
+    #[test]
+    fn cluster_search_is_the_product_space_argmax(
+        work in 0.5f64..6.0,
+        mpki in 0.0f64..20.0,
+        util in 0.0f64..1.0,
+        temp in 25.0f64..75.0,
+        deadline in 0.3f64..8.0,
+    ) {
+        let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
+        let models = synth_models(work, 0.03, 1.5, 0.8);
+        let board = SocProfile::biglittle_a15a7().board_config();
+        let clusters = ClusterModel::from_profile(&models, &board);
+        let current = OperatingPoint {
+            cluster: ClusterId::PRIMARY,
+            frequency: clusters[0].models.dvfs.max_frequency(),
+        };
+        let d = select_operating_point(
+            &clusters,
+            current,
+            MigrationCost::biglittle(),
+            page,
+            Seconds::new(deadline),
+            Mpki::clamped(mpki),
+            Utilization::clamped(util),
+            Celsius::new(temp),
+            true,
+        );
+        prop_assert_eq!(
+            d.curve.len(),
+            clusters.iter().map(|c| c.models.dvfs.len()).sum::<usize>()
+        );
+        // Re-derive the winner by brute force over the curve, with the
+        // same strictly-greater, cluster-major-first-wins tie-break.
+        let mut best: Option<usize> = None;
+        for (i, p) in d.curve.iter().enumerate() {
+            if p.feasible && best.is_none_or(|b| p.ppw.value() > d.curve[b].ppw.value()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(b) => {
+                prop_assert!(d.feasible);
+                prop_assert_eq!(d.chosen, d.curve[b].point);
+                prop_assert_eq!(
+                    d.predicted_ppw.value().to_bits(),
+                    d.curve[b].ppw.value().to_bits()
+                );
+            }
+            None => {
+                prop_assert!(!d.feasible);
+                let fastest = clusters
+                    .iter()
+                    .filter_map(|cm| {
+                        d.curve.iter().rfind(|p| p.point.cluster == cm.cluster)
+                    })
+                    .min_by(|a, b| a.load_time.value().total_cmp(&b.load_time.value()))
+                    .expect("non-empty product space");
+                prop_assert_eq!(d.chosen, fastest.point);
+                prop_assert_eq!(
+                    d.chosen.frequency,
+                    clusters[d.chosen.cluster.index()].models.dvfs.max_frequency()
+                );
+            }
+        }
+    }
+
+    /// With zero migration cost the product-space search decomposes into
+    /// independent per-cluster 1-D searches: each cluster's curve rows
+    /// are bit-identical to the rows of a search over that cluster alone,
+    /// and the winner is the cluster-major argmax of the solo winners.
+    #[test]
+    fn zero_migration_reduces_to_per_cluster_search(
+        work in 0.5f64..6.0,
+        mpki in 0.0f64..20.0,
+        deadline in 0.3f64..8.0,
+    ) {
+        let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
+        let models = synth_models(work, 0.03, 1.5, 0.8);
+        let board = SocProfile::biglittle_a15a7().board_config();
+        let clusters = ClusterModel::from_profile(&models, &board);
+        let current = OperatingPoint {
+            cluster: ClusterId::PRIMARY,
+            frequency: clusters[0].models.dvfs.max_frequency(),
+        };
+        let full = select_operating_point(
+            &clusters,
+            current,
+            MigrationCost::none(),
+            page,
+            Seconds::new(deadline),
+            Mpki::clamped(mpki),
+            Utilization::clamped(0.6),
+            Celsius::new(45.0),
+            true,
+        );
+        for cm in &clusters {
+            let solo = select_operating_point(
+                std::slice::from_ref(cm),
+                OperatingPoint {
+                    cluster: cm.cluster,
+                    frequency: cm.models.dvfs.max_frequency(),
+                },
+                MigrationCost::none(),
+                page,
+                Seconds::new(deadline),
+                Mpki::clamped(mpki),
+                Utilization::clamped(0.6),
+                Celsius::new(45.0),
+                true,
+            );
+            let rows: Vec<_> = full
+                .curve
+                .iter()
+                .filter(|p| p.point.cluster == cm.cluster)
+                .collect();
+            prop_assert_eq!(rows.len(), solo.curve.len());
+            for (a, b) in rows.iter().zip(&solo.curve) {
+                prop_assert_eq!(a.point, b.point);
+                prop_assert_eq!(a.load_time.value().to_bits(), b.load_time.value().to_bits());
+                prop_assert_eq!(a.power.value().to_bits(), b.power.value().to_bits());
+                prop_assert_eq!(a.ppw.value().to_bits(), b.ppw.value().to_bits());
+                prop_assert_eq!(a.feasible, b.feasible);
+            }
+            if full.feasible && solo.feasible {
+                prop_assert!(full.predicted_ppw.value() >= solo.predicted_ppw.value());
+            }
+        }
+    }
+
+    /// A single-cluster product-space search is the 1-D Algorithm 1,
+    /// bit for bit — the homogeneous profile reproduces legacy decisions
+    /// exactly.
+    #[test]
+    fn single_cluster_point_search_matches_select_frequency(
+        work in 0.5f64..6.0,
+        mpki in 0.0f64..20.0,
+        util in 0.0f64..1.0,
+        temp in 25.0f64..75.0,
+        deadline in 0.3f64..8.0,
+    ) {
+        let page = PageFeatures::new(2000, 1200, 500, 550, 600).expect("valid");
+        let models = synth_models(work, 0.03, 1.5, 0.8);
+        let flat = select_frequency(
+            &models,
+            page,
+            Seconds::new(deadline),
+            Mpki::clamped(mpki),
+            Utilization::clamped(util),
+            Celsius::new(temp),
+            true,
+        );
+        let current = OperatingPoint {
+            cluster: ClusterId::PRIMARY,
+            frequency: models.dvfs.max_frequency(),
+        };
+        let point = select_operating_point(
+            &[ClusterModel::primary(models)],
+            current,
+            MigrationCost::none(),
+            page,
+            Seconds::new(deadline),
+            Mpki::clamped(mpki),
+            Utilization::clamped(util),
+            Celsius::new(temp),
+            true,
+        );
+        prop_assert_eq!(point.chosen.cluster, ClusterId::PRIMARY);
+        prop_assert_eq!(point.chosen.frequency, flat.chosen);
+        prop_assert_eq!(point.feasible, flat.feasible);
+        prop_assert_eq!(
+            point.predicted_ppw.value().to_bits(),
+            flat.predicted_ppw.value().to_bits()
+        );
+        prop_assert_eq!(point.curve.len(), flat.curve.len());
+        for (p2, p1) in point.curve.iter().zip(&flat.curve) {
+            prop_assert_eq!(p2.point.frequency, p1.frequency);
+            prop_assert_eq!(p2.load_time.value().to_bits(), p1.load_time.value().to_bits());
+            prop_assert_eq!(p2.power.value().to_bits(), p1.power.value().to_bits());
+            prop_assert_eq!(p2.ppw.value().to_bits(), p1.ppw.value().to_bits());
+            prop_assert_eq!(p2.feasible, p1.feasible);
+            prop_assert!(!p2.migrating);
         }
     }
 

@@ -103,9 +103,9 @@ fn training_campaign_is_deterministic_across_executors() {
 fn snapshot_restore_replays_the_trajectory_bitwise_with_events() {
     use dora_repro::sim::probe::ProbeRing;
     use dora_repro::soc::task::{LoopTask, PhaseProfile, PhasedTask};
-    use dora_repro::soc::{Board, BoardConfig};
+    use dora_repro::soc::Board;
 
-    let mut board = Board::new(BoardConfig::nexus5(), 11);
+    let mut board = Board::new(dora_soc::SocProfile::msm8974().board_config(), 11);
     board
         .set_frequency(Frequency::from_mhz(1190.4))
         .expect("in table");

@@ -9,7 +9,7 @@ use dora_repro::browser::PageFeatures;
 use dora_repro::modeling::surface::{ResponseSurface, SurfaceKind};
 use dora_repro::sim::stats::Samples;
 use dora_repro::sim::{Rng, SimDuration};
-use dora_repro::soc::board::{Board, BoardConfig};
+use dora_repro::soc::board::Board;
 use dora_repro::soc::cache::{CacheDemand, SharedCache};
 use dora_repro::soc::dvfs::BusTier;
 use dora_repro::soc::memory::MemorySystem;
@@ -185,7 +185,7 @@ proptest! {
         millis in 20u64..200,
     ) {
         let run = || {
-            let mut board = Board::new(BoardConfig::nexus5(), seed);
+            let mut board = Board::new(dora_soc::SocProfile::msm8974().board_config(), seed);
             let task = dora_repro::soc::task::LoopTask::new("t", profile);
             board.assign(0, Box::new(task)).expect("fresh board");
             board

@@ -31,7 +31,7 @@ proptest! {
             ..SessionConfig::default()
         };
         let run = |config: &SessionConfig| {
-            let mut g = InteractiveGovernor::new(DvfsTable::msm8974());
+            let mut g = InteractiveGovernor::new(DvfsTable::default());
             run_session(&pages, None, &mut g, config)
         };
         let r = run(&config);
@@ -65,9 +65,9 @@ proptest! {
         };
         let short: Vec<_> = catalog.pages().iter().take(1).collect();
         let long: Vec<_> = catalog.pages().iter().take(3).collect();
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         let a = run_session(&short, None, &mut g, &config);
-        let mut g = PerformanceGovernor::new(DvfsTable::msm8974());
+        let mut g = PerformanceGovernor::new(DvfsTable::default());
         let b = run_session(&long, None, &mut g, &config);
         prop_assert!(b.energy > a.energy);
         prop_assert!(b.duration > a.duration);

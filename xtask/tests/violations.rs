@@ -134,6 +134,45 @@ fn uncited_constant_fails_and_cited_passes() {
 }
 
 #[test]
+fn uncited_biglittle_profile_constant_fails_and_cited_passes() {
+    // The heterogeneous SoC registry is a designated constants module:
+    // new OPP tables and power coefficients must cite their sources.
+    let config = Config::from_toml(
+        "[constants]\nmodules = [\"crates/soc/src/profile.rs\"]\ntrivial = [0.0, 1.0]\n",
+    )
+    .expect("config");
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/soc/src/profile.rs",
+            "pub const A7_CEFF_CORE_F: f64 = 0.12e-9;\n\
+             const A15_KHZ_MV: [(u64, u32); 2] = [(200_000, 900), (2_000_000, 1_250)];\n",
+        )],
+        config: config.clone(),
+        ..Context::default()
+    };
+    assert_eq!(exit_code(&cx), 1);
+    let diags = run_passes(&cx);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "paper-constants" && d.message.contains("A7_CEFF_CORE_F")),
+        "{diags:?}"
+    );
+
+    let cx = Context {
+        files: vec![SourceFile::new(
+            "crates/soc/src/profile.rs",
+            "pub const A7_CEFF_CORE_F: f64 = 0.12e-9; // paper: 1906.08689 Sec. 2.1\n\
+             // paper: 1710.03559 Sec. 3 — Exynos 5422 A15 OPP endpoints\n\
+             const A15_KHZ_MV: [(u64, u32); 2] = [(200_000, 900), (2_000_000, 1_250)];\n",
+        )],
+        config,
+        ..Context::default()
+    };
+    assert!(run_passes(&cx).iter().all(|d| d.lint != "paper-constants"));
+}
+
+#[test]
 fn sync_hygiene_violations_fail_and_facade_code_passes() {
     let config =
         Config::from_toml("[sync-hygiene]\nfacade_paths = [\"crates/campaign/src/sync.rs\"]\n")
